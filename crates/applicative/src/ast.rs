@@ -1,0 +1,391 @@
+//! Abstract syntax of the applicative language.
+//!
+//! A [`Program`] is a set of named combinator definitions ([`FnDef`]). There
+//! are no first-class closures: every user function is a top-level
+//! combinator, so a *task packet* — `(FnId, Vec<Value>)` — completely
+//! describes a computation. This is exactly the property the paper's
+//! functional checkpointing depends on: "The packet contains all necessary
+//! information ... to activate the child task" (§2).
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::prim::PrimOp;
+
+/// Identifier of a top-level combinator: an index into [`Program::defs`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnId(pub u32);
+
+impl fmt::Display for FnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// An expression. Variables are referenced by name; shadowing resolves to the
+/// innermost binding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A variable reference (function parameter or `let` binding).
+    Var(Arc<str>),
+    /// A strict primitive operation, evaluated locally by the task.
+    Prim(PrimOp, Vec<Expr>),
+    /// Conditional. The condition must evaluate to a `Bool`. Branches are
+    /// evaluated lazily — this is the only construct that guards recursion.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Application of a user combinator. In distributed execution this is a
+    /// *spawn point*: the arguments are evaluated locally, then the
+    /// application becomes a child task demand (`DEMAND_IT` in the paper's
+    /// §4.2 protocol).
+    Call(FnId, Vec<Expr>),
+    /// `let name = bound in body`.
+    Let(Arc<str>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Literal integer shorthand.
+    pub fn int(n: i64) -> Expr {
+        Expr::Lit(Value::Int(n))
+    }
+
+    /// Literal boolean shorthand.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Lit(Value::Bool(b))
+    }
+
+    /// Variable shorthand.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(Arc::from(name))
+    }
+
+    /// `let` shorthand.
+    pub fn let_(name: &str, bound: Expr, body: Expr) -> Expr {
+        Expr::Let(Arc::from(name), Box::new(bound), Box::new(body))
+    }
+
+    /// `if` shorthand.
+    pub fn if_(cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::If(Box::new(cond), Box::new(then), Box::new(els))
+    }
+
+    /// Number of AST nodes; used by cost models and as a complexity guard in
+    /// tests.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => 1,
+            Expr::Prim(_, args) => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::If(c, t, e) => 1 + c.node_count() + t.node_count() + e.node_count(),
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::Let(_, b, body) => 1 + b.node_count() + body.node_count(),
+        }
+    }
+
+    /// Maximum nesting depth of the expression.
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => 1,
+            Expr::Prim(_, args) => 1 + args.iter().map(Expr::depth).max().unwrap_or(0),
+            Expr::If(c, t, e) => 1 + c.depth().max(t.depth()).max(e.depth()),
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::depth).max().unwrap_or(0),
+            Expr::Let(_, b, body) => 1 + b.depth().max(body.depth()),
+        }
+    }
+
+    /// Collects the `FnId`s of all user-function call sites in this
+    /// expression (including nested ones), in left-to-right order.
+    pub fn call_sites(&self) -> Vec<FnId> {
+        let mut out = Vec::new();
+        self.collect_calls(&mut out);
+        out
+    }
+
+    fn collect_calls(&self, out: &mut Vec<FnId>) {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => {}
+            Expr::Prim(_, args) => args.iter().for_each(|a| a.collect_calls(out)),
+            Expr::If(c, t, e) => {
+                c.collect_calls(out);
+                t.collect_calls(out);
+                e.collect_calls(out);
+            }
+            Expr::Call(f, args) => {
+                out.push(*f);
+                args.iter().for_each(|a| a.collect_calls(out));
+            }
+            Expr::Let(_, b, body) => {
+                b.collect_calls(out);
+                body.collect_calls(out);
+            }
+        }
+    }
+}
+
+/// A top-level combinator definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnDef {
+    /// Human-readable name (unique within a program).
+    pub name: Arc<str>,
+    /// Parameter names, bound positionally at application time.
+    pub params: Vec<Arc<str>>,
+    /// The function body.
+    pub body: Expr,
+}
+
+/// A complete program: a set of combinators. The *entry point* is chosen by
+/// the workload (see [`crate::programs::Workload`]), not baked into the
+/// program, so one program can serve many experiments.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    defs: Vec<FnDef>,
+    by_name: HashMap<Arc<str>, FnId>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Registers a function name ahead of its definition, so that mutually
+    /// recursive definitions can reference each other. Returns the reserved
+    /// id. Calling [`Program::define`] later with the same name fills the
+    /// body in.
+    pub fn declare(&mut self, name: &str) -> FnId {
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = FnId(self.defs.len() as u32);
+        let name: Arc<str> = Arc::from(name);
+        self.defs.push(FnDef {
+            name: name.clone(),
+            params: Vec::new(),
+            body: Expr::Lit(Value::Unit),
+        });
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Defines (or fills in a declared) function. Returns its id.
+    pub fn define(&mut self, name: &str, params: &[&str], body: Expr) -> FnId {
+        let id = self.declare(name);
+        let def = &mut self.defs[id.0 as usize];
+        def.params = params.iter().map(|p| Arc::from(*p)).collect();
+        def.body = body;
+        id
+    }
+
+    /// Looks a function up by name.
+    pub fn lookup(&self, name: &str) -> Option<FnId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the definition of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a function of this program; ids are only ever
+    /// minted by the program itself, so this indicates a cross-program mixup.
+    pub fn def(&self, id: FnId) -> &FnDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// All definitions, in id order.
+    pub fn defs(&self) -> &[FnDef] {
+        &self.defs
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if the program has no definitions.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Validates static well-formedness: every call site targets an existing
+    /// function and has the right arity, and every variable is bound.
+    /// Returns the list of problems found (empty means well-formed).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, def) in self.defs.iter().enumerate() {
+            let mut scope: Vec<Arc<str>> = def.params.clone();
+            self.validate_expr(&def.body, &mut scope, &def.name, &mut problems);
+            if def.body == Expr::Lit(Value::Unit) && def.params.is_empty() {
+                // A declared-but-never-defined function is almost certainly a
+                // bug in program construction.
+                let id = FnId(i as u32);
+                if !self.defs.iter().any(|d| d.body.call_sites().contains(&id)) {
+                    continue;
+                }
+                problems.push(format!("function `{}` declared but never defined", def.name));
+            }
+        }
+        problems
+    }
+
+    fn validate_expr(
+        &self,
+        e: &Expr,
+        scope: &mut Vec<Arc<str>>,
+        fun: &str,
+        problems: &mut Vec<String>,
+    ) {
+        match e {
+            Expr::Lit(_) => {}
+            Expr::Var(name) => {
+                if !scope.iter().any(|s| s == name) {
+                    problems.push(format!("in `{fun}`: unbound variable `{name}`"));
+                }
+            }
+            Expr::Prim(_, args) => {
+                for a in args {
+                    self.validate_expr(a, scope, fun, problems);
+                }
+            }
+            Expr::If(c, t, els) => {
+                self.validate_expr(c, scope, fun, problems);
+                self.validate_expr(t, scope, fun, problems);
+                self.validate_expr(els, scope, fun, problems);
+            }
+            Expr::Call(f, args) => {
+                match self.defs.get(f.0 as usize) {
+                    None => problems.push(format!("in `{fun}`: call to unknown {f}")),
+                    Some(def) => {
+                        if def.params.len() != args.len() {
+                            problems.push(format!(
+                                "in `{fun}`: `{}` expects {} args, got {}",
+                                def.name,
+                                def.params.len(),
+                                args.len()
+                            ));
+                        }
+                    }
+                }
+                for a in args {
+                    self.validate_expr(a, scope, fun, problems);
+                }
+            }
+            Expr::Let(name, bound, body) => {
+                self.validate_expr(bound, scope, fun, problems);
+                scope.push(name.clone());
+                self.validate_expr(body, scope, fun, problems);
+                scope.pop();
+            }
+        }
+    }
+}
+
+/// Builder-style helper to call a function by name while constructing ASTs.
+pub fn call(id: FnId, args: Vec<Expr>) -> Expr {
+    Expr::Call(id, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim::PrimOp;
+
+    fn sample() -> (Program, FnId) {
+        let mut p = Program::new();
+        let fib = p.declare("fib");
+        p.define(
+            "fib",
+            &["n"],
+            Expr::if_(
+                Expr::Prim(PrimOp::Lt, vec![Expr::var("n"), Expr::int(2)]),
+                Expr::var("n"),
+                Expr::Prim(
+                    PrimOp::Add,
+                    vec![
+                        Expr::Call(fib, vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(1)])]),
+                        Expr::Call(fib, vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(2)])]),
+                    ],
+                ),
+            ),
+        );
+        (p, fib)
+    }
+
+    #[test]
+    fn define_and_lookup() {
+        let (p, fib) = sample();
+        assert_eq!(p.lookup("fib"), Some(fib));
+        assert_eq!(p.def(fib).params.len(), 1);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn declare_is_idempotent() {
+        let mut p = Program::new();
+        let a = p.declare("f");
+        let b = p.declare("f");
+        assert_eq!(a, b);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        let (p, _) = sample();
+        assert!(p.validate().is_empty(), "{:?}", p.validate());
+    }
+
+    #[test]
+    fn validate_rejects_unbound_var() {
+        let mut p = Program::new();
+        p.define("f", &["x"], Expr::var("y"));
+        let problems = p.validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("unbound variable `y`"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let mut p = Program::new();
+        let f = p.declare("f");
+        p.define("f", &["x"], Expr::Call(f, vec![Expr::int(1), Expr::int(2)]));
+        let problems = p.validate();
+        assert!(problems.iter().any(|s| s.contains("expects 1 args, got 2")));
+    }
+
+    #[test]
+    fn let_scoping_in_validate() {
+        let mut p = Program::new();
+        p.define(
+            "f",
+            &[],
+            Expr::let_("x", Expr::int(1), Expr::var("x")),
+        );
+        assert!(p.validate().is_empty());
+        // And out-of-scope use is caught:
+        let mut q = Program::new();
+        q.define(
+            "g",
+            &[],
+            Expr::Prim(
+                PrimOp::Add,
+                vec![Expr::let_("x", Expr::int(1), Expr::var("x")), Expr::var("x")],
+            ),
+        );
+        assert!(!q.validate().is_empty());
+    }
+
+    #[test]
+    fn node_count_and_depth() {
+        let (p, fib) = sample();
+        let body = &p.def(fib).body;
+        assert!(body.node_count() >= 10);
+        assert!(body.depth() >= 4);
+    }
+
+    #[test]
+    fn call_sites_found_in_order() {
+        let (p, fib) = sample();
+        assert_eq!(p.def(fib).body.call_sites(), vec![fib, fib]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Call-tree analysis.
+//!
+//! "The evaluation of an applicative program generates an implicit call tree.
+//! The result of the root task is the answer of the program." (§1)
+//!
+//! This module reconstructs that tree from an instrumented reference
+//! evaluation and summarizes its shape. Experiment reports use these shapes
+//! to characterize workloads (wide/shallow vs. deep/narrow trees stress the
+//! recovery algorithms differently), and tests use them to validate that the
+//! distributed machine unfolds the same tree the semantics prescribe.
+
+use crate::ast::{FnId, Program};
+use crate::error::EvalError;
+use crate::eval::{eval_call_with, Budget, CallObserver};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Shape statistics of a call tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Total number of tasks (function applications), including the root.
+    pub tasks: u64,
+    /// Number of leaf tasks (applications that spawn no children).
+    pub leaves: u64,
+    /// Maximum call depth (root = depth 0).
+    pub max_depth: usize,
+    /// Maximum number of children any single task spawned.
+    pub max_fanout: usize,
+    /// Tasks per call depth, indexed by depth.
+    pub per_level: Vec<u64>,
+    /// Applications per combinator.
+    pub per_fn: HashMap<FnId, u64>,
+}
+
+impl TreeStats {
+    /// Average branching factor over interior nodes.
+    pub fn avg_fanout(&self) -> f64 {
+        let interior = self.tasks.saturating_sub(self.leaves);
+        if interior == 0 {
+            0.0
+        } else {
+            // Every non-root task is somebody's child.
+            (self.tasks - 1) as f64 / interior as f64
+        }
+    }
+}
+
+struct StatsObserver {
+    stats: TreeStats,
+    // Children spawned by each frame of the current call stack.
+    stack: Vec<usize>,
+}
+
+impl CallObserver for StatsObserver {
+    fn on_call(&mut self, f: FnId, _args: &[Value], depth: usize) {
+        self.stats.tasks += 1;
+        if let Some(parent) = self.stack.last_mut() {
+            *parent += 1;
+        }
+        self.stack.push(0);
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        if self.stats.per_level.len() <= depth {
+            self.stats.per_level.resize(depth + 1, 0);
+        }
+        self.stats.per_level[depth] += 1;
+        *self.stats.per_fn.entry(f).or_insert(0) += 1;
+    }
+
+    fn on_return(&mut self, _f: FnId, _value: &Value, _depth: usize) {
+        let children = self.stack.pop().expect("balanced call/return");
+        if children == 0 {
+            self.stats.leaves += 1;
+        }
+        self.stats.max_fanout = self.stats.max_fanout.max(children);
+    }
+}
+
+/// Evaluates `f(args)` by reference semantics and returns the value together
+/// with the call tree's shape statistics.
+pub fn analyze(
+    prog: &Program,
+    f: FnId,
+    args: &[Value],
+    budget: Budget,
+) -> Result<(Value, TreeStats), EvalError> {
+    let mut obs = StatsObserver {
+        stats: TreeStats::default(),
+        stack: Vec::new(),
+    };
+    let value = eval_call_with(prog, f, args, budget, &mut obs)?;
+    debug_assert!(obs.stack.is_empty());
+    Ok((value, obs.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+    use crate::prim::PrimOp;
+
+    fn fib_program() -> (Program, FnId) {
+        let mut p = Program::new();
+        let fib = p.declare("fib");
+        p.define(
+            "fib",
+            &["n"],
+            Expr::if_(
+                Expr::Prim(PrimOp::Lt, vec![Expr::var("n"), Expr::int(2)]),
+                Expr::var("n"),
+                Expr::Prim(
+                    PrimOp::Add,
+                    vec![
+                        Expr::Call(
+                            fib,
+                            vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(1)])],
+                        ),
+                        Expr::Call(
+                            fib,
+                            vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(2)])],
+                        ),
+                    ],
+                ),
+            ),
+        );
+        (p, fib)
+    }
+
+    #[test]
+    fn fib_tree_shape() {
+        let (p, fib) = fib_program();
+        let (v, stats) = analyze(&p, fib, &[10.into()], Budget::default()).unwrap();
+        assert_eq!(v, Value::Int(55));
+        // Number of calls for fib(n) is 2*fib(n+1)-1 = 2*89-1 = 177.
+        assert_eq!(stats.tasks, 177);
+        assert_eq!(stats.max_fanout, 2);
+        assert_eq!(stats.max_depth, 9); // fib(10)→fib(9)→…→fib(1)
+        assert_eq!(stats.per_level[0], 1);
+        assert_eq!(stats.per_level[1], 2);
+        assert_eq!(stats.per_fn[&fib], 177);
+        assert_eq!(stats.per_level.iter().sum::<u64>(), stats.tasks);
+        assert!(stats.avg_fanout() > 1.0 && stats.avg_fanout() <= 2.0);
+    }
+
+    #[test]
+    fn leaf_only_tree() {
+        let mut p = Program::new();
+        let f = p.define("f", &[], Expr::int(1));
+        let (_, stats) = analyze(&p, f, &[], Budget::default()).unwrap();
+        assert_eq!(stats.tasks, 1);
+        assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.max_depth, 0);
+        assert_eq!(stats.max_fanout, 0);
+        assert_eq!(stats.avg_fanout(), 0.0);
+    }
+
+    #[test]
+    fn linear_chain_tree() {
+        let mut p = Program::new();
+        let f = p.declare("count");
+        p.define(
+            "count",
+            &["n"],
+            Expr::if_(
+                Expr::Prim(PrimOp::Le, vec![Expr::var("n"), Expr::int(0)]),
+                Expr::int(0),
+                Expr::Call(
+                    f,
+                    vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(1)])],
+                ),
+            ),
+        );
+        let (_, stats) = analyze(&p, f, &[8.into()], Budget::default()).unwrap();
+        assert_eq!(stats.tasks, 9);
+        assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.max_depth, 8);
+        assert_eq!(stats.max_fanout, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Variable environments.
+//!
+//! An [`Env`] is a small stack of name/value bindings: function parameters
+//! first, then `let` bindings pushed and popped as evaluation walks the body.
+//! Lookup scans from the innermost binding outwards, so shadowing behaves
+//! lexically. Bodies in this language are small, so linear scan beats any
+//! map-based structure (see the "short `Vec`s" advice in the Rust
+//! Performance Book).
+
+use crate::error::EvalError;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// A lexical environment.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    bindings: Vec<(Arc<str>, Value)>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Creates an environment binding `params` to `args` positionally, as at
+    /// function application.
+    pub fn bind_params(params: &[Arc<str>], args: &[Value]) -> Env {
+        debug_assert_eq!(params.len(), args.len());
+        Env {
+            bindings: params
+                .iter()
+                .cloned()
+                .zip(args.iter().cloned())
+                .collect(),
+        }
+    }
+
+    /// Pushes a binding (innermost scope).
+    pub fn push(&mut self, name: Arc<str>, value: Value) {
+        self.bindings.push((name, value));
+    }
+
+    /// Pops the innermost binding.
+    pub fn pop(&mut self) {
+        self.bindings.pop();
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True if no bindings are live.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Looks up a variable, innermost binding first.
+    pub fn lookup(&self, name: &str) -> Result<&Value, EvalError> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| &**n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| EvalError::UnboundVar(Arc::from(name)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_params_positionally() {
+        let params: Vec<Arc<str>> = vec!["a".into(), "b".into()];
+        let env = Env::bind_params(&params, &[1.into(), 2.into()]);
+        assert_eq!(env.lookup("a").unwrap(), &Value::Int(1));
+        assert_eq!(env.lookup("b").unwrap(), &Value::Int(2));
+        assert_eq!(env.len(), 2);
+    }
+
+    #[test]
+    fn shadowing_resolves_innermost() {
+        let mut env = Env::new();
+        env.push("x".into(), 1.into());
+        env.push("x".into(), 2.into());
+        assert_eq!(env.lookup("x").unwrap(), &Value::Int(2));
+        env.pop();
+        assert_eq!(env.lookup("x").unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn unbound_is_an_error() {
+        let env = Env::new();
+        assert!(matches!(env.lookup("zzz"), Err(EvalError::UnboundVar(_))));
+        assert!(env.is_empty());
+    }
+}

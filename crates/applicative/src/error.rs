@@ -1,0 +1,130 @@
+//! Evaluation errors.
+//!
+//! The language is untyped, so type mismatches surface at run time. The
+//! workload programs shipped in [`crate::programs`] are error-free; errors
+//! exist so the evaluators are total and so tests can assert on misuse.
+
+use crate::prim::PrimOp;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An error raised during evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// Reference to a variable that is not in scope.
+    UnboundVar(Arc<str>),
+    /// A primitive applied to a value of the wrong type.
+    TypeError {
+        /// The operator involved.
+        op: PrimOp,
+        /// Expected type name.
+        expected: &'static str,
+        /// The offending value's type name.
+        got: &'static str,
+    },
+    /// A primitive applied to the wrong number of arguments.
+    PrimArity {
+        /// The operator involved.
+        op: PrimOp,
+        /// Expected argument count.
+        expected: usize,
+        /// Received argument count.
+        got: usize,
+    },
+    /// A user function applied to the wrong number of arguments.
+    CallArity {
+        /// Function name.
+        name: Arc<str>,
+        /// Expected argument count.
+        expected: usize,
+        /// Received argument count.
+        got: usize,
+    },
+    /// Integer division or modulo by zero.
+    DivByZero,
+    /// `head`/`tail` of an empty list.
+    EmptyList(PrimOp),
+    /// `nth` out of bounds.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: i64,
+        /// List length.
+        len: usize,
+    },
+    /// `range` would materialize an unreasonably large list.
+    RangeTooLong {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// An `if` condition evaluated to a non-boolean.
+    NonBoolCondition(&'static str),
+    /// The step budget was exhausted (guards against runaway programs in
+    /// tests and experiments).
+    FuelExhausted,
+    /// The recursion depth limit was exceeded.
+    DepthExceeded,
+}
+
+impl EvalError {
+    /// Helper constructing a [`EvalError::TypeError`].
+    pub fn type_error(op: PrimOp, expected: &'static str, got: &Value) -> EvalError {
+        EvalError::TypeError {
+            op,
+            expected,
+            got: got.type_name(),
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
+            EvalError::TypeError { op, expected, got } => {
+                write!(f, "`{op}` expects {expected}, got {got}")
+            }
+            EvalError::PrimArity { op, expected, got } => {
+                write!(f, "`{op}` expects {expected} args, got {got}")
+            }
+            EvalError::CallArity {
+                name,
+                expected,
+                got,
+            } => write!(f, "`{name}` expects {expected} args, got {got}"),
+            EvalError::DivByZero => write!(f, "division by zero"),
+            EvalError::EmptyList(op) => write!(f, "`{op}` of empty list"),
+            EvalError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for list of length {len}")
+            }
+            EvalError::RangeTooLong { lo, hi } => {
+                write!(f, "range {lo}..{hi} exceeds the maximum materializable length")
+            }
+            EvalError::NonBoolCondition(t) => write!(f, "if-condition must be bool, got {t}"),
+            EvalError::FuelExhausted => write!(f, "evaluation step budget exhausted"),
+            EvalError::DepthExceeded => write!(f, "recursion depth limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EvalError::UnboundVar("x".into()).to_string(),
+            "unbound variable `x`"
+        );
+        assert_eq!(EvalError::DivByZero.to_string(), "division by zero");
+        assert!(EvalError::type_error(PrimOp::Add, "int", &Value::Unit)
+            .to_string()
+            .contains("expects int, got unit"));
+        assert!(EvalError::FuelExhausted.to_string().contains("budget"));
+    }
+}

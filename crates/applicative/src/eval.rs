@@ -1,0 +1,309 @@
+//! The reference evaluator.
+//!
+//! A plain recursive interpreter that defines the language's semantics. The
+//! distributed machine (simulated or threaded) must agree with this evaluator
+//! on every program — that is the paper's determinacy property (§2.1), and it
+//! is what the repository-wide `determinacy` property tests assert.
+//!
+//! The evaluator is instrumented with an optional [`CallObserver`] so the
+//! call-tree analyser ([`crate::calltree`]) can reconstruct the implicit call
+//! tree the paper talks about without a separate code path.
+
+use crate::ast::{Expr, FnId, Program};
+use crate::env::Env;
+use crate::error::EvalError;
+use crate::value::Value;
+
+/// Resource limits for an evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum number of AST nodes visited.
+    pub fuel: u64,
+    /// Maximum user-function call depth.
+    pub max_depth: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            fuel: 200_000_000,
+            max_depth: 4_000,
+        }
+    }
+}
+
+impl Budget {
+    /// A small budget for tests that exercise the limits themselves.
+    pub fn tiny() -> Budget {
+        Budget {
+            fuel: 10_000,
+            max_depth: 64,
+        }
+    }
+}
+
+/// Observer of user-function applications during reference evaluation.
+pub trait CallObserver {
+    /// Called when `f` is applied to `args` at call depth `depth` (root
+    /// call is depth 0), before the body is evaluated.
+    fn on_call(&mut self, f: FnId, args: &[Value], depth: usize);
+    /// Called when the application completes with `value`.
+    fn on_return(&mut self, f: FnId, value: &Value, depth: usize);
+}
+
+/// A no-op observer.
+pub struct NoObserver;
+
+impl CallObserver for NoObserver {
+    fn on_call(&mut self, _: FnId, _: &[Value], _: usize) {}
+    fn on_return(&mut self, _: FnId, _: &Value, _: usize) {}
+}
+
+/// Evaluates the application of `f` to `args` under the default budget.
+pub fn eval_call(prog: &Program, f: FnId, args: &[Value]) -> Result<Value, EvalError> {
+    eval_call_with(prog, f, args, Budget::default(), &mut NoObserver)
+}
+
+/// Evaluates with an explicit budget and observer.
+pub fn eval_call_with(
+    prog: &Program,
+    f: FnId,
+    args: &[Value],
+    budget: Budget,
+    obs: &mut dyn CallObserver,
+) -> Result<Value, EvalError> {
+    let mut ev = Evaluator {
+        prog,
+        fuel: budget.fuel,
+        max_depth: budget.max_depth,
+        obs,
+    };
+    ev.call(f, args.to_vec(), 0)
+}
+
+/// Evaluates a closed expression (no free variables) under the default
+/// budget. Convenient for tests and the parser's `main` form.
+pub fn eval_expr(prog: &Program, expr: &Expr) -> Result<Value, EvalError> {
+    let mut ev = Evaluator {
+        prog,
+        fuel: Budget::default().fuel,
+        max_depth: Budget::default().max_depth,
+        obs: &mut NoObserver,
+    };
+    let mut env = Env::new();
+    ev.eval(expr, &mut env, 0)
+}
+
+struct Evaluator<'a> {
+    prog: &'a Program,
+    fuel: u64,
+    max_depth: usize,
+    obs: &'a mut dyn CallObserver,
+}
+
+impl<'a> Evaluator<'a> {
+    fn call(&mut self, f: FnId, args: Vec<Value>, depth: usize) -> Result<Value, EvalError> {
+        if depth > self.max_depth {
+            return Err(EvalError::DepthExceeded);
+        }
+        let def = self.prog.def(f);
+        if def.params.len() != args.len() {
+            return Err(EvalError::CallArity {
+                name: def.name.clone(),
+                expected: def.params.len(),
+                got: args.len(),
+            });
+        }
+        self.obs.on_call(f, &args, depth);
+        let mut env = Env::bind_params(&def.params, &args);
+        let value = self.eval(&def.body, &mut env, depth)?;
+        self.obs.on_return(f, &value, depth);
+        Ok(value)
+    }
+
+    fn eval(&mut self, e: &Expr, env: &mut Env, depth: usize) -> Result<Value, EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        match e {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Var(name) => env.lookup(name).cloned(),
+            Expr::Prim(op, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, depth)?);
+                }
+                op.apply(&vals)
+            }
+            Expr::If(c, t, els) => {
+                let cond = self.eval(c, env, depth)?;
+                match cond.truthy() {
+                    Some(true) => self.eval(t, env, depth),
+                    Some(false) => self.eval(els, env, depth),
+                    None => Err(EvalError::NonBoolCondition(cond.type_name())),
+                }
+            }
+            Expr::Call(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, depth)?);
+                }
+                self.call(*f, vals, depth + 1)
+            }
+            Expr::Let(name, bound, body) => {
+                let v = self.eval(bound, env, depth)?;
+                env.push(name.clone(), v);
+                let result = self.eval(body, env, depth);
+                env.pop();
+                result
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim::PrimOp;
+
+    fn fib_program() -> (Program, FnId) {
+        let mut p = Program::new();
+        let fib = p.declare("fib");
+        p.define(
+            "fib",
+            &["n"],
+            Expr::if_(
+                Expr::Prim(PrimOp::Lt, vec![Expr::var("n"), Expr::int(2)]),
+                Expr::var("n"),
+                Expr::Prim(
+                    PrimOp::Add,
+                    vec![
+                        Expr::Call(
+                            fib,
+                            vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(1)])],
+                        ),
+                        Expr::Call(
+                            fib,
+                            vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(2)])],
+                        ),
+                    ],
+                ),
+            ),
+        );
+        (p, fib)
+    }
+
+    #[test]
+    fn fib_values() {
+        let (p, fib) = fib_program();
+        let expected = [0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+        for (n, want) in expected.iter().enumerate() {
+            let got = eval_call(&p, fib, &[Value::Int(n as i64)]).unwrap();
+            assert_eq!(got, Value::Int(*want), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let (p, fib) = fib_program();
+        assert!(matches!(
+            eval_call(&p, fib, &[]),
+            Err(EvalError::CallArity { .. })
+        ));
+    }
+
+    #[test]
+    fn if_requires_bool() {
+        let mut p = Program::new();
+        let f = p.define(
+            "f",
+            &[],
+            Expr::if_(Expr::int(1), Expr::int(2), Expr::int(3)),
+        );
+        assert!(matches!(
+            eval_call(&p, f, &[]),
+            Err(EvalError::NonBoolCondition("int"))
+        ));
+    }
+
+    #[test]
+    fn if_branches_are_lazy() {
+        // The untaken branch would divide by zero; laziness of branches is
+        // what lets recursion terminate.
+        let mut p = Program::new();
+        let f = p.define(
+            "f",
+            &["b"],
+            Expr::if_(
+                Expr::var("b"),
+                Expr::int(1),
+                Expr::Prim(PrimOp::Div, vec![Expr::int(1), Expr::int(0)]),
+            ),
+        );
+        assert_eq!(eval_call(&p, f, &[true.into()]).unwrap(), 1.into());
+        assert!(matches!(
+            eval_call(&p, f, &[false.into()]),
+            Err(EvalError::DivByZero)
+        ));
+    }
+
+    #[test]
+    fn let_binds_and_scopes() {
+        let mut p = Program::new();
+        let f = p.define(
+            "f",
+            &["x"],
+            Expr::let_(
+                "y",
+                Expr::Prim(PrimOp::Add, vec![Expr::var("x"), Expr::int(1)]),
+                Expr::Prim(PrimOp::Mul, vec![Expr::var("y"), Expr::var("y")]),
+            ),
+        );
+        assert_eq!(eval_call(&p, f, &[3.into()]).unwrap(), 16.into());
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let (p, fib) = fib_program();
+        let r = eval_call_with(&p, fib, &[30.into()], Budget::tiny(), &mut NoObserver);
+        assert!(matches!(r, Err(EvalError::FuelExhausted)));
+    }
+
+    #[test]
+    fn depth_exhaustion() {
+        let mut p = Program::new();
+        let f = p.declare("loop");
+        p.define("loop", &["n"], Expr::Call(f, vec![Expr::var("n")]));
+        let r = eval_call_with(&p, f, &[0.into()], Budget::tiny(), &mut NoObserver);
+        assert!(matches!(r, Err(EvalError::DepthExceeded)));
+    }
+
+    #[test]
+    fn observer_sees_calls_in_applicative_order() {
+        struct Counter(Vec<(FnId, usize)>, usize);
+        impl CallObserver for Counter {
+            fn on_call(&mut self, f: FnId, _: &[Value], depth: usize) {
+                self.0.push((f, depth));
+            }
+            fn on_return(&mut self, _: FnId, _: &Value, _: usize) {
+                self.1 += 1;
+            }
+        }
+        let (p, fib) = fib_program();
+        let mut obs = Counter(Vec::new(), 0);
+        eval_call_with(&p, fib, &[4.into()], Budget::default(), &mut obs).unwrap();
+        // fib(4) makes 9 calls total (including the root).
+        assert_eq!(obs.0.len(), 9);
+        assert_eq!(obs.1, 9);
+        assert_eq!(obs.0[0], (fib, 0));
+        assert!(obs.0.iter().all(|(f, _)| *f == fib));
+    }
+
+    #[test]
+    fn eval_expr_closed() {
+        let (p, fib) = fib_program();
+        let v = eval_expr(&p, &Expr::Call(fib, vec![Expr::int(10)])).unwrap();
+        assert_eq!(v, Value::Int(55));
+    }
+}

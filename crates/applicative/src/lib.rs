@@ -1,0 +1,47 @@
+//! `splice-applicative` — the applicative-language substrate for the
+//! distributed-recovery reproduction (Lin & Keller, ICPP 1986).
+//!
+//! The paper assumes a Rediflow-style applicative system: programs are
+//! purely functional, evaluation unfolds an implicit call tree of tasks, and
+//! a task is completely described by a packet holding a function id and
+//! evaluated arguments. This crate provides that substrate:
+//!
+//! * [`ast`] — combinator programs and expressions;
+//! * [`value`] — immutable, hashable runtime values;
+//! * [`prim`] — strict local primitives;
+//! * [`eval`] — the recursive *reference* evaluator defining the semantics;
+//! * [`wave`] — the suspendable *wave* evaluator tasks run on processors,
+//!   whose demands are the paper's `DEMAND_IT` spawn points;
+//! * [`parser`] / [`pretty`] — surface syntax in and out;
+//! * [`calltree`] — call-tree shape analysis of a reference run;
+//! * [`programs`] — the workload library used across experiments.
+//!
+//! Determinacy (§2.1 of the paper) is the load-bearing property: any
+//! activation of the same task packet yields the same result. In this crate
+//! that is a theorem about [`wave`] vs [`eval`], and the repository's
+//! property tests check it end-to-end through the distributed machines.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod calltree;
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod parser;
+pub mod pretty;
+pub mod prim;
+pub mod programs;
+pub mod value;
+pub mod wave;
+
+/// Maximum list length `range` will materialize; guards experiments against
+/// accidentally huge values.
+pub const MAX_RANGE_LEN: usize = 1 << 20;
+
+pub use ast::{Expr, FnDef, FnId, Program};
+pub use error::EvalError;
+pub use eval::{eval_call, Budget};
+pub use programs::Workload;
+pub use value::Value;
+pub use wave::{Demand, TaskEval, WaveResult};

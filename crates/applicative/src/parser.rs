@@ -1,0 +1,558 @@
+//! S-expression parser for the applicative language.
+//!
+//! Surface syntax:
+//!
+//! ```text
+//! program := form*
+//! form    := (def NAME (PARAM*) EXPR)      ; combinator definition
+//!          | (main EXPR)                   ; optional entry expression
+//! EXPR    := INT | #t | #f | "string" | NAME
+//!          | (if EXPR EXPR EXPR)
+//!          | (let ((NAME EXPR)*) EXPR)
+//!          | (PRIM EXPR*)                  ; e.g. (+ a b), (head xs)
+//!          | (NAME EXPR*)                  ; user-combinator application
+//! ```
+//!
+//! Definitions may be mutually recursive; names are resolved in a first pass.
+
+use crate::ast::{Expr, Program};
+use crate::prim::PrimOp;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse failure, with a 1-based line/column of the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of parsing a source file: the program and, if a `(main …)` form was
+/// present, the entry expression.
+#[derive(Clone, Debug)]
+pub struct Parsed {
+    /// The parsed program.
+    pub program: Program,
+    /// The `(main …)` expression, if any.
+    pub main: Option<Expr>,
+}
+
+/// Parses a complete source string.
+pub fn parse(src: &str) -> Result<Parsed, ParseError> {
+    let tokens = lex(src)?;
+    let mut sexprs = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (sx, next) = parse_sexpr(&tokens, pos)?;
+        sexprs.push(sx);
+        pos = next;
+    }
+    build(sexprs)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Open,
+    Close,
+    Int(i64),
+    Bool(bool),
+    Str(String),
+    Sym(String),
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn err<T>(message: impl Into<String>, line: usize, col: usize) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+        line,
+        col,
+    })
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        let bump = |c: char, line: &mut usize, col: &mut usize| {
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        };
+        match c {
+            ';' => {
+                // Comment to end of line.
+                while let Some(&c) = chars.peek() {
+                    chars.next();
+                    bump(c, &mut line, &mut col);
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+            }
+            '(' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Open,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            ')' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Close,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            '"' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return err("unterminated string", tl, tc),
+                        Some('"') => {
+                            bump('"', &mut line, &mut col);
+                            break;
+                        }
+                        Some('\\') => {
+                            bump('\\', &mut line, &mut col);
+                            match chars.next() {
+                                Some('n') => {
+                                    s.push('\n');
+                                    bump('n', &mut line, &mut col);
+                                }
+                                Some('"') => {
+                                    s.push('"');
+                                    bump('"', &mut line, &mut col);
+                                }
+                                Some('\\') => {
+                                    s.push('\\');
+                                    bump('\\', &mut line, &mut col);
+                                }
+                                other => {
+                                    return err(
+                                        format!("bad escape {other:?}"),
+                                        line,
+                                        col,
+                                    )
+                                }
+                            }
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            bump(c, &mut line, &mut col);
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            _ => {
+                let mut sym = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' || c == ';' || c == '"' {
+                        break;
+                    }
+                    sym.push(c);
+                    chars.next();
+                    bump(c, &mut line, &mut col);
+                }
+                let tok = if sym == "#t" {
+                    Tok::Bool(true)
+                } else if sym == "#f" {
+                    Tok::Bool(false)
+                } else if let Ok(n) = sym.parse::<i64>() {
+                    Tok::Int(n)
+                } else {
+                    Tok::Sym(sym)
+                };
+                out.push(Spanned { tok, line: tl, col: tc });
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// S-expressions
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum SExpr {
+    Atom(Spanned),
+    List(Vec<SExpr>, usize, usize),
+}
+
+impl SExpr {
+    fn pos(&self) -> (usize, usize) {
+        match self {
+            SExpr::Atom(s) => (s.line, s.col),
+            SExpr::List(_, l, c) => (*l, *c),
+        }
+    }
+}
+
+fn parse_sexpr(tokens: &[Spanned], pos: usize) -> Result<(SExpr, usize), ParseError> {
+    match tokens.get(pos) {
+        None => err("unexpected end of input", 0, 0),
+        Some(t) => match &t.tok {
+            Tok::Close => err("unexpected `)`", t.line, t.col),
+            Tok::Open => {
+                let mut items = Vec::new();
+                let mut p = pos + 1;
+                loop {
+                    match tokens.get(p) {
+                        None => return err("unclosed `(`", t.line, t.col),
+                        Some(c) if c.tok == Tok::Close => {
+                            return Ok((SExpr::List(items, t.line, t.col), p + 1))
+                        }
+                        Some(_) => {
+                            let (sx, next) = parse_sexpr(tokens, p)?;
+                            items.push(sx);
+                            p = next;
+                        }
+                    }
+                }
+            }
+            _ => Ok((SExpr::Atom(t.clone()), pos + 1)),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+fn build(forms: Vec<SExpr>) -> Result<Parsed, ParseError> {
+    let mut program = Program::new();
+    // First pass: declare every definition so bodies can reference any name.
+    for form in &forms {
+        if let SExpr::List(items, l, c) = form {
+            match items.first() {
+                Some(SExpr::Atom(Spanned {
+                    tok: Tok::Sym(head),
+                    ..
+                })) if head == "def" => {
+                    let name = match items.get(1) {
+                        Some(SExpr::Atom(Spanned {
+                            tok: Tok::Sym(n), ..
+                        })) => n.clone(),
+                        _ => return err("def: expected a name", *l, *c),
+                    };
+                    if PrimOp::from_name(&name).is_some()
+                        || name == "if"
+                        || name == "let"
+                        || name == "def"
+                        || name == "main"
+                    {
+                        return err(format!("def: `{name}` is reserved"), *l, *c);
+                    }
+                    program.declare(&name);
+                }
+                _ => {}
+            }
+        }
+    }
+    // Second pass: bodies and main.
+    let mut main = None;
+    for form in forms {
+        let (l, c) = form.pos();
+        let SExpr::List(items, ..) = form else {
+            return err("top-level forms must be lists", l, c);
+        };
+        let head = match items.first() {
+            Some(SExpr::Atom(Spanned {
+                tok: Tok::Sym(h), ..
+            })) => h.clone(),
+            _ => return err("expected `def` or `main`", l, c),
+        };
+        match head.as_str() {
+            "def" => {
+                if items.len() != 4 {
+                    return err("def: expected (def name (params) body)", l, c);
+                }
+                let name = match &items[1] {
+                    SExpr::Atom(Spanned {
+                        tok: Tok::Sym(n), ..
+                    }) => n.clone(),
+                    _ => return err("def: expected a name", l, c),
+                };
+                let params = match &items[2] {
+                    SExpr::List(ps, ..) => {
+                        let mut out = Vec::new();
+                        for p in ps {
+                            match p {
+                                SExpr::Atom(Spanned {
+                                    tok: Tok::Sym(n), ..
+                                }) => out.push(n.clone()),
+                                other => {
+                                    let (l, c) = other.pos();
+                                    return err("def: parameters must be names", l, c);
+                                }
+                            }
+                        }
+                        out
+                    }
+                    _ => return err("def: expected a parameter list", l, c),
+                };
+                let body = build_expr(&items[3], &program)?;
+                let param_refs: Vec<&str> = params.iter().map(|s| s.as_str()).collect();
+                program.define(&name, &param_refs, body);
+            }
+            "main" => {
+                if items.len() != 2 {
+                    return err("main: expected (main expr)", l, c);
+                }
+                if main.is_some() {
+                    return err("duplicate main form", l, c);
+                }
+                main = Some(build_expr(&items[1], &program)?);
+            }
+            other => return err(format!("unknown top-level form `{other}`"), l, c),
+        }
+    }
+    Ok(Parsed { program, main })
+}
+
+fn build_expr(sx: &SExpr, program: &Program) -> Result<Expr, ParseError> {
+    match sx {
+        SExpr::Atom(t) => match &t.tok {
+            Tok::Int(n) => Ok(Expr::Lit(Value::Int(*n))),
+            Tok::Bool(b) => Ok(Expr::Lit(Value::Bool(*b))),
+            Tok::Str(s) => Ok(Expr::Lit(Value::Str(Arc::from(s.as_str())))),
+            Tok::Sym(s) => Ok(Expr::Var(Arc::from(s.as_str()))),
+            Tok::Open | Tok::Close => unreachable!("delimiters are structural"),
+        },
+        SExpr::List(items, l, c) => {
+            if items.is_empty() {
+                return Ok(Expr::Lit(Value::Unit));
+            }
+            let head = match &items[0] {
+                SExpr::Atom(Spanned {
+                    tok: Tok::Sym(h), ..
+                }) => h.clone(),
+                other => {
+                    let (l, c) = other.pos();
+                    return err("application head must be a symbol", l, c);
+                }
+            };
+            match head.as_str() {
+                "if" => {
+                    if items.len() != 4 {
+                        return err("if: expected (if c t e)", *l, *c);
+                    }
+                    Ok(Expr::If(
+                        Box::new(build_expr(&items[1], program)?),
+                        Box::new(build_expr(&items[2], program)?),
+                        Box::new(build_expr(&items[3], program)?),
+                    ))
+                }
+                "let" => {
+                    if items.len() != 3 {
+                        return err("let: expected (let ((n e)...) body)", *l, *c);
+                    }
+                    let SExpr::List(bindings, ..) = &items[1] else {
+                        return err("let: expected a binding list", *l, *c);
+                    };
+                    let body = build_expr(&items[2], program)?;
+                    let mut result = body;
+                    // Bindings nest left to right: later bindings see earlier
+                    // ones, so fold from the right.
+                    for b in bindings.iter().rev() {
+                        let SExpr::List(pair, bl, bc) = b else {
+                            let (l, c) = b.pos();
+                            return err("let: each binding must be (name expr)", l, c);
+                        };
+                        if pair.len() != 2 {
+                            return err("let: each binding must be (name expr)", *bl, *bc);
+                        }
+                        let name = match &pair[0] {
+                            SExpr::Atom(Spanned {
+                                tok: Tok::Sym(n), ..
+                            }) => n.clone(),
+                            other => {
+                                let (l, c) = other.pos();
+                                return err("let: binding name must be a symbol", l, c);
+                            }
+                        };
+                        let bound = build_expr(&pair[1], program)?;
+                        result = Expr::Let(Arc::from(name.as_str()), Box::new(bound), Box::new(result));
+                    }
+                    Ok(result)
+                }
+                _ => {
+                    let args: Result<Vec<Expr>, ParseError> = items[1..]
+                        .iter()
+                        .map(|i| build_expr(i, program))
+                        .collect();
+                    let args = args?;
+                    if let Some(op) = PrimOp::from_name(&head) {
+                        if let Some(want) = op.arity() {
+                            if want != args.len() {
+                                return err(
+                                    format!("`{head}` expects {want} args, got {}", args.len()),
+                                    *l,
+                                    *c,
+                                );
+                            }
+                        }
+                        Ok(Expr::Prim(op, args))
+                    } else if let Some(f) = program.lookup(&head) {
+                        Ok(Expr::Call(f, args))
+                    } else {
+                        err(format!("unknown function `{head}`"), *l, *c)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_call, eval_expr};
+
+    const FIB: &str = r#"
+        ; classic doubly recursive fibonacci
+        (def fib (n)
+          (if (< n 2) n
+              (+ (fib (- n 1)) (fib (- n 2)))))
+        (main (fib 10))
+    "#;
+
+    #[test]
+    fn parses_and_evaluates_fib() {
+        let parsed = parse(FIB).unwrap();
+        assert!(parsed.program.validate().is_empty());
+        let v = eval_expr(&parsed.program, parsed.main.as_ref().unwrap()).unwrap();
+        assert_eq!(v, Value::Int(55));
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let src = r#"
+            (def even? (n) (if (= n 0) #t (odd? (- n 1))))
+            (def odd?  (n) (if (= n 0) #f (even? (- n 1))))
+        "#;
+        let parsed = parse(src).unwrap();
+        let even = parsed.program.lookup("even?").unwrap();
+        assert_eq!(
+            eval_call(&parsed.program, even, &[10.into()]).unwrap(),
+            true.into()
+        );
+        assert_eq!(
+            eval_call(&parsed.program, even, &[7.into()]).unwrap(),
+            false.into()
+        );
+    }
+
+    #[test]
+    fn let_bindings_see_earlier_ones() {
+        let src = r#"
+            (def f (x)
+              (let ((a (+ x 1))
+                    (b (* a 2)))
+                (+ a b)))
+        "#;
+        let parsed = parse(src).unwrap();
+        let f = parsed.program.lookup("f").unwrap();
+        // a = 4, b = 8 → 12
+        assert_eq!(eval_call(&parsed.program, f, &[3.into()]).unwrap(), 12.into());
+    }
+
+    #[test]
+    fn strings_and_bools() {
+        let src = r#"(def f () (list #t #f "hi\n" ()))"#;
+        let parsed = parse(src).unwrap();
+        let f = parsed.program.lookup("f").unwrap();
+        let v = eval_call(&parsed.program, f, &[]).unwrap();
+        assert_eq!(
+            v,
+            Value::list([true.into(), false.into(), Value::str("hi\n"), Value::Unit])
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse("(def f (x) (unknown x))").unwrap_err();
+        assert!(e.message.contains("unknown function"));
+        assert_eq!(e.line, 1);
+        let e = parse("(def f (x)").unwrap_err();
+        assert!(e.message.contains("unclosed"));
+        let e = parse(")").unwrap_err();
+        assert!(e.message.contains("unexpected"));
+    }
+
+    #[test]
+    fn reserved_names_rejected() {
+        let e = parse("(def if (x) x)").unwrap_err();
+        assert!(e.message.contains("reserved"));
+        let e = parse("(def + (x) x)").unwrap_err();
+        assert!(e.message.contains("reserved"));
+    }
+
+    #[test]
+    fn prim_arity_checked_at_parse_time() {
+        let e = parse("(def f (x) (+ x))").unwrap_err();
+        assert!(e.message.contains("expects 2 args"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let parsed = parse("; nothing\n(def f () 1) ; trailing\n").unwrap();
+        assert_eq!(parsed.program.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_main_rejected() {
+        let e = parse("(main 1) (main 2)").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unterminated_string() {
+        let e = parse("(def f () \"oops)").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Pretty-printer producing parseable surface syntax.
+//!
+//! `parse(print(p))` reproduces `p` — checked by round-trip property tests.
+
+use crate::ast::{Expr, Program};
+use std::fmt::Write;
+
+/// Renders an expression in surface syntax. `prog` supplies function names
+/// for call sites.
+pub fn expr_to_string(prog: &Program, e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(prog, e, &mut s);
+    s
+}
+
+/// Renders a whole program as a sequence of `def` forms, in definition order.
+pub fn program_to_string(prog: &Program) -> String {
+    let mut s = String::new();
+    for def in prog.defs() {
+        let _ = write!(s, "(def {} (", def.name);
+        for (i, p) in def.params.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(p);
+        }
+        s.push_str(") ");
+        write_expr(prog, &def.body, &mut s);
+        s.push_str(")\n");
+    }
+    s
+}
+
+fn write_expr(prog: &Program, e: &Expr, out: &mut String) {
+    match e {
+        Expr::Lit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Var(name) => out.push_str(name),
+        Expr::Prim(op, args) => {
+            let _ = write!(out, "({op}");
+            for a in args {
+                out.push(' ');
+                write_expr(prog, a, out);
+            }
+            out.push(')');
+        }
+        Expr::If(c, t, els) => {
+            out.push_str("(if ");
+            write_expr(prog, c, out);
+            out.push(' ');
+            write_expr(prog, t, out);
+            out.push(' ');
+            write_expr(prog, els, out);
+            out.push(')');
+        }
+        Expr::Call(f, args) => {
+            let _ = write!(out, "({}", prog.def(*f).name);
+            for a in args {
+                out.push(' ');
+                write_expr(prog, a, out);
+            }
+            out.push(')');
+        }
+        Expr::Let(name, bound, body) => {
+            let _ = write!(out, "(let (({name} ");
+            write_expr(prog, bound, out);
+            out.push_str(")) ");
+            write_expr(prog, body, out);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = r#"
+        (def fib (n)
+          (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+        (def pair (a b) (list a b "x" #t ()))
+        (def scoped (x) (let ((y (+ x 1))) (* y y)))
+    "#;
+
+    #[test]
+    fn round_trip_preserves_programs() {
+        let first = parse(SRC).unwrap().program;
+        let printed = program_to_string(&first);
+        let second = parse(&printed).unwrap().program;
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.defs().iter().zip(second.defs()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.body, b.body, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn value_literals_render_parseably() {
+        let parsed = parse(r#"(def f () (list 1 -2 #t "s"))"#).unwrap();
+        let printed = program_to_string(&parsed.program);
+        assert!(printed.contains(r#"(list 1 -2 #t "s")"#));
+    }
+}

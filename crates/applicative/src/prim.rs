@@ -1,0 +1,423 @@
+//! Strict primitive operations.
+//!
+//! Primitives execute *locally inside a task* — they never spawn children and
+//! never suspend. Only user-combinator calls ([`crate::ast::Expr::Call`])
+//! create tasks. Keeping primitives strict and total (over well-typed input)
+//! preserves the paper's determinacy assumption.
+
+use crate::error::EvalError;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A primitive operator. Variant names mirror their surface syntax (see
+/// [`PrimOp::name`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum PrimOp {
+    // arithmetic
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Neg,
+    Min,
+    Max,
+    // comparison (ints and strings)
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    // boolean (strict, non-short-circuiting; use `if` to guard recursion)
+    And,
+    Or,
+    Not,
+    // lists
+    Cons,
+    Head,
+    Tail,
+    IsEmpty,
+    Len,
+    Nth,
+    Append,
+    Reverse,
+    Range,
+    Take,
+    Drop,
+    MakeList,
+    // strings
+    StrCat,
+    StrLen,
+}
+
+impl PrimOp {
+    /// The surface-syntax name of the operator (used by the parser and
+    /// pretty-printer).
+    pub fn name(self) -> &'static str {
+        use PrimOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Neg => "neg",
+            Min => "min",
+            Max => "max",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "=",
+            Ne => "!=",
+            And => "and",
+            Or => "or",
+            Not => "not",
+            Cons => "cons",
+            Head => "head",
+            Tail => "tail",
+            IsEmpty => "empty?",
+            Len => "len",
+            Nth => "nth",
+            Append => "append",
+            Reverse => "reverse",
+            Range => "range",
+            Take => "take",
+            Drop => "drop",
+            MakeList => "list",
+            StrCat => "str-cat",
+            StrLen => "str-len",
+        }
+    }
+
+    /// Parses a surface name back to an operator.
+    pub fn from_name(name: &str) -> Option<PrimOp> {
+        use PrimOp::*;
+        Some(match name {
+            "+" => Add,
+            "-" => Sub,
+            "*" => Mul,
+            "/" => Div,
+            "%" => Mod,
+            "neg" => Neg,
+            "min" => Min,
+            "max" => Max,
+            "<" => Lt,
+            "<=" => Le,
+            ">" => Gt,
+            ">=" => Ge,
+            "=" => Eq,
+            "!=" => Ne,
+            "and" => And,
+            "or" => Or,
+            "not" => Not,
+            "cons" => Cons,
+            "head" => Head,
+            "tail" => Tail,
+            "empty?" => IsEmpty,
+            "len" => Len,
+            "nth" => Nth,
+            "append" => Append,
+            "reverse" => Reverse,
+            "range" => Range,
+            "take" => Take,
+            "drop" => Drop,
+            "list" => MakeList,
+            "str-cat" => StrCat,
+            "str-len" => StrLen,
+            _ => return None,
+        })
+    }
+
+    /// The operator's arity, or `None` if variadic (`list`).
+    pub fn arity(self) -> Option<usize> {
+        use PrimOp::*;
+        Some(match self {
+            Neg | Not | Head | Tail | IsEmpty | Len | Reverse | StrLen => 1,
+            Add | Sub | Mul | Div | Mod | Min | Max | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+            | Cons | Nth | Append | Range | Take | Drop | StrCat => 2,
+            MakeList => return None,
+        })
+    }
+
+    /// Applies the operator to evaluated arguments.
+    pub fn apply(self, args: &[Value]) -> Result<Value, EvalError> {
+        use PrimOp::*;
+        if let Some(a) = self.arity() {
+            if args.len() != a {
+                return Err(EvalError::PrimArity {
+                    op: self,
+                    expected: a,
+                    got: args.len(),
+                });
+            }
+        }
+        let int = |v: &Value| -> Result<i64, EvalError> {
+            v.as_int().ok_or_else(|| EvalError::type_error(self, "int", v))
+        };
+        let boolean = |v: &Value| -> Result<bool, EvalError> {
+            v.as_bool().ok_or_else(|| EvalError::type_error(self, "bool", v))
+        };
+        fn list_of(op: PrimOp, v: &Value) -> Result<&[Value], EvalError> {
+            v.as_list().ok_or_else(|| EvalError::type_error(op, "list", v))
+        }
+        
+        Ok(match self {
+            Add => Value::Int(int(&args[0])?.wrapping_add(int(&args[1])?)),
+            Sub => Value::Int(int(&args[0])?.wrapping_sub(int(&args[1])?)),
+            Mul => Value::Int(int(&args[0])?.wrapping_mul(int(&args[1])?)),
+            Div => {
+                let d = int(&args[1])?;
+                if d == 0 {
+                    return Err(EvalError::DivByZero);
+                }
+                Value::Int(int(&args[0])?.wrapping_div(d))
+            }
+            Mod => {
+                let d = int(&args[1])?;
+                if d == 0 {
+                    return Err(EvalError::DivByZero);
+                }
+                Value::Int(int(&args[0])?.wrapping_rem(d))
+            }
+            Neg => Value::Int(int(&args[0])?.wrapping_neg()),
+            Min => Value::Int(int(&args[0])?.min(int(&args[1])?)),
+            Max => Value::Int(int(&args[0])?.max(int(&args[1])?)),
+            Lt => Value::Bool(int(&args[0])? < int(&args[1])?),
+            Le => Value::Bool(int(&args[0])? <= int(&args[1])?),
+            Gt => Value::Bool(int(&args[0])? > int(&args[1])?),
+            Ge => Value::Bool(int(&args[0])? >= int(&args[1])?),
+            Eq => Value::Bool(args[0] == args[1]),
+            Ne => Value::Bool(args[0] != args[1]),
+            And => Value::Bool(boolean(&args[0])? && boolean(&args[1])?),
+            Or => Value::Bool(boolean(&args[0])? || boolean(&args[1])?),
+            Not => Value::Bool(!boolean(&args[0])?),
+            Cons => {
+                let tail = list_of(self, &args[1])?;
+                let mut out = Vec::with_capacity(tail.len() + 1);
+                out.push(args[0].clone());
+                out.extend_from_slice(tail);
+                Value::List(out.into())
+            }
+            Head => {
+                let xs = list_of(self, &args[0])?;
+                xs.first().cloned().ok_or(EvalError::EmptyList(self))?
+            }
+            Tail => {
+                let xs = list_of(self, &args[0])?;
+                if xs.is_empty() {
+                    return Err(EvalError::EmptyList(self));
+                }
+                Value::List(xs[1..].to_vec().into())
+            }
+            IsEmpty => Value::Bool(list_of(self, &args[0])?.is_empty()),
+            Len => Value::Int(list_of(self, &args[0])?.len() as i64),
+            Nth => {
+                let xs = list_of(self, &args[0])?;
+                let i = int(&args[1])?;
+                if i < 0 || i as usize >= xs.len() {
+                    return Err(EvalError::IndexOutOfBounds {
+                        index: i,
+                        len: xs.len(),
+                    });
+                }
+                xs[i as usize].clone()
+            }
+            Append => {
+                let a = list_of(self, &args[0])?;
+                let b = list_of(self, &args[1])?;
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                out.extend_from_slice(a);
+                out.extend_from_slice(b);
+                Value::List(out.into())
+            }
+            Reverse => {
+                let xs = list_of(self, &args[0])?;
+                Value::List(xs.iter().rev().cloned().collect::<Vec<_>>().into())
+            }
+            Range => {
+                let lo = int(&args[0])?;
+                let hi = int(&args[1])?;
+                if hi < lo {
+                    Value::List(Vec::new().into())
+                } else if (hi - lo) as usize > crate::MAX_RANGE_LEN {
+                    return Err(EvalError::RangeTooLong { lo, hi });
+                } else {
+                    Value::List((lo..hi).map(Value::Int).collect::<Vec<_>>().into())
+                }
+            }
+            Take => {
+                let xs = list_of(self, &args[0])?;
+                let n = int(&args[1])?.max(0) as usize;
+                Value::List(xs[..n.min(xs.len())].to_vec().into())
+            }
+            Drop => {
+                let xs = list_of(self, &args[0])?;
+                let n = int(&args[1])?.max(0) as usize;
+                Value::List(xs[n.min(xs.len())..].to_vec().into())
+            }
+            MakeList => Value::List(args.to_vec().into()),
+            StrCat => {
+                let a = args[0]
+                    .as_str()
+                    .ok_or_else(|| EvalError::type_error(self, "str", &args[0]))?;
+                let b = args[1]
+                    .as_str()
+                    .ok_or_else(|| EvalError::type_error(self, "str", &args[1]))?;
+                Value::Str(Arc::from(format!("{a}{b}").as_str()))
+            }
+            StrLen => {
+                let s = args[0]
+                    .as_str()
+                    .ok_or_else(|| EvalError::type_error(self, "str", &args[0]))?;
+                Value::Int(s.len() as i64)
+            }
+        })
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(op: PrimOp, args: &[Value]) -> Value {
+        op.apply(args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ok(PrimOp::Add, &[3.into(), 4.into()]), 7.into());
+        assert_eq!(ok(PrimOp::Sub, &[3.into(), 4.into()]), Value::Int(-1));
+        assert_eq!(ok(PrimOp::Mul, &[3.into(), 4.into()]), 12.into());
+        assert_eq!(ok(PrimOp::Div, &[9.into(), 2.into()]), 4.into());
+        assert_eq!(ok(PrimOp::Mod, &[9.into(), 2.into()]), 1.into());
+        assert_eq!(ok(PrimOp::Neg, &[9.into()]), Value::Int(-9));
+        assert_eq!(ok(PrimOp::Min, &[9.into(), 2.into()]), 2.into());
+        assert_eq!(ok(PrimOp::Max, &[9.into(), 2.into()]), 9.into());
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert!(matches!(
+            PrimOp::Div.apply(&[1.into(), 0.into()]),
+            Err(EvalError::DivByZero)
+        ));
+        assert!(matches!(
+            PrimOp::Mod.apply(&[1.into(), 0.into()]),
+            Err(EvalError::DivByZero)
+        ));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ok(PrimOp::Lt, &[1.into(), 2.into()]), true.into());
+        assert_eq!(ok(PrimOp::Ge, &[2.into(), 2.into()]), true.into());
+        assert_eq!(
+            ok(PrimOp::Eq, &[Value::ints([1]), Value::ints([1])]),
+            true.into()
+        );
+        assert_eq!(ok(PrimOp::Ne, &[Value::Unit, Value::Int(0)]), true.into());
+    }
+
+    #[test]
+    fn booleans_are_strict_but_total() {
+        assert_eq!(ok(PrimOp::And, &[true.into(), false.into()]), false.into());
+        assert_eq!(ok(PrimOp::Or, &[true.into(), false.into()]), true.into());
+        assert_eq!(ok(PrimOp::Not, &[false.into()]), true.into());
+        assert!(PrimOp::And.apply(&[Value::Int(1), true.into()]).is_err());
+    }
+
+    #[test]
+    fn list_ops() {
+        let xs = Value::ints([1, 2, 3]);
+        assert_eq!(ok(PrimOp::Head, &[xs.clone()]), 1.into());
+        assert_eq!(ok(PrimOp::Tail, &[xs.clone()]), Value::ints([2, 3]));
+        assert_eq!(ok(PrimOp::Len, &[xs.clone()]), 3.into());
+        assert_eq!(ok(PrimOp::IsEmpty, &[Value::ints([])]), true.into());
+        assert_eq!(ok(PrimOp::Nth, &[xs.clone(), 2.into()]), 3.into());
+        assert_eq!(
+            ok(PrimOp::Cons, &[0.into(), xs.clone()]),
+            Value::ints([0, 1, 2, 3])
+        );
+        assert_eq!(
+            ok(PrimOp::Append, &[Value::ints([1]), Value::ints([2])]),
+            Value::ints([1, 2])
+        );
+        assert_eq!(ok(PrimOp::Reverse, &[xs.clone()]), Value::ints([3, 2, 1]));
+        assert_eq!(ok(PrimOp::Range, &[0.into(), 3.into()]), Value::ints([0, 1, 2]));
+        assert_eq!(ok(PrimOp::Range, &[3.into(), 0.into()]), Value::ints([]));
+        assert_eq!(ok(PrimOp::Take, &[xs.clone(), 2.into()]), Value::ints([1, 2]));
+        assert_eq!(ok(PrimOp::Drop, &[xs.clone(), 2.into()]), Value::ints([3]));
+        assert_eq!(
+            ok(PrimOp::MakeList, &[1.into(), true.into()]),
+            Value::list([1.into(), true.into()])
+        );
+    }
+
+    #[test]
+    fn list_errors() {
+        assert!(matches!(
+            PrimOp::Head.apply(&[Value::ints([])]),
+            Err(EvalError::EmptyList(_))
+        ));
+        assert!(matches!(
+            PrimOp::Nth.apply(&[Value::ints([1]), 5.into()]),
+            Err(EvalError::IndexOutOfBounds { .. })
+        ));
+        assert!(PrimOp::Head.apply(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn string_ops() {
+        assert_eq!(
+            ok(PrimOp::StrCat, &[Value::str("ab"), Value::str("cd")]),
+            Value::str("abcd")
+        );
+        assert_eq!(ok(PrimOp::StrLen, &[Value::str("abc")]), 3.into());
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(matches!(
+            PrimOp::Add.apply(&[1.into()]),
+            Err(EvalError::PrimArity { .. })
+        ));
+    }
+
+    #[test]
+    fn name_round_trip() {
+        use PrimOp::*;
+        for op in [
+            Add, Sub, Mul, Div, Mod, Neg, Min, Max, Lt, Le, Gt, Ge, Eq, Ne, And, Or, Not, Cons,
+            Head, Tail, IsEmpty, Len, Nth, Append, Reverse, Range, Take, Drop, MakeList, StrCat,
+            StrLen,
+        ] {
+            assert_eq!(PrimOp::from_name(op.name()), Some(op), "{op:?}");
+        }
+        assert_eq!(PrimOp::from_name("no-such-op"), None);
+    }
+
+    #[test]
+    fn range_guard() {
+        let r = PrimOp::Range.apply(&[0.into(), Value::Int(100_000_000)]);
+        assert!(matches!(r, Err(EvalError::RangeTooLong { .. })));
+    }
+
+    #[test]
+    fn wrapping_semantics_do_not_panic() {
+        assert_eq!(
+            ok(PrimOp::Add, &[i64::MAX.into(), 1.into()]),
+            Value::Int(i64::MIN)
+        );
+        assert_eq!(ok(PrimOp::Neg, &[i64::MIN.into()]), Value::Int(i64::MIN));
+    }
+}

@@ -1,0 +1,399 @@
+//! Workload library: the functional programs used by examples, tests and the
+//! experiment harness.
+//!
+//! Each workload is a [`Program`] plus an entry application. The suite is
+//! chosen to cover the call-tree shapes that stress the recovery algorithms
+//! differently:
+//!
+//! | workload   | tree shape                                        |
+//! |------------|---------------------------------------------------|
+//! | fib        | binary, exponentially wide, shallow bodies        |
+//! | binomial   | binary, Pascal-triangle overlap (no sharing here) |
+//! | dcsum      | perfectly balanced binary tree                    |
+//! | mapreduce  | balanced splitter with tunable leaf work          |
+//! | tak        | ternary with nested (two-wave) recursion          |
+//! | ackermann  | deep nested recursion, long dependency chains     |
+//! | quicksort  | data-dependent, multi-wave, linear filter chains  |
+//! | nqueens    | irregular fanout, calls inside `if` conditions    |
+//! | poly       | binary tree + power-by-squaring chains            |
+//! | mergesort  | balanced split with linear merge chains           |
+//! | matvec     | wide row fanout with dot-product chains           |
+//!
+//! All programs are written in surface syntax and parsed, which keeps the
+//! parser honest and the sources readable.
+
+mod sources;
+
+use crate::ast::{FnId, Program};
+use crate::calltree::{analyze, TreeStats};
+use crate::error::EvalError;
+use crate::eval::{eval_call_with, Budget, NoObserver};
+use crate::parser::parse;
+use crate::value::Value;
+
+/// A named program plus entry application — everything needed to run an
+/// experiment.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Workload name, e.g. `fib(17)`.
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// Entry combinator.
+    pub entry: FnId,
+    /// Entry arguments.
+    pub args: Vec<Value>,
+}
+
+impl Workload {
+    fn build(name: String, src: &str, entry: &str, args: Vec<Value>) -> Workload {
+        let parsed = parse(src).unwrap_or_else(|e| panic!("workload `{name}`: {e}"));
+        let problems = parsed.program.validate();
+        assert!(problems.is_empty(), "workload `{name}`: {problems:?}");
+        let entry = parsed
+            .program
+            .lookup(entry)
+            .unwrap_or_else(|| panic!("workload `{name}`: no entry `{entry}`"));
+        Workload {
+            name,
+            program: parsed.program,
+            entry,
+            args,
+        }
+    }
+
+    /// Evaluates the workload by reference semantics.
+    pub fn reference_result(&self) -> Result<Value, EvalError> {
+        eval_call_with(
+            &self.program,
+            self.entry,
+            &self.args,
+            Budget::default(),
+            &mut NoObserver,
+        )
+    }
+
+    /// Reference result plus call-tree shape.
+    pub fn analyze(&self) -> Result<(Value, TreeStats), EvalError> {
+        analyze(&self.program, self.entry, &self.args, Budget::default())
+    }
+
+    /// Doubly recursive Fibonacci.
+    pub fn fib(n: i64) -> Workload {
+        Workload::build(format!("fib({n})"), sources::FIB, "fib", vec![n.into()])
+    }
+
+    /// Binomial coefficient by Pascal's rule.
+    pub fn binomial(n: i64, k: i64) -> Workload {
+        Workload::build(
+            format!("binomial({n},{k})"),
+            sources::BINOMIAL,
+            "choose",
+            vec![n.into(), k.into()],
+        )
+    }
+
+    /// Divide-and-conquer sum of `lo..hi`: a perfectly balanced binary tree
+    /// with `hi-lo` leaves.
+    pub fn dcsum(lo: i64, hi: i64) -> Workload {
+        Workload::build(
+            format!("dcsum({lo},{hi})"),
+            sources::DCSUM,
+            "dsum",
+            vec![lo.into(), hi.into()],
+        )
+    }
+
+    /// Map `fib(work)` over `lo..hi` and sum: balanced splitter with tunable
+    /// leaf cost. This is the "aggregate of processors" workload the paper's
+    /// introduction motivates.
+    pub fn mapreduce(lo: i64, hi: i64, work: i64) -> Workload {
+        Workload::build(
+            format!("mapreduce({lo},{hi},w={work})"),
+            sources::MAPREDUCE,
+            "mapred",
+            vec![lo.into(), hi.into(), work.into()],
+        )
+    }
+
+    /// The Takeuchi function.
+    pub fn tak(x: i64, y: i64, z: i64) -> Workload {
+        Workload::build(
+            format!("tak({x},{y},{z})"),
+            sources::TAK,
+            "tak",
+            vec![x.into(), y.into(), z.into()],
+        )
+    }
+
+    /// Ackermann's function (keep `m <= 2` for sane sizes).
+    pub fn ackermann(m: i64, n: i64) -> Workload {
+        Workload::build(
+            format!("ackermann({m},{n})"),
+            sources::ACKERMANN,
+            "ack",
+            vec![m.into(), n.into()],
+        )
+    }
+
+    /// Quicksort of a deterministically seeded pseudo-random integer list.
+    pub fn quicksort(len: usize, seed: u64) -> Workload {
+        let xs = lcg_list(len, seed);
+        Workload::build(
+            format!("quicksort(n={len},seed={seed})"),
+            sources::QUICKSORT,
+            "qsort",
+            vec![Value::ints(xs)],
+        )
+    }
+
+    /// Number of n-queens solutions.
+    pub fn nqueens(n: i64) -> Workload {
+        Workload::build(
+            format!("nqueens({n})"),
+            sources::NQUEENS,
+            "nqueens",
+            vec![n.into()],
+        )
+    }
+
+    /// Polynomial evaluation by divide and conquer (Estrin-style split) over
+    /// a seeded coefficient list.
+    pub fn poly(degree: usize, x: i64, seed: u64) -> Workload {
+        let coeffs: Vec<i64> = lcg_list(degree + 1, seed)
+            .into_iter()
+            .map(|c| c % 7)
+            .collect();
+        Workload::build(
+            format!("poly(deg={degree},x={x},seed={seed})"),
+            sources::POLY,
+            "poly",
+            vec![Value::ints(coeffs), x.into()],
+        )
+    }
+
+    /// Bottom-up mergesort of a seeded list (balanced split + merge chains).
+    pub fn mergesort(len: usize, seed: u64) -> Workload {
+        let xs = lcg_list(len, seed);
+        Workload::build(
+            format!("mergesort(n={len},seed={seed})"),
+            sources::MERGESORT,
+            "msort",
+            vec![Value::ints(xs)],
+        )
+    }
+
+    /// Dense n×n matrix–vector product over seeded values.
+    pub fn matvec(n: usize, seed: u64) -> Workload {
+        let m: Vec<Value> = (0..n)
+            .map(|i| Value::ints(lcg_list(n, seed.wrapping_add(i as u64)).into_iter().map(|x| x % 10)))
+            .collect();
+        let v = Value::ints(lcg_list(n, seed ^ 0xABCD).into_iter().map(|x| x % 10));
+        Workload::build(
+            format!("matvec(n={n},seed={seed})"),
+            sources::MATVEC,
+            "matvec",
+            vec![Value::list(m), v],
+        )
+    }
+
+    /// A small suite covering every tree shape, sized for unit tests
+    /// (hundreds to a few thousand tasks each).
+    pub fn suite_small() -> Vec<Workload> {
+        vec![
+            Workload::fib(12),
+            Workload::binomial(10, 4),
+            Workload::dcsum(0, 64),
+            Workload::mapreduce(0, 16, 6),
+            Workload::tak(8, 4, 2),
+            Workload::ackermann(2, 3),
+            Workload::quicksort(24, 42),
+            Workload::nqueens(5),
+            Workload::poly(15, 3, 7),
+            Workload::mergesort(16, 11),
+            Workload::matvec(6, 3),
+        ]
+    }
+
+    /// A medium suite for experiments (thousands to tens of thousands of
+    /// tasks each).
+    pub fn suite_medium() -> Vec<Workload> {
+        vec![
+            Workload::fib(17),
+            Workload::dcsum(0, 1024),
+            Workload::mapreduce(0, 64, 10),
+            Workload::quicksort(96, 42),
+            Workload::nqueens(6),
+        ]
+    }
+}
+
+/// Deterministic pseudo-random list (64-bit LCG, values in 0..1000).
+fn lcg_list(len: usize, seed: u64) -> Vec<i64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as i64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_reference_values() {
+        assert_eq!(Workload::fib(10).reference_result().unwrap(), Value::Int(55));
+        assert_eq!(Workload::fib(1).reference_result().unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn binomial_reference_values() {
+        assert_eq!(
+            Workload::binomial(10, 4).reference_result().unwrap(),
+            Value::Int(210)
+        );
+        assert_eq!(
+            Workload::binomial(6, 0).reference_result().unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn dcsum_is_gauss_sum() {
+        assert_eq!(
+            Workload::dcsum(0, 100).reference_result().unwrap(),
+            Value::Int(4950)
+        );
+        assert_eq!(
+            Workload::dcsum(5, 6).reference_result().unwrap(),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn mapreduce_sums_fibs() {
+        // sum of fib(6) over 8 leaves = 8*8 = 64
+        assert_eq!(
+            Workload::mapreduce(0, 8, 6).reference_result().unwrap(),
+            Value::Int(64)
+        );
+    }
+
+    #[test]
+    fn tak_reference_value() {
+        assert_eq!(
+            Workload::tak(8, 4, 2).reference_result().unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn ackermann_reference_values() {
+        assert_eq!(
+            Workload::ackermann(2, 3).reference_result().unwrap(),
+            Value::Int(9)
+        );
+        assert_eq!(
+            Workload::ackermann(1, 5).reference_result().unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn quicksort_sorts() {
+        let w = Workload::quicksort(24, 42);
+        let v = w.reference_result().unwrap();
+        let xs = v.as_list().unwrap();
+        let ints: Vec<i64> = xs.iter().map(|x| x.as_int().unwrap()).collect();
+        let mut sorted = lcg_list(24, 42);
+        sorted.sort();
+        assert_eq!(ints, sorted);
+    }
+
+    #[test]
+    fn nqueens_reference_values() {
+        for (n, want) in [(4, 2), (5, 10), (6, 4)] {
+            assert_eq!(
+                Workload::nqueens(n).reference_result().unwrap(),
+                Value::Int(want),
+                "nqueens({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn poly_matches_horner() {
+        let w = Workload::poly(15, 3, 7);
+        let coeffs: Vec<i64> = lcg_list(16, 7).into_iter().map(|c| c % 7).collect();
+        let x = 3i64;
+        let mut want = 0i64;
+        for c in coeffs.iter().rev() {
+            want = want.wrapping_mul(x).wrapping_add(*c);
+        }
+        assert_eq!(w.reference_result().unwrap(), Value::Int(want));
+    }
+
+    #[test]
+    fn mergesort_sorts() {
+        let w = Workload::mergesort(20, 5);
+        let v = w.reference_result().unwrap();
+        let got: Vec<i64> = v.as_list().unwrap().iter().map(|x| x.as_int().unwrap()).collect();
+        let mut want = lcg_list(20, 5);
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mergesort_agrees_with_quicksort() {
+        let a = Workload::mergesort(24, 9).reference_result().unwrap();
+        let b = Workload::quicksort(24, 9).reference_result().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matvec_matches_direct_computation() {
+        let n = 5;
+        let seed = 3u64;
+        let w = Workload::matvec(n, seed);
+        let m: Vec<Vec<i64>> = (0..n)
+            .map(|i| lcg_list(n, seed.wrapping_add(i as u64)).into_iter().map(|x| x % 10).collect())
+            .collect();
+        let v: Vec<i64> = lcg_list(n, seed ^ 0xABCD).into_iter().map(|x| x % 10).collect();
+        let want: Vec<i64> = m
+            .iter()
+            .map(|row| row.iter().zip(&v).map(|(a, b)| a * b).sum())
+            .collect();
+        assert_eq!(w.reference_result().unwrap(), Value::ints(want));
+    }
+
+    #[test]
+    fn whole_small_suite_evaluates() {
+        for w in Workload::suite_small() {
+            let (v, stats) = w.analyze().unwrap();
+            assert!(stats.tasks >= 10, "{}: {} tasks", w.name, stats.tasks);
+            assert_eq!(w.reference_result().unwrap(), v, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn tree_shapes_differ_across_suite() {
+        let shapes: Vec<TreeStats> = Workload::suite_small()
+            .iter()
+            .map(|w| w.analyze().unwrap().1)
+            .collect();
+        let fanouts: Vec<usize> = shapes.iter().map(|s| s.max_fanout).collect();
+        assert!(fanouts.iter().any(|&f| f >= 3), "{fanouts:?}");
+        assert!(fanouts.iter().any(|&f| f == 2), "{fanouts:?}");
+    }
+
+    #[test]
+    fn lcg_is_deterministic() {
+        assert_eq!(lcg_list(5, 1), lcg_list(5, 1));
+        assert_ne!(lcg_list(5, 1), lcg_list(5, 2));
+    }
+}

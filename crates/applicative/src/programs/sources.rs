@@ -1,0 +1,149 @@
+//! Surface-syntax sources of the workload programs.
+
+/// Doubly recursive Fibonacci.
+pub const FIB: &str = r#"
+(def fib (n)
+  (if (< n 2) n
+      (+ (fib (- n 1)) (fib (- n 2)))))
+"#;
+
+/// Binomial coefficient by Pascal's rule (requires 0 <= k <= n).
+pub const BINOMIAL: &str = r#"
+(def choose (n k)
+  (if (or (= k 0) (= k n)) 1
+      (+ (choose (- n 1) (- k 1)) (choose (- n 1) k))))
+"#;
+
+/// Divide-and-conquer sum of the half-open range lo..hi.
+pub const DCSUM: &str = r#"
+(def dsum (lo hi)
+  (if (>= lo hi) 0
+      (if (= (- hi lo) 1) lo
+          (let ((mid (/ (+ lo hi) 2)))
+            (+ (dsum lo mid) (dsum mid hi))))))
+"#;
+
+/// Map fib(w) over lo..hi and sum the results.
+pub const MAPREDUCE: &str = r#"
+(def fib (n)
+  (if (< n 2) n
+      (+ (fib (- n 1)) (fib (- n 2)))))
+
+(def mapred (lo hi w)
+  (if (>= lo hi) 0
+      (if (= (- hi lo) 1) (fib w)
+          (let ((mid (/ (+ lo hi) 2)))
+            (+ (mapred lo mid w) (mapred mid hi w))))))
+"#;
+
+/// The Takeuchi function (returns z at the base case).
+pub const TAK: &str = r#"
+(def tak (x y z)
+  (if (< y x)
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))
+      z))
+"#;
+
+/// Ackermann's function.
+pub const ACKERMANN: &str = r#"
+(def ack (m n)
+  (if (= m 0) (+ n 1)
+      (if (= n 0) (ack (- m 1) 1)
+          (ack (- m 1) (ack m (- n 1))))))
+"#;
+
+/// Quicksort with user-level partition functions, so filtering itself
+/// unfolds into (linear) task chains.
+pub const QUICKSORT: &str = r#"
+(def filter-le (p xs)
+  (if (empty? xs) xs
+      (if (<= (head xs) p)
+          (cons (head xs) (filter-le p (tail xs)))
+          (filter-le p (tail xs)))))
+
+(def filter-gt (p xs)
+  (if (empty? xs) xs
+      (if (> (head xs) p)
+          (cons (head xs) (filter-gt p (tail xs)))
+          (filter-gt p (tail xs)))))
+
+(def qsort (xs)
+  (if (<= (len xs) 1) xs
+      (let ((p (head xs))
+            (rest (tail xs)))
+        (append (qsort (filter-le p rest))
+                (cons p (qsort (filter-gt p rest)))))))
+"#;
+
+/// Count n-queens solutions. `placed` holds the columns of already placed
+/// queens, nearest row first.
+pub const NQUEENS: &str = r#"
+(def safe (col d placed)
+  (if (empty? placed) #t
+      (if (= (head placed) col) #f
+          (if (= (head placed) (+ col d)) #f
+              (if (= (head placed) (- col d)) #f
+                  (safe col (+ d 1) (tail placed)))))))
+
+(def nq-place (n col placed)
+  (if (= (+ (len placed) 1) n) 1
+      (nq-try n 0 (cons col placed))))
+
+(def nq-try (n col placed)
+  (if (>= col n) 0
+      (+ (if (safe col 1 placed) (nq-place n col placed) 0)
+         (nq-try n (+ col 1) placed))))
+
+(def nqueens (n)
+  (if (= n 0) 1 (nq-try n 0 (list))))
+"#;
+
+/// Polynomial evaluation: poly(cs, x) = sum of cs[i] * x^i, split in halves,
+/// with power-by-squaring as a second recursion shape.
+pub const POLY: &str = r#"
+(def pow (x n)
+  (if (= n 0) 1
+      (if (= (% n 2) 0)
+          (let ((h (pow x (/ n 2)))) (* h h))
+          (* x (pow x (- n 1))))))
+
+(def poly (cs x)
+  (if (empty? cs) 0
+      (if (= (len cs) 1) (head cs)
+          (let ((h (/ (len cs) 2)))
+            (+ (poly (take cs h) x)
+               (* (pow x h) (poly (drop cs h) x)))))))
+"#;
+
+/// Bottom-up mergesort: a different sort shape from quicksort — the merge
+/// recursion is data-independent, giving a balanced tree with linear merge
+/// chains at every level.
+pub const MERGESORT: &str = r#"
+(def merge (xs ys)
+  (if (empty? xs) ys
+      (if (empty? ys) xs
+          (if (<= (head xs) (head ys))
+              (cons (head xs) (merge (tail xs) ys))
+              (cons (head ys) (merge xs (tail ys)))))))
+
+(def msort (xs)
+  (if (<= (len xs) 1) xs
+      (let ((h (/ (len xs) 2)))
+        (merge (msort (take xs h)) (msort (drop xs h))))))
+"#;
+
+/// Dense matrix–vector product over nested lists: row tasks fan out wide
+/// (one per row) and each row reduces with a dot-product chain.
+pub const MATVEC: &str = r#"
+(def dot (row v)
+  (if (empty? row) 0
+      (+ (* (head row) (head v)) (dot (tail row) (tail v)))))
+
+(def rows (m v)
+  (if (empty? m) (list)
+      (cons (dot (head m) v) (rows (tail m) v))))
+
+(def matvec (m v) (rows m v))
+"#;

@@ -1,0 +1,194 @@
+//! Runtime values of the applicative language.
+//!
+//! Values are immutable and cheaply clonable (lists are `Arc`-shared), which
+//! mirrors the paper's model: task packets and result packets carry values
+//! between processors, and referential transparency means a value can be
+//! copied freely without any notion of identity.
+//!
+//! There are deliberately no floats: values must implement `Eq + Hash` so
+//! that `(function, arguments)` can key the within-task call cache (see
+//! [`crate::wave`]).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable value of the applicative language.
+///
+/// The `Ord` implementation is structural (variant order, then payload); it
+/// exists so protocol components can break ties deterministically (e.g.
+/// plurality fallback in replica voting), not as a language-level ordering.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The unit value, written `()`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// An immutable string (used by word-count style workloads).
+    Str(Arc<str>),
+    /// An immutable list. Lists are heterogeneous; tuples are encoded as
+    /// short lists.
+    List(Arc<[Value]>),
+}
+
+impl Value {
+    /// Convenience constructor for a list value.
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::List(items.into_iter().collect::<Vec<_>>().into())
+    }
+
+    /// Convenience constructor for an integer list.
+    pub fn ints<I: IntoIterator<Item = i64>>(items: I) -> Value {
+        Value::list(items.into_iter().map(Value::Int))
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Structural size of the value: number of scalar leaves, counting list
+    /// spines. Used by the simulator's cost model to charge for message
+    /// payloads and checkpoint storage.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::List(xs) => 1 + xs.iter().map(Value::size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Truthiness for `if`: only booleans are conditions; anything else is a
+    /// type error handled by the evaluator, so this is a checked conversion.
+    pub fn truthy(&self) -> Option<bool> {
+        self.as_bool()
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(true) => write!(f, "#t"),
+            Value::Bool(false) => write!(f, "#f"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(xs) => {
+                write!(f, "(list")?;
+                for x in xs.iter() {
+                    write!(f, " {x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Bool(true).to_string(), "#t");
+        assert_eq!(Value::Bool(false).to_string(), "#f");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::ints([1, 2]).to_string(), "(list 1 2)");
+    }
+
+    #[test]
+    fn nested_list_display() {
+        let v = Value::list([Value::ints([1]), Value::Unit]);
+        assert_eq!(v.to_string(), "(list (list 1) ())");
+    }
+
+    #[test]
+    fn size_counts_leaves_and_spines() {
+        assert_eq!(Value::Int(3).size(), 1);
+        assert_eq!(Value::ints([1, 2, 3]).size(), 4);
+        let nested = Value::list([Value::ints([1, 2]), Value::Int(9)]);
+        assert_eq!(nested.size(), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(4).as_bool(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert!(Value::ints([1]).as_list().is_some());
+        assert_eq!(Value::Unit.type_name(), "unit");
+    }
+
+    #[test]
+    fn eq_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::ints([1, 2]));
+        assert!(set.contains(&Value::ints([1, 2])));
+        assert!(!set.contains(&Value::ints([2, 1])));
+    }
+}

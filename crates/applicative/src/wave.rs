@@ -1,0 +1,562 @@
+//! The wave evaluator: demand-driven, suspendable task evaluation.
+//!
+//! A *task* is the application of one combinator to evaluated argument values
+//! — exactly the paper's task packet. A task evaluates its body in **waves**:
+//!
+//! 1. Walk the body, computing everything local (literals, variables,
+//!    primitives, satisfied `if`s and `let`s).
+//! 2. Every user-function call whose arguments are fully evaluated but whose
+//!    result is unknown becomes a **demand** — the `DEMAND_IT` of the paper's
+//!    §4.2 protocol. All demands of a wave are discovered in a single
+//!    deterministic left-to-right walk, which is what lets sibling subtrees
+//!    be spawned and evaluated in parallel.
+//! 3. The task suspends until *all* of the wave's demands have results, then
+//!    re-walks. (The wave barrier makes demand discovery order — and hence
+//!    the level stamps assigned to children — independent of the order in
+//!    which results arrive. Splice recovery's result salvaging relies on
+//!    this: a regenerated twin assigns the same stamps to the same children
+//!    as its dead original.)
+//!
+//! Demands are memoised per task by `(function, arguments)`: the same call
+//! appearing twice in one body spawns one child. Referential transparency
+//! (§2.1) makes this sound.
+//!
+//! Divergence caveat: within a single wave the walker evaluates *all* strict
+//! subexpressions, so an expression that errors locally (e.g. `1/0`) aborts
+//! the task even if the reference evaluator would have diverged in an
+//! earlier sibling first. For terminating, error-free programs — all shipped
+//! workloads — wave and reference semantics agree, and the `determinacy`
+//! property tests assert it.
+
+use crate::ast::{Expr, FnId, Program};
+use crate::env::Env;
+use crate::error::EvalError;
+use crate::value::Value;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// A child-task demand: a combinator applied to fully evaluated arguments.
+/// This is the payload of a task packet.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Demand {
+    /// The demanded combinator.
+    pub fun: FnId,
+    /// Its evaluated arguments.
+    pub args: Vec<Value>,
+}
+
+impl Demand {
+    /// Creates a demand.
+    pub fn new(fun: FnId, args: Vec<Value>) -> Demand {
+        Demand { fun, args }
+    }
+}
+
+/// Result of evaluating one wave.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaveResult {
+    /// The task finished with this value.
+    Done(Value),
+    /// The task is blocked; `new_demands` are the child tasks discovered by
+    /// this wave (deduplicated, in deterministic discovery order). It may be
+    /// empty if the task is blocked solely on previously issued demands.
+    Blocked {
+        /// Newly discovered demands, in walk order.
+        new_demands: Vec<Demand>,
+    },
+}
+
+/// One task's suspendable evaluation state: the task packet plus the call
+/// cache accumulated so far.
+#[derive(Clone, Debug)]
+pub struct TaskEval {
+    fun: FnId,
+    args: Vec<Value>,
+    cache: HashMap<Demand, Option<Value>>,
+    outstanding: usize,
+    waves: u32,
+    work: u64,
+}
+
+impl TaskEval {
+    /// Creates the evaluation state for applying `fun` to `args`.
+    pub fn new(fun: FnId, args: Vec<Value>) -> TaskEval {
+        TaskEval {
+            fun,
+            args,
+            cache: HashMap::new(),
+            outstanding: 0,
+            waves: 0,
+            work: 0,
+        }
+    }
+
+    /// The task's combinator.
+    pub fn fun(&self) -> FnId {
+        self.fun
+    }
+
+    /// The task's arguments.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// Number of demands issued but not yet supplied.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// True when every issued demand has a result, i.e. the next wave can
+    /// run. (Also true before the first wave.)
+    pub fn ready(&self) -> bool {
+        self.outstanding == 0
+    }
+
+    /// Number of waves run so far.
+    pub fn waves(&self) -> u32 {
+        self.waves
+    }
+
+    /// Total AST nodes visited across all waves — the task's abstract work,
+    /// used by the simulator's cost model.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Runs one wave. New demands are recorded as outstanding; the caller
+    /// must eventually [`TaskEval::supply`] each one.
+    ///
+    /// Calling `step` while demands are outstanding is allowed (it is how a
+    /// twin task consults salvaged results), but the shipped drivers enforce
+    /// the wave barrier and only step when [`TaskEval::ready`].
+    pub fn step(&mut self, prog: &Program) -> Result<WaveResult, EvalError> {
+        let def = prog.def(self.fun);
+        if def.params.len() != self.args.len() {
+            return Err(EvalError::CallArity {
+                name: def.name.clone(),
+                expected: def.params.len(),
+                got: self.args.len(),
+            });
+        }
+        self.waves += 1;
+        let mut env = Env::bind_params(&def.params, &self.args);
+        let mut walker = Walker {
+            prog,
+            cache: &self.cache,
+            new_demands: Vec::new(),
+            seen: HashSet::new(),
+            visited: 0,
+        };
+        let out = walker.walk(&def.body, &mut env)?;
+        let visited = walker.visited;
+        let new_demands = walker.new_demands;
+        self.work += visited;
+        match out {
+            Walked::Val(v) => {
+                debug_assert!(
+                    new_demands.is_empty(),
+                    "a completed walk cannot discover demands"
+                );
+                Ok(WaveResult::Done(v))
+            }
+            Walked::Blocked => {
+                for d in &new_demands {
+                    self.cache.insert(d.clone(), None);
+                    self.outstanding += 1;
+                }
+                Ok(WaveResult::Blocked { new_demands })
+            }
+        }
+    }
+
+    /// Supplies the result of a previously issued demand. Returns `true` if
+    /// the demand was outstanding and is now satisfied; `false` if the demand
+    /// was unknown or already satisfied (duplicate results are ignored, per
+    /// the paper's case-6/7 analysis: "the second copy is simply ignored").
+    pub fn supply(&mut self, demand: &Demand, value: Value) -> bool {
+        match self.cache.get_mut(demand) {
+            Some(slot @ None) => {
+                *slot = Some(value);
+                self.outstanding -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Pre-loads a result *before* the demand is discovered, so the next wave
+    /// finds it already satisfied and never spawns the child. This is how
+    /// splice recovery injects salvaged orphan results (paper §4.1 cases 4–5:
+    /// "P' will not spawn C' because the answer is already there").
+    ///
+    /// Returns `true` if the entry was new.
+    pub fn preload(&mut self, demand: Demand, value: Value) -> bool {
+        match self.cache.entry(demand) {
+            Entry::Occupied(mut o) => {
+                if o.get().is_none() {
+                    // The demand was already issued: treat as a normal supply.
+                    o.insert(Some(value));
+                    self.outstanding -= 1;
+                }
+                false
+            }
+            Entry::Vacant(v) => {
+                v.insert(Some(value));
+                true
+            }
+        }
+    }
+
+    /// Looks up a cached result.
+    pub fn cached(&self, demand: &Demand) -> Option<&Value> {
+        self.cache.get(demand).and_then(|s| s.as_ref())
+    }
+
+    /// Number of cache entries (issued + preloaded).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+enum Walked {
+    Val(Value),
+    Blocked,
+}
+
+struct Walker<'a> {
+    prog: &'a Program,
+    cache: &'a HashMap<Demand, Option<Value>>,
+    new_demands: Vec<Demand>,
+    seen: HashSet<Demand>,
+    visited: u64,
+}
+
+impl<'a> Walker<'a> {
+    fn walk(&mut self, e: &Expr, env: &mut Env) -> Result<Walked, EvalError> {
+        self.visited += 1;
+        match e {
+            Expr::Lit(v) => Ok(Walked::Val(v.clone())),
+            Expr::Var(name) => Ok(Walked::Val(env.lookup(name)?.clone())),
+            Expr::Prim(op, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                let mut blocked = false;
+                for a in args {
+                    // Keep walking blocked siblings: all of a wave's demands
+                    // are discovered together so siblings run in parallel.
+                    match self.walk(a, env)? {
+                        Walked::Val(v) => vals.push(v),
+                        Walked::Blocked => blocked = true,
+                    }
+                }
+                if blocked {
+                    return Ok(Walked::Blocked);
+                }
+                Ok(Walked::Val(op.apply(&vals)?))
+            }
+            Expr::If(c, t, els) => match self.walk(c, env)? {
+                // A blocked condition blocks the whole `if`: branches are
+                // never walked speculatively, so recursion stays guarded.
+                Walked::Blocked => Ok(Walked::Blocked),
+                Walked::Val(cond) => match cond.truthy() {
+                    Some(true) => self.walk(t, env),
+                    Some(false) => self.walk(els, env),
+                    None => Err(EvalError::NonBoolCondition(cond.type_name())),
+                },
+            },
+            Expr::Call(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                let mut blocked = false;
+                for a in args {
+                    match self.walk(a, env)? {
+                        Walked::Val(v) => vals.push(v),
+                        Walked::Blocked => blocked = true,
+                    }
+                }
+                if blocked {
+                    return Ok(Walked::Blocked);
+                }
+                let def = self.prog.def(*f);
+                if def.params.len() != vals.len() {
+                    return Err(EvalError::CallArity {
+                        name: def.name.clone(),
+                        expected: def.params.len(),
+                        got: vals.len(),
+                    });
+                }
+                let demand = Demand::new(*f, vals);
+                match self.cache.get(&demand) {
+                    Some(Some(v)) => Ok(Walked::Val(v.clone())),
+                    Some(None) => Ok(Walked::Blocked),
+                    None => {
+                        if self.seen.insert(demand.clone()) {
+                            self.new_demands.push(demand);
+                        }
+                        Ok(Walked::Blocked)
+                    }
+                }
+            }
+            Expr::Let(name, bound, body) => match self.walk(bound, env)? {
+                // `let` is strict in the binding; the body waits for it.
+                Walked::Blocked => Ok(Walked::Blocked),
+                Walked::Val(v) => {
+                    env.push(name.clone(), v);
+                    let r = self.walk(body, env);
+                    env.pop();
+                    r
+                }
+            },
+        }
+    }
+}
+
+/// Runs a task to completion on a single processor by recursively satisfying
+/// its demands depth-first. This is the smallest possible driver of the wave
+/// evaluator and serves as the bridge between the reference semantics and
+/// the distributed machines: `run_local` must agree with
+/// [`crate::eval::eval_call`] on every terminating, error-free program.
+pub fn run_local(prog: &Program, fun: FnId, args: &[Value]) -> Result<Value, EvalError> {
+    run_local_depth(prog, fun, args, 0)
+}
+
+fn run_local_depth(
+    prog: &Program,
+    fun: FnId,
+    args: &[Value],
+    depth: usize,
+) -> Result<Value, EvalError> {
+    if depth > 100_000 {
+        return Err(EvalError::DepthExceeded);
+    }
+    let mut task = TaskEval::new(fun, args.to_vec());
+    loop {
+        match task.step(prog)? {
+            WaveResult::Done(v) => return Ok(v),
+            WaveResult::Blocked { new_demands } => {
+                if new_demands.is_empty() && task.ready() {
+                    // Blocked with nothing outstanding and nothing new: the
+                    // program is stuck, which cannot happen for well-formed
+                    // programs.
+                    unreachable!("wave evaluator deadlock");
+                }
+                for d in new_demands {
+                    let v = run_local_depth(prog, d.fun, &d.args, depth + 1)?;
+                    task.supply(&d, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_call;
+    use crate::prim::PrimOp;
+
+    fn fib_program() -> (Program, FnId) {
+        let mut p = Program::new();
+        let fib = p.declare("fib");
+        p.define(
+            "fib",
+            &["n"],
+            Expr::if_(
+                Expr::Prim(PrimOp::Lt, vec![Expr::var("n"), Expr::int(2)]),
+                Expr::var("n"),
+                Expr::Prim(
+                    PrimOp::Add,
+                    vec![
+                        Expr::Call(
+                            fib,
+                            vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(1)])],
+                        ),
+                        Expr::Call(
+                            fib,
+                            vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(2)])],
+                        ),
+                    ],
+                ),
+            ),
+        );
+        (p, fib)
+    }
+
+    #[test]
+    fn leaf_task_completes_in_one_wave() {
+        let (p, fib) = fib_program();
+        let mut t = TaskEval::new(fib, vec![1.into()]);
+        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(1))));
+        assert_eq!(t.waves(), 1);
+        assert!(t.work() > 0);
+    }
+
+    #[test]
+    fn interior_task_demands_both_children_in_one_wave() {
+        let (p, fib) = fib_program();
+        let mut t = TaskEval::new(fib, vec![5.into()]);
+        let r = t.step(&p).unwrap();
+        match r {
+            WaveResult::Blocked { new_demands } => {
+                assert_eq!(
+                    new_demands,
+                    vec![
+                        Demand::new(fib, vec![4.into()]),
+                        Demand::new(fib, vec![3.into()])
+                    ]
+                );
+            }
+            other => panic!("expected blocked, got {other:?}"),
+        }
+        assert_eq!(t.outstanding(), 2);
+        assert!(!t.ready());
+    }
+
+    #[test]
+    fn supply_then_finish() {
+        let (p, fib) = fib_program();
+        let mut t = TaskEval::new(fib, vec![5.into()]);
+        t.step(&p).unwrap();
+        assert!(t.supply(&Demand::new(fib, vec![4.into()]), 3.into()));
+        assert!(t.supply(&Demand::new(fib, vec![3.into()]), 2.into()));
+        assert!(t.ready());
+        match t.step(&p).unwrap() {
+            WaveResult::Done(v) => assert_eq!(v, Value::Int(5)),
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_supply_is_ignored() {
+        let (p, fib) = fib_program();
+        let mut t = TaskEval::new(fib, vec![5.into()]);
+        t.step(&p).unwrap();
+        let d = Demand::new(fib, vec![4.into()]);
+        assert!(t.supply(&d, 3.into()));
+        assert!(!t.supply(&d, 999.into()), "second copy must be ignored");
+        assert!(!t.supply(&Demand::new(fib, vec![77.into()]), 1.into()));
+        // First value wins.
+        assert_eq!(t.cached(&d), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn preload_prevents_spawn() {
+        // Salvage path: preload fib(4) before the first wave; the task then
+        // only ever demands fib(3).
+        let (p, fib) = fib_program();
+        let mut t = TaskEval::new(fib, vec![5.into()]);
+        assert!(t.preload(Demand::new(fib, vec![4.into()]), 3.into()));
+        match t.step(&p).unwrap() {
+            WaveResult::Blocked { new_demands } => {
+                assert_eq!(new_demands, vec![Demand::new(fib, vec![3.into()])]);
+            }
+            other => panic!("expected blocked, got {other:?}"),
+        }
+        assert!(t.supply(&Demand::new(fib, vec![3.into()]), 2.into()));
+        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(5))));
+    }
+
+    #[test]
+    fn preload_of_outstanding_demand_acts_as_supply() {
+        let (p, fib) = fib_program();
+        let mut t = TaskEval::new(fib, vec![5.into()]);
+        t.step(&p).unwrap();
+        assert_eq!(t.outstanding(), 2);
+        assert!(!t.preload(Demand::new(fib, vec![4.into()]), 3.into()));
+        assert_eq!(t.outstanding(), 1);
+    }
+
+    #[test]
+    fn duplicate_calls_in_one_body_share_a_demand() {
+        let mut p = Program::new();
+        let g = p.define("g", &["x"], Expr::var("x"));
+        let f = p.define(
+            "f",
+            &["x"],
+            Expr::Prim(
+                PrimOp::Add,
+                vec![
+                    Expr::Call(g, vec![Expr::var("x")]),
+                    Expr::Call(g, vec![Expr::var("x")]),
+                ],
+            ),
+        );
+        let mut t = TaskEval::new(f, vec![21.into()]);
+        match t.step(&p).unwrap() {
+            WaveResult::Blocked { new_demands } => assert_eq!(new_demands.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        t.supply(&Demand::new(g, vec![21.into()]), 21.into());
+        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(42))));
+    }
+
+    #[test]
+    fn run_local_matches_reference_on_fib() {
+        let (p, fib) = fib_program();
+        for n in 0..15 {
+            let reference = eval_call(&p, fib, &[Value::Int(n)]).unwrap();
+            let wave = run_local(&p, fib, &[Value::Int(n)]).unwrap();
+            assert_eq!(reference, wave, "fib({n})");
+        }
+    }
+
+    #[test]
+    fn nested_calls_take_two_waves() {
+        // f(x) = g(g(x)): the outer g can only be demanded after the inner
+        // returns.
+        let mut p = Program::new();
+        let g = p.define(
+            "g",
+            &["x"],
+            Expr::Prim(PrimOp::Add, vec![Expr::var("x"), Expr::int(1)]),
+        );
+        let f = p.define(
+            "f",
+            &["x"],
+            Expr::Call(g, vec![Expr::Call(g, vec![Expr::var("x")])]),
+        );
+        let mut t = TaskEval::new(f, vec![0.into()]);
+        match t.step(&p).unwrap() {
+            WaveResult::Blocked { new_demands } => {
+                assert_eq!(new_demands, vec![Demand::new(g, vec![0.into()])]);
+            }
+            other => panic!("{other:?}"),
+        }
+        t.supply(&Demand::new(g, vec![0.into()]), 1.into());
+        match t.step(&p).unwrap() {
+            WaveResult::Blocked { new_demands } => {
+                assert_eq!(new_demands, vec![Demand::new(g, vec![1.into()])]);
+            }
+            other => panic!("{other:?}"),
+        }
+        t.supply(&Demand::new(g, vec![1.into()]), 2.into());
+        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(2))));
+        assert_eq!(t.waves(), 3);
+    }
+
+    #[test]
+    fn blocked_condition_does_not_speculate() {
+        // h(n) = if g(n) then diverge(n) else 0 — the diverging branch must
+        // not be demanded while the condition is blocked.
+        let mut p = Program::new();
+        let g = p.define("g", &["x"], Expr::bool(false));
+        let dv = p.declare("diverge");
+        p.define("diverge", &["x"], Expr::Call(dv, vec![Expr::var("x")]));
+        let h = p.define(
+            "h",
+            &["n"],
+            Expr::if_(
+                Expr::Call(g, vec![Expr::var("n")]),
+                Expr::Call(dv, vec![Expr::var("n")]),
+                Expr::int(0),
+            ),
+        );
+        let mut t = TaskEval::new(h, vec![1.into()]);
+        match t.step(&p).unwrap() {
+            WaveResult::Blocked { new_demands } => {
+                assert_eq!(new_demands, vec![Demand::new(g, vec![1.into()])]);
+            }
+            other => panic!("{other:?}"),
+        }
+        t.supply(&Demand::new(g, vec![1.into()]), false.into());
+        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(0))));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the language substrate.
+//!
+//! The central law is determinacy (paper §2.1): the wave evaluator — however
+//! its demands are satisfied — agrees with the reference evaluator. Here the
+//! demands are satisfied by the depth-first local driver; the distributed
+//! machines re-check the same law end-to-end in the workspace-level tests.
+
+use proptest::prelude::*;
+use splice_applicative::eval::eval_call;
+use splice_applicative::parser::parse;
+use splice_applicative::pretty::program_to_string;
+use splice_applicative::wave::run_local;
+use splice_applicative::{Value, Workload};
+
+fn agree(w: &Workload) {
+    let reference = eval_call(&w.program, w.entry, &w.args).unwrap();
+    let wave = run_local(&w.program, w.entry, &w.args).unwrap();
+    assert_eq!(reference, wave, "{}", w.name);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wave_matches_reference_fib(n in 0i64..15) {
+        agree(&Workload::fib(n));
+    }
+
+    #[test]
+    fn wave_matches_reference_binomial(n in 0i64..11, k in 0i64..11) {
+        let k = k.min(n);
+        agree(&Workload::binomial(n, k));
+    }
+
+    #[test]
+    fn wave_matches_reference_dcsum(lo in -20i64..20, len in 0i64..80) {
+        agree(&Workload::dcsum(lo, lo + len));
+    }
+
+    #[test]
+    fn wave_matches_reference_quicksort(len in 0usize..28, seed in any::<u64>()) {
+        agree(&Workload::quicksort(len, seed));
+    }
+
+    #[test]
+    fn wave_matches_reference_tak(x in 0i64..9, y in 0i64..5, z in 0i64..4) {
+        agree(&Workload::tak(x, y, z));
+    }
+
+    #[test]
+    fn wave_matches_reference_poly(deg in 0usize..18, x in -4i64..5, seed in any::<u64>()) {
+        agree(&Workload::poly(deg, x, seed));
+    }
+
+    #[test]
+    fn quicksort_really_sorts(len in 0usize..28, seed in any::<u64>()) {
+        let w = Workload::quicksort(len, seed);
+        let v = w.reference_result().unwrap();
+        let xs: Vec<i64> = v.as_list().unwrap().iter().map(|x| x.as_int().unwrap()).collect();
+        let mut sorted = xs.clone();
+        sorted.sort();
+        prop_assert_eq!(xs, sorted);
+    }
+
+    #[test]
+    fn dcsum_closed_form(lo in -50i64..50, len in 0i64..100) {
+        let hi = lo + len;
+        let v = Workload::dcsum(lo, hi).reference_result().unwrap();
+        let want: i64 = (lo..hi).sum();
+        prop_assert_eq!(v, Value::Int(want));
+    }
+
+    #[test]
+    fn pretty_parse_round_trip_suite(idx in 0usize..9) {
+        let w = &Workload::suite_small()[idx];
+        let printed = program_to_string(&w.program);
+        let reparsed = parse(&printed).unwrap().program;
+        prop_assert_eq!(w.program.len(), reparsed.len());
+        for (a, b) in w.program.defs().iter().zip(reparsed.defs()) {
+            prop_assert_eq!(&a.body, &b.body, "{}", a.name);
+        }
+        // The reparsed program still computes the same answer.
+        let entry = reparsed.lookup(&w.program.def(w.entry).name).unwrap();
+        let v1 = eval_call(&w.program, w.entry, &w.args).unwrap();
+        let v2 = eval_call(&reparsed, entry, &w.args).unwrap();
+        prop_assert_eq!(v1, v2);
+    }
+}
+
+#[test]
+fn mapreduce_and_nqueens_agree() {
+    // Heavier cases kept out of proptest for runtime reasons.
+    agree(&Workload::mapreduce(0, 16, 6));
+    agree(&Workload::nqueens(5));
+    agree(&Workload::ackermann(2, 3));
+}

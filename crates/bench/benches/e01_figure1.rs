@@ -1,0 +1,40 @@
+//! E1 — the Figure-1 scenario end to end: build the tree on processors
+//! A–D, crash B at the snapshot instant, recover.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_bench::criterion as tuned;
+use splice_core::config::{CheckpointFilter, RecoveryMode};
+use splice_sim::figure1;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e01_figure1");
+    g.bench_function("rollback_topmost", |b| {
+        b.iter(|| {
+            let out = figure1::run(RecoveryMode::Rollback, CheckpointFilter::Topmost);
+            assert!(out.correct());
+            out.report.finish
+        })
+    });
+    g.bench_function("rollback_all", |b| {
+        b.iter(|| {
+            let out = figure1::run(RecoveryMode::Rollback, CheckpointFilter::All);
+            assert!(out.correct());
+            out.report.finish
+        })
+    });
+    g.bench_function("splice", |b| {
+        b.iter(|| {
+            let out = figure1::run(RecoveryMode::Splice, CheckpointFilter::Topmost);
+            assert!(out.correct());
+            out.report.finish
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E2 — level-stamp operations (§3.1): child stamping, ancestry
+//! comparison, and topmost (minimal antichain) selection, the primitives
+//! every recovery decision rests on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use splice_bench::criterion as tuned;
+use splice_core::stamp::LevelStamp;
+
+/// A deterministic bag of stamps shaped like a real call tree fragment.
+fn stamp_bag(n: usize) -> Vec<LevelStamp> {
+    let mut out = Vec::with_capacity(n);
+    let mut frontier = vec![LevelStamp::root().child(1)];
+    let mut digit = 1u32;
+    while out.len() < n {
+        let parent = frontier[out.len() % frontier.len()].clone();
+        digit = digit % 3 + 1;
+        let child = parent.child(digit);
+        frontier.push(child.clone());
+        out.push(child);
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e02_stamps");
+    let bag = stamp_bag(512);
+
+    g.bench_function("child_stamping", |b| {
+        let parent = LevelStamp::from_digits(&[1, 2, 3, 4, 5, 6]);
+        let mut d = 0u32;
+        b.iter(|| {
+            d = d % 64 + 1;
+            parent.child(d)
+        })
+    });
+
+    g.bench_function("ancestry_compare_512", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for a in &bag {
+                for b_ in bag.iter().take(16) {
+                    if b_.is_ancestor_of(a) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+
+    g.bench_function("topmost_512", |b| {
+        b.iter_batched(
+            || bag.clone(),
+            |bag| LevelStamp::topmost(bag),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

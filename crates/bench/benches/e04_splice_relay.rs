@@ -1,0 +1,40 @@
+//! E4 — grandparent relay and twin inheritance (Figures 2–3): a mid-run
+//! crash under splice recovery, timed end to end, with the salvage path
+//! exercised on every iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{assert_correct, config, crash_at_fraction, criterion as tuned, fault_free};
+use splice_core::config::RecoveryMode;
+use splice_sim::machine::run_workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e04_splice_relay");
+    let w = Workload::fib(13);
+    let base = fault_free(6, RecoveryMode::Splice, &w);
+    let plan = crash_at_fraction(&base, 4, 0.5);
+
+    g.bench_function("crash_mid_run_splice", |b| {
+        b.iter(|| {
+            let r = run_workload(config(6, RecoveryMode::Splice), &w, &plan);
+            assert_correct(&w, &r);
+            assert!(r.stats.salvaged_results > 0, "salvage path must fire");
+            r.finish
+        })
+    });
+    g.bench_function("same_crash_rollback", |b| {
+        b.iter(|| {
+            let r = run_workload(config(6, RecoveryMode::Rollback), &w, &plan);
+            assert_correct(&w, &r);
+            r.finish
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E5 — Figure 5's ordering mix: a crash-instant sweep point under splice,
+//! classifying how salvage landed (before vs after the twin's demand).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{assert_correct, config, crash_at_fraction, criterion as tuned, fault_free};
+use splice_core::config::RecoveryMode;
+use splice_sim::machine::run_workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05_cases");
+    let w = Workload::fib(13);
+    let base = fault_free(8, RecoveryMode::Splice, &w);
+    for frac in [0.25f64, 0.5, 0.75] {
+        let plan = crash_at_fraction(&base, 5, frac);
+        g.bench_function(format!("crash_at_{}pct", (frac * 100.0) as u32), |b| {
+            b.iter(|| {
+                let r = run_workload(config(8, RecoveryMode::Splice), &w, &plan);
+                assert_correct(&w, &r);
+                (r.stats.salvage_before_spawn, r.stats.salvage_after_spawn)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E6 — residue-freedom (Figures 6–7): crash at awkward instants around
+//! the spawn state machine, timed per recovery mode; every iteration
+//! re-checks the answer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{assert_correct, config, criterion as tuned, fault_free};
+use splice_core::config::RecoveryMode;
+use splice_sim::machine::run_workload;
+use splice_simnet::fault::FaultPlan;
+use splice_simnet::time::VirtualTime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e06_residue");
+    let w = Workload::dcsum(0, 64);
+    for mode in [RecoveryMode::Rollback, RecoveryMode::Splice] {
+        let base = fault_free(6, mode, &w);
+        // A very early crash stresses states a–c (packet in flight, unacked).
+        let early = FaultPlan::crash_at(4, VirtualTime(base.finish.ticks() / 50 + 1));
+        // A late crash stresses states e–g (results in flight).
+        let late = FaultPlan::crash_at(4, VirtualTime(base.finish.ticks() * 9 / 10));
+        g.bench_function(format!("{mode:?}_early_crash"), |b| {
+            b.iter(|| {
+                let r = run_workload(config(6, mode), &w, &early);
+                assert_correct(&w, &r);
+                r.finish
+            })
+        });
+        g.bench_function(format!("{mode:?}_late_crash"), |b| {
+            b.iter(|| {
+                let r = run_workload(config(6, mode), &w, &late);
+                assert_correct(&w, &r);
+                r.finish
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E7 — recovery cost vs fault instant ("if a fault happens at a later
+//! stage of the evaluation, the rollback recovery may be costly"): the
+//! fault-fraction sweep, one bench point per (fraction, algorithm).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{assert_correct, config, crash_at_fraction, criterion as tuned, fault_free};
+use splice_core::config::RecoveryMode;
+use splice_sim::machine::run_workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07_fault_timing");
+    let w = Workload::fib(14);
+    let base = fault_free(8, RecoveryMode::Splice, &w);
+    for frac in [0.2f64, 0.5, 0.8] {
+        let plan = crash_at_fraction(&base, 7, frac);
+        for mode in [RecoveryMode::Rollback, RecoveryMode::Splice] {
+            g.bench_function(format!("{mode:?}_at_{}pct", (frac * 100.0) as u32), |b| {
+                b.iter(|| {
+                    let r = run_workload(config(8, mode), &w, &plan);
+                    assert_correct(&w, &r);
+                    r.finish
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

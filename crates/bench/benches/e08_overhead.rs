@@ -1,0 +1,36 @@
+//! E8 — fault-free overhead of functional checkpointing (§2): identical
+//! workload with no fault tolerance, rollback checkpointing, and splice
+//! checkpointing; the deltas are the protocol's normal-operation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{assert_correct, config, criterion as tuned};
+use splice_core::config::RecoveryMode;
+use splice_sim::machine::run_workload;
+use splice_simnet::fault::FaultPlan;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e08_overhead");
+    let w = Workload::dcsum(0, 128);
+    for (name, mode) in [
+        ("none", RecoveryMode::None),
+        ("rollback", RecoveryMode::Rollback),
+        ("splice", RecoveryMode::Splice),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_workload(config(8, mode), &w, &FaultPlan::none());
+                assert_correct(&w, &r);
+                (r.finish, r.ckpt_stored)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

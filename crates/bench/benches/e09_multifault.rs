@@ -1,0 +1,51 @@
+//! E9 — multiple faults (§5.2): independent-branch double faults, and the
+//! parent+grandparent simultaneous death with ancestor chains of depth 2
+//! (stranding) vs 3 (rescue).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{assert_correct, config, criterion as tuned, fault_free};
+use splice_core::config::RecoveryMode;
+use splice_sim::machine::run_workload;
+use splice_simnet::fault::{FaultKind, FaultPlan};
+use splice_simnet::time::VirtualTime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e09_multifault");
+    let w = Workload::mapreduce(0, 32, 8);
+    let base = fault_free(12, RecoveryMode::Splice, &w);
+    let t = base.finish.ticks();
+    let double = FaultPlan::crash_at(2, VirtualTime(t / 3)).and(
+        9,
+        VirtualTime(t / 3),
+        FaultKind::Crash,
+    );
+    for mode in [RecoveryMode::Rollback, RecoveryMode::Splice] {
+        g.bench_function(format!("{mode:?}_two_branches"), |b| {
+            b.iter(|| {
+                let r = run_workload(config(12, mode), &w, &double);
+                assert_correct(&w, &r);
+                r.finish
+            })
+        });
+    }
+    for depth in [2usize, 3] {
+        g.bench_function(format!("chain_depth_{depth}_double_fault"), |b| {
+            b.iter(|| {
+                let mut cfg = config(12, RecoveryMode::Splice);
+                cfg.recovery.ancestor_depth = depth;
+                let r = run_workload(cfg, &w, &double);
+                assert_correct(&w, &r);
+                r.stats.stranded_orphans
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E10 — replicated task packets with majority voting (§5.3), with one
+//! corrupting processor in the machine. `n=1` runs unprotected (and
+//! wrong); replicated groups mask the corruption; wait-all pays the
+//! synchronous-redundancy latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{config, criterion as tuned};
+use splice_core::config::{RecoveryMode, ReplicaSpec, VoteMode};
+use splice_gradient::Policy;
+use splice_sim::machine::run_workload;
+use splice_simnet::fault::{FaultEvent, FaultKind, FaultPlan};
+use splice_simnet::time::VirtualTime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_replication");
+    let w = Workload::mapreduce(0, 16, 8);
+    let mapred = w.program.lookup("mapred").unwrap();
+    let expected = w.reference_result().unwrap();
+    let corrupt = FaultPlan {
+        events: vec![FaultEvent {
+            at: VirtualTime(0),
+            victim: 0,
+            kind: FaultKind::Corrupt,
+        }],
+    };
+    for (name, n, vote) in [
+        ("n1_unprotected", 1u32, VoteMode::Majority),
+        ("n3_majority", 3, VoteMode::Majority),
+        ("n3_wait_all", 3, VoteMode::WaitAll),
+        ("n5_majority", 5, VoteMode::Majority),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = config(8, RecoveryMode::Splice);
+                cfg.policy = Policy::RoundRobin;
+                cfg.recovery.replicate.insert(mapred, ReplicaSpec { n, vote });
+                let r = run_workload(cfg, &w, &corrupt);
+                assert!(r.completed);
+                let correct = r.result == Some(expected.clone());
+                // Voting masks the corruption; n=1 must NOT (that is the
+                // point of the experiment).
+                assert_eq!(correct, n > 1, "{name}");
+                r.finish
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

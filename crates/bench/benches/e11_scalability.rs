@@ -1,0 +1,33 @@
+//! E11 — scaling over processor counts with checkpointing on and off (the
+//! Rediflow context of reference [9]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{assert_correct, config, criterion as tuned};
+use splice_core::config::RecoveryMode;
+use splice_sim::machine::run_workload;
+use splice_simnet::fault::FaultPlan;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_scalability");
+    let w = Workload::mapreduce(0, 32, 8);
+    for n in [2u32, 4, 8, 16] {
+        for (label, mode) in [("none", RecoveryMode::None), ("splice", RecoveryMode::Splice)] {
+            g.bench_function(format!("p{n}_{label}"), |b| {
+                b.iter(|| {
+                    let r = run_workload(config(n, mode), &w, &FaultPlan::none());
+                    assert_correct(&w, &r);
+                    r.finish
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E12 — dynamic allocation policies (§3.3): the gradient model against
+//! random, round-robin and least-loaded placement on a torus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{assert_correct, config, criterion as tuned};
+use splice_core::config::RecoveryMode;
+use splice_gradient::Policy;
+use splice_sim::machine::run_workload;
+use splice_simnet::fault::FaultPlan;
+use splice_simnet::topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_policies");
+    let w = Workload::mapreduce(0, 32, 8);
+    for policy in Policy::ALL {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let mut cfg = config(16, RecoveryMode::Splice);
+                cfg.topology = Topology::Mesh {
+                    w: 4,
+                    h: 4,
+                    wrap: true,
+                };
+                cfg.policy = policy;
+                let r = run_workload(cfg, &w, &FaultPlan::none());
+                assert_correct(&w, &r);
+                (r.finish, r.work_imbalance() as u64)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

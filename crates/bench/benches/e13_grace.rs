@@ -1,0 +1,34 @@
+//! E13 — the splice grace-period extension: eager twin creation vs
+//! deferred, on a mid-run crash.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::Workload;
+use splice_bench::{assert_correct, config, crash_at_fraction, criterion as tuned, fault_free};
+use splice_core::config::RecoveryMode;
+use splice_sim::machine::run_workload;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_grace");
+    let w = Workload::mapreduce(0, 32, 8);
+    let base = fault_free(8, RecoveryMode::Splice, &w);
+    let plan = crash_at_fraction(&base, 6, 0.5);
+    for grace in [0u64, 2_000, 10_000] {
+        g.bench_function(format!("grace_{grace}"), |b| {
+            b.iter(|| {
+                let mut cfg = config(8, RecoveryMode::Splice);
+                cfg.recovery.splice_grace = grace;
+                let r = run_workload(cfg, &w, &plan);
+                assert_correct(&w, &r);
+                (r.finish, r.stats.salvage_before_spawn)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

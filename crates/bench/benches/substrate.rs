@@ -1,0 +1,62 @@
+//! Substrate micro-benches: the evaluators and the DES kernel — the
+//! foundations every experiment's wall-clock rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_applicative::eval::eval_call;
+use splice_applicative::wave::run_local;
+use splice_applicative::Workload;
+use splice_bench::criterion as tuned;
+use splice_simnet::queue::EventQueue;
+use splice_simnet::time::VirtualTime;
+use splice_simnet::topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+
+    let w = Workload::fib(15);
+    g.bench_function("reference_eval_fib15", |b| {
+        b.iter(|| eval_call(&w.program, w.entry, &w.args).unwrap())
+    });
+    g.bench_function("wave_eval_local_fib15", |b| {
+        b.iter(|| run_local(&w.program, w.entry, &w.args).unwrap())
+    });
+
+    g.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(VirtualTime(i * 7919 % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            sum
+        })
+    });
+
+    let torus = Topology::Mesh {
+        w: 8,
+        h: 8,
+        wrap: true,
+    };
+    g.bench_function("torus_distance_64x64", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0..64 {
+                for bb in 0..64 {
+                    acc += torus.distance(a, bb);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Shared helpers for the experiment benches.
+//!
+//! One bench target exists per experiment of DESIGN.md §4 (E1–E12): the
+//! benches time the runs whose *measurements* the `experiments` binary
+//! prints, so regressions in either speed or protocol behaviour surface in
+//! `cargo bench`.
+
+use criterion::Criterion;
+use splice_applicative::Workload;
+use splice_core::config::RecoveryMode;
+use splice_sim::machine::{run_workload, MachineConfig};
+use splice_sim::report::RunReport;
+use splice_simnet::fault::FaultPlan;
+use splice_simnet::time::VirtualTime;
+
+/// A criterion instance tuned so the full suite stays in the minutes range.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .configure_from_args()
+}
+
+/// Default experiment machine.
+pub fn config(n: u32, mode: RecoveryMode) -> MachineConfig {
+    let mut cfg = MachineConfig::new(n);
+    cfg.recovery.mode = mode;
+    cfg
+}
+
+/// Runs a workload fault-free and returns the report.
+pub fn fault_free(n: u32, mode: RecoveryMode, w: &Workload) -> RunReport {
+    run_workload(config(n, mode), w, &FaultPlan::none())
+}
+
+/// A crash plan at `frac` of the fault-free completion time of `base`.
+pub fn crash_at_fraction(base: &RunReport, victim: u32, frac: f64) -> FaultPlan {
+    FaultPlan::crash_at(
+        victim,
+        VirtualTime((base.finish.ticks() as f64 * frac) as u64 + 1),
+    )
+}
+
+/// Asserts a run produced the workload's reference answer — benches must
+/// never time a broken run.
+pub fn assert_correct(w: &Workload, r: &RunReport) {
+    assert!(r.completed, "{} stalled", w.name);
+    assert_eq!(
+        r.result,
+        Some(w.reference_result().unwrap()),
+        "{} wrong answer",
+        w.name
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_correct_runs() {
+        let w = Workload::fib(10);
+        let base = fault_free(4, RecoveryMode::Splice, &w);
+        assert_correct(&w, &base);
+        let plan = crash_at_fraction(&base, 2, 0.5);
+        let r = run_workload(config(4, RecoveryMode::Splice), &w, &plan);
+        assert_correct(&w, &r);
+    }
+}

@@ -1,0 +1,155 @@
+//! Engine configuration: recovery mode, checkpoint policy, replication and
+//! protocol timing.
+
+use splice_applicative::FnId;
+use std::collections::HashMap;
+
+/// Which recovery algorithm a processor runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// No functional checkpointing at all. On any failure the computation is
+    /// lost and must be restarted from the super-root (the paper's implicit
+    /// baseline: "The user must restart the program").
+    None,
+    /// §3: simple rollback — re-issue the topmost checkpoints held for the
+    /// dead processor; orphans commit suicide and are garbage collected.
+    Rollback,
+    /// §4: splice recovery — rollback's re-issue plus orphan-result
+    /// salvaging via ancestor relays and step-parent twins.
+    Splice,
+}
+
+impl RecoveryMode {
+    /// True when functional checkpoints are being retained.
+    pub fn checkpoints(self) -> bool {
+        !matches!(self, RecoveryMode::None)
+    }
+
+    /// True when orphan results are salvaged.
+    pub fn salvages(self) -> bool {
+        matches!(self, RecoveryMode::Splice)
+    }
+}
+
+/// When the topmost-checkpoint rule (§3.2) is applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointFilter {
+    /// At recovery time, re-issue only the topmost live checkpoints per
+    /// dead destination. This is the paper's scheme, made retire-aware.
+    Topmost,
+    /// Re-issue every live checkpoint held for the dead destination —
+    /// including fruitless descendants like the paper's B5 example. Exists
+    /// as an ablation (experiment E3).
+    All,
+}
+
+/// How replica votes are concluded (§5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VoteMode {
+    /// Accept as soon as identical results arrive from a majority of the
+    /// replicas: "a node does not have to wait for the slowest answer if it
+    /// has received the identical results from the majority".
+    Majority,
+    /// Wait for all replicas before concluding — the synchronous-hardware-
+    /// redundancy emulation used as the comparison point in experiment E10.
+    WaitAll,
+}
+
+/// Replication request for one combinator ("The user may specify certain
+/// critical sections of a program for such a highly reliable operation").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaSpec {
+    /// Number of replicas (odd values make majorities meaningful).
+    pub n: u32,
+    /// Vote conclusion mode.
+    pub vote: VoteMode,
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Recovery algorithm.
+    pub mode: RecoveryMode,
+    /// Length of the ancestor chain carried in task packets, *including*
+    /// the parent: 2 = parent + grandparent (the paper's splice scheme),
+    /// 3 adds the great-grandparent (§5.2 multi-fault extension). Rollback
+    /// ignores anything beyond the parent.
+    pub ancestor_depth: usize,
+    /// Topmost rule application.
+    pub ckpt_filter: CheckpointFilter,
+    /// Combinators to execute replicated.
+    pub replicate: HashMap<FnId, ReplicaSpec>,
+    /// Delay before an unacknowledged spawn is reissued (driver time units;
+    /// Figure 6 state-b recovery: "processor G times out and reissues").
+    pub ack_timeout: u64,
+    /// Period of load-pressure beacons to placer neighbours.
+    pub load_beacon_period: u64,
+    /// Splice-only extension (experiment E13): defer twin creation by this
+    /// many time units after a failure notice. 0 (the paper's eager scheme)
+    /// regenerates twins immediately, which can duplicate orphan subtrees
+    /// that are still computing (§4.1 cases 6/7); a grace period lets
+    /// orphan results arrive first (cases 4/5) at the price of a slower
+    /// recovery start. Salvage arrivals still create twins immediately —
+    /// the grace only delays the *proactive* path.
+    pub splice_grace: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mode: RecoveryMode::Splice,
+            ancestor_depth: 2,
+            ckpt_filter: CheckpointFilter::Topmost,
+            replicate: HashMap::new(),
+            ack_timeout: 4_000,
+            load_beacon_period: 500,
+            splice_grace: 0,
+        }
+    }
+}
+
+impl Config {
+    /// Convenience constructor for a given mode with paper defaults.
+    pub fn with_mode(mode: RecoveryMode) -> Config {
+        Config {
+            mode,
+            ..Config::default()
+        }
+    }
+
+    /// Number of ancestor links to embed in spawned packets (beyond the
+    /// parent link itself).
+    pub fn links_beyond_parent(&self) -> usize {
+        self.ancestor_depth.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_properties() {
+        assert!(!RecoveryMode::None.checkpoints());
+        assert!(RecoveryMode::Rollback.checkpoints());
+        assert!(RecoveryMode::Splice.checkpoints());
+        assert!(!RecoveryMode::Rollback.salvages());
+        assert!(RecoveryMode::Splice.salvages());
+    }
+
+    #[test]
+    fn default_is_paper_splice() {
+        let c = Config::default();
+        assert_eq!(c.mode, RecoveryMode::Splice);
+        assert_eq!(c.ancestor_depth, 2);
+        assert_eq!(c.links_beyond_parent(), 1);
+        assert_eq!(c.ckpt_filter, CheckpointFilter::Topmost);
+    }
+
+    #[test]
+    fn deeper_chains_for_multifault() {
+        let mut c = Config::with_mode(RecoveryMode::Splice);
+        c.ancestor_depth = 4;
+        assert_eq!(c.links_beyond_parent(), 3);
+    }
+}

@@ -1,0 +1,1340 @@
+//! The sans-IO processor engine: the paper's §4.2 protocol loop.
+//!
+//! ```text
+//! LOOP
+//!   CASE received packet OF
+//!     forward result:  interpret the level stamp (child / grandchild / other)
+//!     task packet:     execute; DEMAND unevaluated functions; send result to
+//!                      the parent; if the parent is dead, notify the
+//!                      grandparent and send the result there
+//!     error-detection: respawn the topmost offspring of all severed
+//!                      branches; establish the relay for partial results
+//!   ENDCASE
+//! ENDLOOP
+//! ```
+//!
+//! The engine is *sans-IO*: it owns no clock, no RNG and no transport. Every
+//! entry point takes an input and returns a list of [`Action`]s for the
+//! driver (the discrete-event simulator or the threaded runtime) to
+//! perform. This is what makes the protocol deterministic under test while
+//! still running unchanged on real threads.
+//!
+//! A note on failure discovery: per the paper, "a processor makes its best
+//! effort to communicate with a destination node. If the destination cannot
+//! be reached ..., the unreachable node is considered faulty." Drivers
+//! surface unreachability as [`Engine::on_send_failed`]; an explicit
+//! detector (or gossip) surfaces it as a `FailureNotice` message. Both
+//! converge on the same internal `on_proc_dead` handling, and splice
+//! recovery additionally learns of deaths from arriving salvage packets —
+//! "processor C receives these unexpected partial answers from
+//! grandchildren and asserts that the parent of these grandchildren is
+//! faulty" (§4.1).
+
+use crate::checkpoint::CheckpointTable;
+use crate::config::{Config, RecoveryMode};
+use crate::ids::{ProcId, TaskAddr, TaskKey};
+use crate::packet::{Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
+use crate::place::Placer;
+use crate::replicate::{Vote, VoteOutcome};
+use crate::stamp::LevelStamp;
+use crate::stats::ProcStats;
+use crate::task::{ChildInfo, Task, VoteGroup};
+use splice_applicative::wave::{Demand, WaveResult};
+use splice_applicative::{Program, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Maximum placement hops before a packet must be accepted locally.
+const MAX_HOPS: u32 = 16;
+
+/// A timer the engine asks its driver to arm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Timer {
+    /// Fires if a spawned child packet has not been acknowledged
+    /// (Figure 6 state b: reissue as if the first invocation never
+    /// happened).
+    AckTimeout {
+        /// The spawning (parent) task.
+        owner: TaskKey,
+        /// The child's stamp.
+        stamp: LevelStamp,
+        /// The incarnation this timer guards.
+        incarnation: u32,
+    },
+    /// Periodic load-pressure beacon for the placer.
+    LoadBeacon,
+    /// Deferred splice twin creation (the E13 grace extension): fires
+    /// `splice_grace` units after a failure notice; the child is reissued
+    /// only if nothing (salvage, vote, result) satisfied it meanwhile.
+    GraceReissue {
+        /// The owning (parent) task.
+        owner: TaskKey,
+        /// The dead child's stamp.
+        stamp: LevelStamp,
+    },
+}
+
+/// An effect the driver must perform on the engine's behalf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Transmit `msg` to processor `to` (self-sends are allowed and mean
+    /// local delivery).
+    Send {
+        /// Destination processor.
+        to: ProcId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Arm `timer` to fire after `delay` driver time units.
+    SetTimer {
+        /// The timer payload (returned verbatim on expiry).
+        timer: Timer,
+        /// Delay in driver units.
+        delay: u64,
+    },
+}
+
+/// The per-processor protocol engine.
+pub struct Engine {
+    id: ProcId,
+    program: Arc<Program>,
+    config: Config,
+    placer: Box<dyn Placer>,
+    tasks: HashMap<TaskKey, Task>,
+    by_stamp: HashMap<LevelStamp, TaskKey>,
+    ready: VecDeque<TaskKey>,
+    next_key: u64,
+    known_dead: HashSet<ProcId>,
+    ckpt: CheckpointTable,
+    stats: ProcStats,
+    created_log: Vec<LevelStamp>,
+}
+
+impl Engine {
+    /// Creates an engine for processor `id`.
+    pub fn new(
+        id: ProcId,
+        program: Arc<Program>,
+        config: Config,
+        placer: Box<dyn Placer>,
+    ) -> Engine {
+        Engine {
+            id,
+            program,
+            config,
+            placer,
+            tasks: HashMap::new(),
+            by_stamp: HashMap::new(),
+            ready: VecDeque::new(),
+            next_key: 0,
+            known_dead: HashSet::new(),
+            ckpt: CheckpointTable::new(),
+            stats: ProcStats::default(),
+            created_log: Vec::new(),
+        }
+    }
+
+    /// Drains the stamps of tasks created since the last call. Drivers use
+    /// this to build placement logs for scripted scenarios.
+    pub fn drain_created(&mut self) -> Vec<LevelStamp> {
+        std::mem::take(&mut self.created_log)
+    }
+
+    /// Looks up a resident task key by stamp (scenario inspection).
+    pub fn task_by_stamp(&self, stamp: &LevelStamp) -> Option<TaskKey> {
+        self.by_stamp.get(stamp).copied()
+    }
+
+    /// This processor's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ProcStats {
+        &self.stats
+    }
+
+    /// The checkpoint table (for inspection by tests and reports).
+    pub fn checkpoints(&self) -> &CheckpointTable {
+        &self.ckpt
+    }
+
+    /// Number of resident tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Processors this engine believes dead.
+    pub fn known_dead(&self) -> &HashSet<ProcId> {
+        &self.known_dead
+    }
+
+    /// Local pressure: tasks ready to run.
+    pub fn pressure(&self) -> u32 {
+        self.ready.len() as u32
+    }
+
+    /// Called once when the processor starts; arms periodic beacons.
+    pub fn on_start(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.config.load_beacon_period > 0 && !self.placer.beacon_targets().is_empty() {
+            actions.push(Action::SetTimer {
+                timer: Timer::LoadBeacon,
+                delay: self.config.load_beacon_period,
+            });
+        }
+        actions
+    }
+
+    /// Pops the next runnable task, if any.
+    pub fn pop_ready(&mut self) -> Option<TaskKey> {
+        while let Some(key) = self.ready.pop_front() {
+            if let Some(t) = self.tasks.get_mut(&key) {
+                if t.queued {
+                    t.queued = false;
+                    return Some(key);
+                }
+            }
+        }
+        None
+    }
+
+    /// True when at least one task is runnable.
+    pub fn has_ready(&self) -> bool {
+        self.ready
+            .iter()
+            .any(|k| self.tasks.get(k).map(|t| t.queued).unwrap_or(false))
+    }
+
+    fn enqueue(&mut self, key: TaskKey) {
+        if let Some(t) = self.tasks.get_mut(&key) {
+            if !t.queued {
+                t.queued = true;
+                self.ready.push_back(key);
+            }
+        }
+    }
+
+    fn send(&mut self, actions: &mut Vec<Action>, to: ProcId, msg: Msg) {
+        self.stats.sent(msg.kind(), msg.size());
+        actions.push(Action::Send { to, msg });
+    }
+
+    // -----------------------------------------------------------------
+    // Message dispatch
+    // -----------------------------------------------------------------
+
+    /// Handles an arriving message.
+    pub fn on_message(&mut self, msg: Msg) -> Vec<Action> {
+        self.stats.received(msg.kind());
+        match msg {
+            Msg::Spawn(p) => self.on_spawn(p),
+            Msg::Ack {
+                child_stamp,
+                child_addr,
+                parent,
+                incarnation,
+            } => self.on_ack(child_stamp, child_addr, parent, incarnation),
+            Msg::Result(rp) => self.on_result(rp),
+            Msg::Salvage(sp) => self.on_salvage(sp),
+            Msg::Abort { to } => self.on_abort(to),
+            Msg::Load { from, pressure } => {
+                self.placer.on_load(from, pressure);
+                Vec::new()
+            }
+            Msg::FailureNotice { dead } => self.on_proc_dead(dead),
+        }
+    }
+
+    /// Handles a send that the transport reports as undeliverable: the
+    /// destination is considered faulty and the message's intent is
+    /// recovered where possible.
+    pub fn on_send_failed(&mut self, to: ProcId, msg: Msg) -> Vec<Action> {
+        let mut actions = self.on_proc_dead(to);
+        match msg {
+            Msg::Spawn(p) => {
+                // In-flight spawn lost. If we are the original parent, the
+                // child's checkpoint (or vote group) reissues it; forwarded
+                // packets of other parents are re-placed directly.
+                actions.extend(self.reissue_packet(p));
+            }
+            Msg::Result(rp) => {
+                actions.extend(self.handle_undeliverable_result(rp));
+            }
+            Msg::Salvage(sp) => {
+                // Either the downward forward hit a fresh corpse (the local
+                // re-route will buffer it), or the upward relay must try the
+                // next ancestor.
+                let (routed, mut acts) = self.route_salvage(sp.clone());
+                actions.append(&mut acts);
+                if !routed {
+                    actions.extend(self.relay_salvage_upward(sp));
+                }
+            }
+            // Lost acks/aborts/loads/notices carry no recoverable intent.
+            Msg::Ack { .. } | Msg::Abort { .. } | Msg::Load { .. } | Msg::FailureNotice { .. } => {}
+        }
+        actions
+    }
+
+    /// Handles a timer expiry.
+    pub fn on_timer(&mut self, timer: Timer) -> Vec<Action> {
+        match timer {
+            Timer::AckTimeout {
+                owner,
+                stamp,
+                incarnation,
+            } => {
+                let needs_reissue = match self.tasks.get(&owner).and_then(|t| t.children.get(&stamp))
+                {
+                    Some(ci) if !ci.done && ci.incarnation == incarnation => {
+                        ci.current_addr().is_none()
+                    }
+                    _ => false,
+                };
+                if needs_reissue {
+                    self.stats.ack_timeouts += 1;
+                    self.reissue_child(owner, &stamp)
+                } else {
+                    Vec::new()
+                }
+            }
+            Timer::GraceReissue { owner, stamp } => {
+                let needs = match self
+                    .tasks
+                    .get_mut(&owner)
+                    .and_then(|t| t.children.get_mut(&stamp))
+                {
+                    Some(ci) if ci.twin_pending && !ci.done => {
+                        ci.twin_pending = false;
+                        true
+                    }
+                    _ => false,
+                };
+                if needs {
+                    self.stats.step_parents_created += 1;
+                    self.reissue_child(owner, &stamp)
+                } else {
+                    Vec::new()
+                }
+            }
+            Timer::LoadBeacon => {
+                let mut actions = Vec::new();
+                let raw = self.pressure();
+                self.placer.set_local_pressure(raw);
+                let pressure = self.placer.beacon_value(raw);
+                for t in self.placer.beacon_targets() {
+                    self.send(
+                        &mut actions,
+                        t,
+                        Msg::Load {
+                            from: self.id,
+                            pressure,
+                        },
+                    );
+                }
+                actions.push(Action::SetTimer {
+                    timer: Timer::LoadBeacon,
+                    delay: self.config.load_beacon_period,
+                });
+                actions
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Spawn / placement (DEMAND_IT receiving side)
+    // -----------------------------------------------------------------
+
+    fn on_spawn(&mut self, mut p: TaskPacket) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let pressure = self.pressure();
+        self.placer.set_local_pressure(pressure);
+        if p.hops < MAX_HOPS {
+            if let Some(next) = self.placer.route(&p, &self.known_dead) {
+                if next != self.id {
+                    p.hops += 1;
+                    self.send(&mut actions, next, Msg::Spawn(p));
+                    return actions;
+                }
+            }
+        }
+        // Accept locally.
+        let key = TaskKey(self.next_key);
+        self.next_key += 1;
+        let task = Task::from_packet(key, &p);
+        self.by_stamp.insert(task.stamp.clone(), key);
+        self.tasks.insert(key, task);
+        self.stats.tasks_created += 1;
+        self.created_log.push(p.stamp.clone());
+        self.enqueue(key);
+        let ack = Msg::Ack {
+            child_stamp: p.stamp,
+            child_addr: TaskAddr::new(self.id, key),
+            parent: p.parent.addr,
+            incarnation: p.incarnation,
+        };
+        self.send(&mut actions, p.parent.addr.proc, ack);
+        actions
+    }
+
+    fn on_ack(
+        &mut self,
+        child_stamp: LevelStamp,
+        child_addr: TaskAddr,
+        parent: TaskAddr,
+        incarnation: u32,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(task) = self.tasks.get_mut(&parent.key) else {
+            self.stats.stale_messages_ignored += 1;
+            return actions;
+        };
+        let Some(ci) = task.children.get_mut(&child_stamp) else {
+            self.stats.stale_messages_ignored += 1;
+            return actions;
+        };
+        if let Some(group) = ci.vote.as_mut() {
+            // Replica ack: refine the placement record used for loss
+            // tracking. The incarnation field carries the replica index for
+            // replica packets (set at spawn).
+            if let Some(slot) = group.placed.get_mut(incarnation as usize) {
+                *slot = child_addr.proc;
+            }
+            return actions;
+        }
+        let newer = match ci.acked {
+            Some((_, prev_inc)) => incarnation >= prev_inc,
+            None => true,
+        };
+        if newer {
+            ci.acked = Some((child_addr, incarnation));
+            self.ckpt.on_ack(parent.key, &child_stamp, child_addr.proc);
+            // Flush salvages that were waiting for a location.
+            let pending = std::mem::take(&mut ci.pending_salvages);
+            for mut sp in pending {
+                sp.to = child_addr;
+                self.stats.salvage_forwarded += 1;
+                self.send(&mut actions, child_addr.proc, Msg::Salvage(sp));
+            }
+        } else {
+            self.stats.stale_messages_ignored += 1;
+        }
+        actions
+    }
+
+    // -----------------------------------------------------------------
+    // Execution (task packet case of the §4.2 loop)
+    // -----------------------------------------------------------------
+
+    /// Runs one evaluation wave of `key`. Returns the driver actions plus
+    /// the abstract work performed (for time accounting).
+    pub fn run_wave(&mut self, key: TaskKey) -> (Vec<Action>, u64) {
+        let Some(task) = self.tasks.get_mut(&key) else {
+            return (Vec::new(), 0);
+        };
+        if !task.eval.ready() {
+            // Spurious wake-up; wave barrier not met.
+            return (Vec::new(), 0);
+        }
+        let before = task.eval.work();
+        let step = task.eval.step(&self.program);
+        let work = self.tasks.get(&key).map(|t| t.eval.work() - before).unwrap_or(0);
+        self.stats.waves_run += 1;
+        self.stats.work_units += work;
+        match step {
+            Err(_) => {
+                self.stats.eval_errors += 1;
+                let actions = self.drop_task(key);
+                (actions, work)
+            }
+            Ok(WaveResult::Done(v)) => (self.finish_task(key, v), work),
+            Ok(WaveResult::Blocked { new_demands }) => {
+                let mut actions = Vec::new();
+                for d in new_demands {
+                    actions.extend(self.spawn_child(key, d));
+                }
+                // All demands may have been satisfied synchronously by
+                // preloaded salvage; re-queue in that case.
+                if let Some(t) = self.tasks.get(&key) {
+                    if t.eval.ready() {
+                        self.enqueue(key);
+                    }
+                }
+                (actions, work)
+            }
+        }
+    }
+
+    /// Spawns one child demand (the paper's `DEMAND_IT`):
+    /// create packet → level-stamp it → attach parent and grandparent
+    /// identifications → queue to the load balancer → functional checkpoint.
+    fn spawn_child(&mut self, owner: TaskKey, demand: Demand) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let (packet, replica_spec, salvages) = {
+            let task = self.tasks.get_mut(&owner).expect("owner exists");
+            let stamp = task.next_child_stamp();
+            let parent_link = TaskLink::new(TaskAddr::new(self.id, owner), task.stamp.clone());
+            let ancestors: Vec<TaskLink> = std::iter::once(task.parent.clone())
+                .chain(task.ancestors.iter().cloned())
+                .take(self.config.links_beyond_parent())
+                .collect();
+            let packet = TaskPacket {
+                stamp: stamp.clone(),
+                demand: demand.clone(),
+                parent: parent_link,
+                ancestors,
+                incarnation: 0,
+                hops: 0,
+                replica: None,
+                under_replica: task.under_replica,
+            };
+            // Nothing inside a replica's subtree is re-replicated: the
+            // whole critical section already executes once per replica.
+            let replica_spec = if task.under_replica {
+                None
+            } else {
+                self.config.replicate.get(&demand.fun).copied()
+            };
+            let salvages = task.take_future_salvages_for(&stamp);
+            (packet, replica_spec, salvages)
+        };
+        self.stats.spawns_emitted += 1;
+
+        match replica_spec {
+            Some(spec) => {
+                let mut placed = Vec::with_capacity(spec.n as usize);
+                let mut avoid = self.known_dead.clone();
+                for i in 0..spec.n {
+                    let mut rp = packet.clone();
+                    rp.replica = Some(ReplicaInfo {
+                        index: i,
+                        total: spec.n,
+                    });
+                    // Replica packets reuse the incarnation field of the ACK
+                    // as the replica index (see `on_ack`).
+                    rp.incarnation = i;
+                    let dest = self.placer.place(&rp, &avoid);
+                    avoid.insert(dest); // replicas on distinct processors
+                    placed.push(dest);
+                    self.send(&mut actions, dest, Msg::Spawn(rp));
+                }
+                let task = self.tasks.get_mut(&owner).expect("owner exists");
+                task.register_child(ChildInfo {
+                    demand,
+                    stamp: packet.stamp.clone(),
+                    acked: None,
+                    incarnation: 0,
+                    done: false,
+                    pending_salvages: salvages,
+                    vote: Some(VoteGroup {
+                        vote: Vote::new(spec.n, spec.vote),
+                        base: packet,
+                        placed,
+                    }),
+                    twin_pending: false,
+                });
+            }
+            None => {
+                if self.config.mode.checkpoints() {
+                    self.ckpt.store(owner, packet.clone());
+                }
+                let dest = self.placer.place(&packet, &self.known_dead);
+                let task = self.tasks.get_mut(&owner).expect("owner exists");
+                task.register_child(ChildInfo {
+                    demand,
+                    stamp: packet.stamp.clone(),
+                    acked: None,
+                    incarnation: 0,
+                    done: false,
+                    pending_salvages: salvages,
+                    vote: None,
+                    twin_pending: false,
+                });
+                actions.push(Action::SetTimer {
+                    timer: Timer::AckTimeout {
+                        owner,
+                        stamp: packet.stamp.clone(),
+                        incarnation: 0,
+                    },
+                    delay: self.config.ack_timeout,
+                });
+                self.send(&mut actions, dest, Msg::Spawn(packet));
+            }
+        }
+        actions
+    }
+
+    fn finish_task(&mut self, key: TaskKey, value: Value) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(task) = self.tasks.remove(&key) else {
+            return actions;
+        };
+        if self.by_stamp.get(&task.stamp) == Some(&key) {
+            self.by_stamp.remove(&task.stamp);
+        }
+        debug_assert!(task.all_children_done());
+        // Safety net: any checkpoint not retired through the normal paths.
+        self.ckpt.retire_owner(key);
+        self.stats.tasks_completed += 1;
+
+        let rp = ResultPacket {
+            from_stamp: task.stamp.clone(),
+            demand: Demand::new(task.eval.fun(), task.eval.args().to_vec()),
+            value,
+            to: task.parent.addr,
+            to_stamp: task.parent.stamp.clone(),
+            relay_chain: task.ancestors.clone(),
+            replica: task.replica.clone(),
+        };
+        if self.known_dead.contains(&rp.to.proc) {
+            actions.extend(self.handle_undeliverable_result(rp));
+        } else {
+            let to = rp.to.proc;
+            self.send(&mut actions, to, Msg::Result(rp));
+        }
+        actions
+    }
+
+    fn drop_task(&mut self, key: TaskKey) -> Vec<Action> {
+        if let Some(task) = self.tasks.remove(&key) {
+            if self.by_stamp.get(&task.stamp) == Some(&key) {
+                self.by_stamp.remove(&task.stamp);
+            }
+            self.ckpt.retire_owner(key);
+        }
+        Vec::new()
+    }
+
+    // -----------------------------------------------------------------
+    // Results (forward-result case of the §4.2 loop)
+    // -----------------------------------------------------------------
+
+    fn on_result(&mut self, rp: ResultPacket) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if let Some(replica) = rp.replica.clone() {
+            self.stats.replica_results += 1;
+            actions.extend(self.on_replica_result(rp, replica));
+            return actions;
+        }
+        let Some(task) = self.tasks.get_mut(&rp.to.key) else {
+            // "others: Ignore the packet" — the addressee is gone (§4.1
+            // case 8).
+            self.stats.stale_messages_ignored += 1;
+            return actions;
+        };
+        if task.stamp != rp.to_stamp {
+            self.stats.stale_messages_ignored += 1;
+            return actions;
+        }
+        match task.children.get(&rp.from_stamp) {
+            None => {
+                self.stats.stale_messages_ignored += 1;
+                actions
+            }
+            Some(ci) if ci.done => {
+                // "Since they are identical, the second copy is simply
+                // ignored." (§4.1 cases 6/7)
+                self.stats.duplicate_results_ignored += 1;
+                actions
+            }
+            Some(_) => {
+                self.supply_child(rp.to.key, &rp.from_stamp, rp.value);
+                actions
+            }
+        }
+    }
+
+    fn on_replica_result(&mut self, rp: ResultPacket, replica: ReplicaInfo) -> Vec<Action> {
+        let Some(task) = self.tasks.get_mut(&rp.to.key) else {
+            self.stats.stale_messages_ignored += 1;
+            return Vec::new();
+        };
+        let Some(ci) = task.children.get_mut(&rp.from_stamp) else {
+            self.stats.stale_messages_ignored += 1;
+            return Vec::new();
+        };
+        if ci.done {
+            self.stats.duplicate_results_ignored += 1;
+            return Vec::new();
+        }
+        let Some(group) = ci.vote.as_mut() else {
+            self.stats.stale_messages_ignored += 1;
+            return Vec::new();
+        };
+        match group.vote.add(replica.index, rp.value) {
+            VoteOutcome::Pending => Vec::new(),
+            VoteOutcome::Decided { value, clean } => {
+                if clean {
+                    self.stats.votes_decided += 1;
+                } else {
+                    self.stats.votes_conflicted += 1;
+                }
+                self.supply_child(rp.to.key, &rp.from_stamp, value);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Marks a child demand satisfied and resumes the parent when its wave
+    /// barrier is met.
+    fn supply_child(&mut self, owner: TaskKey, stamp: &LevelStamp, value: Value) {
+        let Some(task) = self.tasks.get_mut(&owner) else {
+            return;
+        };
+        let Some(ci) = task.children.get_mut(stamp) else {
+            return;
+        };
+        ci.done = true;
+        let demand = ci.demand.clone();
+        self.ckpt.retire(owner, stamp);
+        if !task.eval.supply(&demand, value) {
+            self.stats.duplicate_results_ignored += 1;
+        }
+        if task.eval.ready() {
+            self.enqueue(owner);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Failure handling: rollback (§3) and splice (§4)
+    // -----------------------------------------------------------------
+
+    /// Convergence point for all failure discovery paths. Idempotent.
+    fn on_proc_dead(&mut self, dead: ProcId) -> Vec<Action> {
+        if dead == self.id || dead.is_super_root() || !self.known_dead.insert(dead) {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        match self.config.mode {
+            RecoveryMode::None => {}
+            RecoveryMode::Rollback => {
+                // Orphans commit suicide first, retiring their checkpoints,
+                // so the recovery pass below does not reissue into aborted
+                // fragments.
+                let orphans: Vec<TaskKey> = self
+                    .tasks
+                    .iter()
+                    .filter(|(_, t)| t.parent.addr.proc == dead)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in orphans {
+                    self.stats.orphans_suicided += 1;
+                    actions.extend(self.abort_cascade(k));
+                }
+                for cp in self
+                    .ckpt
+                    .recover_candidates(dead, self.config.ckpt_filter)
+                {
+                    if self.tasks.contains_key(&cp.owner) {
+                        actions.extend(self.reissue_child(cp.owner, &cp.packet.stamp));
+                    }
+                }
+            }
+            RecoveryMode::Splice => {
+                // Every live parent regenerates each of its dead children
+                // as a step-parent twin; orphan fragments keep computing
+                // and their results will be spliced in. With a grace
+                // period configured, the proactive regeneration is
+                // deferred so in-flight orphan results can land first.
+                let grace = self.config.splice_grace;
+                for cp in self
+                    .ckpt
+                    .recover_candidates(dead, crate::config::CheckpointFilter::All)
+                {
+                    if !self.tasks.contains_key(&cp.owner) {
+                        continue;
+                    }
+                    if grace == 0 {
+                        self.stats.step_parents_created += 1;
+                        actions.extend(self.reissue_child(cp.owner, &cp.packet.stamp));
+                    } else {
+                        if let Some(ci) = self
+                            .tasks
+                            .get_mut(&cp.owner)
+                            .and_then(|t| t.children.get_mut(&cp.packet.stamp))
+                        {
+                            ci.twin_pending = true;
+                        }
+                        actions.push(Action::SetTimer {
+                            timer: Timer::GraceReissue {
+                                owner: cp.owner,
+                                stamp: cp.packet.stamp.clone(),
+                            },
+                            delay: grace,
+                        });
+                    }
+                }
+            }
+        }
+        // Replicated children: account for lost replicas in either mode
+        // with checkpointing.
+        if self.config.mode.checkpoints() {
+            actions.extend(self.handle_replica_losses(dead));
+        }
+        actions
+    }
+
+    fn handle_replica_losses(&mut self, dead: ProcId) -> Vec<Action> {
+        let mut decisions: Vec<(TaskKey, LevelStamp, Option<Value>, bool)> = Vec::new();
+        let mut respawns: Vec<(TaskKey, LevelStamp)> = Vec::new();
+        for (key, task) in self.tasks.iter_mut() {
+            for (stamp, ci) in task.children.iter_mut() {
+                let Some(group) = ci.vote.as_mut() else {
+                    continue;
+                };
+                if ci.done {
+                    continue;
+                }
+                let lost = group.placed.iter().filter(|p| **p == dead).count();
+                for _ in 0..lost {
+                    match group.vote.mark_lost() {
+                        VoteOutcome::Decided { value, clean } => {
+                            decisions.push((*key, stamp.clone(), Some(value), clean));
+                        }
+                        VoteOutcome::Pending => {}
+                    }
+                }
+                if group.vote.all_lost() {
+                    respawns.push((*key, stamp.clone()));
+                }
+            }
+        }
+        let mut actions = Vec::new();
+        for (key, stamp, value, clean) in decisions {
+            if let Some(v) = value {
+                if clean {
+                    self.stats.votes_decided += 1;
+                } else {
+                    self.stats.votes_conflicted += 1;
+                }
+                self.supply_child(key, &stamp, v);
+            }
+        }
+        for (key, stamp) in respawns {
+            actions.extend(self.respawn_replica_group(key, &stamp));
+        }
+        actions
+    }
+
+    fn respawn_replica_group(&mut self, owner: TaskKey, stamp: &LevelStamp) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(task) = self.tasks.get_mut(&owner) else {
+            return actions;
+        };
+        let Some(ci) = task.children.get_mut(stamp) else {
+            return actions;
+        };
+        let Some(group) = ci.vote.as_mut() else {
+            return actions;
+        };
+        let n = group.vote.group_size();
+        let mode = match self.config.replicate.get(&group.base.demand.fun) {
+            Some(spec) => spec.vote,
+            None => crate::config::VoteMode::Majority,
+        };
+        group.vote = Vote::new(n, mode);
+        let base = group.base.reissue();
+        group.base = base.clone();
+        let mut placed = Vec::with_capacity(n as usize);
+        let mut avoid = self.known_dead.clone();
+        let mut spawns = Vec::new();
+        for i in 0..n {
+            let mut rp = base.clone();
+            rp.replica = Some(ReplicaInfo { index: i, total: n });
+            rp.incarnation = i;
+            let dest = self.placer.place(&rp, &avoid);
+            avoid.insert(dest);
+            placed.push(dest);
+            spawns.push((dest, rp));
+        }
+        group.placed = placed;
+        self.stats.reissues += 1;
+        for (dest, rp) in spawns {
+            self.send(&mut actions, dest, Msg::Spawn(rp));
+        }
+        actions
+    }
+
+    /// Re-issues a (non-replicated) child from its functional checkpoint.
+    /// In splice mode this is exactly step-parent/twin creation.
+    fn reissue_child(&mut self, owner: TaskKey, stamp: &LevelStamp) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(task) = self.tasks.get_mut(&owner) else {
+            return actions;
+        };
+        let Some(ci) = task.children.get_mut(stamp) else {
+            return actions;
+        };
+        if ci.done {
+            return actions;
+        }
+        ci.incarnation += 1;
+        let incarnation = ci.incarnation;
+        self.ckpt.on_reissue(owner, stamp);
+        let Some(cp) = self.ckpt.get(owner, stamp) else {
+            return actions;
+        };
+        let mut packet = cp.packet.clone();
+        packet.incarnation = incarnation;
+        let dest = self.placer.place(&packet, &self.known_dead);
+        self.stats.reissues += 1;
+        actions.push(Action::SetTimer {
+            timer: Timer::AckTimeout {
+                owner,
+                stamp: stamp.clone(),
+                incarnation,
+            },
+            delay: self.config.ack_timeout,
+        });
+        self.send(&mut actions, dest, Msg::Spawn(packet));
+        actions
+    }
+
+    /// Re-places a bounced spawn packet. If this processor is the packet's
+    /// parent, go through the checkpointed reissue path (keeps incarnation
+    /// bookkeeping coherent); otherwise re-place the packet directly.
+    fn reissue_packet(&mut self, p: TaskPacket) -> Vec<Action> {
+        if p.parent.addr.proc == self.id && self.tasks.contains_key(&p.parent.addr.key) {
+            if p.replica.is_some() {
+                // Replica spawn lost; treat as a lost replica — the vote
+                // already accounts for its processor via on_proc_dead.
+                return Vec::new();
+            }
+            return self.reissue_child(p.parent.addr.key, &p.stamp);
+        }
+        // A packet we were merely forwarding: place it somewhere else.
+        let mut actions = Vec::new();
+        let mut p = p.reissue();
+        p.hops = 0;
+        let dest = self.placer.place(&p, &self.known_dead);
+        self.stats.reissues += 1;
+        self.send(&mut actions, dest, Msg::Spawn(p));
+        actions
+    }
+
+    /// A completed task's result cannot reach its parent: splice relays it
+    /// toward the nearest live ancestor ("notify the grandparent and send
+    /// the result to the grandparent"); rollback discards it — the orphan
+    /// has effectively committed suicide after the fact.
+    fn handle_undeliverable_result(&mut self, rp: ResultPacket) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if !self.config.mode.salvages() || rp.replica.is_some() {
+            self.stats.orphans_suicided += 1;
+            return actions;
+        }
+        let sp = SalvagePacket {
+            to: TaskAddr::new(ProcId(0), TaskKey(0)), // filled below
+            dead_stamp: rp.to_stamp.clone(),
+            dead_addr: rp.to,
+            demand: rp.demand.clone(),
+            value: rp.value.clone(),
+            from_stamp: rp.from_stamp.clone(),
+        };
+        actions.extend(self.send_salvage_via_chain(sp, rp.relay_chain, rp.to.proc));
+        actions
+    }
+
+    /// Sends a salvage packet to the first live link of an ancestor chain.
+    fn send_salvage_via_chain(
+        &mut self,
+        mut sp: SalvagePacket,
+        chain: Vec<TaskLink>,
+        dead_proc: ProcId,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let _ = dead_proc;
+        for (i, link) in chain.iter().enumerate() {
+            if self.known_dead.contains(&link.addr.proc) {
+                continue;
+            }
+            sp.to = link.addr;
+            if link.addr.proc == self.id {
+                // The ancestor is local: route directly.
+                let (routed, mut acts) = self.route_salvage(sp.clone());
+                actions.append(&mut acts);
+                if !routed {
+                    let rest: Vec<TaskLink> = chain[i + 1..].to_vec();
+                    if rest.is_empty() {
+                        self.stats.stranded_orphans += 1;
+                    } else {
+                        actions.extend(self.send_salvage_via_chain(sp, rest, dead_proc));
+                    }
+                }
+                return actions;
+            }
+            self.send(&mut actions, link.addr.proc, Msg::Salvage(sp));
+            return actions;
+        }
+        // "If both the parent and grandparent processors of a task fail
+        // simultaneously, the orphan task would be stranded." (§5.2)
+        self.stats.stranded_orphans += 1;
+        actions
+    }
+
+    /// Upward retry after a salvage bounce: try the remaining ancestors of
+    /// the dead stamp. The chain is reconstructed from the packet's stamp
+    /// prefixes we know locally — if none, the orphan is stranded.
+    fn relay_salvage_upward(&mut self, sp: SalvagePacket) -> Vec<Action> {
+        // We only know our own tasks; with the direct chain exhausted the
+        // orphan result is stranded from this processor's point of view.
+        let _ = sp;
+        self.stats.stranded_orphans += 1;
+        Vec::new()
+    }
+
+    fn on_salvage(&mut self, sp: SalvagePacket) -> Vec<Action> {
+        // An unexpected grandchild answer implies the intermediate parent is
+        // faulty; the stamp itself tells us which task, and the processor it
+        // lived on is already in our dead set if a notice arrived first.
+        let (_, actions) = {
+            let (routed, mut acts) = self.route_salvage(sp.clone());
+            if !routed {
+                self.stats.salvage_dropped += 1;
+            }
+            (routed, {
+                let v: Vec<Action> = acts.drain(..).collect();
+                v
+            })
+        };
+        actions
+    }
+
+    /// Routes a salvage packet at this processor: deliver to the twin if it
+    /// lives here, otherwise hand it one step down the regenerated spine.
+    /// Returns whether the packet found a consumer or forwarder.
+    fn route_salvage(&mut self, sp: SalvagePacket) -> (bool, Vec<Action>) {
+        let mut actions = Vec::new();
+        // Twin (or still-live original) of the dead task here?
+        if let Some(&key) = self.by_stamp.get(&sp.dead_stamp) {
+            self.preload_salvage(key, sp);
+            return (true, actions);
+        }
+        // Deepest live local ancestor of the dead stamp.
+        let mut probe = sp.dead_stamp.clone();
+        while let Some(parent) = probe.parent() {
+            probe = parent;
+            let Some(&key) = self.by_stamp.get(&probe) else {
+                continue;
+            };
+            let Some(task) = self.tasks.get_mut(&key) else {
+                continue;
+            };
+            let next = task
+                .stamp
+                .child_towards(&sp.dead_stamp)
+                .expect("probe is an ancestor");
+            match task.children.get_mut(&next) {
+                None => {
+                    // The (twin) ancestor has not demanded this child yet;
+                    // park the salvage for when it does.
+                    task.future_salvages.push(sp);
+                    return (true, actions);
+                }
+                Some(ci) if ci.done => {
+                    // The subtree's value is already known upstream; the
+                    // orphan's contribution is stale (§4.1 case 8).
+                    self.stats.salvage_dropped += 1;
+                    return (true, actions);
+                }
+                Some(ci) => {
+                    // The unexpected grandchild answer itself proves the
+                    // instance it addressed is dead (§4.1): if we still
+                    // point at exactly that instance, declare its processor
+                    // faulty and regenerate before routing.
+                    if ci.current_addr() == Some(sp.dead_addr)
+                        && !self.known_dead.contains(&sp.dead_addr.proc)
+                    {
+                        let dead = sp.dead_addr.proc;
+                        ci.pending_salvages.push(sp);
+                        let mut acts = self.on_proc_dead(dead);
+                        actions.append(&mut acts);
+                        // "Create a step-parent for the grandchild if there
+                        // isn't one already": even with a grace period, the
+                        // salvage arrival itself triggers the twin.
+                        acts = self.salvage_triggers_twin(key, &next);
+                        actions.append(&mut acts);
+                        return (true, actions);
+                    }
+                    match ci.current_addr() {
+                        Some(addr) if !self.known_dead.contains(&addr.proc) => {
+                            let mut sp = sp;
+                            sp.to = addr;
+                            self.stats.salvage_forwarded += 1;
+                            self.send(&mut actions, addr.proc, Msg::Salvage(sp));
+                            return (true, actions);
+                        }
+                        Some(addr) => {
+                            // Child instance died too: reissue it (twin) and
+                            // park the salvage until the new ACK.
+                            let dead = addr.proc;
+                            ci.pending_salvages.push(sp);
+                            let mut acts = self.on_proc_dead(dead);
+                            actions.append(&mut acts);
+                            acts = self.salvage_triggers_twin(key, &next);
+                            actions.append(&mut acts);
+                            return (true, actions);
+                        }
+                        None => {
+                            // Spawn in flight; park until the ACK flushes.
+                            ci.pending_salvages.push(sp);
+                            return (true, actions);
+                        }
+                    }
+                }
+            }
+        }
+        (false, actions)
+    }
+
+    /// Reactive twin creation: a salvage just arrived for a child whose
+    /// twin creation was deferred by the grace period.
+    fn salvage_triggers_twin(&mut self, owner: TaskKey, stamp: &LevelStamp) -> Vec<Action> {
+        let deferred = match self
+            .tasks
+            .get_mut(&owner)
+            .and_then(|t| t.children.get_mut(stamp))
+        {
+            Some(ci) if ci.twin_pending && !ci.done => {
+                ci.twin_pending = false;
+                true
+            }
+            _ => false,
+        };
+        if deferred {
+            self.stats.step_parents_created += 1;
+            self.reissue_child(owner, stamp)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn preload_salvage(&mut self, key: TaskKey, sp: SalvagePacket) {
+        let Some(task) = self.tasks.get_mut(&key) else {
+            return;
+        };
+        self.stats.salvaged_results += 1;
+        // If the twin already spawned this demand, the preload satisfies it
+        // (§4.1 case 6: the spawned duplicate's eventual result is ignored);
+        // otherwise the preload prevents the spawn entirely (cases 4/5).
+        if let Some(stamp) = task.by_demand.get(&sp.demand).cloned() {
+            self.stats.salvage_after_spawn += 1;
+            let done = task
+                .children
+                .get(&stamp)
+                .map(|c| c.done)
+                .unwrap_or(false);
+            if !done {
+                self.supply_child(key, &stamp, sp.value);
+            } else {
+                self.stats.duplicate_results_ignored += 1;
+            }
+        } else {
+            self.stats.salvage_before_spawn += 1;
+            task.eval.preload(sp.demand, sp.value);
+            if task.eval.ready() {
+                self.enqueue(key);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Abort cascade (rollback garbage collection)
+    // -----------------------------------------------------------------
+
+    fn on_abort(&mut self, to: TaskAddr) -> Vec<Action> {
+        if self.tasks.contains_key(&to.key) {
+            self.stats.tasks_aborted += 1;
+            self.abort_cascade(to.key)
+        } else {
+            self.stats.stale_messages_ignored += 1;
+            Vec::new()
+        }
+    }
+
+    fn abort_cascade(&mut self, key: TaskKey) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(task) = self.tasks.remove(&key) else {
+            return actions;
+        };
+        if self.by_stamp.get(&task.stamp) == Some(&key) {
+            self.by_stamp.remove(&task.stamp);
+        }
+        self.ckpt.retire_owner(key);
+        for ci in task.children.values() {
+            if ci.done {
+                continue;
+            }
+            if let Some(addr) = ci.current_addr() {
+                if !self.known_dead.contains(&addr.proc) {
+                    self.stats.aborts_sent += 1;
+                    self.send(&mut actions, addr.proc, Msg::Abort { to: addr });
+                }
+            }
+            if let Some(group) = &ci.vote {
+                for (i, p) in group.placed.iter().enumerate() {
+                    let _ = i;
+                    if !self.known_dead.contains(p) {
+                        // Best effort: abort replicas at their placement.
+                        // Without the acked key we cannot address the task
+                        // precisely; replicas finish and their results are
+                        // ignored. (Counted as garbage work in experiments.)
+                        let _ = p;
+                    }
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::SelfPlacer;
+    use splice_applicative::Workload;
+
+    fn engine_for(w: &Workload, mode: RecoveryMode) -> Engine {
+        let mut cfg = Config::with_mode(mode);
+        cfg.load_beacon_period = 0;
+        Engine::new(
+            ProcId(0),
+            Arc::new(w.program.clone()),
+            cfg,
+            Box::new(SelfPlacer { here: ProcId(0) }),
+        )
+    }
+
+    fn root_packet(w: &Workload) -> TaskPacket {
+        TaskPacket {
+            stamp: LevelStamp::root().child(1),
+            demand: Demand::new(w.entry, w.args.clone()),
+            parent: TaskLink::super_root(),
+            ancestors: vec![TaskLink::super_root()],
+            incarnation: 0,
+            hops: 0,
+            replica: None,
+            under_replica: false,
+        }
+    }
+
+    /// Drives a single engine to completion by looping messages back into
+    /// it, returning the root result observed at the super-root.
+    fn run_single(engine: &mut Engine, w: &Workload) -> Value {
+        let mut inbox: VecDeque<Msg> = VecDeque::new();
+        inbox.push_back(Msg::Spawn(root_packet(w)));
+        let mut root_result = None;
+        let mut guard = 0u64;
+        loop {
+            guard += 1;
+            assert!(guard < 10_000_000, "single-engine run diverged");
+            let actions = if let Some(msg) = inbox.pop_front() {
+                engine.on_message(msg)
+            } else if let Some(key) = engine.pop_ready() {
+                engine.run_wave(key).0
+            } else {
+                break;
+            };
+            for a in actions {
+                match a {
+                    Action::Send { to, msg } => {
+                        if to.is_super_root() {
+                            if let Msg::Result(rp) = msg {
+                                root_result = Some(rp.value);
+                            }
+                            // Super-root acks are not modelled here.
+                        } else {
+                            assert_eq!(to, ProcId(0), "SelfPlacer keeps everything local");
+                            inbox.push_back(msg);
+                        }
+                    }
+                    Action::SetTimer { .. } => {
+                        // Single reliable processor: timers never matter.
+                    }
+                }
+            }
+        }
+        root_result.expect("root completed")
+    }
+
+    #[test]
+    fn single_processor_runs_fib_to_completion() {
+        let w = Workload::fib(10);
+        let mut e = engine_for(&w, RecoveryMode::Splice);
+        let v = run_single(&mut e, &w);
+        assert_eq!(v, Value::Int(55));
+        assert_eq!(e.task_count(), 0, "all tasks drained");
+        assert!(e.checkpoints().is_empty(), "all checkpoints retired");
+        assert!(e.stats().tasks_completed > 100);
+    }
+
+    #[test]
+    fn single_processor_agrees_with_reference_across_suite() {
+        for w in Workload::suite_small() {
+            let mut e = engine_for(&w, RecoveryMode::Splice);
+            let v = run_single(&mut e, &w);
+            assert_eq!(v, w.reference_result().unwrap(), "{}", w.name);
+            assert!(e.checkpoints().is_empty(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn mode_none_stores_no_checkpoints() {
+        let w = Workload::fib(8);
+        let mut e = engine_for(&w, RecoveryMode::None);
+        let v = run_single(&mut e, &w);
+        assert_eq!(v, Value::Int(21));
+        assert_eq!(e.checkpoints().stored_total(), 0);
+    }
+
+    #[test]
+    fn rollback_stores_and_retires_checkpoints() {
+        let w = Workload::fib(8);
+        let mut e = engine_for(&w, RecoveryMode::Rollback);
+        run_single(&mut e, &w);
+        assert!(e.checkpoints().stored_total() > 0);
+        assert_eq!(
+            e.checkpoints().stored_total(),
+            e.checkpoints().retired_total()
+        );
+        assert!(e.checkpoints().peak_entries() > 0);
+    }
+
+    #[test]
+    fn stale_messages_are_ignored() {
+        let w = Workload::fib(5);
+        let mut e = engine_for(&w, RecoveryMode::Splice);
+        let stale = Msg::Result(ResultPacket {
+            from_stamp: LevelStamp::from_digits(&[1, 1]),
+            demand: Demand::new(w.entry, vec![Value::Int(1)]),
+            value: Value::Int(1),
+            to: TaskAddr::new(ProcId(0), TaskKey(999)),
+            to_stamp: LevelStamp::from_digits(&[1]),
+            relay_chain: vec![],
+            replica: None,
+        });
+        let actions = e.on_message(stale);
+        assert!(actions.is_empty());
+        assert_eq!(e.stats().stale_messages_ignored, 1);
+        // Unknown aborts equally ignored.
+        e.on_message(Msg::Abort {
+            to: TaskAddr::new(ProcId(0), TaskKey(1)),
+        });
+        assert_eq!(e.stats().stale_messages_ignored, 2);
+    }
+
+    #[test]
+    fn failure_notice_is_idempotent() {
+        let w = Workload::fib(5);
+        let mut e = engine_for(&w, RecoveryMode::Rollback);
+        assert!(e.on_message(Msg::FailureNotice { dead: ProcId(3) }).is_empty());
+        assert!(e.on_message(Msg::FailureNotice { dead: ProcId(3) }).is_empty());
+        assert!(e.known_dead().contains(&ProcId(3)));
+    }
+}

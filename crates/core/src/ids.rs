@@ -1,0 +1,95 @@
+//! Processor and task identifiers.
+
+use std::fmt;
+
+/// A processor (node) identifier.
+///
+/// Processors are numbered `0..n`. The reserved id [`ProcId::SUPER_ROOT`]
+/// denotes the reliable host of the super-root (paper §4.3.1: "a super-root
+/// which acts as the parent processor of all user programs"); in both the
+/// simulator and the threaded runtime it is owned by the driver and cannot
+/// fail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The reliable pseudo-processor hosting the super-root.
+    pub const SUPER_ROOT: ProcId = ProcId(u32::MAX);
+
+    /// True for the super-root pseudo-processor.
+    pub fn is_super_root(self) -> bool {
+        self == ProcId::SUPER_ROOT
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_super_root() {
+            write!(f, "P(super-root)")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+/// A locally unique task identifier within one processor. Keys are never
+/// reused, so a stale message referring to a completed task simply finds no
+/// task — the paper's "rule of thumb: ... the processor simply ignores the
+/// received message".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskKey(pub u64);
+
+impl fmt::Display for TaskKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A globally unique task address: processor plus local key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TaskAddr {
+    /// Hosting processor.
+    pub proc: ProcId,
+    /// Local key on that processor.
+    pub key: TaskKey,
+}
+
+impl TaskAddr {
+    /// Creates an address.
+    pub fn new(proc: ProcId, key: TaskKey) -> TaskAddr {
+        TaskAddr { proc, key }
+    }
+
+    /// The super-root's well-known address.
+    pub fn super_root() -> TaskAddr {
+        TaskAddr {
+            proc: ProcId::SUPER_ROOT,
+            key: TaskKey(0),
+        }
+    }
+}
+
+impl fmt::Display for TaskAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.proc, self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(3).to_string(), "P3");
+        assert_eq!(ProcId::SUPER_ROOT.to_string(), "P(super-root)");
+        assert_eq!(TaskAddr::new(ProcId(1), TaskKey(9)).to_string(), "P1/t9");
+    }
+
+    #[test]
+    fn super_root_is_reserved() {
+        assert!(ProcId::SUPER_ROOT.is_super_root());
+        assert!(!ProcId(0).is_super_root());
+        assert_eq!(TaskAddr::super_root().proc, ProcId::SUPER_ROOT);
+    }
+}

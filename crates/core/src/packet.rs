@@ -1,0 +1,345 @@
+//! Task packets, result packets and the wire-message vocabulary.
+//!
+//! "A task packet is formed for the new function and then waits for
+//! execution. The packet contains all necessary information, either directly
+//! or indirectly accessible, to activate the child task." (§2.1)
+//!
+//! The same [`TaskPacket`] value is what the parent retains as the child's
+//! *functional checkpoint*; reissuing the packet — in the rollback or the
+//! splice algorithm — is recovery.
+
+use crate::ids::{ProcId, TaskAddr};
+use crate::stamp::LevelStamp;
+use splice_applicative::wave::Demand;
+use splice_applicative::Value;
+use std::fmt;
+
+/// A link to a task elsewhere: its address plus its level stamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskLink {
+    /// Where the task lives (at the time the link was made).
+    pub addr: TaskAddr,
+    /// The task's level stamp.
+    pub stamp: LevelStamp,
+}
+
+impl TaskLink {
+    /// Creates a link.
+    pub fn new(addr: TaskAddr, stamp: LevelStamp) -> TaskLink {
+        TaskLink { addr, stamp }
+    }
+
+    /// The super-root link (parent of the root task, §4.3.1).
+    pub fn super_root() -> TaskLink {
+        TaskLink {
+            addr: TaskAddr::super_root(),
+            stamp: LevelStamp::root(),
+        }
+    }
+}
+
+/// Replication marker carried by replica task packets (§5.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaInfo {
+    /// Index of this replica within its group (0-based).
+    pub index: u32,
+    /// Total group size.
+    pub total: u32,
+}
+
+/// A task packet: the complete, self-contained description of one function
+/// application, plus the genealogical links recovery needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPacket {
+    /// The task's level stamp (§3.1).
+    pub stamp: LevelStamp,
+    /// The application itself: combinator and evaluated arguments.
+    pub demand: Demand,
+    /// The spawning parent task. Results return here.
+    pub parent: TaskLink,
+    /// Ancestors beyond the parent, nearest first: `ancestors[0]` is the
+    /// grandparent (§4.1), `ancestors[1]` the great-grandparent (§5.2
+    /// extension), and so on, truncated to the configured ancestor depth.
+    pub ancestors: Vec<TaskLink>,
+    /// Incarnation counter: 0 for the original spawn, incremented each time
+    /// the packet is reissued by a recovery action or timeout. Recovery
+    /// semantics never branch on this; it exists for tracing and metrics.
+    pub incarnation: u32,
+    /// Number of placement hops taken so far (gradient routing).
+    pub hops: u32,
+    /// Present on replica packets (§5.3).
+    pub replica: Option<ReplicaInfo>,
+    /// True for every task in the subtree of a replica: the whole critical
+    /// section executes once per replica, and nothing inside it is
+    /// re-replicated (that would compound exponentially).
+    pub under_replica: bool,
+}
+
+impl TaskPacket {
+    /// Abstract size of the packet (argument payload plus link overhead) for
+    /// cost models and checkpoint-storage accounting.
+    pub fn size(&self) -> usize {
+        let args: usize = self.demand.args.iter().map(Value::size).sum();
+        args + self.stamp.level() + 2 + self.ancestors.len()
+    }
+
+    /// A copy prepared for reissue: same stamp and demand, bumped
+    /// incarnation, reset hops.
+    pub fn reissue(&self) -> TaskPacket {
+        let mut p = self.clone();
+        p.incarnation += 1;
+        p.hops = 0;
+        p
+    }
+}
+
+/// A result packet, returned from a completed task to its parent — or, when
+/// the parent's processor is dead, relayed towards an ancestor (splice,
+/// §4.1–4.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultPacket {
+    /// Stamp of the completed task.
+    pub from_stamp: LevelStamp,
+    /// The demand this result satisfies (the parent keys its call cache by
+    /// demand, so the result is self-describing).
+    pub demand: Demand,
+    /// The computed value.
+    pub value: Value,
+    /// The task this packet is addressed to.
+    pub to: TaskAddr,
+    /// Stamp of the task `to` is expected to have (the parent, in the
+    /// normal case). Used to classify arrivals as child / grandchild /
+    /// other, per the §4.2 `forward result` rule.
+    pub to_stamp: LevelStamp,
+    /// Remaining ancestor links to try if `to` is unreachable, nearest
+    /// first. A fresh result carries the completed task's ancestor chain;
+    /// each relay hop consumes one link.
+    pub relay_chain: Vec<TaskLink>,
+    /// Replica index when this is a replica's vote (§5.3).
+    pub replica: Option<ReplicaInfo>,
+}
+
+/// A salvaged result being routed *down* a regenerated spine towards the
+/// twin task that will consume it (splice recovery).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SalvagePacket {
+    /// The task this packet is currently addressed to.
+    pub to: TaskAddr,
+    /// Stamp of the dead task whose twin should consume the result. The
+    /// receiving task either *is* the twin (stamps equal) or forwards the
+    /// packet towards its child on the path to `dead_stamp`.
+    pub dead_stamp: LevelStamp,
+    /// Address of the dead instance the orphan tried to reach. "Processor C
+    /// receives these unexpected partial answers from grandchildren and
+    /// asserts that the parent of these grandchildren is faulty" (§4.1):
+    /// an ancestor still pointing at exactly this instance declares its
+    /// processor dead and regenerates the twin.
+    pub dead_addr: TaskAddr,
+    /// The demand the orphan satisfied.
+    pub demand: Demand,
+    /// The orphan's value.
+    pub value: Value,
+    /// Stamp of the orphan task that produced the value (for tracing).
+    pub from_stamp: LevelStamp,
+}
+
+/// Messages exchanged between processors.
+///
+/// This enum is the complete wire vocabulary of the recovery protocol; both
+/// the discrete-event simulator and the threaded runtime transport exactly
+/// these values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// A task packet seeking a processor. May be forwarded several hops by
+    /// the placer before an `Ack` pins it down (Figure 6, states b/d).
+    Spawn(TaskPacket),
+    /// Placement acknowledgement: `child` landed at `child_addr`
+    /// (Figure 6, state c: "task G receives an acknowledge from P and
+    /// establishes a parent-to-child pointer").
+    Ack {
+        /// The spawned child's stamp.
+        child_stamp: LevelStamp,
+        /// Where it landed.
+        child_addr: TaskAddr,
+        /// The parent task being acknowledged.
+        parent: TaskAddr,
+        /// Incarnation of the acknowledged packet.
+        incarnation: u32,
+    },
+    /// A completed task's result.
+    Result(ResultPacket),
+    /// A salvaged orphan result being routed to its consumer.
+    Salvage(SalvagePacket),
+    /// Abort a task and, transitively, its descendants (rollback mode:
+    /// orphans "commit suicide" and are garbage collected).
+    Abort {
+        /// The task to abort.
+        to: TaskAddr,
+    },
+    /// Load/pressure beacon for the dynamic allocator (gradient model).
+    Load {
+        /// Reporting processor.
+        from: ProcId,
+        /// Its current pressure (queue length).
+        pressure: u32,
+    },
+    /// Failure notification: `dead` has been identified as faulty, either by
+    /// the detector substrate or by gossip.
+    FailureNotice {
+        /// The failed processor.
+        dead: ProcId,
+    },
+}
+
+impl Msg {
+    /// Coarse message class for statistics.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            Msg::Spawn(_) => MsgKind::Spawn,
+            Msg::Ack { .. } => MsgKind::Ack,
+            Msg::Result(_) => MsgKind::Result,
+            Msg::Salvage(_) => MsgKind::Salvage,
+            Msg::Abort { .. } => MsgKind::Abort,
+            Msg::Load { .. } => MsgKind::Load,
+            Msg::FailureNotice { .. } => MsgKind::FailureNotice,
+        }
+    }
+
+    /// Abstract payload size for link cost models.
+    pub fn size(&self) -> usize {
+        match self {
+            Msg::Spawn(p) => p.size(),
+            Msg::Ack { .. } => 2,
+            Msg::Result(r) => r.value.size() + 4,
+            Msg::Salvage(s) => s.value.size() + 4,
+            Msg::Abort { .. } => 1,
+            Msg::Load { .. } => 1,
+            Msg::FailureNotice { .. } => 1,
+        }
+    }
+}
+
+/// Message classes, used as statistic keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum MsgKind {
+    Spawn,
+    Ack,
+    Result,
+    Salvage,
+    Abort,
+    Load,
+    FailureNotice,
+}
+
+impl MsgKind {
+    /// All message kinds, for iteration in reports.
+    pub const ALL: [MsgKind; 7] = [
+        MsgKind::Spawn,
+        MsgKind::Ack,
+        MsgKind::Result,
+        MsgKind::Salvage,
+        MsgKind::Abort,
+        MsgKind::Load,
+        MsgKind::FailureNotice,
+    ];
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MsgKind::Spawn => "spawn",
+            MsgKind::Ack => "ack",
+            MsgKind::Result => "result",
+            MsgKind::Salvage => "salvage",
+            MsgKind::Abort => "abort",
+            MsgKind::Load => "load",
+            MsgKind::FailureNotice => "failure-notice",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskKey;
+    use splice_applicative::FnId;
+
+    fn packet() -> TaskPacket {
+        TaskPacket {
+            stamp: LevelStamp::from_digits(&[1, 2]),
+            demand: Demand::new(FnId(0), vec![Value::Int(5), Value::ints([1, 2])]),
+            parent: TaskLink::new(
+                TaskAddr::new(ProcId(1), TaskKey(3)),
+                LevelStamp::from_digits(&[1]),
+            ),
+            ancestors: vec![TaskLink::super_root()],
+            incarnation: 0,
+            hops: 0,
+            replica: None,
+            under_replica: false,
+        }
+    }
+
+    #[test]
+    fn packet_size_counts_payload_and_links() {
+        let p = packet();
+        // args: 1 + 3 (list of 2) = 4; stamp level 2; +2; ancestors 1 → 9
+        assert_eq!(p.size(), 9);
+    }
+
+    #[test]
+    fn reissue_bumps_incarnation_and_resets_hops() {
+        let mut p = packet();
+        p.hops = 7;
+        let r = p.reissue();
+        assert_eq!(r.incarnation, 1);
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.stamp, p.stamp);
+        assert_eq!(r.demand, p.demand);
+        assert_eq!(r.reissue().incarnation, 2);
+    }
+
+    #[test]
+    fn msg_kinds_cover_all_variants() {
+        let p = packet();
+        let msgs = vec![
+            Msg::Spawn(p.clone()),
+            Msg::Ack {
+                child_stamp: p.stamp.clone(),
+                child_addr: TaskAddr::new(ProcId(2), TaskKey(0)),
+                parent: p.parent.addr,
+                incarnation: 0,
+            },
+            Msg::Result(ResultPacket {
+                from_stamp: p.stamp.clone(),
+                demand: p.demand.clone(),
+                value: Value::Int(1),
+                to: p.parent.addr,
+                to_stamp: p.parent.stamp.clone(),
+                relay_chain: vec![],
+                replica: None,
+            }),
+            Msg::Salvage(SalvagePacket {
+                to: p.parent.addr,
+                dead_stamp: p.stamp.clone(),
+                dead_addr: TaskAddr::new(ProcId(1), TaskKey(0)),
+                demand: p.demand.clone(),
+                value: Value::Int(1),
+                from_stamp: p.stamp.child(1),
+            }),
+            Msg::Abort { to: p.parent.addr },
+            Msg::Load {
+                from: ProcId(0),
+                pressure: 3,
+            },
+            Msg::FailureNotice { dead: ProcId(1) },
+        ];
+        let kinds: Vec<MsgKind> = msgs.iter().map(Msg::kind).collect();
+        assert_eq!(kinds, MsgKind::ALL.to_vec());
+        for m in &msgs {
+            assert!(m.size() >= 1);
+        }
+    }
+}

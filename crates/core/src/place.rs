@@ -1,0 +1,211 @@
+//! Dynamic task-allocation interface (§3.3).
+//!
+//! "The ability to recover by simply reissuing checkpointed tasks depends on
+//! the availability of a dynamic allocation strategy, such as the gradient
+//! model approach. ... Dynamic allocation does not distinguish between tasks
+//! generated for recovery and original tasks."
+//!
+//! The engine is parameterized over a [`Placer`]; recovery reissues flow
+//! through exactly the same placement path as original spawns. The gradient
+//! model itself lives in `splice-gradient`; this module defines the trait
+//! plus the trivial placers used by unit tests and scripted scenarios.
+
+use crate::ids::ProcId;
+use crate::packet::TaskPacket;
+use std::collections::{HashMap, HashSet};
+
+/// A dynamic task-allocation policy, one instance per processor.
+pub trait Placer: Send {
+    /// Chooses the destination for a packet spawned locally. `avoid` holds
+    /// processors known to be dead; a placer must never return one unless it
+    /// has no alternative (in which case the spawn will bounce and retry).
+    fn place(&mut self, packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId;
+
+    /// Decides whether an arriving packet should execute here (`None`) or be
+    /// forwarded another hop. The default accepts immediately, which makes
+    /// sender-side placement authoritative.
+    fn route(&mut self, _packet: &TaskPacket, _avoid: &HashSet<ProcId>) -> Option<ProcId> {
+        None
+    }
+
+    /// Records a pressure beacon from a peer.
+    fn on_load(&mut self, _from: ProcId, _pressure: u32) {}
+
+    /// Updates the local pressure before placement decisions.
+    fn set_local_pressure(&mut self, _pressure: u32) {}
+
+    /// Peers to send pressure beacons to (empty disables beacons).
+    fn beacon_targets(&self) -> Vec<ProcId> {
+        Vec::new()
+    }
+
+    /// The value to advertise in beacons. Defaults to the raw local
+    /// pressure; the gradient model advertises its *proximity* instead.
+    fn beacon_value(&self, local_pressure: u32) -> u32 {
+        local_pressure
+    }
+}
+
+/// Keeps every task on the spawning processor. Single-node execution;
+/// useful for differential tests against the local wave driver.
+#[derive(Debug)]
+pub struct SelfPlacer {
+    /// This processor's id.
+    pub here: ProcId,
+}
+
+impl Placer for SelfPlacer {
+    fn place(&mut self, _packet: &TaskPacket, _avoid: &HashSet<ProcId>) -> ProcId {
+        self.here
+    }
+}
+
+/// Places tasks by their level stamp according to a script, falling back to
+/// a fallback chain. This is how the Figure-1 scenario pins tasks A1, B2,
+/// C4… to processors A–D; once the scripted destination dies, reissues fall
+/// through to the first live fallback — the dynamic-allocation behaviour
+/// §3.3 requires.
+#[derive(Debug)]
+pub struct ScriptedPlacer {
+    assignments: HashMap<crate::stamp::LevelStamp, ProcId>,
+    subtrees: Vec<(crate::stamp::LevelStamp, ProcId)>,
+    fallbacks: Vec<ProcId>,
+}
+
+impl ScriptedPlacer {
+    /// Creates a scripted placer; `fallbacks` are tried in order for
+    /// unassigned stamps and dead destinations.
+    pub fn new(fallbacks: Vec<ProcId>) -> ScriptedPlacer {
+        assert!(!fallbacks.is_empty());
+        ScriptedPlacer {
+            assignments: HashMap::new(),
+            subtrees: Vec::new(),
+            fallbacks,
+        }
+    }
+
+    /// Pins a stamp to a processor.
+    pub fn assign(&mut self, stamp: crate::stamp::LevelStamp, proc: ProcId) -> &mut Self {
+        self.assignments.insert(stamp, proc);
+        self
+    }
+
+    /// Pins a whole subtree (every stamp at or below `prefix`) to a
+    /// processor. Exact assignments take precedence; among subtree rules
+    /// the longest matching prefix wins.
+    pub fn assign_subtree(&mut self, prefix: crate::stamp::LevelStamp, proc: ProcId) -> &mut Self {
+        self.subtrees.push((prefix, proc));
+        self.subtrees.sort_by_key(|(p, _)| std::cmp::Reverse(p.level()));
+        self
+    }
+}
+
+impl Placer for ScriptedPlacer {
+    fn place(&mut self, packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+        if let Some(p) = self.assignments.get(&packet.stamp) {
+            if !avoid.contains(p) {
+                return *p;
+            }
+        } else if let Some((_, p)) = self
+            .subtrees
+            .iter()
+            .find(|(prefix, _)| prefix.is_self_or_ancestor_of(&packet.stamp))
+        {
+            if !avoid.contains(p) {
+                return *p;
+            }
+        }
+        self.fallbacks
+            .iter()
+            .find(|p| !avoid.contains(p))
+            .copied()
+            .unwrap_or(self.fallbacks[0])
+    }
+}
+
+/// Deterministic round-robin over a fixed processor set, skipping dead
+/// processors. The simplest "real" distributed placer; used as a baseline.
+#[derive(Debug)]
+pub struct RoundRobinPlacer {
+    procs: Vec<ProcId>,
+    next: usize,
+}
+
+impl RoundRobinPlacer {
+    /// Round-robin over `procs` (must be non-empty).
+    pub fn new(procs: Vec<ProcId>) -> RoundRobinPlacer {
+        assert!(!procs.is_empty());
+        RoundRobinPlacer { procs, next: 0 }
+    }
+}
+
+impl Placer for RoundRobinPlacer {
+    fn place(&mut self, _packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+        for _ in 0..self.procs.len() {
+            let p = self.procs[self.next % self.procs.len()];
+            self.next = self.next.wrapping_add(1);
+            if !avoid.contains(&p) {
+                return p;
+            }
+        }
+        // Everything is dead; return anything and let the bounce path cope.
+        self.procs[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{TaskAddr, TaskKey};
+    use crate::packet::TaskLink;
+    use crate::stamp::LevelStamp;
+    use splice_applicative::wave::Demand;
+    use splice_applicative::{FnId, Value};
+
+    fn pkt(stamp: &[u32]) -> TaskPacket {
+        TaskPacket {
+            stamp: LevelStamp::from_digits(stamp),
+            demand: Demand::new(FnId(0), vec![Value::Int(1)]),
+            parent: TaskLink::new(TaskAddr::new(ProcId(0), TaskKey(0)), LevelStamp::root()),
+            ancestors: vec![],
+            incarnation: 0,
+            hops: 0,
+            replica: None,
+            under_replica: false,
+        }
+    }
+
+    #[test]
+    fn self_placer_stays_home() {
+        let mut p = SelfPlacer { here: ProcId(4) };
+        assert_eq!(p.place(&pkt(&[1]), &HashSet::new()), ProcId(4));
+        assert_eq!(p.route(&pkt(&[1]), &HashSet::new()), None);
+    }
+
+    #[test]
+    fn scripted_placer_follows_script_and_avoids_dead() {
+        let mut p = ScriptedPlacer::new(vec![ProcId(9), ProcId(4)]);
+        p.assign(LevelStamp::from_digits(&[1]), ProcId(2));
+        assert_eq!(p.place(&pkt(&[1]), &HashSet::new()), ProcId(2));
+        assert_eq!(p.place(&pkt(&[7]), &HashSet::new()), ProcId(9));
+        let dead: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(9));
+        // Dead fallbacks fall through the chain.
+        let dead: HashSet<ProcId> = [ProcId(2), ProcId(9)].into_iter().collect();
+        assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(4));
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_dead() {
+        let mut p = RoundRobinPlacer::new(vec![ProcId(0), ProcId(1), ProcId(2)]);
+        let none = HashSet::new();
+        assert_eq!(p.place(&pkt(&[1]), &none), ProcId(0));
+        assert_eq!(p.place(&pkt(&[1]), &none), ProcId(1));
+        assert_eq!(p.place(&pkt(&[1]), &none), ProcId(2));
+        assert_eq!(p.place(&pkt(&[1]), &none), ProcId(0));
+        let dead: HashSet<ProcId> = [ProcId(1)].into_iter().collect();
+        assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(2));
+        assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(0));
+        assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(2));
+    }
+}

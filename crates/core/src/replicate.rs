@@ -1,0 +1,265 @@
+//! Replicated-task voting (§5.3).
+//!
+//! "An applicative system can emulate hardware redundancy by simply
+//! replicating the task packets. Eventually, a task is executed by several
+//! processors at random times. The results are sent back to the originating
+//! node asynchronously. The originating node compares these results and
+//! selects a majority consensus as the correct answer. ... a node does not
+//! have to wait for the slowest answer if it has received the identical
+//! results from the majority of replicated tasks."
+
+use crate::config::VoteMode;
+use splice_applicative::Value;
+use std::collections::HashMap;
+
+/// Outcome of feeding one replica result into a vote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VoteOutcome {
+    /// Not enough information yet; keep waiting.
+    Pending,
+    /// Consensus reached; the value is the accepted answer and `clean` says
+    /// whether it was a strict majority (false = plurality fallback after
+    /// all live replicas reported without a majority).
+    Decided {
+        /// The accepted value.
+        value: Value,
+        /// True when a strict majority of the group agreed.
+        clean: bool,
+    },
+}
+
+/// The vote state for one replicated child.
+#[derive(Clone, Debug)]
+pub struct Vote {
+    n: u32,
+    mode: VoteMode,
+    /// Arrived results, by replica index (duplicates from one replica are
+    /// dropped).
+    votes: HashMap<u32, Value>,
+    /// Replicas known lost (their processor died before reporting).
+    lost: u32,
+    decided: bool,
+}
+
+impl Vote {
+    /// Creates a vote over `n` replicas.
+    pub fn new(n: u32, mode: VoteMode) -> Vote {
+        assert!(n >= 1);
+        Vote {
+            n,
+            mode,
+            votes: HashMap::new(),
+            lost: 0,
+            decided: false,
+        }
+    }
+
+    /// Group size.
+    pub fn group_size(&self) -> u32 {
+        self.n
+    }
+
+    /// True once a decision has been produced.
+    pub fn is_decided(&self) -> bool {
+        self.decided
+    }
+
+    /// Number of votes needed for a strict majority of the *full* group.
+    fn majority(&self) -> u32 {
+        self.n / 2 + 1
+    }
+
+    /// Feeds one replica's result. Returns the (possibly) reached outcome.
+    pub fn add(&mut self, replica: u32, value: Value) -> VoteOutcome {
+        if self.decided || self.votes.contains_key(&replica) {
+            return VoteOutcome::Pending;
+        }
+        self.votes.insert(replica, value);
+        self.evaluate()
+    }
+
+    /// Marks one replica as lost (processor failure before reporting).
+    pub fn mark_lost(&mut self) -> VoteOutcome {
+        if self.decided {
+            return VoteOutcome::Pending;
+        }
+        self.lost += 1;
+        self.evaluate()
+    }
+
+    fn evaluate(&mut self) -> VoteOutcome {
+        let mut counts: HashMap<&Value, u32> = HashMap::new();
+        for v in self.votes.values() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let majority = self.majority();
+        let all_in = self.votes.len() as u32 + self.lost >= self.n;
+        match self.mode {
+            VoteMode::Majority => {
+                if let Some((v, _)) = counts.iter().find(|(_, &c)| c >= majority) {
+                    self.decided = true;
+                    return VoteOutcome::Decided {
+                        value: (*v).clone(),
+                        clean: true,
+                    };
+                }
+            }
+            VoteMode::WaitAll => {
+                if all_in {
+                    if let Some((v, _)) = counts.iter().find(|(_, &c)| c >= majority) {
+                        self.decided = true;
+                        return VoteOutcome::Decided {
+                            value: (*v).clone(),
+                            clean: true,
+                        };
+                    }
+                }
+            }
+        }
+        if all_in {
+            // Everyone alive has reported and no strict majority exists:
+            // fall back to plurality (deterministic tie-break by value
+            // order) and flag the conflict.
+            let mut best: Option<(&Value, u32)> = None;
+            for (v, c) in counts {
+                best = match best {
+                    None => Some((v, c)),
+                    Some((bv, bc)) => {
+                        if c > bc || (c == bc && v < bv) {
+                            Some((v, c))
+                        } else {
+                            Some((bv, bc))
+                        }
+                    }
+                };
+            }
+            if let Some((v, _)) = best {
+                self.decided = true;
+                return VoteOutcome::Decided {
+                    value: v.clone(),
+                    clean: false,
+                };
+            }
+            // All replicas lost: undecidable here; the caller reissues.
+        }
+        VoteOutcome::Pending
+    }
+
+    /// True when every replica is accounted for (reported or lost) without
+    /// any result — the caller must reissue the replica group.
+    pub fn all_lost(&self) -> bool {
+        !self.decided && self.votes.is_empty() && self.lost >= self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: i64) -> Value {
+        Value::Int(n)
+    }
+
+    #[test]
+    fn majority_decides_without_waiting_for_slowest() {
+        let mut vote = Vote::new(3, VoteMode::Majority);
+        assert_eq!(vote.add(0, v(42)), VoteOutcome::Pending);
+        // Two identical answers out of three: decided now — the third
+        // (slowest) replica is not awaited.
+        assert_eq!(
+            vote.add(1, v(42)),
+            VoteOutcome::Decided {
+                value: v(42),
+                clean: true
+            }
+        );
+        assert!(vote.is_decided());
+        // The slowest answer is ignored.
+        assert_eq!(vote.add(2, v(42)), VoteOutcome::Pending);
+    }
+
+    #[test]
+    fn corrupt_minority_is_outvoted() {
+        let mut vote = Vote::new(3, VoteMode::Majority);
+        assert_eq!(vote.add(0, v(666)), VoteOutcome::Pending);
+        assert_eq!(vote.add(1, v(42)), VoteOutcome::Pending);
+        assert_eq!(
+            vote.add(2, v(42)),
+            VoteOutcome::Decided {
+                value: v(42),
+                clean: true
+            }
+        );
+    }
+
+    #[test]
+    fn wait_all_defers_until_everyone_reports() {
+        let mut vote = Vote::new(3, VoteMode::WaitAll);
+        assert_eq!(vote.add(0, v(1)), VoteOutcome::Pending);
+        assert_eq!(vote.add(1, v(1)), VoteOutcome::Pending, "majority exists but mode waits");
+        assert_eq!(
+            vote.add(2, v(1)),
+            VoteOutcome::Decided {
+                value: v(1),
+                clean: true
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_replica_votes_are_dropped() {
+        let mut vote = Vote::new(3, VoteMode::Majority);
+        assert_eq!(vote.add(0, v(9)), VoteOutcome::Pending);
+        assert_eq!(vote.add(0, v(9)), VoteOutcome::Pending);
+        assert_eq!(vote.add(0, v(9)), VoteOutcome::Pending);
+        assert!(!vote.is_decided(), "one replica cannot outvote the group");
+    }
+
+    #[test]
+    fn lost_replicas_shrink_the_wait() {
+        let mut vote = Vote::new(3, VoteMode::WaitAll);
+        assert_eq!(vote.add(0, v(7)), VoteOutcome::Pending);
+        assert_eq!(vote.mark_lost(), VoteOutcome::Pending);
+        // 1 vote + 1 lost + this vote = all accounted; 2 identical of 3 is a
+        // strict majority.
+        assert_eq!(
+            vote.add(1, v(7)),
+            VoteOutcome::Decided {
+                value: v(7),
+                clean: true
+            }
+        );
+    }
+
+    #[test]
+    fn plurality_fallback_flags_conflict() {
+        let mut vote = Vote::new(3, VoteMode::Majority);
+        assert_eq!(vote.add(0, v(1)), VoteOutcome::Pending);
+        assert_eq!(vote.add(1, v(2)), VoteOutcome::Pending);
+        match vote.add(2, v(3)) {
+            VoteOutcome::Decided { clean, .. } => assert!(!clean),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_lost_demands_reissue() {
+        let mut vote = Vote::new(2, VoteMode::Majority);
+        vote.mark_lost();
+        assert!(!vote.all_lost());
+        vote.mark_lost();
+        assert!(vote.all_lost());
+    }
+
+    #[test]
+    fn single_replica_group_accepts_first_answer() {
+        let mut vote = Vote::new(1, VoteMode::Majority);
+        assert_eq!(
+            vote.add(0, v(5)),
+            VoteOutcome::Decided {
+                value: v(5),
+                clean: true
+            }
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Level stamps (paper §3.1).
+//!
+//! "Assume that the root task carries a null level number, a task at level
+//! one will bear a unique one digit identification. Tasks in subsequent
+//! levels are stamped by appending one more digit to the number of their
+//! parents. ... Since each task is associated with a unique level stamp, it
+//! is obvious that ancestor-descendant relationships can be observed by
+//! comparing stamps. Note that a level stamp is not a time stamp. Its
+//! uniqueness is guaranteed by the program structure."
+//!
+//! Digits here are `u32` child indices assigned in deterministic demand
+//! order (see `splice-applicative`'s wave evaluator): the first child a task
+//! spawns gets digit 1, the second digit 2, and so on. Because demand order
+//! is schedule-independent, a regenerated twin assigns its children the
+//! *same* stamps as the dead original — the property splice recovery's
+//! result salvaging is built on.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A hierarchical task identifier. The root stamp is empty ("null").
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LevelStamp(Arc<[u32]>);
+
+impl LevelStamp {
+    /// The root task's (empty) stamp.
+    pub fn root() -> LevelStamp {
+        LevelStamp(Arc::from([] as [u32; 0]))
+    }
+
+    /// Builds a stamp from explicit digits (mostly for tests and scenarios).
+    pub fn from_digits(digits: &[u32]) -> LevelStamp {
+        LevelStamp(Arc::from(digits))
+    }
+
+    /// The stamp of this task's `digit`-th child (digits start at 1).
+    pub fn child(&self, digit: u32) -> LevelStamp {
+        debug_assert!(digit >= 1, "child digits start at 1");
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(digit);
+        LevelStamp(v.into())
+    }
+
+    /// The parent's stamp, or `None` for the root.
+    pub fn parent(&self) -> Option<LevelStamp> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(LevelStamp(Arc::from(&self.0[..self.0.len() - 1])))
+        }
+    }
+
+    /// The task's level: the root is level 0.
+    pub fn level(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The raw digits.
+    pub fn digits(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// True if `self` is a *strict* ancestor of `other` (a proper prefix).
+    pub fn is_ancestor_of(&self, other: &LevelStamp) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == *self.0
+    }
+
+    /// True if `self` is `other` or an ancestor of it.
+    pub fn is_self_or_ancestor_of(&self, other: &LevelStamp) -> bool {
+        self == other || self.is_ancestor_of(other)
+    }
+
+    /// True if `self` is a *strict* descendant of `other`.
+    pub fn is_descendant_of(&self, other: &LevelStamp) -> bool {
+        other.is_ancestor_of(self)
+    }
+
+    /// If `self` is an ancestor of `descendant`, returns the stamp of
+    /// `self`'s immediate child lying on the path down to `descendant`.
+    /// This is the routing step splice recovery uses to relay salvaged
+    /// results down a regenerated spine.
+    pub fn child_towards(&self, descendant: &LevelStamp) -> Option<LevelStamp> {
+        if self.is_ancestor_of(descendant) {
+            Some(LevelStamp(Arc::from(&descendant.0[..self.0.len() + 1])))
+        } else {
+            None
+        }
+    }
+
+    /// Longest common ancestor of two stamps.
+    pub fn common_ancestor(&self, other: &LevelStamp) -> LevelStamp {
+        let n = self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        LevelStamp(Arc::from(&self.0[..n]))
+    }
+
+    /// Selects the *topmost* stamps of a set: the minimal antichain under
+    /// the ancestor order. Recovery re-issues only these ("an efficient way
+    /// to salvage a group of genealogical dependents is to redo only the
+    /// most ancient ancestor and ignore the rest", §3).
+    pub fn topmost(stamps: impl IntoIterator<Item = LevelStamp>) -> Vec<LevelStamp> {
+        let mut sorted: Vec<LevelStamp> = stamps.into_iter().collect();
+        // Lexicographic order puts every ancestor immediately before its
+        // descendants, so one pass with a "last kept" marker suffices.
+        sorted.sort();
+        sorted.dedup();
+        let mut out: Vec<LevelStamp> = Vec::new();
+        for s in sorted {
+            match out.last() {
+                Some(last) if last.is_self_or_ancestor_of(&s) => {}
+                _ => out.push(s),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for LevelStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LevelStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LevelStamp({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(d: &[u32]) -> LevelStamp {
+        LevelStamp::from_digits(d)
+    }
+
+    #[test]
+    fn root_is_null() {
+        assert_eq!(LevelStamp::root().level(), 0);
+        assert_eq!(LevelStamp::root().to_string(), "ε");
+        assert_eq!(LevelStamp::root().parent(), None);
+    }
+
+    #[test]
+    fn child_appends_digit() {
+        let root = LevelStamp::root();
+        let c1 = root.child(1);
+        let c12 = c1.child(2);
+        assert_eq!(c1.digits(), &[1]);
+        assert_eq!(c12.digits(), &[1, 2]);
+        assert_eq!(c12.to_string(), "1.2");
+        assert_eq!(c12.level(), 2);
+        assert_eq!(c12.parent(), Some(c1.clone()));
+        assert_eq!(c1.parent(), Some(root));
+    }
+
+    #[test]
+    fn ancestry_is_prefix_order() {
+        let a = s(&[1]);
+        let b = s(&[1, 2]);
+        let c = s(&[1, 2, 3]);
+        let d = s(&[2]);
+        assert!(a.is_ancestor_of(&b));
+        assert!(a.is_ancestor_of(&c));
+        assert!(b.is_ancestor_of(&c));
+        assert!(!b.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a), "ancestry is strict");
+        assert!(a.is_self_or_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&d));
+        assert!(!d.is_ancestor_of(&a));
+        assert!(c.is_descendant_of(&a));
+        assert!(LevelStamp::root().is_ancestor_of(&a));
+    }
+
+    #[test]
+    fn digit_boundaries_do_not_alias() {
+        // 1.12 must not look like a descendant of 1.1 — a digit-string
+        // encoding would get this wrong, the digit-vector encoding must not.
+        let a = s(&[1, 1]);
+        let b = s(&[1, 12]);
+        assert!(!a.is_ancestor_of(&b));
+        assert!(!b.is_ancestor_of(&a));
+    }
+
+    #[test]
+    fn child_towards_routes_one_step() {
+        let a = s(&[1]);
+        let target = s(&[1, 3, 2, 4]);
+        assert_eq!(a.child_towards(&target), Some(s(&[1, 3])));
+        assert_eq!(s(&[1, 3]).child_towards(&target), Some(s(&[1, 3, 2])));
+        assert_eq!(target.child_towards(&target), None);
+        assert_eq!(s(&[2]).child_towards(&target), None);
+    }
+
+    #[test]
+    fn common_ancestor_is_longest_prefix() {
+        assert_eq!(s(&[1, 2, 3]).common_ancestor(&s(&[1, 2, 7])), s(&[1, 2]));
+        assert_eq!(s(&[1]).common_ancestor(&s(&[2])), LevelStamp::root());
+        assert_eq!(s(&[1, 2]).common_ancestor(&s(&[1, 2])), s(&[1, 2]));
+    }
+
+    #[test]
+    fn topmost_selects_minimal_antichain() {
+        // The paper's B-entry example: {B2, B3, B5} where B5 is a descendant
+        // of B2 — recovery must reissue only B2 and B3.
+        let b2 = s(&[1, 1]);
+        let b3 = s(&[1, 2]);
+        let b5 = s(&[1, 1, 2, 1]); // B5 under B2
+        let top = LevelStamp::topmost([b5.clone(), b2.clone(), b3.clone()]);
+        assert_eq!(top, vec![b2.clone(), b3.clone()]);
+        // Duplicates collapse; unrelated stamps all survive.
+        let top = LevelStamp::topmost([b2.clone(), b2.clone()]);
+        assert_eq!(top, vec![b2.clone()]);
+        let top = LevelStamp::topmost([s(&[3]), s(&[2]), s(&[1])]);
+        assert_eq!(top.len(), 3);
+        // An ancestor swallows everything below it.
+        let top = LevelStamp::topmost([b5, b3.clone(), b2.clone(), s(&[1])]);
+        assert_eq!(top, vec![s(&[1])]);
+    }
+
+    #[test]
+    fn topmost_of_empty_is_empty() {
+        assert!(LevelStamp::topmost([]).is_empty());
+    }
+
+    #[test]
+    fn ordering_groups_subtrees() {
+        let mut v = vec![s(&[2]), s(&[1, 2]), s(&[1]), s(&[1, 1, 1])];
+        v.sort();
+        assert_eq!(v, vec![s(&[1]), s(&[1, 1, 1]), s(&[1, 2]), s(&[2])]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-processor protocol statistics.
+//!
+//! Every counter here backs at least one experiment: fault-free overhead
+//! (E8) reads message and checkpoint counters, recovery experiments (E1,
+//! E4–E7) read reissue/salvage/suicide counters, replication (E10) reads the
+//! vote counters.
+
+use crate::packet::MsgKind;
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters collected by one engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Tasks instantiated locally (including twins and replicas).
+    pub tasks_created: u64,
+    /// Tasks that ran to completion locally.
+    pub tasks_completed: u64,
+    /// Evaluation waves run.
+    pub waves_run: u64,
+    /// Abstract work units (AST nodes walked).
+    pub work_units: u64,
+    /// Messages sent, by kind.
+    pub msgs_sent: [u64; 7],
+    /// Messages received, by kind.
+    pub msgs_recv: [u64; 7],
+    /// Abstract bytes sent.
+    pub bytes_sent: u64,
+    /// Child spawns emitted (original placements only).
+    pub spawns_emitted: u64,
+    /// Packet reissues (ack timeouts, bounces, recovery).
+    pub reissues: u64,
+    /// Ack timeouts fired on still-unacked spawns.
+    pub ack_timeouts: u64,
+    /// Checkpoints currently live is tracked by the table; this is the
+    /// number of step-parent (twin) tasks this engine created.
+    pub step_parents_created: u64,
+    /// Orphan results successfully spliced into a twin's evaluation.
+    pub salvaged_results: u64,
+    /// Salvages consumed *before* the twin demanded the child (§4.1 cases
+    /// 4/5: "P' will not spawn C' because the answer is already there").
+    pub salvage_before_spawn: u64,
+    /// Salvages consumed *after* the twin had already spawned the duplicate
+    /// (§4.1 case 6: the duplicate's eventual result is ignored).
+    pub salvage_after_spawn: u64,
+    /// Salvage packets forwarded a hop down a regenerated spine.
+    pub salvage_forwarded: u64,
+    /// Salvage packets dropped (stale or unroutable — §4.1 case 8).
+    pub salvage_dropped: u64,
+    /// Orphan results stranded because the entire ancestor chain was dead
+    /// (§5.2: "the orphan task would be stranded").
+    pub stranded_orphans: u64,
+    /// Abort messages sent (rollback suicide cascade).
+    pub aborts_sent: u64,
+    /// Local tasks aborted by the cascade.
+    pub tasks_aborted: u64,
+    /// Orphans that "committed suicide" on discovering the parent dead.
+    pub orphans_suicided: u64,
+    /// Duplicate results ignored ("the second copy is simply ignored").
+    pub duplicate_results_ignored: u64,
+    /// Messages ignored because no rule applied (stale addressees etc.).
+    pub stale_messages_ignored: u64,
+    /// Replica votes concluded by majority.
+    pub votes_decided: u64,
+    /// Replica votes concluded without a clean majority.
+    pub votes_conflicted: u64,
+    /// Replica results received.
+    pub replica_results: u64,
+    /// Evaluation errors surfaced (should stay 0 on shipped workloads).
+    pub eval_errors: u64,
+}
+
+impl ProcStats {
+    /// Records a sent message.
+    pub fn sent(&mut self, kind: MsgKind, size: usize) {
+        self.msgs_sent[kind as usize] += 1;
+        self.bytes_sent += size as u64;
+    }
+
+    /// Records a received message.
+    pub fn received(&mut self, kind: MsgKind) {
+        self.msgs_recv[kind as usize] += 1;
+    }
+
+    /// Total messages sent across kinds.
+    pub fn total_sent(&self) -> u64 {
+        self.msgs_sent.iter().sum()
+    }
+
+    /// Total messages received across kinds.
+    pub fn total_recv(&self) -> u64 {
+        self.msgs_recv.iter().sum()
+    }
+
+    /// Messages sent of one kind.
+    pub fn sent_of(&self, kind: MsgKind) -> u64 {
+        self.msgs_sent[kind as usize]
+    }
+}
+
+impl AddAssign<&ProcStats> for ProcStats {
+    fn add_assign(&mut self, rhs: &ProcStats) {
+        self.tasks_created += rhs.tasks_created;
+        self.tasks_completed += rhs.tasks_completed;
+        self.waves_run += rhs.waves_run;
+        self.work_units += rhs.work_units;
+        for i in 0..7 {
+            self.msgs_sent[i] += rhs.msgs_sent[i];
+            self.msgs_recv[i] += rhs.msgs_recv[i];
+        }
+        self.bytes_sent += rhs.bytes_sent;
+        self.spawns_emitted += rhs.spawns_emitted;
+        self.reissues += rhs.reissues;
+        self.ack_timeouts += rhs.ack_timeouts;
+        self.step_parents_created += rhs.step_parents_created;
+        self.salvaged_results += rhs.salvaged_results;
+        self.salvage_before_spawn += rhs.salvage_before_spawn;
+        self.salvage_after_spawn += rhs.salvage_after_spawn;
+        self.salvage_forwarded += rhs.salvage_forwarded;
+        self.salvage_dropped += rhs.salvage_dropped;
+        self.stranded_orphans += rhs.stranded_orphans;
+        self.aborts_sent += rhs.aborts_sent;
+        self.tasks_aborted += rhs.tasks_aborted;
+        self.orphans_suicided += rhs.orphans_suicided;
+        self.duplicate_results_ignored += rhs.duplicate_results_ignored;
+        self.stale_messages_ignored += rhs.stale_messages_ignored;
+        self.votes_decided += rhs.votes_decided;
+        self.votes_conflicted += rhs.votes_conflicted;
+        self.replica_results += rhs.replica_results;
+        self.eval_errors += rhs.eval_errors;
+    }
+}
+
+impl fmt::Display for ProcStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "tasks: {} created, {} completed, {} aborted; waves {}, work {}",
+            self.tasks_created,
+            self.tasks_completed,
+            self.tasks_aborted,
+            self.waves_run,
+            self.work_units
+        )?;
+        write!(f, "msgs:")?;
+        for k in MsgKind::ALL {
+            let n = self.msgs_sent[k as usize];
+            if n > 0 {
+                write!(f, " {k}={n}")?;
+            }
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "recovery: {} reissues, {} step-parents, {} salvaged, {} suicided, {} stranded",
+            self.reissues,
+            self.step_parents_created,
+            self.salvaged_results,
+            self.orphans_suicided,
+            self.stranded_orphans
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_receive_accounting() {
+        let mut s = ProcStats::default();
+        s.sent(MsgKind::Spawn, 10);
+        s.sent(MsgKind::Spawn, 5);
+        s.sent(MsgKind::Result, 3);
+        s.received(MsgKind::Ack);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.sent_of(MsgKind::Spawn), 2);
+        assert_eq!(s.total_recv(), 1);
+        assert_eq!(s.bytes_sent, 18);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = ProcStats::default();
+        a.tasks_created = 3;
+        a.sent(MsgKind::Load, 1);
+        let mut b = ProcStats::default();
+        b.tasks_created = 4;
+        b.salvaged_results = 2;
+        b.sent(MsgKind::Load, 1);
+        a += &b;
+        assert_eq!(a.tasks_created, 7);
+        assert_eq!(a.salvaged_results, 2);
+        assert_eq!(a.sent_of(MsgKind::Load), 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut s = ProcStats::default();
+        s.tasks_created = 1;
+        s.sent(MsgKind::Spawn, 4);
+        let text = s.to_string();
+        assert!(text.contains("spawn=1"));
+        assert!(text.contains("1 created"));
+    }
+}

@@ -1,0 +1,373 @@
+//! The super-root: the pre-evaluation checkpoint of the whole program
+//! (§4.3.1).
+//!
+//! "One simple method to generate a preevaluation checkpoint is to create a
+//! super-root which acts as the parent processor of all user programs. When
+//! a user program is initiated, the super-root checkpoints the program so
+//! that a duplicate copy of the program can be found in the system should
+//! the root fail. With this modification, every task in an applicative
+//! program has a parent."
+//!
+//! The super-root lives on the driver's reliable pseudo-processor
+//! ([`crate::ids::ProcId::SUPER_ROOT`]) and implements the same spawn /
+//! ack / reissue / salvage protocol as an engine — reduced to its single
+//! child, the root task.
+
+use crate::engine::{Action, Timer};
+use crate::ids::{ProcId, TaskAddr, TaskKey};
+use crate::packet::{Msg, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
+use crate::stamp::LevelStamp;
+use splice_applicative::wave::Demand;
+use splice_applicative::{FnId, Value};
+use std::collections::HashSet;
+
+/// The reliable parent of the root task.
+#[derive(Debug)]
+pub struct SuperRoot {
+    packet: TaskPacket,
+    acked: Option<(TaskAddr, u32)>,
+    incarnation: u32,
+    result: Option<Value>,
+    pending_salvages: Vec<SalvagePacket>,
+    known_dead: HashSet<ProcId>,
+    ack_timeout: u64,
+    /// Number of times the root was reissued.
+    pub reissues: u64,
+}
+
+impl SuperRoot {
+    /// Checkpoints the user program: entry function applied to arguments.
+    /// The root task receives stamp `1` and the super-root as both parent
+    /// and (transitively) every ancestor.
+    pub fn new(entry: FnId, args: Vec<Value>, ancestor_depth: usize, ack_timeout: u64) -> SuperRoot {
+        let packet = TaskPacket {
+            stamp: LevelStamp::root().child(1),
+            demand: Demand::new(entry, args),
+            parent: TaskLink::super_root(),
+            ancestors: vec![TaskLink::super_root(); ancestor_depth.saturating_sub(1)],
+            incarnation: 0,
+            hops: 0,
+            replica: None,
+            under_replica: false,
+        };
+        SuperRoot {
+            packet,
+            acked: None,
+            incarnation: 0,
+            result: None,
+            pending_salvages: Vec::new(),
+            known_dead: HashSet::new(),
+            ack_timeout,
+            reissues: 0,
+        }
+    }
+
+    /// The root task's stamp.
+    pub fn root_stamp(&self) -> &LevelStamp {
+        &self.packet.stamp
+    }
+
+    /// The program's answer, once the root task reported it.
+    pub fn result(&self) -> Option<&Value> {
+        self.result.as_ref()
+    }
+
+    /// Where the root task currently lives (if acked).
+    pub fn root_addr(&self) -> Option<TaskAddr> {
+        self.acked
+            .filter(|(_, inc)| *inc == self.incarnation)
+            .map(|(a, _)| a)
+    }
+
+    /// Launches the program: spawn the root task at `dest`.
+    pub fn launch(&mut self, dest: ProcId) -> Vec<Action> {
+        vec![
+            Action::SetTimer {
+                timer: Timer::AckTimeout {
+                    owner: TaskKey(0),
+                    stamp: self.packet.stamp.clone(),
+                    incarnation: self.incarnation,
+                },
+                delay: self.ack_timeout,
+            },
+            Action::Send {
+                to: dest,
+                msg: Msg::Spawn(self.packet.clone()),
+            },
+        ]
+    }
+
+    /// Reissues the root task at `dest` (root processor failed, or the
+    /// placement ack never came).
+    pub fn reissue(&mut self, dest: ProcId) -> Vec<Action> {
+        if self.result.is_some() {
+            return Vec::new();
+        }
+        self.incarnation += 1;
+        self.reissues += 1;
+        let mut p = self.packet.clone();
+        p.incarnation = self.incarnation;
+        let mut actions = vec![
+            Action::SetTimer {
+                timer: Timer::AckTimeout {
+                    owner: TaskKey(0),
+                    stamp: self.packet.stamp.clone(),
+                    incarnation: self.incarnation,
+                },
+                delay: self.ack_timeout,
+            },
+            Action::Send {
+                to: dest,
+                msg: Msg::Spawn(p),
+            },
+        ];
+        // The twin root inherits salvaged results of the previous root's
+        // orphans once its placement is acknowledged; nothing to flush yet.
+        if self.root_addr().is_some() {
+            actions.truncate(actions.len());
+        }
+        actions
+    }
+
+    /// Handles a message addressed to the super-root. `fallback_dest`
+    /// supplies a placement for reissues triggered by this message.
+    pub fn on_message(&mut self, msg: Msg, fallback_dest: ProcId) -> Vec<Action> {
+        match msg {
+            Msg::Ack {
+                child_stamp,
+                child_addr,
+                incarnation,
+                ..
+            } => {
+                if child_stamp != self.packet.stamp {
+                    return Vec::new();
+                }
+                let newer = match self.acked {
+                    Some((_, prev)) => incarnation >= prev,
+                    None => true,
+                };
+                if !newer {
+                    return Vec::new();
+                }
+                self.acked = Some((child_addr, incarnation));
+                let mut actions = Vec::new();
+                for mut sp in std::mem::take(&mut self.pending_salvages) {
+                    sp.to = child_addr;
+                    actions.push(Action::Send {
+                        to: child_addr.proc,
+                        msg: Msg::Salvage(sp),
+                    });
+                }
+                actions
+            }
+            Msg::Result(rp) => {
+                self.on_result(rp);
+                Vec::new()
+            }
+            Msg::Salvage(sp) => self.on_salvage(sp, fallback_dest),
+            Msg::FailureNotice { dead } => self.on_failure(dead, fallback_dest),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_result(&mut self, rp: ResultPacket) {
+        if rp.from_stamp == self.packet.stamp && self.result.is_none() {
+            self.result = Some(rp.value);
+        }
+    }
+
+    /// An orphan of the (dead) root relayed its result here: recreate the
+    /// root twin if needed and forward the salvage once placed.
+    fn on_salvage(&mut self, sp: SalvagePacket, fallback_dest: ProcId) -> Vec<Action> {
+        if self.result.is_some() {
+            return Vec::new();
+        }
+        if !self
+            .packet
+            .stamp
+            .is_self_or_ancestor_of(&sp.dead_stamp)
+        {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        match self.root_addr() {
+            Some(addr) if !self.known_dead.contains(&addr.proc) => {
+                let mut sp = sp;
+                sp.to = addr;
+                actions.push(Action::Send {
+                    to: addr.proc,
+                    msg: Msg::Salvage(sp),
+                });
+            }
+            _ => {
+                self.pending_salvages.push(sp);
+                // If we have not already reissued past the dead root, do so.
+                if self.root_addr().is_none() && self.acked.is_some() {
+                    // Reissue already pending (ack awaited); just buffer.
+                } else if self.acked.map(|(a, _)| self.known_dead.contains(&a.proc)).unwrap_or(false)
+                {
+                    actions.extend(self.reissue(fallback_dest));
+                }
+            }
+        }
+        actions
+    }
+
+    /// Processor failure: if it hosted the root, reissue the program —
+    /// "the regeneration of the root does not come naturally ... a
+    /// preevaluation functional checkpoint needs to be implemented."
+    pub fn on_failure(&mut self, dead: ProcId, fallback_dest: ProcId) -> Vec<Action> {
+        self.known_dead.insert(dead);
+        if self.result.is_some() {
+            return Vec::new();
+        }
+        match self.acked {
+            Some((addr, inc)) if addr.proc == dead && inc == self.incarnation => {
+                self.reissue(fallback_dest)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Ack-timeout for the root spawn.
+    pub fn on_timer(&mut self, timer: Timer, fallback_dest: ProcId) -> Vec<Action> {
+        match timer {
+            Timer::AckTimeout { incarnation, .. } => {
+                if self.result.is_some() {
+                    return Vec::new();
+                }
+                let acked_current = self
+                    .acked
+                    .map(|(_, inc)| inc >= incarnation)
+                    .unwrap_or(false);
+                if acked_current || incarnation < self.incarnation {
+                    Vec::new()
+                } else {
+                    self.reissue(fallback_dest)
+                }
+            }
+            Timer::LoadBeacon | Timer::GraceReissue { .. } => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sr() -> SuperRoot {
+        SuperRoot::new(FnId(0), vec![Value::Int(10)], 2, 100)
+    }
+
+    fn ack(sr_: &SuperRoot, proc: ProcId, inc: u32) -> Msg {
+        Msg::Ack {
+            child_stamp: sr_.root_stamp().clone(),
+            child_addr: TaskAddr::new(proc, TaskKey(0)),
+            parent: TaskAddr::super_root(),
+            incarnation: inc,
+        }
+    }
+
+    fn result(sr_: &SuperRoot, v: i64) -> Msg {
+        Msg::Result(ResultPacket {
+            from_stamp: sr_.root_stamp().clone(),
+            demand: sr_.packet.demand.clone(),
+            value: Value::Int(v),
+            to: TaskAddr::super_root(),
+            to_stamp: LevelStamp::root(),
+            relay_chain: vec![],
+            replica: None,
+        })
+    }
+
+    #[test]
+    fn launch_spawns_root_with_stamp_one() {
+        let mut s = sr();
+        let actions = s.launch(ProcId(0));
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            &actions[1],
+            Action::Send { to: ProcId(0), msg: Msg::Spawn(p) } if p.stamp == LevelStamp::from_digits(&[1])
+        ));
+    }
+
+    #[test]
+    fn result_is_captured_once() {
+        let mut s = sr();
+        s.launch(ProcId(0));
+        s.on_message(ack(&s, ProcId(0), 0), ProcId(0));
+        assert_eq!(s.root_addr(), Some(TaskAddr::new(ProcId(0), TaskKey(0))));
+        s.on_message(result(&s, 55), ProcId(0));
+        assert_eq!(s.result(), Some(&Value::Int(55)));
+        // Duplicate result (twin) ignored.
+        s.on_message(result(&s, 99), ProcId(0));
+        assert_eq!(s.result(), Some(&Value::Int(55)));
+    }
+
+    #[test]
+    fn root_failure_triggers_reissue() {
+        let mut s = sr();
+        s.launch(ProcId(0));
+        s.on_message(ack(&s, ProcId(0), 0), ProcId(1));
+        let actions = s.on_failure(ProcId(0), ProcId(1));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { to: ProcId(1), msg: Msg::Spawn(p) } if p.incarnation == 1)));
+        assert_eq!(s.reissues, 1);
+        // Failure of an unrelated processor does nothing.
+        assert!(s.on_failure(ProcId(7), ProcId(1)).is_empty());
+    }
+
+    #[test]
+    fn no_reissue_after_completion() {
+        let mut s = sr();
+        s.launch(ProcId(0));
+        s.on_message(ack(&s, ProcId(0), 0), ProcId(1));
+        s.on_message(result(&s, 55), ProcId(0));
+        assert!(s.on_failure(ProcId(0), ProcId(1)).is_empty());
+        assert_eq!(s.reissues, 0);
+    }
+
+    #[test]
+    fn ack_timeout_reissues_unplaced_root() {
+        let mut s = sr();
+        s.launch(ProcId(0));
+        let t = Timer::AckTimeout {
+            owner: TaskKey(0),
+            stamp: s.root_stamp().clone(),
+            incarnation: 0,
+        };
+        let actions = s.on_timer(t.clone(), ProcId(2));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { to: ProcId(2), .. })));
+        // Stale timer after the ack: no-op.
+        s.on_message(ack(&s, ProcId(2), 1), ProcId(2));
+        assert!(s.on_timer(t, ProcId(2)).is_empty());
+    }
+
+    #[test]
+    fn salvage_buffers_until_twin_ack_then_flushes() {
+        let mut s = sr();
+        s.launch(ProcId(0));
+        s.on_message(ack(&s, ProcId(0), 0), ProcId(1));
+        s.on_failure(ProcId(0), ProcId(1)); // reissue to P1, not yet acked
+        let sp = SalvagePacket {
+            to: TaskAddr::super_root(),
+            dead_stamp: s.root_stamp().clone(),
+            dead_addr: TaskAddr::new(ProcId(0), TaskKey(0)),
+            demand: Demand::new(FnId(0), vec![Value::Int(9)]),
+            value: Value::Int(34),
+            from_stamp: s.root_stamp().child(1),
+        };
+        let actions = s.on_message(Msg::Salvage(sp), ProcId(1));
+        assert!(actions.is_empty(), "buffered until the twin root is placed");
+        let actions = s.on_message(ack(&s, ProcId(1), 1), ProcId(1));
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::Send { to: ProcId(1), msg: Msg::Salvage(_) })),
+            "{actions:?}"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! The gradient model (Lin & Keller, "Gradient model: a demand-driven load
+//! balancing scheme", ICDCS 1986 — the paper's reference [10]).
+//!
+//! Each node advertises a *proximity*: its estimated hop distance to the
+//! nearest under-loaded ("demanding") node. A demanding node advertises 0;
+//! any other node advertises `1 + min(neighbour proximities)`. Surplus
+//! tasks flow down the proximity gradient, hop by hop, until they reach a
+//! demanding node — placement is fully local and demand-driven, which is
+//! exactly the property §3.3 of the recovery paper relies on: recovery
+//! reissues are placed like any other task, with no linkage bookkeeping.
+
+use splice_core::ids::ProcId;
+use splice_core::packet::TaskPacket;
+use splice_core::place::Placer;
+use std::collections::{HashMap, HashSet};
+
+/// Proximity advertised when no demanding node is known anywhere.
+pub const UNKNOWN_PROXIMITY: u32 = u32::MAX / 2;
+
+/// Gradient-model configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GradientConfig {
+    /// A node with pressure `<= idle_threshold` is *demanding* (advertises
+    /// proximity 0 and keeps arriving work).
+    pub idle_threshold: u32,
+    /// A node with pressure `<= keep_threshold` executes its own spawns
+    /// locally instead of exporting them.
+    pub keep_threshold: u32,
+}
+
+impl Default for GradientConfig {
+    fn default() -> Self {
+        GradientConfig {
+            idle_threshold: 1,
+            keep_threshold: 2,
+        }
+    }
+}
+
+/// One processor's gradient-model placer.
+#[derive(Debug)]
+pub struct GradientPlacer {
+    here: ProcId,
+    neighbors: Vec<ProcId>,
+    config: GradientConfig,
+    local_pressure: u32,
+    neighbor_proximity: HashMap<ProcId, u32>,
+    tie_rotor: usize,
+}
+
+impl GradientPlacer {
+    /// Creates a placer for `here` with its direct `neighbors`.
+    pub fn new(here: ProcId, neighbors: Vec<ProcId>, config: GradientConfig) -> GradientPlacer {
+        GradientPlacer {
+            here,
+            neighbors,
+            config,
+            local_pressure: 0,
+            neighbor_proximity: HashMap::new(),
+            tie_rotor: 0,
+        }
+    }
+
+    /// This node's current proximity estimate.
+    pub fn proximity(&self) -> u32 {
+        if self.local_pressure <= self.config.idle_threshold {
+            return 0;
+        }
+        self.neighbors
+            .iter()
+            .filter_map(|n| self.neighbor_proximity.get(n))
+            .min()
+            .map(|m| m.saturating_add(1))
+            .unwrap_or(UNKNOWN_PROXIMITY)
+    }
+
+    /// The live neighbour with the smallest advertised proximity; ties are
+    /// rotated so repeated exports spread across equally good directions.
+    fn best_neighbor(&mut self, avoid: &HashSet<ProcId>) -> Option<ProcId> {
+        let best = self
+            .neighbors
+            .iter()
+            .filter(|n| !avoid.contains(n))
+            .map(|n| {
+                (
+                    *self
+                        .neighbor_proximity
+                        .get(n)
+                        .unwrap_or(&UNKNOWN_PROXIMITY),
+                    *n,
+                )
+            })
+            .min_by_key(|(p, _)| *p)?;
+        let candidates: Vec<ProcId> = self
+            .neighbors
+            .iter()
+            .filter(|n| !avoid.contains(n))
+            .filter(|n| {
+                *self
+                    .neighbor_proximity
+                    .get(n)
+                    .unwrap_or(&UNKNOWN_PROXIMITY)
+                    == best.0
+            })
+            .copied()
+            .collect();
+        let pick = candidates[self.tie_rotor % candidates.len()];
+        self.tie_rotor = self.tie_rotor.wrapping_add(1);
+        Some(pick)
+    }
+}
+
+impl Placer for GradientPlacer {
+    fn place(&mut self, _packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+        if self.local_pressure <= self.config.keep_threshold {
+            return self.here;
+        }
+        self.best_neighbor(avoid).unwrap_or(self.here)
+    }
+
+    fn route(&mut self, packet: &TaskPacket, avoid: &HashSet<ProcId>) -> Option<ProcId> {
+        // Keep arriving work when demanding; otherwise push it further down
+        // the gradient — but only if some neighbour actually looks closer to
+        // demand than we are.
+        if self.local_pressure <= self.config.keep_threshold || packet.hops == 0 {
+            return None;
+        }
+        let my_proximity = self.proximity();
+        let next = self.best_neighbor(avoid)?;
+        let next_proximity = *self
+            .neighbor_proximity
+            .get(&next)
+            .unwrap_or(&UNKNOWN_PROXIMITY);
+        if next_proximity < my_proximity {
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    fn on_load(&mut self, from: ProcId, pressure: u32) {
+        // Beacons carry proximities, not raw queue lengths.
+        self.neighbor_proximity.insert(from, pressure);
+    }
+
+    fn set_local_pressure(&mut self, pressure: u32) {
+        self.local_pressure = pressure;
+    }
+
+    fn beacon_targets(&self) -> Vec<ProcId> {
+        self.neighbors.clone()
+    }
+
+    fn beacon_value(&self, _local_pressure: u32) -> u32 {
+        self.proximity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_core::ids::{TaskAddr, TaskKey};
+    use splice_core::packet::TaskLink;
+    use splice_core::stamp::LevelStamp;
+    use splice_applicative::wave::Demand;
+    use splice_applicative::{FnId, Value};
+
+    fn pkt(hops: u32) -> TaskPacket {
+        TaskPacket {
+            stamp: LevelStamp::from_digits(&[1]),
+            demand: Demand::new(FnId(0), vec![Value::Int(1)]),
+            parent: TaskLink::new(TaskAddr::new(ProcId(0), TaskKey(0)), LevelStamp::root()),
+            ancestors: vec![],
+            incarnation: 0,
+            hops,
+            replica: None,
+            under_replica: false,
+        }
+    }
+
+    fn placer() -> GradientPlacer {
+        GradientPlacer::new(
+            ProcId(0),
+            vec![ProcId(1), ProcId(2)],
+            GradientConfig::default(),
+        )
+    }
+
+    #[test]
+    fn idle_node_advertises_zero() {
+        let mut p = placer();
+        p.set_local_pressure(0);
+        assert_eq!(p.proximity(), 0);
+        assert_eq!(p.beacon_value(0), 0);
+    }
+
+    #[test]
+    fn busy_node_is_one_past_best_neighbor() {
+        let mut p = placer();
+        p.set_local_pressure(10);
+        assert_eq!(p.proximity(), UNKNOWN_PROXIMITY, "no beacons yet");
+        p.on_load(ProcId(1), 3);
+        p.on_load(ProcId(2), 0);
+        assert_eq!(p.proximity(), 1);
+    }
+
+    #[test]
+    fn low_pressure_keeps_tasks_local() {
+        let mut p = placer();
+        p.set_local_pressure(1);
+        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(0));
+        assert_eq!(p.route(&pkt(3), &HashSet::new()), None);
+    }
+
+    #[test]
+    fn surplus_flows_toward_demand() {
+        let mut p = placer();
+        p.set_local_pressure(10);
+        p.on_load(ProcId(1), 4);
+        p.on_load(ProcId(2), 0);
+        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(2));
+        // Routing forwards too, because neighbour 2 is strictly closer to
+        // demand than we are.
+        assert_eq!(p.route(&pkt(1), &HashSet::new()), Some(ProcId(2)));
+    }
+
+    #[test]
+    fn dead_neighbors_are_avoided() {
+        let mut p = placer();
+        p.set_local_pressure(10);
+        p.on_load(ProcId(1), 4);
+        p.on_load(ProcId(2), 0);
+        let dead: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        assert_eq!(p.place(&pkt(0), &dead), ProcId(1));
+    }
+
+    #[test]
+    fn ties_rotate() {
+        let mut p = placer();
+        p.set_local_pressure(10);
+        p.on_load(ProcId(1), 2);
+        p.on_load(ProcId(2), 2);
+        let a = p.place(&pkt(0), &HashSet::new());
+        let b = p.place(&pkt(0), &HashSet::new());
+        assert_ne!(a, b, "equal-proximity neighbours share the surplus");
+    }
+
+    #[test]
+    fn fresh_spawns_are_never_bounced_by_route() {
+        // hops == 0 means the sender just placed it here on purpose.
+        let mut p = placer();
+        p.set_local_pressure(50);
+        p.on_load(ProcId(1), 0);
+        assert_eq!(p.route(&pkt(0), &HashSet::new()), None);
+    }
+
+    #[test]
+    fn beacon_targets_are_neighbors() {
+        let p = placer();
+        assert_eq!(p.beacon_targets(), vec![ProcId(1), ProcId(2)]);
+    }
+}

@@ -1,0 +1,107 @@
+//! `splice-gradient` — dynamic task allocation for the applicative machine.
+//!
+//! §3.3 of the recovery paper makes dynamic allocation a prerequisite:
+//! "the ability to recover by simply reissuing checkpointed tasks depends on
+//! the availability of a dynamic allocation strategy, such as the gradient
+//! model approach." This crate provides that substrate:
+//!
+//! * [`gradient`] — the gradient model itself (the paper's reference [10]):
+//!   demand proximity propagation and hop-by-hop surplus migration;
+//! * [`random`] — seeded uniform-random placement and a global
+//!   least-loaded placer, the baselines for experiment E12 (round-robin
+//!   lives in `splice-core::place`).
+//!
+//! All placers implement `splice_core::place::Placer` and are interchangeable
+//! in both the simulator and the threaded runtime.
+
+#![warn(missing_docs)]
+
+pub mod gradient;
+pub mod random;
+
+pub use gradient::{GradientConfig, GradientPlacer, UNKNOWN_PROXIMITY};
+pub use random::{LeastLoadedPlacer, RandomPlacer};
+
+use splice_core::ids::ProcId;
+use splice_core::place::{Placer, RoundRobinPlacer};
+use splice_simnet::topology::Topology;
+
+/// Placement policies by name, for experiment configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// The gradient model (default).
+    Gradient,
+    /// Seeded uniform random.
+    Random,
+    /// Round-robin over all processors.
+    RoundRobin,
+    /// Global least-loaded (beacon-driven).
+    LeastLoaded,
+}
+
+impl Policy {
+    /// All policies, for sweeps.
+    pub const ALL: [Policy; 4] = [
+        Policy::Gradient,
+        Policy::Random,
+        Policy::RoundRobin,
+        Policy::LeastLoaded,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Gradient => "gradient",
+            Policy::Random => "random",
+            Policy::RoundRobin => "round-robin",
+            Policy::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Builds the placer instance for processor `here` of `topology`.
+    /// `seed` decorrelates stochastic placers across processors and runs.
+    pub fn build(self, here: ProcId, topology: &Topology, seed: u64) -> Box<dyn Placer> {
+        let n = topology.len();
+        let all: Vec<ProcId> = (0..n).map(ProcId).collect();
+        match self {
+            Policy::Gradient => {
+                let neighbors = topology
+                    .neighbors(here.0)
+                    .into_iter()
+                    .map(ProcId)
+                    .collect();
+                Box::new(GradientPlacer::new(
+                    here,
+                    neighbors,
+                    GradientConfig::default(),
+                ))
+            }
+            Policy::Random => Box::new(RandomPlacer::new(
+                all,
+                seed ^ (here.0 as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            )),
+            Policy::RoundRobin => Box::new(RoundRobinPlacer::new(all)),
+            Policy::LeastLoaded => Box::new(LeastLoadedPlacer::new(here, all)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_build_for_every_topology() {
+        let topos = [
+            Topology::Complete { n: 4 },
+            Topology::Ring { n: 4 },
+            Topology::Hypercube { dim: 2 },
+        ];
+        for t in &topos {
+            for policy in Policy::ALL {
+                let _ = policy.build(ProcId(1), t, 7);
+                assert!(!policy.name().is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Seeded uniform-random placement — the simplest dynamic allocator, used
+//! as a baseline against the gradient model in experiment E12.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use splice_core::ids::ProcId;
+use splice_core::packet::TaskPacket;
+use splice_core::place::Placer;
+use std::collections::HashSet;
+
+/// Uniform-random placement over a fixed processor set.
+pub struct RandomPlacer {
+    procs: Vec<ProcId>,
+    rng: StdRng,
+}
+
+impl RandomPlacer {
+    /// Random placement over `procs`, deterministic per `seed`.
+    pub fn new(procs: Vec<ProcId>, seed: u64) -> RandomPlacer {
+        assert!(!procs.is_empty());
+        RandomPlacer {
+            procs,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Placer for RandomPlacer {
+    fn place(&mut self, _packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+        let live: Vec<ProcId> = self
+            .procs
+            .iter()
+            .filter(|p| !avoid.contains(p))
+            .copied()
+            .collect();
+        if live.is_empty() {
+            return self.procs[0];
+        }
+        live[self.rng.gen_range(0..live.len())]
+    }
+}
+
+/// Places on the least-loaded processor according to the latest beacons —
+/// a "global view" allocator that is only realistic on small machines, but
+/// a useful upper-bound baseline for load-balance quality.
+pub struct LeastLoadedPlacer {
+    here: ProcId,
+    procs: Vec<ProcId>,
+    loads: Vec<u32>,
+    local: u32,
+}
+
+impl LeastLoadedPlacer {
+    /// Least-loaded placement over `procs`.
+    pub fn new(here: ProcId, procs: Vec<ProcId>) -> LeastLoadedPlacer {
+        let n = procs.len();
+        LeastLoadedPlacer {
+            here,
+            procs,
+            loads: vec![0; n],
+            local: 0,
+        }
+    }
+}
+
+impl Placer for LeastLoadedPlacer {
+    fn place(&mut self, _packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+        let mut best: Option<(u32, ProcId)> = None;
+        for (i, p) in self.procs.iter().enumerate() {
+            if avoid.contains(p) {
+                continue;
+            }
+            let load = if *p == self.here {
+                self.local
+            } else {
+                self.loads[i]
+            };
+            best = match best {
+                None => Some((load, *p)),
+                Some((bl, bp)) => {
+                    if load < bl {
+                        Some((load, *p))
+                    } else {
+                        Some((bl, bp))
+                    }
+                }
+            };
+        }
+        best.map(|(_, p)| p).unwrap_or(self.here)
+    }
+
+    fn on_load(&mut self, from: ProcId, pressure: u32) {
+        if let Some(i) = self.procs.iter().position(|p| *p == from) {
+            self.loads[i] = pressure;
+        }
+    }
+
+    fn set_local_pressure(&mut self, pressure: u32) {
+        self.local = pressure;
+        if let Some(i) = self.procs.iter().position(|p| *p == self.here) {
+            self.loads[i] = pressure;
+        }
+    }
+
+    fn beacon_targets(&self) -> Vec<ProcId> {
+        self.procs.iter().filter(|p| **p != self.here).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_core::ids::{TaskAddr, TaskKey};
+    use splice_core::packet::TaskLink;
+    use splice_core::stamp::LevelStamp;
+    use splice_applicative::wave::Demand;
+    use splice_applicative::{FnId, Value};
+
+    fn pkt() -> TaskPacket {
+        TaskPacket {
+            stamp: LevelStamp::from_digits(&[1]),
+            demand: Demand::new(FnId(0), vec![Value::Int(1)]),
+            parent: TaskLink::new(TaskAddr::new(ProcId(0), TaskKey(0)), LevelStamp::root()),
+            ancestors: vec![],
+            incarnation: 0,
+            hops: 0,
+            replica: None,
+            under_replica: false,
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_avoids_dead() {
+        let procs: Vec<ProcId> = (0..8).map(ProcId).collect();
+        let mut a = RandomPlacer::new(procs.clone(), 42);
+        let mut b = RandomPlacer::new(procs.clone(), 42);
+        let dead: HashSet<ProcId> = [ProcId(3)].into_iter().collect();
+        for _ in 0..100 {
+            let pa = a.place(&pkt(), &dead);
+            assert_eq!(pa, b.place(&pkt(), &dead));
+            assert_ne!(pa, ProcId(3));
+        }
+    }
+
+    #[test]
+    fn random_covers_the_whole_set() {
+        let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+        let mut p = RandomPlacer::new(procs.clone(), 1);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            seen.insert(p.place(&pkt(), &HashSet::new()));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn least_loaded_tracks_beacons() {
+        let procs: Vec<ProcId> = (0..3).map(ProcId).collect();
+        let mut p = LeastLoadedPlacer::new(ProcId(0), procs);
+        p.set_local_pressure(5);
+        p.on_load(ProcId(1), 2);
+        p.on_load(ProcId(2), 7);
+        assert_eq!(p.place(&pkt(), &HashSet::new()), ProcId(1));
+        p.on_load(ProcId(1), 9);
+        assert_eq!(p.place(&pkt(), &HashSet::new()), ProcId(0));
+        let dead: HashSet<ProcId> = [ProcId(0), ProcId(1)].into_iter().collect();
+        assert_eq!(p.place(&pkt(), &dead), ProcId(2));
+    }
+
+    #[test]
+    fn least_loaded_beacons_exclude_self() {
+        let procs: Vec<ProcId> = (0..3).map(ProcId).collect();
+        let p = LeastLoadedPlacer::new(ProcId(1), procs);
+        assert_eq!(p.beacon_targets(), vec![ProcId(0), ProcId(2)]);
+    }
+}

@@ -1,0 +1,504 @@
+//! The threaded runtime: one OS thread per processor, crossbeam channels as
+//! the interconnect.
+//!
+//! This is the "real machine" counterpart of `splice-sim`: the *same*
+//! protocol engine (`splice_core::engine::Engine`) runs unmodified; only
+//! the driver differs. Processors are worker threads with private state
+//! (partitioned memory), messages travel through unbounded channels, time
+//! is the OS clock, and failure detection is a heartbeat monitor rather
+//! than a simulator oracle.
+//!
+//! Fail-silent fault injection: a killed worker stops heartbeating,
+//! processing and sending — exactly the paper's fault model ("if a
+//! processor fails, it will no longer transmit any valid messages").
+//!
+//! The runtime favours clarity over throughput: it demonstrates that the
+//! recovery protocol is driver-agnostic and exercises it under real
+//! concurrency and real races. Timing experiments belong to the
+//! deterministic simulator.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use splice_applicative::{Program, Value, Workload};
+use splice_core::config::Config as RecoveryConfig;
+use splice_core::engine::{Action, Engine, Timer};
+use splice_core::ids::ProcId;
+use splice_core::packet::Msg;
+use splice_core::stats::ProcStats;
+use splice_core::superroot::SuperRoot;
+use splice_gradient::Policy;
+use splice_simnet::topology::Topology;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of worker processors.
+    pub n_procs: u32,
+    /// Logical topology (drives gradient neighbourhoods; messages are
+    /// always directly deliverable).
+    pub topology: Topology,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Recovery configuration shared by all engines.
+    pub recovery: RecoveryConfig,
+    /// Wall-clock duration of one abstract engine time unit (timer delays
+    /// in the engine's `SetTimer` actions are multiplied by this).
+    pub time_unit: Duration,
+    /// Heartbeat period of the failure detector.
+    pub heartbeat_period: Duration,
+    /// Silence threshold after which a worker is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Overall run timeout.
+    pub run_timeout: Duration,
+    /// Seed for stochastic placers.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// Defaults sized for tests: small machine, fast detector.
+    pub fn new(n_procs: u32) -> RuntimeConfig {
+        RuntimeConfig {
+            n_procs,
+            topology: Topology::Complete { n: n_procs },
+            policy: Policy::RoundRobin,
+            recovery: RecoveryConfig::default(),
+            time_unit: Duration::from_micros(25),
+            heartbeat_period: Duration::from_millis(5),
+            heartbeat_timeout: Duration::from_millis(40),
+            run_timeout: Duration::from_secs(30),
+            seed: 1,
+        }
+    }
+}
+
+/// A scheduled fail-silent crash.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashAt {
+    /// Victim processor.
+    pub victim: u32,
+    /// Delay from launch to the crash.
+    pub after: Duration,
+}
+
+/// Outcome of a runtime execution.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// The program's answer, if it completed in time.
+    pub result: Option<Value>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Aggregate engine statistics.
+    pub stats: ProcStats,
+    /// Failure notices broadcast by the heartbeat monitor.
+    pub detections: u64,
+    /// Times the super-root reissued the root.
+    pub root_reissues: u64,
+}
+
+enum Envelope {
+    Net { msg: Msg },
+    Notice { dead: ProcId },
+    Shutdown,
+}
+
+struct Shared {
+    senders: Vec<Sender<Envelope>>,
+    to_superroot: Sender<Envelope>,
+    killed: Vec<AtomicBool>,
+    /// Millis since `epoch` of each worker's last heartbeat.
+    beats: Vec<AtomicU64>,
+    epoch: Instant,
+    done: AtomicBool,
+    stats: Vec<Mutex<ProcStats>>,
+}
+
+impl Shared {
+    fn send(&self, to: ProcId, env: Envelope) {
+        if to.is_super_root() {
+            let _ = self.to_superroot.send(env);
+        } else if let Some(s) = self.senders.get(to.0 as usize) {
+            let _ = s.send(env);
+        }
+    }
+}
+
+/// Runs `workload` on real threads, injecting `crashes`, and reports.
+pub fn run(cfg: RuntimeConfig, workload: &Workload, crashes: &[CrashAt]) -> RuntimeReport {
+    let n = cfg.n_procs as usize;
+    assert!(n >= 1);
+    let program = Arc::new(workload.program.clone());
+    let (sr_tx, sr_rx) = unbounded::<Envelope>();
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Envelope>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let shared = Arc::new(Shared {
+        senders,
+        to_superroot: sr_tx,
+        killed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        epoch: Instant::now(),
+        done: AtomicBool::new(false),
+        stats: (0..n).map(|_| Mutex::new(ProcStats::default())).collect(),
+    });
+
+    // Workers.
+    let mut handles = Vec::with_capacity(n);
+    for (i, rx) in receivers.into_iter().enumerate() {
+        let shared = shared.clone();
+        let program = program.clone();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            worker(i as u32, rx, shared, program, cfg)
+        }));
+    }
+
+    // Heartbeat monitor.
+    let monitor = {
+        let shared = shared.clone();
+        let cfg = cfg.clone();
+        std::thread::spawn(move || heartbeat_monitor(shared, cfg))
+    };
+
+    // Fault injector.
+    let injector = {
+        let shared = shared.clone();
+        let crashes: Vec<CrashAt> = crashes.to_vec();
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            let mut remaining = crashes;
+            remaining.sort_by_key(|c| c.after);
+            for c in remaining {
+                let now = start.elapsed();
+                if c.after > now {
+                    std::thread::sleep(c.after - now);
+                }
+                if let Some(flag) = shared.killed.get(c.victim as usize) {
+                    flag.store(true, Ordering::SeqCst);
+                }
+            }
+        })
+    };
+
+    // Super-root on the driver thread.
+    let start = Instant::now();
+    let mut superroot = SuperRoot::new(
+        workload.entry,
+        workload.args.clone(),
+        cfg.recovery.ancestor_depth,
+        cfg.recovery.ack_timeout,
+    );
+    let mut sr_timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+    let mut sr_timer_payloads: Vec<Timer> = Vec::new();
+    let mut detections = 0u64;
+    let mut rotor: u32 = 0;
+    let pick_live = |shared: &Shared, rotor: &mut u32| -> ProcId {
+        for _ in 0..n {
+            let c = *rotor % n as u32;
+            *rotor = rotor.wrapping_add(1);
+            if !shared.killed[c as usize].load(Ordering::SeqCst) {
+                return ProcId(c);
+            }
+        }
+        ProcId(0)
+    };
+    let dest = pick_live(&shared, &mut rotor);
+    let apply_sr_actions = |actions: Vec<Action>,
+                                shared: &Shared,
+                                timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
+                                payloads: &mut Vec<Timer>| {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => shared.send(to, Envelope::Net { msg }),
+                Action::SetTimer { timer, delay } => {
+                    let at = Instant::now() + cfg.time_unit * delay as u32;
+                    payloads.push(timer);
+                    timers.push(Reverse((at, (payloads.len() - 1) as u64)));
+                }
+            }
+        }
+    };
+    apply_sr_actions(
+        superroot.launch(dest),
+        &shared,
+        &mut sr_timers,
+        &mut sr_timer_payloads,
+    );
+
+    let result = loop {
+        if start.elapsed() > cfg.run_timeout {
+            break None;
+        }
+        // Fire due super-root timers.
+        while let Some(Reverse((at, idx))) = sr_timers.peek().copied() {
+            if at > Instant::now() {
+                break;
+            }
+            sr_timers.pop();
+            let timer = sr_timer_payloads[idx as usize].clone();
+            let fallback = pick_live(&shared, &mut rotor);
+            let actions = superroot.on_timer(timer, fallback);
+            apply_sr_actions(actions, &shared, &mut sr_timers, &mut sr_timer_payloads);
+        }
+        match sr_rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(Envelope::Net { msg }) => {
+                let fallback = pick_live(&shared, &mut rotor);
+                let actions = superroot.on_message(msg, fallback);
+                apply_sr_actions(actions, &shared, &mut sr_timers, &mut sr_timer_payloads);
+            }
+            Ok(Envelope::Notice { dead }) => {
+                detections += 1;
+                let fallback = pick_live(&shared, &mut rotor);
+                let actions = superroot.on_failure(dead, fallback);
+                apply_sr_actions(actions, &shared, &mut sr_timers, &mut sr_timer_payloads);
+            }
+            Ok(Envelope::Shutdown) => break None,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break None,
+        }
+        if let Some(v) = superroot.result() {
+            break Some(v.clone());
+        }
+    };
+
+    // Tear down.
+    shared.done.store(true, Ordering::SeqCst);
+    for s in &shared.senders {
+        let _ = s.send(Envelope::Shutdown);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = monitor.join();
+    let _ = injector.join();
+
+    let mut stats = ProcStats::default();
+    for s in shared.stats.iter() {
+        stats += &s.lock();
+    }
+    RuntimeReport {
+        result,
+        elapsed: start.elapsed(),
+        stats,
+        detections,
+        root_reissues: superroot.reissues,
+    }
+}
+
+fn worker(
+    id: u32,
+    rx: Receiver<Envelope>,
+    shared: Arc<Shared>,
+    program: Arc<Program>,
+    cfg: RuntimeConfig,
+) {
+    let placer = cfg.policy.build(ProcId(id), &cfg.topology, cfg.seed);
+    let mut engine = Engine::new(ProcId(id), program, cfg.recovery.clone(), placer);
+    let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+    let mut timer_payloads: Vec<Timer> = Vec::new();
+    let apply = |engine: &Engine,
+                     actions: Vec<Action>,
+                     timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
+                     payloads: &mut Vec<Timer>,
+                     shared: &Shared| {
+        let _ = engine;
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => shared.send(to, Envelope::Net { msg }),
+                Action::SetTimer { timer, delay } => {
+                    let at = Instant::now() + cfg.time_unit * delay as u32;
+                    payloads.push(timer);
+                    timers.push(Reverse((at, (payloads.len() - 1) as u64)));
+                }
+            }
+        }
+    };
+    let actions = engine.on_start();
+    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+
+    loop {
+        if shared.done.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.killed[id as usize].load(Ordering::SeqCst) {
+            // Fail-silent: no heartbeats, no processing, no sends. Keep
+            // draining the channel so senders never block, then exit once
+            // the run ends.
+            match rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(Envelope::Shutdown) => break,
+                _ => continue,
+            }
+        }
+        // Heartbeat.
+        shared.beats[id as usize].store(
+            shared.epoch.elapsed().as_millis() as u64,
+            Ordering::Relaxed,
+        );
+        // Fire due timers.
+        while let Some(Reverse((at, idx))) = timers.peek().copied() {
+            if at > Instant::now() {
+                break;
+            }
+            timers.pop();
+            let t = timer_payloads[idx as usize].clone();
+            let actions = engine.on_timer(t);
+            apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+        }
+        // Drain a batch of messages.
+        let mut worked = false;
+        for _ in 0..64 {
+            match rx.try_recv() {
+                Ok(Envelope::Net { msg }) => {
+                    worked = true;
+                    let actions = engine.on_message(msg);
+                    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+                }
+                Ok(Envelope::Notice { dead }) => {
+                    worked = true;
+                    let actions = engine.on_message(Msg::FailureNotice { dead });
+                    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+                }
+                Ok(Envelope::Shutdown) => {
+                    *shared.stats[id as usize].lock() = engine.stats().clone();
+                    return;
+                }
+                Err(_) => break,
+            }
+        }
+        // Run ready waves.
+        for _ in 0..16 {
+            let Some(key) = engine.pop_ready() else { break };
+            worked = true;
+            let (actions, _work) = engine.run_wave(key);
+            apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+        }
+        if !worked {
+            // Idle: wait briefly for traffic (bounded by next timer).
+            match rx.recv_timeout(Duration::from_micros(500)) {
+                Ok(Envelope::Net { msg }) => {
+                    let actions = engine.on_message(msg);
+                    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+                }
+                Ok(Envelope::Notice { dead }) => {
+                    let actions = engine.on_message(Msg::FailureNotice { dead });
+                    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+                }
+                Ok(Envelope::Shutdown) => break,
+                Err(_) => {}
+            }
+        }
+    }
+    *shared.stats[id as usize].lock() = engine.stats().clone();
+}
+
+/// Declares workers dead after `heartbeat_timeout` of silence and
+/// broadcasts `FailureNotice`s to every live worker and the super-root —
+/// the "passive node diagnosis" stand-in.
+fn heartbeat_monitor(shared: Arc<Shared>, cfg: RuntimeConfig) {
+    let n = shared.killed.len();
+    let mut declared = vec![false; n];
+    // Give workers a grace period to start beating.
+    std::thread::sleep(cfg.heartbeat_timeout);
+    while !shared.done.load(Ordering::SeqCst) {
+        let now = shared.epoch.elapsed().as_millis() as u64;
+        for i in 0..n {
+            if declared[i] {
+                continue;
+            }
+            let last = shared.beats[i].load(Ordering::Relaxed);
+            if now.saturating_sub(last) > cfg.heartbeat_timeout.as_millis() as u64 {
+                declared[i] = true;
+                let dead = ProcId(i as u32);
+                for j in 0..n {
+                    if j != i {
+                        shared.send(ProcId(j as u32), Envelope::Notice { dead });
+                    }
+                }
+                shared.send(ProcId::SUPER_ROOT, Envelope::Notice { dead });
+            }
+        }
+        std::thread::sleep(cfg.heartbeat_period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(n: u32) -> RuntimeConfig {
+        let mut c = RuntimeConfig::new(n);
+        c.recovery.load_beacon_period = 0;
+        // Abstract ack-timeout (4000 units × 25µs = 100ms) stays above the
+        // heartbeat timeout so detection usually wins the race.
+        c
+    }
+
+    #[test]
+    fn fault_free_matches_reference() {
+        let w = Workload::fib(11);
+        let r = run(quick_cfg(4), &w, &[]);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+        assert!(r.stats.tasks_completed >= 100);
+    }
+
+    #[test]
+    fn fault_free_small_suite() {
+        for w in [
+            Workload::dcsum(0, 48),
+            Workload::quicksort(16, 3),
+            Workload::nqueens(4),
+        ] {
+            let r = run(quick_cfg(3), &w, &[]);
+            assert_eq!(r.result, Some(w.reference_result().unwrap()), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn crash_is_detected_and_survived_splice() {
+        let w = Workload::fib(14);
+        let mut cfg = quick_cfg(4);
+        cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        let crashes = [CrashAt {
+            victim: 2,
+            after: Duration::from_millis(30),
+        }];
+        let r = run(cfg, &w, &crashes);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+        assert!(r.detections >= 1, "heartbeat monitor must notice the crash");
+    }
+
+    #[test]
+    fn crash_is_survived_rollback() {
+        let w = Workload::fib(14);
+        let mut cfg = quick_cfg(4);
+        cfg.recovery.mode = splice_core::config::RecoveryMode::Rollback;
+        let crashes = [CrashAt {
+            victim: 1,
+            after: Duration::from_millis(25),
+        }];
+        let r = run(cfg, &w, &crashes);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+    }
+
+    #[test]
+    fn immediate_crash_before_launch_is_survived() {
+        let w = Workload::fib(10);
+        let mut cfg = quick_cfg(3);
+        cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        // Kill the processor that will host the root, instantly.
+        let crashes = [CrashAt {
+            victim: 0,
+            after: Duration::from_millis(0),
+        }];
+        let r = run(cfg, &w, &crashes);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+    }
+}

@@ -1,0 +1,47 @@
+//! Execution cost model.
+//!
+//! Maps abstract evaluation work (AST nodes walked per wave) onto virtual
+//! time. Together with the link model this determines every timing result;
+//! the defaults are chosen so that one task wave is the same order of
+//! magnitude as one or two message hops, which matches the fine task grain
+//! of reduction machines like Rediflow.
+
+/// Cost parameters for task execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Fixed dispatch cost per wave (scheduling, packet handling).
+    pub wave_base: u64,
+    /// Cost per abstract work unit (AST node walked).
+    pub per_work_unit: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            wave_base: 10,
+            per_work_unit: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Virtual-time cost of a wave that performed `work` units.
+    pub fn wave_cost(&self, work: u64) -> u64 {
+        self.wave_base + self.per_work_unit * work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_cost_is_affine() {
+        let c = CostModel {
+            wave_base: 5,
+            per_work_unit: 3,
+        };
+        assert_eq!(c.wave_cost(0), 5);
+        assert_eq!(c.wave_cost(10), 35);
+    }
+}

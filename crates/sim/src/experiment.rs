@@ -1,0 +1,728 @@
+//! The experiment suite (E1–E12 of DESIGN.md).
+//!
+//! The paper has no quantitative tables — its figures are conceptual — so
+//! each experiment either *executes* a figure as a checked scenario or
+//! *quantifies* one of the paper's comparative claims. Every function here
+//! is deterministic; the `experiments` binary prints the tables that
+//! EXPERIMENTS.md records, and the criterion benches time the underlying
+//! runs.
+
+use crate::baseline::{restart_time_with_fault, GlobalCheckpointModel};
+use crate::figure1;
+use crate::machine::{run_workload, MachineConfig};
+use splice_applicative::Workload;
+use splice_core::config::{CheckpointFilter, RecoveryMode, ReplicaSpec, VoteMode};
+use splice_gradient::Policy;
+use splice_simnet::fault::{FaultKind, FaultPlan};
+use splice_simnet::time::VirtualTime;
+use splice_simnet::topology::Topology;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Table rendering
+// ---------------------------------------------------------------------------
+
+/// A printable experiment table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id + description.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:w$} |", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_f(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// The default experiment machine: 8 processors, complete graph, gradient
+/// placement.
+pub fn default_config(n: u32, mode: RecoveryMode) -> MachineConfig {
+    let mut cfg = MachineConfig::new(n);
+    cfg.recovery.mode = mode;
+    cfg
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Figure 1
+// ---------------------------------------------------------------------------
+
+/// E1: the Figure-1 scenario under both algorithms plus the no-filter
+/// ablation.
+pub fn e01_figure1() -> Table {
+    let mut t = Table::new(
+        "E1 (Figure 1): processor B fails mid-evaluation; three fragments",
+        &[
+            "recovery", "completed", "correct", "reissues", "suicides", "aborted", "salvaged",
+            "tasks", "finish",
+        ],
+    );
+    for (name, mode, filter) in [
+        ("rollback/topmost", RecoveryMode::Rollback, CheckpointFilter::Topmost),
+        ("rollback/all", RecoveryMode::Rollback, CheckpointFilter::All),
+        ("splice", RecoveryMode::Splice, CheckpointFilter::Topmost),
+    ] {
+        let out = figure1::run(mode, filter);
+        t.row(vec![
+            name.into(),
+            out.report.completed.to_string(),
+            out.correct().to_string(),
+            out.report.stats.reissues.to_string(),
+            out.report.stats.orphans_suicided.to_string(),
+            out.report.stats.tasks_aborted.to_string(),
+            out.report.stats.salvaged_results.to_string(),
+            out.report.stats.tasks_created.to_string(),
+            out.report.finish.ticks().to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E3 — checkpoint table & topmost rule
+// ---------------------------------------------------------------------------
+
+/// E3: reissue counts and wasted work with and without the topmost rule,
+/// on Figure 1 and on a random-placement workload.
+pub fn e03_topmost_rule() -> Table {
+    let mut t = Table::new(
+        "E3 (§3.2): topmost rule vs reissue-all (rollback)",
+        &["scenario", "filter", "reissues", "total work", "finish"],
+    );
+    for (filter, name) in [
+        (CheckpointFilter::Topmost, "topmost"),
+        (CheckpointFilter::All, "all"),
+    ] {
+        let out = figure1::run(RecoveryMode::Rollback, filter);
+        t.row(vec![
+            "figure1".into(),
+            name.into(),
+            out.report.stats.reissues.to_string(),
+            out.report.total_work().to_string(),
+            out.report.finish.ticks().to_string(),
+        ]);
+    }
+    let w = Workload::dcsum(0, 256);
+    for (filter, name) in [
+        (CheckpointFilter::Topmost, "topmost"),
+        (CheckpointFilter::All, "all"),
+    ] {
+        let mut cfg = default_config(8, RecoveryMode::Rollback);
+        cfg.recovery.ckpt_filter = filter;
+        let fault_free = run_workload(cfg.clone(), &w, &FaultPlan::none());
+        let crash = VirtualTime(fault_free.finish.ticks() / 2);
+        let r = run_workload(cfg, &w, &FaultPlan::crash_at(5, crash));
+        t.row(vec![
+            w.name.clone(),
+            name.into(),
+            r.stats.reissues.to_string(),
+            r.total_work().to_string(),
+            r.finish.ticks().to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E5 — the eight orderings, statistically
+// ---------------------------------------------------------------------------
+
+/// E5 (Figure 5): sweep the crash instant and classify how salvage landed —
+/// before the twin's demand (cases 4/5), after it (cases 6/7), or not at
+/// all (fragments finished or never started). The deterministic per-case
+/// forcing lives in `tests/eight_cases.rs`; this table shows all orderings
+/// occur in the wild.
+pub fn e05_case_mix(w: &Workload, steps: u32) -> Table {
+    let mut t = Table::new(
+        format!("E5 (Figure 5): salvage-ordering mix over crash instants [{}]", w.name),
+        &[
+            "crash@%", "correct", "salvaged", "before-spawn(4/5)", "after-spawn(6/7)",
+            "dup-ignored", "stranded",
+        ],
+    );
+    let cfg = default_config(8, RecoveryMode::Splice);
+    let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+    let total = fault_free.finish.ticks();
+    for i in 1..steps {
+        let frac = i as f64 / steps as f64;
+        let crash = VirtualTime((total as f64 * frac) as u64);
+        let r = run_workload(cfg.clone(), w, &FaultPlan::crash_at(5, crash));
+        let correct = r.result == Some(w.reference_result().unwrap());
+        t.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            correct.to_string(),
+            r.stats.salvaged_results.to_string(),
+            r.stats.salvage_before_spawn.to_string(),
+            r.stats.salvage_after_spawn.to_string(),
+            r.stats.duplicate_results_ignored.to_string(),
+            r.stats.stranded_orphans.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E6 — residue-freedom across the whole spawn state machine
+// ---------------------------------------------------------------------------
+
+/// E6 (Figures 6–7): fine crash-time sweep; the answer must be correct at
+/// *every* instant, whatever spawn/ack/result state the fault interrupts.
+pub fn e06_residue(w: &Workload, steps: u32) -> Table {
+    let mut t = Table::new(
+        format!("E6 (Figures 6-7): correctness across all fault instants [{}]", w.name),
+        &["mode", "instants", "completed", "correct", "min finish", "max finish"],
+    );
+    for mode in [RecoveryMode::Rollback, RecoveryMode::Splice] {
+        let cfg = default_config(6, mode);
+        let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+        let total = fault_free.finish.ticks();
+        let mut completed = 0;
+        let mut correct = 0;
+        let mut min_finish = u64::MAX;
+        let mut max_finish = 0;
+        for i in 0..steps {
+            let crash = VirtualTime(total * i as u64 / steps as u64 + 1);
+            let r = run_workload(cfg.clone(), w, &FaultPlan::crash_at(4, crash));
+            if r.completed {
+                completed += 1;
+                min_finish = min_finish.min(r.finish.ticks());
+                max_finish = max_finish.max(r.finish.ticks());
+            }
+            if r.result == Some(w.reference_result().unwrap()) {
+                correct += 1;
+            }
+        }
+        t.row(vec![
+            format!("{mode:?}"),
+            steps.to_string(),
+            completed.to_string(),
+            correct.to_string(),
+            min_finish.to_string(),
+            max_finish.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E7 — recovery cost vs fault timing
+// ---------------------------------------------------------------------------
+
+/// One row of the E7 sweep.
+#[derive(Clone, Debug)]
+pub struct FaultTimingPoint {
+    /// Fault instant as a fraction of the fault-free completion time.
+    pub fraction: f64,
+    /// Slowdown of rollback vs fault-free.
+    pub rollback_slowdown: f64,
+    /// Slowdown of splice vs fault-free.
+    pub splice_slowdown: f64,
+    /// Slowdown of whole-program restart (model).
+    pub restart_slowdown: f64,
+    /// Slowdown of periodic global checkpointing (model).
+    pub gcp_slowdown: f64,
+    /// Redundant work fraction, rollback.
+    pub rollback_redundant: f64,
+    /// Redundant work fraction, splice.
+    pub splice_redundant: f64,
+    /// Results salvaged by splice.
+    pub splice_salvaged: u64,
+}
+
+/// E7 sweep data (also used by the bench).
+pub fn e07_points(w: &Workload, steps: u32, n_procs: u32) -> Vec<FaultTimingPoint> {
+    let base_cfg = default_config(n_procs, RecoveryMode::Splice);
+    let fault_free = run_workload(base_cfg.clone(), w, &FaultPlan::none());
+    let total = fault_free.finish.ticks();
+    let gcp = GlobalCheckpointModel::with_interval(total / 10);
+    // Crash the busiest processor: under locality-preserving placement the
+    // highest-numbered one may never host work at all.
+    let victim = fault_free
+        .per_proc
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.tasks_created)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    let mut points = Vec::new();
+    for i in 1..steps {
+        let fraction = i as f64 / steps as f64;
+        let crash = VirtualTime((total as f64 * fraction) as u64);
+        let faults = FaultPlan::crash_at(victim, crash);
+        let rollback = run_workload(
+            default_config(n_procs, RecoveryMode::Rollback),
+            w,
+            &faults,
+        );
+        let splice = run_workload(default_config(n_procs, RecoveryMode::Splice), w, &faults);
+        points.push(FaultTimingPoint {
+            fraction,
+            rollback_slowdown: rollback.slowdown_vs(&fault_free),
+            splice_slowdown: splice.slowdown_vs(&fault_free),
+            restart_slowdown: restart_time_with_fault(&fault_free, crash.ticks()) as f64
+                / total.max(1) as f64,
+            gcp_slowdown: gcp.time_with_fault(&fault_free, crash.ticks()) as f64
+                / total.max(1) as f64,
+            rollback_redundant: rollback.redundant_work_vs(&fault_free),
+            splice_redundant: splice.redundant_work_vs(&fault_free),
+            splice_salvaged: splice.stats.salvaged_results,
+        });
+    }
+    points
+}
+
+/// E7: the table.
+pub fn e07_fault_timing(w: &Workload, steps: u32) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E7 (§6): recovery cost vs fault instant [{}] — slowdown vs fault-free",
+            w.name
+        ),
+        &[
+            "fault@%", "rollback", "splice", "restart(model)", "gcp(model)",
+            "redo-work rb", "redo-work sp", "salvaged",
+        ],
+    );
+    for p in e07_points(w, steps, 8) {
+        t.row(vec![
+            format!("{:.0}%", p.fraction * 100.0),
+            fmt_f(p.rollback_slowdown),
+            fmt_f(p.splice_slowdown),
+            fmt_f(p.restart_slowdown),
+            fmt_f(p.gcp_slowdown),
+            fmt_f(p.rollback_redundant),
+            fmt_f(p.splice_redundant),
+            p.splice_salvaged.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E8 — fault-free overhead
+// ---------------------------------------------------------------------------
+
+/// E8: fault-free overhead of functional checkpointing vs no fault
+/// tolerance vs the periodic global checkpoint model.
+pub fn e08_overhead(workloads: &[Workload]) -> Table {
+    let mut t = Table::new(
+        "E8 (§2): fault-free overhead — functional vs periodic global checkpointing",
+        &[
+            "workload", "scheme", "finish", "slowdown", "msgs", "bytes", "ckpt peak entries",
+            "ckpt peak bytes",
+        ],
+    );
+    for w in workloads {
+        let none = run_workload(default_config(8, RecoveryMode::None), w, &FaultPlan::none());
+        for (name, mode) in [
+            ("none", RecoveryMode::None),
+            ("rollback", RecoveryMode::Rollback),
+            ("splice", RecoveryMode::Splice),
+        ] {
+            let r = run_workload(default_config(8, mode), w, &FaultPlan::none());
+            t.row(vec![
+                w.name.clone(),
+                name.into(),
+                r.finish.ticks().to_string(),
+                fmt_f(r.slowdown_vs(&none)),
+                r.stats.total_sent().to_string(),
+                r.stats.bytes_sent.to_string(),
+                r.ckpt_peak_entries.to_string(),
+                r.ckpt_peak_bytes.to_string(),
+            ]);
+        }
+        for interval_div in [20u64, 10, 5] {
+            let interval = (none.finish.ticks() / interval_div).max(1);
+            let gcp = GlobalCheckpointModel::with_interval(interval);
+            let time = gcp.fault_free_time(&none);
+            t.row(vec![
+                w.name.clone(),
+                format!("global-ckpt I=T/{interval_div}"),
+                time.to_string(),
+                fmt_f(time as f64 / none.finish.ticks().max(1) as f64),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E9 — multiple faults and ancestor depth
+// ---------------------------------------------------------------------------
+
+/// E9a: multiple faults on different branches (splice recovers in parallel).
+pub fn e09_different_branches(w: &Workload) -> Table {
+    let mut t = Table::new(
+        format!("E9a (§5.2): multiple faults on different branches [{}]", w.name),
+        &["faults", "mode", "completed", "correct", "reissues", "salvaged", "finish"],
+    );
+    for k in [1usize, 2, 3] {
+        for mode in [RecoveryMode::Rollback, RecoveryMode::Splice] {
+            let cfg = default_config(12, mode);
+            let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+            let total = fault_free.finish.ticks();
+            let faults = FaultPlan::random_crashes(
+                k,
+                12,
+                (VirtualTime(total / 4), VirtualTime(3 * total / 4)),
+                &[],
+                99,
+            );
+            let r = run_workload(cfg, w, &faults);
+            let correct = r.result == Some(w.reference_result().unwrap());
+            t.row(vec![
+                k.to_string(),
+                format!("{mode:?}"),
+                r.completed.to_string(),
+                correct.to_string(),
+                r.stats.reissues.to_string(),
+                r.stats.salvaged_results.to_string(),
+                r.finish.ticks().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E9b: parent *and* grandparent die simultaneously (Figure 1's B and C);
+/// sweep the ancestor-chain depth. Depth 2 (the paper's base scheme)
+/// strands the orphans; depth ≥ 3 (the §5.2 extension) salvages through
+/// the great-grandparent. Completion is achieved either way — stranding
+/// only costs the salvage.
+pub fn e09_chain_depth() -> Table {
+    let mut t = Table::new(
+        "E9b (§5.2): B and C fail together; ancestor-chain depth sweep (figure-1 tree)",
+        &["depth", "completed", "correct", "stranded", "salvaged", "finish"],
+    );
+    for depth in [2usize, 3, 4] {
+        let crash_at = figure1::crash_instant();
+        let w = figure1::workload();
+        let assignments = figure1::stamps();
+        let mut cfg = MachineConfig::new(4);
+        cfg.policy = Policy::RoundRobin;
+        cfg.recovery.mode = RecoveryMode::Splice;
+        cfg.recovery.ancestor_depth = depth;
+        cfg.recovery.load_beacon_period = 0;
+        let m = crate::machine::Machine::with_placer_factory(cfg, &w, move |_| {
+            let mut sp = splice_core::place::ScriptedPlacer::new(vec![figure1::B, figure1::D, figure1::A, figure1::C]);
+            for (_, stamp, proc) in &assignments {
+                sp.assign(stamp.clone(), *proc);
+            }
+            Box::new(sp)
+        });
+        let faults = FaultPlan::crash_at(figure1::B.0, crash_at).and(
+            figure1::C.0,
+            crash_at,
+            FaultKind::Crash,
+        );
+        let r = m.run(&faults);
+        let correct = r.result == Some(splice_applicative::Value::Int(figure1::TREE_SIZE));
+        t.row(vec![
+            depth.to_string(),
+            r.completed.to_string(),
+            correct.to_string(),
+            r.stats.stranded_orphans.to_string(),
+            r.stats.salvaged_results.to_string(),
+            r.finish.ticks().to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E10 — replicated tasks
+// ---------------------------------------------------------------------------
+
+/// E10 (§5.3): replicated critical tasks with a corrupting processor.
+/// `n = 1` shows unprotected corruption propagating to the answer; majority
+/// voting masks it; `WaitAll` shows the synchronous-redundancy latency.
+pub fn e10_replication() -> Table {
+    let mut t = Table::new(
+        "E10 (§5.3): replicated tasks, one corrupting processor",
+        &[
+            "replication", "correct", "votes ok", "votes conflicted", "replica results",
+            "finish",
+        ],
+    );
+    let w = Workload::mapreduce(0, 16, 8);
+    // Replicate the splitter itself: the root's two child subtrees each run
+    // as one replica group (whole-subtree critical sections, §5.3).
+    let mapred = w.program.lookup("mapred").unwrap();
+    let expected = w.reference_result().unwrap();
+    for (name, n, vote) in [
+        ("n=1 (unprotected)", 1u32, VoteMode::Majority),
+        ("n=3 majority", 3, VoteMode::Majority),
+        ("n=3 wait-all", 3, VoteMode::WaitAll),
+        ("n=5 majority", 5, VoteMode::Majority),
+    ] {
+        let mut cfg = default_config(8, RecoveryMode::Splice);
+        // Round-robin spreads replicas across all processors, so the
+        // corrupting node demonstrably participates.
+        cfg.policy = Policy::RoundRobin;
+        cfg.recovery.replicate.insert(mapred, ReplicaSpec { n, vote });
+        // Processor 0 hosts the root, so the round-robin rotor places the
+        // first replica of the first group there deterministically — and
+        // processor 0 corrupts every replica result it emits.
+        let faults = FaultPlan {
+            events: vec![splice_simnet::fault::FaultEvent {
+                at: VirtualTime(0),
+                victim: 0,
+                kind: FaultKind::Corrupt,
+            }],
+        };
+        let r = run_workload(cfg, &w, &faults);
+        let correct = r.result == Some(expected.clone());
+        t.row(vec![
+            name.into(),
+            correct.to_string(),
+            r.stats.votes_decided.to_string(),
+            r.stats.votes_conflicted.to_string(),
+            r.stats.replica_results.to_string(),
+            r.finish.ticks().to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E11 — scalability with checkpointing on/off
+// ---------------------------------------------------------------------------
+
+/// E11: speedup over processor counts, with and without functional
+/// checkpointing (the Rediflow-style scaling context of [9]).
+pub fn e11_scalability(w: &Workload, proc_counts: &[u32]) -> Table {
+    let mut t = Table::new(
+        format!("E11: scalability with checkpointing on/off [{}]", w.name),
+        &["procs", "finish none", "finish splice", "speedup none", "speedup splice", "ckpt overhead"],
+    );
+    let base_none = run_workload(default_config(1, RecoveryMode::None), w, &FaultPlan::none());
+    let base_splice = run_workload(default_config(1, RecoveryMode::Splice), w, &FaultPlan::none());
+    for &n in proc_counts {
+        let none = run_workload(default_config(n, RecoveryMode::None), w, &FaultPlan::none());
+        let splice = run_workload(default_config(n, RecoveryMode::Splice), w, &FaultPlan::none());
+        t.row(vec![
+            n.to_string(),
+            none.finish.ticks().to_string(),
+            splice.finish.ticks().to_string(),
+            fmt_f(base_none.finish.ticks() as f64 / none.finish.ticks().max(1) as f64),
+            fmt_f(base_splice.finish.ticks() as f64 / splice.finish.ticks().max(1) as f64),
+            fmt_f(splice.finish.ticks() as f64 / none.finish.ticks().max(1) as f64),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E12 — placement policies
+// ---------------------------------------------------------------------------
+
+/// E12 (§3.3): load-balance quality per placement policy, fault-free and
+/// with one mid-run crash (recovery placement transparency).
+pub fn e12_policies(w: &Workload, topology: Topology) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E12 (§3.3): placement policies [{}] on {:?}",
+            w.name, topology
+        ),
+        &[
+            "policy", "finish", "imbalance", "msgs", "crash finish", "crash correct",
+        ],
+    );
+    let n = topology.len();
+    for policy in Policy::ALL {
+        let mut cfg = default_config(n, RecoveryMode::Splice);
+        cfg.topology = topology.clone();
+        cfg.policy = policy;
+        let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+        let crash = VirtualTime(fault_free.finish.ticks() / 2);
+        let crashed = run_workload(cfg, w, &FaultPlan::crash_at(n - 1, crash));
+        let correct = crashed.result == Some(w.reference_result().unwrap());
+        t.row(vec![
+            policy.name().into(),
+            fault_free.finish.ticks().to_string(),
+            fmt_f(fault_free.work_imbalance()),
+            fault_free.stats.total_sent().to_string(),
+            crashed.finish.ticks().to_string(),
+            correct.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// E13 — splice grace period (extension)
+// ---------------------------------------------------------------------------
+
+/// E13 (extension): eager vs deferred twin creation. Eager splice (the
+/// paper's scheme, grace = 0) regenerates twins at the failure notice and
+/// can duplicate orphan subtrees still in flight (§4.1 cases 6/7); a grace
+/// period lets orphan results land first (cases 4/5), trading recovery
+/// latency for less redundant work. The sweep quantifies that trade.
+pub fn e13_splice_grace(w: &Workload, graces: &[u64]) -> Table {
+    let mut t = Table::new(
+        format!("E13 (extension): splice twin-creation grace period [{}]", w.name),
+        &[
+            "grace", "correct", "finish", "slowdown", "redo-work", "salvaged",
+            "before-spawn(4/5)", "after-spawn(6/7)", "twins",
+        ],
+    );
+    let base_cfg = default_config(8, RecoveryMode::Splice);
+    let fault_free = run_workload(base_cfg.clone(), w, &FaultPlan::none());
+    let crash = VirtualTime(fault_free.finish.ticks() / 2);
+    for &grace in graces {
+        let mut cfg = base_cfg.clone();
+        cfg.recovery.splice_grace = grace;
+        let r = run_workload(cfg, w, &FaultPlan::crash_at(6, crash));
+        let correct = r.result == Some(w.reference_result().unwrap());
+        t.row(vec![
+            grace.to_string(),
+            correct.to_string(),
+            r.finish.ticks().to_string(),
+            fmt_f(r.slowdown_vs(&fault_free)),
+            fmt_f(r.redundant_work_vs(&fault_free)),
+            r.stats.salvaged_results.to_string(),
+            r.stats.salvage_before_spawn.to_string(),
+            r.stats.salvage_after_spawn.to_string(),
+            r.stats.step_parents_created.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| a | long-header |"));
+        assert!(s.contains("| x | 1           |"));
+    }
+
+    #[test]
+    fn e01_reproduces_figure1_claims() {
+        let t = e01_figure1();
+        assert_eq!(t.rows.len(), 3);
+        // Every configuration completes correctly.
+        for row in &t.rows {
+            assert_eq!(row[1], "true", "{row:?}");
+            assert_eq!(row[2], "true", "{row:?}");
+        }
+        // rollback/topmost reissues exactly 4; rollback/all at least 5.
+        assert_eq!(t.rows[0][3], "4");
+        assert!(t.rows[1][3].parse::<u64>().unwrap() >= 5);
+        // splice salvages.
+        assert!(t.rows[2][6].parse::<u64>().unwrap() > 0);
+    }
+
+    #[test]
+    fn e07_has_the_papers_shape() {
+        // "if a fault happens at a later stage of the evaluation, the
+        // rollback recovery may be costly" — and restart costlier still:
+        // restart's cost grows monotonically with the fault instant, and
+        // at the latest instant checkpoint-based recovery (either
+        // algorithm) beats restarting the program.
+        let w = Workload::fib(13);
+        let pts = e07_points(&w, 4, 6);
+        assert_eq!(pts.len(), 3);
+        // Restart's cost grows monotonically with the fault instant.
+        assert!(pts.last().unwrap().restart_slowdown > pts[0].restart_slowdown);
+        // Rollback's redone work grows as the fault moves later (the §6
+        // caveat: "if a fault happens at a later stage ... rollback
+        // recovery may be costly").
+        assert!(
+            pts.last().unwrap().rollback_redundant > pts[0].rollback_redundant,
+            "{pts:?}"
+        );
+        // Splice actually salvages something at the mid-run fault.
+        assert!(pts[1].splice_salvaged > 0, "{:?}", pts[1]);
+        // The global-checkpoint model is never free.
+        for p in &pts {
+            assert!(p.gcp_slowdown > 1.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn e13_grace_reduces_duplication_and_stays_correct() {
+        let w = Workload::mapreduce(0, 32, 8);
+        let t = e13_splice_grace(&w, &[0, 2_000, 10_000]);
+        for row in &t.rows {
+            assert_eq!(row[1], "true", "grace={} must stay correct", row[0]);
+        }
+        // With a generous grace, more salvage lands before the twin spawns
+        // the duplicate.
+        let before_eager: u64 = t.rows[0][6].parse().unwrap();
+        let before_lazy: u64 = t.rows[2][6].parse().unwrap();
+        assert!(
+            before_lazy >= before_eager,
+            "grace should move salvage to the before-spawn cases: {t}"
+        );
+    }
+
+    #[test]
+    fn e10_votes_mask_corruption() {
+        let t = e10_replication();
+        // Unprotected run is corrupted...
+        assert_eq!(t.rows[0][1], "false", "{:?}", t.rows[0]);
+        // ...while every replicated configuration masks it.
+        for row in &t.rows[1..] {
+            assert_eq!(row[1], "true", "{row:?}");
+        }
+    }
+}

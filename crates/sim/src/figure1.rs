@@ -1,0 +1,327 @@
+//! The paper's Figure 1, executable.
+//!
+//! "Suppose that an applicative program has been spawned into the call tree
+//! as shown in Figure 1. ... Suppose that processor B fails. Then tasks Bi
+//! are destroyed. The call tree is thus fragmented into three pieces:
+//! {A1,C1,C2,C3,D3}, {A2,D1,D2,C4}, and {D4,D5,A5}."
+//!
+//! This module reconstructs that exact tree — a dedicated combinator per
+//! task, pinned to processors A–D by a scripted placer — kills B at the
+//! moment the paper's snapshot depicts (B5 just placed, B1/B2/B3/B7 all
+//! mid-flight), and lets either recovery algorithm finish the run. Tests
+//! and experiment E1 assert the paper's claims on the result:
+//!
+//! * recovery re-issues exactly B1 (from A), B2 and B3 (from C) and B7
+//!   (from D);
+//! * B5 is **not** re-issued under the topmost rule, because its checkpoint
+//!   stamp descends from B2's within processor C's entry for B (and in
+//!   rollback its owner C4 aborts);
+//! * under rollback the two orphan fragments commit suicide;
+//! * under splice the orphan fragments survive and their results are
+//!   spliced into the regenerated twins.
+
+use crate::machine::{Machine, MachineConfig};
+use crate::report::RunReport;
+use splice_applicative::parser::parse;
+use splice_applicative::{Value, Workload};
+use splice_core::config::{CheckpointFilter, RecoveryMode};
+use splice_core::ids::ProcId;
+use splice_core::place::ScriptedPlacer;
+use splice_core::stamp::LevelStamp;
+use splice_gradient::Policy;
+use splice_simnet::fault::FaultPlan;
+use splice_simnet::time::VirtualTime;
+use splice_simnet::topology::Topology;
+
+/// Processor A.
+pub const A: ProcId = ProcId(0);
+/// Processor B (the one that fails).
+pub const B: ProcId = ProcId(1);
+/// Processor C.
+pub const C: ProcId = ProcId(2);
+/// Processor D.
+pub const D: ProcId = ProcId(3);
+
+/// The Figure-1 program: one combinator per task; every task returns the
+/// size of its subtree, so the root answer (20) checks the whole tree ran.
+///
+/// Tree (processor in brackets; `b1x/b3x/b7x` are slow B-local chains that
+/// keep B1/B3/B7 in flight at the crash instant, and `a5` is a slow A-local
+/// chain that keeps the {D4,D5,A5} fragment alive):
+///
+/// ```text
+/// a1[A] ── b1[B] ── b1x[B]
+///      └── c1[C] ── b2[B] ── d4[D] ── d5[D] ── a5[A]
+///                        └── a2[A] ── d1[D]
+///                                 └── d2[D] ── c4[C] ── b5[B]
+///               ├── b3[B] ── b3x[B]
+///               └── c2[C] ── c3[C]
+///                        └── d3[D] ── b7[B] ── b7x[B]
+/// ```
+const SOURCE: &str = r#"
+(def bchain (n) (if (<= n 0) 1 (bchain (- n 1))))
+(def achain (n) (if (<= n 0) 1 (achain (- n 1))))
+(def b1x () (bchain 10))
+(def b1 () (+ 1 (b1x)))
+(def a5 () (achain 12))
+(def d5 () (+ 1 (a5)))
+(def d4 () (+ 1 (d5)))
+(def d1 () 1)
+(def b5 () 1)
+(def c4 () (+ 1 (b5)))
+(def d2 () (+ 1 (c4)))
+(def a2 () (+ 1 (+ (d1) (d2))))
+(def b2 () (+ 1 (+ (d4) (a2))))
+(def b3x () (bchain 10))
+(def b3 () (+ 1 (b3x)))
+(def c3 () 1)
+(def b7x () (bchain 10))
+(def b7 () (+ 1 (b7x)))
+(def d3 () (+ 1 (b7)))
+(def c2 () (+ 1 (+ (c3) (d3))))
+(def c1 () (+ 1 (+ (+ (b2) (b3)) (c2))))
+(def a1 () (+ 1 (+ (b1) (c1))))
+"#;
+
+/// Total number of tasks in the tree (= the root's answer).
+pub const TREE_SIZE: i64 = 20;
+
+/// Builds the Figure-1 workload.
+pub fn workload() -> Workload {
+    let parsed = parse(SOURCE).expect("figure-1 program parses");
+    assert!(parsed.program.validate().is_empty());
+    let entry = parsed.program.lookup("a1").unwrap();
+    Workload {
+        name: "figure1".into(),
+        program: parsed.program,
+        entry,
+        args: vec![],
+    }
+}
+
+/// The level stamps of every named task, derived from deterministic demand
+/// order (see module docs of `splice_applicative::wave`).
+pub fn stamps() -> Vec<(&'static str, LevelStamp, ProcId)> {
+    let s = LevelStamp::from_digits;
+    vec![
+        ("a1", s(&[1]), A),
+        ("b1", s(&[1, 1]), B),
+        ("c1", s(&[1, 2]), C),
+        ("b1x", s(&[1, 1, 1]), B),
+        ("b2", s(&[1, 2, 1]), B),
+        ("b3", s(&[1, 2, 2]), B),
+        ("c2", s(&[1, 2, 3]), C),
+        ("d4", s(&[1, 2, 1, 1]), D),
+        ("a2", s(&[1, 2, 1, 2]), A),
+        ("b3x", s(&[1, 2, 2, 1]), B),
+        ("c3", s(&[1, 2, 3, 1]), C),
+        ("d3", s(&[1, 2, 3, 2]), D),
+        ("d5", s(&[1, 2, 1, 1, 1]), D),
+        ("d1", s(&[1, 2, 1, 2, 1]), D),
+        ("d2", s(&[1, 2, 1, 2, 2]), D),
+        ("b7", s(&[1, 2, 3, 2, 1]), B),
+        ("a5", s(&[1, 2, 1, 1, 1, 1]), A),
+        ("c4", s(&[1, 2, 1, 2, 2, 1]), C),
+        ("b7x", s(&[1, 2, 3, 2, 1, 1]), B),
+        ("b5", s(&[1, 2, 1, 2, 2, 1, 1]), B),
+    ]
+}
+
+/// Stamp of a named Figure-1 task.
+pub fn stamp_of(name: &str) -> LevelStamp {
+    stamps()
+        .into_iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, s, _)| s)
+        .unwrap_or_else(|| panic!("unknown figure-1 task `{name}`"))
+}
+
+fn machine_config(mode: RecoveryMode, filter: CheckpointFilter) -> MachineConfig {
+    let mut cfg = MachineConfig::new(4);
+    cfg.topology = Topology::Complete { n: 4 };
+    cfg.policy = Policy::RoundRobin; // overridden by the scripted placer
+    cfg.recovery.mode = mode;
+    cfg.recovery.ckpt_filter = filter;
+    cfg.recovery.load_beacon_period = 0;
+    cfg
+}
+
+fn build_machine(mode: RecoveryMode, filter: CheckpointFilter) -> Machine {
+    let w = workload();
+    let assignments = stamps();
+    let mut m = Machine::with_placer_factory(machine_config(mode, filter), &w, move |_p| {
+        let mut sp = ScriptedPlacer::new(vec![B, D, C, A]); // anything unknown lands on B
+        for (_, stamp, proc) in &assignments {
+            sp.assign(stamp.clone(), *proc);
+        }
+        // The filler chains stay on their hosts.
+        sp.assign_subtree(stamp_of("b1x"), B);
+        sp.assign_subtree(stamp_of("b3x"), B);
+        sp.assign_subtree(stamp_of("b7x"), B);
+        sp.assign_subtree(stamp_of("a5"), A);
+        Box::new(sp)
+    });
+    m.enable_spawn_log();
+    m
+}
+
+/// Finds the crash instant: one tick after B5's task packet lands on B —
+/// the snapshot moment of the paper's Figure 1 (every Bi in flight).
+pub fn crash_instant() -> VirtualTime {
+    let probe = build_machine(RecoveryMode::Splice, CheckpointFilter::Topmost);
+    let report = probe.run(&FaultPlan::none());
+    assert!(report.completed, "figure-1 probe run must complete");
+    let b5 = stamp_of("b5");
+    let t = report
+        .spawn_log
+        .iter()
+        .find(|(_, s, _)| *s == b5)
+        .map(|(t, _, _)| *t)
+        .expect("b5 is spawned in the probe run");
+    VirtualTime(t + 1)
+}
+
+/// Outcome of the Figure-1 scenario.
+#[derive(Clone, Debug)]
+pub struct Figure1Outcome {
+    /// The full run report.
+    pub report: RunReport,
+    /// Virtual time at which B was crashed.
+    pub crash_at: VirtualTime,
+}
+
+impl Figure1Outcome {
+    /// True when the run finished with the correct tree size.
+    pub fn correct(&self) -> bool {
+        self.report.result == Some(Value::Int(TREE_SIZE))
+    }
+}
+
+/// Runs the scenario: build the tree, crash B at the snapshot instant,
+/// recover with `mode`/`filter`, and report.
+pub fn run(mode: RecoveryMode, filter: CheckpointFilter) -> Figure1Outcome {
+    let crash_at = crash_instant();
+    let m = build_machine(mode, filter);
+    let report = m.run(&FaultPlan::crash_at(B.0, crash_at));
+    Figure1Outcome { report, crash_at }
+}
+
+/// Verifies the placement of the probe run matches the figure (every task
+/// on its processor). Returns the mismatches (empty = exact).
+pub fn verify_placement() -> Vec<String> {
+    let probe = build_machine(RecoveryMode::Splice, CheckpointFilter::Topmost);
+    let report = probe.run(&FaultPlan::none());
+    let mut problems = Vec::new();
+    for (name, stamp, want) in stamps() {
+        match report
+            .spawn_log
+            .iter()
+            .find(|(_, s, _)| *s == stamp)
+            .map(|(_, _, p)| *p)
+        {
+            Some(got) if got == want => {}
+            Some(got) => problems.push(format!("{name} placed on {got}, expected {want}")),
+            None => problems.push(format!("{name} never spawned")),
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_evaluates_to_its_size() {
+        let w = workload();
+        assert_eq!(w.reference_result().unwrap(), Value::Int(TREE_SIZE));
+    }
+
+    #[test]
+    fn placement_matches_the_figure() {
+        let problems = verify_placement();
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn fault_free_run_completes() {
+        let m = build_machine(RecoveryMode::Splice, CheckpointFilter::Topmost);
+        let r = m.run(&FaultPlan::none());
+        assert!(r.completed);
+        assert_eq!(r.result, Some(Value::Int(TREE_SIZE)));
+        // 20 named tasks + three 11-task bchains on B + the 13-task achain
+        // under a5 on A.
+        assert_eq!(r.stats.tasks_created, 66);
+    }
+
+    #[test]
+    fn rollback_recovers_and_skips_b5() {
+        let out = run(RecoveryMode::Rollback, CheckpointFilter::Topmost);
+        assert!(out.report.completed, "rollback run stalled");
+        assert!(out.correct());
+        // The two orphan fragment tops (D4 on D, A2 on A) commit suicide...
+        assert_eq!(out.report.stats.orphans_suicided, 2);
+        // ...and their fragments are garbage collected by the cascade:
+        // D5, A5 + its chain, D1/D2 already done, C4 — 10 tasks.
+        assert_eq!(out.report.stats.tasks_aborted, 10);
+        // Recovery re-issues exactly B1 (A), B2+B3 (C), B7 (D) — not B5.
+        assert_eq!(out.report.stats.reissues, 4, "{}", out.report.stats);
+    }
+
+    #[test]
+    fn rollback_without_topmost_rule_reissues_b5_fruitlessly() {
+        let out = run(RecoveryMode::Rollback, CheckpointFilter::All);
+        assert!(out.report.completed);
+        assert!(out.correct());
+        // The ablation re-issues B5 as well ("reactivation of B5 only
+        // increases the system overhead").
+        assert!(
+            out.report.stats.reissues >= 5,
+            "expected the fruitless B5 reissue, got {}",
+            out.report.stats.reissues
+        );
+        let topmost = run(RecoveryMode::Rollback, CheckpointFilter::Topmost);
+        assert!(
+            out.report.total_work() >= topmost.report.total_work(),
+            "ablation performs at least as much work"
+        );
+    }
+
+    #[test]
+    fn splice_salvages_orphan_results() {
+        let out = run(RecoveryMode::Splice, CheckpointFilter::Topmost);
+        assert!(out.report.completed, "splice run stalled");
+        assert!(out.correct());
+        // No suicides in splice mode: orphans keep computing.
+        assert_eq!(out.report.stats.orphans_suicided, 0);
+        assert_eq!(out.report.stats.tasks_aborted, 0);
+        // Every live parent of a dead child created a twin: B1 (A), B2+B3
+        // (C1), B5 (C4), B7 (D3).
+        assert_eq!(out.report.stats.step_parents_created, 5);
+        // Both orphan fragments (D4's and A2's) delivered their results via
+        // the grandparent relay.
+        assert_eq!(out.report.stats.salvaged_results, 2, "{}", out.report.stats);
+    }
+
+    #[test]
+    fn splice_preserves_orphan_progress_rollback_discards_it() {
+        let rollback = run(RecoveryMode::Rollback, CheckpointFilter::Topmost);
+        let splice = run(RecoveryMode::Splice, CheckpointFilter::Topmost);
+        // Rollback throws 12 tasks of partial progress away (2 suicides +
+        // 10 cascade aborts); splice aborts nothing and completes more
+        // tasks usefully.
+        let rolled_away =
+            rollback.report.stats.orphans_suicided + rollback.report.stats.tasks_aborted;
+        assert_eq!(rolled_away, 12);
+        assert_eq!(
+            splice.report.stats.orphans_suicided + splice.report.stats.tasks_aborted,
+            0
+        );
+        assert!(
+            splice.report.stats.tasks_completed > rollback.report.stats.tasks_completed,
+            "splice {} vs rollback {}",
+            splice.report.stats.tasks_completed,
+            rollback.report.stats.tasks_completed
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! `splice-sim` — the simulated applicative multiprocessor and the
+//! experiment harness reproducing the paper's figures.
+//!
+//! * [`machine`] — N protocol engines over the DES substrate, with fault
+//!   injection, failure detection and a reliable super-root;
+//! * [`cost`] — the execution cost model;
+//! * [`report`] — per-run measurements;
+//! * [`figure1`] — the paper's Figure 1 scenario, scripted;
+//! * [`baseline`] — whole-program-restart and periodic-global-checkpoint
+//!   comparison models;
+//! * [`experiment`] — the E1–E12 experiment suite (see DESIGN.md) used by
+//!   the `experiments` binary and the criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cost;
+pub mod experiment;
+pub mod figure1;
+pub mod machine;
+pub mod report;
+
+pub use cost::CostModel;
+pub use machine::{run_workload, Machine, MachineConfig};
+pub use report::RunReport;

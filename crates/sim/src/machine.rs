@@ -1,0 +1,670 @@
+//! The simulated applicative multiprocessor.
+//!
+//! A [`Machine`] instantiates one protocol [`Engine`] per processor of a
+//! topology, moves their messages through the discrete-event queue with
+//! topology-dependent latency, charges execution time per evaluation wave,
+//! injects faults from a [`FaultPlan`], and runs the reliable super-root on
+//! the driver side. Everything is deterministic for a given configuration
+//! and seed.
+
+use crate::cost::CostModel;
+use crate::report::RunReport;
+use splice_applicative::{Program, Value, Workload};
+use splice_core::config::Config as RecoveryConfig;
+use splice_core::engine::{Action, Engine, Timer};
+use splice_core::ids::ProcId;
+use splice_core::packet::Msg;
+use splice_core::stamp::LevelStamp;
+use splice_core::place::Placer;
+use splice_core::stats::ProcStats;
+use splice_core::superroot::SuperRoot;
+use splice_gradient::Policy;
+use splice_simnet::detect::DetectorConfig;
+use splice_simnet::fault::{FaultKind, FaultPlan};
+use splice_simnet::link::LinkModel;
+use splice_simnet::queue::EventQueue;
+use splice_simnet::time::VirtualTime;
+use splice_simnet::topology::Topology;
+use splice_simnet::trace::Trace;
+use std::sync::Arc;
+
+/// Full machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Interconnect topology (defines the processor count).
+    pub topology: Topology,
+    /// Link latency model.
+    pub link: LinkModel,
+    /// Failure detection timing.
+    pub detector: DetectorConfig,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Recovery configuration shared by all engines.
+    pub recovery: RecoveryConfig,
+    /// Execution cost model.
+    pub cost: CostModel,
+    /// Seed for stochastic placers and jitter.
+    pub seed: u64,
+    /// Hard event budget (guards against divergence).
+    pub max_events: u64,
+    /// Hard virtual-time budget.
+    pub max_time: VirtualTime,
+    /// Trace capacity (0 disables tracing).
+    pub trace: usize,
+}
+
+impl MachineConfig {
+    /// A sensible default machine: `n` processors, complete graph, splice
+    /// recovery, gradient placement.
+    pub fn new(n: u32) -> MachineConfig {
+        MachineConfig {
+            topology: Topology::Complete { n },
+            link: LinkModel::default(),
+            detector: DetectorConfig::default(),
+            policy: Policy::Gradient,
+            recovery: RecoveryConfig::default(),
+            cost: CostModel::default(),
+            seed: 1,
+            max_events: 200_000_000,
+            max_time: VirtualTime(u64::MAX / 4),
+            trace: 0,
+        }
+    }
+}
+
+enum Ev {
+    Deliver {
+        from: ProcId,
+        to: ProcId,
+        msg: Msg,
+    },
+    Bounce {
+        sender: ProcId,
+        dead: ProcId,
+        msg: Msg,
+    },
+    Timer {
+        proc: ProcId,
+        timer: Timer,
+    },
+    Step {
+        proc: ProcId,
+    },
+    Fault {
+        victim: ProcId,
+        kind: FaultKind,
+    },
+    Notice {
+        to: ProcId,
+        dead: ProcId,
+    },
+    /// Periodic state-size sampling for the global-checkpoint baseline.
+    Sample,
+    /// Deferred wave effects: a wave's sends/timers materialize when the
+    /// wave completes, and die with the processor if it crashed mid-wave
+    /// (fail-silent: "it will no longer transmit any valid messages").
+    Effects {
+        proc: ProcId,
+        actions: Vec<Action>,
+    },
+}
+
+struct ProcState {
+    engine: Engine,
+    alive: bool,
+    corrupting: bool,
+    busy_until: VirtualTime,
+    step_pending: bool,
+}
+
+/// The simulated machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    program: Arc<Program>,
+    procs: Vec<ProcState>,
+    superroot: SuperRoot,
+    queue: EventQueue<Ev>,
+    now: VirtualTime,
+    msg_seq: u64,
+    delivered: u64,
+    dropped_to_dead: u64,
+    bounces: u64,
+    launch_rotor: u32,
+    /// (time, live tasks across live processors) samples.
+    state_samples: Vec<(u64, u64)>,
+    sample_period: u64,
+    trace: Trace,
+    /// When enabled, records `(time, stamp, proc)` at every task creation.
+    log_spawns: bool,
+    spawn_log: Vec<(u64, LevelStamp, ProcId)>,
+}
+
+impl Machine {
+    /// Builds a machine for `workload` with per-processor placers from the
+    /// configured policy.
+    pub fn new(cfg: MachineConfig, workload: &Workload) -> Machine {
+        let topo = cfg.topology.clone();
+        let policy = cfg.policy;
+        let seed = cfg.seed;
+        Machine::with_placer_factory(cfg, workload, |p| policy.build(p, &topo, seed))
+    }
+
+    /// Builds a machine with custom placers (used by scripted scenarios such
+    /// as Figure 1).
+    pub fn with_placer_factory(
+        cfg: MachineConfig,
+        workload: &Workload,
+        mut factory: impl FnMut(ProcId) -> Box<dyn Placer>,
+    ) -> Machine {
+        let n = cfg.topology.len();
+        assert!(n >= 1, "need at least one processor");
+        let program = Arc::new(workload.program.clone());
+        let mut procs = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let id = ProcId(i);
+            let engine = Engine::new(id, program.clone(), cfg.recovery.clone(), factory(id));
+            procs.push(ProcState {
+                engine,
+                alive: true,
+                corrupting: false,
+                busy_until: VirtualTime::ZERO,
+                step_pending: false,
+            });
+        }
+        let superroot = SuperRoot::new(
+            workload.entry,
+            workload.args.clone(),
+            cfg.recovery.ancestor_depth,
+            cfg.recovery.ack_timeout,
+        );
+        let trace = Trace::new(cfg.trace);
+        Machine {
+            program,
+            procs,
+            superroot,
+            queue: EventQueue::new(),
+            now: VirtualTime::ZERO,
+            msg_seq: 0,
+            delivered: 0,
+            dropped_to_dead: 0,
+            bounces: 0,
+            launch_rotor: 0,
+            state_samples: Vec::new(),
+            sample_period: 2_000,
+            trace,
+            log_spawns: false,
+            spawn_log: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Enables the placement log (used by scripted scenarios to find crash
+    /// instants).
+    pub fn enable_spawn_log(&mut self) {
+        self.log_spawns = true;
+    }
+
+    /// The placement log collected so far.
+    pub fn spawn_log(&self) -> &[(u64, LevelStamp, ProcId)] {
+        &self.spawn_log
+    }
+
+    /// The program under execution.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// The trace buffer.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn pick_live(&mut self) -> ProcId {
+        let n = self.procs.len() as u32;
+        for _ in 0..n {
+            let candidate = self.launch_rotor % n;
+            self.launch_rotor = self.launch_rotor.wrapping_add(1);
+            if self.procs[candidate as usize].alive {
+                return ProcId(candidate);
+            }
+        }
+        ProcId(0)
+    }
+
+    fn live_tasks(&self) -> u64 {
+        self.procs
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| p.engine.task_count() as u64)
+            .sum()
+    }
+
+    /// Runs the workload under `faults` to completion (or until a budget
+    /// trips) and reports.
+    pub fn run(mut self, faults: &FaultPlan) -> RunReport {
+        // Schedule faults.
+        for f in faults.sorted() {
+            self.queue.push(
+                f.at,
+                Ev::Fault {
+                    victim: ProcId(f.victim),
+                    kind: f.kind,
+                },
+            );
+        }
+        // Start engines (arms load beacons).
+        for i in 0..self.procs.len() {
+            let actions = self.procs[i].engine.on_start();
+            self.apply_actions(ProcId(i as u32), self.now, actions);
+        }
+        // Launch the program.
+        let dest = self.pick_live();
+        let actions = self.superroot.launch(dest);
+        self.apply_superroot_actions(actions);
+        self.queue.push(self.now + self.sample_period, Ev::Sample);
+
+        let mut events: u64 = 0;
+        let mut finish: Option<VirtualTime> = None;
+        while let Some((at, ev)) = self.queue.pop() {
+            debug_assert!(at >= self.now, "time must not run backwards");
+            self.now = at;
+            events += 1;
+            if events > self.cfg.max_events || self.now > self.cfg.max_time {
+                break;
+            }
+            self.handle(ev);
+            if self.superroot.result().is_some() {
+                finish = Some(self.now);
+                break;
+            }
+        }
+
+        self.build_report(events, finish, faults)
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Deliver { from, to, msg } => self.deliver(from, to, msg),
+            Ev::Bounce { sender, dead, msg } => {
+                self.bounces += 1;
+                if to_alive(&self.procs, sender) {
+                    let actions = self.procs[sender.0 as usize].engine.on_send_failed(dead, msg);
+                    self.apply_actions(sender, self.now, actions);
+                    self.poke(sender);
+                }
+            }
+            Ev::Timer { proc, timer } => {
+                if proc.is_super_root() {
+                    let fallback = self.pick_live();
+                    let actions = self.superroot.on_timer(timer, fallback);
+                    self.apply_superroot_actions(actions);
+                } else if to_alive(&self.procs, proc) {
+                    let actions = self.procs[proc.0 as usize].engine.on_timer(timer);
+                    self.apply_actions(proc, self.now, actions);
+                    self.poke(proc);
+                }
+            }
+            Ev::Step { proc } => self.step(proc),
+            Ev::Fault { victim, kind } => self.fault(victim, kind),
+            Ev::Notice { to, dead } => {
+                if to.is_super_root() {
+                    let fallback = self.pick_live();
+                    let actions = self.superroot.on_failure(dead, fallback);
+                    self.apply_superroot_actions(actions);
+                } else if to_alive(&self.procs, to) {
+                    let actions = self.procs[to.0 as usize]
+                        .engine
+                        .on_message(Msg::FailureNotice { dead });
+                    self.apply_actions(to, self.now, actions);
+                    self.poke(to);
+                }
+            }
+            Ev::Sample => {
+                self.state_samples.push((self.now.ticks(), self.live_tasks()));
+                self.queue.push(self.now + self.sample_period, Ev::Sample);
+            }
+            Ev::Effects { proc, actions } => {
+                if to_alive(&self.procs, proc) {
+                    self.apply_actions(proc, self.now, actions);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, from: ProcId, to: ProcId, mut msg: Msg) {
+        if to.is_super_root() {
+            self.delivered += 1;
+            let fallback = self.pick_live();
+            let actions = self.superroot.on_message(msg, fallback);
+            self.apply_superroot_actions(actions);
+            return;
+        }
+        if !to_alive(&self.procs, to) {
+            // Fail-silent destination: the message vanishes. (Senders that
+            // knew the destination was dead got a Bounce instead.)
+            self.dropped_to_dead += 1;
+            return;
+        }
+        // A corrupting processor emits detectably wrong replica results
+        // (§5.3 experiment); everything else passes through.
+        if !from.is_super_root() && self.procs[from.0 as usize].corrupting {
+            if let Msg::Result(rp) = &mut msg {
+                if rp.replica.is_some() {
+                    rp.value = corrupt(&rp.value);
+                }
+            }
+        }
+        self.delivered += 1;
+        self.trace.record(self.now, "deliver", || {
+            format!("{from} -> {to}: {:?}", msg.kind())
+        });
+        let actions = self.procs[to.0 as usize].engine.on_message(msg);
+        if self.log_spawns {
+            let created = self.procs[to.0 as usize].engine.drain_created();
+            for stamp in created {
+                self.spawn_log.push((self.now.ticks(), stamp, to));
+            }
+        }
+        self.apply_actions(to, self.now, actions);
+        self.poke(to);
+    }
+
+    fn step(&mut self, proc: ProcId) {
+        let state = &mut self.procs[proc.0 as usize];
+        state.step_pending = false;
+        if !state.alive {
+            return;
+        }
+        if let Some(key) = state.engine.pop_ready() {
+            let (actions, work) = state.engine.run_wave(key);
+            let cost = self.cfg.cost.wave_cost(work);
+            let done = self.now + cost;
+            state.busy_until = done;
+            // Effects (sends, timers) materialize when the wave completes.
+            self.apply_actions(proc, done, actions);
+            self.poke(proc);
+        }
+    }
+
+    /// Ensures a Step event is pending when the processor has runnable work.
+    fn poke(&mut self, proc: ProcId) {
+        let state = &mut self.procs[proc.0 as usize];
+        if state.alive && !state.step_pending && state.engine.has_ready() {
+            state.step_pending = true;
+            let at = state.busy_until.max(self.now);
+            self.queue.push(at, Ev::Step { proc });
+        }
+    }
+
+    fn fault(&mut self, victim: ProcId, kind: FaultKind) {
+        let Some(state) = self.procs.get_mut(victim.0 as usize) else {
+            return;
+        };
+        match kind {
+            FaultKind::Corrupt => {
+                state.corrupting = true;
+                self.trace.record(self.now, "corrupt", || format!("{victim}"));
+            }
+            FaultKind::Crash => {
+                if !state.alive {
+                    return;
+                }
+                state.alive = false;
+                self.trace.record(self.now, "crash", || format!("{victim}"));
+                // Detector: staggered notices to live peers and the
+                // super-root driver.
+                let mut peer_index = 0;
+                for i in 0..self.procs.len() {
+                    if i as u32 == victim.0 || !self.procs[i].alive {
+                        continue;
+                    }
+                    if let Some(at) = self.cfg.detector.notice_time(self.now, peer_index) {
+                        self.queue.push(
+                            at,
+                            Ev::Notice {
+                                to: ProcId(i as u32),
+                                dead: victim,
+                            },
+                        );
+                    }
+                    peer_index += 1;
+                }
+                if let Some(at) = self.cfg.detector.notice_time(self.now, peer_index) {
+                    self.queue.push(
+                        at,
+                        Ev::Notice {
+                            to: ProcId::SUPER_ROOT,
+                            dead: victim,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, proc: ProcId, at: VirtualTime, actions: Vec<Action>) {
+        if at > self.now {
+            // Defer: the effects only escape the processor if it is still
+            // alive when the wave completes.
+            self.queue.push(at, Ev::Effects { proc, actions });
+            return;
+        }
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => self.send(proc, to, at, msg),
+                Action::SetTimer { timer, delay } => {
+                    self.queue.push(at + delay, Ev::Timer { proc, timer });
+                }
+            }
+        }
+    }
+
+    fn apply_superroot_actions(&mut self, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => self.send(ProcId::SUPER_ROOT, to, self.now, msg),
+                Action::SetTimer { timer, delay } => {
+                    self.queue.push(
+                        self.now + delay,
+                        Ev::Timer {
+                            proc: ProcId::SUPER_ROOT,
+                            timer,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, from: ProcId, to: ProcId, at: VirtualTime, msg: Msg) {
+        self.msg_seq += 1;
+        if to.is_super_root() {
+            // The driver link is reliable with base latency.
+            let latency = self.cfg.link.base;
+            self.queue.push(at + latency, Ev::Deliver { from, to, msg });
+            return;
+        }
+        // Dead destination known to the transport: the sender's best-effort
+        // delivery fails and it learns the destination is unreachable.
+        if !to_alive(&self.procs, to) && !from.is_super_root() {
+            let bounce_at = self.cfg.detector.bounce_time(at);
+            self.queue.push(
+                bounce_at,
+                Ev::Bounce {
+                    sender: from,
+                    dead: to,
+                    msg,
+                },
+            );
+            return;
+        }
+        let (src, dst) = (
+            if from.is_super_root() { to.0 } else { from.0 },
+            to.0,
+        );
+        let latency = self
+            .cfg
+            .link
+            .latency(&self.cfg.topology, src, dst, msg.size(), self.msg_seq);
+        self.queue.push(at + latency, Ev::Deliver { from, to, msg });
+    }
+
+    fn build_report(
+        &mut self,
+        events: u64,
+        finish: Option<VirtualTime>,
+        faults: &FaultPlan,
+    ) -> RunReport {
+        let mut total = ProcStats::default();
+        let mut per_proc = Vec::with_capacity(self.procs.len());
+        let mut ckpt_peak_entries = 0usize;
+        let mut ckpt_peak_bytes = 0usize;
+        let mut ckpt_stored = 0u64;
+        for p in &self.procs {
+            total += p.engine.stats();
+            per_proc.push(p.engine.stats().clone());
+            ckpt_peak_entries += p.engine.checkpoints().peak_entries();
+            ckpt_peak_bytes += p.engine.checkpoints().peak_bytes();
+            ckpt_stored += p.engine.checkpoints().stored_total();
+        }
+        RunReport {
+            result: self.superroot.result().cloned(),
+            completed: finish.is_some(),
+            finish: finish.unwrap_or(self.now),
+            events,
+            delivered: self.delivered,
+            dropped_to_dead: self.dropped_to_dead,
+            bounces: self.bounces,
+            stats: total,
+            per_proc,
+            ckpt_peak_entries,
+            ckpt_peak_bytes,
+            ckpt_stored,
+            root_reissues: self.superroot.reissues,
+            state_samples: std::mem::take(&mut self.state_samples),
+            spawn_log: std::mem::take(&mut self.spawn_log),
+            n_procs: self.procs.len() as u32,
+            faults: faults.events.len(),
+        }
+    }
+}
+
+fn to_alive(procs: &[ProcState], p: ProcId) -> bool {
+    procs
+        .get(p.0 as usize)
+        .map(|s| s.alive)
+        .unwrap_or(false)
+}
+
+/// Deterministic, detectable corruption of a value.
+fn corrupt(v: &Value) -> Value {
+    match v {
+        Value::Int(n) => Value::Int(n.wrapping_mul(31).wrapping_add(7)),
+        Value::Bool(b) => Value::Bool(!b),
+        other => Value::list([other.clone(), Value::str("corrupt")]),
+    }
+}
+
+/// Convenience: run `workload` on `n` processors with `cfg`-defaults and a
+/// fault plan.
+pub fn run_workload(cfg: MachineConfig, workload: &Workload, faults: &FaultPlan) -> RunReport {
+    Machine::new(cfg, workload).run(faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_core::config::RecoveryMode;
+
+    fn cfg(n: u32) -> MachineConfig {
+        let mut c = MachineConfig::new(n);
+        c.recovery.load_beacon_period = 200;
+        c
+    }
+
+    #[test]
+    fn fault_free_run_matches_reference() {
+        let w = Workload::fib(10);
+        let report = run_workload(cfg(4), &w, &FaultPlan::none());
+        assert!(report.completed);
+        assert_eq!(report.result, Some(w.reference_result().unwrap()));
+        assert!(report.stats.tasks_completed >= 177);
+        assert_eq!(report.stats.eval_errors, 0);
+    }
+
+    #[test]
+    fn fault_free_suite_on_various_machines() {
+        for (i, w) in Workload::suite_small().into_iter().enumerate() {
+            let mut c = cfg(2 + (i as u32 % 6));
+            c.topology = match i % 3 {
+                0 => Topology::Complete { n: 2 + (i as u32 % 6) },
+                1 => Topology::Ring { n: 2 + (i as u32 % 6) },
+                _ => Topology::Mesh {
+                    w: 2,
+                    h: (2 + (i as u32 % 6)).div_ceil(2),
+                    wrap: false,
+                },
+            };
+            // Keep processor count consistent with topology.
+            let report = run_workload(c, &w, &FaultPlan::none());
+            assert!(report.completed, "{}", w.name);
+            assert_eq!(
+                report.result,
+                Some(w.reference_result().unwrap()),
+                "{}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn single_crash_splice_recovers() {
+        let w = Workload::fib(12);
+        let mut c = cfg(4);
+        c.recovery.mode = RecoveryMode::Splice;
+        let faults = FaultPlan::crash_at(2, VirtualTime(3_000));
+        let report = run_workload(c, &w, &faults);
+        assert!(report.completed, "run stalled");
+        assert_eq!(report.result, Some(w.reference_result().unwrap()));
+    }
+
+    #[test]
+    fn single_crash_rollback_recovers() {
+        let w = Workload::fib(12);
+        let mut c = cfg(4);
+        c.recovery.mode = RecoveryMode::Rollback;
+        let faults = FaultPlan::crash_at(1, VirtualTime(3_000));
+        let report = run_workload(c, &w, &faults);
+        assert!(report.completed, "run stalled");
+        assert_eq!(report.result, Some(w.reference_result().unwrap()));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = Workload::quicksort(24, 7);
+        let faults = FaultPlan::crash_at(3, VirtualTime(2_500));
+        let a = run_workload(cfg(5), &w, &faults);
+        let b = run_workload(cfg(5), &w, &faults);
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn root_processor_crash_is_survived_via_super_root() {
+        let w = Workload::fib(10);
+        let mut c = cfg(4);
+        c.recovery.mode = RecoveryMode::Splice;
+        // Processor 0 hosts the root (launch rotor starts there).
+        let faults = FaultPlan::crash_at(0, VirtualTime(1_500));
+        let report = run_workload(c, &w, &faults);
+        assert!(report.completed);
+        assert_eq!(report.result, Some(w.reference_result().unwrap()));
+        assert!(report.root_reissues >= 1, "super-root reissued the program");
+    }
+}

@@ -1,0 +1,152 @@
+//! Run reports: everything a single simulation tells the experiments.
+
+use splice_applicative::Value;
+use splice_core::stats::ProcStats;
+use splice_simnet::time::VirtualTime;
+use std::fmt;
+
+/// The outcome and measurements of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The program's answer, if the run completed.
+    pub result: Option<Value>,
+    /// True when the super-root observed the root result within budget.
+    pub completed: bool,
+    /// Completion time (or the time the budget tripped).
+    pub finish: VirtualTime,
+    /// Events processed.
+    pub events: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages silently dropped at dead destinations.
+    pub dropped_to_dead: u64,
+    /// Send attempts bounced back to their (live) senders.
+    pub bounces: u64,
+    /// Aggregate engine statistics.
+    pub stats: ProcStats,
+    /// Per-processor engine statistics.
+    pub per_proc: Vec<ProcStats>,
+    /// Sum of per-processor checkpoint-entry peaks.
+    pub ckpt_peak_entries: usize,
+    /// Sum of per-processor checkpoint-byte peaks.
+    pub ckpt_peak_bytes: usize,
+    /// Total checkpoints ever stored.
+    pub ckpt_stored: u64,
+    /// Times the super-root reissued the root program.
+    pub root_reissues: u64,
+    /// `(time, live task count)` samples for baseline modelling.
+    pub state_samples: Vec<(u64, u64)>,
+    /// Placement log `(time, stamp, proc)`, when enabled.
+    pub spawn_log: Vec<(u64, splice_core::stamp::LevelStamp, splice_core::ids::ProcId)>,
+    /// Processor count.
+    pub n_procs: u32,
+    /// Number of injected faults.
+    pub faults: usize,
+}
+
+impl RunReport {
+    /// Total work units executed (including redone and garbage work).
+    pub fn total_work(&self) -> u64 {
+        self.stats.work_units
+    }
+
+    /// Tasks executed to completion, across processors.
+    pub fn tasks_completed(&self) -> u64 {
+        self.stats.tasks_completed
+    }
+
+    /// Work imbalance across *surviving* processors: max/mean of per-proc
+    /// work units (1.0 = perfectly balanced). Processors that did nothing
+    /// count toward the mean.
+    pub fn work_imbalance(&self) -> f64 {
+        let works: Vec<u64> = self.per_proc.iter().map(|p| p.work_units).collect();
+        if works.is_empty() {
+            return 1.0;
+        }
+        let max = *works.iter().max().unwrap() as f64;
+        let mean = works.iter().sum::<u64>() as f64 / works.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Redundant-work ratio versus a fault-free baseline report: how much
+    /// extra work this run performed, as a fraction of baseline work.
+    pub fn redundant_work_vs(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.total_work().max(1) as f64;
+        (self.total_work() as f64 - base) / base
+    }
+
+    /// Slowdown versus a baseline report's completion time.
+    pub fn slowdown_vs(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.finish.ticks().max(1) as f64;
+        self.finish.ticks() as f64 / base
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "completed={} finish={} events={} delivered={} dropped={} bounces={}",
+            self.completed,
+            self.finish,
+            self.events,
+            self.delivered,
+            self.dropped_to_dead,
+            self.bounces
+        )?;
+        write!(f, "{}", self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(work: Vec<u64>, finish: u64) -> RunReport {
+        let mut per_proc: Vec<ProcStats> = Vec::new();
+        let mut total = ProcStats::default();
+        for w in &work {
+            let mut s = ProcStats::default();
+            s.work_units = *w;
+            total += &s;
+            per_proc.push(s);
+        }
+        RunReport {
+            result: None,
+            completed: true,
+            finish: VirtualTime(finish),
+            events: 0,
+            delivered: 0,
+            dropped_to_dead: 0,
+            bounces: 0,
+            stats: total,
+            per_proc,
+            ckpt_peak_entries: 0,
+            ckpt_peak_bytes: 0,
+            ckpt_stored: 0,
+            root_reissues: 0,
+            state_samples: vec![],
+            spawn_log: vec![],
+            n_procs: work.len() as u32,
+            faults: 0,
+        }
+    }
+
+    #[test]
+    fn imbalance_of_uniform_work_is_one() {
+        assert!((report(vec![5, 5, 5, 5], 10).work_imbalance() - 1.0).abs() < 1e-9);
+        assert!((report(vec![10, 0], 10).work_imbalance() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparisons_against_baseline() {
+        let base = report(vec![100], 1000);
+        let slow = report(vec![150], 1500);
+        assert!((slow.redundant_work_vs(&base) - 0.5).abs() < 1e-9);
+        assert!((slow.slowdown_vs(&base) - 1.5).abs() < 1e-9);
+    }
+}

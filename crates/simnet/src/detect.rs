@@ -1,0 +1,85 @@
+//! Failure detection substrate.
+//!
+//! The paper assumes faults are eventually identified: "A faulty processor
+//! must voluntarily declare itself faulty, or otherwise be identified as
+//! faulty by other processors" — via passive node diagnosis, coding or
+//! timeout mechanisms. The simulator abstracts those mechanisms into a
+//! detector that delivers `FailureNotice`s with a configurable delay, and
+//! independently surfaces unreachability on sends ("best effort ... the
+//! unreachable node is considered faulty").
+
+use crate::time::VirtualTime;
+
+/// Detector configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Delay from a crash to the `FailureNotice` reaching each peer.
+    /// Models the passive-diagnosis / timeout machinery.
+    pub notice_delay: u64,
+    /// Extra per-peer skew: peer `i` learns at
+    /// `crash + notice_delay + i·notice_skew` — staggered detection
+    /// exercises the protocol's tolerance to partial knowledge.
+    pub notice_skew: u64,
+    /// Delay from attempting a send to a dead processor to the sender
+    /// learning the destination is unreachable (0 = synchronous bounce).
+    pub bounce_delay: u64,
+    /// If false, no broadcast notices are generated at all and failures are
+    /// discovered exclusively through unreachable sends and salvage arrivals
+    /// — the most pessimistic detection regime.
+    pub broadcast: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            notice_delay: 200,
+            notice_skew: 3,
+            bounce_delay: 24,
+            broadcast: true,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// When peer `i` (0-based among live peers) learns of a crash at
+    /// `crash_time`, or `None` when broadcast detection is disabled.
+    pub fn notice_time(&self, crash_time: VirtualTime, peer_index: u32) -> Option<VirtualTime> {
+        if !self.broadcast {
+            return None;
+        }
+        Some(crash_time + self.notice_delay + self.notice_skew * peer_index as u64)
+    }
+
+    /// When a bounced send is reported back to the sender.
+    pub fn bounce_time(&self, send_time: VirtualTime) -> VirtualTime {
+        send_time + self.bounce_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staggered_notices() {
+        let d = DetectorConfig {
+            notice_delay: 100,
+            notice_skew: 5,
+            bounce_delay: 10,
+            broadcast: true,
+        };
+        let t0 = VirtualTime(1000);
+        assert_eq!(d.notice_time(t0, 0), Some(VirtualTime(1100)));
+        assert_eq!(d.notice_time(t0, 3), Some(VirtualTime(1115)));
+        assert_eq!(d.bounce_time(t0), VirtualTime(1010));
+    }
+
+    #[test]
+    fn broadcast_can_be_disabled() {
+        let d = DetectorConfig {
+            broadcast: false,
+            ..DetectorConfig::default()
+        };
+        assert_eq!(d.notice_time(VirtualTime(5), 0), None);
+    }
+}

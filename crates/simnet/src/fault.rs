@@ -1,0 +1,149 @@
+//! Fault injection plans.
+//!
+//! The paper's fault model: fail-silent processors ("if a processor fails,
+//! it will no longer transmit any valid messages"), single faults in the
+//! main development, multiple faults in §5.2, and detectably-invalid
+//! messages in the §5.3 replication discussion — modelled here as
+//! `Corrupt`, which flips replica result values (used only by the E10
+//! voting experiment).
+
+use crate::time::VirtualTime;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// What happens to the victim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail-silent crash: the processor stops sending and ignores
+    /// everything it receives.
+    Crash,
+    /// The processor keeps running but emits corrupted replica results
+    /// (detectable only by voting).
+    Corrupt,
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault manifests.
+    pub at: VirtualTime,
+    /// The victim processor (index into the topology).
+    pub victim: u32,
+    /// Crash or corrupt.
+    pub kind: FaultKind,
+}
+
+/// A complete fault plan for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Scheduled faults, in any order (the simulator sorts by time).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A single crash of `victim` at `at` — the paper's headline scenario.
+    pub fn crash_at(victim: u32, at: VirtualTime) -> FaultPlan {
+        FaultPlan {
+            events: vec![FaultEvent {
+                at,
+                victim,
+                kind: FaultKind::Crash,
+            }],
+        }
+    }
+
+    /// Adds another fault.
+    pub fn and(mut self, victim: u32, at: VirtualTime, kind: FaultKind) -> FaultPlan {
+        self.events.push(FaultEvent { at, victim, kind });
+        self
+    }
+
+    /// `k` distinct random victims crashing at times drawn uniformly from
+    /// `[window.0, window.1)`. Never selects processor ids in `protect`.
+    pub fn random_crashes(
+        k: usize,
+        n_procs: u32,
+        window: (VirtualTime, VirtualTime),
+        protect: &[u32],
+        seed: u64,
+    ) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut candidates: Vec<u32> = (0..n_procs).filter(|p| !protect.contains(p)).collect();
+        candidates.shuffle(&mut rng);
+        let lo = window.0.ticks();
+        let hi = window.1.ticks().max(lo + 1);
+        let events = candidates
+            .into_iter()
+            .take(k)
+            .map(|victim| FaultEvent {
+                at: VirtualTime(rng.gen_range(lo..hi)),
+                victim,
+                kind: FaultKind::Crash,
+            })
+            .collect();
+        FaultPlan { events }
+    }
+
+    /// Victims in time order.
+    pub fn sorted(&self) -> Vec<FaultEvent> {
+        let mut v = self.events.clone();
+        v.sort_by_key(|e| (e.at, e.victim));
+        v
+    }
+
+    /// Number of crash faults.
+    pub fn crashes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == FaultKind::Crash)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let p = FaultPlan::crash_at(2, VirtualTime(100)).and(
+            5,
+            VirtualTime(50),
+            FaultKind::Corrupt,
+        );
+        assert_eq!(p.events.len(), 2);
+        assert_eq!(p.crashes(), 1);
+        let s = p.sorted();
+        assert_eq!(s[0].victim, 5);
+        assert_eq!(s[1].victim, 2);
+    }
+
+    #[test]
+    fn random_crashes_are_deterministic_per_seed() {
+        let w = (VirtualTime(10), VirtualTime(1000));
+        let a = FaultPlan::random_crashes(3, 16, w, &[0], 7);
+        let b = FaultPlan::random_crashes(3, 16, w, &[0], 7);
+        let c = FaultPlan::random_crashes(3, 16, w, &[0], 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.events.len(), 3);
+        let mut victims: Vec<u32> = a.events.iter().map(|e| e.victim).collect();
+        victims.dedup();
+        assert_eq!(victims.len(), 3, "victims are distinct");
+        for e in &a.events {
+            assert_ne!(e.victim, 0, "protected");
+            assert!(e.at >= w.0 && e.at < w.1);
+        }
+    }
+
+    #[test]
+    fn random_crashes_cap_at_available_victims() {
+        let p = FaultPlan::random_crashes(10, 4, (VirtualTime(0), VirtualTime(10)), &[0], 1);
+        assert_eq!(p.events.len(), 3);
+    }
+}

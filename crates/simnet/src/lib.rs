@@ -1,0 +1,36 @@
+//! `splice-simnet` — a deterministic discrete-event substrate for a
+//! partitioned-memory multiprocessor.
+//!
+//! This crate stands in for the Rediflow hardware the paper assumes: a
+//! network of processors exchanging messages with topology-dependent
+//! latency, subject to fail-silent crashes that peers eventually detect.
+//! It knows nothing about tasks or recovery — `splice-sim` composes these
+//! pieces with the protocol engine from `splice-core`.
+//!
+//! * [`time`] / [`queue`] — virtual time and a deterministic event queue
+//!   (ties broken by insertion order; simulations replay bit-for-bit);
+//! * [`topology`] — complete graph, ring, line, star, mesh/torus,
+//!   hypercube, with closed-form hop distances validated against BFS;
+//! * [`link`] — latency model (base + per-hop + per-unit, deterministic
+//!   jitter);
+//! * [`fault`] — crash/corrupt fault plans, scripted or seeded-random;
+//! * [`detect`] — failure-notice and send-bounce timing;
+//! * [`trace`] — bounded event tracing for post-mortems.
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod fault;
+pub mod link;
+pub mod queue;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use detect::DetectorConfig;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use link::LinkModel;
+pub use queue::EventQueue;
+pub use time::VirtualTime;
+pub use topology::Topology;
+pub use trace::Trace;

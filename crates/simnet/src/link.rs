@@ -1,0 +1,116 @@
+//! Link latency/cost model.
+//!
+//! Message delivery time is `base + per_hop·hops + per_unit·size`, with an
+//! optional deterministic jitter derived from a seed so repeated runs stay
+//! reproducible.
+
+use crate::topology::Topology;
+
+/// Latency parameters for the interconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkModel {
+    /// Fixed software/serialization overhead per message.
+    pub base: u64,
+    /// Added per topology hop.
+    pub per_hop: u64,
+    /// Added per abstract payload unit.
+    pub per_unit: u64,
+    /// Maximum extra jitter ticks (0 disables jitter).
+    pub jitter: u64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            base: 8,
+            per_hop: 4,
+            per_unit: 1,
+            jitter: 0,
+        }
+    }
+}
+
+impl LinkModel {
+    /// An idealized zero-latency network (useful to isolate protocol
+    /// behaviour from timing in tests).
+    pub fn instant() -> LinkModel {
+        LinkModel {
+            base: 0,
+            per_hop: 0,
+            per_unit: 0,
+            jitter: 0,
+        }
+    }
+
+    /// Latency for a message of `size` units from `src` to `dst`.
+    /// `stream` decorrelates jitter across messages (pass a message
+    /// sequence number).
+    pub fn latency(&self, topo: &Topology, src: u32, dst: u32, size: usize, stream: u64) -> u64 {
+        let hops = if src == dst {
+            0
+        } else {
+            topo.distance(src, dst) as u64
+        };
+        let deterministic = self.base + self.per_hop * hops + self.per_unit * size as u64;
+        if self.jitter == 0 {
+            deterministic
+        } else {
+            deterministic + splitmix(stream) % (self.jitter + 1)
+        }
+    }
+}
+
+/// SplitMix64: cheap, deterministic pseudo-random mixing for jitter.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_composition() {
+        let m = LinkModel {
+            base: 10,
+            per_hop: 5,
+            per_unit: 2,
+            jitter: 0,
+        };
+        let ring = Topology::Ring { n: 8 };
+        // distance(0,3) = 3 hops
+        assert_eq!(m.latency(&ring, 0, 3, 4, 0), 10 + 15 + 8);
+        // self-send costs only base + payload
+        assert_eq!(m.latency(&ring, 2, 2, 4, 0), 10 + 8);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let m = LinkModel {
+            base: 1,
+            per_hop: 0,
+            per_unit: 0,
+            jitter: 9,
+        };
+        let t = Topology::Complete { n: 2 };
+        let a = m.latency(&t, 0, 1, 0, 42);
+        let b = m.latency(&t, 0, 1, 0, 42);
+        assert_eq!(a, b);
+        for s in 0..200 {
+            let l = m.latency(&t, 0, 1, 0, s);
+            assert!((1..=10).contains(&l));
+        }
+        // Different streams eventually differ.
+        assert!((0..20).any(|s| m.latency(&t, 0, 1, 0, s) != a));
+    }
+
+    #[test]
+    fn instant_network_is_free() {
+        let m = LinkModel::instant();
+        let t = Topology::Line { n: 4 };
+        assert_eq!(m.latency(&t, 0, 3, 100, 7), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Virtual time.
+//!
+//! The simulator measures time in abstract *ticks*. Workload cost models map
+//! evaluation work and message latency onto ticks; nothing in the system
+//! depends on their absolute scale.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// Time zero.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// A time far beyond any simulation horizon.
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Ticks since time zero.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference.
+    pub fn since(self, earlier: VirtualTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: u64) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for VirtualTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = u64;
+    fn sub(self, rhs: VirtualTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime(10);
+        assert_eq!(t + 5, VirtualTime(15));
+        assert_eq!(VirtualTime(15) - t, 5);
+        assert_eq!(t - VirtualTime(15), 0, "saturating");
+        assert_eq!(VirtualTime::MAX + 1, VirtualTime::MAX);
+        let mut u = t;
+        u += 7;
+        assert_eq!(u.ticks(), 17);
+        assert_eq!(u.since(t), 7);
+        assert_eq!(t.since(u), 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(VirtualTime::ZERO < VirtualTime(1));
+        assert!(VirtualTime(1) < VirtualTime::MAX);
+    }
+}

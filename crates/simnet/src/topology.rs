@@ -1,0 +1,316 @@
+//! Interconnection topologies.
+//!
+//! Rediflow-class machines were conceived as networks of processor/memory/
+//! switch nodes; the paper's protocols only require connectivity, but hop
+//! distance drives message latency and therefore every timing experiment.
+//! The usual suspects are provided: complete graph, ring, line, star, 2-D
+//! mesh and torus, and hypercube.
+
+use std::collections::VecDeque;
+
+/// A network topology over `n` processors, identified `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair connected (uniform single-hop latency).
+    Complete {
+        /// Processor count.
+        n: u32,
+    },
+    /// A cycle.
+    Ring {
+        /// Processor count.
+        n: u32,
+    },
+    /// A path (ring without the wrap-around link).
+    Line {
+        /// Processor count.
+        n: u32,
+    },
+    /// Node 0 at the hub, all others leaves.
+    Star {
+        /// Processor count (hub included).
+        n: u32,
+    },
+    /// A `w × h` grid; `wrap` turns it into a torus.
+    Mesh {
+        /// Width.
+        w: u32,
+        /// Height.
+        h: u32,
+        /// Torus wrap-around.
+        wrap: bool,
+    },
+    /// A `2^dim`-node boolean hypercube.
+    Hypercube {
+        /// Dimension.
+        dim: u32,
+    },
+}
+
+impl Topology {
+    /// Number of processors.
+    pub fn len(&self) -> u32 {
+        match self {
+            Topology::Complete { n }
+            | Topology::Ring { n }
+            | Topology::Line { n }
+            | Topology::Star { n } => *n,
+            Topology::Mesh { w, h, .. } => w * h,
+            Topology::Hypercube { dim } => 1 << dim,
+        }
+    }
+
+    /// True when the topology has no processors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Direct neighbours of `p`.
+    pub fn neighbors(&self, p: u32) -> Vec<u32> {
+        let n = self.len();
+        assert!(p < n, "processor {p} out of range (n={n})");
+        match self {
+            Topology::Complete { .. } => (0..n).filter(|&q| q != p).collect(),
+            Topology::Ring { n } => {
+                if *n <= 1 {
+                    vec![]
+                } else if *n == 2 {
+                    vec![1 - p]
+                } else {
+                    vec![(p + n - 1) % n, (p + 1) % n]
+                }
+            }
+            Topology::Line { n } => {
+                let mut v = Vec::new();
+                if p > 0 {
+                    v.push(p - 1);
+                }
+                if p + 1 < *n {
+                    v.push(p + 1);
+                }
+                v
+            }
+            Topology::Star { n } => {
+                if p == 0 {
+                    (1..*n).collect()
+                } else {
+                    vec![0]
+                }
+            }
+            Topology::Mesh { w, h, wrap } => {
+                let (x, y) = (p % w, p / w);
+                let mut v = Vec::new();
+                let mut push = |x: u32, y: u32| v.push(y * w + x);
+                if x > 0 {
+                    push(x - 1, y);
+                } else if *wrap && *w > 1 {
+                    push(w - 1, y);
+                }
+                if x + 1 < *w {
+                    push(x + 1, y);
+                } else if *wrap && *w > 1 {
+                    push(0, y);
+                }
+                if y > 0 {
+                    push(x, y - 1);
+                } else if *wrap && *h > 1 {
+                    push(x, h - 1);
+                }
+                if y + 1 < *h {
+                    push(x, y + 1);
+                } else if *wrap && *h > 1 {
+                    push(x, 0);
+                }
+                v.sort_unstable();
+                v.dedup();
+                v.retain(|&q| q != p);
+                v
+            }
+            Topology::Hypercube { dim } => (0..*dim).map(|d| p ^ (1 << d)).collect(),
+        }
+    }
+
+    /// Hop distance between two processors (0 for self).
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match self {
+            Topology::Complete { .. } => 1,
+            Topology::Ring { n } => {
+                let d = a.abs_diff(b);
+                d.min(n - d)
+            }
+            Topology::Line { .. } => a.abs_diff(b),
+            Topology::Star { .. } => {
+                if a == 0 || b == 0 {
+                    1
+                } else {
+                    2
+                }
+            }
+            Topology::Mesh { w, h, wrap } => {
+                let (ax, ay) = (a % w, a / w);
+                let (bx, by) = (b % w, b / w);
+                let dx = ax.abs_diff(bx);
+                let dy = ay.abs_diff(by);
+                if *wrap {
+                    dx.min(w - dx) + dy.min(h - dy)
+                } else {
+                    dx + dy
+                }
+            }
+            Topology::Hypercube { .. } => (a ^ b).count_ones(),
+        }
+    }
+
+    /// Network diameter (maximum pairwise distance), by definition; used in
+    /// reports and to size detection delays.
+    pub fn diameter(&self) -> u32 {
+        let n = self.len();
+        match self {
+            Topology::Complete { .. } => 1.min(n.saturating_sub(1)),
+            Topology::Ring { n } => n / 2,
+            Topology::Line { n } => n.saturating_sub(1),
+            Topology::Star { n } => {
+                if *n <= 2 {
+                    n.saturating_sub(1)
+                } else {
+                    2
+                }
+            }
+            Topology::Mesh { w, h, wrap } => {
+                if *wrap {
+                    w / 2 + h / 2
+                } else {
+                    (w - 1) + (h - 1)
+                }
+            }
+            Topology::Hypercube { dim } => *dim,
+        }
+    }
+
+    /// Breadth-first distances from `p` (for validating the closed forms
+    /// and for routing tables).
+    pub fn bfs_distances(&self, p: u32) -> Vec<u32> {
+        let n = self.len() as usize;
+        let mut dist = vec![u32::MAX; n];
+        dist[p as usize] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(p);
+        while let Some(u) = q.pop_front() {
+            for v in self.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_topologies() -> Vec<Topology> {
+        vec![
+            Topology::Complete { n: 6 },
+            Topology::Ring { n: 7 },
+            Topology::Line { n: 5 },
+            Topology::Star { n: 6 },
+            Topology::Mesh {
+                w: 3,
+                h: 4,
+                wrap: false,
+            },
+            Topology::Mesh {
+                w: 4,
+                h: 4,
+                wrap: true,
+            },
+            Topology::Hypercube { dim: 4 },
+        ]
+    }
+
+    #[test]
+    fn closed_form_distance_matches_bfs() {
+        for t in all_topologies() {
+            let n = t.len();
+            for a in 0..n {
+                let bfs = t.bfs_distances(a);
+                for b in 0..n {
+                    assert_eq!(
+                        t.distance(a, b),
+                        bfs[b as usize],
+                        "{t:?} distance({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        for t in all_topologies() {
+            let n = t.len();
+            for a in 0..n {
+                for b in t.neighbors(a) {
+                    assert!(
+                        t.neighbors(b).contains(&a),
+                        "{t:?}: {b} missing neighbour {a}"
+                    );
+                    assert_ne!(a, b, "{t:?}: self-loop at {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_max_distance() {
+        for t in all_topologies() {
+            let n = t.len();
+            let max = (0..n)
+                .flat_map(|a| (0..n).map(move |b| (a, b)))
+                .map(|(a, b)| t.distance(a, b))
+                .max()
+                .unwrap();
+            assert_eq!(t.diameter(), max, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let t = Topology::Hypercube { dim: 3 };
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.neighbors(0), vec![1, 2, 4]);
+        assert_eq!(t.distance(0, 7), 3);
+    }
+
+    #[test]
+    fn ring_of_two_has_single_link() {
+        let t = Topology::Ring { n: 2 };
+        assert_eq!(t.neighbors(0), vec![1]);
+        assert_eq!(t.neighbors(1), vec![0]);
+        assert_eq!(t.distance(0, 1), 1);
+    }
+
+    #[test]
+    fn mesh_corner_and_torus_wrap() {
+        let mesh = Topology::Mesh {
+            w: 3,
+            h: 3,
+            wrap: false,
+        };
+        assert_eq!(mesh.neighbors(0), vec![1, 3]);
+        let torus = Topology::Mesh {
+            w: 3,
+            h: 3,
+            wrap: true,
+        };
+        let nb = torus.neighbors(0);
+        assert_eq!(nb.len(), 4);
+        assert!(nb.contains(&2) && nb.contains(&6));
+    }
+}

@@ -1,0 +1,129 @@
+//! Bounded event tracing.
+//!
+//! A ring buffer of annotated simulation events, cheap enough to leave on
+//! during tests and detailed enough to reconstruct a recovery episode when
+//! one fails.
+
+use crate::time::VirtualTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: VirtualTime,
+    /// Free-form category tag (e.g. `deliver`, `crash`, `wave`).
+    pub tag: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.tag, self.detail)
+    }
+}
+
+/// A bounded trace buffer.
+#[derive(Debug)]
+pub struct Trace {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Trace {
+        Trace {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: capacity > 0,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Trace {
+        Trace::new(0)
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (cheap no-op when disabled).
+    pub fn record(&mut self, at: VirtualTime, tag: &'static str, detail: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceEvent {
+            at,
+            tag,
+            detail: detail(),
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained tail as text.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for e in &self.buf {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_bounds() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.record(VirtualTime(i), "x", || format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let details: Vec<&str> = t.events().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["e2", "e3", "e4"]);
+        assert!(t.dump().contains("[t=4] x: e4"));
+    }
+
+    #[test]
+    fn disabled_trace_skips_closure() {
+        let mut t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.record(VirtualTime(0), "x", || panic!("must not be called"));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's correctness theorem (§4.3), as a property test.
+//!
+//! "A necessary condition for completing the root evaluation is to
+//! satisfactorily compute all immediate descendants of the root. ...
+//! every task is flawlessly reproducible even if some processor may fail
+//! during the evaluation."
+//!
+//! Property: for any workload, machine size, topology, placement policy,
+//! recovery mode, and fault plan that leaves at least one processor alive,
+//! the distributed machine's answer equals the reference evaluation.
+
+use proptest::prelude::*;
+use splice::prelude::*;
+
+fn workload_for(idx: usize, size: u8) -> Workload {
+    match idx % 6 {
+        0 => Workload::fib(9 + (size % 4) as i64),
+        1 => Workload::dcsum(0, 32 + (size % 64) as i64),
+        2 => Workload::quicksort(10 + (size % 12) as usize, 42),
+        3 => Workload::nqueens(4),
+        4 => Workload::binomial(9 + (size % 3) as i64, 4),
+        _ => Workload::poly(8 + (size % 8) as usize, 3, 5),
+    }
+}
+
+fn topology_for(idx: usize, n: u32) -> Topology {
+    match idx % 5 {
+        0 => Topology::Complete { n },
+        1 => Topology::Ring { n },
+        2 => Topology::Line { n },
+        3 => Topology::Star { n },
+        _ => Topology::Mesh {
+            w: 2,
+            h: n.div_ceil(2),
+            wrap: idx % 2 == 0,
+        },
+    }
+}
+
+fn policy_for(idx: usize) -> Policy {
+    Policy::ALL[idx % Policy::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free: every machine shape computes the reference answer.
+    #[test]
+    fn fault_free_machines_agree_with_reference(
+        widx in 0usize..6,
+        size in 0u8..255,
+        tidx in 0usize..5,
+        pidx in 0usize..4,
+        n in 2u32..9,
+    ) {
+        let w = workload_for(widx, size);
+        let topology = topology_for(tidx, n);
+        let n = topology.len();
+        let mut cfg = MachineConfig::new(n);
+        cfg.topology = topology;
+        cfg.policy = policy_for(pidx);
+        let report = run_workload(cfg, &w, &FaultPlan::none());
+        prop_assert!(report.completed, "{} stalled", w.name);
+        prop_assert_eq!(report.result, Some(w.reference_result().unwrap()), "{}", &w.name);
+    }
+
+    /// Single crash at an arbitrary instant, both recovery algorithms.
+    #[test]
+    fn single_crash_recovers(
+        widx in 0usize..6,
+        size in 0u8..255,
+        pidx in 0usize..4,
+        n in 3u32..9,
+        victim_sel in 0u32..100,
+        frac in 0.05f64..0.95,
+        rollback in any::<bool>(),
+    ) {
+        let w = workload_for(widx, size);
+        let mode = if rollback { RecoveryMode::Rollback } else { RecoveryMode::Splice };
+        let mut cfg = MachineConfig::new(n);
+        cfg.policy = policy_for(pidx);
+        cfg.recovery.mode = mode;
+        let fault_free = run_workload(cfg.clone(), &w, &FaultPlan::none());
+        prop_assert!(fault_free.completed);
+        let crash = VirtualTime((fault_free.finish.ticks() as f64 * frac) as u64 + 1);
+        let victim = victim_sel % n;
+        let report = run_workload(cfg, &w, &FaultPlan::crash_at(victim, crash));
+        prop_assert!(report.completed, "{} with {:?} crash@{} of {} stalled",
+            w.name, mode, crash, victim);
+        prop_assert_eq!(report.result, Some(w.reference_result().unwrap()),
+            "{} {:?}", &w.name, mode);
+    }
+
+    /// Multiple random crashes; as long as one processor survives, the
+    /// answer still arrives and still matches.
+    #[test]
+    fn multi_crash_recovers(
+        widx in 0usize..6,
+        size in 0u8..255,
+        n in 4u32..10,
+        k in 1usize..3,
+        seed in any::<u64>(),
+        rollback in any::<bool>(),
+    ) {
+        let w = workload_for(widx, size);
+        let mode = if rollback { RecoveryMode::Rollback } else { RecoveryMode::Splice };
+        let mut cfg = MachineConfig::new(n);
+        cfg.recovery.mode = mode;
+        let fault_free = run_workload(cfg.clone(), &w, &FaultPlan::none());
+        let t = fault_free.finish.ticks();
+        let faults = FaultPlan::random_crashes(
+            k, n, (VirtualTime(t / 10), VirtualTime(t)), &[], seed);
+        let report = run_workload(cfg, &w, &faults);
+        prop_assert!(report.completed, "{} with {:?} {} crashes stalled", w.name, mode, k);
+        prop_assert_eq!(report.result, Some(w.reference_result().unwrap()),
+            "{} {:?}", &w.name, mode);
+    }
+
+    /// Determinism: identical configurations yield identical traces.
+    #[test]
+    fn identical_runs_are_bitwise_identical(
+        widx in 0usize..6,
+        n in 2u32..8,
+        seed in any::<u64>(),
+        frac in 0.1f64..0.9,
+    ) {
+        let w = workload_for(widx, 7);
+        let mut cfg = MachineConfig::new(n);
+        cfg.seed = seed;
+        let fault_free = run_workload(cfg.clone(), &w, &FaultPlan::none());
+        let crash = VirtualTime((fault_free.finish.ticks() as f64 * frac) as u64);
+        let faults = FaultPlan::crash_at(seed as u32 % n, crash);
+        let a = run_workload(cfg.clone(), &w, &faults);
+        let b = run_workload(cfg, &w, &faults);
+        prop_assert_eq!(a.finish, b.finish);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.delivered, b.delivered);
+    }
+}

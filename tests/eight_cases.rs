@@ -1,0 +1,401 @@
+//! §4.1, Figure 5: the eight orderings of child completion vs. twin
+//! creation, each forced deterministically at the engine level.
+//!
+//! Cast: task `g` (grandparent) on processor 0 spawns `p` (parent) on
+//! processor 1, which spawns `c` (child) on processor 2. Processor 1 dies;
+//! the twin `p'` is regenerated on processor 3. The harness delivers
+//! messages and runs waves in exactly the order each case prescribes.
+//!
+//! | case | ordering                                   | expected mechanism |
+//! |------|--------------------------------------------|--------------------|
+//! | 1    | c never invoked                            | p' spawns c'       |
+//! | 2    | c will never complete (its host dies too)  | p' spawns c'       |
+//! | 3    | c completes before p dies                  | p' recalculates c' |
+//! | 4    | c completes after p dies, before p' exists | salvage buffered, preloaded: no c' |
+//! | 5    | c completes after p' exists, before c'     | salvage preloaded: no c' |
+//! | 6    | c completes after c' invoked               | salvage supplies; c' duplicate ignored |
+//! | 7    | c completes after c' completed             | duplicate ignored  |
+//! | 8    | c completes after p' completed             | packet discarded   |
+
+use splice::core::engine::{Action, Engine};
+use splice::core::ids::{ProcId, TaskAddr, TaskKey};
+use splice::core::packet::{Msg, TaskLink, TaskPacket};
+use splice::core::place::ScriptedPlacer;
+use splice::core::{Config, LevelStamp, RecoveryMode};
+use splice::lang::parser::parse;
+use splice::lang::wave::Demand;
+use splice::lang::{Program, Value};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+const SOURCE: &str = r#"
+(def c (x) (* x 2))
+(def p (x) (+ 1 (c x)))
+(def g () (+ 1 (p 3)))
+"#;
+
+/// g = 1 + (1 + 3*2) = 8
+const ANSWER: i64 = 8;
+
+fn program() -> (Arc<Program>, Demand) {
+    let parsed = parse(SOURCE).unwrap();
+    let g = parsed.program.lookup("g").unwrap();
+    (Arc::new(parsed.program), Demand::new(g, vec![]))
+}
+
+fn g_stamp() -> LevelStamp {
+    LevelStamp::root().child(1)
+}
+fn p_stamp() -> LevelStamp {
+    g_stamp().child(1)
+}
+fn c_stamp() -> LevelStamp {
+    p_stamp().child(1)
+}
+
+/// A hand-driven cluster of four engines with a message pool the test
+/// dispatches selectively.
+struct Cluster {
+    engines: Vec<Engine>,
+    /// (from, to, msg) messages waiting for the test to deliver.
+    pool: VecDeque<(ProcId, ProcId, Msg)>,
+    dead: Vec<bool>,
+    root_result: Option<Value>,
+}
+
+impl Cluster {
+    fn new() -> Cluster {
+        let (program, _) = program();
+        let mut engines = Vec::new();
+        for i in 0..4u32 {
+            let mut cfg = Config::with_mode(RecoveryMode::Splice);
+            cfg.load_beacon_period = 0;
+            let mut placer = ScriptedPlacer::new(vec![ProcId(1), ProcId(3)]);
+            placer.assign(p_stamp(), ProcId(1));
+            placer.assign(c_stamp(), ProcId(2));
+            engines.push(Engine::new(ProcId(i), program.clone(), cfg, Box::new(placer)));
+        }
+        Cluster {
+            engines,
+            pool: VecDeque::new(),
+            dead: vec![false; 4],
+            root_result: None,
+        }
+    }
+
+    fn absorb(&mut self, from: ProcId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => self.pool.push_back((from, to, msg)),
+                Action::SetTimer { .. } => {
+                    // Timers are irrelevant here: the harness triggers
+                    // recovery through explicit failure notices and bounces.
+                }
+            }
+        }
+    }
+
+    /// Injects the root task g on processor 0.
+    fn launch(&mut self) {
+        let (_, demand) = program();
+        let packet = TaskPacket {
+            stamp: g_stamp(),
+            demand,
+            parent: TaskLink::super_root(),
+            ancestors: vec![TaskLink::super_root()],
+            incarnation: 0,
+            hops: 0,
+            replica: None,
+            under_replica: false,
+        };
+        let actions = self.engines[0].on_message(Msg::Spawn(packet));
+        self.absorb(ProcId(0), actions);
+        // Discard the ack to the super-root.
+        self.pool.retain(|(_, to, _)| !to.is_super_root());
+    }
+
+    /// Delivers every pooled message matching `pred` (in order), honouring
+    /// dead destinations with bounce-backs to the sender.
+    fn deliver_where(&mut self, mut pred: impl FnMut(&ProcId, &Msg) -> bool) -> usize {
+        let mut delivered = 0;
+        let mut remaining = VecDeque::new();
+        while let Some((from, to, msg)) = self.pool.pop_front() {
+            if !pred(&to, &msg) {
+                remaining.push_back((from, to, msg));
+                continue;
+            }
+            delivered += 1;
+            if to.is_super_root() {
+                if let Msg::Result(rp) = msg {
+                    self.root_result = Some(rp.value);
+                }
+                continue;
+            }
+            if self.dead[to.0 as usize] {
+                // Best-effort transport: sender learns the node is gone.
+                if self.dead[from.0 as usize] {
+                    continue; // both gone; message vanishes
+                }
+                let actions = self.engines[from.0 as usize].on_send_failed(to, msg);
+                self.absorb(from, actions);
+                continue;
+            }
+            if self.dead[from.0 as usize] {
+                continue; // fail-silent sender: message never left
+            }
+            let actions = self.engines[to.0 as usize].on_message(msg);
+            self.absorb(to, actions);
+        }
+        self.pool = remaining;
+        delivered
+    }
+
+    /// Delivers everything currently pooled (and whatever that generates)
+    /// until quiescent.
+    fn settle(&mut self) {
+        for _ in 0..64 {
+            let moved = self.deliver_where(|_, _| true);
+            let ran = self.run_all_ready();
+            if moved == 0 && ran == 0 {
+                return;
+            }
+        }
+        panic!("cluster did not settle");
+    }
+
+    fn run_ready(&mut self, proc: u32) -> usize {
+        let mut ran = 0;
+        while let Some(key) = self.engines[proc as usize].pop_ready() {
+            if self.dead[proc as usize] {
+                break;
+            }
+            let (actions, _) = self.engines[proc as usize].run_wave(key);
+            self.absorb(ProcId(proc), actions);
+            ran += 1;
+        }
+        ran
+    }
+
+    fn run_all_ready(&mut self) -> usize {
+        let mut ran = 0;
+        for p in 0..4 {
+            if !self.dead[p as usize] {
+                ran += self.run_ready(p);
+            }
+        }
+        ran
+    }
+
+    fn kill(&mut self, proc: u32) {
+        self.dead[proc as usize] = true;
+    }
+
+    /// Notifies `to` that `dead` failed.
+    fn notice(&mut self, to: u32, dead: u32) {
+        let actions = self.engines[to as usize].on_message(Msg::FailureNotice { dead: ProcId(dead) });
+        self.absorb(ProcId(to), actions);
+    }
+
+    fn stats(&self, proc: u32) -> &splice::core::ProcStats {
+        self.engines[proc as usize].stats()
+    }
+
+    /// Runs g's first wave so p is spawned and acked on processor 1.
+    fn spawn_p(&mut self) {
+        self.launch();
+        self.run_ready(0); // g's wave: demands p
+        self.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Spawn(_)));
+        self.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Ack { .. }));
+    }
+
+    /// Additionally runs p's first wave so c is spawned and acked.
+    fn spawn_c(&mut self) {
+        self.spawn_p();
+        self.run_ready(1); // p's wave: demands c
+        self.deliver_where(|to, m| *to == ProcId(2) && matches!(m, Msg::Spawn(_)));
+        self.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Ack { .. }));
+    }
+
+    fn assert_answer(&self) {
+        assert_eq!(
+            self.root_result,
+            Some(Value::Int(ANSWER)),
+            "root answer must be exactly one correct value"
+        );
+    }
+}
+
+#[test]
+fn case1_c_never_invoked() {
+    let mut cl = Cluster::new();
+    cl.spawn_p();
+    // p dies before running a single wave: c was never invoked.
+    cl.kill(1);
+    cl.notice(0, 1);
+    cl.settle();
+    cl.assert_answer();
+    // Only the twin's c' ever ran on processor 2.
+    assert_eq!(cl.stats(2).tasks_created, 1);
+    assert_eq!(cl.stats(0).step_parents_created, 1);
+    assert_eq!(cl.stats(3).salvaged_results, 0);
+}
+
+#[test]
+fn case2_c_never_completes() {
+    let mut cl = Cluster::new();
+    cl.spawn_c();
+    // Both p and c die; no result of c is ever produced.
+    cl.kill(1);
+    cl.kill(2);
+    cl.notice(0, 1);
+    cl.notice(0, 2);
+    cl.notice(3, 1);
+    cl.notice(3, 2);
+    cl.settle();
+    cl.assert_answer();
+    // c' was re-placed on a live processor by the fallback chain.
+    assert_eq!(cl.stats(3).salvaged_results, 0);
+}
+
+#[test]
+fn case3_c_completes_before_p_dies() {
+    let mut cl = Cluster::new();
+    cl.spawn_c();
+    cl.run_ready(2); // c completes
+    cl.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Result(_)));
+    // The result of c is stored inside p; p dies and the result dies with
+    // it ("the system loses all partial results which have been saved in P").
+    cl.kill(1);
+    cl.notice(0, 1);
+    cl.notice(2, 1);
+    cl.settle();
+    cl.assert_answer();
+    // c was recalculated: two c-instances ran on processor 2.
+    assert_eq!(cl.stats(2).tasks_created, 2);
+    assert_eq!(cl.stats(3).salvaged_results, 0, "nothing to salvage");
+}
+
+#[test]
+fn case4_result_arrives_before_twin_exists() {
+    let mut cl = Cluster::new();
+    cl.spawn_c();
+    cl.kill(1); // p dies while c is still computing
+    cl.run_ready(2); // c completes, tries to return to dead p
+    // The bounce routes the orphan result to grandparent g — *before* any
+    // failure notice reached processor 0, so g must reproduce p' first.
+    cl.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Result(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Salvage(_)));
+    assert_eq!(cl.stats(0).step_parents_created, 1, "salvage arrival creates the twin");
+    // Place the twin, flush the buffered salvage into it, and only then
+    // let it run: it finds the answer already there and never spawns c'.
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Spawn(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Ack { .. }));
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Salvage(_)));
+    assert_eq!(cl.stats(3).salvage_before_spawn, 1);
+    cl.settle();
+    cl.assert_answer();
+    assert_eq!(cl.stats(2).tasks_created, 1, "c' is never spawned");
+}
+
+#[test]
+fn case5_result_arrives_after_twin_invoked_before_c_prime() {
+    let mut cl = Cluster::new();
+    cl.spawn_c();
+    cl.kill(1);
+    // The failure notice reaches g first: p' is reproduced proactively.
+    cl.notice(0, 1);
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Spawn(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Ack { .. }));
+    // Now c completes; its salvage flows through g straight to p' (which
+    // has not run yet, so c' is not invoked).
+    cl.run_ready(2);
+    cl.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Result(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Salvage(_)));
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Salvage(_)));
+    assert_eq!(cl.stats(3).salvage_before_spawn, 1);
+    cl.settle();
+    cl.assert_answer();
+    assert_eq!(cl.stats(2).tasks_created, 1, "c' is never spawned");
+}
+
+#[test]
+fn case6_result_arrives_after_c_prime_invoked() {
+    let mut cl = Cluster::new();
+    cl.spawn_c();
+    cl.kill(1);
+    cl.notice(0, 1);
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Spawn(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Ack { .. }));
+    cl.run_ready(3); // p' runs: c' is invoked (spawn sits in the pool)
+    // c (the orphan) completes now and its salvage reaches p'.
+    cl.run_ready(2);
+    cl.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Result(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Salvage(_)));
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Salvage(_)));
+    assert_eq!(cl.stats(3).salvage_after_spawn, 1, "supplied after c' was demanded");
+    // p' can complete immediately; c' is now a duplicate in flight.
+    cl.settle();
+    cl.assert_answer();
+    assert_eq!(cl.stats(2).tasks_created, 2, "c' ran as a duplicate");
+    // The duplicate's answer was ignored somewhere along the way.
+    let ignored = cl.stats(3).duplicate_results_ignored + cl.stats(3).stale_messages_ignored;
+    assert!(ignored >= 1, "duplicate answer must be discarded");
+}
+
+#[test]
+fn case7_result_arrives_after_c_prime_completed() {
+    let mut cl = Cluster::new();
+    cl.spawn_c();
+    cl.kill(1);
+    cl.notice(0, 1);
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Spawn(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Ack { .. }));
+    cl.run_ready(3); // p' invokes c'
+    cl.deliver_where(|to, m| *to == ProcId(2) && matches!(m, Msg::Spawn(_)));
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Ack { .. }));
+    cl.run_ready(2); // c' completes first ("late invocation may yield a result faster")
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Result(_)));
+    // Now the original orphan finally completes.
+    cl.run_ready(2);
+    cl.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Result(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Salvage(_)));
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Salvage(_)));
+    cl.settle();
+    cl.assert_answer();
+    assert!(
+        cl.stats(3).duplicate_results_ignored >= 1,
+        "the orphan's late answer is the ignored duplicate"
+    );
+}
+
+#[test]
+fn case8_result_arrives_after_everything_completed() {
+    let mut cl = Cluster::new();
+    cl.spawn_c();
+    cl.kill(1);
+    cl.notice(0, 1);
+    // Run the twin's path to full completion.
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Spawn(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Ack { .. }));
+    cl.run_ready(3);
+    cl.deliver_where(|to, m| *to == ProcId(2) && matches!(m, Msg::Spawn(_)));
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Ack { .. }));
+    cl.run_ready(2);
+    cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Result(_)));
+    cl.run_ready(3); // p' completes
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Result(_)));
+    cl.run_ready(0); // g completes; root answer leaves
+    cl.deliver_where(|to, _| to.is_super_root());
+    cl.assert_answer();
+    // The orphan finally completes; its result wanders in after the whole
+    // computation finished and is discarded ("the processor which contained
+    // P' may no longer recognize the arrived answer").
+    let dropped_before = cl.stats(0).salvage_dropped + cl.stats(0).stale_messages_ignored;
+    cl.run_ready(2);
+    cl.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Result(_)));
+    cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Salvage(_)));
+    cl.settle();
+    let dropped_after = cl.stats(0).salvage_dropped + cl.stats(0).stale_messages_ignored;
+    assert!(dropped_after > dropped_before, "late packet must be discarded");
+    cl.assert_answer();
+}

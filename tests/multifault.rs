@@ -1,0 +1,119 @@
+//! §5.2 multiple faults (experiment E9).
+//!
+//! "Multiple failures on different branches of a structure do not disturb
+//! the recovery algorithm at all. ... However, if both the parent and
+//! grandparent processors of a task fail simultaneously, the orphan task
+//! would be stranded. ... the resilient structure concept can be further
+//! extended to include pointers to the great grandparent and beyond."
+
+use splice::core::config::{CheckpointFilter, RecoveryMode};
+use splice::core::place::ScriptedPlacer;
+use splice::prelude::*;
+use splice::sim::figure1;
+use splice::sim::Machine;
+
+fn figure1_machine(depth: usize) -> Machine {
+    let w = figure1::workload();
+    let assignments = figure1::stamps();
+    let mut cfg = MachineConfig::new(4);
+    cfg.recovery.mode = RecoveryMode::Splice;
+    cfg.recovery.ancestor_depth = depth;
+    cfg.recovery.ckpt_filter = CheckpointFilter::Topmost;
+    cfg.recovery.load_beacon_period = 0;
+    Machine::with_placer_factory(cfg, &w, move |_| {
+        let mut sp = ScriptedPlacer::new(vec![figure1::B, figure1::D, figure1::A, figure1::C]);
+        for (_, stamp, proc) in &assignments {
+            sp.assign(stamp.clone(), *proc);
+        }
+        sp.assign_subtree(figure1::stamp_of("b1x"), figure1::B);
+        sp.assign_subtree(figure1::stamp_of("b3x"), figure1::B);
+        sp.assign_subtree(figure1::stamp_of("b7x"), figure1::B);
+        sp.assign_subtree(figure1::stamp_of("a5"), figure1::A);
+        Box::new(sp)
+    })
+}
+
+#[test]
+fn faults_on_different_branches_recover_in_parallel() {
+    // Two crashes far apart in the tree; splice recovers both
+    // independently and the answer is unchanged.
+    let w = Workload::mapreduce(0, 32, 8);
+    for mode in [RecoveryMode::Rollback, RecoveryMode::Splice] {
+        let mut cfg = MachineConfig::new(12);
+        cfg.recovery.mode = mode;
+        let fault_free = run_workload(cfg.clone(), &w, &FaultPlan::none());
+        let t = fault_free.finish.ticks();
+        let faults = FaultPlan::crash_at(2, VirtualTime(t / 3)).and(
+            9,
+            VirtualTime(t / 3),
+            FaultKind::Crash,
+        );
+        let r = run_workload(cfg, &w, &faults);
+        assert!(r.completed, "{mode:?} stalled");
+        assert_eq!(r.result, Some(w.reference_result().unwrap()), "{mode:?}");
+    }
+}
+
+#[test]
+fn simultaneous_parent_and_grandparent_death_strands_orphans_at_depth_2() {
+    // Figure-1 tree; B and C die together. D4's parent (B2 on B) and
+    // grandparent (C1 on C) are both gone: with the paper's base scheme
+    // (ancestor depth 2) the orphan result is stranded — but the run still
+    // completes by recomputation.
+    let crash = figure1::crash_instant();
+    let m = figure1_machine(2);
+    let faults =
+        FaultPlan::crash_at(figure1::B.0, crash).and(figure1::C.0, crash, FaultKind::Crash);
+    let r = m.run(&faults);
+    assert!(r.completed, "depth-2 run stalled");
+    assert_eq!(r.result, Some(Value::Int(figure1::TREE_SIZE)));
+    assert!(
+        r.stats.stranded_orphans > 0,
+        "the paper predicts stranded orphans at depth 2: {}",
+        r.stats
+    );
+}
+
+#[test]
+fn great_grandparent_chain_rescues_the_same_scenario() {
+    // Same double fault with ancestor depth 3 (the §5.2 extension): the
+    // orphan results now relay through the great-grandparent and are
+    // salvaged through the regenerated spine.
+    let crash = figure1::crash_instant();
+    let m = figure1_machine(3);
+    let faults =
+        FaultPlan::crash_at(figure1::B.0, crash).and(figure1::C.0, crash, FaultKind::Crash);
+    let r = m.run(&faults);
+    assert!(r.completed, "depth-3 run stalled");
+    assert_eq!(r.result, Some(Value::Int(figure1::TREE_SIZE)));
+    assert_eq!(
+        r.stats.stranded_orphans, 0,
+        "great-grandparent links must rescue every orphan: {}",
+        r.stats
+    );
+    assert!(
+        r.stats.salvaged_results > 0,
+        "salvage must flow through the two-level relay: {}",
+        r.stats
+    );
+}
+
+#[test]
+fn deeper_chains_never_hurt_correctness() {
+    let w = Workload::dcsum(0, 96);
+    for depth in [2usize, 3, 4, 5] {
+        let mut cfg = MachineConfig::new(8);
+        cfg.recovery.mode = RecoveryMode::Splice;
+        cfg.recovery.ancestor_depth = depth;
+        let fault_free = run_workload(cfg.clone(), &w, &FaultPlan::none());
+        let t = fault_free.finish.ticks();
+        let faults = FaultPlan::random_crashes(2, 8, (VirtualTime(t / 4), VirtualTime(t)), &[], 5);
+        let r = run_workload(cfg, &w, &faults);
+        assert!(r.completed, "depth {depth} stalled");
+        assert_eq!(
+            r.result,
+            Some(w.reference_result().unwrap()),
+            "depth {depth}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! §2 fault-free overhead claims (experiment E8).
+//!
+//! "Unlike conventional checkpoint schemes, functional checkpointing is
+//! concise, distributed and asynchronous. ... The thrust of these recovery
+//! models is to minimize the overhead while the system is in a normal,
+//! fault-free operation."
+
+use splice::prelude::*;
+use splice::sim::baseline::GlobalCheckpointModel;
+
+#[test]
+fn functional_checkpointing_costs_little_when_nothing_fails() {
+    for w in [Workload::fib(13), Workload::dcsum(0, 128)] {
+        let none = run_workload(
+            MachineConfig::new(8),
+            &w,
+            &FaultPlan::none(),
+        );
+        // MachineConfig::new defaults to splice; build explicit configs.
+        let mut cfg_none = MachineConfig::new(8);
+        cfg_none.recovery.mode = RecoveryMode::None;
+        let mut cfg_splice = MachineConfig::new(8);
+        cfg_splice.recovery.mode = RecoveryMode::Splice;
+        let _ = none;
+        let r_none = run_workload(cfg_none, &w, &FaultPlan::none());
+        let r_splice = run_workload(cfg_splice, &w, &FaultPlan::none());
+        let slowdown = r_splice.finish.ticks() as f64 / r_none.finish.ticks().max(1) as f64;
+        assert!(
+            slowdown < 1.10,
+            "{}: fault-free splice slowdown {slowdown:.3} exceeds 10%",
+            w.name
+        );
+        // Identical answers, of course.
+        assert_eq!(r_none.result, r_splice.result);
+    }
+}
+
+#[test]
+fn checkpoints_are_retained_on_peers_and_fully_retired() {
+    let mut cfg = MachineConfig::new(8);
+    cfg.recovery.mode = RecoveryMode::Splice;
+    let r = run_workload(cfg, &Workload::fib(12), &FaultPlan::none());
+    assert!(r.ckpt_stored > 0, "checkpoints were stored");
+    assert!(
+        r.ckpt_peak_entries > 0 && r.ckpt_peak_entries < r.ckpt_stored as usize,
+        "retirement keeps the table bounded: peak {} vs stored {}",
+        r.ckpt_peak_entries,
+        r.ckpt_stored
+    );
+}
+
+#[test]
+fn periodic_global_checkpointing_model_costs_more() {
+    // The analytic model of the classical scheme charges pauses even in
+    // fault-free runs; functional checkpointing's measured overhead stays
+    // below any of the modelled intervals.
+    let w = Workload::dcsum(0, 256);
+    let mut cfg_none = MachineConfig::new(8);
+    cfg_none.recovery.mode = RecoveryMode::None;
+    let mut cfg_splice = MachineConfig::new(8);
+    cfg_splice.recovery.mode = RecoveryMode::Splice;
+    let base = run_workload(cfg_none, &w, &FaultPlan::none());
+    let splice = run_workload(cfg_splice, &w, &FaultPlan::none());
+    let functional_overhead = splice.finish.ticks().saturating_sub(base.finish.ticks());
+    for divisor in [20u64, 10, 5] {
+        let gcp = GlobalCheckpointModel::with_interval((base.finish.ticks() / divisor).max(1));
+        assert!(
+            gcp.overhead(&base) > functional_overhead,
+            "global checkpointing (interval T/{divisor}) must cost more: {} vs {}",
+            gcp.overhead(&base),
+            functional_overhead
+        );
+    }
+}
+
+#[test]
+fn no_checkpoint_messages_beyond_protocol_basics_in_none_mode() {
+    // Mode None sends exactly spawn/ack/result/load traffic — no salvage,
+    // no aborts, no reissues.
+    let mut cfg = MachineConfig::new(6);
+    cfg.recovery.mode = RecoveryMode::None;
+    let r = run_workload(cfg, &Workload::fib(11), &FaultPlan::none());
+    assert_eq!(r.stats.reissues, 0);
+    assert_eq!(r.stats.salvaged_results, 0);
+    assert_eq!(r.stats.aborts_sent, 0);
+    assert_eq!(r.ckpt_stored, 0);
+}

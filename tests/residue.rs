@@ -1,0 +1,73 @@
+//! §4.3.2 residue effects (experiment E6, Figures 6–7).
+//!
+//! "A residue-free fault tolerant measure must assure that tasks G and C
+//! are not affected by the failure of P from state a through state g."
+//!
+//! The spawn lifecycle states (packet formed / in flight / acked / child
+//! executing / result in flight / result delivered) are all crossed by
+//! sweeping the crash instant at fine granularity: whatever state the
+//! fault interrupts, the answer must be unchanged.
+
+use splice::prelude::*;
+
+fn sweep(mode: RecoveryMode, w: &Workload, steps: u64, victim: u32) {
+    let mut cfg = MachineConfig::new(6);
+    cfg.recovery.mode = mode;
+    let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+    assert!(fault_free.completed);
+    let total = fault_free.finish.ticks();
+    let expected = w.reference_result().unwrap();
+    for i in 0..steps {
+        let crash = VirtualTime(total * i / steps + 1);
+        let r = run_workload(cfg.clone(), w, &FaultPlan::crash_at(victim, crash));
+        assert!(
+            r.completed,
+            "{mode:?} {} crash@{crash} stalled",
+            w.name
+        );
+        assert_eq!(
+            r.result,
+            Some(expected.clone()),
+            "{mode:?} {} crash@{crash}: residue!",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn splice_is_residue_free_across_all_states() {
+    sweep(RecoveryMode::Splice, &Workload::fib(11), 24, 4);
+}
+
+#[test]
+fn rollback_is_residue_free_across_all_states() {
+    sweep(RecoveryMode::Rollback, &Workload::fib(11), 24, 4);
+}
+
+#[test]
+fn residue_freedom_holds_for_list_heavy_programs() {
+    // Different value shapes cross the wire (lists, not just ints).
+    sweep(RecoveryMode::Splice, &Workload::quicksort(18, 9), 12, 3);
+    sweep(RecoveryMode::Rollback, &Workload::quicksort(18, 9), 12, 3);
+}
+
+#[test]
+fn state_b_unacked_spawn_is_reissued_by_timeout() {
+    // Kill the victim very early so spawns towards it are in state b
+    // (sent, never acked): the ack timeout must reissue them "as if the
+    // first invocation of P did not take place".
+    let w = Workload::fib(12);
+    let mut cfg = MachineConfig::new(4);
+    cfg.recovery.mode = RecoveryMode::Splice;
+    // Slow detector: force the timeout path to do the work.
+    cfg.detector.notice_delay = 60_000;
+    cfg.detector.bounce_delay = 50_000;
+    let r = run_workload(cfg, &w, &FaultPlan::crash_at(2, VirtualTime(40)));
+    assert!(r.completed, "stalled without detector help");
+    assert_eq!(r.result, Some(w.reference_result().unwrap()));
+    assert!(
+        r.stats.ack_timeouts > 0,
+        "recovery must have used the state-b timeout path: {}",
+        r.stats
+    );
+}

@@ -1,0 +1,75 @@
+//! Driver parity: the simulator and the threaded runtime run the *same*
+//! engine and must produce the same answers — fault-free and under
+//! crashes — for the same workloads.
+
+use splice::prelude::*;
+use splice::runtime::{run as run_threads, CrashAt, RuntimeConfig};
+use std::time::Duration;
+
+fn both_agree(w: &Workload, crash: bool) {
+    let expected = w.reference_result().unwrap();
+
+    let mut sim_cfg = MachineConfig::new(4);
+    sim_cfg.recovery.mode = RecoveryMode::Splice;
+    let sim_faults = if crash {
+        let ff = run_workload(sim_cfg.clone(), w, &FaultPlan::none());
+        FaultPlan::crash_at(2, VirtualTime(ff.finish.ticks() / 3))
+    } else {
+        FaultPlan::none()
+    };
+    let sim_report = run_workload(sim_cfg, w, &sim_faults);
+    assert_eq!(sim_report.result, Some(expected.clone()), "sim: {}", w.name);
+
+    let mut rt_cfg = RuntimeConfig::new(4);
+    rt_cfg.recovery.mode = RecoveryMode::Splice;
+    let crashes = if crash {
+        vec![CrashAt {
+            victim: 2,
+            after: Duration::from_millis(15),
+        }]
+    } else {
+        vec![]
+    };
+    let rt_report = run_threads(rt_cfg, w, &crashes);
+    assert_eq!(
+        rt_report.result,
+        Some(expected),
+        "threads: {}",
+        w.name
+    );
+}
+
+#[test]
+fn parity_fault_free() {
+    for w in [
+        Workload::fib(12),
+        Workload::dcsum(0, 64),
+        Workload::quicksort(20, 11),
+    ] {
+        both_agree(&w, false);
+    }
+}
+
+#[test]
+fn parity_under_crashes() {
+    for w in [Workload::fib(13), Workload::mapreduce(0, 16, 8)] {
+        both_agree(&w, true);
+    }
+}
+
+#[test]
+fn rollback_parity_under_crash() {
+    let w = Workload::fib(13);
+    let expected = w.reference_result().unwrap();
+    let mut rt_cfg = RuntimeConfig::new(4);
+    rt_cfg.recovery.mode = RecoveryMode::Rollback;
+    let r = run_threads(
+        rt_cfg,
+        &w,
+        &[CrashAt {
+            victim: 1,
+            after: Duration::from_millis(10),
+        }],
+    );
+    assert_eq!(r.result, Some(expected));
+}
