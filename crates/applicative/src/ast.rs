@@ -222,7 +222,10 @@ impl Program {
                 if !self.defs.iter().any(|d| d.body.call_sites().contains(&id)) {
                     continue;
                 }
-                problems.push(format!("function `{}` declared but never defined", def.name));
+                problems.push(format!(
+                    "function `{}` declared but never defined",
+                    def.name
+                ));
             }
         }
         problems
@@ -302,8 +305,14 @@ mod tests {
                 Expr::Prim(
                     PrimOp::Add,
                     vec![
-                        Expr::Call(fib, vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(1)])]),
-                        Expr::Call(fib, vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(2)])]),
+                        Expr::Call(
+                            fib,
+                            vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(1)])],
+                        ),
+                        Expr::Call(
+                            fib,
+                            vec![Expr::Prim(PrimOp::Sub, vec![Expr::var("n"), Expr::int(2)])],
+                        ),
                     ],
                 ),
             ),
@@ -356,11 +365,7 @@ mod tests {
     #[test]
     fn let_scoping_in_validate() {
         let mut p = Program::new();
-        p.define(
-            "f",
-            &[],
-            Expr::let_("x", Expr::int(1), Expr::var("x")),
-        );
+        p.define("f", &[], Expr::let_("x", Expr::int(1), Expr::var("x")));
         assert!(p.validate().is_empty());
         // And out-of-scope use is caught:
         let mut q = Program::new();
@@ -369,7 +374,10 @@ mod tests {
             &[],
             Expr::Prim(
                 PrimOp::Add,
-                vec![Expr::let_("x", Expr::int(1), Expr::var("x")), Expr::var("x")],
+                vec![
+                    Expr::let_("x", Expr::int(1), Expr::var("x")),
+                    Expr::var("x"),
+                ],
             ),
         );
         assert!(!q.validate().is_empty());

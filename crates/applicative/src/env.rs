@@ -28,11 +28,7 @@ impl Env {
     pub fn bind_params(params: &[Arc<str>], args: &[Value]) -> Env {
         debug_assert_eq!(params.len(), args.len());
         Env {
-            bindings: params
-                .iter()
-                .cloned()
-                .zip(args.iter().cloned())
-                .collect(),
+            bindings: params.iter().cloned().zip(args.iter().cloned()).collect(),
         }
     }
 

@@ -100,7 +100,10 @@ impl fmt::Display for EvalError {
                 write!(f, "index {index} out of bounds for list of length {len}")
             }
             EvalError::RangeTooLong { lo, hi } => {
-                write!(f, "range {lo}..{hi} exceeds the maximum materializable length")
+                write!(
+                    f,
+                    "range {lo}..{hi} exceeds the maximum materializable length"
+                )
             }
             EvalError::NonBoolCondition(t) => write!(f, "if-condition must be bool, got {t}"),
             EvalError::FuelExhausted => write!(f, "evaluation step budget exhausted"),

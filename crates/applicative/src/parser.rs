@@ -166,13 +166,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                                     s.push('\\');
                                     bump('\\', &mut line, &mut col);
                                 }
-                                other => {
-                                    return err(
-                                        format!("bad escape {other:?}"),
-                                        line,
-                                        col,
-                                    )
-                                }
+                                other => return err(format!("bad escape {other:?}"), line, col),
                             }
                         }
                         Some(c) => {
@@ -206,7 +200,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 } else {
                     Tok::Sym(sym)
                 };
-                out.push(Spanned { tok, line: tl, col: tc });
+                out.push(Spanned {
+                    tok,
+                    line: tl,
+                    col: tc,
+                });
             }
         }
     }
@@ -416,15 +414,14 @@ fn build_expr(sx: &SExpr, program: &Program) -> Result<Expr, ParseError> {
                             }
                         };
                         let bound = build_expr(&pair[1], program)?;
-                        result = Expr::Let(Arc::from(name.as_str()), Box::new(bound), Box::new(result));
+                        result =
+                            Expr::Let(Arc::from(name.as_str()), Box::new(bound), Box::new(result));
                     }
                     Ok(result)
                 }
                 _ => {
-                    let args: Result<Vec<Expr>, ParseError> = items[1..]
-                        .iter()
-                        .map(|i| build_expr(i, program))
-                        .collect();
+                    let args: Result<Vec<Expr>, ParseError> =
+                        items[1..].iter().map(|i| build_expr(i, program)).collect();
                     let args = args?;
                     if let Some(op) = PrimOp::from_name(&head) {
                         if let Some(want) = op.arity() {
@@ -498,7 +495,10 @@ mod tests {
         let parsed = parse(src).unwrap();
         let f = parsed.program.lookup("f").unwrap();
         // a = 4, b = 8 → 12
-        assert_eq!(eval_call(&parsed.program, f, &[3.into()]).unwrap(), 12.into());
+        assert_eq!(
+            eval_call(&parsed.program, f, &[3.into()]).unwrap(),
+            12.into()
+        );
     }
 
     #[test]

@@ -156,15 +156,18 @@ impl PrimOp {
             }
         }
         let int = |v: &Value| -> Result<i64, EvalError> {
-            v.as_int().ok_or_else(|| EvalError::type_error(self, "int", v))
+            v.as_int()
+                .ok_or_else(|| EvalError::type_error(self, "int", v))
         };
         let boolean = |v: &Value| -> Result<bool, EvalError> {
-            v.as_bool().ok_or_else(|| EvalError::type_error(self, "bool", v))
+            v.as_bool()
+                .ok_or_else(|| EvalError::type_error(self, "bool", v))
         };
         fn list_of(op: PrimOp, v: &Value) -> Result<&[Value], EvalError> {
-            v.as_list().ok_or_else(|| EvalError::type_error(op, "list", v))
+            v.as_list()
+                .ok_or_else(|| EvalError::type_error(op, "list", v))
         }
-        
+
         Ok(match self {
             Add => Value::Int(int(&args[0])?.wrapping_add(int(&args[1])?)),
             Sub => Value::Int(int(&args[0])?.wrapping_sub(int(&args[1])?)),
@@ -339,9 +342,12 @@ mod tests {
     #[test]
     fn list_ops() {
         let xs = Value::ints([1, 2, 3]);
-        assert_eq!(ok(PrimOp::Head, &[xs.clone()]), 1.into());
-        assert_eq!(ok(PrimOp::Tail, &[xs.clone()]), Value::ints([2, 3]));
-        assert_eq!(ok(PrimOp::Len, &[xs.clone()]), 3.into());
+        assert_eq!(ok(PrimOp::Head, std::slice::from_ref(&xs)), 1.into());
+        assert_eq!(
+            ok(PrimOp::Tail, std::slice::from_ref(&xs)),
+            Value::ints([2, 3])
+        );
+        assert_eq!(ok(PrimOp::Len, std::slice::from_ref(&xs)), 3.into());
         assert_eq!(ok(PrimOp::IsEmpty, &[Value::ints([])]), true.into());
         assert_eq!(ok(PrimOp::Nth, &[xs.clone(), 2.into()]), 3.into());
         assert_eq!(
@@ -352,10 +358,19 @@ mod tests {
             ok(PrimOp::Append, &[Value::ints([1]), Value::ints([2])]),
             Value::ints([1, 2])
         );
-        assert_eq!(ok(PrimOp::Reverse, &[xs.clone()]), Value::ints([3, 2, 1]));
-        assert_eq!(ok(PrimOp::Range, &[0.into(), 3.into()]), Value::ints([0, 1, 2]));
+        assert_eq!(
+            ok(PrimOp::Reverse, std::slice::from_ref(&xs)),
+            Value::ints([3, 2, 1])
+        );
+        assert_eq!(
+            ok(PrimOp::Range, &[0.into(), 3.into()]),
+            Value::ints([0, 1, 2])
+        );
         assert_eq!(ok(PrimOp::Range, &[3.into(), 0.into()]), Value::ints([]));
-        assert_eq!(ok(PrimOp::Take, &[xs.clone(), 2.into()]), Value::ints([1, 2]));
+        assert_eq!(
+            ok(PrimOp::Take, &[xs.clone(), 2.into()]),
+            Value::ints([1, 2])
+        );
         assert_eq!(ok(PrimOp::Drop, &[xs.clone(), 2.into()]), Value::ints([3]));
         assert_eq!(
             ok(PrimOp::MakeList, &[1.into(), true.into()]),

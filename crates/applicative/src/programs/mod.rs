@@ -186,7 +186,13 @@ impl Workload {
     /// Dense n×n matrix–vector product over seeded values.
     pub fn matvec(n: usize, seed: u64) -> Workload {
         let m: Vec<Value> = (0..n)
-            .map(|i| Value::ints(lcg_list(n, seed.wrapping_add(i as u64)).into_iter().map(|x| x % 10)))
+            .map(|i| {
+                Value::ints(
+                    lcg_list(n, seed.wrapping_add(i as u64))
+                        .into_iter()
+                        .map(|x| x % 10),
+                )
+            })
             .collect();
         let v = Value::ints(lcg_list(n, seed ^ 0xABCD).into_iter().map(|x| x % 10));
         Workload::build(
@@ -230,7 +236,9 @@ impl Workload {
 
 /// Deterministic pseudo-random list (64-bit LCG, values in 0..1000).
 fn lcg_list(len: usize, seed: u64) -> Vec<i64> {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     (0..len)
         .map(|_| {
             state = state
@@ -247,7 +255,10 @@ mod tests {
 
     #[test]
     fn fib_reference_values() {
-        assert_eq!(Workload::fib(10).reference_result().unwrap(), Value::Int(55));
+        assert_eq!(
+            Workload::fib(10).reference_result().unwrap(),
+            Value::Int(55)
+        );
         assert_eq!(Workload::fib(1).reference_result().unwrap(), Value::Int(1));
     }
 
@@ -342,7 +353,12 @@ mod tests {
     fn mergesort_sorts() {
         let w = Workload::mergesort(20, 5);
         let v = w.reference_result().unwrap();
-        let got: Vec<i64> = v.as_list().unwrap().iter().map(|x| x.as_int().unwrap()).collect();
+        let got: Vec<i64> = v
+            .as_list()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_int().unwrap())
+            .collect();
         let mut want = lcg_list(20, 5);
         want.sort();
         assert_eq!(got, want);
@@ -361,9 +377,17 @@ mod tests {
         let seed = 3u64;
         let w = Workload::matvec(n, seed);
         let m: Vec<Vec<i64>> = (0..n)
-            .map(|i| lcg_list(n, seed.wrapping_add(i as u64)).into_iter().map(|x| x % 10).collect())
+            .map(|i| {
+                lcg_list(n, seed.wrapping_add(i as u64))
+                    .into_iter()
+                    .map(|x| x % 10)
+                    .collect()
+            })
             .collect();
-        let v: Vec<i64> = lcg_list(n, seed ^ 0xABCD).into_iter().map(|x| x % 10).collect();
+        let v: Vec<i64> = lcg_list(n, seed ^ 0xABCD)
+            .into_iter()
+            .map(|x| x % 10)
+            .collect();
         let want: Vec<i64> = m
             .iter()
             .map(|row| row.iter().zip(&v).map(|(a, b)| a * b).sum())
@@ -388,7 +412,7 @@ mod tests {
             .collect();
         let fanouts: Vec<usize> = shapes.iter().map(|s| s.max_fanout).collect();
         assert!(fanouts.iter().any(|&f| f >= 3), "{fanouts:?}");
-        assert!(fanouts.iter().any(|&f| f == 2), "{fanouts:?}");
+        assert!(fanouts.contains(&2), "{fanouts:?}");
     }
 
     #[test]

@@ -384,7 +384,10 @@ mod tests {
     fn leaf_task_completes_in_one_wave() {
         let (p, fib) = fib_program();
         let mut t = TaskEval::new(fib, vec![1.into()]);
-        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(1))));
+        assert!(matches!(
+            t.step(&p).unwrap(),
+            WaveResult::Done(Value::Int(1))
+        ));
         assert_eq!(t.waves(), 1);
         assert!(t.work() > 0);
     }
@@ -451,7 +454,10 @@ mod tests {
             other => panic!("expected blocked, got {other:?}"),
         }
         assert!(t.supply(&Demand::new(fib, vec![3.into()]), 2.into()));
-        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(5))));
+        assert!(matches!(
+            t.step(&p).unwrap(),
+            WaveResult::Done(Value::Int(5))
+        ));
     }
 
     #[test]
@@ -485,7 +491,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         t.supply(&Demand::new(g, vec![21.into()]), 21.into());
-        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(42))));
+        assert!(matches!(
+            t.step(&p).unwrap(),
+            WaveResult::Done(Value::Int(42))
+        ));
     }
 
     #[test]
@@ -528,7 +537,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         t.supply(&Demand::new(g, vec![1.into()]), 2.into());
-        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(2))));
+        assert!(matches!(
+            t.step(&p).unwrap(),
+            WaveResult::Done(Value::Int(2))
+        ));
         assert_eq!(t.waves(), 3);
     }
 
@@ -557,6 +569,9 @@ mod tests {
             other => panic!("{other:?}"),
         }
         t.supply(&Demand::new(g, vec![1.into()]), false.into());
-        assert!(matches!(t.step(&p).unwrap(), WaveResult::Done(Value::Int(0))));
+        assert!(matches!(
+            t.step(&p).unwrap(),
+            WaveResult::Done(Value::Int(0))
+        ));
     }
 }

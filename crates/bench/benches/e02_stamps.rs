@@ -49,11 +49,7 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("topmost_512", |b| {
-        b.iter_batched(
-            || bag.clone(),
-            |bag| LevelStamp::topmost(bag),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| bag.clone(), LevelStamp::topmost, BatchSize::SmallInput)
     });
     g.finish();
 }

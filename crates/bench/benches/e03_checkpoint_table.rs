@@ -61,10 +61,18 @@ fn bench(c: &mut Criterion) {
 
     let table = loaded_table(1024);
     g.bench_function("recover_topmost_1024", |b| {
-        b.iter(|| table.recover_candidates(ProcId(3), CheckpointFilter::Topmost).len())
+        b.iter(|| {
+            table
+                .recover_candidates(ProcId(3), CheckpointFilter::Topmost)
+                .len()
+        })
     });
     g.bench_function("recover_all_1024", |b| {
-        b.iter(|| table.recover_candidates(ProcId(3), CheckpointFilter::All).len())
+        b.iter(|| {
+            table
+                .recover_candidates(ProcId(3), CheckpointFilter::All)
+                .len()
+        })
     });
 
     // The topmost rule reduces the reissue set — report the ratio once so

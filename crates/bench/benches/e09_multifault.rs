@@ -15,11 +15,8 @@ fn bench(c: &mut Criterion) {
     let w = Workload::mapreduce(0, 32, 8);
     let base = fault_free(12, RecoveryMode::Splice, &w);
     let t = base.finish.ticks();
-    let double = FaultPlan::crash_at(2, VirtualTime(t / 3)).and(
-        9,
-        VirtualTime(t / 3),
-        FaultKind::Crash,
-    );
+    let double =
+        FaultPlan::crash_at(2, VirtualTime(t / 3)).and(9, VirtualTime(t / 3), FaultKind::Crash);
     for mode in [RecoveryMode::Rollback, RecoveryMode::Splice] {
         g.bench_function(format!("{mode:?}_two_branches"), |b| {
             b.iter(|| {

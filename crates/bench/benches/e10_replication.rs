@@ -34,7 +34,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut cfg = config(8, RecoveryMode::Splice);
                 cfg.policy = Policy::RoundRobin;
-                cfg.recovery.replicate.insert(mapred, ReplicaSpec { n, vote });
+                cfg.recovery
+                    .replicate
+                    .insert(mapred, ReplicaSpec { n, vote });
                 let r = run_workload(cfg, &w, &corrupt);
                 assert!(r.completed);
                 let correct = r.result == Some(expected.clone());

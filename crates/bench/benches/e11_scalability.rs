@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e11_scalability");
     let w = Workload::mapreduce(0, 32, 8);
     for n in [2u32, 4, 8, 16] {
-        for (label, mode) in [("none", RecoveryMode::None), ("splice", RecoveryMode::Splice)] {
+        for (label, mode) in [
+            ("none", RecoveryMode::None),
+            ("splice", RecoveryMode::Splice),
+        ] {
             g.bench_function(format!("p{n}_{label}"), |b| {
                 b.iter(|| {
                     let r = run_workload(config(n, mode), &w, &FaultPlan::none());

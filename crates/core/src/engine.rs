@@ -291,13 +291,13 @@ impl Engine {
                 stamp,
                 incarnation,
             } => {
-                let needs_reissue = match self.tasks.get(&owner).and_then(|t| t.children.get(&stamp))
-                {
-                    Some(ci) if !ci.done && ci.incarnation == incarnation => {
-                        ci.current_addr().is_none()
-                    }
-                    _ => false,
-                };
+                let needs_reissue =
+                    match self.tasks.get(&owner).and_then(|t| t.children.get(&stamp)) {
+                        Some(ci) if !ci.done && ci.incarnation == incarnation => {
+                            ci.current_addr().is_none()
+                        }
+                        _ => false,
+                    };
                 if needs_reissue {
                     self.stats.ack_timeouts += 1;
                     self.reissue_child(owner, &stamp)
@@ -445,7 +445,11 @@ impl Engine {
         }
         let before = task.eval.work();
         let step = task.eval.step(&self.program);
-        let work = self.tasks.get(&key).map(|t| t.eval.work() - before).unwrap_or(0);
+        let work = self
+            .tasks
+            .get(&key)
+            .map(|t| t.eval.work() - before)
+            .unwrap_or(0);
         self.stats.waves_run += 1;
         self.stats.work_units += work;
         match step {
@@ -671,11 +675,13 @@ impl Engine {
         match group.vote.add(replica.index, rp.value) {
             VoteOutcome::Pending => Vec::new(),
             VoteOutcome::Decided { value, clean } => {
+                let dissent = group.vote.dissenting(&value) as u64;
                 if clean {
                     self.stats.votes_decided += 1;
                 } else {
                     self.stats.votes_conflicted += 1;
                 }
+                self.stats.votes_dissenting += dissent;
                 self.supply_child(rp.to.key, &rp.from_stamp, value);
                 Vec::new()
             }
@@ -728,10 +734,7 @@ impl Engine {
                     self.stats.orphans_suicided += 1;
                     actions.extend(self.abort_cascade(k));
                 }
-                for cp in self
-                    .ckpt
-                    .recover_candidates(dead, self.config.ckpt_filter)
-                {
+                for cp in self.ckpt.recover_candidates(dead, self.config.ckpt_filter) {
                     if self.tasks.contains_key(&cp.owner) {
                         actions.extend(self.reissue_child(cp.owner, &cp.packet.stamp));
                     }
@@ -782,7 +785,7 @@ impl Engine {
     }
 
     fn handle_replica_losses(&mut self, dead: ProcId) -> Vec<Action> {
-        let mut decisions: Vec<(TaskKey, LevelStamp, Option<Value>, bool)> = Vec::new();
+        let mut decisions: Vec<(TaskKey, LevelStamp, Option<Value>, bool, u64)> = Vec::new();
         let mut respawns: Vec<(TaskKey, LevelStamp)> = Vec::new();
         for (key, task) in self.tasks.iter_mut() {
             for (stamp, ci) in task.children.iter_mut() {
@@ -796,7 +799,8 @@ impl Engine {
                 for _ in 0..lost {
                     match group.vote.mark_lost() {
                         VoteOutcome::Decided { value, clean } => {
-                            decisions.push((*key, stamp.clone(), Some(value), clean));
+                            let dissent = group.vote.dissenting(&value) as u64;
+                            decisions.push((*key, stamp.clone(), Some(value), clean, dissent));
                         }
                         VoteOutcome::Pending => {}
                     }
@@ -807,13 +811,14 @@ impl Engine {
             }
         }
         let mut actions = Vec::new();
-        for (key, stamp, value, clean) in decisions {
+        for (key, stamp, value, clean, dissent) in decisions {
             if let Some(v) = value {
                 if clean {
                     self.stats.votes_decided += 1;
                 } else {
                     self.stats.votes_conflicted += 1;
                 }
+                self.stats.votes_dissenting += dissent;
                 self.supply_child(key, &stamp, v);
             }
         }
@@ -999,7 +1004,7 @@ impl Engine {
                 self.stats.salvage_dropped += 1;
             }
             (routed, {
-                let v: Vec<Action> = acts.drain(..).collect();
+                let v: Vec<Action> = std::mem::take(&mut acts);
                 v
             })
         };
@@ -1125,11 +1130,7 @@ impl Engine {
         // otherwise the preload prevents the spawn entirely (cases 4/5).
         if let Some(stamp) = task.by_demand.get(&sp.demand).cloned() {
             self.stats.salvage_after_spawn += 1;
-            let done = task
-                .children
-                .get(&stamp)
-                .map(|c| c.done)
-                .unwrap_or(false);
+            let done = task.children.get(&stamp).map(|c| c.done).unwrap_or(false);
             if !done {
                 self.supply_child(key, &stamp, sp.value);
             } else {
@@ -1333,8 +1334,12 @@ mod tests {
     fn failure_notice_is_idempotent() {
         let w = Workload::fib(5);
         let mut e = engine_for(&w, RecoveryMode::Rollback);
-        assert!(e.on_message(Msg::FailureNotice { dead: ProcId(3) }).is_empty());
-        assert!(e.on_message(Msg::FailureNotice { dead: ProcId(3) }).is_empty());
+        assert!(e
+            .on_message(Msg::FailureNotice { dead: ProcId(3) })
+            .is_empty());
+        assert!(e
+            .on_message(Msg::FailureNotice { dead: ProcId(3) })
+            .is_empty());
         assert!(e.known_dead().contains(&ProcId(3)));
     }
 }

@@ -95,7 +95,8 @@ impl ScriptedPlacer {
     /// the longest matching prefix wins.
     pub fn assign_subtree(&mut self, prefix: crate::stamp::LevelStamp, proc: ProcId) -> &mut Self {
         self.subtrees.push((prefix, proc));
-        self.subtrees.sort_by_key(|(p, _)| std::cmp::Reverse(p.level()));
+        self.subtrees
+            .sort_by_key(|(p, _)| std::cmp::Reverse(p.level()));
         self
     }
 }

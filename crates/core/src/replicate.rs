@@ -150,6 +150,13 @@ impl Vote {
     pub fn all_lost(&self) -> bool {
         !self.decided && self.votes.is_empty() && self.lost >= self.n
     }
+
+    /// Number of received replica results that disagree with `winner` —
+    /// the outvoted minority a decision masked. Meaningful at (or after)
+    /// decision time.
+    pub fn dissenting(&self, winner: &Value) -> u32 {
+        self.votes.values().filter(|v| *v != winner).count() as u32
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +203,11 @@ mod tests {
     fn wait_all_defers_until_everyone_reports() {
         let mut vote = Vote::new(3, VoteMode::WaitAll);
         assert_eq!(vote.add(0, v(1)), VoteOutcome::Pending);
-        assert_eq!(vote.add(1, v(1)), VoteOutcome::Pending, "majority exists but mode waits");
+        assert_eq!(
+            vote.add(1, v(1)),
+            VoteOutcome::Pending,
+            "majority exists but mode waits"
+        );
         assert_eq!(
             vote.add(2, v(1)),
             VoteOutcome::Decided {

@@ -64,6 +64,9 @@ pub struct ProcStats {
     pub votes_decided: u64,
     /// Replica votes concluded without a clean majority.
     pub votes_conflicted: u64,
+    /// Replica results that disagreed with a vote's accepted answer — a
+    /// corrupt (or stale) minority outvoted by the group.
+    pub votes_dissenting: u64,
     /// Replica results received.
     pub replica_results: u64,
     /// Evaluation errors surfaced (should stay 0 on shipped workloads).
@@ -126,6 +129,7 @@ impl AddAssign<&ProcStats> for ProcStats {
         self.stale_messages_ignored += rhs.stale_messages_ignored;
         self.votes_decided += rhs.votes_decided;
         self.votes_conflicted += rhs.votes_conflicted;
+        self.votes_dissenting += rhs.votes_dissenting;
         self.replica_results += rhs.replica_results;
         self.eval_errors += rhs.eval_errors;
     }
@@ -181,12 +185,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fieldwise() {
-        let mut a = ProcStats::default();
-        a.tasks_created = 3;
+        let mut a = ProcStats {
+            tasks_created: 3,
+            ..ProcStats::default()
+        };
         a.sent(MsgKind::Load, 1);
-        let mut b = ProcStats::default();
-        b.tasks_created = 4;
-        b.salvaged_results = 2;
+        let mut b = ProcStats {
+            tasks_created: 4,
+            salvaged_results: 2,
+            ..ProcStats::default()
+        };
         b.sent(MsgKind::Load, 1);
         a += &b;
         assert_eq!(a.tasks_created, 7);
@@ -196,8 +204,10 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        let mut s = ProcStats::default();
-        s.tasks_created = 1;
+        let mut s = ProcStats {
+            tasks_created: 1,
+            ..ProcStats::default()
+        };
         s.sent(MsgKind::Spawn, 4);
         let text = s.to_string();
         assert!(text.contains("spawn=1"));

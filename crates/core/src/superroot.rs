@@ -39,7 +39,12 @@ impl SuperRoot {
     /// Checkpoints the user program: entry function applied to arguments.
     /// The root task receives stamp `1` and the super-root as both parent
     /// and (transitively) every ancestor.
-    pub fn new(entry: FnId, args: Vec<Value>, ancestor_depth: usize, ack_timeout: u64) -> SuperRoot {
+    pub fn new(
+        entry: FnId,
+        args: Vec<Value>,
+        ancestor_depth: usize,
+        ack_timeout: u64,
+    ) -> SuperRoot {
         let packet = TaskPacket {
             stamp: LevelStamp::root().child(1),
             demand: Demand::new(entry, args),
@@ -182,11 +187,7 @@ impl SuperRoot {
         if self.result.is_some() {
             return Vec::new();
         }
-        if !self
-            .packet
-            .stamp
-            .is_self_or_ancestor_of(&sp.dead_stamp)
-        {
+        if !self.packet.stamp.is_self_or_ancestor_of(&sp.dead_stamp) {
             return Vec::new();
         }
         let mut actions = Vec::new();
@@ -204,7 +205,10 @@ impl SuperRoot {
                 // If we have not already reissued past the dead root, do so.
                 if self.root_addr().is_none() && self.acked.is_some() {
                     // Reissue already pending (ack awaited); just buffer.
-                } else if self.acked.map(|(a, _)| self.known_dead.contains(&a.proc)).unwrap_or(false)
+                } else if self
+                    .acked
+                    .map(|(a, _)| self.known_dead.contains(&a.proc))
+                    .unwrap_or(false)
                 {
                     actions.extend(self.reissue(fallback_dest));
                 }
@@ -364,9 +368,13 @@ mod tests {
         assert!(actions.is_empty(), "buffered until the twin root is placed");
         let actions = s.on_message(ack(&s, ProcId(1), 1), ProcId(1));
         assert!(
-            actions
-                .iter()
-                .any(|a| matches!(a, Action::Send { to: ProcId(1), msg: Msg::Salvage(_) })),
+            actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    to: ProcId(1),
+                    msg: Msg::Salvage(_)
+                }
+            )),
             "{actions:?}"
         );
     }

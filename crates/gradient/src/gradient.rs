@@ -83,10 +83,7 @@ impl GradientPlacer {
             .filter(|n| !avoid.contains(n))
             .map(|n| {
                 (
-                    *self
-                        .neighbor_proximity
-                        .get(n)
-                        .unwrap_or(&UNKNOWN_PROXIMITY),
+                    *self.neighbor_proximity.get(n).unwrap_or(&UNKNOWN_PROXIMITY),
                     *n,
                 )
             })
@@ -95,13 +92,7 @@ impl GradientPlacer {
             .neighbors
             .iter()
             .filter(|n| !avoid.contains(n))
-            .filter(|n| {
-                *self
-                    .neighbor_proximity
-                    .get(n)
-                    .unwrap_or(&UNKNOWN_PROXIMITY)
-                    == best.0
-            })
+            .filter(|n| *self.neighbor_proximity.get(n).unwrap_or(&UNKNOWN_PROXIMITY) == best.0)
             .copied()
             .collect();
         let pick = candidates[self.tie_rotor % candidates.len()];
@@ -159,11 +150,11 @@ impl Placer for GradientPlacer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use splice_applicative::wave::Demand;
+    use splice_applicative::{FnId, Value};
     use splice_core::ids::{TaskAddr, TaskKey};
     use splice_core::packet::TaskLink;
     use splice_core::stamp::LevelStamp;
-    use splice_applicative::wave::Demand;
-    use splice_applicative::{FnId, Value};
 
     fn pkt(hops: u32) -> TaskPacket {
         TaskPacket {

@@ -65,11 +65,7 @@ impl Policy {
         let all: Vec<ProcId> = (0..n).map(ProcId).collect();
         match self {
             Policy::Gradient => {
-                let neighbors = topology
-                    .neighbors(here.0)
-                    .into_iter()
-                    .map(ProcId)
-                    .collect();
+                let neighbors = topology.neighbors(here.0).into_iter().map(ProcId).collect();
                 Box::new(GradientPlacer::new(
                     here,
                     neighbors,

@@ -103,18 +103,22 @@ impl Placer for LeastLoadedPlacer {
     }
 
     fn beacon_targets(&self) -> Vec<ProcId> {
-        self.procs.iter().filter(|p| **p != self.here).copied().collect()
+        self.procs
+            .iter()
+            .filter(|p| **p != self.here)
+            .copied()
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use splice_applicative::wave::Demand;
+    use splice_applicative::{FnId, Value};
     use splice_core::ids::{TaskAddr, TaskKey};
     use splice_core::packet::TaskLink;
     use splice_core::stamp::LevelStamp;
-    use splice_applicative::wave::Demand;
-    use splice_applicative::{FnId, Value};
 
     fn pkt() -> TaskPacket {
         TaskPacket {

@@ -1,0 +1,284 @@
+//! The shared driver loop: one [`DriverLoop`] per processor engine, one
+//! [`SuperRootDriver`] per machine. Every entry point pumps the engine (or
+//! the super-root) and fans its actions out through [`dispatch`] — no
+//! backend carries protocol plumbing of its own.
+
+use crate::substrate::{dispatch, Substrate};
+use splice_applicative::{Program, Value, Workload};
+use splice_core::config::Config;
+use splice_core::engine::{Engine, Timer};
+use splice_core::ids::ProcId;
+use splice_core::packet::Msg;
+use splice_core::place::Placer;
+use splice_core::superroot::SuperRoot;
+use std::sync::Arc;
+
+/// The per-processor driver loop: owns one protocol [`Engine`] and feeds
+/// every stimulus (messages, timers, send failures, ready waves) through
+/// it, dispatching the resulting actions onto the substrate.
+pub struct DriverLoop {
+    engine: Engine,
+}
+
+impl DriverLoop {
+    /// A driver loop for processor `id` running `program`.
+    pub fn new(
+        id: ProcId,
+        program: Arc<Program>,
+        config: Config,
+        placer: Box<dyn Placer>,
+    ) -> DriverLoop {
+        DriverLoop {
+            engine: Engine::new(id, program, config, placer),
+        }
+    }
+
+    /// The wrapped engine (measurements, checkpoint table, task counts).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (spawn-log draining and other driver-side
+    /// instrumentation).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Starts the engine (arms load beacons).
+    pub fn start<S: Substrate + ?Sized>(&mut self, sub: &mut S) {
+        let actions = self.engine.on_start();
+        dispatch(sub, self.engine.id(), actions);
+    }
+
+    /// Delivers `msg` to the engine.
+    pub fn on_message<S: Substrate + ?Sized>(&mut self, msg: Msg, sub: &mut S) {
+        let actions = self.engine.on_message(msg);
+        dispatch(sub, self.engine.id(), actions);
+    }
+
+    /// Fires `timer` on the engine.
+    pub fn on_timer<S: Substrate + ?Sized>(&mut self, timer: Timer, sub: &mut S) {
+        let actions = self.engine.on_timer(timer);
+        dispatch(sub, self.engine.id(), actions);
+    }
+
+    /// Reports that a best-effort send to `dead` bounced.
+    pub fn on_send_failed<S: Substrate + ?Sized>(&mut self, dead: ProcId, msg: Msg, sub: &mut S) {
+        let actions = self.engine.on_send_failed(dead, msg);
+        dispatch(sub, self.engine.id(), actions);
+    }
+
+    /// Runs one ready wave, if any, releasing its effects through
+    /// [`Substrate::complete_wave`]. Returns false when nothing was ready.
+    pub fn run_ready_wave<S: Substrate + ?Sized>(&mut self, sub: &mut S) -> bool {
+        let Some(key) = self.engine.pop_ready() else {
+            return false;
+        };
+        let (actions, work) = self.engine.run_wave(key);
+        sub.complete_wave(self.engine.id(), actions, work);
+        true
+    }
+
+    /// True while the engine has runnable waves queued.
+    pub fn has_ready(&self) -> bool {
+        self.engine.has_ready()
+    }
+}
+
+/// The reliable super-root and its live-placement rotor: launches the
+/// program, survives root-processor failures, and collects the answer.
+/// Lives on the driver side of every backend (the simulator's event loop,
+/// the runtime's coordinator thread).
+pub struct SuperRootDriver {
+    superroot: SuperRoot,
+    rotor: u32,
+}
+
+impl SuperRootDriver {
+    /// A super-root for `workload` under `config`'s timing.
+    pub fn new(workload: &Workload, config: &Config) -> SuperRootDriver {
+        SuperRootDriver {
+            superroot: SuperRoot::new(
+                workload.entry,
+                workload.args.clone(),
+                config.ancestor_depth,
+                config.ack_timeout,
+            ),
+            rotor: 0,
+        }
+    }
+
+    /// The program's answer, once the root reported it.
+    pub fn result(&self) -> Option<&Value> {
+        self.superroot.result()
+    }
+
+    /// Times the root was reissued.
+    pub fn reissues(&self) -> u64 {
+        self.superroot.reissues
+    }
+
+    /// The next live processor under the launch rotor (falls back to
+    /// processor 0 when everything is dead). Advances the rotor on every
+    /// probe, round-robining placements across live processors.
+    pub fn pick_live<S: Substrate + ?Sized>(&mut self, sub: &S) -> ProcId {
+        let n = sub.n_procs();
+        for _ in 0..n {
+            let candidate = ProcId(self.rotor % n);
+            self.rotor = self.rotor.wrapping_add(1);
+            if sub.is_live(candidate) {
+                return candidate;
+            }
+        }
+        ProcId(0)
+    }
+
+    /// Launches the program on the next live processor.
+    pub fn launch<S: Substrate + ?Sized>(&mut self, sub: &mut S) {
+        let dest = self.pick_live(sub);
+        let actions = self.superroot.launch(dest);
+        dispatch(sub, ProcId::SUPER_ROOT, actions);
+    }
+
+    /// Delivers a message addressed to the super-root.
+    pub fn on_message<S: Substrate + ?Sized>(&mut self, msg: Msg, sub: &mut S) {
+        let fallback = self.pick_live(sub);
+        let actions = self.superroot.on_message(msg, fallback);
+        dispatch(sub, ProcId::SUPER_ROOT, actions);
+    }
+
+    /// Handles a failure notice (reissues the root if it lived on `dead`).
+    pub fn on_failure<S: Substrate + ?Sized>(&mut self, dead: ProcId, sub: &mut S) {
+        let fallback = self.pick_live(sub);
+        let actions = self.superroot.on_failure(dead, fallback);
+        dispatch(sub, ProcId::SUPER_ROOT, actions);
+    }
+
+    /// Fires a super-root timer (the root spawn's ack timeout).
+    pub fn on_timer<S: Substrate + ?Sized>(&mut self, timer: Timer, sub: &mut S) {
+        let fallback = self.pick_live(sub);
+        let actions = self.superroot.on_timer(timer, fallback);
+        dispatch(sub, ProcId::SUPER_ROOT, actions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_core::engine::Action;
+
+    /// A loopback substrate: messages land in a queue, timers in a list.
+    #[derive(Default)]
+    struct Loopback {
+        n: u32,
+        dead: Vec<ProcId>,
+        inbox: Vec<(ProcId, ProcId, Msg)>,
+        timers: Vec<(ProcId, u64)>,
+    }
+
+    impl Substrate for Loopback {
+        fn n_procs(&self) -> u32 {
+            self.n
+        }
+        fn is_live(&self, p: ProcId) -> bool {
+            !self.dead.contains(&p)
+        }
+        fn now_units(&self) -> u64 {
+            0
+        }
+        fn send(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+            self.inbox.push((from, to, msg));
+        }
+        fn arm_timer(&mut self, owner: ProcId, _timer: Timer, delay: u64) {
+            self.timers.push((owner, delay));
+        }
+        fn report_death(&mut self, _dead: ProcId) {}
+        fn complete_wave(&mut self, proc: ProcId, actions: Vec<Action>, _work: u64) {
+            dispatch(self, proc, actions);
+        }
+    }
+
+    #[test]
+    fn rotor_skips_dead_processors() {
+        let mut sub = Loopback {
+            n: 4,
+            dead: vec![ProcId(0), ProcId(1)],
+            ..Loopback::default()
+        };
+        let w = Workload::fib(1);
+        let mut sr = SuperRootDriver::new(&w, &Config::default());
+        assert_eq!(sr.pick_live(&sub), ProcId(2));
+        assert_eq!(sr.pick_live(&sub), ProcId(3));
+        assert_eq!(sr.pick_live(&sub), ProcId(2), "wraps around the dead");
+        sub.dead = (0..4).map(ProcId).collect();
+        assert_eq!(sr.pick_live(&sub), ProcId(0), "all dead falls back to 0");
+    }
+
+    #[test]
+    fn launch_spawns_onto_substrate_and_arms_ack_timer() {
+        let mut sub = Loopback {
+            n: 2,
+            ..Loopback::default()
+        };
+        let w = Workload::fib(1);
+        let mut sr = SuperRootDriver::new(&w, &Config::default());
+        sr.launch(&mut sub);
+        assert_eq!(sub.timers.len(), 1, "ack timeout armed");
+        assert_eq!(sub.timers[0].0, ProcId::SUPER_ROOT);
+        assert_eq!(sub.inbox.len(), 1, "root spawn sent");
+        let (from, to, msg) = &sub.inbox[0];
+        assert_eq!(*from, ProcId::SUPER_ROOT);
+        assert_eq!(*to, ProcId(0));
+        assert!(matches!(msg, Msg::Spawn(_)));
+        assert!(sr.result().is_none());
+        assert_eq!(sr.reissues(), 0);
+    }
+
+    #[test]
+    fn driver_loop_pumps_an_engine_end_to_end() {
+        // One processor, loopback transport: spawn the root task into the
+        // engine, run waves to completion, and watch the result reach the
+        // super-root through the shared dispatch path alone.
+        let mut sub = Loopback {
+            n: 1,
+            ..Loopback::default()
+        };
+        let w = Workload::fib(5);
+        let cfg = Config {
+            load_beacon_period: 0,
+            ..Config::default()
+        };
+        let program = Arc::new(w.program.clone());
+        let mut node = DriverLoop::new(
+            ProcId(0),
+            program,
+            cfg.clone(),
+            Box::new(splice_core::place::RoundRobinPlacer::new(vec![ProcId(0)])),
+        );
+        let mut sr = SuperRootDriver::new(&w, &cfg);
+        node.start(&mut sub);
+        sr.launch(&mut sub);
+        for _ in 0..100_000 {
+            if sr.result().is_some() {
+                break;
+            }
+            while let Some((_, to, msg)) = (!sub.inbox.is_empty()).then(|| sub.inbox.remove(0)) {
+                if to.is_super_root() {
+                    sr.on_message(msg, &mut sub);
+                } else {
+                    node.on_message(msg, &mut sub);
+                }
+            }
+            if !node.run_ready_wave(&mut sub) && sub.inbox.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            sr.result(),
+            Some(&w.reference_result().unwrap()),
+            "fib(5) through the shared driver loop"
+        );
+        assert!(node.engine().stats().tasks_completed > 0);
+        assert!(!node.has_ready());
+    }
+}

@@ -1,0 +1,39 @@
+//! `splice-harness` — the shared sans-IO driver layer.
+//!
+//! The protocol engine (`splice_core::engine::Engine`) is sans-IO: it owns
+//! no clock, no transport and no scheduler, and answers every input with a
+//! list of [`Action`](splice_core::Action)s. Historically each machine —
+//! the deterministic simulator (`splice-sim`) and the threaded runtime
+//! (`splice-runtime`) — hand-rolled the same loop around it: dispatch
+//! actions, arm timers, pick live fallbacks for the super-root, broadcast
+//! failure notices, and assemble run statistics. This crate is that loop,
+//! extracted once:
+//!
+//! * [`substrate`] — the [`Substrate`] trait: the *only* interface a
+//!   backend must implement (deliver a message, read the clock, arm a
+//!   timer, report a death), plus the [`dispatch`] fan-out every driver
+//!   used to duplicate;
+//! * [`driver`] — the shared driver loop: [`DriverLoop`] pumps one engine
+//!   (start / message / timer / send-failure / ready waves) and
+//!   [`SuperRootDriver`] owns the reliable super-root with its live-fallback
+//!   rotor;
+//! * [`timer`] — [`TimerWheel`], the earliest-deadline timer store used by
+//!   substrates whose clock is not an event queue;
+//! * [`report`] — [`EngineSnapshot`] / [`EngineTotals`], the per-engine
+//!   measurement capture both machines aggregate into their run reports.
+//!
+//! Adding a backend (an async reactor, a sharded multi-process transport, a
+//! batched-delivery bus) means implementing [`Substrate`] and pumping
+//! [`DriverLoop`]s — no protocol logic is involved.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod report;
+pub mod substrate;
+pub mod timer;
+
+pub use driver::{DriverLoop, SuperRootDriver};
+pub use report::{EngineSnapshot, EngineTotals};
+pub use substrate::{corrupt_value, death_notice_targets, dispatch, Substrate};
+pub use timer::TimerWheel;

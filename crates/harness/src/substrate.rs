@@ -1,0 +1,177 @@
+//! The [`Substrate`] trait — what a machine backend must provide — and the
+//! action fan-out shared by every driver.
+
+use splice_applicative::Value;
+use splice_core::engine::{Action, Timer};
+use splice_core::ids::ProcId;
+use splice_core::packet::Msg;
+
+/// A transport-and-clock backend under the shared driver loop.
+///
+/// The engine emits [`Action`]s; a substrate turns them into reality:
+/// messages onto the interconnect, timers onto a clock. The simulator
+/// implements this over a deterministic event queue and virtual time; the
+/// threaded runtime over channels and the OS clock. All protocol behaviour
+/// (what to send, when to reissue, how to recover) stays in `splice-core`;
+/// all policy shared between backends (fan-out, fallback rotors, failure
+/// broadcasts) stays in this crate; a substrate contributes *only*
+/// delivery, time and liveness.
+pub trait Substrate {
+    /// Number of worker processors (the super-root pseudo-processor not
+    /// included).
+    fn n_procs(&self) -> u32;
+
+    /// True while processor `p` has not crashed. `ProcId::SUPER_ROOT` is
+    /// never asked.
+    fn is_live(&self, p: ProcId) -> bool;
+
+    /// Current driver time, in the same abstract units timer delays use
+    /// (virtual ticks on the simulator, `time_unit`s on the runtime).
+    fn now_units(&self) -> u64;
+
+    /// Transmits `msg` from `from` to `to`, with whatever latency, loss or
+    /// bounce semantics the backend models. `to` may be
+    /// `ProcId::SUPER_ROOT`.
+    fn send(&mut self, from: ProcId, to: ProcId, msg: Msg);
+
+    /// Arms `timer` to fire for `owner` after `delay` driver units.
+    fn arm_timer(&mut self, owner: ProcId, timer: Timer, delay: u64);
+
+    /// Announces that `dead` has been observed dead, delivering failure
+    /// notices to the peers and the super-root with backend-appropriate
+    /// timing (see [`death_notice_targets`] for the canonical recipients).
+    fn report_death(&mut self, dead: ProcId);
+
+    /// Completes a wave that performed `work` units, releasing its effects.
+    /// The default releases them immediately; the simulator overrides this
+    /// to charge the cost model and defer the effects to the wave's
+    /// completion instant (where they die with a mid-wave crash).
+    fn complete_wave(&mut self, proc: ProcId, actions: Vec<Action>, work: u64) {
+        let _ = work;
+        dispatch(self, proc, actions);
+    }
+}
+
+/// Performs a batch of engine [`Action`]s against a substrate — the fan-out
+/// both machines used to hand-roll. `from` is the acting processor (or
+/// `ProcId::SUPER_ROOT`).
+pub fn dispatch<S: Substrate + ?Sized>(sub: &mut S, from: ProcId, actions: Vec<Action>) {
+    for action in actions {
+        match action {
+            Action::Send { to, msg } => sub.send(from, to, msg),
+            Action::SetTimer { timer, delay } => sub.arm_timer(from, timer, delay),
+        }
+    }
+}
+
+/// The canonical recipients of a failure notice for `dead`: every live peer
+/// (in processor order), then the super-root. Backends decide the timing
+/// (staggered detector delays on the simulator, immediate broadcast on the
+/// runtime); this fixes *who* hears, so detection plumbing cannot drift
+/// between backends.
+pub fn death_notice_targets(
+    n_procs: u32,
+    mut is_live: impl FnMut(ProcId) -> bool,
+    dead: ProcId,
+) -> Vec<ProcId> {
+    let mut targets = Vec::new();
+    for i in 0..n_procs {
+        let p = ProcId(i);
+        if p != dead && is_live(p) {
+            targets.push(p);
+        }
+    }
+    targets.push(ProcId::SUPER_ROOT);
+    targets
+}
+
+/// Deterministic, detectable corruption of a value — the §5.3 faulty-
+/// processor model shared by every backend's corrupt-fault injection (the
+/// corruption must be identical so replicated-voting runs agree across
+/// backends).
+pub fn corrupt_value(v: &Value) -> Value {
+    match v {
+        Value::Int(n) => Value::Int(n.wrapping_mul(31).wrapping_add(7)),
+        Value::Bool(b) => Value::Bool(!b),
+        other => Value::list([other.clone(), Value::str("corrupt")]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_core::engine::Timer;
+    use splice_core::packet::Msg;
+
+    #[derive(Default)]
+    struct Probe {
+        sent: Vec<(ProcId, ProcId)>,
+        timers: Vec<(ProcId, u64)>,
+        deaths: Vec<ProcId>,
+        waves: Vec<(ProcId, u64)>,
+    }
+
+    impl Substrate for Probe {
+        fn n_procs(&self) -> u32 {
+            4
+        }
+        fn is_live(&self, p: ProcId) -> bool {
+            p != ProcId(2)
+        }
+        fn now_units(&self) -> u64 {
+            0
+        }
+        fn send(&mut self, from: ProcId, to: ProcId, _msg: Msg) {
+            self.sent.push((from, to));
+        }
+        fn arm_timer(&mut self, owner: ProcId, _timer: Timer, delay: u64) {
+            self.timers.push((owner, delay));
+        }
+        fn report_death(&mut self, dead: ProcId) {
+            self.deaths.push(dead);
+        }
+        fn complete_wave(&mut self, proc: ProcId, actions: Vec<Action>, work: u64) {
+            self.waves.push((proc, work));
+            dispatch(self, proc, actions);
+        }
+    }
+
+    #[test]
+    fn dispatch_routes_sends_and_timers() {
+        let mut probe = Probe::default();
+        dispatch(
+            &mut probe,
+            ProcId(1),
+            vec![
+                Action::SetTimer {
+                    timer: Timer::LoadBeacon,
+                    delay: 9,
+                },
+                Action::Send {
+                    to: ProcId(3),
+                    msg: Msg::FailureNotice { dead: ProcId(0) },
+                },
+            ],
+        );
+        assert_eq!(probe.timers, vec![(ProcId(1), 9)]);
+        assert_eq!(probe.sent, vec![(ProcId(1), ProcId(3))]);
+    }
+
+    #[test]
+    fn notice_targets_are_live_peers_then_super_root() {
+        let probe = Probe::default();
+        let targets = death_notice_targets(probe.n_procs(), |p| probe.is_live(p), ProcId(1));
+        assert_eq!(
+            targets,
+            vec![ProcId(0), ProcId(3), ProcId::SUPER_ROOT],
+            "dead victim and dead peer 2 excluded, super-root last"
+        );
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_visible() {
+        assert_eq!(corrupt_value(&Value::Int(1)), corrupt_value(&Value::Int(1)));
+        assert_ne!(corrupt_value(&Value::Int(1)), Value::Int(1));
+        assert_ne!(corrupt_value(&Value::Bool(true)), Value::Bool(true));
+    }
+}

@@ -1,0 +1,118 @@
+//! [`TimerWheel`]: the earliest-deadline timer store for substrates whose
+//! clock is not already an event queue (the threaded runtime's workers and
+//! coordinator; the simulator schedules timers straight into its DES
+//! queue). Ties fire in arming order, like the DES queue's tie rule, so
+//! backends agree on timer semantics.
+
+use splice_core::engine::Timer;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: T,
+    seq: u64,
+    timer: Timer,
+}
+
+impl<T: Ord> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T: Ord> Eq for Entry<T> {}
+impl<T: Ord> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic earliest-deadline store of engine [`Timer`]s, generic
+/// over the deadline type (`Instant` on the runtime, anything `Ord`).
+pub struct TimerWheel<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T: Ord> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T: Ord> TimerWheel<T> {
+    /// An empty wheel.
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel::default()
+    }
+
+    /// Arms `timer` to fire at `at`.
+    pub fn arm(&mut self, at: T, timer: Timer) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, timer });
+    }
+
+    /// Pops the earliest timer due at or before `now`, if any. Call in a
+    /// loop to drain everything due.
+    pub fn pop_due(&mut self, now: &T) -> Option<Timer> {
+        if self.heap.peek().is_some_and(|e| e.at <= *now) {
+            self.heap.pop().map(|e| e.timer)
+        } else {
+            None
+        }
+    }
+
+    /// Deadline of the earliest armed timer.
+    pub fn next_deadline(&self) -> Option<&T> {
+        self.heap.peek().map(|e| &e.at)
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_order_with_fifo_ties() {
+        let mut w = TimerWheel::new();
+        w.arm(30u64, Timer::LoadBeacon);
+        w.arm(
+            10,
+            Timer::AckTimeout {
+                owner: splice_core::ids::TaskKey(1),
+                stamp: splice_core::stamp::LevelStamp::root(),
+                incarnation: 0,
+            },
+        );
+        w.arm(10, Timer::LoadBeacon);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.next_deadline(), Some(&10));
+        assert!(matches!(w.pop_due(&20), Some(Timer::AckTimeout { .. })));
+        assert!(matches!(w.pop_due(&20), Some(Timer::LoadBeacon)));
+        assert!(w.pop_due(&20).is_none(), "deadline 30 is not yet due");
+        assert!(matches!(w.pop_due(&30), Some(Timer::LoadBeacon)));
+        assert!(w.is_empty());
+    }
+}

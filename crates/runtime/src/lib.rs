@@ -1,15 +1,17 @@
 //! `splice-runtime` — real multi-threaded execution of the recovery
 //! protocol.
 //!
-//! One OS thread per processor, crossbeam channels as the partitioned-
-//! memory interconnect, a heartbeat monitor as the failure detector, and
+//! One OS thread per processor, channels as the partitioned-memory
+//! interconnect, a heartbeat monitor as the failure detector, and
 //! fail-silent fault injection via kill flags. The protocol engine is the
-//! same `splice_core::engine::Engine` the deterministic simulator drives —
-//! this crate exists to demonstrate (and test) that the recovery protocol
-//! is driver-agnostic and survives real races.
+//! same `splice_core::engine::Engine` the deterministic simulator drives,
+//! pumped by the same `splice_harness::DriverLoop`; this crate contributes
+//! only a wall-clock `Substrate` implementation, and exists to demonstrate
+//! (and test) that the recovery protocol is driver-agnostic and survives
+//! real races.
 
 #![warn(missing_docs)]
 
 pub mod runtime;
 
-pub use runtime::{run, CrashAt, RuntimeConfig, RuntimeReport};
+pub use runtime::{run, run_plan, CrashAt, RuntimeConfig, RuntimeReport};

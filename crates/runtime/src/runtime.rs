@@ -1,16 +1,20 @@
-//! The threaded runtime: one OS thread per processor, crossbeam channels as
-//! the interconnect.
+//! The threaded runtime: one OS thread per processor, channels as the
+//! interconnect.
 //!
 //! This is the "real machine" counterpart of `splice-sim`: the *same*
-//! protocol engine (`splice_core::engine::Engine`) runs unmodified; only
-//! the driver differs. Processors are worker threads with private state
+//! protocol engine (`splice_core::engine::Engine`) runs unmodified under
+//! the *same* shared driver loop (`splice_harness::DriverLoop`); only the
+//! [`Substrate`] differs. Processors are worker threads with private state
 //! (partitioned memory), messages travel through unbounded channels, time
 //! is the OS clock, and failure detection is a heartbeat monitor rather
 //! than a simulator oracle.
 //!
 //! Fail-silent fault injection: a killed worker stops heartbeating,
 //! processing and sending — exactly the paper's fault model ("if a
-//! processor fails, it will no longer transmit any valid messages").
+//! processor fails, it will no longer transmit any valid messages"). A
+//! corrupting worker keeps running but emits detectably wrong replica
+//! results (the §5.3 voting experiment), using the same corruption the
+//! simulator applies so replicated runs agree across backends.
 //!
 //! The runtime favours clarity over throughput: it demonstrates that the
 //! recovery protocol is driver-agnostic and exercises it under real
@@ -21,15 +25,17 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use splice_applicative::{Program, Value, Workload};
 use splice_core::config::Config as RecoveryConfig;
-use splice_core::engine::{Action, Engine, Timer};
+use splice_core::engine::Timer;
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
 use splice_core::stats::ProcStats;
-use splice_core::superroot::SuperRoot;
 use splice_gradient::Policy;
+use splice_harness::{
+    corrupt_value, death_notice_targets, DriverLoop, EngineSnapshot, EngineTotals, Substrate,
+    SuperRootDriver, TimerWheel,
+};
+use splice_simnet::fault::{FaultKind, FaultPlan};
 use splice_simnet::topology::Topology;
-use std::collections::BinaryHeap;
-use std::cmp::Reverse;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -94,6 +100,10 @@ pub struct RuntimeReport {
     pub elapsed: Duration,
     /// Aggregate engine statistics.
     pub stats: ProcStats,
+    /// Per-processor engine statistics.
+    pub per_proc: Vec<ProcStats>,
+    /// Total checkpoints ever stored, across processors.
+    pub ckpt_stored: u64,
     /// Failure notices broadcast by the heartbeat monitor.
     pub detections: u64,
     /// Times the super-root reissued the root.
@@ -106,15 +116,25 @@ enum Envelope {
     Shutdown,
 }
 
+/// One scheduled fault on the wall clock (internal normalized form of both
+/// [`CrashAt`] lists and simulator [`FaultPlan`]s).
+#[derive(Clone, Copy, Debug)]
+struct FaultAt {
+    after: Duration,
+    victim: u32,
+    kind: FaultKind,
+}
+
 struct Shared {
     senders: Vec<Sender<Envelope>>,
     to_superroot: Sender<Envelope>,
     killed: Vec<AtomicBool>,
+    corrupting: Vec<AtomicBool>,
     /// Millis since `epoch` of each worker's last heartbeat.
     beats: Vec<AtomicU64>,
     epoch: Instant,
     done: AtomicBool,
-    stats: Vec<Mutex<ProcStats>>,
+    snapshots: Vec<Mutex<EngineSnapshot>>,
 }
 
 impl Shared {
@@ -127,8 +147,119 @@ impl Shared {
     }
 }
 
+/// The wall-clock [`Substrate`]: channels as the interconnect, `Instant`s
+/// on a [`TimerWheel`] as the clock. One is constructed per pump (worker
+/// thread or the super-root driver thread) around that actor's own wheel;
+/// liveness is the shared kill-flag array.
+struct ThreadSubstrate<'a> {
+    shared: &'a Shared,
+    /// The worker this substrate acts for (`None` on the driver thread).
+    me: Option<u32>,
+    time_unit: Duration,
+    wheel: &'a mut TimerWheel<Instant>,
+}
+
+impl<'a> ThreadSubstrate<'a> {
+    fn new(
+        shared: &'a Shared,
+        me: Option<u32>,
+        time_unit: Duration,
+        wheel: &'a mut TimerWheel<Instant>,
+    ) -> ThreadSubstrate<'a> {
+        ThreadSubstrate {
+            shared,
+            me,
+            time_unit,
+            wheel,
+        }
+    }
+}
+
+fn units_to_wall(time_unit: Duration, units: u64) -> Duration {
+    Duration::from_nanos((time_unit.as_nanos() as u64).saturating_mul(units))
+}
+
+impl Substrate for ThreadSubstrate<'_> {
+    fn n_procs(&self) -> u32 {
+        self.shared.senders.len() as u32
+    }
+
+    fn is_live(&self, p: ProcId) -> bool {
+        self.shared
+            .killed
+            .get(p.0 as usize)
+            .is_some_and(|k| !k.load(Ordering::SeqCst))
+    }
+
+    fn now_units(&self) -> u64 {
+        (self.shared.epoch.elapsed().as_nanos() / self.time_unit.as_nanos().max(1)) as u64
+    }
+
+    fn send(&mut self, _from: ProcId, to: ProcId, mut msg: Msg) {
+        if let Some(me) = self.me {
+            // Fail-silent even mid-batch: a worker whose kill flag was set
+            // while it was still pumping must not emit another message ("it
+            // will no longer transmit any valid messages").
+            if self.shared.killed[me as usize].load(Ordering::SeqCst) {
+                return;
+            }
+            // A corrupting worker emits detectably wrong replica results —
+            // same send-side rule as the simulator's substrate.
+            if self.shared.corrupting[me as usize].load(Ordering::Relaxed) {
+                if let Msg::Result(rp) = &mut msg {
+                    if rp.replica.is_some() {
+                        rp.value = corrupt_value(&rp.value);
+                    }
+                }
+            }
+        }
+        self.shared.send(to, Envelope::Net { msg });
+    }
+
+    fn arm_timer(&mut self, _owner: ProcId, timer: Timer, delay: u64) {
+        let at = Instant::now() + units_to_wall(self.time_unit, delay);
+        self.wheel.arm(at, timer);
+    }
+
+    fn report_death(&mut self, dead: ProcId) {
+        for to in death_notice_targets(self.n_procs(), |p| self.is_live(p), dead) {
+            self.shared.send(to, Envelope::Notice { dead });
+        }
+    }
+}
+
 /// Runs `workload` on real threads, injecting `crashes`, and reports.
 pub fn run(cfg: RuntimeConfig, workload: &Workload, crashes: &[CrashAt]) -> RuntimeReport {
+    let faults: Vec<FaultAt> = crashes
+        .iter()
+        .map(|c| FaultAt {
+            after: c.after,
+            victim: c.victim,
+            kind: FaultKind::Crash,
+        })
+        .collect();
+    run_faults(cfg, workload, faults)
+}
+
+/// Runs `workload` under a simulator [`FaultPlan`], mapping virtual fault
+/// times onto the wall clock through `cfg.time_unit`. This lets one fault
+/// plan drive both machines — the driver-parity tests feed the same plan
+/// here and to `splice_sim::run_workload`.
+pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> RuntimeReport {
+    let time_unit = cfg.time_unit;
+    let faults: Vec<FaultAt> = plan
+        .sorted()
+        .into_iter()
+        .map(|f| FaultAt {
+            after: units_to_wall(time_unit, f.at.ticks()),
+            victim: f.victim,
+            kind: f.kind,
+        })
+        .collect();
+    run_faults(cfg, workload, faults)
+}
+
+fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> RuntimeReport {
     let n = cfg.n_procs as usize;
     assert!(n >= 1);
     let program = Arc::new(workload.program.clone());
@@ -144,10 +275,13 @@ pub fn run(cfg: RuntimeConfig, workload: &Workload, crashes: &[CrashAt]) -> Runt
         senders,
         to_superroot: sr_tx,
         killed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        corrupting: (0..n).map(|_| AtomicBool::new(false)).collect(),
         beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
         epoch: Instant::now(),
         done: AtomicBool::new(false),
-        stats: (0..n).map(|_| Mutex::new(ProcStats::default())).collect(),
+        snapshots: (0..n)
+            .map(|_| Mutex::new(EngineSnapshot::default()))
+            .collect(),
     });
 
     // Workers.
@@ -171,94 +305,64 @@ pub fn run(cfg: RuntimeConfig, workload: &Workload, crashes: &[CrashAt]) -> Runt
     // Fault injector.
     let injector = {
         let shared = shared.clone();
-        let crashes: Vec<CrashAt> = crashes.to_vec();
+        let mut faults = faults;
+        faults.sort_by_key(|f| f.after);
         std::thread::spawn(move || {
             let start = Instant::now();
-            let mut remaining = crashes;
-            remaining.sort_by_key(|c| c.after);
-            for c in remaining {
-                let now = start.elapsed();
-                if c.after > now {
-                    std::thread::sleep(c.after - now);
+            for f in faults {
+                // Sleep in short slices: a fault scheduled past program
+                // completion must not hold up teardown (run() joins this
+                // thread).
+                loop {
+                    if shared.done.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let now = start.elapsed();
+                    if f.after <= now {
+                        break;
+                    }
+                    std::thread::sleep((f.after - now).min(Duration::from_millis(5)));
                 }
-                if let Some(flag) = shared.killed.get(c.victim as usize) {
+                let flags = match f.kind {
+                    FaultKind::Crash => &shared.killed,
+                    FaultKind::Corrupt => &shared.corrupting,
+                };
+                if let Some(flag) = flags.get(f.victim as usize) {
                     flag.store(true, Ordering::SeqCst);
                 }
             }
         })
     };
 
-    // Super-root on the driver thread.
+    // Super-root on the driver thread, over the same substrate type the
+    // workers pump.
     let start = Instant::now();
-    let mut superroot = SuperRoot::new(
-        workload.entry,
-        workload.args.clone(),
-        cfg.recovery.ancestor_depth,
-        cfg.recovery.ack_timeout,
-    );
-    let mut sr_timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
-    let mut sr_timer_payloads: Vec<Timer> = Vec::new();
+    let mut superroot = SuperRootDriver::new(workload, &cfg.recovery);
+    let mut wheel: TimerWheel<Instant> = TimerWheel::new();
     let mut detections = 0u64;
-    let mut rotor: u32 = 0;
-    let pick_live = |shared: &Shared, rotor: &mut u32| -> ProcId {
-        for _ in 0..n {
-            let c = *rotor % n as u32;
-            *rotor = rotor.wrapping_add(1);
-            if !shared.killed[c as usize].load(Ordering::SeqCst) {
-                return ProcId(c);
-            }
-        }
-        ProcId(0)
-    };
-    let dest = pick_live(&shared, &mut rotor);
-    let apply_sr_actions = |actions: Vec<Action>,
-                                shared: &Shared,
-                                timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
-                                payloads: &mut Vec<Timer>| {
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => shared.send(to, Envelope::Net { msg }),
-                Action::SetTimer { timer, delay } => {
-                    let at = Instant::now() + cfg.time_unit * delay as u32;
-                    payloads.push(timer);
-                    timers.push(Reverse((at, (payloads.len() - 1) as u64)));
-                }
-            }
-        }
-    };
-    apply_sr_actions(
-        superroot.launch(dest),
-        &shared,
-        &mut sr_timers,
-        &mut sr_timer_payloads,
-    );
+    {
+        let mut sub = ThreadSubstrate::new(&shared, None, cfg.time_unit, &mut wheel);
+        superroot.launch(&mut sub);
+    }
 
     let result = loop {
         if start.elapsed() > cfg.run_timeout {
             break None;
         }
         // Fire due super-root timers.
-        while let Some(Reverse((at, idx))) = sr_timers.peek().copied() {
-            if at > Instant::now() {
-                break;
-            }
-            sr_timers.pop();
-            let timer = sr_timer_payloads[idx as usize].clone();
-            let fallback = pick_live(&shared, &mut rotor);
-            let actions = superroot.on_timer(timer, fallback);
-            apply_sr_actions(actions, &shared, &mut sr_timers, &mut sr_timer_payloads);
+        while let Some(timer) = wheel.pop_due(&Instant::now()) {
+            let mut sub = ThreadSubstrate::new(&shared, None, cfg.time_unit, &mut wheel);
+            superroot.on_timer(timer, &mut sub);
         }
         match sr_rx.recv_timeout(Duration::from_millis(1)) {
             Ok(Envelope::Net { msg }) => {
-                let fallback = pick_live(&shared, &mut rotor);
-                let actions = superroot.on_message(msg, fallback);
-                apply_sr_actions(actions, &shared, &mut sr_timers, &mut sr_timer_payloads);
+                let mut sub = ThreadSubstrate::new(&shared, None, cfg.time_unit, &mut wheel);
+                superroot.on_message(msg, &mut sub);
             }
             Ok(Envelope::Notice { dead }) => {
                 detections += 1;
-                let fallback = pick_live(&shared, &mut rotor);
-                let actions = superroot.on_failure(dead, fallback);
-                apply_sr_actions(actions, &shared, &mut sr_timers, &mut sr_timer_payloads);
+                let mut sub = ThreadSubstrate::new(&shared, None, cfg.time_unit, &mut wheel);
+                superroot.on_failure(dead, &mut sub);
             }
             Ok(Envelope::Shutdown) => break None,
             Err(RecvTimeoutError::Timeout) => {}
@@ -280,16 +384,15 @@ pub fn run(cfg: RuntimeConfig, workload: &Workload, crashes: &[CrashAt]) -> Runt
     let _ = monitor.join();
     let _ = injector.join();
 
-    let mut stats = ProcStats::default();
-    for s in shared.stats.iter() {
-        stats += &s.lock();
-    }
+    let totals = EngineTotals::collect(shared.snapshots.iter().map(|s| s.lock().clone()));
     RuntimeReport {
         result,
         elapsed: start.elapsed(),
-        stats,
+        stats: totals.stats,
+        per_proc: totals.per_proc,
+        ckpt_stored: totals.ckpt_stored,
         detections,
-        root_reissues: superroot.reissues,
+        root_reissues: superroot.reissues(),
     }
 }
 
@@ -301,28 +404,12 @@ fn worker(
     cfg: RuntimeConfig,
 ) {
     let placer = cfg.policy.build(ProcId(id), &cfg.topology, cfg.seed);
-    let mut engine = Engine::new(ProcId(id), program, cfg.recovery.clone(), placer);
-    let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
-    let mut timer_payloads: Vec<Timer> = Vec::new();
-    let apply = |engine: &Engine,
-                     actions: Vec<Action>,
-                     timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
-                     payloads: &mut Vec<Timer>,
-                     shared: &Shared| {
-        let _ = engine;
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => shared.send(to, Envelope::Net { msg }),
-                Action::SetTimer { timer, delay } => {
-                    let at = Instant::now() + cfg.time_unit * delay as u32;
-                    payloads.push(timer);
-                    timers.push(Reverse((at, (payloads.len() - 1) as u64)));
-                }
-            }
-        }
-    };
-    let actions = engine.on_start();
-    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+    let mut node = DriverLoop::new(ProcId(id), program, cfg.recovery.clone(), placer);
+    let mut wheel: TimerWheel<Instant> = TimerWheel::new();
+    {
+        let mut sub = ThreadSubstrate::new(&shared, Some(id), cfg.time_unit, &mut wheel);
+        node.start(&mut sub);
+    }
 
     loop {
         if shared.done.load(Ordering::SeqCst) {
@@ -338,70 +425,82 @@ fn worker(
             }
         }
         // Heartbeat.
-        shared.beats[id as usize].store(
-            shared.epoch.elapsed().as_millis() as u64,
-            Ordering::Relaxed,
-        );
+        shared.beats[id as usize]
+            .store(shared.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
         // Fire due timers.
-        while let Some(Reverse((at, idx))) = timers.peek().copied() {
-            if at > Instant::now() {
-                break;
-            }
-            timers.pop();
-            let t = timer_payloads[idx as usize].clone();
-            let actions = engine.on_timer(t);
-            apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+        while let Some(timer) = wheel.pop_due(&Instant::now()) {
+            let mut sub = ThreadSubstrate::new(&shared, Some(id), cfg.time_unit, &mut wheel);
+            node.on_timer(timer, &mut sub);
         }
         // Drain a batch of messages.
         let mut worked = false;
+        let mut shutdown = false;
         for _ in 0..64 {
             match rx.try_recv() {
-                Ok(Envelope::Net { msg }) => {
+                Ok(env) => {
                     worked = true;
-                    let actions = engine.on_message(msg);
-                    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
-                }
-                Ok(Envelope::Notice { dead }) => {
-                    worked = true;
-                    let actions = engine.on_message(Msg::FailureNotice { dead });
-                    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
-                }
-                Ok(Envelope::Shutdown) => {
-                    *shared.stats[id as usize].lock() = engine.stats().clone();
-                    return;
+                    if !pump_envelope(env, &mut node, &mut wheel, &shared, id, &cfg) {
+                        shutdown = true;
+                        break;
+                    }
                 }
                 Err(_) => break,
             }
         }
-        // Run ready waves.
+        if shutdown {
+            break;
+        }
+        // Run ready waves (effects release immediately: real time already
+        // passed while the wave ran).
         for _ in 0..16 {
-            let Some(key) = engine.pop_ready() else { break };
+            let mut sub = ThreadSubstrate::new(&shared, Some(id), cfg.time_unit, &mut wheel);
+            if !node.run_ready_wave(&mut sub) {
+                break;
+            }
             worked = true;
-            let (actions, _work) = engine.run_wave(key);
-            apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
         }
         if !worked {
-            // Idle: wait briefly for traffic (bounded by next timer).
-            match rx.recv_timeout(Duration::from_micros(500)) {
-                Ok(Envelope::Net { msg }) => {
-                    let actions = engine.on_message(msg);
-                    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
+            // Idle: wait briefly for traffic, but never sleep past the
+            // next armed timer's deadline.
+            let idle = Duration::from_micros(500);
+            let wait = match wheel.next_deadline() {
+                Some(at) => at.saturating_duration_since(Instant::now()).min(idle),
+                None => idle,
+            };
+            if let Ok(env) = rx.recv_timeout(wait) {
+                if !pump_envelope(env, &mut node, &mut wheel, &shared, id, &cfg) {
+                    break;
                 }
-                Ok(Envelope::Notice { dead }) => {
-                    let actions = engine.on_message(Msg::FailureNotice { dead });
-                    apply(&engine, actions, &mut timers, &mut timer_payloads, &shared);
-                }
-                Ok(Envelope::Shutdown) => break,
-                Err(_) => {}
             }
         }
     }
-    *shared.stats[id as usize].lock() = engine.stats().clone();
+    *shared.snapshots[id as usize].lock() = EngineSnapshot::of(node.engine());
+}
+
+/// Feeds one envelope through the worker's driver loop. Returns false on
+/// `Shutdown` — the caller exits its loop and the snapshot is captured at
+/// the single worker exit point.
+fn pump_envelope(
+    env: Envelope,
+    node: &mut DriverLoop,
+    wheel: &mut TimerWheel<Instant>,
+    shared: &Shared,
+    id: u32,
+    cfg: &RuntimeConfig,
+) -> bool {
+    let mut sub = ThreadSubstrate::new(shared, Some(id), cfg.time_unit, wheel);
+    match env {
+        Envelope::Net { msg } => node.on_message(msg, &mut sub),
+        Envelope::Notice { dead } => node.on_message(Msg::FailureNotice { dead }, &mut sub),
+        Envelope::Shutdown => return false,
+    }
+    true
 }
 
 /// Declares workers dead after `heartbeat_timeout` of silence and
 /// broadcasts `FailureNotice`s to every live worker and the super-root —
-/// the "passive node diagnosis" stand-in.
+/// the "passive node diagnosis" stand-in. Recipients come from the same
+/// [`death_notice_targets`] enumeration the simulator's detector uses.
 fn heartbeat_monitor(shared: Arc<Shared>, cfg: RuntimeConfig) {
     let n = shared.killed.len();
     let mut declared = vec![false; n];
@@ -409,20 +508,18 @@ fn heartbeat_monitor(shared: Arc<Shared>, cfg: RuntimeConfig) {
     std::thread::sleep(cfg.heartbeat_timeout);
     while !shared.done.load(Ordering::SeqCst) {
         let now = shared.epoch.elapsed().as_millis() as u64;
-        for i in 0..n {
-            if declared[i] {
+        for (i, was_declared) in declared.iter_mut().enumerate() {
+            if *was_declared {
                 continue;
             }
             let last = shared.beats[i].load(Ordering::Relaxed);
             if now.saturating_sub(last) > cfg.heartbeat_timeout.as_millis() as u64 {
-                declared[i] = true;
+                *was_declared = true;
                 let dead = ProcId(i as u32);
-                for j in 0..n {
-                    if j != i {
-                        shared.send(ProcId(j as u32), Envelope::Notice { dead });
-                    }
+                let live = |p: ProcId| !shared.killed[p.0 as usize].load(Ordering::SeqCst);
+                for to in death_notice_targets(n as u32, live, dead) {
+                    shared.send(to, Envelope::Notice { dead });
                 }
-                shared.send(ProcId::SUPER_ROOT, Envelope::Notice { dead });
             }
         }
         std::thread::sleep(cfg.heartbeat_period);
@@ -447,6 +544,7 @@ mod tests {
         let r = run(quick_cfg(4), &w, &[]);
         assert_eq!(r.result, Some(w.reference_result().unwrap()));
         assert!(r.stats.tasks_completed >= 100);
+        assert_eq!(r.per_proc.len(), 4);
     }
 
     #[test]
@@ -463,12 +561,15 @@ mod tests {
 
     #[test]
     fn crash_is_detected_and_survived_splice() {
-        let w = Workload::fib(14);
+        // fib(16) runs ~40ms+ on 4 workers; crashing 8ms in guarantees the
+        // victim still holds live tasks when the heartbeat expires (the
+        // seed version crashed at 30ms, racing run completion).
+        let w = Workload::fib(16);
         let mut cfg = quick_cfg(4);
         cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
         let crashes = [CrashAt {
             victim: 2,
-            after: Duration::from_millis(30),
+            after: Duration::from_millis(8),
         }];
         let r = run(cfg, &w, &crashes);
         assert_eq!(r.result, Some(w.reference_result().unwrap()));
@@ -482,7 +583,7 @@ mod tests {
         cfg.recovery.mode = splice_core::config::RecoveryMode::Rollback;
         let crashes = [CrashAt {
             victim: 1,
-            after: Duration::from_millis(25),
+            after: Duration::from_millis(8),
         }];
         let r = run(cfg, &w, &crashes);
         assert_eq!(r.result, Some(w.reference_result().unwrap()));
@@ -499,6 +600,18 @@ mod tests {
             after: Duration::from_millis(0),
         }];
         let r = run(cfg, &w, &crashes);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+    }
+
+    #[test]
+    fn fault_plans_map_onto_the_wall_clock() {
+        // 400 units × 25µs = a 10ms crash: same plan shape the simulator
+        // takes, same answer out.
+        let w = Workload::fib(14);
+        let mut cfg = quick_cfg(4);
+        cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        let plan = FaultPlan::crash_at(2, splice_simnet::time::VirtualTime(400));
+        let r = run_plan(cfg, &w, &plan);
         assert_eq!(r.result, Some(w.reference_result().unwrap()));
     }
 }

@@ -1,0 +1,257 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! `proptest!` macro with `#![proptest_config(...)]`, integer and float
+//! range strategies, `any::<T>()` for primitives, and
+//! `prop_assert!`/`prop_assert_eq!`. Sampling is deterministic per test
+//! name (no failure persistence files, no shrinking): a failing case
+//! reproduces on every run, and the first executed case of each strategy
+//! is its range minimum, preserving proptest's minimal-input habit of
+//! exercising boundaries.
+
+use std::ops::Range;
+
+/// Test-runner plumbing: the deterministic RNG behind every strategy.
+pub mod test_runner {
+    /// splitmix64 stream keyed by the test's name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `name`.
+        pub fn from_name(name: &str) -> TestRng {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next word of the stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::Range;
+
+    /// Something that can produce values for a property test.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws the sample for case number `case` (case 0 must be the
+        /// strategy's minimal value).
+        fn sample(&self, case: u32, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, case: u32, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy over empty range");
+                    if case == 0 {
+                        return self.start;
+                    }
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, case: u32, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "strategy over empty range");
+            if case == 0 {
+                return self.start;
+            }
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + (self.end - self.start) * unit
+        }
+    }
+
+    /// The `any::<T>()` strategy: the type's full value space.
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn sample(&self, case: u32, rng: &mut TestRng) -> u64 {
+            if case == 0 {
+                0
+            } else {
+                rng.next_u64()
+            }
+        }
+    }
+
+    impl Strategy for Any<u32> {
+        type Value = u32;
+        fn sample(&self, case: u32, rng: &mut TestRng) -> u32 {
+            if case == 0 {
+                0
+            } else {
+                rng.next_u64() as u32
+            }
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, case: u32, rng: &mut TestRng) -> bool {
+            case != 0 && rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Generates full values of a type (see [`strategy::Any`]).
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Asserts inside a property body; failure reports the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The `proptest!` block: declares property tests whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), case, &mut rng);)*
+                let described = || {
+                    let mut s = String::new();
+                    $(s.push_str(&format!("{} = {:?}, ", stringify!($arg), $arg));)*
+                    s
+                };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {case} of `{}` failed with inputs: {}",
+                        stringify!($name),
+                        described()
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3i64..10, b in 0usize..5, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn any_samples_compile(x in any::<u64>(), flag in any::<bool>()) {
+            prop_assert_eq!(x ^ x, 0);
+            prop_assert_ne!(flag, !flag);
+        }
+    }
+
+    #[test]
+    fn first_case_is_range_minimum() {
+        let mut rng = crate::test_runner::TestRng::from_name("t");
+        let v = Strategy::sample(&(7i64..9), 0, &mut rng);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("same");
+        let mut b = crate::test_runner::TestRng::from_name("same");
+        for case in 0..16 {
+            assert_eq!(
+                Strategy::sample(&(0u64..1000), case, &mut a),
+                Strategy::sample(&(0u64..1000), case, &mut b)
+            );
+        }
+    }
+}

@@ -97,7 +97,8 @@ impl GlobalCheckpointModel {
         let mut total = base;
         for i in 1..=checkpoints {
             let sample_at = (i * self.interval).min(t_total);
-            total += self.sync_cost + self.per_task_cost * self.live_tasks_at(fault_free, sample_at);
+            total +=
+                self.sync_cost + self.per_task_cost * self.live_tasks_at(fault_free, sample_at);
         }
         total
     }

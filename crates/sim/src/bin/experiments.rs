@@ -30,7 +30,10 @@ fn main() {
         println!("{}", ex::e03_topmost_rule());
     }
     if want("e5") {
-        println!("{}", ex::e05_case_mix(&Workload::fib(if quick { 13 } else { 15 }), sweep));
+        println!(
+            "{}",
+            ex::e05_case_mix(&Workload::fib(if quick { 13 } else { 15 }), sweep)
+        );
     }
     if want("e6") {
         println!(
@@ -62,7 +65,10 @@ fn main() {
         println!("{}", ex::e08_overhead(&ws));
     }
     if want("e9") {
-        println!("{}", ex::e09_different_branches(&Workload::mapreduce(0, 32, 8)));
+        println!(
+            "{}",
+            ex::e09_different_branches(&Workload::mapreduce(0, 32, 8))
+        );
         println!("{}", ex::e09_chain_depth());
     }
     if want("e13") {
@@ -85,23 +91,30 @@ fn main() {
         };
         println!(
             "{}",
-            ex::e11_scalability(&Workload::mapreduce(0, 64, if quick { 8 } else { 10 }), counts)
+            ex::e11_scalability(
+                &Workload::mapreduce(0, 64, if quick { 8 } else { 10 }),
+                counts
+            )
         );
     }
     if want("e12") {
         println!(
             "{}",
-            ex::e12_policies(&Workload::mapreduce(0, 32, 8), Topology::Mesh {
-                w: 4,
-                h: 4,
-                wrap: true
-            })
+            ex::e12_policies(
+                &Workload::mapreduce(0, 32, 8),
+                Topology::Mesh {
+                    w: 4,
+                    h: 4,
+                    wrap: true
+                }
+            )
         );
         println!(
             "{}",
-            ex::e12_policies(&Workload::fib(if quick { 13 } else { 15 }), Topology::Hypercube {
-                dim: 3
-            })
+            ex::e12_policies(
+                &Workload::fib(if quick { 13 } else { 15 }),
+                Topology::Hypercube { dim: 3 }
+            )
         );
     }
 }

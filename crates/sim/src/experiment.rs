@@ -101,13 +101,28 @@ pub fn e01_figure1() -> Table {
     let mut t = Table::new(
         "E1 (Figure 1): processor B fails mid-evaluation; three fragments",
         &[
-            "recovery", "completed", "correct", "reissues", "suicides", "aborted", "salvaged",
-            "tasks", "finish",
+            "recovery",
+            "completed",
+            "correct",
+            "reissues",
+            "suicides",
+            "aborted",
+            "salvaged",
+            "tasks",
+            "finish",
         ],
     );
     for (name, mode, filter) in [
-        ("rollback/topmost", RecoveryMode::Rollback, CheckpointFilter::Topmost),
-        ("rollback/all", RecoveryMode::Rollback, CheckpointFilter::All),
+        (
+            "rollback/topmost",
+            RecoveryMode::Rollback,
+            CheckpointFilter::Topmost,
+        ),
+        (
+            "rollback/all",
+            RecoveryMode::Rollback,
+            CheckpointFilter::All,
+        ),
         ("splice", RecoveryMode::Splice, CheckpointFilter::Topmost),
     ] {
         let out = figure1::run(mode, filter);
@@ -182,10 +197,18 @@ pub fn e03_topmost_rule() -> Table {
 /// occur in the wild.
 pub fn e05_case_mix(w: &Workload, steps: u32) -> Table {
     let mut t = Table::new(
-        format!("E5 (Figure 5): salvage-ordering mix over crash instants [{}]", w.name),
+        format!(
+            "E5 (Figure 5): salvage-ordering mix over crash instants [{}]",
+            w.name
+        ),
         &[
-            "crash@%", "correct", "salvaged", "before-spawn(4/5)", "after-spawn(6/7)",
-            "dup-ignored", "stranded",
+            "crash@%",
+            "correct",
+            "salvaged",
+            "before-spawn(4/5)",
+            "after-spawn(6/7)",
+            "dup-ignored",
+            "stranded",
         ],
     );
     let cfg = default_config(8, RecoveryMode::Splice);
@@ -217,8 +240,18 @@ pub fn e05_case_mix(w: &Workload, steps: u32) -> Table {
 /// *every* instant, whatever spawn/ack/result state the fault interrupts.
 pub fn e06_residue(w: &Workload, steps: u32) -> Table {
     let mut t = Table::new(
-        format!("E6 (Figures 6-7): correctness across all fault instants [{}]", w.name),
-        &["mode", "instants", "completed", "correct", "min finish", "max finish"],
+        format!(
+            "E6 (Figures 6-7): correctness across all fault instants [{}]",
+            w.name
+        ),
+        &[
+            "mode",
+            "instants",
+            "completed",
+            "correct",
+            "min finish",
+            "max finish",
+        ],
     );
     for mode in [RecoveryMode::Rollback, RecoveryMode::Splice] {
         let cfg = default_config(6, mode);
@@ -297,11 +330,7 @@ pub fn e07_points(w: &Workload, steps: u32, n_procs: u32) -> Vec<FaultTimingPoin
         let fraction = i as f64 / steps as f64;
         let crash = VirtualTime((total as f64 * fraction) as u64);
         let faults = FaultPlan::crash_at(victim, crash);
-        let rollback = run_workload(
-            default_config(n_procs, RecoveryMode::Rollback),
-            w,
-            &faults,
-        );
+        let rollback = run_workload(default_config(n_procs, RecoveryMode::Rollback), w, &faults);
         let splice = run_workload(default_config(n_procs, RecoveryMode::Splice), w, &faults);
         points.push(FaultTimingPoint {
             fraction,
@@ -327,8 +356,14 @@ pub fn e07_fault_timing(w: &Workload, steps: u32) -> Table {
             w.name
         ),
         &[
-            "fault@%", "rollback", "splice", "restart(model)", "gcp(model)",
-            "redo-work rb", "redo-work sp", "salvaged",
+            "fault@%",
+            "rollback",
+            "splice",
+            "restart(model)",
+            "gcp(model)",
+            "redo-work rb",
+            "redo-work sp",
+            "salvaged",
         ],
     );
     for p in e07_points(w, steps, 8) {
@@ -356,7 +391,13 @@ pub fn e08_overhead(workloads: &[Workload]) -> Table {
     let mut t = Table::new(
         "E8 (§2): fault-free overhead — functional vs periodic global checkpointing",
         &[
-            "workload", "scheme", "finish", "slowdown", "msgs", "bytes", "ckpt peak entries",
+            "workload",
+            "scheme",
+            "finish",
+            "slowdown",
+            "msgs",
+            "bytes",
+            "ckpt peak entries",
             "ckpt peak bytes",
         ],
     );
@@ -405,8 +446,19 @@ pub fn e08_overhead(workloads: &[Workload]) -> Table {
 /// E9a: multiple faults on different branches (splice recovers in parallel).
 pub fn e09_different_branches(w: &Workload) -> Table {
     let mut t = Table::new(
-        format!("E9a (§5.2): multiple faults on different branches [{}]", w.name),
-        &["faults", "mode", "completed", "correct", "reissues", "salvaged", "finish"],
+        format!(
+            "E9a (§5.2): multiple faults on different branches [{}]",
+            w.name
+        ),
+        &[
+            "faults",
+            "mode",
+            "completed",
+            "correct",
+            "reissues",
+            "salvaged",
+            "finish",
+        ],
     );
     for k in [1usize, 2, 3] {
         for mode in [RecoveryMode::Rollback, RecoveryMode::Splice] {
@@ -444,7 +496,14 @@ pub fn e09_different_branches(w: &Workload) -> Table {
 pub fn e09_chain_depth() -> Table {
     let mut t = Table::new(
         "E9b (§5.2): B and C fail together; ancestor-chain depth sweep (figure-1 tree)",
-        &["depth", "completed", "correct", "stranded", "salvaged", "finish"],
+        &[
+            "depth",
+            "completed",
+            "correct",
+            "stranded",
+            "salvaged",
+            "finish",
+        ],
     );
     for depth in [2usize, 3, 4] {
         let crash_at = figure1::crash_instant();
@@ -456,7 +515,12 @@ pub fn e09_chain_depth() -> Table {
         cfg.recovery.ancestor_depth = depth;
         cfg.recovery.load_beacon_period = 0;
         let m = crate::machine::Machine::with_placer_factory(cfg, &w, move |_| {
-            let mut sp = splice_core::place::ScriptedPlacer::new(vec![figure1::B, figure1::D, figure1::A, figure1::C]);
+            let mut sp = splice_core::place::ScriptedPlacer::new(vec![
+                figure1::B,
+                figure1::D,
+                figure1::A,
+                figure1::C,
+            ]);
             for (_, stamp, proc) in &assignments {
                 sp.assign(stamp.clone(), *proc);
             }
@@ -492,7 +556,11 @@ pub fn e10_replication() -> Table {
     let mut t = Table::new(
         "E10 (§5.3): replicated tasks, one corrupting processor",
         &[
-            "replication", "correct", "votes ok", "votes conflicted", "replica results",
+            "replication",
+            "correct",
+            "votes ok",
+            "votes conflicted",
+            "replica results",
             "finish",
         ],
     );
@@ -511,7 +579,9 @@ pub fn e10_replication() -> Table {
         // Round-robin spreads replicas across all processors, so the
         // corrupting node demonstrably participates.
         cfg.policy = Policy::RoundRobin;
-        cfg.recovery.replicate.insert(mapred, ReplicaSpec { n, vote });
+        cfg.recovery
+            .replicate
+            .insert(mapred, ReplicaSpec { n, vote });
         // Processor 0 hosts the root, so the round-robin rotor places the
         // first replica of the first group there deterministically — and
         // processor 0 corrupts every replica result it emits.
@@ -545,13 +615,28 @@ pub fn e10_replication() -> Table {
 pub fn e11_scalability(w: &Workload, proc_counts: &[u32]) -> Table {
     let mut t = Table::new(
         format!("E11: scalability with checkpointing on/off [{}]", w.name),
-        &["procs", "finish none", "finish splice", "speedup none", "speedup splice", "ckpt overhead"],
+        &[
+            "procs",
+            "finish none",
+            "finish splice",
+            "speedup none",
+            "speedup splice",
+            "ckpt overhead",
+        ],
     );
     let base_none = run_workload(default_config(1, RecoveryMode::None), w, &FaultPlan::none());
-    let base_splice = run_workload(default_config(1, RecoveryMode::Splice), w, &FaultPlan::none());
+    let base_splice = run_workload(
+        default_config(1, RecoveryMode::Splice),
+        w,
+        &FaultPlan::none(),
+    );
     for &n in proc_counts {
         let none = run_workload(default_config(n, RecoveryMode::None), w, &FaultPlan::none());
-        let splice = run_workload(default_config(n, RecoveryMode::Splice), w, &FaultPlan::none());
+        let splice = run_workload(
+            default_config(n, RecoveryMode::Splice),
+            w,
+            &FaultPlan::none(),
+        );
         t.row(vec![
             n.to_string(),
             none.finish.ticks().to_string(),
@@ -577,7 +662,12 @@ pub fn e12_policies(w: &Workload, topology: Topology) -> Table {
             w.name, topology
         ),
         &[
-            "policy", "finish", "imbalance", "msgs", "crash finish", "crash correct",
+            "policy",
+            "finish",
+            "imbalance",
+            "msgs",
+            "crash finish",
+            "crash correct",
         ],
     );
     let n = topology.len();
@@ -612,10 +702,20 @@ pub fn e12_policies(w: &Workload, topology: Topology) -> Table {
 /// latency for less redundant work. The sweep quantifies that trade.
 pub fn e13_splice_grace(w: &Workload, graces: &[u64]) -> Table {
     let mut t = Table::new(
-        format!("E13 (extension): splice twin-creation grace period [{}]", w.name),
+        format!(
+            "E13 (extension): splice twin-creation grace period [{}]",
+            w.name
+        ),
         &[
-            "grace", "correct", "finish", "slowdown", "redo-work", "salvaged",
-            "before-spawn(4/5)", "after-spawn(6/7)", "twins",
+            "grace",
+            "correct",
+            "finish",
+            "slowdown",
+            "redo-work",
+            "salvaged",
+            "before-spawn(4/5)",
+            "after-spawn(6/7)",
+            "twins",
         ],
     );
     let base_cfg = default_config(8, RecoveryMode::Splice);

@@ -1,24 +1,33 @@
 //! The simulated applicative multiprocessor.
 //!
-//! A [`Machine`] instantiates one protocol [`Engine`] per processor of a
-//! topology, moves their messages through the discrete-event queue with
-//! topology-dependent latency, charges execution time per evaluation wave,
-//! injects faults from a [`FaultPlan`], and runs the reliable super-root on
-//! the driver side. Everything is deterministic for a given configuration
-//! and seed.
+//! A [`Machine`] instantiates one shared driver loop
+//! ([`splice_harness::DriverLoop`]) per processor of a topology and runs
+//! them over [`SimSubstrate`] — the discrete-event implementation of the
+//! [`Substrate`] trait: messages move through the deterministic event queue
+//! with topology-dependent latency, execution time is charged per
+//! evaluation wave, faults come from a [`FaultPlan`], and the reliable
+//! super-root runs on the driver side. Everything is deterministic for a
+//! given configuration and seed.
+//!
+//! All protocol plumbing (action dispatch, super-root fallbacks, failure
+//! notices, report assembly) lives in `splice-harness` and is shared with
+//! the threaded runtime; this file contributes only the event queue, the
+//! latency/cost/fault models, and the driver-side event loop.
 
 use crate::cost::CostModel;
 use crate::report::RunReport;
-use splice_applicative::{Program, Value, Workload};
+use splice_applicative::{Program, Workload};
 use splice_core::config::Config as RecoveryConfig;
-use splice_core::engine::{Action, Engine, Timer};
+use splice_core::engine::{Action, Timer};
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
-use splice_core::stamp::LevelStamp;
 use splice_core::place::Placer;
-use splice_core::stats::ProcStats;
-use splice_core::superroot::SuperRoot;
+use splice_core::stamp::LevelStamp;
 use splice_gradient::Policy;
+use splice_harness::{
+    corrupt_value, death_notice_targets, dispatch, DriverLoop, EngineSnapshot, EngineTotals,
+    Substrate, SuperRootDriver,
+};
 use splice_simnet::detect::DetectorConfig;
 use splice_simnet::fault::{FaultKind, FaultPlan};
 use splice_simnet::link::LinkModel;
@@ -109,31 +118,117 @@ enum Ev {
     },
 }
 
-struct ProcState {
-    engine: Engine,
-    alive: bool,
-    corrupting: bool,
-    busy_until: VirtualTime,
-    step_pending: bool,
-}
-
-/// The simulated machine.
-pub struct Machine {
+/// The discrete-event [`Substrate`]: virtual time, the deterministic event
+/// queue, the latency/bounce/cost models, and per-processor liveness.
+struct SimSubstrate {
     cfg: MachineConfig,
-    program: Arc<Program>,
-    procs: Vec<ProcState>,
-    superroot: SuperRoot,
     queue: EventQueue<Ev>,
     now: VirtualTime,
     msg_seq: u64,
     delivered: u64,
     dropped_to_dead: u64,
     bounces: u64,
-    launch_rotor: u32,
+    alive: Vec<bool>,
+    corrupting: Vec<bool>,
+    busy_until: Vec<VirtualTime>,
+    step_pending: Vec<bool>,
     /// (time, live tasks across live processors) samples.
     state_samples: Vec<(u64, u64)>,
     sample_period: u64,
     trace: Trace,
+}
+
+impl SimSubstrate {
+    fn live(&self, p: ProcId) -> bool {
+        self.alive.get(p.0 as usize).copied().unwrap_or(false)
+    }
+}
+
+impl Substrate for SimSubstrate {
+    fn n_procs(&self) -> u32 {
+        self.alive.len() as u32
+    }
+
+    fn is_live(&self, p: ProcId) -> bool {
+        self.live(p)
+    }
+
+    fn now_units(&self) -> u64 {
+        self.now.ticks()
+    }
+
+    fn send(&mut self, from: ProcId, to: ProcId, mut msg: Msg) {
+        self.msg_seq += 1;
+        let at = self.now;
+        // A corrupting processor emits detectably wrong replica results
+        // (§5.3 experiment) — the same send-side rule as the threaded
+        // substrate, so replicated-voting runs agree across backends.
+        if !from.is_super_root() && self.corrupting[from.0 as usize] {
+            if let Msg::Result(rp) = &mut msg {
+                if rp.replica.is_some() {
+                    rp.value = corrupt_value(&rp.value);
+                }
+            }
+        }
+        if to.is_super_root() {
+            // The driver link is reliable with base latency.
+            let latency = self.cfg.link.base;
+            self.queue.push(at + latency, Ev::Deliver { from, to, msg });
+            return;
+        }
+        // Dead destination known to the transport: the sender's best-effort
+        // delivery fails and it learns the destination is unreachable.
+        if !self.live(to) && !from.is_super_root() {
+            let bounce_at = self.cfg.detector.bounce_time(at);
+            self.queue.push(
+                bounce_at,
+                Ev::Bounce {
+                    sender: from,
+                    dead: to,
+                    msg,
+                },
+            );
+            return;
+        }
+        let (src, dst) = (if from.is_super_root() { to.0 } else { from.0 }, to.0);
+        let latency = self
+            .cfg
+            .link
+            .latency(&self.cfg.topology, src, dst, msg.size(), self.msg_seq);
+        self.queue.push(at + latency, Ev::Deliver { from, to, msg });
+    }
+
+    fn arm_timer(&mut self, owner: ProcId, timer: Timer, delay: u64) {
+        self.queue
+            .push(self.now + delay, Ev::Timer { proc: owner, timer });
+    }
+
+    fn report_death(&mut self, dead: ProcId) {
+        // Detector: staggered notices to live peers and the super-root
+        // driver, in the canonical recipient order.
+        let targets = death_notice_targets(self.n_procs(), |p| self.live(p), dead);
+        for (peer_index, to) in targets.into_iter().enumerate() {
+            if let Some(at) = self.cfg.detector.notice_time(self.now, peer_index as u32) {
+                self.queue.push(at, Ev::Notice { to, dead });
+            }
+        }
+    }
+
+    fn complete_wave(&mut self, proc: ProcId, actions: Vec<Action>, work: u64) {
+        // Charge the cost model; the effects only escape the processor if
+        // it is still alive when the wave completes.
+        let done = self.now + self.cfg.cost.wave_cost(work);
+        self.busy_until[proc.0 as usize] = done;
+        self.queue.push(done, Ev::Effects { proc, actions });
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    program: Arc<Program>,
+    nodes: Vec<DriverLoop>,
+    superroot: SuperRootDriver,
+    sub: SimSubstrate,
     /// When enabled, records `(time, stamp, proc)` at every task creation.
     log_spawns: bool,
     spawn_log: Vec<(u64, LevelStamp, ProcId)>,
@@ -159,42 +254,41 @@ impl Machine {
         let n = cfg.topology.len();
         assert!(n >= 1, "need at least one processor");
         let program = Arc::new(workload.program.clone());
-        let mut procs = Vec::with_capacity(n as usize);
+        let mut nodes = Vec::with_capacity(n as usize);
         for i in 0..n {
             let id = ProcId(i);
-            let engine = Engine::new(id, program.clone(), cfg.recovery.clone(), factory(id));
-            procs.push(ProcState {
-                engine,
-                alive: true,
-                corrupting: false,
-                busy_until: VirtualTime::ZERO,
-                step_pending: false,
-            });
+            nodes.push(DriverLoop::new(
+                id,
+                program.clone(),
+                cfg.recovery.clone(),
+                factory(id),
+            ));
         }
-        let superroot = SuperRoot::new(
-            workload.entry,
-            workload.args.clone(),
-            cfg.recovery.ancestor_depth,
-            cfg.recovery.ack_timeout,
-        );
+        let superroot = SuperRootDriver::new(workload, &cfg.recovery);
         let trace = Trace::new(cfg.trace);
-        Machine {
-            program,
-            procs,
-            superroot,
+        let sub = SimSubstrate {
             queue: EventQueue::new(),
             now: VirtualTime::ZERO,
             msg_seq: 0,
             delivered: 0,
             dropped_to_dead: 0,
             bounces: 0,
-            launch_rotor: 0,
+            alive: vec![true; n as usize],
+            corrupting: vec![false; n as usize],
+            busy_until: vec![VirtualTime::ZERO; n as usize],
+            step_pending: vec![false; n as usize],
             state_samples: Vec::new(),
             sample_period: 2_000,
             trace,
+            cfg,
+        };
+        Machine {
+            program,
+            nodes,
+            superroot,
+            sub,
             log_spawns: false,
             spawn_log: Vec::new(),
-            cfg,
         }
     }
 
@@ -216,31 +310,20 @@ impl Machine {
 
     /// Current virtual time.
     pub fn now(&self) -> VirtualTime {
-        self.now
+        self.sub.now
     }
 
     /// The trace buffer.
     pub fn trace(&self) -> &Trace {
-        &self.trace
-    }
-
-    fn pick_live(&mut self) -> ProcId {
-        let n = self.procs.len() as u32;
-        for _ in 0..n {
-            let candidate = self.launch_rotor % n;
-            self.launch_rotor = self.launch_rotor.wrapping_add(1);
-            if self.procs[candidate as usize].alive {
-                return ProcId(candidate);
-            }
-        }
-        ProcId(0)
+        &self.sub.trace
     }
 
     fn live_tasks(&self) -> u64 {
-        self.procs
+        self.nodes
             .iter()
-            .filter(|p| p.alive)
-            .map(|p| p.engine.task_count() as u64)
+            .zip(&self.sub.alive)
+            .filter(|(_, alive)| **alive)
+            .map(|(n, _)| n.engine().task_count() as u64)
             .sum()
     }
 
@@ -249,7 +332,7 @@ impl Machine {
     pub fn run(mut self, faults: &FaultPlan) -> RunReport {
         // Schedule faults.
         for f in faults.sorted() {
-            self.queue.push(
+            self.sub.queue.push(
                 f.at,
                 Ev::Fault {
                     victim: ProcId(f.victim),
@@ -258,28 +341,26 @@ impl Machine {
             );
         }
         // Start engines (arms load beacons).
-        for i in 0..self.procs.len() {
-            let actions = self.procs[i].engine.on_start();
-            self.apply_actions(ProcId(i as u32), self.now, actions);
+        for node in &mut self.nodes {
+            node.start(&mut self.sub);
         }
         // Launch the program.
-        let dest = self.pick_live();
-        let actions = self.superroot.launch(dest);
-        self.apply_superroot_actions(actions);
-        self.queue.push(self.now + self.sample_period, Ev::Sample);
+        self.superroot.launch(&mut self.sub);
+        let first_sample = self.sub.now + self.sub.sample_period;
+        self.sub.queue.push(first_sample, Ev::Sample);
 
         let mut events: u64 = 0;
         let mut finish: Option<VirtualTime> = None;
-        while let Some((at, ev)) = self.queue.pop() {
-            debug_assert!(at >= self.now, "time must not run backwards");
-            self.now = at;
+        while let Some((at, ev)) = self.sub.queue.pop() {
+            debug_assert!(at >= self.sub.now, "time must not run backwards");
+            self.sub.now = at;
             events += 1;
-            if events > self.cfg.max_events || self.now > self.cfg.max_time {
+            if events > self.sub.cfg.max_events || self.sub.now > self.sub.cfg.max_time {
                 break;
             }
             self.handle(ev);
             if self.superroot.result().is_some() {
-                finish = Some(self.now);
+                finish = Some(self.sub.now);
                 break;
             }
         }
@@ -291,21 +372,17 @@ impl Machine {
         match ev {
             Ev::Deliver { from, to, msg } => self.deliver(from, to, msg),
             Ev::Bounce { sender, dead, msg } => {
-                self.bounces += 1;
-                if to_alive(&self.procs, sender) {
-                    let actions = self.procs[sender.0 as usize].engine.on_send_failed(dead, msg);
-                    self.apply_actions(sender, self.now, actions);
+                self.sub.bounces += 1;
+                if self.sub.live(sender) {
+                    self.nodes[sender.0 as usize].on_send_failed(dead, msg, &mut self.sub);
                     self.poke(sender);
                 }
             }
             Ev::Timer { proc, timer } => {
                 if proc.is_super_root() {
-                    let fallback = self.pick_live();
-                    let actions = self.superroot.on_timer(timer, fallback);
-                    self.apply_superroot_actions(actions);
-                } else if to_alive(&self.procs, proc) {
-                    let actions = self.procs[proc.0 as usize].engine.on_timer(timer);
-                    self.apply_actions(proc, self.now, actions);
+                    self.superroot.on_timer(timer, &mut self.sub);
+                } else if self.sub.live(proc) {
+                    self.nodes[proc.0 as usize].on_timer(timer, &mut self.sub);
                     self.poke(proc);
                 }
             }
@@ -313,205 +390,98 @@ impl Machine {
             Ev::Fault { victim, kind } => self.fault(victim, kind),
             Ev::Notice { to, dead } => {
                 if to.is_super_root() {
-                    let fallback = self.pick_live();
-                    let actions = self.superroot.on_failure(dead, fallback);
-                    self.apply_superroot_actions(actions);
-                } else if to_alive(&self.procs, to) {
-                    let actions = self.procs[to.0 as usize]
-                        .engine
-                        .on_message(Msg::FailureNotice { dead });
-                    self.apply_actions(to, self.now, actions);
+                    self.superroot.on_failure(dead, &mut self.sub);
+                } else if self.sub.live(to) {
+                    self.nodes[to.0 as usize]
+                        .on_message(Msg::FailureNotice { dead }, &mut self.sub);
                     self.poke(to);
                 }
             }
             Ev::Sample => {
-                self.state_samples.push((self.now.ticks(), self.live_tasks()));
-                self.queue.push(self.now + self.sample_period, Ev::Sample);
+                let sample = (self.sub.now.ticks(), self.live_tasks());
+                self.sub.state_samples.push(sample);
+                let next = self.sub.now + self.sub.sample_period;
+                self.sub.queue.push(next, Ev::Sample);
             }
             Ev::Effects { proc, actions } => {
-                if to_alive(&self.procs, proc) {
-                    self.apply_actions(proc, self.now, actions);
+                if self.sub.live(proc) {
+                    dispatch(&mut self.sub, proc, actions);
                 }
             }
         }
     }
 
-    fn deliver(&mut self, from: ProcId, to: ProcId, mut msg: Msg) {
+    fn deliver(&mut self, from: ProcId, to: ProcId, msg: Msg) {
         if to.is_super_root() {
-            self.delivered += 1;
-            let fallback = self.pick_live();
-            let actions = self.superroot.on_message(msg, fallback);
-            self.apply_superroot_actions(actions);
+            self.sub.delivered += 1;
+            self.superroot.on_message(msg, &mut self.sub);
             return;
         }
-        if !to_alive(&self.procs, to) {
+        if !self.sub.live(to) {
             // Fail-silent destination: the message vanishes. (Senders that
             // knew the destination was dead got a Bounce instead.)
-            self.dropped_to_dead += 1;
+            self.sub.dropped_to_dead += 1;
             return;
         }
-        // A corrupting processor emits detectably wrong replica results
-        // (§5.3 experiment); everything else passes through.
-        if !from.is_super_root() && self.procs[from.0 as usize].corrupting {
-            if let Msg::Result(rp) = &mut msg {
-                if rp.replica.is_some() {
-                    rp.value = corrupt(&rp.value);
-                }
-            }
-        }
-        self.delivered += 1;
-        self.trace.record(self.now, "deliver", || {
+        self.sub.delivered += 1;
+        let now = self.sub.now;
+        self.sub.trace.record(now, "deliver", || {
             format!("{from} -> {to}: {:?}", msg.kind())
         });
-        let actions = self.procs[to.0 as usize].engine.on_message(msg);
+        self.nodes[to.0 as usize].on_message(msg, &mut self.sub);
         if self.log_spawns {
-            let created = self.procs[to.0 as usize].engine.drain_created();
+            let created = self.nodes[to.0 as usize].engine_mut().drain_created();
             for stamp in created {
-                self.spawn_log.push((self.now.ticks(), stamp, to));
+                self.spawn_log.push((now.ticks(), stamp, to));
             }
         }
-        self.apply_actions(to, self.now, actions);
         self.poke(to);
     }
 
     fn step(&mut self, proc: ProcId) {
-        let state = &mut self.procs[proc.0 as usize];
-        state.step_pending = false;
-        if !state.alive {
+        self.sub.step_pending[proc.0 as usize] = false;
+        if !self.sub.live(proc) {
             return;
         }
-        if let Some(key) = state.engine.pop_ready() {
-            let (actions, work) = state.engine.run_wave(key);
-            let cost = self.cfg.cost.wave_cost(work);
-            let done = self.now + cost;
-            state.busy_until = done;
-            // Effects (sends, timers) materialize when the wave completes.
-            self.apply_actions(proc, done, actions);
+        // `complete_wave` on the substrate charges the cost model and
+        // defers the wave's effects to its completion instant.
+        if self.nodes[proc.0 as usize].run_ready_wave(&mut self.sub) {
             self.poke(proc);
         }
     }
 
     /// Ensures a Step event is pending when the processor has runnable work.
     fn poke(&mut self, proc: ProcId) {
-        let state = &mut self.procs[proc.0 as usize];
-        if state.alive && !state.step_pending && state.engine.has_ready() {
-            state.step_pending = true;
-            let at = state.busy_until.max(self.now);
-            self.queue.push(at, Ev::Step { proc });
+        let i = proc.0 as usize;
+        if self.sub.alive[i] && !self.sub.step_pending[i] && self.nodes[i].has_ready() {
+            self.sub.step_pending[i] = true;
+            let at = self.sub.busy_until[i].max(self.sub.now);
+            self.sub.queue.push(at, Ev::Step { proc });
         }
     }
 
     fn fault(&mut self, victim: ProcId, kind: FaultKind) {
-        let Some(state) = self.procs.get_mut(victim.0 as usize) else {
+        let Some(alive) = self.sub.alive.get_mut(victim.0 as usize) else {
             return;
         };
         match kind {
             FaultKind::Corrupt => {
-                state.corrupting = true;
-                self.trace.record(self.now, "corrupt", || format!("{victim}"));
+                self.sub.corrupting[victim.0 as usize] = true;
+                let now = self.sub.now;
+                self.sub
+                    .trace
+                    .record(now, "corrupt", || format!("{victim}"));
             }
             FaultKind::Crash => {
-                if !state.alive {
+                if !*alive {
                     return;
                 }
-                state.alive = false;
-                self.trace.record(self.now, "crash", || format!("{victim}"));
-                // Detector: staggered notices to live peers and the
-                // super-root driver.
-                let mut peer_index = 0;
-                for i in 0..self.procs.len() {
-                    if i as u32 == victim.0 || !self.procs[i].alive {
-                        continue;
-                    }
-                    if let Some(at) = self.cfg.detector.notice_time(self.now, peer_index) {
-                        self.queue.push(
-                            at,
-                            Ev::Notice {
-                                to: ProcId(i as u32),
-                                dead: victim,
-                            },
-                        );
-                    }
-                    peer_index += 1;
-                }
-                if let Some(at) = self.cfg.detector.notice_time(self.now, peer_index) {
-                    self.queue.push(
-                        at,
-                        Ev::Notice {
-                            to: ProcId::SUPER_ROOT,
-                            dead: victim,
-                        },
-                    );
-                }
+                *alive = false;
+                let now = self.sub.now;
+                self.sub.trace.record(now, "crash", || format!("{victim}"));
+                self.sub.report_death(victim);
             }
         }
-    }
-
-    fn apply_actions(&mut self, proc: ProcId, at: VirtualTime, actions: Vec<Action>) {
-        if at > self.now {
-            // Defer: the effects only escape the processor if it is still
-            // alive when the wave completes.
-            self.queue.push(at, Ev::Effects { proc, actions });
-            return;
-        }
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => self.send(proc, to, at, msg),
-                Action::SetTimer { timer, delay } => {
-                    self.queue.push(at + delay, Ev::Timer { proc, timer });
-                }
-            }
-        }
-    }
-
-    fn apply_superroot_actions(&mut self, actions: Vec<Action>) {
-        for a in actions {
-            match a {
-                Action::Send { to, msg } => self.send(ProcId::SUPER_ROOT, to, self.now, msg),
-                Action::SetTimer { timer, delay } => {
-                    self.queue.push(
-                        self.now + delay,
-                        Ev::Timer {
-                            proc: ProcId::SUPER_ROOT,
-                            timer,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    fn send(&mut self, from: ProcId, to: ProcId, at: VirtualTime, msg: Msg) {
-        self.msg_seq += 1;
-        if to.is_super_root() {
-            // The driver link is reliable with base latency.
-            let latency = self.cfg.link.base;
-            self.queue.push(at + latency, Ev::Deliver { from, to, msg });
-            return;
-        }
-        // Dead destination known to the transport: the sender's best-effort
-        // delivery fails and it learns the destination is unreachable.
-        if !to_alive(&self.procs, to) && !from.is_super_root() {
-            let bounce_at = self.cfg.detector.bounce_time(at);
-            self.queue.push(
-                bounce_at,
-                Ev::Bounce {
-                    sender: from,
-                    dead: to,
-                    msg,
-                },
-            );
-            return;
-        }
-        let (src, dst) = (
-            if from.is_super_root() { to.0 } else { from.0 },
-            to.0,
-        );
-        let latency = self
-            .cfg
-            .link
-            .latency(&self.cfg.topology, src, dst, msg.size(), self.msg_seq);
-        self.queue.push(at + latency, Ev::Deliver { from, to, msg });
     }
 
     fn build_report(
@@ -520,53 +490,27 @@ impl Machine {
         finish: Option<VirtualTime>,
         faults: &FaultPlan,
     ) -> RunReport {
-        let mut total = ProcStats::default();
-        let mut per_proc = Vec::with_capacity(self.procs.len());
-        let mut ckpt_peak_entries = 0usize;
-        let mut ckpt_peak_bytes = 0usize;
-        let mut ckpt_stored = 0u64;
-        for p in &self.procs {
-            total += p.engine.stats();
-            per_proc.push(p.engine.stats().clone());
-            ckpt_peak_entries += p.engine.checkpoints().peak_entries();
-            ckpt_peak_bytes += p.engine.checkpoints().peak_bytes();
-            ckpt_stored += p.engine.checkpoints().stored_total();
-        }
+        let totals =
+            EngineTotals::collect(self.nodes.iter().map(|n| EngineSnapshot::of(n.engine())));
         RunReport {
             result: self.superroot.result().cloned(),
             completed: finish.is_some(),
-            finish: finish.unwrap_or(self.now),
+            finish: finish.unwrap_or(self.sub.now),
             events,
-            delivered: self.delivered,
-            dropped_to_dead: self.dropped_to_dead,
-            bounces: self.bounces,
-            stats: total,
-            per_proc,
-            ckpt_peak_entries,
-            ckpt_peak_bytes,
-            ckpt_stored,
-            root_reissues: self.superroot.reissues,
-            state_samples: std::mem::take(&mut self.state_samples),
+            delivered: self.sub.delivered,
+            dropped_to_dead: self.sub.dropped_to_dead,
+            bounces: self.sub.bounces,
+            stats: totals.stats,
+            per_proc: totals.per_proc,
+            ckpt_peak_entries: totals.ckpt_peak_entries,
+            ckpt_peak_bytes: totals.ckpt_peak_bytes,
+            ckpt_stored: totals.ckpt_stored,
+            root_reissues: self.superroot.reissues(),
+            state_samples: std::mem::take(&mut self.sub.state_samples),
             spawn_log: std::mem::take(&mut self.spawn_log),
-            n_procs: self.procs.len() as u32,
+            n_procs: self.nodes.len() as u32,
             faults: faults.events.len(),
         }
-    }
-}
-
-fn to_alive(procs: &[ProcState], p: ProcId) -> bool {
-    procs
-        .get(p.0 as usize)
-        .map(|s| s.alive)
-        .unwrap_or(false)
-}
-
-/// Deterministic, detectable corruption of a value.
-fn corrupt(v: &Value) -> Value {
-    match v {
-        Value::Int(n) => Value::Int(n.wrapping_mul(31).wrapping_add(7)),
-        Value::Bool(b) => Value::Bool(!b),
-        other => Value::list([other.clone(), Value::str("corrupt")]),
     }
 }
 
@@ -602,8 +546,12 @@ mod tests {
         for (i, w) in Workload::suite_small().into_iter().enumerate() {
             let mut c = cfg(2 + (i as u32 % 6));
             c.topology = match i % 3 {
-                0 => Topology::Complete { n: 2 + (i as u32 % 6) },
-                1 => Topology::Ring { n: 2 + (i as u32 % 6) },
+                0 => Topology::Complete {
+                    n: 2 + (i as u32 % 6),
+                },
+                1 => Topology::Ring {
+                    n: 2 + (i as u32 % 6),
+                },
                 _ => Topology::Mesh {
                     w: 2,
                     h: (2 + (i as u32 % 6)).div_ceil(2),

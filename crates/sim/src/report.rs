@@ -37,7 +37,11 @@ pub struct RunReport {
     /// `(time, live task count)` samples for baseline modelling.
     pub state_samples: Vec<(u64, u64)>,
     /// Placement log `(time, stamp, proc)`, when enabled.
-    pub spawn_log: Vec<(u64, splice_core::stamp::LevelStamp, splice_core::ids::ProcId)>,
+    pub spawn_log: Vec<(
+        u64,
+        splice_core::stamp::LevelStamp,
+        splice_core::ids::ProcId,
+    )>,
     /// Processor count.
     pub n_procs: u32,
     /// Number of injected faults.
@@ -110,8 +114,10 @@ mod tests {
         let mut per_proc: Vec<ProcStats> = Vec::new();
         let mut total = ProcStats::default();
         for w in &work {
-            let mut s = ProcStats::default();
-            s.work_units = *w;
+            let s = ProcStats {
+                work_units: *w,
+                ..ProcStats::default()
+            };
             total += &s;
             per_proc.push(s);
         }

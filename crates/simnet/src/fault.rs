@@ -111,11 +111,8 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let p = FaultPlan::crash_at(2, VirtualTime(100)).and(
-            5,
-            VirtualTime(50),
-            FaultKind::Corrupt,
-        );
+        let p =
+            FaultPlan::crash_at(2, VirtualTime(100)).and(5, VirtualTime(50), FaultKind::Corrupt);
         assert_eq!(p.events.len(), 2);
         assert_eq!(p.crashes(), 1);
         let s = p.sorted();

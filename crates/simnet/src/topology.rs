@@ -241,11 +241,7 @@ mod tests {
             for a in 0..n {
                 let bfs = t.bfs_distances(a);
                 for b in 0..n {
-                    assert_eq!(
-                        t.distance(a, b),
-                        bfs[b as usize],
-                        "{t:?} distance({a},{b})"
-                    );
+                    assert_eq!(t.distance(a, b), bfs[b as usize], "{t:?} distance({a},{b})");
                 }
             }
         }

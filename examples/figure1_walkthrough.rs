@@ -21,9 +21,21 @@ fn main() {
     println!("fragments: {{A1,C1,C2,C3,D3}}  {{A2,D1,D2,C4}}  {{D4,D5,A5}}\n");
 
     for (label, mode, filter) in [
-        ("rollback + topmost rule (§3)", RecoveryMode::Rollback, CheckpointFilter::Topmost),
-        ("rollback, reissue-all ablation", RecoveryMode::Rollback, CheckpointFilter::All),
-        ("splice recovery (§4)", RecoveryMode::Splice, CheckpointFilter::Topmost),
+        (
+            "rollback + topmost rule (§3)",
+            RecoveryMode::Rollback,
+            CheckpointFilter::Topmost,
+        ),
+        (
+            "rollback, reissue-all ablation",
+            RecoveryMode::Rollback,
+            CheckpointFilter::All,
+        ),
+        (
+            "splice recovery (§4)",
+            RecoveryMode::Splice,
+            CheckpointFilter::Topmost,
+        ),
     ] {
         let out = figure1::run(mode, filter);
         let s = &out.report.stats;

@@ -33,7 +33,11 @@ fn main() {
     // 3. An 8-processor machine on a torus, gradient load balancing,
     //    splice recovery (all defaults except the topology).
     let mut cfg = MachineConfig::new(8);
-    cfg.topology = Topology::Mesh { w: 4, h: 2, wrap: true };
+    cfg.topology = Topology::Mesh {
+        w: 4,
+        h: 2,
+        wrap: true,
+    };
     cfg.recovery.mode = RecoveryMode::Splice;
 
     // 4. Fault-free run, to know how long the computation takes.
@@ -56,9 +60,7 @@ fn main() {
     );
     println!(
         "recovery:              {} twins created, {} orphan results salvaged, {} reissues",
-        report.stats.step_parents_created,
-        report.stats.salvaged_results,
-        report.stats.reissues
+        report.stats.step_parents_created, report.stats.salvaged_results, report.stats.reissues
     );
 
     assert_eq!(report.result, Some(expected));

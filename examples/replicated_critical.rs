@@ -38,7 +38,9 @@ fn main() {
         let mut cfg = MachineConfig::new(8);
         cfg.policy = Policy::RoundRobin; // spread replicas everywhere
         cfg.recovery.mode = RecoveryMode::Splice;
-        cfg.recovery.replicate.insert(mapred, ReplicaSpec { n, vote });
+        cfg.recovery
+            .replicate
+            .insert(mapred, ReplicaSpec { n, vote });
         let r = run_workload(cfg, &workload, &faults);
         let got = r.result.as_ref().unwrap();
         println!(

@@ -13,6 +13,9 @@
 //! * [`lang`] (= `splice-applicative`) — the language: programs, values,
 //!   reference and wave evaluators, parser, workload library;
 //! * [`core`] (= `splice-core`) — the recovery protocol itself;
+//! * [`harness`] (= `splice-harness`) — the shared sans-IO driver layer:
+//!   the `Substrate` trait both machines implement and the driver loop
+//!   both machines pump;
 //! * [`simnet`] (= `splice-simnet`) — the discrete-event substrate;
 //! * [`gradient`] (= `splice-gradient`) — dynamic task allocation;
 //! * [`sim`] (= `splice-sim`) — the simulated machine and experiments;
@@ -35,6 +38,7 @@
 pub use splice_applicative as lang;
 pub use splice_core as core;
 pub use splice_gradient as gradient;
+pub use splice_harness as harness;
 pub use splice_runtime as runtime;
 pub use splice_sim as sim;
 pub use splice_simnet as simnet;
@@ -43,10 +47,12 @@ pub use splice_simnet as simnet;
 pub mod prelude {
     pub use splice_applicative::{eval_call, Budget, Expr, FnId, Program, Value, Workload};
     pub use splice_core::{
-        CheckpointFilter, Config as RecoveryConfig, LevelStamp, ProcId, RecoveryMode,
-        ReplicaSpec, VoteMode,
+        CheckpointFilter, Config as RecoveryConfig, LevelStamp, ProcId, RecoveryMode, ReplicaSpec,
+        VoteMode,
     };
     pub use splice_gradient::Policy;
     pub use splice_sim::{run_workload, CostModel, Machine, MachineConfig, RunReport};
-    pub use splice_simnet::{DetectorConfig, FaultKind, FaultPlan, LinkModel, Topology, VirtualTime};
+    pub use splice_simnet::{
+        DetectorConfig, FaultKind, FaultPlan, LinkModel, Topology, VirtualTime,
+    };
 }

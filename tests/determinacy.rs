@@ -32,7 +32,7 @@ fn topology_for(idx: usize, n: u32) -> Topology {
         _ => Topology::Mesh {
             w: 2,
             h: n.div_ceil(2),
-            wrap: idx % 2 == 0,
+            wrap: idx.is_multiple_of(2),
         },
     }
 }

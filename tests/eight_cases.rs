@@ -18,7 +18,7 @@
 //! | 8    | c completes after p' completed             | packet discarded   |
 
 use splice::core::engine::{Action, Engine};
-use splice::core::ids::{ProcId, TaskAddr, TaskKey};
+use splice::core::ids::ProcId;
 use splice::core::packet::{Msg, TaskLink, TaskPacket};
 use splice::core::place::ScriptedPlacer;
 use splice::core::{Config, LevelStamp, RecoveryMode};
@@ -73,7 +73,12 @@ impl Cluster {
             let mut placer = ScriptedPlacer::new(vec![ProcId(1), ProcId(3)]);
             placer.assign(p_stamp(), ProcId(1));
             placer.assign(c_stamp(), ProcId(2));
-            engines.push(Engine::new(ProcId(i), program.clone(), cfg, Box::new(placer)));
+            engines.push(Engine::new(
+                ProcId(i),
+                program.clone(),
+                cfg,
+                Box::new(placer),
+            ));
         }
         Cluster {
             engines,
@@ -192,7 +197,8 @@ impl Cluster {
 
     /// Notifies `to` that `dead` failed.
     fn notice(&mut self, to: u32, dead: u32) {
-        let actions = self.engines[to as usize].on_message(Msg::FailureNotice { dead: ProcId(dead) });
+        let actions =
+            self.engines[to as usize].on_message(Msg::FailureNotice { dead: ProcId(dead) });
         self.absorb(ProcId(to), actions);
     }
 
@@ -281,11 +287,15 @@ fn case4_result_arrives_before_twin_exists() {
     cl.spawn_c();
     cl.kill(1); // p dies while c is still computing
     cl.run_ready(2); // c completes, tries to return to dead p
-    // The bounce routes the orphan result to grandparent g — *before* any
-    // failure notice reached processor 0, so g must reproduce p' first.
+                     // The bounce routes the orphan result to grandparent g — *before* any
+                     // failure notice reached processor 0, so g must reproduce p' first.
     cl.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Result(_)));
     cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Salvage(_)));
-    assert_eq!(cl.stats(0).step_parents_created, 1, "salvage arrival creates the twin");
+    assert_eq!(
+        cl.stats(0).step_parents_created,
+        1,
+        "salvage arrival creates the twin"
+    );
     // Place the twin, flush the buffered salvage into it, and only then
     // let it run: it finds the answer already there and never spawns c'.
     cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Spawn(_)));
@@ -327,12 +337,16 @@ fn case6_result_arrives_after_c_prime_invoked() {
     cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Spawn(_)));
     cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Ack { .. }));
     cl.run_ready(3); // p' runs: c' is invoked (spawn sits in the pool)
-    // c (the orphan) completes now and its salvage reaches p'.
+                     // c (the orphan) completes now and its salvage reaches p'.
     cl.run_ready(2);
     cl.deliver_where(|to, m| *to == ProcId(1) && matches!(m, Msg::Result(_)));
     cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Salvage(_)));
     cl.deliver_where(|to, m| *to == ProcId(3) && matches!(m, Msg::Salvage(_)));
-    assert_eq!(cl.stats(3).salvage_after_spawn, 1, "supplied after c' was demanded");
+    assert_eq!(
+        cl.stats(3).salvage_after_spawn,
+        1,
+        "supplied after c' was demanded"
+    );
     // p' can complete immediately; c' is now a duplicate in flight.
     cl.settle();
     cl.assert_answer();
@@ -396,6 +410,9 @@ fn case8_result_arrives_after_everything_completed() {
     cl.deliver_where(|to, m| *to == ProcId(0) && matches!(m, Msg::Salvage(_)));
     cl.settle();
     let dropped_after = cl.stats(0).salvage_dropped + cl.stats(0).stale_messages_ignored;
-    assert!(dropped_after > dropped_before, "late packet must be discarded");
+    assert!(
+        dropped_after > dropped_before,
+        "late packet must be discarded"
+    );
     cl.assert_answer();
 }

@@ -43,11 +43,8 @@ fn faults_on_different_branches_recover_in_parallel() {
         cfg.recovery.mode = mode;
         let fault_free = run_workload(cfg.clone(), &w, &FaultPlan::none());
         let t = fault_free.finish.ticks();
-        let faults = FaultPlan::crash_at(2, VirtualTime(t / 3)).and(
-            9,
-            VirtualTime(t / 3),
-            FaultKind::Crash,
-        );
+        let faults =
+            FaultPlan::crash_at(2, VirtualTime(t / 3)).and(9, VirtualTime(t / 3), FaultKind::Crash);
         let r = run_workload(cfg, &w, &faults);
         assert!(r.completed, "{mode:?} stalled");
         assert_eq!(r.result, Some(w.reference_result().unwrap()), "{mode:?}");

@@ -11,11 +11,7 @@ use splice::sim::baseline::GlobalCheckpointModel;
 #[test]
 fn functional_checkpointing_costs_little_when_nothing_fails() {
     for w in [Workload::fib(13), Workload::dcsum(0, 128)] {
-        let none = run_workload(
-            MachineConfig::new(8),
-            &w,
-            &FaultPlan::none(),
-        );
+        let none = run_workload(MachineConfig::new(8), &w, &FaultPlan::none());
         // MachineConfig::new defaults to splice; build explicit configs.
         let mut cfg_none = MachineConfig::new(8);
         cfg_none.recovery.mode = RecoveryMode::None;

@@ -20,11 +20,7 @@ fn sweep(mode: RecoveryMode, w: &Workload, steps: u64, victim: u32) {
     for i in 0..steps {
         let crash = VirtualTime(total * i / steps + 1);
         let r = run_workload(cfg.clone(), w, &FaultPlan::crash_at(victim, crash));
-        assert!(
-            r.completed,
-            "{mode:?} {} crash@{crash} stalled",
-            w.name
-        );
+        assert!(r.completed, "{mode:?} {} crash@{crash} stalled", w.name);
         assert_eq!(
             r.result,
             Some(expected.clone()),

@@ -1,40 +1,45 @@
 //! Driver parity: the simulator and the threaded runtime run the *same*
-//! engine and must produce the same answers — fault-free and under
-//! crashes — for the same workloads.
+//! engine under the *same* shared driver loop (`splice-harness`), so for
+//! the same workload and the same fault plan they must produce the same
+//! answers — fault-free, under crashes with splice recovery, and under
+//! corruption with replicated voting.
+//!
+//! `splice::runtime::run_plan` maps a simulator [`FaultPlan`]'s virtual
+//! fault times onto the wall clock, so one plan literally drives both
+//! [`Substrate`](splice::harness::Substrate) implementations.
 
 use splice::prelude::*;
-use splice::runtime::{run as run_threads, CrashAt, RuntimeConfig};
+use splice::runtime::{run as run_threads, run_plan, CrashAt, RuntimeConfig};
 use std::time::Duration;
 
-fn both_agree(w: &Workload, crash: bool) {
+fn sim_cfg(mode: RecoveryMode) -> MachineConfig {
+    let mut cfg = MachineConfig::new(4);
+    cfg.policy = Policy::RoundRobin;
+    cfg.recovery.mode = mode;
+    cfg
+}
+
+fn rt_cfg(mode: RecoveryMode) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::new(4);
+    cfg.recovery.mode = mode;
+    cfg
+}
+
+/// Feeds the identical workload + fault plan through both substrates and
+/// checks both `result`s against the reference evaluator (and therefore
+/// against each other).
+fn both_agree_on_plan(w: &Workload, mode: RecoveryMode, plan: &FaultPlan) {
     let expected = w.reference_result().unwrap();
 
-    let mut sim_cfg = MachineConfig::new(4);
-    sim_cfg.recovery.mode = RecoveryMode::Splice;
-    let sim_faults = if crash {
-        let ff = run_workload(sim_cfg.clone(), w, &FaultPlan::none());
-        FaultPlan::crash_at(2, VirtualTime(ff.finish.ticks() / 3))
-    } else {
-        FaultPlan::none()
-    };
-    let sim_report = run_workload(sim_cfg, w, &sim_faults);
+    let sim_report = run_workload(sim_cfg(mode), w, plan);
+    assert!(sim_report.completed, "sim stalled: {}", w.name);
     assert_eq!(sim_report.result, Some(expected.clone()), "sim: {}", w.name);
 
-    let mut rt_cfg = RuntimeConfig::new(4);
-    rt_cfg.recovery.mode = RecoveryMode::Splice;
-    let crashes = if crash {
-        vec![CrashAt {
-            victim: 2,
-            after: Duration::from_millis(15),
-        }]
-    } else {
-        vec![]
-    };
-    let rt_report = run_threads(rt_cfg, w, &crashes);
+    let rt_report = run_plan(rt_cfg(mode), w, plan);
+    assert_eq!(rt_report.result, Some(expected), "threads: {}", w.name);
     assert_eq!(
-        rt_report.result,
-        Some(expected),
-        "threads: {}",
+        sim_report.result, rt_report.result,
+        "substrates disagree: {}",
         w.name
     );
 }
@@ -46,30 +51,87 @@ fn parity_fault_free() {
         Workload::dcsum(0, 64),
         Workload::quicksort(20, 11),
     ] {
-        both_agree(&w, false);
+        both_agree_on_plan(&w, RecoveryMode::Splice, &FaultPlan::none());
     }
+}
+
+#[test]
+fn parity_splice_recovery_same_plan() {
+    // Tick 400 = 10ms of wall clock under the default 25µs time unit:
+    // early enough that processor 2 still holds live tasks on both
+    // machines, so both actually exercise splice recovery.
+    let plan = FaultPlan::crash_at(2, VirtualTime(400));
+    for w in [Workload::fib(16), Workload::mapreduce(0, 16, 8)] {
+        both_agree_on_plan(&w, RecoveryMode::Splice, &plan);
+    }
+}
+
+#[test]
+fn parity_replicated_voting_same_plan() {
+    // §5.3: processor 0 corrupts every replica result it emits, from t=0.
+    // Triple redundancy with majority voting must mask it — identically —
+    // on both substrates.
+    let w = Workload::mapreduce(0, 16, 8);
+    let expected = w.reference_result().unwrap();
+    let mapred = w.program.lookup("mapred").unwrap();
+    let plan = FaultPlan {
+        events: vec![splice::simnet::fault::FaultEvent {
+            at: VirtualTime(0),
+            victim: 0,
+            kind: FaultKind::Corrupt,
+        }],
+    };
+    let spec = ReplicaSpec {
+        n: 3,
+        vote: VoteMode::Majority,
+    };
+
+    let mut sim = sim_cfg(RecoveryMode::Splice);
+    sim.recovery.replicate.insert(mapred, spec);
+    let sim_report = run_workload(sim, &w, &plan);
+    assert_eq!(sim_report.result, Some(expected.clone()), "sim voting");
+    assert!(
+        sim_report.stats.votes_decided >= 1,
+        "sim replicas actually voted"
+    );
+    assert!(
+        sim_report.stats.votes_dissenting >= 1,
+        "a corrupted replica result was actually cast and outvoted \
+         (otherwise this test is not exercising §5.3 masking)"
+    );
+
+    let mut rt = rt_cfg(RecoveryMode::Splice);
+    rt.recovery.replicate.insert(mapred, spec);
+    let rt_report = run_plan(rt, &w, &plan);
+    assert_eq!(rt_report.result, Some(expected), "threads voting");
+    assert!(
+        rt_report.stats.votes_decided >= 1,
+        "threaded replicas actually voted"
+    );
+    assert_eq!(sim_report.result, rt_report.result);
 }
 
 #[test]
 fn parity_under_crashes() {
     for w in [Workload::fib(13), Workload::mapreduce(0, 16, 8)] {
-        both_agree(&w, true);
+        let expected = w.reference_result().unwrap();
+        let ff = run_workload(sim_cfg(RecoveryMode::Splice), &w, &FaultPlan::none());
+        let sim_faults = FaultPlan::crash_at(2, VirtualTime(ff.finish.ticks() / 3));
+        let sim_report = run_workload(sim_cfg(RecoveryMode::Splice), &w, &sim_faults);
+        assert_eq!(sim_report.result, Some(expected.clone()), "sim: {}", w.name);
+
+        let crashes = vec![CrashAt {
+            victim: 2,
+            after: Duration::from_millis(15),
+        }];
+        let rt_report = run_threads(rt_cfg(RecoveryMode::Splice), &w, &crashes);
+        assert_eq!(rt_report.result, Some(expected), "threads: {}", w.name);
     }
 }
 
 #[test]
 fn rollback_parity_under_crash() {
     let w = Workload::fib(13);
-    let expected = w.reference_result().unwrap();
-    let mut rt_cfg = RuntimeConfig::new(4);
-    rt_cfg.recovery.mode = RecoveryMode::Rollback;
-    let r = run_threads(
-        rt_cfg,
-        &w,
-        &[CrashAt {
-            victim: 1,
-            after: Duration::from_millis(10),
-        }],
-    );
-    assert_eq!(r.result, Some(expected));
+    let plan = FaultPlan::crash_at(1, VirtualTime(400));
+    both_agree_on_plan(&w, RecoveryMode::Rollback, &plan);
 }
