@@ -409,6 +409,21 @@ impl Engine {
             }
             return actions;
         }
+        // An ack from a processor we already know is dead is a message from
+        // a corpse: the child it places died with its host. Recording it
+        // would permanently wedge the child — the failure-notice recovery
+        // pass has already run (and found no checkpoint keyed to the dead
+        // processor, since the placement was unacked then), and the ack
+        // timeout refuses to reissue a child with a current address. The
+        // race only opens when acks travel slower than failure notices
+        // (e.g. across a high-latency inter-shard router). Reissue now.
+        if self.known_dead.contains(&child_addr.proc) {
+            if !ci.done && incarnation == ci.incarnation && ci.current_addr().is_none() {
+                return self.reissue_child(parent.key, &child_stamp);
+            }
+            self.stats.stale_messages_ignored += 1;
+            return actions;
+        }
         let newer = match ci.acked {
             Some((_, prev_inc)) => incarnation >= prev_inc,
             None => true,

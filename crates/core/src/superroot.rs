@@ -112,7 +112,10 @@ impl SuperRoot {
         self.reissues += 1;
         let mut p = self.packet.clone();
         p.incarnation = self.incarnation;
-        let mut actions = vec![
+        // Buffered salvages are not flushed here: the twin root inherits
+        // the previous root's orphan results only once its placement is
+        // acknowledged (see the `Msg::Ack` arm).
+        vec![
             Action::SetTimer {
                 timer: Timer::AckTimeout {
                     owner: TaskKey(0),
@@ -125,13 +128,7 @@ impl SuperRoot {
                 to: dest,
                 msg: Msg::Spawn(p),
             },
-        ];
-        // The twin root inherits salvaged results of the previous root's
-        // orphans once its placement is acknowledged; nothing to flush yet.
-        if self.root_addr().is_some() {
-            actions.truncate(actions.len());
-        }
-        actions
+        ]
     }
 
     /// Handles a message addressed to the super-root. `fallback_dest`
@@ -145,6 +142,16 @@ impl SuperRoot {
                 ..
             } => {
                 if child_stamp != self.packet.stamp {
+                    return Vec::new();
+                }
+                // An ack from a processor already known dead is from a
+                // corpse — the root died with its host. Recording it would
+                // satisfy the ack timeout and wedge the launch (the same
+                // slow-ack/fast-notice race Engine::on_ack guards against).
+                if self.known_dead.contains(&child_addr.proc) {
+                    if self.root_addr().is_none() && incarnation == self.incarnation {
+                        return self.reissue(fallback_dest);
+                    }
                     return Vec::new();
                 }
                 let newer = match self.acked {
@@ -330,6 +337,32 @@ mod tests {
         s.on_message(result(&s, 55), ProcId(0));
         assert!(s.on_failure(ProcId(0), ProcId(1)).is_empty());
         assert_eq!(s.reissues, 0);
+    }
+
+    #[test]
+    fn late_ack_from_dead_host_reissues_instead_of_wedging() {
+        // Slow-ack/fast-notice race (high-latency inter-shard router): the
+        // failure notice for the root's host arrives while its placement
+        // ack is still in flight. The notice finds nothing acked, so it
+        // reissues nothing; the corpse's ack must then trigger the reissue
+        // rather than being recorded — a recorded dead placement satisfies
+        // the ack timeout and wedges the launch forever.
+        let mut s = sr();
+        s.launch(ProcId(0));
+        assert!(
+            s.on_failure(ProcId(0), ProcId(1)).is_empty(),
+            "nothing acked yet, notice alone reissues nothing"
+        );
+        let actions = s.on_message(ack(&s, ProcId(0), 0), ProcId(1));
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                Action::Send { to: ProcId(1), msg: Msg::Spawn(p) } if p.incarnation == 1
+            )),
+            "{actions:?}"
+        );
+        assert_eq!(s.reissues, 1);
+        assert_eq!(s.root_addr(), None, "dead placement must not be recorded");
     }
 
     #[test]

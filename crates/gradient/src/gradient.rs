@@ -26,6 +26,12 @@ pub struct GradientConfig {
     /// A node with pressure `<= keep_threshold` executes its own spawns
     /// locally instead of exporting them.
     pub keep_threshold: u32,
+    /// Extra proximity charged to neighbours reached through the
+    /// inter-shard router: demand across the boundary looks this many hops
+    /// further away, so surplus prefers intra-shard flow and only crosses
+    /// the router when the imbalance is worth the latency. Irrelevant on
+    /// flat topologies (no neighbour is marked cross-shard).
+    pub cross_shard_penalty: u32,
 }
 
 impl Default for GradientConfig {
@@ -33,6 +39,7 @@ impl Default for GradientConfig {
         GradientConfig {
             idle_threshold: 1,
             keep_threshold: 2,
+            cross_shard_penalty: 1,
         }
     }
 }
@@ -42,6 +49,10 @@ impl Default for GradientConfig {
 pub struct GradientPlacer {
     here: ProcId,
     neighbors: Vec<ProcId>,
+    /// Neighbours reached through the inter-shard router (empty on flat
+    /// topologies): their advertised proximity is inflated by
+    /// `config.cross_shard_penalty`.
+    cross_shard: HashSet<ProcId>,
     config: GradientConfig,
     local_pressure: u32,
     neighbor_proximity: HashMap<ProcId, u32>,
@@ -49,15 +60,39 @@ pub struct GradientPlacer {
 }
 
 impl GradientPlacer {
-    /// Creates a placer for `here` with its direct `neighbors`.
+    /// Creates a placer for `here` with its direct `neighbors`, all
+    /// intra-shard.
     pub fn new(here: ProcId, neighbors: Vec<ProcId>, config: GradientConfig) -> GradientPlacer {
+        GradientPlacer::sharded(here, neighbors, HashSet::new(), config)
+    }
+
+    /// Creates a placer for `here` whose neighbours in `cross_shard` sit on
+    /// the far side of the inter-shard router.
+    pub fn sharded(
+        here: ProcId,
+        neighbors: Vec<ProcId>,
+        cross_shard: HashSet<ProcId>,
+        config: GradientConfig,
+    ) -> GradientPlacer {
         GradientPlacer {
             here,
             neighbors,
+            cross_shard,
             config,
             local_pressure: 0,
             neighbor_proximity: HashMap::new(),
             tie_rotor: 0,
+        }
+    }
+
+    /// Proximity of neighbour `n` as seen from here: its advertised value
+    /// plus the router penalty when `n` is in another shard.
+    fn neighbor_cost(&self, n: &ProcId) -> u32 {
+        let advertised = *self.neighbor_proximity.get(n).unwrap_or(&UNKNOWN_PROXIMITY);
+        if self.cross_shard.contains(n) {
+            advertised.saturating_add(self.config.cross_shard_penalty)
+        } else {
+            advertised
         }
     }
 
@@ -68,31 +103,28 @@ impl GradientPlacer {
         }
         self.neighbors
             .iter()
-            .filter_map(|n| self.neighbor_proximity.get(n))
+            .filter(|n| self.neighbor_proximity.contains_key(n))
+            .map(|n| self.neighbor_cost(n))
             .min()
             .map(|m| m.saturating_add(1))
             .unwrap_or(UNKNOWN_PROXIMITY)
     }
 
-    /// The live neighbour with the smallest advertised proximity; ties are
-    /// rotated so repeated exports spread across equally good directions.
+    /// The live neighbour with the smallest penalty-adjusted proximity;
+    /// ties are rotated so repeated exports spread across equally good
+    /// directions.
     fn best_neighbor(&mut self, avoid: &HashSet<ProcId>) -> Option<ProcId> {
         let best = self
             .neighbors
             .iter()
             .filter(|n| !avoid.contains(n))
-            .map(|n| {
-                (
-                    *self.neighbor_proximity.get(n).unwrap_or(&UNKNOWN_PROXIMITY),
-                    *n,
-                )
-            })
+            .map(|n| (self.neighbor_cost(n), *n))
             .min_by_key(|(p, _)| *p)?;
         let candidates: Vec<ProcId> = self
             .neighbors
             .iter()
             .filter(|n| !avoid.contains(n))
-            .filter(|n| *self.neighbor_proximity.get(n).unwrap_or(&UNKNOWN_PROXIMITY) == best.0)
+            .filter(|n| self.neighbor_cost(n) == best.0)
             .copied()
             .collect();
         let pick = candidates[self.tie_rotor % candidates.len()];
@@ -118,10 +150,7 @@ impl Placer for GradientPlacer {
         }
         let my_proximity = self.proximity();
         let next = self.best_neighbor(avoid)?;
-        let next_proximity = *self
-            .neighbor_proximity
-            .get(&next)
-            .unwrap_or(&UNKNOWN_PROXIMITY);
+        let next_proximity = self.neighbor_cost(&next);
         if next_proximity < my_proximity {
             Some(next)
         } else {
@@ -234,6 +263,62 @@ mod tests {
         let a = p.place(&pkt(0), &HashSet::new());
         let b = p.place(&pkt(0), &HashSet::new());
         assert_ne!(a, b, "equal-proximity neighbours share the surplus");
+    }
+
+    #[test]
+    fn cross_shard_neighbors_lose_ties_to_local_ones() {
+        let cross: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        let mut p = GradientPlacer::sharded(
+            ProcId(0),
+            vec![ProcId(1), ProcId(2)],
+            cross,
+            GradientConfig::default(),
+        );
+        p.set_local_pressure(10);
+        p.on_load(ProcId(1), 2);
+        p.on_load(ProcId(2), 2);
+        // Equal advertisements, but 2 sits behind the router: the penalty
+        // breaks the tie toward the intra-shard neighbour, repeatedly.
+        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(1));
+        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(1));
+    }
+
+    #[test]
+    fn strong_cross_shard_demand_still_wins() {
+        let cross: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        let mut p = GradientPlacer::sharded(
+            ProcId(0),
+            vec![ProcId(1), ProcId(2)],
+            cross,
+            GradientConfig::default(),
+        );
+        p.set_local_pressure(10);
+        p.on_load(ProcId(1), 4);
+        p.on_load(ProcId(2), 0);
+        // 0 + penalty(1) still beats 4: real imbalance crosses the router.
+        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(2));
+        // And the penalty feeds the advertised proximity: 1 + (0+1).
+        assert_eq!(p.proximity(), 2);
+    }
+
+    #[test]
+    fn penalty_redirects_routing_into_the_local_shard() {
+        let cross: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        let mut p = GradientPlacer::sharded(
+            ProcId(0),
+            vec![ProcId(1), ProcId(2)],
+            cross,
+            GradientConfig {
+                cross_shard_penalty: 3,
+                ..GradientConfig::default()
+            },
+        );
+        p.set_local_pressure(10);
+        p.on_load(ProcId(1), 3);
+        p.on_load(ProcId(2), 1);
+        // Raw demand is across the router (1 < 3), but 1+3 ≥ 3: the
+        // surplus stays in the shard.
+        assert_eq!(p.route(&pkt(1), &HashSet::new()), Some(ProcId(1)));
     }
 
     #[test]

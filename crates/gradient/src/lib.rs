@@ -65,10 +65,22 @@ impl Policy {
         let all: Vec<ProcId> = (0..n).map(ProcId).collect();
         match self {
             Policy::Gradient => {
-                let neighbors = topology.neighbors(here.0).into_iter().map(ProcId).collect();
-                Box::new(GradientPlacer::new(
+                // Sharded topologies mark the gateway links that run through
+                // the inter-shard router: the placer charges those
+                // neighbours a proximity penalty so surplus prefers
+                // intra-shard flow (on flat topologies the set is empty and
+                // the penalty is inert).
+                let neighbors: Vec<ProcId> =
+                    topology.neighbors(here.0).into_iter().map(ProcId).collect();
+                let cross_shard = neighbors
+                    .iter()
+                    .copied()
+                    .filter(|p| !topology.same_shard(here.0, p.0))
+                    .collect();
+                Box::new(GradientPlacer::sharded(
                     here,
                     neighbors,
+                    cross_shard,
                     GradientConfig::default(),
                 ))
             }
@@ -92,12 +104,47 @@ mod tests {
             Topology::Complete { n: 4 },
             Topology::Ring { n: 4 },
             Topology::Hypercube { dim: 2 },
+            Topology::Sharded {
+                shards: 2,
+                inner: Box::new(Topology::Complete { n: 2 }),
+            },
         ];
         for t in &topos {
             for policy in Policy::ALL {
                 let _ = policy.build(ProcId(1), t, 7);
                 assert!(!policy.name().is_empty());
             }
+        }
+    }
+
+    #[test]
+    fn sharded_gradient_penalizes_the_gateway_link() {
+        // 2 shards × 2 (Complete inner): gateways are 0 and 2; processor 0
+        // neighbours 1 (intra) and 2 (cross).
+        let t = Topology::Sharded {
+            shards: 2,
+            inner: Box::new(Topology::Complete { n: 2 }),
+        };
+        let mut p = Policy::Gradient.build(ProcId(0), &t, 1);
+        p.set_local_pressure(10);
+        p.on_load(ProcId(1), 1);
+        p.on_load(ProcId(2), 1);
+        let pkt = splice_core::packet::TaskPacket {
+            stamp: splice_core::stamp::LevelStamp::from_digits(&[1]),
+            demand: splice_applicative::wave::Demand::new(
+                splice_applicative::FnId(0),
+                vec![splice_applicative::Value::Int(1)],
+            ),
+            parent: splice_core::packet::TaskLink::super_root(),
+            ancestors: vec![],
+            incarnation: 0,
+            hops: 0,
+            replica: None,
+            under_replica: false,
+        };
+        // Equal advertisements: the cross-shard gateway neighbour loses.
+        for _ in 0..3 {
+            assert_eq!(p.place(&pkt, &std::collections::HashSet::new()), ProcId(1));
         }
     }
 }

@@ -17,6 +17,9 @@
 //!   (start / message / timer / send-failure / ready waves) and
 //!   [`SuperRootDriver`] owns the reliable super-root with its live-fallback
 //!   rotor;
+//! * [`shard`] — [`ShardRouter`], the inter-shard router decorator: wraps
+//!   any substrate, charges cross-shard sends a router surcharge and
+//!   accounts intra- vs inter-shard traffic separately;
 //! * [`timer`] — [`TimerWheel`], the earliest-deadline timer store used by
 //!   substrates whose clock is not an event queue;
 //! * [`report`] — [`EngineSnapshot`] / [`EngineTotals`], the per-engine
@@ -30,10 +33,12 @@
 
 pub mod driver;
 pub mod report;
+pub mod shard;
 pub mod substrate;
 pub mod timer;
 
 pub use driver::{DriverLoop, SuperRootDriver};
 pub use report::{EngineSnapshot, EngineTotals};
+pub use shard::{ShardMap, ShardRouter, ShardStats};
 pub use substrate::{corrupt_value, death_notice_targets, dispatch, Substrate};
 pub use timer::TimerWheel;

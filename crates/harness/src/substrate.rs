@@ -34,6 +34,18 @@ pub trait Substrate {
     /// `ProcId::SUPER_ROOT`.
     fn send(&mut self, from: ProcId, to: ProcId, msg: Msg);
 
+    /// Transmits like [`Substrate::send`], asking the backend to add
+    /// `extra` driver time units of delivery delay — a router or bus
+    /// surcharge injected by substrate decorators such as
+    /// [`crate::shard::ShardRouter`]. Backends that do not model latency
+    /// (the threaded runtime: real time already passes on the wire) keep
+    /// this default and deliver like `send`; the simulator folds `extra`
+    /// into the scheduled delivery (and bounce) instant.
+    fn send_delayed(&mut self, from: ProcId, to: ProcId, msg: Msg, extra: u64) {
+        let _ = extra;
+        self.send(from, to, msg);
+    }
+
     /// Arms `timer` to fire for `owner` after `delay` driver units.
     fn arm_timer(&mut self, owner: ProcId, timer: Timer, delay: u64);
 

@@ -125,12 +125,19 @@ struct FaultAt {
     kind: FaultKind,
 }
 
+/// Sentinel in `Shared::beats`: the worker thread has not beaten yet. The
+/// monitor must not compare silence against it — a worker that is merely
+/// slow to get scheduled (a loaded CI box) would be declared dead before
+/// its first beat.
+const NEVER_BEAT: u64 = u64::MAX;
+
 struct Shared {
     senders: Vec<Sender<Envelope>>,
     to_superroot: Sender<Envelope>,
     killed: Vec<AtomicBool>,
     corrupting: Vec<AtomicBool>,
-    /// Millis since `epoch` of each worker's last heartbeat.
+    /// Millis since `epoch` of each worker's last heartbeat
+    /// ([`NEVER_BEAT`] until the first one).
     beats: Vec<AtomicU64>,
     epoch: Instant,
     done: AtomicBool,
@@ -276,7 +283,7 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
         to_superroot: sr_tx,
         killed: (0..n).map(|_| AtomicBool::new(false)).collect(),
         corrupting: (0..n).map(|_| AtomicBool::new(false)).collect(),
-        beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        beats: (0..n).map(|_| AtomicU64::new(NEVER_BEAT)).collect(),
         epoch: Instant::now(),
         done: AtomicBool::new(false),
         snapshots: (0..n)
@@ -325,7 +332,19 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
                 }
                 let flags = match f.kind {
                     FaultKind::Crash => &shared.killed,
-                    FaultKind::Corrupt => &shared.corrupting,
+                    FaultKind::Corrupt => {
+                        // A crashed worker is fail-silent — corrupting it is
+                        // a no-op, matching the simulator, so mixed fault
+                        // plans stay comparable across substrates.
+                        let already_dead = shared
+                            .killed
+                            .get(f.victim as usize)
+                            .is_some_and(|k| k.load(Ordering::SeqCst));
+                        if already_dead {
+                            continue;
+                        }
+                        &shared.corrupting
+                    }
                 };
                 if let Some(flag) = flags.get(f.victim as usize) {
                     flag.store(true, Ordering::SeqCst);
@@ -513,7 +532,22 @@ fn heartbeat_monitor(shared: Arc<Shared>, cfg: RuntimeConfig) {
                 continue;
             }
             let last = shared.beats[i].load(Ordering::Relaxed);
-            if now.saturating_sub(last) > cfg.heartbeat_timeout.as_millis() as u64 {
+            let timeout_ms = cfg.heartbeat_timeout.as_millis() as u64;
+            // A live worker that has never beaten is (probably) starting
+            // up, not silent: declaring it dead after one quiet timeout is
+            // the false positive a loaded box turns into a spurious
+            // recovery, so first beats get an extended 5× grace. Silence
+            // is declared real early only for a *killed* worker (it will
+            // never beat, and the threaded runtime has no bounce path to
+            // discover it otherwise); a worker that never beats through
+            // the whole grace window (startup panic or deadlock) is
+            // eventually declared too.
+            let silent = if last == NEVER_BEAT {
+                shared.killed[i].load(Ordering::SeqCst) || now > 5 * timeout_ms
+            } else {
+                now.saturating_sub(last) > timeout_ms
+            };
+            if silent {
                 *was_declared = true;
                 let dead = ProcId(i as u32);
                 let live = |p: ProcId| !shared.killed[p.0 as usize].load(Ordering::SeqCst);
@@ -545,6 +579,7 @@ mod tests {
         assert_eq!(r.result, Some(w.reference_result().unwrap()));
         assert!(r.stats.tasks_completed >= 100);
         assert_eq!(r.per_proc.len(), 4);
+        assert_eq!(r.detections, 0, "no worker died; none may be declared");
     }
 
     #[test]
@@ -556,7 +591,25 @@ mod tests {
         ] {
             let r = run(quick_cfg(3), &w, &[]);
             assert_eq!(r.result, Some(w.reference_result().unwrap()), "{}", w.name);
+            assert_eq!(r.detections, 0, "{}: spurious detection", w.name);
         }
+    }
+
+    #[test]
+    fn corrupt_after_crash_is_inert() {
+        // The victim crashes, then a later Corrupt targets the same (dead)
+        // worker: it must be a no-op — the run recovers exactly as under
+        // the crash alone.
+        let w = Workload::fib(14);
+        let mut cfg = quick_cfg(4);
+        cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        let plan = FaultPlan::crash_at(2, splice_simnet::time::VirtualTime(400)).and(
+            2,
+            splice_simnet::time::VirtualTime(800),
+            FaultKind::Corrupt,
+        );
+        let r = run_plan(cfg, &w, &plan);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
     }
 
     #[test]
@@ -601,6 +654,24 @@ mod tests {
         }];
         let r = run(cfg, &w, &crashes);
         assert_eq!(r.result, Some(w.reference_result().unwrap()));
+    }
+
+    #[test]
+    fn crash_before_first_beat_is_still_detected() {
+        // Killed at t=0 the victim (usually) never beats; the monitor must
+        // still declare it — never-beaten is only a grace state for *live*
+        // workers. fib(16) keeps the run alive well past the heartbeat
+        // timeout so the declaration demonstrably happens.
+        let w = Workload::fib(16);
+        let mut cfg = quick_cfg(4);
+        cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        let crashes = [CrashAt {
+            victim: 2,
+            after: Duration::from_millis(0),
+        }];
+        let r = run(cfg, &w, &crashes);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+        assert!(r.detections >= 1, "early crash went undetected");
     }
 
     #[test]

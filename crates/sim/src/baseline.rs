@@ -127,6 +127,7 @@ mod tests {
         RunReport {
             result: None,
             completed: true,
+            stalled: false,
             finish: VirtualTime(finish),
             events: 0,
             delivered: 0,
@@ -141,6 +142,9 @@ mod tests {
             state_samples: samples,
             spawn_log: vec![],
             n_procs: 4,
+            shards: 1,
+            shard_msgs_intra: 0,
+            shard_msgs_inter: 0,
             faults: 0,
         }
     }

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E12) — the data recorded in
+//! Prints every experiment table (E1–E14) — the data recorded in
 //! EXPERIMENTS.md.
 //!
 //! Usage:
@@ -96,6 +96,16 @@ fn main() {
                 counts
             )
         );
+    }
+    if want("e14") {
+        let w = Workload::fib(if quick { 12 } else { 14 });
+        println!("{}", ex::e14_sharding(&w));
+        let lats: &[u64] = if quick {
+            &[0, 1_000, 5_000]
+        } else {
+            &[0, 200, 1_000, 5_000, 20_000]
+        };
+        println!("{}", ex::e14_router_latency(&w, lats));
     }
     if want("e12") {
         println!(

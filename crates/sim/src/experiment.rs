@@ -741,6 +741,112 @@ pub fn e13_splice_grace(w: &Workload, graces: &[u64]) -> Table {
     t
 }
 
+// ---------------------------------------------------------------------------
+// E14 — sharded substrate (extension)
+// ---------------------------------------------------------------------------
+
+/// E14a (extension): whole-shard failure vs shard count, at 16 processors.
+///
+/// The paper argues recovery cost scales with the number of processors, but
+/// a flat interconnect hides the cost of recovering *across* a partition
+/// boundary. Here the 16 processors are split into 2/4/8 shards behind an
+/// inter-shard router and the entire last shard dies mid-run: the surviving
+/// shards must splice-recover the lost subtrees through the router.
+pub fn e14_sharding(w: &Workload) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E14a (extension): whole-shard crash vs shard count, 16 procs [{}]",
+            w.name
+        ),
+        &[
+            "shards",
+            "ff finish",
+            "inter msgs",
+            "inter share",
+            "crash finish",
+            "slowdown",
+            "correct",
+            "reissues",
+            "salvaged",
+        ],
+    );
+    for shards in [2u32, 4, 8] {
+        let per_shard = 16 / shards;
+        let mut cfg = MachineConfig::sharded(shards, per_shard, 400);
+        cfg.recovery.mode = RecoveryMode::Splice;
+        // Round-robin spreads the tree across every shard, so the dying
+        // shard demonstrably holds live work (gradient placement keeps
+        // most of a small tree at home, making the crash vacuous).
+        cfg.policy = Policy::RoundRobin;
+        let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+        let crash = VirtualTime(fault_free.finish.ticks() / 2);
+        let faults = FaultPlan::crash_shard(shards - 1, per_shard, crash);
+        let r = run_workload(cfg, w, &faults);
+        let correct = r.result == Some(w.reference_result().unwrap());
+        let total = fault_free.shard_msgs_intra + fault_free.shard_msgs_inter;
+        t.row(vec![
+            shards.to_string(),
+            fault_free.finish.ticks().to_string(),
+            fault_free.shard_msgs_inter.to_string(),
+            fmt_f(fault_free.shard_msgs_inter as f64 / total.max(1) as f64),
+            r.finish.ticks().to_string(),
+            fmt_f(r.slowdown_vs(&fault_free)),
+            correct.to_string(),
+            r.stats.reissues.to_string(),
+            r.stats.salvaged_results.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E14b (extension): recovery latency vs inter-shard router latency, on a
+/// fixed 4×4 sharded machine losing one whole shard mid-run. The router
+/// surcharge is paid by every *worker-to-worker* message that crosses the
+/// boundary — reissued spawns, their acks, salvage relays between
+/// surviving engines — so recovery slows as the partitions move "further"
+/// apart (the driver link to the super-root and the detector's failure
+/// notices are out-of-band and stay unrouted). To keep router latency the
+/// only variable, every row runs with the same ack timeout, sized for the
+/// largest latency in the sweep.
+pub fn e14_router_latency(w: &Workload, latencies: &[u64]) -> Table {
+    let max_lat = latencies.iter().copied().max().unwrap_or(0);
+    let mut t = Table::new(
+        format!(
+            "E14b (extension): whole-shard crash vs router latency, 4×4 [{}]",
+            w.name
+        ),
+        &[
+            "router latency",
+            "ff finish",
+            "crash finish",
+            "slowdown",
+            "correct",
+            "inter msgs (crash)",
+        ],
+    );
+    for &lat in latencies {
+        let mut cfg = MachineConfig::sharded(4, 4, lat);
+        cfg.recovery.mode = RecoveryMode::Splice;
+        cfg.policy = Policy::RoundRobin;
+        // Uniform timeout across rows (sharded() scales it with the row's
+        // own latency, which would confound the sweep's single axis).
+        cfg.recovery.ack_timeout = MachineConfig::sharded(4, 4, max_lat).recovery.ack_timeout;
+        let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+        let crash = VirtualTime(fault_free.finish.ticks() / 2);
+        let r = run_workload(cfg, w, &FaultPlan::crash_shard(3, 4, crash));
+        let correct = r.result == Some(w.reference_result().unwrap());
+        t.row(vec![
+            lat.to_string(),
+            fault_free.finish.ticks().to_string(),
+            r.finish.ticks().to_string(),
+            fmt_f(r.slowdown_vs(&fault_free)),
+            correct.to_string(),
+            r.shard_msgs_inter.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,6 +918,36 @@ mod tests {
         assert!(
             before_lazy >= before_eager,
             "grace should move salvage to the before-spawn cases: {t}"
+        );
+    }
+
+    #[test]
+    fn e14_survives_whole_shard_loss_at_every_scale() {
+        let w = Workload::fib(12);
+        let t = e14_sharding(&w);
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            assert_eq!(row[6], "true", "shards={} must stay correct", row[0]);
+            assert!(
+                row[2].parse::<u64>().unwrap() > 0,
+                "shards={}: no router traffic",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn e14_recovery_pays_for_router_latency() {
+        let w = Workload::fib(12);
+        let t = e14_router_latency(&w, &[0, 2_000]);
+        for row in &t.rows {
+            assert_eq!(row[4], "true", "latency={} must stay correct", row[0]);
+        }
+        let near: u64 = t.rows[0][2].parse().unwrap();
+        let far: u64 = t.rows[1][2].parse().unwrap();
+        assert!(
+            far > near,
+            "a further router must slow the recovered run: {near} vs {far}"
         );
     }
 

@@ -26,7 +26,7 @@ use splice_core::stamp::LevelStamp;
 use splice_gradient::Policy;
 use splice_harness::{
     corrupt_value, death_notice_targets, dispatch, DriverLoop, EngineSnapshot, EngineTotals,
-    Substrate, SuperRootDriver,
+    ShardMap, ShardRouter, Substrate, SuperRootDriver,
 };
 use splice_simnet::detect::DetectorConfig;
 use splice_simnet::fault::{FaultKind, FaultPlan};
@@ -52,6 +52,9 @@ pub struct MachineConfig {
     pub recovery: RecoveryConfig,
     /// Execution cost model.
     pub cost: CostModel,
+    /// Extra delivery latency per message crossing a shard boundary (the
+    /// inter-shard router's fixed cost; inert on flat topologies).
+    pub router_latency: u64,
     /// Seed for stochastic placers and jitter.
     pub seed: u64,
     /// Hard event budget (guards against divergence).
@@ -73,11 +76,37 @@ impl MachineConfig {
             policy: Policy::Gradient,
             recovery: RecoveryConfig::default(),
             cost: CostModel::default(),
+            router_latency: 0,
             seed: 1,
             max_events: 200_000_000,
             max_time: VirtualTime(u64::MAX / 4),
             trace: 0,
         }
+    }
+
+    /// A sharded machine: `shards` shards of `per_shard` fully-connected
+    /// processors each, joined by an inter-shard router that adds
+    /// `router_latency` ticks to every boundary crossing and carries
+    /// payload at a third of the intra-shard bandwidth
+    /// (`link.inter_unit = 2 × per_unit`). Any workload and fault plan
+    /// runs unchanged; cross-shard traffic is counted separately in the
+    /// report.
+    pub fn sharded(shards: u32, per_shard: u32, router_latency: u64) -> MachineConfig {
+        let mut cfg = MachineConfig::new(shards * per_shard);
+        cfg.topology = Topology::Sharded {
+            shards,
+            inner: Box::new(Topology::Complete { n: per_shard }),
+        };
+        cfg.router_latency = router_latency;
+        cfg.link.inter_unit = 2 * cfg.link.per_unit;
+        // The spawn/ack round trip can cross the router up to twice per
+        // forwarding hop; an ack timeout tuned for a flat interconnect
+        // sits right on top of that round trip and degenerates into a
+        // reissue storm (every cross-shard spawn reissued just before its
+        // ack lands, duplicating subtrees faster than they retire). Keep
+        // the timeout clear of the router.
+        cfg.recovery.ack_timeout += 4 * router_latency;
+        cfg
     }
 }
 
@@ -129,6 +158,16 @@ struct SimSubstrate {
     dropped_to_dead: u64,
     bounces: u64,
     alive: Vec<bool>,
+    /// Processors still alive (`alive` popcount, kept incrementally).
+    live_count: u32,
+    /// Pending queue entries that are *not* `Ev::Sample`. The sampler
+    /// reschedules itself unconditionally, so the queue alone never
+    /// drains; this counter is what quiescence detection watches.
+    pending_real: u64,
+    /// Pending deliveries addressed to the super-root. The driver link is
+    /// reliable, so even with every processor dead these must land before
+    /// the run may be declared stalled — one of them can be the result.
+    pending_sr_deliver: u64,
     corrupting: Vec<bool>,
     busy_until: Vec<VirtualTime>,
     step_pending: Vec<bool>,
@@ -141,6 +180,30 @@ struct SimSubstrate {
 impl SimSubstrate {
     fn live(&self, p: ProcId) -> bool {
         self.alive.get(p.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Schedules `ev`, keeping the non-Sample and super-root-delivery
+    /// pending counts in sync. Every push goes through here, and every pop
+    /// through [`SimSubstrate::on_pop`] — the two classifications must
+    /// stay exact mirrors.
+    fn sched(&mut self, at: VirtualTime, ev: Ev) {
+        if !matches!(ev, Ev::Sample) {
+            self.pending_real += 1;
+        }
+        if matches!(ev, Ev::Deliver { to, .. } if to.is_super_root()) {
+            self.pending_sr_deliver += 1;
+        }
+        self.queue.push(at, ev);
+    }
+
+    /// Un-counts a popped event — the exact mirror of [`SimSubstrate::sched`].
+    fn on_pop(&mut self, ev: &Ev) {
+        if !matches!(ev, Ev::Sample) {
+            self.pending_real -= 1;
+        }
+        if matches!(ev, Ev::Deliver { to, .. } if to.is_super_root()) {
+            self.pending_sr_deliver -= 1;
+        }
     }
 }
 
@@ -157,7 +220,11 @@ impl Substrate for SimSubstrate {
         self.now.ticks()
     }
 
-    fn send(&mut self, from: ProcId, to: ProcId, mut msg: Msg) {
+    fn send(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+        self.send_delayed(from, to, msg, 0);
+    }
+
+    fn send_delayed(&mut self, from: ProcId, to: ProcId, mut msg: Msg, extra: u64) {
         self.msg_seq += 1;
         let at = self.now;
         // A corrupting processor emits detectably wrong replica results
@@ -172,15 +239,16 @@ impl Substrate for SimSubstrate {
         }
         if to.is_super_root() {
             // The driver link is reliable with base latency.
-            let latency = self.cfg.link.base;
-            self.queue.push(at + latency, Ev::Deliver { from, to, msg });
+            let latency = self.cfg.link.base + extra;
+            self.sched(at + latency, Ev::Deliver { from, to, msg });
             return;
         }
         // Dead destination known to the transport: the sender's best-effort
-        // delivery fails and it learns the destination is unreachable.
+        // delivery fails and it learns the destination is unreachable (the
+        // failed attempt still pays any router surcharge).
         if !self.live(to) && !from.is_super_root() {
-            let bounce_at = self.cfg.detector.bounce_time(at);
-            self.queue.push(
+            let bounce_at = self.cfg.detector.bounce_time(at) + extra;
+            self.sched(
                 bounce_at,
                 Ev::Bounce {
                     sender: from,
@@ -194,13 +262,13 @@ impl Substrate for SimSubstrate {
         let latency = self
             .cfg
             .link
-            .latency(&self.cfg.topology, src, dst, msg.size(), self.msg_seq);
-        self.queue.push(at + latency, Ev::Deliver { from, to, msg });
+            .latency(&self.cfg.topology, src, dst, msg.size(), self.msg_seq)
+            + extra;
+        self.sched(at + latency, Ev::Deliver { from, to, msg });
     }
 
     fn arm_timer(&mut self, owner: ProcId, timer: Timer, delay: u64) {
-        self.queue
-            .push(self.now + delay, Ev::Timer { proc: owner, timer });
+        self.sched(self.now + delay, Ev::Timer { proc: owner, timer });
     }
 
     fn report_death(&mut self, dead: ProcId) {
@@ -209,7 +277,7 @@ impl Substrate for SimSubstrate {
         let targets = death_notice_targets(self.n_procs(), |p| self.live(p), dead);
         for (peer_index, to) in targets.into_iter().enumerate() {
             if let Some(at) = self.cfg.detector.notice_time(self.now, peer_index as u32) {
-                self.queue.push(at, Ev::Notice { to, dead });
+                self.sched(at, Ev::Notice { to, dead });
             }
         }
     }
@@ -219,7 +287,7 @@ impl Substrate for SimSubstrate {
         // it is still alive when the wave completes.
         let done = self.now + self.cfg.cost.wave_cost(work);
         self.busy_until[proc.0 as usize] = done;
-        self.queue.push(done, Ev::Effects { proc, actions });
+        self.sched(done, Ev::Effects { proc, actions });
     }
 }
 
@@ -228,7 +296,11 @@ pub struct Machine {
     program: Arc<Program>,
     nodes: Vec<DriverLoop>,
     superroot: SuperRootDriver,
-    sub: SimSubstrate,
+    /// The substrate behind the inter-shard router. On flat topologies the
+    /// router is a single-shard pass-through, so every machine is built the
+    /// same way; on `Topology::Sharded` it charges `cfg.router_latency` per
+    /// boundary crossing and counts cross-shard traffic.
+    sub: ShardRouter<SimSubstrate>,
     /// When enabled, records `(time, stamp, proc)` at every task creation.
     log_spawns: bool,
     spawn_log: Vec<(u64, LevelStamp, ProcId)>,
@@ -266,6 +338,8 @@ impl Machine {
         }
         let superroot = SuperRootDriver::new(workload, &cfg.recovery);
         let trace = Trace::new(cfg.trace);
+        let map = ShardMap::new(cfg.topology.shard_count(), cfg.topology.per_shard());
+        let router_latency = cfg.router_latency;
         let sub = SimSubstrate {
             queue: EventQueue::new(),
             now: VirtualTime::ZERO,
@@ -274,6 +348,9 @@ impl Machine {
             dropped_to_dead: 0,
             bounces: 0,
             alive: vec![true; n as usize],
+            live_count: n,
+            pending_real: 0,
+            pending_sr_deliver: 0,
             corrupting: vec![false; n as usize],
             busy_until: vec![VirtualTime::ZERO; n as usize],
             step_pending: vec![false; n as usize],
@@ -282,6 +359,7 @@ impl Machine {
             trace,
             cfg,
         };
+        let sub = ShardRouter::new(sub, map, router_latency);
         Machine {
             program,
             nodes,
@@ -327,12 +405,12 @@ impl Machine {
             .sum()
     }
 
-    /// Runs the workload under `faults` to completion (or until a budget
-    /// trips) and reports.
+    /// Runs the workload under `faults` to completion (or until it
+    /// quiesces without a result, or a budget trips) and reports.
     pub fn run(mut self, faults: &FaultPlan) -> RunReport {
         // Schedule faults.
         for f in faults.sorted() {
-            self.sub.queue.push(
+            self.sub.sched(
                 f.at,
                 Ev::Fault {
                     victim: ProcId(f.victim),
@@ -347,15 +425,18 @@ impl Machine {
         // Launch the program.
         self.superroot.launch(&mut self.sub);
         let first_sample = self.sub.now + self.sub.sample_period;
-        self.sub.queue.push(first_sample, Ev::Sample);
+        self.sub.sched(first_sample, Ev::Sample);
 
         let mut events: u64 = 0;
         let mut finish: Option<VirtualTime> = None;
+        let mut budget_tripped = false;
         while let Some((at, ev)) = self.sub.queue.pop() {
             debug_assert!(at >= self.sub.now, "time must not run backwards");
             self.sub.now = at;
+            self.sub.on_pop(&ev);
             events += 1;
             if events > self.sub.cfg.max_events || self.sub.now > self.sub.cfg.max_time {
+                budget_tripped = true;
                 break;
             }
             self.handle(ev);
@@ -363,9 +444,23 @@ impl Machine {
                 finish = Some(self.sub.now);
                 break;
             }
+            // With every processor dead and nothing still in flight on the
+            // reliable driver link, the result can never arrive; only the
+            // sampler and the super-root's hopeless reissue cycle would
+            // keep the queue busy (historically all the way to
+            // `max_events`). Quiesce as stalled instead. Pending super-root
+            // deliveries must drain first: one of them can be the result a
+            // worker emitted just before the massacre.
+            if self.sub.live_count == 0 && self.sub.pending_sr_deliver == 0 {
+                break;
+            }
         }
 
-        self.build_report(events, finish, faults)
+        // Any exit without a result that is not a budget trip is
+        // quiescence: nothing left in the system could have produced the
+        // answer.
+        let stalled = finish.is_none() && !budget_tripped;
+        self.build_report(events, finish, stalled, faults)
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -400,8 +495,20 @@ impl Machine {
             Ev::Sample => {
                 let sample = (self.sub.now.ticks(), self.live_tasks());
                 self.sub.state_samples.push(sample);
-                let next = self.sub.now + self.sub.sample_period;
-                self.sub.queue.push(next, Ev::Sample);
+                // Stop the self-rescheduling cycle once nothing but
+                // sampling remains and no live engine holds runnable work:
+                // the run is quiesced and the queue must be allowed to
+                // drain (otherwise a stalled run grinds through
+                // `max_events` pops of pure sampling).
+                let ready_somewhere = self
+                    .nodes
+                    .iter()
+                    .zip(&self.sub.alive)
+                    .any(|(n, alive)| *alive && n.has_ready());
+                if self.sub.pending_real > 0 || ready_somewhere {
+                    let next = self.sub.now + self.sub.sample_period;
+                    self.sub.sched(next, Ev::Sample);
+                }
             }
             Ev::Effects { proc, actions } => {
                 if self.sub.live(proc) {
@@ -456,7 +563,7 @@ impl Machine {
         if self.sub.alive[i] && !self.sub.step_pending[i] && self.nodes[i].has_ready() {
             self.sub.step_pending[i] = true;
             let at = self.sub.busy_until[i].max(self.sub.now);
-            self.sub.queue.push(at, Ev::Step { proc });
+            self.sub.sched(at, Ev::Step { proc });
         }
     }
 
@@ -466,6 +573,13 @@ impl Machine {
         };
         match kind {
             FaultKind::Corrupt => {
+                // A crashed processor is fail-silent — it cannot start
+                // emitting corrupted messages. Keeping this a no-op (no
+                // flag, no trace event) makes corrupt-after-crash plans
+                // behave identically to crash-only plans on every backend.
+                if !*alive {
+                    return;
+                }
                 self.sub.corrupting[victim.0 as usize] = true;
                 let now = self.sub.now;
                 self.sub
@@ -477,6 +591,7 @@ impl Machine {
                     return;
                 }
                 *alive = false;
+                self.sub.live_count -= 1;
                 let now = self.sub.now;
                 self.sub.trace.record(now, "crash", || format!("{victim}"));
                 self.sub.report_death(victim);
@@ -488,13 +603,17 @@ impl Machine {
         &mut self,
         events: u64,
         finish: Option<VirtualTime>,
+        stalled: bool,
         faults: &FaultPlan,
     ) -> RunReport {
         let totals =
             EngineTotals::collect(self.nodes.iter().map(|n| EngineSnapshot::of(n.engine())));
+        let shard_stats = self.sub.stats();
+        let (shard_msgs_intra, shard_msgs_inter) = (shard_stats.intra_msgs, shard_stats.inter_msgs);
         RunReport {
             result: self.superroot.result().cloned(),
             completed: finish.is_some(),
+            stalled,
             finish: finish.unwrap_or(self.sub.now),
             events,
             delivered: self.sub.delivered,
@@ -509,6 +628,9 @@ impl Machine {
             state_samples: std::mem::take(&mut self.sub.state_samples),
             spawn_log: std::mem::take(&mut self.spawn_log),
             n_procs: self.nodes.len() as u32,
+            shards: self.sub.map().shards,
+            shard_msgs_intra,
+            shard_msgs_inter,
             faults: faults.events.len(),
         }
     }
@@ -601,6 +723,168 @@ mod tests {
         assert_eq!(a.finish, b.finish);
         assert_eq!(a.events, b.events);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn all_crash_plan_quiesces_far_below_the_event_budget() {
+        // Kill every processor mid-run: the result can never arrive. The
+        // seed behaviour was to grind through all 200M `max_events` pops
+        // (the sampler reschedules itself unconditionally and the
+        // super-root reissues into the void forever); quiescence detection
+        // must report `stalled` after a vanishing fraction of that.
+        let w = Workload::fib(12);
+        let c = cfg(4);
+        let max_events = c.max_events;
+        let mut faults = FaultPlan::none();
+        for p in 0..4 {
+            faults = faults.and(p, VirtualTime(2_000), FaultKind::Crash);
+        }
+        let report = run_workload(c, &w, &faults);
+        assert!(!report.completed);
+        assert!(report.stalled, "all-dead run must be reported as stalled");
+        assert_eq!(report.result, None);
+        assert!(
+            report.events < max_events / 100,
+            "stall detected after {} events (budget {})",
+            report.events,
+            max_events
+        );
+    }
+
+    #[test]
+    fn all_crash_after_result_sent_still_completes() {
+        // The root result leaves its worker `link.base` ticks before the
+        // super-root receives it. Killing every processor inside that
+        // window must NOT be declared a stall: the driver link is reliable
+        // and the in-flight delivery still lands.
+        let w = Workload::fib(10);
+        let ff = run_workload(cfg(4), &w, &FaultPlan::none());
+        let crash = VirtualTime(ff.finish.ticks() - 1);
+        let mut faults = FaultPlan::none();
+        for p in 0..4 {
+            faults = faults.and(p, crash, FaultKind::Crash);
+        }
+        let report = run_workload(cfg(4), &w, &faults);
+        assert!(report.completed, "in-flight result was discarded");
+        assert!(!report.stalled);
+        assert_eq!(report.result, Some(w.reference_result().unwrap()));
+    }
+
+    #[test]
+    fn completed_and_budget_tripped_runs_are_not_stalled() {
+        let w = Workload::fib(10);
+        let ok = run_workload(cfg(4), &w, &FaultPlan::none());
+        assert!(ok.completed && !ok.stalled);
+        let mut tight = cfg(4);
+        tight.max_events = 50;
+        let cut = run_workload(tight, &w, &FaultPlan::none());
+        assert!(!cut.completed);
+        assert!(!cut.stalled, "a budget trip is not quiescence");
+    }
+
+    #[test]
+    fn corrupt_after_crash_is_inert() {
+        // Corrupting an already-crashed (fail-silent) processor must change
+        // nothing: the victim can emit no messages, valid or corrupt.
+        let w = Workload::fib(12);
+        let mut c = cfg(4);
+        c.recovery.mode = RecoveryMode::Splice;
+        let crash_only = FaultPlan::crash_at(2, VirtualTime(3_000));
+        let with_corrupt = crash_only
+            .clone()
+            .and(2, VirtualTime(4_000), FaultKind::Corrupt);
+        let a = run_workload(c.clone(), &w, &crash_only);
+        let b = run_workload(c, &w, &with_corrupt);
+        assert!(a.completed && b.completed);
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.delivered, b.delivered);
+        // The only difference is the popped (no-op) fault event itself.
+        assert_eq!(b.events, a.events + 1);
+    }
+
+    #[test]
+    fn sharded_machine_runs_the_small_suite() {
+        // Acceptance: ≥ 4 shards × 4 processors completes every small-suite
+        // workload with the reference result, and traffic actually crosses
+        // the router.
+        for w in Workload::suite_small() {
+            let mut c = MachineConfig::sharded(4, 4, 200);
+            c.recovery.load_beacon_period = 200;
+            let report = run_workload(c, &w, &FaultPlan::none());
+            assert!(report.completed, "{}", w.name);
+            assert_eq!(
+                report.result,
+                Some(w.reference_result().unwrap()),
+                "{}",
+                w.name
+            );
+            assert_eq!(report.shards, 4);
+            assert!(
+                report.shard_msgs_inter > 0,
+                "{}: no traffic crossed the router",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn whole_shard_crash_is_survived_via_cross_shard_splice() {
+        let w = Workload::fib(13);
+        let mut c = MachineConfig::sharded(4, 4, 200);
+        c.recovery.mode = RecoveryMode::Splice;
+        c.recovery.load_beacon_period = 200;
+        // Shard 1 (processors 4..8) dies wholesale mid-run.
+        let faults = FaultPlan::crash_shard(1, 4, VirtualTime(3_000));
+        let report = run_workload(c, &w, &faults);
+        assert!(report.completed, "sharded run stalled");
+        assert_eq!(report.result, Some(w.reference_result().unwrap()));
+        assert!(report.shard_msgs_inter > 0);
+    }
+
+    #[test]
+    fn early_shard_crash_survives_the_slow_ack_fast_notice_race() {
+        // Regression: with a 400-tick router, placement acks from the dying
+        // shard are still in flight when the 200-tick failure notices land.
+        // The notice-time recovery pass finds no checkpoint keyed to the
+        // dead processors (unacked placements have no destination yet), and
+        // the late corpse acks used to be recorded as live placements —
+        // wedging every waiting parent into a permanent quiescent stall.
+        // Engine::on_ack now reissues on an ack from a known-dead host.
+        let w = Workload::fib(13);
+        for crash in [2_000u64, 3_000] {
+            let mut c = MachineConfig::sharded(4, 4, 400);
+            c.policy = Policy::RoundRobin;
+            let faults = FaultPlan::crash_shard(3, 4, VirtualTime(crash));
+            let report = run_workload(c, &w, &faults);
+            assert!(report.completed, "crash@{crash} stalled");
+            assert!(!report.stalled);
+            assert_eq!(
+                report.result,
+                Some(w.reference_result().unwrap()),
+                "crash@{crash}"
+            );
+        }
+    }
+
+    #[test]
+    fn router_latency_slows_cross_shard_runs() {
+        let w = Workload::fib(12);
+        let mut near = MachineConfig::sharded(4, 2, 0);
+        near.recovery.load_beacon_period = 200;
+        let mut far = near.clone();
+        far.router_latency = 2_000;
+        let a = run_workload(near, &w, &FaultPlan::none());
+        let b = run_workload(far, &w, &FaultPlan::none());
+        assert!(a.completed && b.completed);
+        assert_eq!(a.result, b.result);
+        assert!(
+            b.finish > a.finish,
+            "router latency must be visible: {} vs {}",
+            a.finish,
+            b.finish
+        );
     }
 
     #[test]

@@ -12,6 +12,12 @@ pub struct RunReport {
     pub result: Option<Value>,
     /// True when the super-root observed the root result within budget.
     pub completed: bool,
+    /// True when the run quiesced without a result: every processor dead,
+    /// or nothing left but sampling and no runnable work. Distinct from a
+    /// budget trip (`completed == false && stalled == false`), which means
+    /// the machine was still making progress when `max_events`/`max_time`
+    /// cut it off.
+    pub stalled: bool,
     /// Completion time (or the time the budget tripped).
     pub finish: VirtualTime,
     /// Events processed.
@@ -44,6 +50,13 @@ pub struct RunReport {
     )>,
     /// Processor count.
     pub n_procs: u32,
+    /// Shard count (1 on flat topologies).
+    pub shards: u32,
+    /// Worker messages that stayed inside one shard (all of them on flat
+    /// topologies).
+    pub shard_msgs_intra: u64,
+    /// Worker messages that crossed the inter-shard router.
+    pub shard_msgs_inter: u64,
     /// Number of injected faults.
     pub faults: usize,
 }
@@ -94,14 +107,22 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "completed={} finish={} events={} delivered={} dropped={} bounces={}",
+            "completed={} stalled={} finish={} events={} delivered={} dropped={} bounces={}",
             self.completed,
+            self.stalled,
             self.finish,
             self.events,
             self.delivered,
             self.dropped_to_dead,
             self.bounces
         )?;
+        if self.shards > 1 {
+            writeln!(
+                f,
+                "shards={} intra={} inter={}",
+                self.shards, self.shard_msgs_intra, self.shard_msgs_inter
+            )?;
+        }
         write!(f, "{}", self.stats)
     }
 }
@@ -124,6 +145,7 @@ mod tests {
         RunReport {
             result: None,
             completed: true,
+            stalled: false,
             finish: VirtualTime(finish),
             events: 0,
             delivered: 0,
@@ -138,6 +160,9 @@ mod tests {
             state_samples: vec![],
             spawn_log: vec![],
             n_procs: work.len() as u32,
+            shards: 1,
+            shard_msgs_intra: 0,
+            shard_msgs_inter: 0,
             faults: 0,
         }
     }

@@ -63,6 +63,21 @@ impl FaultPlan {
         self
     }
 
+    /// Crashes every processor of `shard` (with `per_shard` processors per
+    /// shard) at `at` — whole-shard failure on a sharded machine, e.g. the
+    /// loss of one rack or OS process.
+    pub fn crash_shard(shard: u32, per_shard: u32, at: VirtualTime) -> FaultPlan {
+        FaultPlan {
+            events: (shard * per_shard..(shard + 1) * per_shard)
+                .map(|victim| FaultEvent {
+                    at,
+                    victim,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        }
+    }
+
     /// `k` distinct random victims crashing at times drawn uniformly from
     /// `[window.0, window.1)`. Never selects processor ids in `protect`.
     pub fn random_crashes(
@@ -136,6 +151,16 @@ mod tests {
             assert_ne!(e.victim, 0, "protected");
             assert!(e.at >= w.0 && e.at < w.1);
         }
+    }
+
+    #[test]
+    fn crash_shard_covers_exactly_the_shard() {
+        let p = FaultPlan::crash_shard(2, 4, VirtualTime(500));
+        assert_eq!(p.events.len(), 4);
+        assert_eq!(p.crashes(), 4);
+        let victims: Vec<u32> = p.sorted().iter().map(|e| e.victim).collect();
+        assert_eq!(victims, vec![8, 9, 10, 11]);
+        assert!(p.events.iter().all(|e| e.at == VirtualTime(500)));
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //!
 //! Message delivery time is `base + per_hop·hops + per_unit·size`, with an
 //! optional deterministic jitter derived from a seed so repeated runs stay
-//! reproducible.
+//! reproducible. On a [`Topology::Sharded`] machine a message that crosses
+//! a shard boundary additionally pays `inter_unit` per payload unit — the
+//! (lower) bandwidth of the inter-shard router link; the router's fixed
+//! latency is charged by the harness-side `ShardRouter`, not here.
 
 use crate::topology::Topology;
 
@@ -15,6 +18,10 @@ pub struct LinkModel {
     pub per_hop: u64,
     /// Added per abstract payload unit.
     pub per_unit: u64,
+    /// Added per abstract payload unit when the message crosses a shard
+    /// boundary (router bandwidth; 0 on flat topologies and for messages
+    /// that stay inside one shard).
+    pub inter_unit: u64,
     /// Maximum extra jitter ticks (0 disables jitter).
     pub jitter: u64,
 }
@@ -25,6 +32,7 @@ impl Default for LinkModel {
             base: 8,
             per_hop: 4,
             per_unit: 1,
+            inter_unit: 0,
             jitter: 0,
         }
     }
@@ -38,6 +46,7 @@ impl LinkModel {
             base: 0,
             per_hop: 0,
             per_unit: 0,
+            inter_unit: 0,
             jitter: 0,
         }
     }
@@ -51,7 +60,11 @@ impl LinkModel {
         } else {
             topo.distance(src, dst) as u64
         };
-        let deterministic = self.base + self.per_hop * hops + self.per_unit * size as u64;
+        let mut per_unit = self.per_unit;
+        if src != dst && !topo.same_shard(src, dst) {
+            per_unit += self.inter_unit;
+        }
+        let deterministic = self.base + self.per_hop * hops + per_unit * size as u64;
         if self.jitter == 0 {
             deterministic
         } else {
@@ -78,6 +91,7 @@ mod tests {
             base: 10,
             per_hop: 5,
             per_unit: 2,
+            inter_unit: 0,
             jitter: 0,
         };
         let ring = Topology::Ring { n: 8 };
@@ -93,6 +107,7 @@ mod tests {
             base: 1,
             per_hop: 0,
             per_unit: 0,
+            inter_unit: 0,
             jitter: 9,
         };
         let t = Topology::Complete { n: 2 };
@@ -105,6 +120,28 @@ mod tests {
         }
         // Different streams eventually differ.
         assert!((0..20).any(|s| m.latency(&t, 0, 1, 0, s) != a));
+    }
+
+    #[test]
+    fn inter_shard_bandwidth_is_charged_only_across_the_boundary() {
+        let m = LinkModel {
+            base: 0,
+            per_hop: 0,
+            per_unit: 1,
+            inter_unit: 3,
+            jitter: 0,
+        };
+        let t = Topology::Sharded {
+            shards: 2,
+            inner: Box::new(Topology::Complete { n: 2 }),
+        };
+        // Intra-shard: per_unit only.
+        assert_eq!(m.latency(&t, 0, 1, 5, 0), 5);
+        // Cross-shard: per_unit + inter_unit per payload unit.
+        assert_eq!(m.latency(&t, 1, 2, 5, 0), 20);
+        // Flat topology: same_shard is always true.
+        let flat = Topology::Complete { n: 4 };
+        assert_eq!(m.latency(&flat, 0, 3, 5, 0), 5);
     }
 
     #[test]

@@ -45,6 +45,23 @@ pub enum Topology {
         /// Dimension.
         dim: u32,
     },
+    /// `shards` copies of `inner` joined by an inter-shard router.
+    ///
+    /// Processor `p` lives in shard `p / inner.len()` with local index
+    /// `p % inner.len()`. Local index 0 of every shard is its *gateway*;
+    /// the gateways form a complete graph (the router fabric), so every
+    /// cross-shard path is `a → gateway(a) → gateway(b) → b` and pays one
+    /// router hop on top of the intra-shard distances. The extra latency
+    /// and bandwidth of the router link itself are modelled by
+    /// [`crate::link::LinkModel`] and the harness-side shard router, not
+    /// by hop count alone.
+    Sharded {
+        /// Number of shards.
+        shards: u32,
+        /// Topology within each shard (defines the per-shard processor
+        /// count).
+        inner: Box<Topology>,
+    },
 }
 
 impl Topology {
@@ -57,12 +74,43 @@ impl Topology {
             | Topology::Star { n } => *n,
             Topology::Mesh { w, h, .. } => w * h,
             Topology::Hypercube { dim } => 1 << dim,
+            Topology::Sharded { shards, inner } => shards * inner.len(),
         }
     }
 
     /// True when the topology has no processors.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of shards (1 for every flat topology).
+    pub fn shard_count(&self) -> u32 {
+        match self {
+            Topology::Sharded { shards, .. } => *shards,
+            _ => 1,
+        }
+    }
+
+    /// Processors per shard (= `len()` for flat topologies).
+    pub fn per_shard(&self) -> u32 {
+        match self {
+            Topology::Sharded { inner, .. } => inner.len(),
+            _ => self.len(),
+        }
+    }
+
+    /// The shard that hosts processor `p` (0 for flat topologies).
+    pub fn shard_of(&self, p: u32) -> u32 {
+        match self {
+            Topology::Sharded { inner, .. } => p / inner.len().max(1),
+            _ => 0,
+        }
+    }
+
+    /// True when `a` and `b` live in the same shard (always true on flat
+    /// topologies).
+    pub fn same_shard(&self, a: u32, b: u32) -> bool {
+        self.shard_of(a) == self.shard_of(b)
     }
 
     /// Direct neighbours of `p`.
@@ -127,6 +175,22 @@ impl Topology {
                 v
             }
             Topology::Hypercube { dim } => (0..*dim).map(|d| p ^ (1 << d)).collect(),
+            Topology::Sharded { shards, inner } => {
+                let per = inner.len();
+                let (shard, local) = (p / per, p % per);
+                let mut v: Vec<u32> = inner
+                    .neighbors(local)
+                    .into_iter()
+                    .map(|q| shard * per + q)
+                    .collect();
+                // Gateways reach every other shard's gateway through the
+                // router fabric.
+                if local == 0 {
+                    v.extend((0..*shards).filter(|&t| t != shard).map(|t| t * per));
+                }
+                v.sort_unstable();
+                v
+            }
         }
     }
 
@@ -161,6 +225,17 @@ impl Topology {
                 }
             }
             Topology::Hypercube { .. } => (a ^ b).count_ones(),
+            Topology::Sharded { inner, .. } => {
+                let per = inner.len();
+                let (la, lb) = (a % per, b % per);
+                if a / per == b / per {
+                    // Any path that leaves the shard must cross its own
+                    // gateway twice, so the inner distance is never beaten.
+                    inner.distance(la, lb)
+                } else {
+                    inner.distance(la, 0) + 1 + inner.distance(0, lb)
+                }
+            }
         }
     }
 
@@ -187,6 +262,17 @@ impl Topology {
                 }
             }
             Topology::Hypercube { dim } => *dim,
+            Topology::Sharded { shards, inner } => {
+                if *shards <= 1 {
+                    return inner.diameter();
+                }
+                // Worst pair: deepest node of one shard to the deepest node
+                // of another, through both gateways and the router. The
+                // intra-shard diameter never exceeds 2·ecc(gateway) by the
+                // triangle inequality through the gateway.
+                let ecc0 = inner.bfs_distances(0).into_iter().max().unwrap_or(0);
+                2 * ecc0 + 1
+            }
         }
     }
 
@@ -231,6 +317,22 @@ mod tests {
                 wrap: true,
             },
             Topology::Hypercube { dim: 4 },
+            Topology::Sharded {
+                shards: 3,
+                inner: Box::new(Topology::Complete { n: 4 }),
+            },
+            Topology::Sharded {
+                shards: 4,
+                inner: Box::new(Topology::Mesh {
+                    w: 2,
+                    h: 2,
+                    wrap: false,
+                }),
+            },
+            Topology::Sharded {
+                shards: 2,
+                inner: Box::new(Topology::Line { n: 3 }),
+            },
         ]
     }
 
@@ -290,6 +392,42 @@ mod tests {
         assert_eq!(t.neighbors(0), vec![1]);
         assert_eq!(t.neighbors(1), vec![0]);
         assert_eq!(t.distance(0, 1), 1);
+    }
+
+    #[test]
+    fn sharded_structure() {
+        // 3 shards × 4 processors; gateways are 0, 4, 8.
+        let t = Topology::Sharded {
+            shards: 3,
+            inner: Box::new(Topology::Complete { n: 4 }),
+        };
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.shard_count(), 3);
+        assert_eq!(t.per_shard(), 4);
+        assert_eq!(t.shard_of(0), 0);
+        assert_eq!(t.shard_of(5), 1);
+        assert_eq!(t.shard_of(11), 2);
+        assert!(t.same_shard(4, 7));
+        assert!(!t.same_shard(3, 4));
+        // A gateway sees its shard plus the other gateways.
+        assert_eq!(t.neighbors(4), vec![0, 5, 6, 7, 8]);
+        // A non-gateway sees only its shard.
+        assert_eq!(t.neighbors(5), vec![4, 6, 7]);
+        // Intra-shard distance is the inner distance; cross-shard pays the
+        // walk to both gateways plus one router hop.
+        assert_eq!(t.distance(5, 7), 1);
+        assert_eq!(t.distance(5, 9), 3);
+        assert_eq!(t.distance(0, 4), 1, "gateway to gateway");
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn flat_topologies_are_single_shard() {
+        let t = Topology::Ring { n: 6 };
+        assert_eq!(t.shard_count(), 1);
+        assert_eq!(t.per_shard(), 6);
+        assert_eq!(t.shard_of(5), 0);
+        assert!(t.same_shard(0, 5));
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! The sharded substrate: partition the machine into shards behind an
+//! inter-shard router, kill one shard wholesale, and watch splice recovery
+//! rebuild the lost subtrees *across* the partition boundary.
+//!
+//! ```sh
+//! cargo run --release --example sharded_machine
+//! ```
+
+use splice::prelude::*;
+
+fn main() {
+    let workload = Workload::fib(13);
+    let expected = workload.reference_result().unwrap();
+    println!("reference result:       {expected}");
+
+    // 4 shards × 4 processors; every message crossing a shard boundary
+    // pays 400 extra ticks at the router. Round-robin placement spreads
+    // the call tree over all shards, so shard 3 demonstrably holds live
+    // work when it dies.
+    let mut cfg = MachineConfig::sharded(4, 4, 400);
+    cfg.policy = Policy::RoundRobin;
+
+    // Fault-free baseline.
+    let baseline = run_workload(cfg.clone(), &workload, &FaultPlan::none());
+    println!(
+        "fault-free:             finish={} intra={} inter={}",
+        baseline.finish, baseline.shard_msgs_intra, baseline.shard_msgs_inter
+    );
+
+    // Now crash all of shard 3 (processors 12..16) mid-run.
+    let crash = VirtualTime(baseline.finish.ticks() / 2);
+    let report = run_workload(cfg, &workload, &FaultPlan::crash_shard(3, 4, crash));
+    println!(
+        "whole-shard crash:      finish={} intra={} inter={}",
+        report.finish, report.shard_msgs_intra, report.shard_msgs_inter
+    );
+    println!(
+        "recovery:               reissues={} salvaged={} root_reissues={}",
+        report.stats.reissues, report.stats.salvaged_results, report.root_reissues
+    );
+
+    assert_eq!(report.result, Some(expected), "recovered the answer");
+    assert!(report.shard_msgs_inter > 0, "recovery crossed the router");
+    println!(
+        "slowdown vs fault-free: {:.2}×",
+        report.slowdown_vs(&baseline)
+    );
+}

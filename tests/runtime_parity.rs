@@ -135,3 +135,49 @@ fn rollback_parity_under_crash() {
     let plan = FaultPlan::crash_at(1, VirtualTime(400));
     both_agree_on_plan(&w, RecoveryMode::Rollback, &plan);
 }
+
+#[test]
+fn parity_sharded_topology_same_plan() {
+    // One shared fault plan — crash processor 2 (shard 1) early — driven
+    // through a 2×2 *sharded* sim machine and through the threaded runtime
+    // configured with the same sharded topology. Recovery must cross the
+    // shard boundary on the simulator (the checkpoint holders live in
+    // shard 0) and both substrates must still produce the reference
+    // answer.
+    let plan = FaultPlan::crash_at(2, VirtualTime(400));
+    for w in [Workload::fib(13), Workload::mapreduce(0, 16, 8)] {
+        let expected = w.reference_result().unwrap();
+
+        let mut sim = MachineConfig::sharded(2, 2, 200);
+        sim.policy = Policy::RoundRobin;
+        sim.recovery.mode = RecoveryMode::Splice;
+        let sim_report = run_workload(sim, &w, &plan);
+        assert!(sim_report.completed, "sharded sim stalled: {}", w.name);
+        assert!(!sim_report.stalled, "{}", w.name);
+        assert_eq!(
+            sim_report.result,
+            Some(expected.clone()),
+            "sharded sim: {}",
+            w.name
+        );
+        assert!(
+            sim_report.shard_msgs_inter > 0,
+            "{}: nothing crossed the router",
+            w.name
+        );
+
+        let mut rt = rt_cfg(RecoveryMode::Splice);
+        rt.topology = Topology::Sharded {
+            shards: 2,
+            inner: Box::new(Topology::Complete { n: 2 }),
+        };
+        let rt_report = run_plan(rt, &w, &plan);
+        assert_eq!(
+            rt_report.result,
+            Some(expected),
+            "sharded threads: {}",
+            w.name
+        );
+        assert_eq!(sim_report.result, rt_report.result);
+    }
+}
