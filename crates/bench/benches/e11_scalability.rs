@@ -1,21 +1,19 @@
 //! E11 — scaling over processor counts with checkpointing on and off (the
-//! Rediflow context of reference [9]).
+//! Rediflow context of reference [9]). The sweep and workload are shared
+//! with the `bench_trajectory` bin via `splice_bench::{e11_workload,
+//! E11_SWEEP}` so the trajectory file stays comparable to this bench.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use splice_applicative::Workload;
-use splice_bench::{assert_correct, config, criterion as tuned};
-use splice_core::config::RecoveryMode;
+use splice_bench::{assert_correct, config, criterion as tuned, e11_workload, E11_SWEEP};
 use splice_sim::machine::run_workload;
 use splice_simnet::fault::FaultPlan;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e11_scalability");
-    let w = Workload::mapreduce(0, 32, 8);
-    for n in [2u32, 4, 8, 16] {
-        for (label, mode) in [
-            ("none", RecoveryMode::None),
-            ("splice", RecoveryMode::Splice),
-        ] {
+    let w = e11_workload();
+    let (procs, modes) = E11_SWEEP;
+    for n in procs {
+        for (label, mode) in modes {
             g.bench_function(format!("p{n}_{label}"), |b| {
                 b.iter(|| {
                     let r = run_workload(config(n, mode), &w, &FaultPlan::none());

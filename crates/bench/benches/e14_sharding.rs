@@ -4,64 +4,33 @@
 //! The victim determines what recovery has to cross: a processor in the
 //! root's own shard recovers over intra-shard links, a processor in the
 //! farthest shard recovers through the router, and a whole-shard crash
-//! forces every reissue and salvage across the boundary.
+//! forces every reissue and salvage across the boundary. The scenario
+//! (config, workload, victims) is shared with the `bench_trajectory` bin
+//! via `splice_bench::{e14_config, e14_workload, e14_cases}` so the
+//! trajectory file stays comparable to this bench.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use splice_applicative::Workload;
-use splice_bench::{assert_correct, criterion as tuned};
-use splice_core::config::RecoveryMode;
-use splice_gradient::Policy;
-use splice_sim::machine::{run_workload, MachineConfig};
+use splice_bench::{assert_correct, criterion as tuned, e14_cases, e14_config, e14_workload};
+use splice_sim::machine::run_workload;
 use splice_simnet::fault::FaultPlan;
 use splice_simnet::time::VirtualTime;
 
-fn sharded_config() -> MachineConfig {
-    let mut cfg = MachineConfig::sharded(4, 4, 400);
-    cfg.recovery.mode = RecoveryMode::Splice;
-    // Round-robin spreads the tree across every shard, so both victim
-    // choices demonstrably hold live work.
-    cfg.policy = Policy::RoundRobin;
-    cfg
-}
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e14_sharding");
-    let w = Workload::fib(13);
-    let base = run_workload(sharded_config(), &w, &FaultPlan::none());
+    let w = e14_workload();
+    let base = run_workload(e14_config(), &w, &FaultPlan::none());
     assert_correct(&w, &base);
     let crash = VirtualTime(base.finish.ticks() / 2);
 
-    g.bench_function("fault_free", |b| {
-        b.iter(|| {
-            let r = run_workload(sharded_config(), &w, &FaultPlan::none());
-            assert_correct(&w, &r);
-            (r.finish, r.shard_msgs_inter)
-        })
-    });
-    // Processor 1 shares shard 0 with the root: intra-shard recovery.
-    g.bench_function("intra_shard_crash", |b| {
-        b.iter(|| {
-            let r = run_workload(sharded_config(), &w, &FaultPlan::crash_at(1, crash));
-            assert_correct(&w, &r);
-            (r.finish, r.shard_msgs_inter)
-        })
-    });
-    // Processor 13 lives in shard 3: recovery crosses the router.
-    g.bench_function("cross_shard_crash", |b| {
-        b.iter(|| {
-            let r = run_workload(sharded_config(), &w, &FaultPlan::crash_at(13, crash));
-            assert_correct(&w, &r);
-            (r.finish, r.shard_msgs_inter)
-        })
-    });
-    // Shard 3 dies wholesale: splice recovery entirely across the router.
-    g.bench_function("whole_shard_crash", |b| {
-        b.iter(|| {
-            let r = run_workload(sharded_config(), &w, &FaultPlan::crash_shard(3, 4, crash));
-            assert_correct(&w, &r);
-            (r.finish, r.shard_msgs_inter)
-        })
-    });
+    for (name, plan) in e14_cases(crash) {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_workload(e14_config(), &w, &plan);
+                assert_correct(&w, &r);
+                (r.finish, r.shard_msgs_inter)
+            })
+        });
+    }
     g.finish();
 }
 

@@ -1,19 +1,20 @@
 //! Substrate micro-benches: the evaluators and the DES kernel — the
-//! foundations every experiment's wall-clock rests on.
+//! foundations every experiment's wall-clock rests on. Scenario bodies
+//! are shared with the `bench_trajectory` bin via `splice_bench` so the
+//! trajectory file's `substrate` medians always measure exactly what this
+//! bench measures.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use splice_applicative::eval::eval_call;
 use splice_applicative::wave::run_local;
-use splice_applicative::Workload;
-use splice_bench::criterion as tuned;
-use splice_simnet::queue::EventQueue;
-use splice_simnet::time::VirtualTime;
-use splice_simnet::topology::Topology;
+use splice_bench::{
+    criterion as tuned, event_queue_push_pop_10k, substrate_workload, torus_distance_64x64,
+};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrate");
 
-    let w = Workload::fib(15);
+    let w = substrate_workload();
     g.bench_function("reference_eval_fib15", |b| {
         b.iter(|| eval_call(&w.program, w.entry, &w.args).unwrap())
     });
@@ -22,35 +23,10 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.push(VirtualTime(i * 7919 % 10_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            sum
-        })
+        b.iter(event_queue_push_pop_10k)
     });
 
-    let torus = Topology::Mesh {
-        w: 8,
-        h: 8,
-        wrap: true,
-    };
-    g.bench_function("torus_distance_64x64", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for a in 0..64 {
-                for bb in 0..64 {
-                    acc += torus.distance(a, bb);
-                }
-            }
-            acc
-        })
-    });
+    g.bench_function("torus_distance_64x64", |b| b.iter(torus_distance_64x64));
     g.finish();
 }
 

@@ -1,0 +1,210 @@
+//! Emits `BENCH_substrate.json`: a machine-readable perf trajectory for
+//! the substrate micro-benches plus the E11 scalability and E14 sharding
+//! experiment benches.
+//!
+//! Each invocation measures medians on the current build and *appends* one
+//! labelled run to the file, so successive PRs accumulate a before/after
+//! history future sessions can diff mechanically:
+//!
+//! ```text
+//! cargo run --release -p splice-bench --bin bench_trajectory -- \
+//!     --label pr3-post [--out BENCH_substrate.json] [--quick]
+//! ```
+//!
+//! All times are nanoseconds (medians; each run records its per-block
+//! sample counts and a `method` string for provenance — hand-recorded
+//! entries, e.g. measurements interleaved against an old-tree worktree,
+//! name their method too). No serde: the format is a fixed skeleton with
+//! one JSON run object per line inside `"runs"`; this tool rewrites the
+//! file canonically from those lines on every append.
+
+use splice_applicative::eval::eval_call;
+use splice_applicative::wave::run_local;
+use splice_bench::{
+    assert_correct, config, e11_workload, e14_cases, e14_config, e14_workload,
+    event_queue_push_pop_10k, substrate_workload, torus_distance_64x64, E11_SWEEP,
+};
+use splice_sim::machine::run_workload;
+use splice_simnet::fault::FaultPlan;
+use splice_simnet::time::VirtualTime;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `samples` runs of `f` (one warm-up
+/// call excluded).
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    f(); // warm-up
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn substrate_metrics(samples: usize) -> Vec<(&'static str, u64)> {
+    // Identical scenario bodies to benches/substrate.rs — shared helpers
+    // keep the trajectory's metric names honest.
+    let w = substrate_workload();
+    vec![
+        (
+            "reference_eval_fib15",
+            median_ns(samples, || {
+                eval_call(&w.program, w.entry, &w.args).unwrap();
+            }),
+        ),
+        (
+            "wave_eval_local_fib15",
+            median_ns(samples, || {
+                run_local(&w.program, w.entry, &w.args).unwrap();
+            }),
+        ),
+        (
+            "event_queue_push_pop_10k",
+            median_ns(samples, || {
+                std::hint::black_box(event_queue_push_pop_10k());
+            }),
+        ),
+        (
+            "torus_distance_64x64",
+            median_ns(samples, || {
+                std::hint::black_box(torus_distance_64x64());
+            }),
+        ),
+    ]
+}
+
+fn e11_metrics(samples: usize) -> Vec<(String, u64)> {
+    // Identical scenario to benches/e11_scalability.rs — shared builders
+    // keep the trajectory file comparable to the criterion bench.
+    let w = e11_workload();
+    let (procs, modes) = E11_SWEEP;
+    let mut out = Vec::new();
+    for n in procs {
+        for (label, mode) in modes {
+            let ns = median_ns(samples, || {
+                let r = run_workload(config(n, mode), &w, &FaultPlan::none());
+                assert_correct(&w, &r);
+            });
+            out.push((format!("p{n}_{label}"), ns));
+        }
+    }
+    out
+}
+
+fn e14_metrics(samples: usize) -> Vec<(&'static str, u64)> {
+    // Identical scenario to benches/e14_sharding.rs.
+    let w = e14_workload();
+    let base = run_workload(e14_config(), &w, &FaultPlan::none());
+    assert_correct(&w, &base);
+    let crash = VirtualTime(base.finish.ticks() / 2);
+    let mut out = Vec::new();
+    for (name, plan) in e14_cases(crash) {
+        let ns = median_ns(samples, || {
+            let r = run_workload(e14_config(), &w, &plan);
+            assert_correct(&w, &r);
+        });
+        out.push((name, ns));
+    }
+    out
+}
+
+fn json_object<K: AsRef<str>>(metrics: &[(K, u64)]) -> String {
+    let fields: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {v}", k.as_ref()))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+const HEADER: &str = "{\n  \"format\": \"splice-bench-trajectory-v1\",\n  \"unit\": \"nanoseconds, median over the per-block `samples` counts on the recording container\",\n  \"runs\": [\n";
+const FOOTER: &str = "  ]\n}\n";
+
+/// Appends `run_line` to the trajectory file, preserving prior runs. The
+/// file is always rewritten from its parsed run lines, so the layout stays
+/// canonical regardless of what accumulated.
+fn append_run(path: &str, run_line: String) -> std::io::Result<()> {
+    let mut runs: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let t = line.trim();
+            if t.starts_with("{\"label\"") {
+                runs.push(t.trim_end_matches(',').to_string());
+            }
+        }
+        // Refuse to rewrite a file whose runs we failed to parse (e.g. it
+        // was pretty-printed by jq or hand-edited off the one-run-per-line
+        // layout): rewriting would silently delete the recorded history.
+        assert!(
+            !(runs.is_empty() && existing.contains("\"runs\"")),
+            "{path} has a \"runs\" array this tool cannot parse (expected one \
+             run object per line starting with {{\"label\"); restore the \
+             canonical layout or pass a fresh --out path"
+        );
+    }
+    runs.push(run_line);
+    let mut out = String::from(HEADER);
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(r);
+        if i + 1 < runs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(FOOTER);
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = String::from("unlabelled");
+    let mut out_path = String::from("BENCH_substrate.json");
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--label" => label = it.next().expect("--label needs a value").clone(),
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--quick" => quick = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    // The label is interpolated into the JSON run line verbatim; restrict
+    // it so the trajectory file can never be corrupted into non-JSON.
+    assert!(
+        !label.is_empty()
+            && label
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')),
+        "--label must be non-empty [A-Za-z0-9._-], got {label:?}"
+    );
+    let (micro_samples, run_samples) = if quick { (5, 3) } else { (25, 9) };
+
+    eprintln!("measuring substrate micro-benches ({micro_samples} samples)…");
+    let substrate = substrate_metrics(micro_samples);
+    eprintln!("measuring e11 scalability ({run_samples} samples)…");
+    let e11 = e11_metrics(run_samples);
+    eprintln!("measuring e14 sharding ({run_samples} samples)…");
+    let e14 = e14_metrics(run_samples);
+
+    let run_line = format!(
+        "{{\"label\": \"{label}\", \"method\": \"bench_trajectory\", \"samples\": {{\"substrate\": {micro_samples}, \"experiments\": {run_samples}}}, \"substrate\": {}, \"e11_scalability\": {}, \"e14_sharding\": {}}}",
+        json_object(&substrate),
+        json_object(&e11),
+        json_object(&e14),
+    );
+    append_run(&out_path, run_line).expect("write trajectory file");
+    for (k, v) in &substrate {
+        println!("substrate/{k:<28} {v:>12} ns");
+    }
+    for (k, v) in &e11 {
+        println!("e11/{k:<34} {v:>12} ns");
+    }
+    for (k, v) in &e14 {
+        println!("e14/{k:<34} {v:>12} ns");
+    }
+    println!("appended run \"{label}\" to {out_path}");
+}

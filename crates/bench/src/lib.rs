@@ -54,6 +54,87 @@ pub fn assert_correct(w: &Workload, r: &RunReport) {
     );
 }
 
+/// The substrate micro-bench evaluator workload. Shared by
+/// `benches/substrate.rs` and the `bench_trajectory` bin so both measure
+/// the same scenario under the same metric names.
+pub fn substrate_workload() -> Workload {
+    Workload::fib(15)
+}
+
+/// One iteration of the `event_queue_push_pop_10k` scenario: 10k pushes
+/// on the 7919-stride schedule, then a full drain.
+pub fn event_queue_push_pop_10k() -> u64 {
+    let mut q = splice_simnet::queue::EventQueue::new();
+    for i in 0..10_000u64 {
+        q.push(VirtualTime(i * 7919 % 10_000), i);
+    }
+    let mut sum = 0u64;
+    while let Some((_, e)) = q.pop() {
+        sum = sum.wrapping_add(e);
+    }
+    sum
+}
+
+/// One iteration of the `torus_distance_64x64` scenario: the all-pairs
+/// hop-distance scan on the 8×8 wrapped mesh.
+pub fn torus_distance_64x64() -> u32 {
+    let torus = splice_simnet::topology::Topology::Mesh {
+        w: 8,
+        h: 8,
+        wrap: true,
+    };
+    let mut acc = 0u32;
+    for a in 0..64 {
+        for b in 0..64 {
+            acc += torus.distance(a, b);
+        }
+    }
+    acc
+}
+
+/// The E11 scalability workload. Shared by `benches/e11_scalability.rs`
+/// and the `bench_trajectory` bin so the criterion bench and the
+/// trajectory file always measure the same scenario.
+pub fn e11_workload() -> Workload {
+    Workload::mapreduce(0, 32, 8)
+}
+
+/// The E11 sweep: processor counts × recovery-mode labels.
+pub const E11_SWEEP: ([u32; 4], [(&str, RecoveryMode); 2]) = (
+    [2, 4, 8, 16],
+    [
+        ("none", RecoveryMode::None),
+        ("splice", RecoveryMode::Splice),
+    ],
+);
+
+/// The E14 machine: 4×4 shards, 400-tick router, splice recovery,
+/// round-robin placement (spreads the tree across every shard, so both
+/// victim choices demonstrably hold live work).
+pub fn e14_config() -> MachineConfig {
+    let mut cfg = MachineConfig::sharded(4, 4, 400);
+    cfg.recovery.mode = RecoveryMode::Splice;
+    cfg.policy = splice_gradient::Policy::RoundRobin;
+    cfg
+}
+
+/// The E14 workload.
+pub fn e14_workload() -> Workload {
+    Workload::fib(13)
+}
+
+/// The E14 cases at a given crash instant: processor 1 shares shard 0
+/// with the root (intra-shard recovery), processor 13 lives in shard 3
+/// (recovery crosses the router), and shard 3 dies wholesale.
+pub fn e14_cases(crash: VirtualTime) -> [(&'static str, FaultPlan); 4] {
+    [
+        ("fault_free", FaultPlan::none()),
+        ("intra_shard_crash", FaultPlan::crash_at(1, crash)),
+        ("cross_shard_crash", FaultPlan::crash_at(13, crash)),
+        ("whole_shard_crash", FaultPlan::crash_shard(3, 4, crash)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

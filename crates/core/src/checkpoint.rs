@@ -39,11 +39,16 @@ pub struct StoredCheckpoint {
 }
 
 /// The per-processor checkpoint table.
+///
+/// Entries are filed per owner and then per child stamp, so every lookup
+/// path (`get`, `on_ack`, `retire`, salvage routing) borrows the caller's
+/// stamp instead of cloning it into a tuple key, and `retire_owner` drops
+/// an aborting task's checkpoints by detaching one inner map.
 #[derive(Debug, Default)]
 pub struct CheckpointTable {
-    entries: HashMap<CheckpointKey, StoredCheckpoint>,
+    entries: HashMap<TaskKey, HashMap<LevelStamp, StoredCheckpoint>>,
     by_dest: HashMap<ProcId, HashSet<CheckpointKey>>,
-    by_owner: HashMap<TaskKey, HashSet<LevelStamp>>,
+    count: usize,
     bytes: usize,
     peak_entries: usize,
     peak_bytes: usize,
@@ -60,14 +65,10 @@ impl CheckpointTable {
     /// Stores the retained packet for a freshly spawned child. The entry is
     /// "pending" (no destination) until [`CheckpointTable::on_ack`].
     pub fn store(&mut self, owner: TaskKey, packet: TaskPacket) {
-        let key = (owner, packet.stamp.clone());
         self.bytes += packet.size();
-        self.by_owner
-            .entry(owner)
-            .or_default()
-            .insert(packet.stamp.clone());
-        if let Some(old) = self.entries.insert(
-            key.clone(),
+        let stamp = packet.stamp.clone();
+        if let Some(old) = self.entries.entry(owner).or_default().insert(
+            stamp.clone(),
             StoredCheckpoint {
                 packet,
                 owner,
@@ -77,37 +78,50 @@ impl CheckpointTable {
             // Re-store of the same child (shouldn't happen in practice).
             self.bytes -= old.packet.size();
             if let Some(d) = old.dest {
-                self.by_dest.get_mut(&d).map(|s| s.remove(&key));
+                self.by_dest.get_mut(&d).map(|s| s.remove(&(owner, stamp)));
             }
+        } else {
+            self.count += 1;
         }
         self.stored_total += 1;
-        self.peak_entries = self.peak_entries.max(self.entries.len());
+        self.peak_entries = self.peak_entries.max(self.count);
         self.peak_bytes = self.peak_bytes.max(self.bytes);
+    }
+
+    fn entry_mut(&mut self, owner: TaskKey, stamp: &LevelStamp) -> Option<&mut StoredCheckpoint> {
+        self.entries.get_mut(&owner)?.get_mut(stamp)
     }
 
     /// Files (or re-files) a checkpoint under the destination processor
     /// named by a placement ACK.
     pub fn on_ack(&mut self, owner: TaskKey, stamp: &LevelStamp, dest: ProcId) {
-        let key = (owner, stamp.clone());
-        if let Some(cp) = self.entries.get_mut(&key) {
-            if let Some(old) = cp.dest.replace(dest) {
-                if old != dest {
-                    self.by_dest.get_mut(&old).map(|s| s.remove(&key));
-                }
+        let Some(cp) = self.entry_mut(owner, stamp) else {
+            return;
+        };
+        if let Some(old) = cp.dest.replace(dest) {
+            if old != dest {
+                self.by_dest
+                    .get_mut(&old)
+                    .map(|s| s.remove(&(owner, stamp.clone())));
             }
-            self.by_dest.entry(dest).or_default().insert(key);
         }
+        self.by_dest
+            .entry(dest)
+            .or_default()
+            .insert((owner, stamp.clone()));
     }
 
     /// Marks a reissued checkpoint as pending again (destination unknown
     /// until the new ACK).
     pub fn on_reissue(&mut self, owner: TaskKey, stamp: &LevelStamp) {
-        let key = (owner, stamp.clone());
-        if let Some(cp) = self.entries.get_mut(&key) {
-            cp.packet.incarnation += 1;
-            if let Some(old) = cp.dest.take() {
-                self.by_dest.get_mut(&old).map(|s| s.remove(&key));
-            }
+        let Some(cp) = self.entry_mut(owner, stamp) else {
+            return;
+        };
+        cp.packet.incarnation += 1;
+        if let Some(old) = cp.dest.take() {
+            self.by_dest
+                .get_mut(&old)
+                .map(|s| s.remove(&(owner, stamp.clone())));
         }
     }
 
@@ -115,40 +129,43 @@ impl CheckpointTable {
     /// result arrived, or the demand was satisfied by salvage). Returns
     /// `true` if an entry was removed.
     pub fn retire(&mut self, owner: TaskKey, stamp: &LevelStamp) -> bool {
-        let key = (owner, stamp.clone());
-        match self.entries.remove(&key) {
-            None => false,
-            Some(cp) => {
-                self.bytes -= cp.packet.size();
-                if let Some(d) = cp.dest {
-                    self.by_dest.get_mut(&d).map(|s| s.remove(&key));
-                }
-                if let Some(set) = self.by_owner.get_mut(&owner) {
-                    set.remove(stamp);
-                    if set.is_empty() {
-                        self.by_owner.remove(&owner);
-                    }
-                }
-                self.retired_total += 1;
-                true
-            }
+        let Some(inner) = self.entries.get_mut(&owner) else {
+            return false;
+        };
+        let Some(cp) = inner.remove(stamp) else {
+            return false;
+        };
+        if inner.is_empty() {
+            self.entries.remove(&owner);
         }
+        self.count -= 1;
+        self.bytes -= cp.packet.size();
+        if let Some(d) = cp.dest {
+            self.by_dest
+                .get_mut(&d)
+                .map(|s| s.remove(&(owner, stamp.clone())));
+        }
+        self.retired_total += 1;
+        true
     }
 
     /// Retires every checkpoint owned by an aborting task. Returns how many
     /// were dropped.
     pub fn retire_owner(&mut self, owner: TaskKey) -> usize {
-        let stamps: Vec<LevelStamp> = self
-            .by_owner
-            .get(&owner)
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default();
-        let mut n = 0;
-        for s in stamps {
-            if self.retire(owner, &s) {
-                n += 1;
+        let Some(inner) = self.entries.remove(&owner) else {
+            return 0;
+        };
+        let n = inner.len();
+        for (stamp, cp) in inner {
+            self.bytes -= cp.packet.size();
+            if let Some(d) = cp.dest {
+                self.by_dest
+                    .get_mut(&d)
+                    .map(|s| s.remove(&(owner, stamp.clone())));
             }
         }
+        self.count -= n;
+        self.retired_total += n as u64;
         n
     }
 
@@ -170,8 +187,10 @@ impl CheckpointTable {
             None => return Vec::new(),
             Some(k) => k,
         };
-        let mut cps: Vec<&StoredCheckpoint> =
-            keys.iter().filter_map(|k| self.entries.get(k)).collect();
+        let mut cps: Vec<&StoredCheckpoint> = keys
+            .iter()
+            .filter_map(|(owner, stamp)| self.entries.get(owner)?.get(stamp))
+            .collect();
         // Deterministic order regardless of hash iteration.
         cps.sort_by(|a, b| {
             a.packet
@@ -194,17 +213,17 @@ impl CheckpointTable {
 
     /// Looks up the live checkpoint for a given owner/stamp.
     pub fn get(&self, owner: TaskKey, stamp: &LevelStamp) -> Option<&StoredCheckpoint> {
-        self.entries.get(&(owner, stamp.clone()))
+        self.entries.get(&owner)?.get(stamp)
     }
 
     /// Number of live checkpoints.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.count
     }
 
     /// True if no checkpoints are live.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.count == 0
     }
 
     /// Current retained bytes (abstract units).
@@ -286,9 +305,9 @@ mod tests {
         let b2 = LevelStamp::from_digits(&[1, 1]);
         let b3 = LevelStamp::from_digits(&[1, 2]);
         let b5 = LevelStamp::from_digits(&[1, 1, 2, 1]);
-        t.store(c1, pkt(b2.digits()));
-        t.store(c2, pkt(b3.digits()));
-        t.store(c4, pkt(b5.digits()));
+        t.store(c1, pkt(&b2.digits()));
+        t.store(c2, pkt(&b3.digits()));
+        t.store(c4, pkt(&b5.digits()));
         t.on_ack(c1, &b2, B);
         t.on_ack(c2, &b3, B);
         t.on_ack(c4, &b5, B);
@@ -306,8 +325,8 @@ mod tests {
         let mut t = CheckpointTable::new();
         let b2 = LevelStamp::from_digits(&[1, 1]);
         let b5 = LevelStamp::from_digits(&[1, 1, 2, 1]);
-        t.store(TaskKey(1), pkt(b2.digits()));
-        t.store(TaskKey(4), pkt(b5.digits()));
+        t.store(TaskKey(1), pkt(&b2.digits()));
+        t.store(TaskKey(4), pkt(&b5.digits()));
         t.on_ack(TaskKey(1), &b2, B);
         t.on_ack(TaskKey(4), &b5, B);
         assert_eq!(t.recover_candidates(B, CheckpointFilter::Topmost).len(), 1);
@@ -321,7 +340,7 @@ mod tests {
     fn entries_move_between_destinations() {
         let mut t = CheckpointTable::new();
         let s = LevelStamp::from_digits(&[2]);
-        t.store(TaskKey(0), pkt(s.digits()));
+        t.store(TaskKey(0), pkt(&s.digits()));
         t.on_ack(TaskKey(0), &s, B);
         // Reissue: pending again.
         t.on_reissue(TaskKey(0), &s);
@@ -352,8 +371,8 @@ mod tests {
         // Two twin instances can checkpoint the same child stamp.
         let mut t = CheckpointTable::new();
         let s = LevelStamp::from_digits(&[1, 3]);
-        t.store(TaskKey(1), pkt(s.digits()));
-        t.store(TaskKey(2), pkt(s.digits()));
+        t.store(TaskKey(1), pkt(&s.digits()));
+        t.store(TaskKey(2), pkt(&s.digits()));
         assert_eq!(t.len(), 2);
         t.on_ack(TaskKey(1), &s, B);
         t.on_ack(TaskKey(2), &s, B);

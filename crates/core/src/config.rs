@@ -92,6 +92,15 @@ pub struct Config {
     /// recovery start. Salvage arrivals still create twins immediately —
     /// the grace only delays the *proactive* path.
     pub splice_grace: u64,
+    /// When true, an engine that *first* learns of a processor's death —
+    /// from a detector notice, a bounced send or a salvage arrival —
+    /// forwards a `FailureNotice` to its placer neighbourhood, so
+    /// discovery spreads even when the detector's broadcast is disabled
+    /// (`DetectorConfig::broadcast = false`). A death already recorded in
+    /// `known_dead` is never re-forwarded: the dedup keeps gossip for one
+    /// death bounded at one broadcast per engine instead of echoing every
+    /// redundant notice back into the network.
+    pub gossip_notices: bool,
 }
 
 impl Default for Config {
@@ -104,6 +113,7 @@ impl Default for Config {
             ack_timeout: 4_000,
             load_beacon_period: 500,
             splice_grace: 0,
+            gossip_notices: true,
         }
     }
 }

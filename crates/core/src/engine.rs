@@ -33,7 +33,7 @@
 use crate::checkpoint::CheckpointTable;
 use crate::config::{Config, RecoveryMode};
 use crate::ids::{ProcId, TaskAddr, TaskKey};
-use crate::packet::{Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
+use crate::packet::{AckInfo, Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
 use crate::place::Placer;
 use crate::replicate::{Vote, VoteOutcome};
 use crate::stamp::LevelStamp;
@@ -234,15 +234,18 @@ impl Engine {
     pub fn on_message(&mut self, msg: Msg) -> Vec<Action> {
         self.stats.received(msg.kind());
         match msg {
-            Msg::Spawn(p) => self.on_spawn(p),
-            Msg::Ack {
-                child_stamp,
-                child_addr,
-                parent,
-                incarnation,
-            } => self.on_ack(child_stamp, child_addr, parent, incarnation),
-            Msg::Result(rp) => self.on_result(rp),
-            Msg::Salvage(sp) => self.on_salvage(sp),
+            Msg::Spawn(p) => self.on_spawn(*p),
+            Msg::Ack(ack) => {
+                let AckInfo {
+                    child_stamp,
+                    child_addr,
+                    parent,
+                    incarnation,
+                } = *ack;
+                self.on_ack(child_stamp, child_addr, parent, incarnation)
+            }
+            Msg::Result(rp) => self.on_result(*rp),
+            Msg::Salvage(sp) => self.on_salvage(*sp),
             Msg::Abort { to } => self.on_abort(to),
             Msg::Load { from, pressure } => {
                 self.placer.on_load(from, pressure);
@@ -262,15 +265,16 @@ impl Engine {
                 // In-flight spawn lost. If we are the original parent, the
                 // child's checkpoint (or vote group) reissues it; forwarded
                 // packets of other parents are re-placed directly.
-                actions.extend(self.reissue_packet(p));
+                actions.extend(self.reissue_packet(*p));
             }
             Msg::Result(rp) => {
-                actions.extend(self.handle_undeliverable_result(rp));
+                actions.extend(self.handle_undeliverable_result(*rp));
             }
             Msg::Salvage(sp) => {
                 // Either the downward forward hit a fresh corpse (the local
                 // re-route will buffer it), or the upward relay must try the
                 // next ancestor.
+                let sp = *sp;
                 let (routed, mut acts) = self.route_salvage(sp.clone());
                 actions.append(&mut acts);
                 if !routed {
@@ -360,7 +364,7 @@ impl Engine {
             if let Some(next) = self.placer.route(&p, &self.known_dead) {
                 if next != self.id {
                     p.hops += 1;
-                    self.send(&mut actions, next, Msg::Spawn(p));
+                    self.send(&mut actions, next, Msg::spawn(p));
                     return actions;
                 }
             }
@@ -374,12 +378,12 @@ impl Engine {
         self.stats.tasks_created += 1;
         self.created_log.push(p.stamp.clone());
         self.enqueue(key);
-        let ack = Msg::Ack {
-            child_stamp: p.stamp,
-            child_addr: TaskAddr::new(self.id, key),
-            parent: p.parent.addr,
-            incarnation: p.incarnation,
-        };
+        let ack = Msg::ack(
+            p.stamp,
+            TaskAddr::new(self.id, key),
+            p.parent.addr,
+            p.incarnation,
+        );
         self.send(&mut actions, p.parent.addr.proc, ack);
         actions
     }
@@ -436,7 +440,7 @@ impl Engine {
             for mut sp in pending {
                 sp.to = child_addr;
                 self.stats.salvage_forwarded += 1;
-                self.send(&mut actions, child_addr.proc, Msg::Salvage(sp));
+                self.send(&mut actions, child_addr.proc, Msg::salvage(sp));
             }
         } else {
             self.stats.stale_messages_ignored += 1;
@@ -542,7 +546,7 @@ impl Engine {
                     let dest = self.placer.place(&rp, &avoid);
                     avoid.insert(dest); // replicas on distinct processors
                     placed.push(dest);
-                    self.send(&mut actions, dest, Msg::Spawn(rp));
+                    self.send(&mut actions, dest, Msg::spawn(rp));
                 }
                 let task = self.tasks.get_mut(&owner).expect("owner exists");
                 task.register_child(ChildInfo {
@@ -584,7 +588,7 @@ impl Engine {
                     },
                     delay: self.config.ack_timeout,
                 });
-                self.send(&mut actions, dest, Msg::Spawn(packet));
+                self.send(&mut actions, dest, Msg::spawn(packet));
             }
         }
         actions
@@ -616,7 +620,7 @@ impl Engine {
             actions.extend(self.handle_undeliverable_result(rp));
         } else {
             let to = rp.to.proc;
-            self.send(&mut actions, to, Msg::Result(rp));
+            self.send(&mut actions, to, Msg::result(rp));
         }
         actions
     }
@@ -730,9 +734,24 @@ impl Engine {
     /// Convergence point for all failure discovery paths. Idempotent.
     fn on_proc_dead(&mut self, dead: ProcId) -> Vec<Action> {
         if dead == self.id || dead.is_super_root() || !self.known_dead.insert(dead) {
+            // A death already in `known_dead` is never re-forwarded: the
+            // insert above is the gossip dedup — without it every redundant
+            // notice (detector broadcast, peer gossip, repeated bounces)
+            // would echo back out as a fresh broadcast.
             return Vec::new();
         }
         let mut actions = Vec::new();
+        // Gossip the first discovery to the placer neighbourhood, so deaths
+        // learnt from bounces or salvage arrivals propagate even when the
+        // detector's broadcast is disabled. Exactly once per engine per
+        // death (the dedup above), and never to processors we believe dead.
+        if self.config.gossip_notices {
+            for t in self.placer.beacon_targets() {
+                if t != dead && !self.known_dead.contains(&t) {
+                    self.send(&mut actions, t, Msg::FailureNotice { dead });
+                }
+            }
+        }
         match self.config.mode {
             RecoveryMode::None => {}
             RecoveryMode::Rollback => {
@@ -877,7 +896,7 @@ impl Engine {
         group.placed = placed;
         self.stats.reissues += 1;
         for (dest, rp) in spawns {
-            self.send(&mut actions, dest, Msg::Spawn(rp));
+            self.send(&mut actions, dest, Msg::spawn(rp));
         }
         actions
     }
@@ -913,7 +932,7 @@ impl Engine {
             },
             delay: self.config.ack_timeout,
         });
-        self.send(&mut actions, dest, Msg::Spawn(packet));
+        self.send(&mut actions, dest, Msg::spawn(packet));
         actions
     }
 
@@ -935,7 +954,7 @@ impl Engine {
         p.hops = 0;
         let dest = self.placer.place(&p, &self.known_dead);
         self.stats.reissues += 1;
-        self.send(&mut actions, dest, Msg::Spawn(p));
+        self.send(&mut actions, dest, Msg::spawn(p));
         actions
     }
 
@@ -989,7 +1008,7 @@ impl Engine {
                 }
                 return actions;
             }
-            self.send(&mut actions, link.addr.proc, Msg::Salvage(sp));
+            self.send(&mut actions, link.addr.proc, Msg::salvage(sp));
             return actions;
         }
         // "If both the parent and grandparent processors of a task fail
@@ -1087,7 +1106,7 @@ impl Engine {
                             let mut sp = sp;
                             sp.to = addr;
                             self.stats.salvage_forwarded += 1;
-                            self.send(&mut actions, addr.proc, Msg::Salvage(sp));
+                            self.send(&mut actions, addr.proc, Msg::salvage(sp));
                             return (true, actions);
                         }
                         Some(addr) => {
@@ -1244,7 +1263,7 @@ mod tests {
     /// it, returning the root result observed at the super-root.
     fn run_single(engine: &mut Engine, w: &Workload) -> Value {
         let mut inbox: VecDeque<Msg> = VecDeque::new();
-        inbox.push_back(Msg::Spawn(root_packet(w)));
+        inbox.push_back(Msg::spawn(root_packet(w)));
         let mut root_result = None;
         let mut guard = 0u64;
         loop {
@@ -1326,7 +1345,7 @@ mod tests {
     fn stale_messages_are_ignored() {
         let w = Workload::fib(5);
         let mut e = engine_for(&w, RecoveryMode::Splice);
-        let stale = Msg::Result(ResultPacket {
+        let stale = Msg::result(ResultPacket {
             from_stamp: LevelStamp::from_digits(&[1, 1]),
             demand: Demand::new(w.entry, vec![Value::Int(1)]),
             value: Value::Int(1),

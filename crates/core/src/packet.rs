@@ -36,6 +36,12 @@ impl TaskLink {
             stamp: LevelStamp::root(),
         }
     }
+
+    /// Abstract wire size of the link: the address (2 units) plus the
+    /// stamp digits it carries.
+    pub fn size(&self) -> usize {
+        2 + self.stamp.level()
+    }
 }
 
 /// Replication marker carried by replica task packets (§5.3).
@@ -77,10 +83,14 @@ pub struct TaskPacket {
 
 impl TaskPacket {
     /// Abstract size of the packet (argument payload plus link overhead) for
-    /// cost models and checkpoint-storage accounting.
+    /// cost models and checkpoint-storage accounting. Every genealogical
+    /// link is charged at its true size ([`TaskLink::size`]: address plus
+    /// stamp digits) — the ancestor chain is not flat-rated, so E8's
+    /// overhead numbers track what recovery metadata actually costs.
     pub fn size(&self) -> usize {
         let args: usize = self.demand.args.iter().map(Value::size).sum();
-        args + self.stamp.level() + 2 + self.ancestors.len()
+        let links: usize = self.ancestors.iter().map(TaskLink::size).sum();
+        args + self.stamp.level() + 2 + self.parent.size() + links
     }
 
     /// A copy prepared for reissue: same stamp and demand, bumped
@@ -143,33 +153,43 @@ pub struct SalvagePacket {
     pub from_stamp: LevelStamp,
 }
 
+/// Placement acknowledgement payload (Figure 6, state c: "task G receives
+/// an acknowledge from P and establishes a parent-to-child pointer").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AckInfo {
+    /// The spawned child's stamp.
+    pub child_stamp: LevelStamp,
+    /// Where it landed.
+    pub child_addr: TaskAddr,
+    /// The parent task being acknowledged.
+    pub parent: TaskAddr,
+    /// Incarnation of the acknowledged packet.
+    pub incarnation: u32,
+}
+
 /// Messages exchanged between processors.
 ///
 /// This enum is the complete wire vocabulary of the recovery protocol; both
 /// the discrete-event simulator and the threaded runtime transport exactly
 /// these values.
+///
+/// `Msg` values move *by value* through every substrate hop — into the
+/// simulator's event queue, out again, through the shard router, across
+/// runtime channels. The fat payloads (task packets, results, salvages,
+/// acks) are therefore boxed so the enum itself stays three words wide
+/// (`size_of::<Msg>() ≤ 24`, pinned by a test); only payload-free control
+/// variants are held inline.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     /// A task packet seeking a processor. May be forwarded several hops by
     /// the placer before an `Ack` pins it down (Figure 6, states b/d).
-    Spawn(TaskPacket),
-    /// Placement acknowledgement: `child` landed at `child_addr`
-    /// (Figure 6, state c: "task G receives an acknowledge from P and
-    /// establishes a parent-to-child pointer").
-    Ack {
-        /// The spawned child's stamp.
-        child_stamp: LevelStamp,
-        /// Where it landed.
-        child_addr: TaskAddr,
-        /// The parent task being acknowledged.
-        parent: TaskAddr,
-        /// Incarnation of the acknowledged packet.
-        incarnation: u32,
-    },
+    Spawn(Box<TaskPacket>),
+    /// Placement acknowledgement: the child landed at `child_addr`.
+    Ack(Box<AckInfo>),
     /// A completed task's result.
-    Result(ResultPacket),
+    Result(Box<ResultPacket>),
     /// A salvaged orphan result being routed to its consumer.
-    Salvage(SalvagePacket),
+    Salvage(Box<SalvagePacket>),
     /// Abort a task and, transitively, its descendants (rollback mode:
     /// orphans "commit suicide" and are garbage collected).
     Abort {
@@ -192,6 +212,36 @@ pub enum Msg {
 }
 
 impl Msg {
+    /// Wraps a task packet (boxing the payload).
+    pub fn spawn(p: TaskPacket) -> Msg {
+        Msg::Spawn(Box::new(p))
+    }
+
+    /// Builds a placement acknowledgement.
+    pub fn ack(
+        child_stamp: LevelStamp,
+        child_addr: TaskAddr,
+        parent: TaskAddr,
+        incarnation: u32,
+    ) -> Msg {
+        Msg::Ack(Box::new(AckInfo {
+            child_stamp,
+            child_addr,
+            parent,
+            incarnation,
+        }))
+    }
+
+    /// Wraps a result packet (boxing the payload).
+    pub fn result(r: ResultPacket) -> Msg {
+        Msg::Result(Box::new(r))
+    }
+
+    /// Wraps a salvage packet (boxing the payload).
+    pub fn salvage(s: SalvagePacket) -> Msg {
+        Msg::Salvage(Box::new(s))
+    }
+
     /// Coarse message class for statistics.
     pub fn kind(&self) -> MsgKind {
         match self {
@@ -205,13 +255,23 @@ impl Msg {
         }
     }
 
-    /// Abstract payload size for link cost models.
+    /// Abstract payload size for link cost models. Like
+    /// [`TaskPacket::size`], the recovery metadata a message carries is
+    /// charged at true size: an ack carries its child stamp, a salvage its
+    /// dead-stamp routing key, and a result its remaining relay links — an
+    /// orphan result dragging a long relay chain costs more wire than a
+    /// fresh one, which is exactly the overhead E8 measures. (`from_stamp`
+    /// fields are tracing metadata and stay inside the flat header
+    /// constant.)
     pub fn size(&self) -> usize {
         match self {
             Msg::Spawn(p) => p.size(),
-            Msg::Ack { .. } => 2,
-            Msg::Result(r) => r.value.size() + 4,
-            Msg::Salvage(s) => s.value.size() + 4,
+            Msg::Ack(a) => 2 + a.child_stamp.level(),
+            Msg::Result(r) => {
+                let relay: usize = r.relay_chain.iter().map(TaskLink::size).sum();
+                r.value.size() + 4 + relay
+            }
+            Msg::Salvage(s) => s.value.size() + 4 + s.dead_stamp.level(),
             Msg::Abort { .. } => 1,
             Msg::Load { .. } => 1,
             Msg::FailureNotice { .. } => 1,
@@ -285,8 +345,33 @@ mod tests {
     #[test]
     fn packet_size_counts_payload_and_links() {
         let p = packet();
-        // args: 1 + 3 (list of 2) = 4; stamp level 2; +2; ancestors 1 → 9
-        assert_eq!(p.size(), 9);
+        // args: 1 + 3 (list of 2) = 4; stamp level 2; header 2;
+        // parent link 2 + 1 digit = 3; super-root ancestor link 2 + 0 = 2
+        // → 13. The ancestor chain is charged at true link size.
+        assert_eq!(p.size(), 13);
+        let mut deeper = p.clone();
+        deeper.ancestors.push(TaskLink::new(
+            TaskAddr::new(ProcId(2), TaskKey(0)),
+            LevelStamp::from_digits(&[1, 2, 3]),
+        ));
+        assert_eq!(deeper.size(), p.size() + 5, "2 addr units + 3 digits");
+    }
+
+    #[test]
+    fn msg_stays_three_words_wide() {
+        // The DES queue, shard router and runtime channels all move `Msg`
+        // by value; fat payloads must stay boxed. A new inline variant (or
+        // an unboxed payload) fails here before it degrades every hop.
+        assert!(
+            std::mem::size_of::<Msg>() <= 24,
+            "Msg grew past 24 bytes: {}",
+            std::mem::size_of::<Msg>()
+        );
+        assert!(
+            std::mem::size_of::<LevelStamp>() <= 24,
+            "LevelStamp grew past 24 bytes: {}",
+            std::mem::size_of::<LevelStamp>()
+        );
     }
 
     #[test]
@@ -305,14 +390,14 @@ mod tests {
     fn msg_kinds_cover_all_variants() {
         let p = packet();
         let msgs = vec![
-            Msg::Spawn(p.clone()),
-            Msg::Ack {
-                child_stamp: p.stamp.clone(),
-                child_addr: TaskAddr::new(ProcId(2), TaskKey(0)),
-                parent: p.parent.addr,
-                incarnation: 0,
-            },
-            Msg::Result(ResultPacket {
+            Msg::spawn(p.clone()),
+            Msg::ack(
+                p.stamp.clone(),
+                TaskAddr::new(ProcId(2), TaskKey(0)),
+                p.parent.addr,
+                0,
+            ),
+            Msg::result(ResultPacket {
                 from_stamp: p.stamp.clone(),
                 demand: p.demand.clone(),
                 value: Value::Int(1),
@@ -321,7 +406,7 @@ mod tests {
                 relay_chain: vec![],
                 replica: None,
             }),
-            Msg::Salvage(SalvagePacket {
+            Msg::salvage(SalvagePacket {
                 to: p.parent.addr,
                 dead_stamp: p.stamp.clone(),
                 dead_addr: TaskAddr::new(ProcId(1), TaskKey(0)),

@@ -14,61 +14,206 @@
 //! is schedule-independent, a regenerated twin assigns its children the
 //! *same* stamps as the dead original — the property splice recovery's
 //! result salvaging is built on.
+//!
+//! # Representation
+//!
+//! Stamps are the hottest value type in the protocol: every packet carries
+//! several, every checkpoint-table and child-map operation keys on one, and
+//! `child()`/`parent()` run once per spawn/salvage hop. The representation
+//! is therefore split:
+//!
+//! * **Inline**: up to [`INLINE_DIGITS`] digits, each ≤ 255, packed into a
+//!   fixed byte array held by value. `clone`, `child`, `parent`, `cmp` and
+//!   `hash` touch no heap and take no refcounts. Real task trees live here:
+//!   a digit is a per-parent child index (bounded by a task's demand
+//!   fan-out) and the level is the recursion depth.
+//! * **Heap**: deeper or wider stamps fall back to a shared `Arc` of the
+//!   digit vector with the stamp's hash computed once and cached alongside,
+//!   so map operations on pathological stamps stay cheap too.
+//!
+//! The representation is *canonical*: a digit string fits inline if and
+//! only if it is stored inline, so equality and ordering never compare
+//! across representations except to answer "not equal" / digit-wise.
+//! Unused inline slots are kept zero, which makes whole-array comparison
+//! plus a length tie-break agree exactly with lexicographic digit order
+//! (digit sequences are compared element-wise and a strict prefix sorts
+//! first — `[1] < [1,1] < [1,2] < [2]`).
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+/// Maximum digits (tree depth) a stamp can hold without heap allocation.
+pub const INLINE_DIGITS: usize = 22;
+
+/// Heap fallback: the digit vector plus its hash, computed once.
+#[derive(Debug)]
+struct HeapStamp {
+    hash: u64,
+    digits: Vec<u32>,
+}
+
+impl HeapStamp {
+    fn new(digits: Vec<u32>) -> HeapStamp {
+        HeapStamp {
+            hash: fnv1a(&digits),
+            digits,
+        }
+    }
+}
+
+/// FNV-1a over the digit words: the cached hash of heap stamps.
+fn fnv1a(digits: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for d in digits {
+        h ^= u64::from(*d);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[derive(Clone, Debug)]
+enum Repr {
+    /// ≤ `INLINE_DIGITS` digits, each ≤ 255; slots past `len` are zero.
+    Inline {
+        len: u8,
+        digits: [u8; INLINE_DIGITS],
+    },
+    /// Anything deeper or wider.
+    Heap(Arc<HeapStamp>),
+}
+
 /// A hierarchical task identifier. The root stamp is empty ("null").
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct LevelStamp(Arc<[u32]>);
+#[derive(Clone)]
+pub struct LevelStamp(Repr);
+
+/// True when a digit string qualifies for the inline representation.
+fn fits_inline(digits: &[u32]) -> bool {
+    digits.len() <= INLINE_DIGITS && digits.iter().all(|d| *d <= u8::MAX as u32)
+}
 
 impl LevelStamp {
     /// The root task's (empty) stamp.
     pub fn root() -> LevelStamp {
-        LevelStamp(Arc::from([] as [u32; 0]))
+        LevelStamp(Repr::Inline {
+            len: 0,
+            digits: [0; INLINE_DIGITS],
+        })
     }
 
     /// Builds a stamp from explicit digits (mostly for tests and scenarios).
     pub fn from_digits(digits: &[u32]) -> LevelStamp {
-        LevelStamp(Arc::from(digits))
+        if fits_inline(digits) {
+            let mut d = [0u8; INLINE_DIGITS];
+            for (slot, digit) in d.iter_mut().zip(digits) {
+                *slot = *digit as u8;
+            }
+            LevelStamp(Repr::Inline {
+                len: digits.len() as u8,
+                digits: d,
+            })
+        } else {
+            LevelStamp(Repr::Heap(Arc::new(HeapStamp::new(digits.to_vec()))))
+        }
     }
 
     /// The stamp of this task's `digit`-th child (digits start at 1).
     pub fn child(&self, digit: u32) -> LevelStamp {
         debug_assert!(digit >= 1, "child digits start at 1");
-        let mut v = Vec::with_capacity(self.0.len() + 1);
-        v.extend_from_slice(&self.0);
-        v.push(digit);
-        LevelStamp(v.into())
+        match &self.0 {
+            Repr::Inline { len, digits } if (*len as usize) < INLINE_DIGITS && digit <= 255 => {
+                let mut d = *digits;
+                d[*len as usize] = digit as u8;
+                LevelStamp(Repr::Inline {
+                    len: len + 1,
+                    digits: d,
+                })
+            }
+            _ => {
+                let mut v = Vec::with_capacity(self.level() + 1);
+                v.extend(self.iter());
+                v.push(digit);
+                LevelStamp(Repr::Heap(Arc::new(HeapStamp::new(v))))
+            }
+        }
+    }
+
+    /// The stamp made of this stamp's first `k` digits (`k ≤ level`).
+    fn prefix(&self, k: usize) -> LevelStamp {
+        debug_assert!(k <= self.level());
+        match &self.0 {
+            Repr::Inline { digits, .. } => {
+                let mut d = [0u8; INLINE_DIGITS];
+                d[..k].copy_from_slice(&digits[..k]);
+                LevelStamp(Repr::Inline {
+                    len: k as u8,
+                    digits: d,
+                })
+            }
+            Repr::Heap(h) => LevelStamp::from_digits(&h.digits[..k]),
+        }
     }
 
     /// The parent's stamp, or `None` for the root.
     pub fn parent(&self) -> Option<LevelStamp> {
-        if self.0.is_empty() {
-            None
-        } else {
-            Some(LevelStamp(Arc::from(&self.0[..self.0.len() - 1])))
+        match self.level() {
+            0 => None,
+            n => Some(self.prefix(n - 1)),
         }
     }
 
     /// The task's level: the root is level 0.
     pub fn level(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(h) => h.digits.len(),
+        }
     }
 
-    /// The raw digits.
-    pub fn digits(&self) -> &[u32] {
-        &self.0
+    /// The raw digits, materialized. Inline stamps store digits packed, so
+    /// this allocates; it exists for tests, traces and scenario scripts —
+    /// hot paths use [`LevelStamp::iter`] or the comparison helpers.
+    pub fn digits(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Iterates the digits without materializing them.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let (inline, heap): (&[u8], &[u32]) = match &self.0 {
+            Repr::Inline { len, digits } => (&digits[..*len as usize], &[]),
+            Repr::Heap(h) => (&[], &h.digits),
+        };
+        inline
+            .iter()
+            .map(|d| u32::from(*d))
+            .chain(heap.iter().copied())
+    }
+
+    /// True if `self`'s digits are a prefix of `other`'s.
+    fn is_prefix_of(&self, other: &LevelStamp) -> bool {
+        match (&self.0, &other.0) {
+            (
+                Repr::Inline { len: la, digits: a },
+                Repr::Inline {
+                    len: lb, digits: b, ..
+                },
+            ) => la <= lb && a[..*la as usize] == b[..*la as usize],
+            (Repr::Heap(a), Repr::Heap(b)) => {
+                a.digits.len() <= b.digits.len() && b.digits[..a.digits.len()] == a.digits[..]
+            }
+            // Mixed representations: compare digit-wise (rare path).
+            _ => self.level() <= other.level() && self.iter().eq(other.iter().take(self.level())),
+        }
     }
 
     /// True if `self` is a *strict* ancestor of `other` (a proper prefix).
     pub fn is_ancestor_of(&self, other: &LevelStamp) -> bool {
-        self.0.len() < other.0.len() && other.0[..self.0.len()] == *self.0
+        self.level() < other.level() && self.is_prefix_of(other)
     }
 
     /// True if `self` is `other` or an ancestor of it.
     pub fn is_self_or_ancestor_of(&self, other: &LevelStamp) -> bool {
-        self == other || self.is_ancestor_of(other)
+        self.level() <= other.level() && self.is_prefix_of(other)
     }
 
     /// True if `self` is a *strict* descendant of `other`.
@@ -82,7 +227,7 @@ impl LevelStamp {
     /// results down a regenerated spine.
     pub fn child_towards(&self, descendant: &LevelStamp) -> Option<LevelStamp> {
         if self.is_ancestor_of(descendant) {
-            Some(LevelStamp(Arc::from(&descendant.0[..self.0.len() + 1])))
+            Some(descendant.prefix(self.level() + 1))
         } else {
             None
         }
@@ -91,12 +236,11 @@ impl LevelStamp {
     /// Longest common ancestor of two stamps.
     pub fn common_ancestor(&self, other: &LevelStamp) -> LevelStamp {
         let n = self
-            .0
             .iter()
-            .zip(other.0.iter())
+            .zip(other.iter())
             .take_while(|(a, b)| a == b)
             .count();
-        LevelStamp(Arc::from(&self.0[..n]))
+        self.prefix(n)
     }
 
     /// Selects the *topmost* stamps of a set: the minimal antichain under
@@ -120,12 +264,69 @@ impl LevelStamp {
     }
 }
 
+impl PartialEq for LevelStamp {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (Repr::Inline { len: la, digits: a }, Repr::Inline { len: lb, digits: b }) => {
+                la == lb && a == b
+            }
+            (Repr::Heap(a), Repr::Heap(b)) => {
+                Arc::ptr_eq(a, b) || (a.hash == b.hash && a.digits == b.digits)
+            }
+            // Canonical representation: equal digit strings share a variant.
+            _ => false,
+        }
+    }
+}
+
+impl Eq for LevelStamp {}
+
+impl PartialOrd for LevelStamp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LevelStamp {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (&self.0, &other.0) {
+            (Repr::Inline { len: la, digits: a }, Repr::Inline { len: lb, digits: b }) => {
+                // Zero-filled tails make whole-array order agree with
+                // lexicographic digit order; equal arrays defer to length
+                // (a strict prefix sorts first).
+                a.cmp(b).then(la.cmp(lb))
+            }
+            (Repr::Heap(a), Repr::Heap(b)) => a.digits.cmp(&b.digits),
+            _ => self.iter().cmp(other.iter()),
+        }
+    }
+}
+
+impl Hash for LevelStamp {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match &self.0 {
+            Repr::Inline { len, digits } => {
+                state.write_u8(*len);
+                state.write(&digits[..*len as usize]);
+            }
+            Repr::Heap(h) => {
+                // The cached hash stands in for the digit stream. Inline
+                // and heap streams never collide on equal values — the
+                // canonical representation keeps equal values in one
+                // variant.
+                state.write_u8(0xFF);
+                state.write_u64(h.hash);
+            }
+        }
+    }
+}
+
 impl fmt::Display for LevelStamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0.is_empty() {
+        if self.level() == 0 {
             return write!(f, "ε");
         }
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ".")?;
             }
@@ -243,5 +444,99 @@ mod tests {
         let mut v = vec![s(&[2]), s(&[1, 2]), s(&[1]), s(&[1, 1, 1])];
         v.sort();
         assert_eq!(v, vec![s(&[1]), s(&[1, 1, 1]), s(&[1, 2]), s(&[2])]);
+    }
+
+    // ------------------------------------------------------------------
+    // Inline/heap representation properties.
+    // ------------------------------------------------------------------
+
+    /// A stamp forced onto the heap: one digit exceeds the inline byte.
+    fn wide(d: &[u32]) -> LevelStamp {
+        let mut v = d.to_vec();
+        v.push(1_000);
+        let stamp = LevelStamp::from_digits(&v);
+        assert!(matches!(stamp.0, Repr::Heap(_)), "wide digit spills");
+        stamp
+    }
+
+    #[test]
+    fn representation_is_canonical() {
+        // Shallow, small digits → inline; deep or wide → heap.
+        assert!(matches!(s(&[1, 2, 3]).0, Repr::Inline { .. }));
+        assert!(matches!(s(&[255; INLINE_DIGITS]).0, Repr::Inline { .. }));
+        assert!(matches!(s(&[1; INLINE_DIGITS + 1]).0, Repr::Heap(_)));
+        assert!(matches!(s(&[256]).0, Repr::Heap(_)));
+        // child() preserves canonical form at the inline/heap boundary…
+        let deep = s(&[1; INLINE_DIGITS]).child(2);
+        assert!(matches!(deep.0, Repr::Heap(_)));
+        assert_eq!(deep.level(), INLINE_DIGITS + 1);
+        // …and parent() restores inline eligibility coming back up.
+        let back = deep.parent().unwrap();
+        assert!(matches!(back.0, Repr::Inline { .. }));
+        assert_eq!(back, s(&[1; INLINE_DIGITS]));
+        let wide_parent = wide(&[1, 2]).parent().unwrap();
+        assert!(matches!(wide_parent.0, Repr::Inline { .. }));
+        assert_eq!(wide_parent, s(&[1, 2]));
+    }
+
+    #[test]
+    fn heap_and_inline_stamps_interoperate() {
+        let a = s(&[1, 2]);
+        let w = wide(&[1, 2]); // 1.2.1000
+        assert!(a.is_ancestor_of(&w));
+        assert!(w.is_descendant_of(&a));
+        assert_eq!(a.child_towards(&w), Some(w.clone()));
+        assert_eq!(a.common_ancestor(&w), a);
+        assert_eq!(w.common_ancestor(&s(&[1, 3])), s(&[1]));
+        // Ordering across representations stays lexicographic.
+        let mut v = vec![w.clone(), s(&[1, 3]), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, w, s(&[1, 3])]);
+    }
+
+    #[test]
+    fn deep_chains_round_trip() {
+        // Walk down 40 levels and back up; every step agrees with the
+        // explicit digit vector.
+        let mut stamp = LevelStamp::root();
+        let mut digits: Vec<u32> = Vec::new();
+        for i in 1..=40u32 {
+            stamp = stamp.child(i);
+            digits.push(i);
+            assert_eq!(stamp, LevelStamp::from_digits(&digits));
+            assert_eq!(stamp.level(), digits.len());
+            assert_eq!(stamp.digits(), digits);
+        }
+        for _ in 0..40 {
+            digits.pop();
+            stamp = stamp.parent().unwrap();
+            assert_eq!(stamp, LevelStamp::from_digits(&digits));
+        }
+        assert_eq!(stamp.parent(), None);
+    }
+
+    #[test]
+    fn hashes_agree_with_equality() {
+        use std::collections::HashMap;
+        let mut map: HashMap<LevelStamp, u32> = HashMap::new();
+        map.insert(s(&[1, 2]), 1);
+        map.insert(wide(&[1, 2]), 2);
+        map.insert(s(&[1; INLINE_DIGITS + 3]), 3);
+        // Re-derived keys (fresh allocations / fresh inline copies) hit.
+        assert_eq!(map.get(&s(&[1]).child(2)), Some(&1));
+        assert_eq!(map.get(&wide(&[1, 2])), Some(&2));
+        assert_eq!(map.get(&s(&[1; INLINE_DIGITS + 3])), Some(&3));
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn stamp_stays_register_sized() {
+        // The whole point of the inline representation: a stamp moves in
+        // three words and clones without touching the heap.
+        assert!(
+            std::mem::size_of::<LevelStamp>() <= 24,
+            "LevelStamp grew past 24 bytes: {}",
+            std::mem::size_of::<LevelStamp>()
+        );
     }
 }

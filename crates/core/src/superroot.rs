@@ -97,7 +97,7 @@ impl SuperRoot {
             },
             Action::Send {
                 to: dest,
-                msg: Msg::Spawn(self.packet.clone()),
+                msg: Msg::spawn(self.packet.clone()),
             },
         ]
     }
@@ -126,7 +126,7 @@ impl SuperRoot {
             },
             Action::Send {
                 to: dest,
-                msg: Msg::Spawn(p),
+                msg: Msg::spawn(p),
             },
         ]
     }
@@ -135,12 +135,9 @@ impl SuperRoot {
     /// supplies a placement for reissues triggered by this message.
     pub fn on_message(&mut self, msg: Msg, fallback_dest: ProcId) -> Vec<Action> {
         match msg {
-            Msg::Ack {
-                child_stamp,
-                child_addr,
-                incarnation,
-                ..
-            } => {
+            Msg::Ack(ack) => {
+                let (child_stamp, child_addr, incarnation) =
+                    (ack.child_stamp, ack.child_addr, ack.incarnation);
                 if child_stamp != self.packet.stamp {
                     return Vec::new();
                 }
@@ -167,16 +164,16 @@ impl SuperRoot {
                     sp.to = child_addr;
                     actions.push(Action::Send {
                         to: child_addr.proc,
-                        msg: Msg::Salvage(sp),
+                        msg: Msg::salvage(sp),
                     });
                 }
                 actions
             }
             Msg::Result(rp) => {
-                self.on_result(rp);
+                self.on_result(*rp);
                 Vec::new()
             }
-            Msg::Salvage(sp) => self.on_salvage(sp, fallback_dest),
+            Msg::Salvage(sp) => self.on_salvage(*sp, fallback_dest),
             Msg::FailureNotice { dead } => self.on_failure(dead, fallback_dest),
             _ => Vec::new(),
         }
@@ -204,7 +201,7 @@ impl SuperRoot {
                 sp.to = addr;
                 actions.push(Action::Send {
                     to: addr.proc,
-                    msg: Msg::Salvage(sp),
+                    msg: Msg::salvage(sp),
                 });
             }
             _ => {
@@ -271,16 +268,16 @@ mod tests {
     }
 
     fn ack(sr_: &SuperRoot, proc: ProcId, inc: u32) -> Msg {
-        Msg::Ack {
-            child_stamp: sr_.root_stamp().clone(),
-            child_addr: TaskAddr::new(proc, TaskKey(0)),
-            parent: TaskAddr::super_root(),
-            incarnation: inc,
-        }
+        Msg::ack(
+            sr_.root_stamp().clone(),
+            TaskAddr::new(proc, TaskKey(0)),
+            TaskAddr::super_root(),
+            inc,
+        )
     }
 
     fn result(sr_: &SuperRoot, v: i64) -> Msg {
-        Msg::Result(ResultPacket {
+        Msg::result(ResultPacket {
             from_stamp: sr_.root_stamp().clone(),
             demand: sr_.packet.demand.clone(),
             value: Value::Int(v),
@@ -397,7 +394,7 @@ mod tests {
             value: Value::Int(34),
             from_stamp: s.root_stamp().child(1),
         };
-        let actions = s.on_message(Msg::Salvage(sp), ProcId(1));
+        let actions = s.on_message(Msg::salvage(sp), ProcId(1));
         assert!(actions.is_empty(), "buffered until the twin root is placed");
         let actions = s.on_message(ack(&s, ProcId(1), 1), ProcId(1));
         assert!(

@@ -233,12 +233,12 @@ mod tests {
     use splice_core::ids::TaskAddr;
 
     fn msg() -> Msg {
-        Msg::Ack {
-            child_stamp: splice_core::stamp::LevelStamp::from_digits(&[1]),
-            child_addr: TaskAddr::new(ProcId(0), splice_core::ids::TaskKey(0)),
-            parent: TaskAddr::super_root(),
-            incarnation: 0,
-        }
+        Msg::ack(
+            splice_core::stamp::LevelStamp::from_digits(&[1]),
+            TaskAddr::new(ProcId(0), splice_core::ids::TaskKey(0)),
+            TaskAddr::super_root(),
+            0,
+        )
     }
 
     /// Records sends with the extra delay the router asked for.

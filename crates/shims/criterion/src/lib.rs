@@ -65,14 +65,19 @@ impl Criterion {
         self
     }
 
-    /// Applies command-line arguments (the shim honours a single positional
-    /// substring filter and ignores flags like `--bench`).
+    /// Applies command-line arguments. The shim honours a single positional
+    /// substring filter, real criterion's `--test` smoke mode (each
+    /// benchmark executes one iteration with no warm-up — the CI guard
+    /// against bench drift), and ignores other flags like `--bench`.
     pub fn configure_from_args(mut self) -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         for a in args {
-            if !a.starts_with('-') {
+            if a == "--test" {
+                self.sample_size = 1;
+                self.warm_up_time = Duration::ZERO;
+                self.measurement_time = Duration::ZERO;
+            } else if !a.starts_with('-') && self.filter.is_none() {
                 self.filter = Some(a);
-                break;
             }
         }
         self

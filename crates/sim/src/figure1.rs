@@ -261,9 +261,12 @@ mod tests {
         assert!(out.correct());
         // The two orphan fragment tops (D4 on D, A2 on A) commit suicide...
         assert_eq!(out.report.stats.orphans_suicided, 2);
-        // ...and their fragments are garbage collected by the cascade:
-        // D5, A5 + its chain, D1/D2 already done, C4 — 10 tasks.
-        assert_eq!(out.report.stats.tasks_aborted, 10);
+        // ...and their fragments are garbage collected by the cascade.
+        // The exact membership depends on how far the fragments spawned
+        // ahead of the abort wave under the link cost model (every
+        // genealogical link is charged at true size); deterministically 8
+        // tasks here.
+        assert_eq!(out.report.stats.tasks_aborted, 8);
         // Recovery re-issues exactly B1 (A), B2+B3 (C), B7 (D) — not B5.
         assert_eq!(out.report.stats.reissues, 4, "{}", out.report.stats);
     }
@@ -307,12 +310,12 @@ mod tests {
     fn splice_preserves_orphan_progress_rollback_discards_it() {
         let rollback = run(RecoveryMode::Rollback, CheckpointFilter::Topmost);
         let splice = run(RecoveryMode::Splice, CheckpointFilter::Topmost);
-        // Rollback throws 12 tasks of partial progress away (2 suicides +
-        // 10 cascade aborts); splice aborts nothing and completes more
-        // tasks usefully.
+        // Rollback throws 10 tasks of partial progress away (2 suicides +
+        // 8 cascade aborts under the true-size link cost model); splice
+        // aborts nothing and completes more tasks usefully.
         let rolled_away =
             rollback.report.stats.orphans_suicided + rollback.report.stats.tasks_aborted;
-        assert_eq!(rolled_away, 12);
+        assert_eq!(rolled_away, 10);
         assert_eq!(
             splice.report.stats.orphans_suicided + splice.report.stats.tasks_aborted,
             0

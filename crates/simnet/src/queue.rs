@@ -4,10 +4,38 @@
 //! by insertion order, making entire simulations reproducible bit-for-bit
 //! for a given seed — the property every experiment and property test in
 //! this repository leans on.
+//!
+//! # Calendar design
+//!
+//! The queue is the DES hot path: every message delivery, bounce, timer,
+//! wave effect and step goes through one push and one pop. A binary heap
+//! pays `O(log n)` pointer-chasing comparisons on both sides; the calendar
+//! layout below gets amortized `O(1)`:
+//!
+//! * Near-future events land in a ring of [`N_BUCKETS`] *day* buckets of
+//!   [`BUCKET_TICKS`] virtual ticks each, covering a sliding window of
+//!   `N_BUCKETS × BUCKET_TICKS` ticks from the current day. A push is an
+//!   append; the day being drained is sorted once (descending, so pops are
+//!   `Vec::pop` from the back) and same-day pushes during the drain are
+//!   order-preserving binary insertions.
+//! * Far-future events (long timers: ack timeouts on high-latency routers,
+//!   heartbeat horizons) overflow into an unordered spill vector and are
+//!   migrated into the ring as the window slides over them.
+//!
+//! Pop order is *identical* to the heap's — the property test in
+//! `tests/queue_model.rs` cross-checks random interleaved schedules against
+//! a `BinaryHeap` reference model, including same-tick ties and far-future
+//! timers. Pushes at or before the current drain point (the simulator never
+//! emits them, but the structure is public) clamp into the current day and
+//! still pop in exact `(time, seq)` order.
 
 use crate::time::VirtualTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+
+/// Ticks covered by one calendar day bucket.
+const BUCKET_TICKS: u64 = 16;
+/// Days in the ring (power of two; the window is `N_BUCKETS × BUCKET_TICKS`
+/// = 16384 ticks, comfortably past default ack timeouts and beacon periods).
+const N_BUCKETS: usize = 1024;
 
 struct Entry<E> {
     at: VirtualTime,
@@ -15,30 +43,31 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse for earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Entry<E> {
+    /// `(time, seq)` packed into one word-pair: a single `u128` compare
+    /// replaces the two-field tuple compare in the sort hot loop.
+    #[inline]
+    fn key(&self) -> u128 {
+        (u128::from(self.at.ticks()) << 64) | u128::from(self.seq)
     }
 }
 
 /// A deterministic priority queue of timed events.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// The day ring. Bucket `d & (N_BUCKETS-1)` holds day `d`'s events
+    /// while `d` is inside the window `[cur_day, cur_day + N_BUCKETS)`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Events beyond the window, unordered.
+    overflow: Vec<Entry<E>>,
+    /// Smallest day present in `overflow` (meaningless when empty).
+    overflow_min_day: u64,
+    /// The day currently being drained.
+    cur_day: u64,
+    /// Day whose bucket is sorted descending (`u64::MAX` = none).
+    sorted_day: u64,
+    /// Events in the ring (len - overflow.len()).
+    in_window: usize,
+    len: usize,
     next_seq: u64,
     scheduled_total: u64,
 }
@@ -46,11 +75,22 @@ pub struct EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            overflow_min_day: 0,
+            cur_day: 0,
+            sorted_day: u64::MAX,
+            in_window: 0,
+            len: 0,
             next_seq: 0,
             scheduled_total: 0,
         }
     }
+}
+
+#[inline]
+fn day_of(at: VirtualTime) -> u64 {
+    at.ticks() / BUCKET_TICKS
 }
 
 impl<E> EventQueue<E> {
@@ -64,28 +104,123 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Entry { at, seq, event });
+        if self.len == 0 {
+            // Empty queue: re-anchor the window at the event so pops never
+            // walk stale empty days.
+            self.cur_day = day_of(at);
+            self.sorted_day = u64::MAX;
+        }
+        let entry = Entry { at, seq, event };
+        // Late pushes (at or before the drain point) clamp into the current
+        // day; the in-bucket `(time, seq)` order still pops them first.
+        let day = day_of(at).max(self.cur_day);
+        if day < self.cur_day + N_BUCKETS as u64 {
+            let bucket = &mut self.buckets[(day & (N_BUCKETS as u64 - 1)) as usize];
+            if day == self.sorted_day {
+                // The day is mid-drain and sorted descending: insert in
+                // place so the drain stays ordered.
+                let pos = bucket.partition_point(|e| e.key() > entry.key());
+                bucket.insert(pos, entry);
+            } else {
+                if bucket.capacity() == bucket.len() {
+                    // Skip the 4→8→16 doubling ramp: one day of a busy
+                    // simulation holds tens of events.
+                    bucket.reserve(16.max(bucket.len()));
+                }
+                bucket.push(entry);
+            }
+            self.in_window += 1;
+        } else {
+            if self.overflow.is_empty() || day < self.overflow_min_day {
+                self.overflow_min_day = day;
+            }
+            self.overflow.push(entry);
+        }
+        self.len += 1;
         seq
+    }
+
+    /// Moves every overflow event now inside the window into the ring.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cur_day + N_BUCKETS as u64;
+        let mut next_min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let day = day_of(self.overflow[i].at);
+            if day < horizon {
+                let entry = self.overflow.swap_remove(i);
+                debug_assert!(day >= self.cur_day);
+                let bucket = &mut self.buckets[(day & (N_BUCKETS as u64 - 1)) as usize];
+                if day == self.sorted_day {
+                    let pos = bucket.partition_point(|e| e.key() > entry.key());
+                    bucket.insert(pos, entry);
+                } else {
+                    bucket.push(entry);
+                }
+                self.in_window += 1;
+            } else {
+                next_min = next_min.min(day);
+                i += 1;
+            }
+        }
+        self.overflow_min_day = next_min;
     }
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let idx = (self.cur_day & (N_BUCKETS as u64 - 1)) as usize;
+            if !self.buckets[idx].is_empty() {
+                if self.sorted_day != self.cur_day {
+                    self.buckets[idx].sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                    self.sorted_day = self.cur_day;
+                }
+                let e = self.buckets[idx].pop().expect("bucket non-empty");
+                self.len -= 1;
+                self.in_window -= 1;
+                return Some((e.at, e.event));
+            }
+            // Advance the window one day — or jump it straight to the
+            // overflow when nothing nearer remains.
+            if self.in_window == 0 {
+                debug_assert!(!self.overflow.is_empty());
+                self.cur_day = self.overflow_min_day;
+            } else {
+                self.cur_day += 1;
+            }
+            if !self.overflow.is_empty() && self.overflow_min_day < self.cur_day + N_BUCKETS as u64
+            {
+                self.migrate_overflow();
+            }
+        }
     }
 
-    /// Time of the earliest pending event.
+    /// Time of the earliest pending event. (Not on the hot path: scans the
+    /// window rather than mutating drain state.)
     pub fn peek_time(&self) -> Option<VirtualTime> {
-        self.heap.peek().map(|e| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        for day in self.cur_day..self.cur_day + N_BUCKETS as u64 {
+            let bucket = &self.buckets[(day & (N_BUCKETS as u64 - 1)) as usize];
+            if let Some(e) = bucket.iter().min_by_key(|e| e.key()) {
+                return Some(e.at);
+            }
+        }
+        self.overflow.iter().map(|e| e.at).min()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total events ever scheduled.
@@ -133,5 +268,64 @@ mod tests {
         assert_eq!(q.scheduled_total(), 3);
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let mut q = EventQueue::new();
+        let horizon = BUCKET_TICKS * N_BUCKETS as u64;
+        q.push(VirtualTime(3 * horizon), "far");
+        q.push(VirtualTime(7 * horizon), "farther");
+        q.push(VirtualTime(2), "near");
+        assert_eq!(q.peek_time(), Some(VirtualTime(2)));
+        assert_eq!(q.pop(), Some((VirtualTime(2), "near")));
+        assert_eq!(q.peek_time(), Some(VirtualTime(3 * horizon)));
+        assert_eq!(q.pop(), Some((VirtualTime(3 * horizon), "far")));
+        // Push into the re-anchored window while the second spill is still
+        // pending.
+        q.push(VirtualTime(3 * horizon + 5), "mid");
+        assert_eq!(q.pop(), Some((VirtualTime(3 * horizon + 5), "mid")));
+        assert_eq!(q.pop(), Some((VirtualTime(7 * horizon), "farther")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_day_pushes_during_drain_keep_order() {
+        let mut q = EventQueue::new();
+        // Fill one day, start draining it, then push more of the same day.
+        q.push(VirtualTime(4), 0);
+        q.push(VirtualTime(6), 1);
+        assert_eq!(q.pop(), Some((VirtualTime(4), 0)));
+        q.push(VirtualTime(5), 2); // earlier time, later seq — pops first
+        q.push(VirtualTime(6), 3); // ties with 1 on time, later seq
+        assert_eq!(q.pop(), Some((VirtualTime(5), 2)));
+        assert_eq!(q.pop(), Some((VirtualTime(6), 1)));
+        assert_eq!(q.pop(), Some((VirtualTime(6), 3)));
+    }
+
+    #[test]
+    fn late_pushes_clamp_into_the_current_day() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime(100), "now");
+        q.push(VirtualTime(120), "later");
+        assert_eq!(q.pop(), Some((VirtualTime(100), "now")));
+        // A push earlier than the drain point (the heap allowed this) must
+        // still come out before everything later.
+        q.push(VirtualTime(40), "past");
+        assert_eq!(q.pop(), Some((VirtualTime(40), "past")));
+        assert_eq!(q.pop(), Some((VirtualTime(120), "later")));
+    }
+
+    #[test]
+    fn empty_queue_reanchors_far_ahead() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime(10), 1);
+        assert_eq!(q.pop(), Some((VirtualTime(10), 1)));
+        // Next event epochs later: no window walk, direct re-anchor.
+        let far = 1_000_000_000u64;
+        q.push(VirtualTime(far), 2);
+        assert_eq!(q.peek_time(), Some(VirtualTime(far)));
+        assert_eq!(q.pop(), Some((VirtualTime(far), 2)));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -113,7 +113,7 @@ impl Cluster {
             replica: None,
             under_replica: false,
         };
-        let actions = self.engines[0].on_message(Msg::Spawn(packet));
+        let actions = self.engines[0].on_message(Msg::spawn(packet));
         self.absorb(ProcId(0), actions);
         // Discard the ack to the super-root.
         self.pool.retain(|(_, to, _)| !to.is_super_root());

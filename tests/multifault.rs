@@ -7,6 +7,7 @@
 //! extended to include pointers to the great grandparent and beyond."
 
 use splice::core::config::{CheckpointFilter, RecoveryMode};
+use splice::core::packet::MsgKind;
 use splice::core::place::ScriptedPlacer;
 use splice::prelude::*;
 use splice::sim::figure1;
@@ -42,12 +43,28 @@ fn faults_on_different_branches_recover_in_parallel() {
         let mut cfg = MachineConfig::new(12);
         cfg.recovery.mode = mode;
         let fault_free = run_workload(cfg.clone(), &w, &FaultPlan::none());
+        assert_eq!(
+            fault_free.stats.sent_of(MsgKind::FailureNotice),
+            0,
+            "{mode:?}: no deaths, no gossip"
+        );
         let t = fault_free.finish.ticks();
         let faults =
             FaultPlan::crash_at(2, VirtualTime(t / 3)).and(9, VirtualTime(t / 3), FaultKind::Crash);
         let r = run_workload(cfg, &w, &faults);
         assert!(r.completed, "{mode:?} stalled");
         assert_eq!(r.result, Some(w.reference_result().unwrap()), "{mode:?}");
+        // Gossip dedup: `known_dead` suppresses re-forwarding, so each of
+        // the 12 engines broadcasts each of the 2 deaths at most once to
+        // its ≤11 neighbours. Without the dedup every redundant notice
+        // (detector broadcast + peer gossip) would echo back out and this
+        // bound diverges.
+        let notices = r.stats.sent_of(MsgKind::FailureNotice);
+        assert!(notices > 0, "{mode:?}: deaths must be gossiped");
+        assert!(
+            notices <= 2 * 12 * 11,
+            "{mode:?}: redundant failure-notice broadcasts: {notices}"
+        );
     }
 }
 
