@@ -32,6 +32,17 @@ impl Env {
         }
     }
 
+    /// Rebinds a recycled environment in place: drops every live binding,
+    /// then binds `params` to `args` positionally. Equivalent to
+    /// [`Env::bind_params`] but reuses the existing allocation — the wave
+    /// evaluator's frame pool calls this once per wave.
+    pub fn rebind(&mut self, params: &[Arc<str>], args: &[Value]) {
+        debug_assert_eq!(params.len(), args.len());
+        self.bindings.clear();
+        self.bindings
+            .extend(params.iter().cloned().zip(args.iter().cloned()));
+    }
+
     /// Pushes a binding (innermost scope).
     pub fn push(&mut self, name: Arc<str>, value: Value) {
         self.bindings.push((name, value));

@@ -1,0 +1,117 @@
+//! A fast, non-cryptographic hasher for the protocol's hot maps.
+//!
+//! The wave evaluator's call cache and the engine's task/child/checkpoint
+//! tables are keyed by small structured values (demands, level stamps,
+//! task keys) and live entirely inside one process — there is no untrusted
+//! input to defend against, so std's SipHash pays DoS resistance the hot
+//! path cannot use. This is the `rustc-hash` (FxHash) multiply-rotate mix:
+//! a few arithmetic ops per word, which on demand-sized keys is an order
+//! of magnitude cheaper than SipHash.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word mixer (rotate, xor, multiply per input word).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_spreading() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_eq!(h(b"splice"), h(b"splice"));
+        assert_ne!(h(b"splice"), h(b"splics"));
+        // Length is mixed in, so a zero tail is not a collision.
+        assert_ne!(h(b"ab"), h(b"ab\0"));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..100u32 {
+            m.insert(format!("k{i}"), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(&format!("k{i}")), Some(&i));
+        }
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

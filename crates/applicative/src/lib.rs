@@ -28,6 +28,7 @@ pub mod calltree;
 pub mod env;
 pub mod error;
 pub mod eval;
+pub mod fxhash;
 pub mod parser;
 pub mod pretty;
 pub mod prim;
@@ -42,6 +43,7 @@ pub const MAX_RANGE_LEN: usize = 1 << 20;
 pub use ast::{Expr, FnDef, FnId, Program};
 pub use error::EvalError;
 pub use eval::{eval_call, Budget};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use programs::Workload;
 pub use value::Value;
-pub use wave::{Demand, TaskEval, WaveResult};
+pub use wave::{Demand, FramePool, TaskEval, WaveResult};

@@ -143,6 +143,48 @@ impl PrimOp {
         })
     }
 
+    /// Binary fast path: applies the operator to two by-value arguments.
+    /// Integer/boolean pairs skip the slice walk, arity re-check and error
+    /// closures of [`PrimOp::apply`] — this is the wave walker's inner
+    /// loop. Anything else (list/string payloads, arity misuse) falls back
+    /// to `apply`, so the two paths agree on every input.
+    #[inline]
+    pub fn apply2(self, a: Value, b: Value) -> Result<Value, EvalError> {
+        use PrimOp::*;
+        match (&a, &b) {
+            (Value::Int(x), Value::Int(y)) => {
+                let (x, y) = (*x, *y);
+                Ok(match self {
+                    Add => Value::Int(x.wrapping_add(y)),
+                    Sub => Value::Int(x.wrapping_sub(y)),
+                    Mul => Value::Int(x.wrapping_mul(y)),
+                    Div if y != 0 => Value::Int(x.wrapping_div(y)),
+                    Mod if y != 0 => Value::Int(x.wrapping_rem(y)),
+                    Min => Value::Int(x.min(y)),
+                    Max => Value::Int(x.max(y)),
+                    Lt => Value::Bool(x < y),
+                    Le => Value::Bool(x <= y),
+                    Gt => Value::Bool(x > y),
+                    Ge => Value::Bool(x >= y),
+                    Eq => Value::Bool(x == y),
+                    Ne => Value::Bool(x != y),
+                    _ => return self.apply(&[a, b]),
+                })
+            }
+            (Value::Bool(x), Value::Bool(y)) => {
+                let (x, y) = (*x, *y);
+                Ok(match self {
+                    And => Value::Bool(x && y),
+                    Or => Value::Bool(x || y),
+                    Eq => Value::Bool(x == y),
+                    Ne => Value::Bool(x != y),
+                    _ => return self.apply(&[a, b]),
+                })
+            }
+            _ => self.apply(&[a, b]),
+        }
+    }
+
     /// Applies the operator to evaluated arguments.
     pub fn apply(self, args: &[Value]) -> Result<Value, EvalError> {
         use PrimOp::*;

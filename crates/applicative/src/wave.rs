@@ -31,9 +31,9 @@
 use crate::ast::{Expr, FnId, Program};
 use crate::env::Env;
 use crate::error::EvalError;
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::value::Value;
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 
 /// A child-task demand: a combinator applied to fully evaluated arguments.
 /// This is the payload of a task packet.
@@ -66,13 +66,198 @@ pub enum WaveResult {
     },
 }
 
+/// Recycled evaluation scratch: retired task frames (their call caches
+/// keep their capacity), the shared value stack the walker evaluates on,
+/// demand out-buffers, and environments. One pool serves one evaluation
+/// context (a protocol engine, a `run_local` call tree); everything drawn
+/// from it is returned on retirement, so steady-state wave evaluation
+/// performs no heap allocation beyond genuinely new data.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    evals: Vec<TaskEval>,
+    envs: Vec<Env>,
+    demand_bufs: Vec<Vec<Demand>>,
+    vals: Vec<Value>,
+}
+
+impl FramePool {
+    /// An empty pool. Allocates nothing until frames are retired into it.
+    pub fn new() -> FramePool {
+        FramePool::default()
+    }
+
+    /// A task frame applying `fun` to `args`, recycled if possible.
+    pub fn take_eval(&mut self, fun: FnId, args: &[Value]) -> TaskEval {
+        match self.evals.pop() {
+            Some(mut e) => {
+                e.reset(fun, args);
+                e
+            }
+            None => TaskEval::new(fun, args.to_vec()),
+        }
+    }
+
+    /// Retires a finished frame; its allocations are reused by the next
+    /// [`FramePool::take_eval`].
+    pub fn put_eval(&mut self, mut eval: TaskEval) {
+        eval.cache.clear();
+        eval.args.clear();
+        self.evals.push(eval);
+    }
+
+    /// A cleared demand out-buffer for [`TaskEval::step_pooled`].
+    pub fn take_demands(&mut self) -> Vec<Demand> {
+        self.demand_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a demand buffer to the pool.
+    pub fn put_demands(&mut self, mut buf: Vec<Demand>) {
+        buf.clear();
+        self.demand_bufs.push(buf);
+    }
+}
+
+/// Entries a task's call cache holds inline before spilling to buckets.
+/// Most tasks demand a handful of children; a linear scan over a short
+/// vector beats hashing the demand key on every `Call` node the walker
+/// revisits — and lets lookups key on `(FnId, &[Value])` without ever
+/// materializing an owned [`Demand`].
+const CACHE_SPILL: usize = 24;
+
+/// The within-task call cache: `(function, arguments) → result slot`,
+/// where `None` marks an issued-but-unanswered demand.
+///
+/// Small tasks stay in `small` (insertion order, linear scan). Tasks with
+/// many demands (wide map steps) spill into `big`, a bucket map keyed by
+/// a precomputed [`FxHasher`] hash of the demand, which keeps lookups
+/// borrow-only: the probe hashes `(fun, args)` directly off the walker's
+/// value stack.
+#[derive(Clone, Debug, Default)]
+struct DemandCache {
+    small: Vec<(Demand, Option<Value>)>,
+    big: FxHashMap<u64, Vec<(Demand, Option<Value>)>>,
+    big_len: usize,
+}
+
+fn demand_key_hash(fun: FnId, args: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    fun.hash(&mut h);
+    args.hash(&mut h);
+    h.finish()
+}
+
+impl DemandCache {
+    fn len(&self) -> usize {
+        self.small.len() + self.big_len
+    }
+
+    fn clear(&mut self) {
+        self.small.clear();
+        self.big.clear();
+        self.big_len = 0;
+    }
+
+    /// Borrow-only lookup: no owned key is built on either tier.
+    fn lookup(&self, fun: FnId, args: &[Value]) -> Option<&Option<Value>> {
+        for (d, slot) in &self.small {
+            if d.fun == fun && d.args[..] == *args {
+                return Some(slot);
+            }
+        }
+        if self.big_len == 0 {
+            return None;
+        }
+        let bucket = self.big.get(&demand_key_hash(fun, args))?;
+        bucket
+            .iter()
+            .find(|(d, _)| d.fun == fun && d.args[..] == *args)
+            .map(|(_, slot)| slot)
+    }
+
+    fn slot_mut(&mut self, demand: &Demand) -> Option<&mut Option<Value>> {
+        if let Some(i) = self
+            .small
+            .iter()
+            .position(|(d, _)| d.fun == demand.fun && d.args == demand.args)
+        {
+            return Some(&mut self.small[i].1);
+        }
+        if self.big_len == 0 {
+            return None;
+        }
+        let bucket = self
+            .big
+            .get_mut(&demand_key_hash(demand.fun, &demand.args))?;
+        bucket
+            .iter_mut()
+            .find(|(d, _)| d.fun == demand.fun && d.args == demand.args)
+            .map(|(_, slot)| slot)
+    }
+
+    /// Inserts a key known to be absent (callers look up first).
+    fn insert(&mut self, demand: Demand, slot: Option<Value>) {
+        if self.small.len() < CACHE_SPILL {
+            self.small.push((demand, slot));
+        } else {
+            let hash = demand_key_hash(demand.fun, &demand.args);
+            self.big.entry(hash).or_default().push((demand, slot));
+            self.big_len += 1;
+        }
+    }
+
+    /// One-pass preload: fills an existing empty slot (`Supplied`), leaves
+    /// a filled slot alone (`Known`), or inserts a fresh satisfied entry
+    /// (`New`). Index-based so the miss path can insert without a second
+    /// scan (a returned slot reference would pin the borrow across arms).
+    fn preload(&mut self, demand: Demand, value: Value) -> Preload {
+        fn fill(slot: &mut Option<Value>, value: Value) -> Preload {
+            if slot.is_none() {
+                *slot = Some(value);
+                Preload::Supplied
+            } else {
+                Preload::Known
+            }
+        }
+        if let Some(i) = self
+            .small
+            .iter()
+            .position(|(d, _)| d.fun == demand.fun && d.args == demand.args)
+        {
+            return fill(&mut self.small[i].1, value);
+        }
+        if self.big_len > 0 {
+            let hash = demand_key_hash(demand.fun, &demand.args);
+            if let Some(bucket) = self.big.get_mut(&hash) {
+                if let Some(i) = bucket
+                    .iter()
+                    .position(|(d, _)| d.fun == demand.fun && d.args == demand.args)
+                {
+                    return fill(&mut bucket[i].1, value);
+                }
+            }
+        }
+        self.insert(demand, Some(value));
+        Preload::New
+    }
+}
+
+/// Outcome of [`DemandCache::preload`].
+enum Preload {
+    /// The demand was not in the cache; a satisfied entry was inserted.
+    New,
+    /// The demand was outstanding; its slot was filled.
+    Supplied,
+    /// The demand already had a value; nothing changed.
+    Known,
+}
+
 /// One task's suspendable evaluation state: the task packet plus the call
 /// cache accumulated so far.
 #[derive(Clone, Debug)]
 pub struct TaskEval {
     fun: FnId,
     args: Vec<Value>,
-    cache: HashMap<Demand, Option<Value>>,
+    cache: DemandCache,
     outstanding: usize,
     waves: u32,
     work: u64,
@@ -84,7 +269,7 @@ impl TaskEval {
         TaskEval {
             fun,
             args,
-            cache: HashMap::new(),
+            cache: DemandCache::default(),
             outstanding: 0,
             waves: 0,
             work: 0,
@@ -123,6 +308,25 @@ impl TaskEval {
         self.work
     }
 
+    /// Reinitializes a recycled frame for applying `fun` to `args`,
+    /// keeping the call cache's and argument buffer's allocations.
+    pub fn reset(&mut self, fun: FnId, args: &[Value]) {
+        self.fun = fun;
+        self.args.clear();
+        self.args.extend_from_slice(args);
+        self.cache.clear();
+        self.outstanding = 0;
+        self.waves = 0;
+        self.work = 0;
+    }
+
+    /// Moves the argument values out of a frame being retired (the
+    /// engine builds the completed task's result demand from them without
+    /// re-cloning the vector).
+    pub fn take_args(&mut self) -> Vec<Value> {
+        std::mem::take(&mut self.args)
+    }
+
     /// Runs one wave. New demands are recorded as outstanding; the caller
     /// must eventually [`TaskEval::supply`] each one.
     ///
@@ -130,6 +334,25 @@ impl TaskEval {
     /// twin task consults salvaged results), but the shipped drivers enforce
     /// the wave barrier and only step when [`TaskEval::ready`].
     pub fn step(&mut self, prog: &Program) -> Result<WaveResult, EvalError> {
+        let mut pool = FramePool::new();
+        let mut new_demands = Vec::new();
+        match self.step_pooled(prog, &mut pool, &mut new_demands)? {
+            Some(v) => Ok(WaveResult::Done(v)),
+            None => Ok(WaveResult::Blocked { new_demands }),
+        }
+    }
+
+    /// Runs one wave on pooled scratch — the allocation-free hot path
+    /// behind [`TaskEval::step`]. Newly discovered demands are *appended*
+    /// to `new_demands` (the caller's reusable buffer) and recorded as
+    /// outstanding. Returns `Ok(Some(value))` when the task finished and
+    /// `Ok(None)` while it is blocked.
+    pub fn step_pooled(
+        &mut self,
+        prog: &Program,
+        pool: &mut FramePool,
+        new_demands: &mut Vec<Demand>,
+    ) -> Result<Option<Value>, EvalError> {
         let def = prog.def(self.fun);
         if def.params.len() != self.args.len() {
             return Err(EvalError::CallArity {
@@ -139,32 +362,41 @@ impl TaskEval {
             });
         }
         self.waves += 1;
-        let mut env = Env::bind_params(&def.params, &self.args);
+        let mut env = pool.envs.pop().unwrap_or_default();
+        env.rebind(&def.params, &self.args);
+        let mut vals = std::mem::take(&mut pool.vals);
+        let start = new_demands.len();
         let mut walker = Walker {
             prog,
             cache: &self.cache,
-            new_demands: Vec::new(),
-            seen: HashSet::new(),
+            new_demands,
+            start,
+            vals: &mut vals,
             visited: 0,
         };
-        let out = walker.walk(&def.body, &mut env)?;
+        let out = walker.walk(&def.body, &mut env);
         let visited = walker.visited;
-        let new_demands = walker.new_demands;
+        // Restore the pooled scratch before propagating any error (an
+        // aborted walk leaves values on the stack; clear releases them).
+        vals.clear();
+        pool.vals = vals;
+        env.rebind(&[], &[]);
+        pool.envs.push(env);
         self.work += visited;
-        match out {
+        match out? {
             Walked::Val(v) => {
                 debug_assert!(
-                    new_demands.is_empty(),
+                    new_demands.len() == start,
                     "a completed walk cannot discover demands"
                 );
-                Ok(WaveResult::Done(v))
+                Ok(Some(v))
             }
             Walked::Blocked => {
-                for d in &new_demands {
+                for d in &new_demands[start..] {
                     self.cache.insert(d.clone(), None);
                     self.outstanding += 1;
                 }
-                Ok(WaveResult::Blocked { new_demands })
+                Ok(None)
             }
         }
     }
@@ -174,7 +406,7 @@ impl TaskEval {
     /// was unknown or already satisfied (duplicate results are ignored, per
     /// the paper's case-6/7 analysis: "the second copy is simply ignored").
     pub fn supply(&mut self, demand: &Demand, value: Value) -> bool {
-        match self.cache.get_mut(demand) {
+        match self.cache.slot_mut(demand) {
             Some(slot @ None) => {
                 *slot = Some(value);
                 self.outstanding -= 1;
@@ -191,25 +423,22 @@ impl TaskEval {
     ///
     /// Returns `true` if the entry was new.
     pub fn preload(&mut self, demand: Demand, value: Value) -> bool {
-        match self.cache.entry(demand) {
-            Entry::Occupied(mut o) => {
-                if o.get().is_none() {
-                    // The demand was already issued: treat as a normal supply.
-                    o.insert(Some(value));
-                    self.outstanding -= 1;
-                }
+        match self.cache.preload(demand, value) {
+            Preload::New => true,
+            Preload::Supplied => {
+                // The demand was already issued: treat as a normal supply.
+                self.outstanding -= 1;
                 false
             }
-            Entry::Vacant(v) => {
-                v.insert(Some(value));
-                true
-            }
+            Preload::Known => false,
         }
     }
 
     /// Looks up a cached result.
     pub fn cached(&self, demand: &Demand) -> Option<&Value> {
-        self.cache.get(demand).and_then(|s| s.as_ref())
+        self.cache
+            .lookup(demand.fun, &demand.args)
+            .and_then(|s| s.as_ref())
     }
 
     /// Number of cache entries (issued + preloaded).
@@ -223,35 +452,66 @@ enum Walked {
     Blocked,
 }
 
+/// The per-wave body walker. All transient state lives on borrowed,
+/// pooled buffers: `vals` is a shared value *stack* — arguments of the
+/// node being evaluated sit above `base`, the stack length at node entry —
+/// and call-cache lookups key on `(FnId, &[Value])` straight off that
+/// stack, so a revisited `Call` node costs no allocation and no owned key.
+/// Within-wave demand deduplication is a linear scan over the demands this
+/// walk appended (`new_demands[start..]`): waves discover a handful of
+/// demands, where a hash set costs an allocation per wave and wins
+/// nothing.
 struct Walker<'a> {
     prog: &'a Program,
-    cache: &'a HashMap<Demand, Option<Value>>,
-    new_demands: Vec<Demand>,
-    seen: HashSet<Demand>,
+    cache: &'a DemandCache,
+    new_demands: &'a mut Vec<Demand>,
+    start: usize,
+    vals: &'a mut Vec<Value>,
     visited: u64,
 }
 
 impl<'a> Walker<'a> {
+    /// Walks every argument expression, pushing results onto the value
+    /// stack. Returns whether any argument blocked (siblings keep walking
+    /// regardless: all of a wave's demands are discovered together so
+    /// sibling subtrees run in parallel).
+    fn walk_args(&mut self, args: &[Expr], env: &mut Env) -> Result<bool, EvalError> {
+        let mut blocked = false;
+        for a in args {
+            match self.walk(a, env)? {
+                Walked::Val(v) => self.vals.push(v),
+                Walked::Blocked => blocked = true,
+            }
+        }
+        Ok(blocked)
+    }
+
     fn walk(&mut self, e: &Expr, env: &mut Env) -> Result<Walked, EvalError> {
         self.visited += 1;
         match e {
             Expr::Lit(v) => Ok(Walked::Val(v.clone())),
             Expr::Var(name) => Ok(Walked::Val(env.lookup(name)?.clone())),
             Expr::Prim(op, args) => {
-                let mut vals = Vec::with_capacity(args.len());
-                let mut blocked = false;
-                for a in args {
-                    // Keep walking blocked siblings: all of a wave's demands
-                    // are discovered together so siblings run in parallel.
-                    match self.walk(a, env)? {
-                        Walked::Val(v) => vals.push(v),
-                        Walked::Blocked => blocked = true,
-                    }
+                // Binary primitives are the bulk of every body; evaluate
+                // their operands into locals and skip the value stack.
+                // Both operands are always walked — a blocked left sibling
+                // must not hide the right subtree's demands.
+                if let [l, r] = &args[..] {
+                    let a = self.walk(l, env)?;
+                    let b = self.walk(r, env)?;
+                    return match (a, b) {
+                        (Walked::Val(x), Walked::Val(y)) => Ok(Walked::Val(op.apply2(x, y)?)),
+                        _ => Ok(Walked::Blocked),
+                    };
                 }
-                if blocked {
+                let base = self.vals.len();
+                if self.walk_args(args, env)? {
+                    self.vals.truncate(base);
                     return Ok(Walked::Blocked);
                 }
-                Ok(Walked::Val(op.apply(&vals)?))
+                let out = op.apply(&self.vals[base..]);
+                self.vals.truncate(base);
+                Ok(Walked::Val(out?))
             }
             Expr::If(c, t, els) => match self.walk(c, env)? {
                 // A blocked condition blocks the whole `if`: branches are
@@ -264,36 +524,41 @@ impl<'a> Walker<'a> {
                 },
             },
             Expr::Call(f, args) => {
-                let mut vals = Vec::with_capacity(args.len());
-                let mut blocked = false;
-                for a in args {
-                    match self.walk(a, env)? {
-                        Walked::Val(v) => vals.push(v),
-                        Walked::Blocked => blocked = true,
-                    }
-                }
-                if blocked {
+                let base = self.vals.len();
+                if self.walk_args(args, env)? {
+                    self.vals.truncate(base);
                     return Ok(Walked::Blocked);
                 }
                 let def = self.prog.def(*f);
-                if def.params.len() != vals.len() {
+                if def.params.len() != self.vals.len() - base {
+                    let got = self.vals.len() - base;
+                    self.vals.truncate(base);
                     return Err(EvalError::CallArity {
                         name: def.name.clone(),
                         expected: def.params.len(),
-                        got: vals.len(),
+                        got,
                     });
                 }
-                let demand = Demand::new(*f, vals);
-                match self.cache.get(&demand) {
-                    Some(Some(v)) => Ok(Walked::Val(v.clone())),
-                    Some(None) => Ok(Walked::Blocked),
+                // Probe the cache by (function, argument slice) straight
+                // off the value stack — no owned key, no allocation. Only
+                // a genuinely new demand materializes a `Demand`.
+                let argv = &self.vals[base..];
+                let out = match self.cache.lookup(*f, argv) {
+                    Some(Some(v)) => Walked::Val(v.clone()),
+                    Some(None) => Walked::Blocked,
                     None => {
-                        if self.seen.insert(demand.clone()) {
+                        let dup = self.new_demands[self.start..]
+                            .iter()
+                            .any(|d| d.fun == *f && d.args[..] == *argv);
+                        if !dup {
+                            let demand = Demand::new(*f, self.vals.drain(base..).collect());
                             self.new_demands.push(demand);
                         }
-                        Ok(Walked::Blocked)
+                        Walked::Blocked
                     }
-                }
+                };
+                self.vals.truncate(base);
+                Ok(out)
             }
             Expr::Let(name, bound, body) => match self.walk(bound, env)? {
                 // `let` is strict in the binding; the body waits for it.
@@ -315,36 +580,48 @@ impl<'a> Walker<'a> {
 /// the distributed machines: `run_local` must agree with
 /// [`crate::eval::eval_call`] on every terminating, error-free program.
 pub fn run_local(prog: &Program, fun: FnId, args: &[Value]) -> Result<Value, EvalError> {
-    run_local_depth(prog, fun, args, 0)
+    let mut pool = FramePool::new();
+    run_local_depth(prog, fun, args, &mut pool, 0)
 }
 
 fn run_local_depth(
     prog: &Program,
     fun: FnId,
     args: &[Value],
+    pool: &mut FramePool,
     depth: usize,
 ) -> Result<Value, EvalError> {
     if depth > 100_000 {
         return Err(EvalError::DepthExceeded);
     }
-    let mut task = TaskEval::new(fun, args.to_vec());
-    loop {
-        match task.step(prog)? {
-            WaveResult::Done(v) => return Ok(v),
-            WaveResult::Blocked { new_demands } => {
-                if new_demands.is_empty() && task.ready() {
+    let mut task = pool.take_eval(fun, args);
+    let mut demands = pool.take_demands();
+    let result = 'run: loop {
+        demands.clear();
+        match task.step_pooled(prog, pool, &mut demands) {
+            Err(e) => break Err(e),
+            Ok(Some(v)) => break Ok(v),
+            Ok(None) => {
+                if demands.is_empty() && task.ready() {
                     // Blocked with nothing outstanding and nothing new: the
                     // program is stuck, which cannot happen for well-formed
                     // programs.
                     unreachable!("wave evaluator deadlock");
                 }
-                for d in new_demands {
-                    let v = run_local_depth(prog, d.fun, &d.args, depth + 1)?;
-                    task.supply(&d, v);
+                for d in &demands {
+                    match run_local_depth(prog, d.fun, &d.args, pool, depth + 1) {
+                        Ok(v) => task.supply(d, v),
+                        Err(e) => break 'run Err(e),
+                    };
                 }
             }
         }
-    }
+    };
+    // Frames retire into the pool on every exit, so deep recursion reuses
+    // a handful of allocations instead of building one per call.
+    pool.put_demands(demands);
+    pool.put_eval(task);
+    result
 }
 
 #[cfg(test)]

@@ -1,0 +1,50 @@
+//! E15 — batched delivery: completion and recovery latency versus the
+//! batching bus's flush window on an 8-processor machine.
+//!
+//! Each window runs a fault-free case and a mid-run single-crash case
+//! (splice recovery): the spawn/ack round trips and salvage relays ride
+//! the delayed envelopes, so the sweep shows what delivery batching costs
+//! the recovery protocol. The scenario (config, workload, windows) is
+//! shared with `splice_bench::{e15_config, e15_workload, E15_WINDOWS}` so
+//! the experiments bin and this bench always measure the same thing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_bench::{assert_correct, criterion as tuned, e15_config, e15_workload, E15_WINDOWS};
+use splice_sim::machine::run_workload;
+use splice_simnet::fault::FaultPlan;
+use splice_simnet::time::VirtualTime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_batching");
+    let w = e15_workload();
+
+    for window in E15_WINDOWS {
+        let base = run_workload(e15_config(window), &w, &FaultPlan::none());
+        assert_correct(&w, &base);
+        let crash = VirtualTime(base.finish.ticks() / 2);
+
+        g.bench_function(format!("w{window}_fault_free"), |b| {
+            b.iter(|| {
+                let r = run_workload(e15_config(window), &w, &FaultPlan::none());
+                assert_correct(&w, &r);
+                (r.finish, r.batch_envelopes)
+            })
+        });
+        g.bench_function(format!("w{window}_crash"), |b| {
+            b.iter(|| {
+                let plan = FaultPlan::crash_at(2, crash);
+                let r = run_workload(e15_config(window), &w, &plan);
+                assert_correct(&w, &r);
+                (r.finish, r.batch_envelopes)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

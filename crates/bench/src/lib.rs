@@ -135,6 +135,26 @@ pub fn e14_cases(crash: VirtualTime) -> [(&'static str, FaultPlan); 4] {
     ]
 }
 
+/// The E15 machine: 8 processors behind the batched-delivery bus with the
+/// given flush `window`, splice recovery, and an ack timeout sized for the
+/// largest window of [`E15_WINDOWS`] (uniform across the sweep so the
+/// window is the only variable).
+pub fn e15_config(window: u64) -> MachineConfig {
+    let max = E15_WINDOWS.iter().copied().max().unwrap_or(0);
+    let mut cfg = MachineConfig::batched(8, window);
+    cfg.recovery.mode = RecoveryMode::Splice;
+    cfg.recovery.ack_timeout = MachineConfig::batched(8, max).recovery.ack_timeout;
+    cfg
+}
+
+/// The E15 workload.
+pub fn e15_workload() -> Workload {
+    Workload::fib(13)
+}
+
+/// The E15 flush-window sweep.
+pub const E15_WINDOWS: [u64; 3] = [0, 200, 2_000];
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,7 +20,8 @@ use crate::config::CheckpointFilter;
 use crate::ids::{ProcId, TaskKey};
 use crate::packet::TaskPacket;
 use crate::stamp::LevelStamp;
-use std::collections::{HashMap, HashSet};
+use splice_applicative::{FxHashMap, FxHashSet};
+use std::collections::HashSet;
 
 /// Key of a stored checkpoint: owning (parent) task plus child stamp. Two
 /// concurrent twin instances on one processor can hold checkpoints for the
@@ -46,8 +47,8 @@ pub struct StoredCheckpoint {
 /// an aborting task's checkpoints by detaching one inner map.
 #[derive(Debug, Default)]
 pub struct CheckpointTable {
-    entries: HashMap<TaskKey, HashMap<LevelStamp, StoredCheckpoint>>,
-    by_dest: HashMap<ProcId, HashSet<CheckpointKey>>,
+    entries: FxHashMap<TaskKey, FxHashMap<LevelStamp, StoredCheckpoint>>,
+    by_dest: FxHashMap<ProcId, FxHashSet<CheckpointKey>>,
     count: usize,
     bytes: usize,
     peak_entries: usize,

@@ -36,42 +36,75 @@ use crate::ids::{ProcId, TaskAddr, TaskKey};
 use crate::packet::{AckInfo, Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
 use crate::place::Placer;
 use crate::replicate::{Vote, VoteOutcome};
+use crate::sink::ActionSink;
 use crate::stamp::LevelStamp;
 use crate::stats::ProcStats;
 use crate::task::{ChildInfo, Task, VoteGroup};
-use splice_applicative::wave::{Demand, WaveResult};
-use splice_applicative::{Program, Value};
-use std::collections::{HashMap, HashSet, VecDeque};
+use splice_applicative::wave::{Demand, FramePool};
+use splice_applicative::{FxHashMap, FxHashSet, Program, Value};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Maximum placement hops before a packet must be accepted locally.
 const MAX_HOPS: u32 = 16;
 
+/// Retired task frames an engine keeps for reuse. Enough for the resident
+/// peak of every shipped workload; beyond it frames are simply dropped.
+const FREE_TASK_CAP: usize = 512;
+
+/// Payload of [`Timer::AckTimeout`] (boxed to keep `Action` small).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AckTimer {
+    /// The spawning (parent) task.
+    pub owner: TaskKey,
+    /// The child's stamp.
+    pub stamp: LevelStamp,
+    /// The incarnation this timer guards.
+    pub incarnation: u32,
+}
+
+/// Payload of [`Timer::GraceReissue`] (boxed to keep `Action` small).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraceTimer {
+    /// The owning (parent) task.
+    pub owner: TaskKey,
+    /// The dead child's stamp.
+    pub stamp: LevelStamp,
+}
+
 /// A timer the engine asks its driver to arm.
+///
+/// Timers ride inside [`Action`]s through every substrate hop, so the fat
+/// payloads are boxed: the enum stays two words and `Action` stays within
+/// its 32-byte pin (see the `action_stays_small` test).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Timer {
     /// Fires if a spawned child packet has not been acknowledged
     /// (Figure 6 state b: reissue as if the first invocation never
     /// happened).
-    AckTimeout {
-        /// The spawning (parent) task.
-        owner: TaskKey,
-        /// The child's stamp.
-        stamp: LevelStamp,
-        /// The incarnation this timer guards.
-        incarnation: u32,
-    },
+    AckTimeout(Box<AckTimer>),
     /// Periodic load-pressure beacon for the placer.
     LoadBeacon,
     /// Deferred splice twin creation (the E13 grace extension): fires
     /// `splice_grace` units after a failure notice; the child is reissued
     /// only if nothing (salvage, vote, result) satisfied it meanwhile.
-    GraceReissue {
-        /// The owning (parent) task.
-        owner: TaskKey,
-        /// The dead child's stamp.
-        stamp: LevelStamp,
-    },
+    GraceReissue(Box<GraceTimer>),
+}
+
+impl Timer {
+    /// Builds an ack-timeout timer.
+    pub fn ack_timeout(owner: TaskKey, stamp: LevelStamp, incarnation: u32) -> Timer {
+        Timer::AckTimeout(Box::new(AckTimer {
+            owner,
+            stamp,
+            incarnation,
+        }))
+    }
+
+    /// Builds a grace-reissue timer.
+    pub fn grace_reissue(owner: TaskKey, stamp: LevelStamp) -> Timer {
+        Timer::GraceReissue(Box::new(GraceTimer { owner, stamp }))
+    }
 }
 
 /// An effect the driver must perform on the engine's behalf.
@@ -100,13 +133,22 @@ pub struct Engine {
     program: Arc<Program>,
     config: Config,
     placer: Box<dyn Placer>,
-    tasks: HashMap<TaskKey, Task>,
-    by_stamp: HashMap<LevelStamp, TaskKey>,
+    tasks: FxHashMap<TaskKey, Task>,
+    by_stamp: FxHashMap<LevelStamp, TaskKey>,
     ready: VecDeque<TaskKey>,
     next_key: u64,
-    known_dead: HashSet<ProcId>,
+    known_dead: FxHashSet<ProcId>,
     ckpt: CheckpointTable,
     stats: ProcStats,
+    /// Wave-evaluation scratch shared by every resident task.
+    pool: FramePool,
+    /// Reusable demand out-buffer for `run_wave`.
+    demand_buf: Vec<Demand>,
+    /// Retired task frames: their maps and buffers are reused by the next
+    /// accepted spawn, so steady-state task churn allocates nothing.
+    free_tasks: Vec<Task>,
+    /// Only filled while a driver has enabled creation logging.
+    log_created: bool,
     created_log: Vec<LevelStamp>,
 }
 
@@ -123,19 +165,30 @@ impl Engine {
             program,
             config,
             placer,
-            tasks: HashMap::new(),
-            by_stamp: HashMap::new(),
+            tasks: FxHashMap::default(),
+            by_stamp: FxHashMap::default(),
             ready: VecDeque::new(),
             next_key: 0,
-            known_dead: HashSet::new(),
+            known_dead: FxHashSet::default(),
             ckpt: CheckpointTable::new(),
             stats: ProcStats::default(),
+            pool: FramePool::new(),
+            demand_buf: Vec::new(),
+            free_tasks: Vec::new(),
+            log_created: false,
             created_log: Vec::new(),
         }
     }
 
+    /// Enables the per-creation stamp log ([`Engine::drain_created`]).
+    /// Off by default: unscripted runs should not grow a log nobody reads.
+    pub fn enable_created_log(&mut self) {
+        self.log_created = true;
+    }
+
     /// Drains the stamps of tasks created since the last call. Drivers use
-    /// this to build placement logs for scripted scenarios.
+    /// this to build placement logs for scripted scenarios (enable with
+    /// [`Engine::enable_created_log`] first).
     pub fn drain_created(&mut self) -> Vec<LevelStamp> {
         std::mem::take(&mut self.created_log)
     }
@@ -171,7 +224,7 @@ impl Engine {
     }
 
     /// Processors this engine believes dead.
-    pub fn known_dead(&self) -> &HashSet<ProcId> {
+    pub fn known_dead(&self) -> &FxHashSet<ProcId> {
         &self.known_dead
     }
 
@@ -181,15 +234,13 @@ impl Engine {
     }
 
     /// Called once when the processor starts; arms periodic beacons.
-    pub fn on_start(&mut self) -> Vec<Action> {
-        let mut actions = Vec::new();
+    pub fn on_start(&mut self, sink: &mut ActionSink) {
         if self.config.load_beacon_period > 0 && !self.placer.beacon_targets().is_empty() {
-            actions.push(Action::SetTimer {
+            sink.push(Action::SetTimer {
                 timer: Timer::LoadBeacon,
                 delay: self.config.load_beacon_period,
             });
         }
-        actions
     }
 
     /// Pops the next runnable task, if any.
@@ -221,20 +272,21 @@ impl Engine {
         }
     }
 
-    fn send(&mut self, actions: &mut Vec<Action>, to: ProcId, msg: Msg) {
+    fn send(&mut self, sink: &mut ActionSink, to: ProcId, msg: Msg) {
         self.stats.sent(msg.kind(), msg.size());
-        actions.push(Action::Send { to, msg });
+        sink.push(Action::Send { to, msg });
     }
 
     // -----------------------------------------------------------------
     // Message dispatch
     // -----------------------------------------------------------------
 
-    /// Handles an arriving message.
-    pub fn on_message(&mut self, msg: Msg) -> Vec<Action> {
+    /// Handles an arriving message, appending the engine's responses to
+    /// `sink` (as every handler below does).
+    pub fn on_message(&mut self, msg: Msg, sink: &mut ActionSink) {
         self.stats.received(msg.kind());
         match msg {
-            Msg::Spawn(p) => self.on_spawn(*p),
+            Msg::Spawn(p) => self.on_spawn(*p, sink),
             Msg::Ack(ack) => {
                 let AckInfo {
                     child_stamp,
@@ -242,59 +294,56 @@ impl Engine {
                     parent,
                     incarnation,
                 } = *ack;
-                self.on_ack(child_stamp, child_addr, parent, incarnation)
+                self.on_ack(child_stamp, child_addr, parent, incarnation, sink)
             }
-            Msg::Result(rp) => self.on_result(*rp),
-            Msg::Salvage(sp) => self.on_salvage(*sp),
-            Msg::Abort { to } => self.on_abort(to),
+            Msg::Result(rp) => self.on_result(*rp, sink),
+            Msg::Salvage(sp) => self.on_salvage(*sp, sink),
+            Msg::Abort { to } => self.on_abort(to, sink),
             Msg::Load { from, pressure } => {
                 self.placer.on_load(from, pressure);
-                Vec::new()
             }
-            Msg::FailureNotice { dead } => self.on_proc_dead(dead),
+            Msg::FailureNotice { dead } => self.on_proc_dead(dead, sink),
         }
     }
 
     /// Handles a send that the transport reports as undeliverable: the
     /// destination is considered faulty and the message's intent is
     /// recovered where possible.
-    pub fn on_send_failed(&mut self, to: ProcId, msg: Msg) -> Vec<Action> {
-        let mut actions = self.on_proc_dead(to);
+    pub fn on_send_failed(&mut self, to: ProcId, msg: Msg, sink: &mut ActionSink) {
+        self.on_proc_dead(to, sink);
         match msg {
             Msg::Spawn(p) => {
                 // In-flight spawn lost. If we are the original parent, the
                 // child's checkpoint (or vote group) reissues it; forwarded
                 // packets of other parents are re-placed directly.
-                actions.extend(self.reissue_packet(*p));
+                self.reissue_packet(*p, sink);
             }
             Msg::Result(rp) => {
-                actions.extend(self.handle_undeliverable_result(*rp));
+                self.handle_undeliverable_result(*rp, sink);
             }
             Msg::Salvage(sp) => {
                 // Either the downward forward hit a fresh corpse (the local
                 // re-route will buffer it), or the upward relay must try the
-                // next ancestor.
-                let sp = *sp;
-                let (routed, mut acts) = self.route_salvage(sp.clone());
-                actions.append(&mut acts);
-                if !routed {
-                    actions.extend(self.relay_salvage_upward(sp));
+                // next ancestor. The packet moves through unrouted returns
+                // instead of being cloned per attempt.
+                if let Some(sp) = self.route_salvage(*sp, sink) {
+                    self.relay_salvage_upward(sp);
                 }
             }
             // Lost acks/aborts/loads/notices carry no recoverable intent.
             Msg::Ack { .. } | Msg::Abort { .. } | Msg::Load { .. } | Msg::FailureNotice { .. } => {}
         }
-        actions
     }
 
     /// Handles a timer expiry.
-    pub fn on_timer(&mut self, timer: Timer) -> Vec<Action> {
+    pub fn on_timer(&mut self, timer: Timer, sink: &mut ActionSink) {
         match timer {
-            Timer::AckTimeout {
-                owner,
-                stamp,
-                incarnation,
-            } => {
+            Timer::AckTimeout(t) => {
+                let AckTimer {
+                    owner,
+                    stamp,
+                    incarnation,
+                } = *t;
                 let needs_reissue =
                     match self.tasks.get(&owner).and_then(|t| t.children.get(&stamp)) {
                         Some(ci) if !ci.done && ci.incarnation == incarnation => {
@@ -304,12 +353,11 @@ impl Engine {
                     };
                 if needs_reissue {
                     self.stats.ack_timeouts += 1;
-                    self.reissue_child(owner, &stamp)
-                } else {
-                    Vec::new()
+                    self.reissue_child(owner, &stamp, sink);
                 }
             }
-            Timer::GraceReissue { owner, stamp } => {
+            Timer::GraceReissue(t) => {
+                let GraceTimer { owner, stamp } = *t;
                 let needs = match self
                     .tasks
                     .get_mut(&owner)
@@ -323,19 +371,16 @@ impl Engine {
                 };
                 if needs {
                     self.stats.step_parents_created += 1;
-                    self.reissue_child(owner, &stamp)
-                } else {
-                    Vec::new()
+                    self.reissue_child(owner, &stamp, sink);
                 }
             }
             Timer::LoadBeacon => {
-                let mut actions = Vec::new();
                 let raw = self.pressure();
                 self.placer.set_local_pressure(raw);
                 let pressure = self.placer.beacon_value(raw);
                 for t in self.placer.beacon_targets() {
                     self.send(
-                        &mut actions,
+                        sink,
                         t,
                         Msg::Load {
                             from: self.id,
@@ -343,11 +388,10 @@ impl Engine {
                         },
                     );
                 }
-                actions.push(Action::SetTimer {
+                sink.push(Action::SetTimer {
                     timer: Timer::LoadBeacon,
                     delay: self.config.load_beacon_period,
                 });
-                actions
             }
         }
     }
@@ -356,27 +400,34 @@ impl Engine {
     // Spawn / placement (DEMAND_IT receiving side)
     // -----------------------------------------------------------------
 
-    fn on_spawn(&mut self, mut p: TaskPacket) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_spawn(&mut self, mut p: TaskPacket, sink: &mut ActionSink) {
         let pressure = self.pressure();
         self.placer.set_local_pressure(pressure);
         if p.hops < MAX_HOPS {
             if let Some(next) = self.placer.route(&p, &self.known_dead) {
                 if next != self.id {
                     p.hops += 1;
-                    self.send(&mut actions, next, Msg::spawn(p));
-                    return actions;
+                    self.send(sink, next, Msg::spawn(p));
+                    return;
                 }
             }
         }
-        // Accept locally.
+        // Accept locally, reviving a retired task frame when one exists.
         let key = TaskKey(self.next_key);
         self.next_key += 1;
-        let task = Task::from_packet(key, &p);
+        let task = match self.free_tasks.pop() {
+            Some(mut t) => {
+                t.reset_from_packet(key, &p);
+                t
+            }
+            None => Task::from_packet(key, &p),
+        };
         self.by_stamp.insert(task.stamp.clone(), key);
         self.tasks.insert(key, task);
         self.stats.tasks_created += 1;
-        self.created_log.push(p.stamp.clone());
+        if self.log_created {
+            self.created_log.push(p.stamp.clone());
+        }
         self.enqueue(key);
         let ack = Msg::ack(
             p.stamp,
@@ -384,8 +435,15 @@ impl Engine {
             p.parent.addr,
             p.incarnation,
         );
-        self.send(&mut actions, p.parent.addr.proc, ack);
-        actions
+        self.send(sink, p.parent.addr.proc, ack);
+    }
+
+    /// Retires a task frame into the free list for reuse.
+    fn recycle_task(&mut self, mut task: Task) {
+        if self.free_tasks.len() < FREE_TASK_CAP {
+            task.clear_for_reuse();
+            self.free_tasks.push(task);
+        }
     }
 
     fn on_ack(
@@ -394,15 +452,15 @@ impl Engine {
         child_addr: TaskAddr,
         parent: TaskAddr,
         incarnation: u32,
-    ) -> Vec<Action> {
-        let mut actions = Vec::new();
+        sink: &mut ActionSink,
+    ) {
         let Some(task) = self.tasks.get_mut(&parent.key) else {
             self.stats.stale_messages_ignored += 1;
-            return actions;
+            return;
         };
         let Some(ci) = task.children.get_mut(&child_stamp) else {
             self.stats.stale_messages_ignored += 1;
-            return actions;
+            return;
         };
         if let Some(group) = ci.vote.as_mut() {
             // Replica ack: refine the placement record used for loss
@@ -411,7 +469,7 @@ impl Engine {
             if let Some(slot) = group.placed.get_mut(incarnation as usize) {
                 *slot = child_addr.proc;
             }
-            return actions;
+            return;
         }
         // An ack from a processor we already know is dead is a message from
         // a corpse: the child it places died with its host. Recording it
@@ -423,10 +481,10 @@ impl Engine {
         // (e.g. across a high-latency inter-shard router). Reissue now.
         if self.known_dead.contains(&child_addr.proc) {
             if !ci.done && incarnation == ci.incarnation && ci.current_addr().is_none() {
-                return self.reissue_child(parent.key, &child_stamp);
+                return self.reissue_child(parent.key, &child_stamp, sink);
             }
             self.stats.stale_messages_ignored += 1;
-            return actions;
+            return;
         }
         let newer = match ci.acked {
             Some((_, prev_inc)) => incarnation >= prev_inc,
@@ -440,48 +498,48 @@ impl Engine {
             for mut sp in pending {
                 sp.to = child_addr;
                 self.stats.salvage_forwarded += 1;
-                self.send(&mut actions, child_addr.proc, Msg::salvage(sp));
+                self.send(sink, child_addr.proc, Msg::salvage(sp));
             }
         } else {
             self.stats.stale_messages_ignored += 1;
         }
-        actions
     }
 
     // -----------------------------------------------------------------
     // Execution (task packet case of the §4.2 loop)
     // -----------------------------------------------------------------
 
-    /// Runs one evaluation wave of `key`. Returns the driver actions plus
-    /// the abstract work performed (for time accounting).
-    pub fn run_wave(&mut self, key: TaskKey) -> (Vec<Action>, u64) {
+    /// Runs one evaluation wave of `key`, appending the driver actions to
+    /// `sink`. Returns the abstract work performed (for time accounting).
+    /// Evaluation scratch (value stack, environments, demand buffers)
+    /// comes from the engine's frame pool, so a steady-state wave performs
+    /// no allocation beyond genuinely new demand payloads.
+    pub fn run_wave(&mut self, key: TaskKey, sink: &mut ActionSink) -> u64 {
         let Some(task) = self.tasks.get_mut(&key) else {
-            return (Vec::new(), 0);
+            return 0;
         };
         if !task.eval.ready() {
             // Spurious wake-up; wave barrier not met.
-            return (Vec::new(), 0);
+            return 0;
         }
         let before = task.eval.work();
-        let step = task.eval.step(&self.program);
-        let work = self
-            .tasks
-            .get(&key)
-            .map(|t| t.eval.work() - before)
-            .unwrap_or(0);
+        let mut demands = std::mem::take(&mut self.demand_buf);
+        demands.clear();
+        let step = task
+            .eval
+            .step_pooled(&self.program, &mut self.pool, &mut demands);
+        let work = task.eval.work() - before;
         self.stats.waves_run += 1;
         self.stats.work_units += work;
         match step {
             Err(_) => {
                 self.stats.eval_errors += 1;
-                let actions = self.drop_task(key);
-                (actions, work)
+                self.drop_task(key);
             }
-            Ok(WaveResult::Done(v)) => (self.finish_task(key, v), work),
-            Ok(WaveResult::Blocked { new_demands }) => {
-                let mut actions = Vec::new();
-                for d in new_demands {
-                    actions.extend(self.spawn_child(key, d));
+            Ok(Some(v)) => self.finish_task(key, v, sink),
+            Ok(None) => {
+                for d in demands.drain(..) {
+                    self.spawn_child(key, d, sink);
                 }
                 // All demands may have been satisfied synchronously by
                 // preloaded salvage; re-queue in that case.
@@ -490,16 +548,16 @@ impl Engine {
                         self.enqueue(key);
                     }
                 }
-                (actions, work)
             }
         }
+        self.demand_buf = demands;
+        work
     }
 
     /// Spawns one child demand (the paper's `DEMAND_IT`):
     /// create packet → level-stamp it → attach parent and grandparent
     /// identifications → queue to the load balancer → functional checkpoint.
-    fn spawn_child(&mut self, owner: TaskKey, demand: Demand) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn spawn_child(&mut self, owner: TaskKey, demand: Demand, sink: &mut ActionSink) {
         let (packet, replica_spec, salvages) = {
             let task = self.tasks.get_mut(&owner).expect("owner exists");
             let stamp = task.next_child_stamp();
@@ -546,7 +604,7 @@ impl Engine {
                     let dest = self.placer.place(&rp, &avoid);
                     avoid.insert(dest); // replicas on distinct processors
                     placed.push(dest);
-                    self.send(&mut actions, dest, Msg::spawn(rp));
+                    self.send(sink, dest, Msg::spawn(rp));
                 }
                 let task = self.tasks.get_mut(&owner).expect("owner exists");
                 task.register_child(ChildInfo {
@@ -580,24 +638,18 @@ impl Engine {
                     vote: None,
                     twin_pending: false,
                 });
-                actions.push(Action::SetTimer {
-                    timer: Timer::AckTimeout {
-                        owner,
-                        stamp: packet.stamp.clone(),
-                        incarnation: 0,
-                    },
+                sink.push(Action::SetTimer {
+                    timer: Timer::ack_timeout(owner, packet.stamp.clone(), 0),
                     delay: self.config.ack_timeout,
                 });
-                self.send(&mut actions, dest, Msg::spawn(packet));
+                self.send(sink, dest, Msg::spawn(packet));
             }
         }
-        actions
     }
 
-    fn finish_task(&mut self, key: TaskKey, value: Value) -> Vec<Action> {
-        let mut actions = Vec::new();
-        let Some(task) = self.tasks.remove(&key) else {
-            return actions;
+    fn finish_task(&mut self, key: TaskKey, value: Value, sink: &mut ActionSink) {
+        let Some(mut task) = self.tasks.remove(&key) else {
+            return;
         };
         if self.by_stamp.get(&task.stamp) == Some(&key) {
             self.by_stamp.remove(&task.stamp);
@@ -607,92 +659,90 @@ impl Engine {
         self.ckpt.retire_owner(key);
         self.stats.tasks_completed += 1;
 
+        // The frame is being retired: move its links and arguments into
+        // the result packet instead of cloning them.
         let rp = ResultPacket {
             from_stamp: task.stamp.clone(),
-            demand: Demand::new(task.eval.fun(), task.eval.args().to_vec()),
+            demand: Demand::new(task.eval.fun(), task.eval.take_args()),
             value,
             to: task.parent.addr,
-            to_stamp: task.parent.stamp.clone(),
-            relay_chain: task.ancestors.clone(),
-            replica: task.replica.clone(),
+            to_stamp: std::mem::replace(&mut task.parent.stamp, LevelStamp::root()),
+            relay_chain: std::mem::take(&mut task.ancestors),
+            replica: task.replica.take(),
         };
+        self.recycle_task(task);
         if self.known_dead.contains(&rp.to.proc) {
-            actions.extend(self.handle_undeliverable_result(rp));
+            self.handle_undeliverable_result(rp, sink);
         } else {
             let to = rp.to.proc;
-            self.send(&mut actions, to, Msg::result(rp));
+            self.send(sink, to, Msg::result(rp));
         }
-        actions
     }
 
-    fn drop_task(&mut self, key: TaskKey) -> Vec<Action> {
+    fn drop_task(&mut self, key: TaskKey) {
         if let Some(task) = self.tasks.remove(&key) {
             if self.by_stamp.get(&task.stamp) == Some(&key) {
                 self.by_stamp.remove(&task.stamp);
             }
             self.ckpt.retire_owner(key);
+            self.recycle_task(task);
         }
-        Vec::new()
     }
 
     // -----------------------------------------------------------------
     // Results (forward-result case of the §4.2 loop)
     // -----------------------------------------------------------------
 
-    fn on_result(&mut self, rp: ResultPacket) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn on_result(&mut self, rp: ResultPacket, _sink: &mut ActionSink) {
         if let Some(replica) = rp.replica.clone() {
             self.stats.replica_results += 1;
-            actions.extend(self.on_replica_result(rp, replica));
-            return actions;
+            self.on_replica_result(rp, replica);
+            return;
         }
         let Some(task) = self.tasks.get_mut(&rp.to.key) else {
             // "others: Ignore the packet" — the addressee is gone (§4.1
             // case 8).
             self.stats.stale_messages_ignored += 1;
-            return actions;
+            return;
         };
         if task.stamp != rp.to_stamp {
             self.stats.stale_messages_ignored += 1;
-            return actions;
+            return;
         }
         match task.children.get(&rp.from_stamp) {
             None => {
                 self.stats.stale_messages_ignored += 1;
-                actions
             }
             Some(ci) if ci.done => {
                 // "Since they are identical, the second copy is simply
                 // ignored." (§4.1 cases 6/7)
                 self.stats.duplicate_results_ignored += 1;
-                actions
             }
             Some(_) => {
                 self.supply_child(rp.to.key, &rp.from_stamp, rp.value);
-                actions
             }
         }
     }
 
-    fn on_replica_result(&mut self, rp: ResultPacket, replica: ReplicaInfo) -> Vec<Action> {
+    fn on_replica_result(&mut self, rp: ResultPacket, replica: ReplicaInfo) {
         let Some(task) = self.tasks.get_mut(&rp.to.key) else {
             self.stats.stale_messages_ignored += 1;
-            return Vec::new();
+            return;
         };
         let Some(ci) = task.children.get_mut(&rp.from_stamp) else {
             self.stats.stale_messages_ignored += 1;
-            return Vec::new();
+            return;
         };
         if ci.done {
             self.stats.duplicate_results_ignored += 1;
-            return Vec::new();
+            return;
         }
         let Some(group) = ci.vote.as_mut() else {
             self.stats.stale_messages_ignored += 1;
-            return Vec::new();
+            return;
         };
         match group.vote.add(replica.index, rp.value) {
-            VoteOutcome::Pending => Vec::new(),
+            VoteOutcome::Pending => {}
             VoteOutcome::Decided { value, clean } => {
                 let dissent = group.vote.dissenting(&value) as u64;
                 if clean {
@@ -702,7 +752,6 @@ impl Engine {
                 }
                 self.stats.votes_dissenting += dissent;
                 self.supply_child(rp.to.key, &rp.from_stamp, value);
-                Vec::new()
             }
         }
     }
@@ -717,9 +766,10 @@ impl Engine {
             return;
         };
         ci.done = true;
-        let demand = ci.demand.clone();
         self.ckpt.retire(owner, stamp);
-        if !task.eval.supply(&demand, value) {
+        // `ci` borrows `task.children`; the eval is a disjoint field, so
+        // the demand is passed by reference instead of cloned per result.
+        if !task.eval.supply(&ci.demand, value) {
             self.stats.duplicate_results_ignored += 1;
         }
         if task.eval.ready() {
@@ -732,15 +782,14 @@ impl Engine {
     // -----------------------------------------------------------------
 
     /// Convergence point for all failure discovery paths. Idempotent.
-    fn on_proc_dead(&mut self, dead: ProcId) -> Vec<Action> {
+    fn on_proc_dead(&mut self, dead: ProcId, sink: &mut ActionSink) {
         if dead == self.id || dead.is_super_root() || !self.known_dead.insert(dead) {
             // A death already in `known_dead` is never re-forwarded: the
             // insert above is the gossip dedup — without it every redundant
             // notice (detector broadcast, peer gossip, repeated bounces)
             // would echo back out as a fresh broadcast.
-            return Vec::new();
+            return;
         }
-        let mut actions = Vec::new();
         // Gossip the first discovery to the placer neighbourhood, so deaths
         // learnt from bounces or salvage arrivals propagate even when the
         // detector's broadcast is disabled. Exactly once per engine per
@@ -748,7 +797,7 @@ impl Engine {
         if self.config.gossip_notices {
             for t in self.placer.beacon_targets() {
                 if t != dead && !self.known_dead.contains(&t) {
-                    self.send(&mut actions, t, Msg::FailureNotice { dead });
+                    self.send(sink, t, Msg::FailureNotice { dead });
                 }
             }
         }
@@ -766,11 +815,11 @@ impl Engine {
                     .collect();
                 for k in orphans {
                     self.stats.orphans_suicided += 1;
-                    actions.extend(self.abort_cascade(k));
+                    self.abort_cascade(k, sink);
                 }
                 for cp in self.ckpt.recover_candidates(dead, self.config.ckpt_filter) {
                     if self.tasks.contains_key(&cp.owner) {
-                        actions.extend(self.reissue_child(cp.owner, &cp.packet.stamp));
+                        self.reissue_child(cp.owner, &cp.packet.stamp, sink);
                     }
                 }
             }
@@ -790,7 +839,7 @@ impl Engine {
                     }
                     if grace == 0 {
                         self.stats.step_parents_created += 1;
-                        actions.extend(self.reissue_child(cp.owner, &cp.packet.stamp));
+                        self.reissue_child(cp.owner, &cp.packet.stamp, sink);
                     } else {
                         if let Some(ci) = self
                             .tasks
@@ -799,11 +848,8 @@ impl Engine {
                         {
                             ci.twin_pending = true;
                         }
-                        actions.push(Action::SetTimer {
-                            timer: Timer::GraceReissue {
-                                owner: cp.owner,
-                                stamp: cp.packet.stamp.clone(),
-                            },
+                        sink.push(Action::SetTimer {
+                            timer: Timer::grace_reissue(cp.owner, cp.packet.stamp.clone()),
                             delay: grace,
                         });
                     }
@@ -813,12 +859,11 @@ impl Engine {
         // Replicated children: account for lost replicas in either mode
         // with checkpointing.
         if self.config.mode.checkpoints() {
-            actions.extend(self.handle_replica_losses(dead));
+            self.handle_replica_losses(dead, sink);
         }
-        actions
     }
 
-    fn handle_replica_losses(&mut self, dead: ProcId) -> Vec<Action> {
+    fn handle_replica_losses(&mut self, dead: ProcId, sink: &mut ActionSink) {
         let mut decisions: Vec<(TaskKey, LevelStamp, Option<Value>, bool, u64)> = Vec::new();
         let mut respawns: Vec<(TaskKey, LevelStamp)> = Vec::new();
         for (key, task) in self.tasks.iter_mut() {
@@ -844,7 +889,6 @@ impl Engine {
                 }
             }
         }
-        let mut actions = Vec::new();
         for (key, stamp, value, clean, dissent) in decisions {
             if let Some(v) = value {
                 if clean {
@@ -857,21 +901,19 @@ impl Engine {
             }
         }
         for (key, stamp) in respawns {
-            actions.extend(self.respawn_replica_group(key, &stamp));
+            self.respawn_replica_group(key, &stamp, sink);
         }
-        actions
     }
 
-    fn respawn_replica_group(&mut self, owner: TaskKey, stamp: &LevelStamp) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn respawn_replica_group(&mut self, owner: TaskKey, stamp: &LevelStamp, sink: &mut ActionSink) {
         let Some(task) = self.tasks.get_mut(&owner) else {
-            return actions;
+            return;
         };
         let Some(ci) = task.children.get_mut(stamp) else {
-            return actions;
+            return;
         };
         let Some(group) = ci.vote.as_mut() else {
-            return actions;
+            return;
         };
         let n = group.vote.group_size();
         let mode = match self.config.replicate.get(&group.base.demand.fun) {
@@ -896,164 +938,154 @@ impl Engine {
         group.placed = placed;
         self.stats.reissues += 1;
         for (dest, rp) in spawns {
-            self.send(&mut actions, dest, Msg::spawn(rp));
+            self.send(sink, dest, Msg::spawn(rp));
         }
-        actions
     }
 
     /// Re-issues a (non-replicated) child from its functional checkpoint.
     /// In splice mode this is exactly step-parent/twin creation.
-    fn reissue_child(&mut self, owner: TaskKey, stamp: &LevelStamp) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn reissue_child(&mut self, owner: TaskKey, stamp: &LevelStamp, sink: &mut ActionSink) {
         let Some(task) = self.tasks.get_mut(&owner) else {
-            return actions;
+            return;
         };
         let Some(ci) = task.children.get_mut(stamp) else {
-            return actions;
+            return;
         };
         if ci.done {
-            return actions;
+            return;
         }
         ci.incarnation += 1;
         let incarnation = ci.incarnation;
         self.ckpt.on_reissue(owner, stamp);
         let Some(cp) = self.ckpt.get(owner, stamp) else {
-            return actions;
+            return;
         };
         let mut packet = cp.packet.clone();
         packet.incarnation = incarnation;
         let dest = self.placer.place(&packet, &self.known_dead);
         self.stats.reissues += 1;
-        actions.push(Action::SetTimer {
-            timer: Timer::AckTimeout {
-                owner,
-                stamp: stamp.clone(),
-                incarnation,
-            },
+        sink.push(Action::SetTimer {
+            timer: Timer::ack_timeout(owner, stamp.clone(), incarnation),
             delay: self.config.ack_timeout,
         });
-        self.send(&mut actions, dest, Msg::spawn(packet));
-        actions
+        self.send(sink, dest, Msg::spawn(packet));
     }
 
     /// Re-places a bounced spawn packet. If this processor is the packet's
     /// parent, go through the checkpointed reissue path (keeps incarnation
-    /// bookkeeping coherent); otherwise re-place the packet directly.
-    fn reissue_packet(&mut self, p: TaskPacket) -> Vec<Action> {
+    /// bookkeeping coherent); otherwise re-place the packet directly. The
+    /// bounced packet itself is reused for the re-send — the old path
+    /// cloned it a second time on top of the copy already made for the
+    /// failure handling.
+    fn reissue_packet(&mut self, mut p: TaskPacket, sink: &mut ActionSink) {
         if p.parent.addr.proc == self.id && self.tasks.contains_key(&p.parent.addr.key) {
             if p.replica.is_some() {
                 // Replica spawn lost; treat as a lost replica — the vote
                 // already accounts for its processor via on_proc_dead.
-                return Vec::new();
+                return;
             }
-            return self.reissue_child(p.parent.addr.key, &p.stamp);
+            return self.reissue_child(p.parent.addr.key, &p.stamp, sink);
         }
-        // A packet we were merely forwarding: place it somewhere else.
-        let mut actions = Vec::new();
-        let mut p = p.reissue();
+        // A packet we were merely forwarding: place it somewhere else,
+        // bumping the incarnation in place.
+        p.incarnation += 1;
         p.hops = 0;
         let dest = self.placer.place(&p, &self.known_dead);
         self.stats.reissues += 1;
-        self.send(&mut actions, dest, Msg::spawn(p));
-        actions
+        self.send(sink, dest, Msg::spawn(p));
     }
 
     /// A completed task's result cannot reach its parent: splice relays it
     /// toward the nearest live ancestor ("notify the grandparent and send
     /// the result to the grandparent"); rollback discards it — the orphan
-    /// has effectively committed suicide after the fact.
-    fn handle_undeliverable_result(&mut self, rp: ResultPacket) -> Vec<Action> {
-        let mut actions = Vec::new();
+    /// has effectively committed suicide after the fact. The result's
+    /// payload moves into the salvage packet; nothing is cloned.
+    fn handle_undeliverable_result(&mut self, rp: ResultPacket, sink: &mut ActionSink) {
         if !self.config.mode.salvages() || rp.replica.is_some() {
             self.stats.orphans_suicided += 1;
-            return actions;
+            return;
         }
+        let ResultPacket {
+            from_stamp,
+            demand,
+            value,
+            to,
+            to_stamp,
+            relay_chain,
+            replica: _,
+        } = rp;
         let sp = SalvagePacket {
             to: TaskAddr::new(ProcId(0), TaskKey(0)), // filled below
-            dead_stamp: rp.to_stamp.clone(),
-            dead_addr: rp.to,
-            demand: rp.demand.clone(),
-            value: rp.value.clone(),
-            from_stamp: rp.from_stamp.clone(),
+            dead_stamp: to_stamp,
+            dead_addr: to,
+            demand,
+            value,
+            from_stamp,
         };
-        actions.extend(self.send_salvage_via_chain(sp, rp.relay_chain, rp.to.proc));
-        actions
+        self.send_salvage_via_chain(sp, &relay_chain, sink);
     }
 
     /// Sends a salvage packet to the first live link of an ancestor chain.
     fn send_salvage_via_chain(
         &mut self,
         mut sp: SalvagePacket,
-        chain: Vec<TaskLink>,
-        dead_proc: ProcId,
-    ) -> Vec<Action> {
-        let mut actions = Vec::new();
-        let _ = dead_proc;
+        chain: &[TaskLink],
+        sink: &mut ActionSink,
+    ) {
         for (i, link) in chain.iter().enumerate() {
             if self.known_dead.contains(&link.addr.proc) {
                 continue;
             }
             sp.to = link.addr;
             if link.addr.proc == self.id {
-                // The ancestor is local: route directly.
-                let (routed, mut acts) = self.route_salvage(sp.clone());
-                actions.append(&mut acts);
-                if !routed {
-                    let rest: Vec<TaskLink> = chain[i + 1..].to_vec();
+                // The ancestor is local: route directly; an unrouted packet
+                // comes back by value and tries the rest of the chain.
+                if let Some(back) = self.route_salvage(sp, sink) {
+                    let rest = &chain[i + 1..];
                     if rest.is_empty() {
                         self.stats.stranded_orphans += 1;
                     } else {
-                        actions.extend(self.send_salvage_via_chain(sp, rest, dead_proc));
+                        self.send_salvage_via_chain(back, rest, sink);
                     }
                 }
-                return actions;
+                return;
             }
-            self.send(&mut actions, link.addr.proc, Msg::salvage(sp));
-            return actions;
+            self.send(sink, link.addr.proc, Msg::salvage(sp));
+            return;
         }
         // "If both the parent and grandparent processors of a task fail
         // simultaneously, the orphan task would be stranded." (§5.2)
         self.stats.stranded_orphans += 1;
-        actions
     }
 
     /// Upward retry after a salvage bounce: try the remaining ancestors of
     /// the dead stamp. The chain is reconstructed from the packet's stamp
     /// prefixes we know locally — if none, the orphan is stranded.
-    fn relay_salvage_upward(&mut self, sp: SalvagePacket) -> Vec<Action> {
+    fn relay_salvage_upward(&mut self, sp: SalvagePacket) {
         // We only know our own tasks; with the direct chain exhausted the
         // orphan result is stranded from this processor's point of view.
         let _ = sp;
         self.stats.stranded_orphans += 1;
-        Vec::new()
     }
 
-    fn on_salvage(&mut self, sp: SalvagePacket) -> Vec<Action> {
+    fn on_salvage(&mut self, sp: SalvagePacket, sink: &mut ActionSink) {
         // An unexpected grandchild answer implies the intermediate parent is
         // faulty; the stamp itself tells us which task, and the processor it
         // lived on is already in our dead set if a notice arrived first.
-        let (_, actions) = {
-            let (routed, mut acts) = self.route_salvage(sp.clone());
-            if !routed {
-                self.stats.salvage_dropped += 1;
-            }
-            (routed, {
-                let v: Vec<Action> = std::mem::take(&mut acts);
-                v
-            })
-        };
-        actions
+        if self.route_salvage(sp, sink).is_some() {
+            self.stats.salvage_dropped += 1;
+        }
     }
 
     /// Routes a salvage packet at this processor: deliver to the twin if it
     /// lives here, otherwise hand it one step down the regenerated spine.
-    /// Returns whether the packet found a consumer or forwarder.
-    fn route_salvage(&mut self, sp: SalvagePacket) -> (bool, Vec<Action>) {
-        let mut actions = Vec::new();
+    /// Consumes the packet when it found a consumer or forwarder; returns
+    /// it unrouted otherwise (so callers relay or drop without a clone).
+    fn route_salvage(&mut self, sp: SalvagePacket, sink: &mut ActionSink) -> Option<SalvagePacket> {
         // Twin (or still-live original) of the dead task here?
         if let Some(&key) = self.by_stamp.get(&sp.dead_stamp) {
             self.preload_salvage(key, sp);
-            return (true, actions);
+            return None;
         }
         // Deepest live local ancestor of the dead stamp.
         let mut probe = sp.dead_stamp.clone();
@@ -1074,13 +1106,13 @@ impl Engine {
                     // The (twin) ancestor has not demanded this child yet;
                     // park the salvage for when it does.
                     task.future_salvages.push(sp);
-                    return (true, actions);
+                    return None;
                 }
                 Some(ci) if ci.done => {
                     // The subtree's value is already known upstream; the
                     // orphan's contribution is stale (§4.1 case 8).
                     self.stats.salvage_dropped += 1;
-                    return (true, actions);
+                    return None;
                 }
                 Some(ci) => {
                     // The unexpected grandchild answer itself proves the
@@ -1092,49 +1124,45 @@ impl Engine {
                     {
                         let dead = sp.dead_addr.proc;
                         ci.pending_salvages.push(sp);
-                        let mut acts = self.on_proc_dead(dead);
-                        actions.append(&mut acts);
+                        self.on_proc_dead(dead, sink);
                         // "Create a step-parent for the grandchild if there
                         // isn't one already": even with a grace period, the
                         // salvage arrival itself triggers the twin.
-                        acts = self.salvage_triggers_twin(key, &next);
-                        actions.append(&mut acts);
-                        return (true, actions);
+                        self.salvage_triggers_twin(key, &next, sink);
+                        return None;
                     }
                     match ci.current_addr() {
                         Some(addr) if !self.known_dead.contains(&addr.proc) => {
                             let mut sp = sp;
                             sp.to = addr;
                             self.stats.salvage_forwarded += 1;
-                            self.send(&mut actions, addr.proc, Msg::salvage(sp));
-                            return (true, actions);
+                            self.send(sink, addr.proc, Msg::salvage(sp));
+                            return None;
                         }
                         Some(addr) => {
                             // Child instance died too: reissue it (twin) and
                             // park the salvage until the new ACK.
                             let dead = addr.proc;
                             ci.pending_salvages.push(sp);
-                            let mut acts = self.on_proc_dead(dead);
-                            actions.append(&mut acts);
-                            acts = self.salvage_triggers_twin(key, &next);
-                            actions.append(&mut acts);
-                            return (true, actions);
+                            self.on_proc_dead(dead, sink);
+                            self.salvage_triggers_twin(key, &next, sink);
+                            return None;
                         }
                         None => {
                             // Spawn in flight; park until the ACK flushes.
                             ci.pending_salvages.push(sp);
-                            return (true, actions);
+                            return None;
                         }
                     }
                 }
             }
         }
-        (false, actions)
+        Some(sp)
     }
 
     /// Reactive twin creation: a salvage just arrived for a child whose
     /// twin creation was deferred by the grace period.
-    fn salvage_triggers_twin(&mut self, owner: TaskKey, stamp: &LevelStamp) -> Vec<Action> {
+    fn salvage_triggers_twin(&mut self, owner: TaskKey, stamp: &LevelStamp, sink: &mut ActionSink) {
         let deferred = match self
             .tasks
             .get_mut(&owner)
@@ -1148,9 +1176,7 @@ impl Engine {
         };
         if deferred {
             self.stats.step_parents_created += 1;
-            self.reissue_child(owner, stamp)
-        } else {
-            Vec::new()
+            self.reissue_child(owner, stamp, sink);
         }
     }
 
@@ -1183,20 +1209,18 @@ impl Engine {
     // Abort cascade (rollback garbage collection)
     // -----------------------------------------------------------------
 
-    fn on_abort(&mut self, to: TaskAddr) -> Vec<Action> {
+    fn on_abort(&mut self, to: TaskAddr, sink: &mut ActionSink) {
         if self.tasks.contains_key(&to.key) {
             self.stats.tasks_aborted += 1;
-            self.abort_cascade(to.key)
+            self.abort_cascade(to.key, sink);
         } else {
             self.stats.stale_messages_ignored += 1;
-            Vec::new()
         }
     }
 
-    fn abort_cascade(&mut self, key: TaskKey) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn abort_cascade(&mut self, key: TaskKey, sink: &mut ActionSink) {
         let Some(task) = self.tasks.remove(&key) else {
-            return actions;
+            return;
         };
         if self.by_stamp.get(&task.stamp) == Some(&key) {
             self.by_stamp.remove(&task.stamp);
@@ -1209,7 +1233,7 @@ impl Engine {
             if let Some(addr) = ci.current_addr() {
                 if !self.known_dead.contains(&addr.proc) {
                     self.stats.aborts_sent += 1;
-                    self.send(&mut actions, addr.proc, Msg::Abort { to: addr });
+                    self.send(sink, addr.proc, Msg::Abort { to: addr });
                 }
             }
             if let Some(group) = &ci.vote {
@@ -1225,7 +1249,7 @@ impl Engine {
                 }
             }
         }
-        actions
+        self.recycle_task(task);
     }
 }
 
@@ -1259,24 +1283,33 @@ mod tests {
         }
     }
 
+    /// Collects a handler's sink output into a plain `Vec` (test shim).
+    fn pump(engine: &mut Engine, msg: Msg) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        engine.on_message(msg, &mut sink);
+        sink.drain_to_vec()
+    }
+
     /// Drives a single engine to completion by looping messages back into
-    /// it, returning the root result observed at the super-root.
+    /// it, returning the root result observed at the super-root. The one
+    /// sink is reused across the whole run, like the real drivers.
     fn run_single(engine: &mut Engine, w: &Workload) -> Value {
         let mut inbox: VecDeque<Msg> = VecDeque::new();
         inbox.push_back(Msg::spawn(root_packet(w)));
         let mut root_result = None;
+        let mut sink = ActionSink::new();
         let mut guard = 0u64;
         loop {
             guard += 1;
             assert!(guard < 10_000_000, "single-engine run diverged");
-            let actions = if let Some(msg) = inbox.pop_front() {
-                engine.on_message(msg)
+            if let Some(msg) = inbox.pop_front() {
+                engine.on_message(msg, &mut sink);
             } else if let Some(key) = engine.pop_ready() {
-                engine.run_wave(key).0
+                engine.run_wave(key, &mut sink);
             } else {
                 break;
             };
-            for a in actions {
+            for a in sink.drain() {
                 match a {
                     Action::Send { to, msg } => {
                         if to.is_super_root() {
@@ -1354,13 +1387,16 @@ mod tests {
             relay_chain: vec![],
             replica: None,
         });
-        let actions = e.on_message(stale);
+        let actions = pump(&mut e, stale);
         assert!(actions.is_empty());
         assert_eq!(e.stats().stale_messages_ignored, 1);
         // Unknown aborts equally ignored.
-        e.on_message(Msg::Abort {
-            to: TaskAddr::new(ProcId(0), TaskKey(1)),
-        });
+        pump(
+            &mut e,
+            Msg::Abort {
+                to: TaskAddr::new(ProcId(0), TaskKey(1)),
+            },
+        );
         assert_eq!(e.stats().stale_messages_ignored, 2);
     }
 
@@ -1368,12 +1404,40 @@ mod tests {
     fn failure_notice_is_idempotent() {
         let w = Workload::fib(5);
         let mut e = engine_for(&w, RecoveryMode::Rollback);
-        assert!(e
-            .on_message(Msg::FailureNotice { dead: ProcId(3) })
-            .is_empty());
-        assert!(e
-            .on_message(Msg::FailureNotice { dead: ProcId(3) })
-            .is_empty());
+        assert!(pump(&mut e, Msg::FailureNotice { dead: ProcId(3) }).is_empty());
+        assert!(pump(&mut e, Msg::FailureNotice { dead: ProcId(3) }).is_empty());
         assert!(e.known_dead().contains(&ProcId(3)));
+    }
+
+    #[test]
+    fn action_stays_small() {
+        // Actions move by value through sinks, the DES queue and runtime
+        // channels; the timer payload boxing exists to keep them small.
+        assert!(
+            std::mem::size_of::<Action>() <= 32,
+            "Action grew past 32 bytes: {}",
+            std::mem::size_of::<Action>()
+        );
+        assert!(
+            std::mem::size_of::<Timer>() <= 16,
+            "Timer grew past 16 bytes: {}",
+            std::mem::size_of::<Timer>()
+        );
+    }
+
+    #[test]
+    fn task_frames_are_recycled_across_generations() {
+        // Two back-to-back runs on one engine: the second run's tasks are
+        // revived from the first run's retired frames, and the engine ends
+        // both runs fully drained.
+        let w = Workload::fib(8);
+        let mut e = engine_for(&w, RecoveryMode::Splice);
+        assert_eq!(run_single(&mut e, &w), Value::Int(21));
+        let created_first = e.stats().tasks_created;
+        assert!(!e.free_tasks.is_empty(), "retired frames were kept");
+        assert_eq!(run_single(&mut e, &w), Value::Int(21));
+        assert_eq!(e.task_count(), 0);
+        assert!(e.stats().tasks_created > created_first);
+        assert!(e.checkpoints().is_empty());
     }
 }

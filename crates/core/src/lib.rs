@@ -33,6 +33,7 @@ pub mod ids;
 pub mod packet;
 pub mod place;
 pub mod replicate;
+pub mod sink;
 pub mod stamp;
 pub mod stats;
 pub mod superroot;
@@ -43,6 +44,7 @@ pub use engine::{Action, Engine, Timer};
 pub use ids::{ProcId, TaskAddr, TaskKey};
 pub use packet::{Msg, MsgKind, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
 pub use place::Placer;
+pub use sink::ActionSink;
 pub use stamp::LevelStamp;
 pub use stats::ProcStats;
 pub use superroot::SuperRoot;

@@ -12,19 +12,19 @@
 
 use crate::ids::ProcId;
 use crate::packet::TaskPacket;
-use std::collections::{HashMap, HashSet};
+use splice_applicative::{FxHashMap, FxHashSet};
 
 /// A dynamic task-allocation policy, one instance per processor.
 pub trait Placer: Send {
     /// Chooses the destination for a packet spawned locally. `avoid` holds
     /// processors known to be dead; a placer must never return one unless it
     /// has no alternative (in which case the spawn will bounce and retry).
-    fn place(&mut self, packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId;
+    fn place(&mut self, packet: &TaskPacket, avoid: &FxHashSet<ProcId>) -> ProcId;
 
     /// Decides whether an arriving packet should execute here (`None`) or be
     /// forwarded another hop. The default accepts immediately, which makes
     /// sender-side placement authoritative.
-    fn route(&mut self, _packet: &TaskPacket, _avoid: &HashSet<ProcId>) -> Option<ProcId> {
+    fn route(&mut self, _packet: &TaskPacket, _avoid: &FxHashSet<ProcId>) -> Option<ProcId> {
         None
     }
 
@@ -55,7 +55,7 @@ pub struct SelfPlacer {
 }
 
 impl Placer for SelfPlacer {
-    fn place(&mut self, _packet: &TaskPacket, _avoid: &HashSet<ProcId>) -> ProcId {
+    fn place(&mut self, _packet: &TaskPacket, _avoid: &FxHashSet<ProcId>) -> ProcId {
         self.here
     }
 }
@@ -67,7 +67,7 @@ impl Placer for SelfPlacer {
 /// §3.3 requires.
 #[derive(Debug)]
 pub struct ScriptedPlacer {
-    assignments: HashMap<crate::stamp::LevelStamp, ProcId>,
+    assignments: FxHashMap<crate::stamp::LevelStamp, ProcId>,
     subtrees: Vec<(crate::stamp::LevelStamp, ProcId)>,
     fallbacks: Vec<ProcId>,
 }
@@ -78,7 +78,7 @@ impl ScriptedPlacer {
     pub fn new(fallbacks: Vec<ProcId>) -> ScriptedPlacer {
         assert!(!fallbacks.is_empty());
         ScriptedPlacer {
-            assignments: HashMap::new(),
+            assignments: FxHashMap::default(),
             subtrees: Vec::new(),
             fallbacks,
         }
@@ -102,7 +102,7 @@ impl ScriptedPlacer {
 }
 
 impl Placer for ScriptedPlacer {
-    fn place(&mut self, packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+    fn place(&mut self, packet: &TaskPacket, avoid: &FxHashSet<ProcId>) -> ProcId {
         if let Some(p) = self.assignments.get(&packet.stamp) {
             if !avoid.contains(p) {
                 return *p;
@@ -141,7 +141,7 @@ impl RoundRobinPlacer {
 }
 
 impl Placer for RoundRobinPlacer {
-    fn place(&mut self, _packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+    fn place(&mut self, _packet: &TaskPacket, avoid: &FxHashSet<ProcId>) -> ProcId {
         for _ in 0..self.procs.len() {
             let p = self.procs[self.next % self.procs.len()];
             self.next = self.next.wrapping_add(1);
@@ -179,32 +179,32 @@ mod tests {
     #[test]
     fn self_placer_stays_home() {
         let mut p = SelfPlacer { here: ProcId(4) };
-        assert_eq!(p.place(&pkt(&[1]), &HashSet::new()), ProcId(4));
-        assert_eq!(p.route(&pkt(&[1]), &HashSet::new()), None);
+        assert_eq!(p.place(&pkt(&[1]), &FxHashSet::default()), ProcId(4));
+        assert_eq!(p.route(&pkt(&[1]), &FxHashSet::default()), None);
     }
 
     #[test]
     fn scripted_placer_follows_script_and_avoids_dead() {
         let mut p = ScriptedPlacer::new(vec![ProcId(9), ProcId(4)]);
         p.assign(LevelStamp::from_digits(&[1]), ProcId(2));
-        assert_eq!(p.place(&pkt(&[1]), &HashSet::new()), ProcId(2));
-        assert_eq!(p.place(&pkt(&[7]), &HashSet::new()), ProcId(9));
-        let dead: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        assert_eq!(p.place(&pkt(&[1]), &FxHashSet::default()), ProcId(2));
+        assert_eq!(p.place(&pkt(&[7]), &FxHashSet::default()), ProcId(9));
+        let dead: FxHashSet<ProcId> = [ProcId(2)].into_iter().collect();
         assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(9));
         // Dead fallbacks fall through the chain.
-        let dead: HashSet<ProcId> = [ProcId(2), ProcId(9)].into_iter().collect();
+        let dead: FxHashSet<ProcId> = [ProcId(2), ProcId(9)].into_iter().collect();
         assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(4));
     }
 
     #[test]
     fn round_robin_cycles_and_skips_dead() {
         let mut p = RoundRobinPlacer::new(vec![ProcId(0), ProcId(1), ProcId(2)]);
-        let none = HashSet::new();
+        let none = FxHashSet::default();
         assert_eq!(p.place(&pkt(&[1]), &none), ProcId(0));
         assert_eq!(p.place(&pkt(&[1]), &none), ProcId(1));
         assert_eq!(p.place(&pkt(&[1]), &none), ProcId(2));
         assert_eq!(p.place(&pkt(&[1]), &none), ProcId(0));
-        let dead: HashSet<ProcId> = [ProcId(1)].into_iter().collect();
+        let dead: FxHashSet<ProcId> = [ProcId(1)].into_iter().collect();
         assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(2));
         assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(0));
         assert_eq!(p.place(&pkt(&[1]), &dead), ProcId(2));

@@ -1,0 +1,135 @@
+//! The caller-owned action buffer every engine handler fills.
+//!
+//! Handlers used to return a fresh `Vec<Action>` per stimulus — one heap
+//! allocation per delivered message, timer pop and wave, on a path that
+//! usually carries zero to four actions. An [`ActionSink`] inverts the
+//! ownership: the driver owns one sink per engine pump, hands it to every
+//! handler, and drains it in place after each call. The storage is a
+//! small-vector (eight actions inline, spilling to a heap buffer that is
+//! then kept), so the steady-state pump performs no allocation at all.
+
+use crate::engine::Action;
+use crate::ids::ProcId;
+use crate::packet::Msg;
+use smallvec::SmallVec;
+
+/// Actions held inline before the sink spills. Recovery storms (a failure
+/// notice reissuing many children) exceed this and spill once; the spilled
+/// buffer is reused for the rest of the sink's life.
+const INLINE_ACTIONS: usize = 8;
+
+/// A reusable buffer of engine [`Action`]s, drained by the dispatcher
+/// after every handler call.
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    buf: SmallVec<Action, INLINE_ACTIONS>,
+}
+
+impl ActionSink {
+    /// An empty sink (no heap allocation).
+    pub fn new() -> ActionSink {
+        ActionSink::default()
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: Action) {
+        self.buf.push(action);
+    }
+
+    /// Convenience: appends a send action.
+    pub fn send(&mut self, to: ProcId, msg: Msg) {
+        self.buf.push(Action::Send { to, msg });
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drops every buffered action.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The buffered action at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&Action> {
+        self.buf.get(index)
+    }
+
+    /// Iterates the buffered actions in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &Action> {
+        self.buf.iter()
+    }
+
+    /// Removes and yields every buffered action in push order.
+    pub fn drain(&mut self) -> impl Iterator<Item = Action> + '_ {
+        self.buf.drain()
+    }
+
+    /// Drains into a plain `Vec` (test and scripting convenience; the hot
+    /// path uses [`ActionSink::drain`]).
+    pub fn drain_to_vec(&mut self) -> Vec<Action> {
+        self.buf.drain().collect()
+    }
+}
+
+impl Extend<Action> for ActionSink {
+    fn extend<I: IntoIterator<Item = Action>>(&mut self, iter: I) {
+        for a in iter {
+            self.buf.push(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Timer;
+
+    fn timer_action(delay: u64) -> Action {
+        Action::SetTimer {
+            timer: Timer::LoadBeacon,
+            delay,
+        }
+    }
+
+    #[test]
+    fn push_drain_reuse() {
+        let mut sink = ActionSink::new();
+        for i in 0..3 {
+            sink.push(timer_action(i));
+        }
+        assert_eq!(sink.len(), 3);
+        let drained = sink.drain_to_vec();
+        assert_eq!(drained.len(), 3);
+        assert!(sink.is_empty());
+        sink.push(timer_action(9));
+        assert!(matches!(
+            sink.get(0),
+            Some(Action::SetTimer { delay: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn spills_past_inline_capacity_and_keeps_working() {
+        let mut sink = ActionSink::new();
+        for i in 0..40 {
+            sink.push(timer_action(i));
+        }
+        assert_eq!(sink.len(), 40);
+        let delays: Vec<u64> = sink
+            .drain()
+            .map(|a| match a {
+                Action::SetTimer { delay, .. } => delay,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(delays, (0..40).collect::<Vec<_>>());
+        assert!(sink.is_empty());
+    }
+}

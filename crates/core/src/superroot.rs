@@ -16,10 +16,10 @@
 use crate::engine::{Action, Timer};
 use crate::ids::{ProcId, TaskAddr, TaskKey};
 use crate::packet::{Msg, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
+use crate::sink::ActionSink;
 use crate::stamp::LevelStamp;
 use splice_applicative::wave::Demand;
-use splice_applicative::{FnId, Value};
-use std::collections::HashSet;
+use splice_applicative::{FnId, FxHashSet, Value};
 
 /// The reliable parent of the root task.
 #[derive(Debug)]
@@ -29,7 +29,7 @@ pub struct SuperRoot {
     incarnation: u32,
     result: Option<Value>,
     pending_salvages: Vec<SalvagePacket>,
-    known_dead: HashSet<ProcId>,
+    known_dead: FxHashSet<ProcId>,
     ack_timeout: u64,
     /// Number of times the root was reissued.
     pub reissues: u64,
@@ -61,7 +61,7 @@ impl SuperRoot {
             incarnation: 0,
             result: None,
             pending_salvages: Vec::new(),
-            known_dead: HashSet::new(),
+            known_dead: FxHashSet::default(),
             ack_timeout,
             reissues: 0,
         }
@@ -85,28 +85,22 @@ impl SuperRoot {
     }
 
     /// Launches the program: spawn the root task at `dest`.
-    pub fn launch(&mut self, dest: ProcId) -> Vec<Action> {
-        vec![
-            Action::SetTimer {
-                timer: Timer::AckTimeout {
-                    owner: TaskKey(0),
-                    stamp: self.packet.stamp.clone(),
-                    incarnation: self.incarnation,
-                },
-                delay: self.ack_timeout,
-            },
-            Action::Send {
-                to: dest,
-                msg: Msg::spawn(self.packet.clone()),
-            },
-        ]
+    pub fn launch(&mut self, dest: ProcId, sink: &mut ActionSink) {
+        sink.push(Action::SetTimer {
+            timer: Timer::ack_timeout(TaskKey(0), self.packet.stamp.clone(), self.incarnation),
+            delay: self.ack_timeout,
+        });
+        sink.push(Action::Send {
+            to: dest,
+            msg: Msg::spawn(self.packet.clone()),
+        });
     }
 
     /// Reissues the root task at `dest` (root processor failed, or the
     /// placement ack never came).
-    pub fn reissue(&mut self, dest: ProcId) -> Vec<Action> {
+    pub fn reissue(&mut self, dest: ProcId, sink: &mut ActionSink) {
         if self.result.is_some() {
-            return Vec::new();
+            return;
         }
         self.incarnation += 1;
         self.reissues += 1;
@@ -115,31 +109,25 @@ impl SuperRoot {
         // Buffered salvages are not flushed here: the twin root inherits
         // the previous root's orphan results only once its placement is
         // acknowledged (see the `Msg::Ack` arm).
-        vec![
-            Action::SetTimer {
-                timer: Timer::AckTimeout {
-                    owner: TaskKey(0),
-                    stamp: self.packet.stamp.clone(),
-                    incarnation: self.incarnation,
-                },
-                delay: self.ack_timeout,
-            },
-            Action::Send {
-                to: dest,
-                msg: Msg::spawn(p),
-            },
-        ]
+        sink.push(Action::SetTimer {
+            timer: Timer::ack_timeout(TaskKey(0), self.packet.stamp.clone(), self.incarnation),
+            delay: self.ack_timeout,
+        });
+        sink.push(Action::Send {
+            to: dest,
+            msg: Msg::spawn(p),
+        });
     }
 
     /// Handles a message addressed to the super-root. `fallback_dest`
     /// supplies a placement for reissues triggered by this message.
-    pub fn on_message(&mut self, msg: Msg, fallback_dest: ProcId) -> Vec<Action> {
+    pub fn on_message(&mut self, msg: Msg, fallback_dest: ProcId, sink: &mut ActionSink) {
         match msg {
             Msg::Ack(ack) => {
                 let (child_stamp, child_addr, incarnation) =
                     (ack.child_stamp, ack.child_addr, ack.incarnation);
                 if child_stamp != self.packet.stamp {
-                    return Vec::new();
+                    return;
                 }
                 // An ack from a processor already known dead is from a
                 // corpse — the root died with its host. Recording it would
@@ -147,35 +135,32 @@ impl SuperRoot {
                 // slow-ack/fast-notice race Engine::on_ack guards against).
                 if self.known_dead.contains(&child_addr.proc) {
                     if self.root_addr().is_none() && incarnation == self.incarnation {
-                        return self.reissue(fallback_dest);
+                        self.reissue(fallback_dest, sink);
                     }
-                    return Vec::new();
+                    return;
                 }
                 let newer = match self.acked {
                     Some((_, prev)) => incarnation >= prev,
                     None => true,
                 };
                 if !newer {
-                    return Vec::new();
+                    return;
                 }
                 self.acked = Some((child_addr, incarnation));
-                let mut actions = Vec::new();
                 for mut sp in std::mem::take(&mut self.pending_salvages) {
                     sp.to = child_addr;
-                    actions.push(Action::Send {
+                    sink.push(Action::Send {
                         to: child_addr.proc,
                         msg: Msg::salvage(sp),
                     });
                 }
-                actions
             }
             Msg::Result(rp) => {
                 self.on_result(*rp);
-                Vec::new()
             }
-            Msg::Salvage(sp) => self.on_salvage(*sp, fallback_dest),
-            Msg::FailureNotice { dead } => self.on_failure(dead, fallback_dest),
-            _ => Vec::new(),
+            Msg::Salvage(sp) => self.on_salvage(*sp, fallback_dest, sink),
+            Msg::FailureNotice { dead } => self.on_failure(dead, fallback_dest, sink),
+            _ => {}
         }
     }
 
@@ -187,19 +172,18 @@ impl SuperRoot {
 
     /// An orphan of the (dead) root relayed its result here: recreate the
     /// root twin if needed and forward the salvage once placed.
-    fn on_salvage(&mut self, sp: SalvagePacket, fallback_dest: ProcId) -> Vec<Action> {
+    fn on_salvage(&mut self, sp: SalvagePacket, fallback_dest: ProcId, sink: &mut ActionSink) {
         if self.result.is_some() {
-            return Vec::new();
+            return;
         }
         if !self.packet.stamp.is_self_or_ancestor_of(&sp.dead_stamp) {
-            return Vec::new();
+            return;
         }
-        let mut actions = Vec::new();
         match self.root_addr() {
             Some(addr) if !self.known_dead.contains(&addr.proc) => {
                 let mut sp = sp;
                 sp.to = addr;
-                actions.push(Action::Send {
+                sink.push(Action::Send {
                     to: addr.proc,
                     msg: Msg::salvage(sp),
                 });
@@ -214,47 +198,44 @@ impl SuperRoot {
                     .map(|(a, _)| self.known_dead.contains(&a.proc))
                     .unwrap_or(false)
                 {
-                    actions.extend(self.reissue(fallback_dest));
+                    self.reissue(fallback_dest, sink);
                 }
             }
         }
-        actions
     }
 
     /// Processor failure: if it hosted the root, reissue the program —
     /// "the regeneration of the root does not come naturally ... a
     /// preevaluation functional checkpoint needs to be implemented."
-    pub fn on_failure(&mut self, dead: ProcId, fallback_dest: ProcId) -> Vec<Action> {
+    pub fn on_failure(&mut self, dead: ProcId, fallback_dest: ProcId, sink: &mut ActionSink) {
         self.known_dead.insert(dead);
         if self.result.is_some() {
-            return Vec::new();
+            return;
         }
-        match self.acked {
-            Some((addr, inc)) if addr.proc == dead && inc == self.incarnation => {
-                self.reissue(fallback_dest)
+        if let Some((addr, inc)) = self.acked {
+            if addr.proc == dead && inc == self.incarnation {
+                self.reissue(fallback_dest, sink);
             }
-            _ => Vec::new(),
         }
     }
 
     /// Ack-timeout for the root spawn.
-    pub fn on_timer(&mut self, timer: Timer, fallback_dest: ProcId) -> Vec<Action> {
+    pub fn on_timer(&mut self, timer: Timer, fallback_dest: ProcId, sink: &mut ActionSink) {
         match timer {
-            Timer::AckTimeout { incarnation, .. } => {
+            Timer::AckTimeout(t) => {
                 if self.result.is_some() {
-                    return Vec::new();
+                    return;
                 }
+                let incarnation = t.incarnation;
                 let acked_current = self
                     .acked
                     .map(|(_, inc)| inc >= incarnation)
                     .unwrap_or(false);
-                if acked_current || incarnation < self.incarnation {
-                    Vec::new()
-                } else {
-                    self.reissue(fallback_dest)
+                if !acked_current && incarnation >= self.incarnation {
+                    self.reissue(fallback_dest, sink);
                 }
             }
-            Timer::LoadBeacon | Timer::GraceReissue { .. } => Vec::new(),
+            Timer::LoadBeacon | Timer::GraceReissue { .. } => {}
         }
     }
 }
@@ -265,6 +246,30 @@ mod tests {
 
     fn sr() -> SuperRoot {
         SuperRoot::new(FnId(0), vec![Value::Int(10)], 2, 100)
+    }
+
+    fn launch(s: &mut SuperRoot, dest: ProcId) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        s.launch(dest, &mut sink);
+        sink.drain_to_vec()
+    }
+
+    fn deliver(s: &mut SuperRoot, msg: Msg, fallback: ProcId) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        s.on_message(msg, fallback, &mut sink);
+        sink.drain_to_vec()
+    }
+
+    fn fail(s: &mut SuperRoot, dead: ProcId, fallback: ProcId) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        s.on_failure(dead, fallback, &mut sink);
+        sink.drain_to_vec()
+    }
+
+    fn fire(s: &mut SuperRoot, timer: Timer, fallback: ProcId) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        s.on_timer(timer, fallback, &mut sink);
+        sink.drain_to_vec()
     }
 
     fn ack(sr_: &SuperRoot, proc: ProcId, inc: u32) -> Msg {
@@ -291,7 +296,7 @@ mod tests {
     #[test]
     fn launch_spawns_root_with_stamp_one() {
         let mut s = sr();
-        let actions = s.launch(ProcId(0));
+        let actions = launch(&mut s, ProcId(0));
         assert_eq!(actions.len(), 2);
         assert!(matches!(
             &actions[1],
@@ -302,37 +307,43 @@ mod tests {
     #[test]
     fn result_is_captured_once() {
         let mut s = sr();
-        s.launch(ProcId(0));
-        s.on_message(ack(&s, ProcId(0), 0), ProcId(0));
+        launch(&mut s, ProcId(0));
+        let m = ack(&s, ProcId(0), 0);
+        deliver(&mut s, m, ProcId(0));
         assert_eq!(s.root_addr(), Some(TaskAddr::new(ProcId(0), TaskKey(0))));
-        s.on_message(result(&s, 55), ProcId(0));
+        let m = result(&s, 55);
+        deliver(&mut s, m, ProcId(0));
         assert_eq!(s.result(), Some(&Value::Int(55)));
         // Duplicate result (twin) ignored.
-        s.on_message(result(&s, 99), ProcId(0));
+        let m = result(&s, 99);
+        deliver(&mut s, m, ProcId(0));
         assert_eq!(s.result(), Some(&Value::Int(55)));
     }
 
     #[test]
     fn root_failure_triggers_reissue() {
         let mut s = sr();
-        s.launch(ProcId(0));
-        s.on_message(ack(&s, ProcId(0), 0), ProcId(1));
-        let actions = s.on_failure(ProcId(0), ProcId(1));
+        launch(&mut s, ProcId(0));
+        let m = ack(&s, ProcId(0), 0);
+        deliver(&mut s, m, ProcId(1));
+        let actions = fail(&mut s, ProcId(0), ProcId(1));
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::Send { to: ProcId(1), msg: Msg::Spawn(p) } if p.incarnation == 1)));
         assert_eq!(s.reissues, 1);
         // Failure of an unrelated processor does nothing.
-        assert!(s.on_failure(ProcId(7), ProcId(1)).is_empty());
+        assert!(fail(&mut s, ProcId(7), ProcId(1)).is_empty());
     }
 
     #[test]
     fn no_reissue_after_completion() {
         let mut s = sr();
-        s.launch(ProcId(0));
-        s.on_message(ack(&s, ProcId(0), 0), ProcId(1));
-        s.on_message(result(&s, 55), ProcId(0));
-        assert!(s.on_failure(ProcId(0), ProcId(1)).is_empty());
+        launch(&mut s, ProcId(0));
+        let m = ack(&s, ProcId(0), 0);
+        deliver(&mut s, m, ProcId(1));
+        let m = result(&s, 55);
+        deliver(&mut s, m, ProcId(0));
+        assert!(fail(&mut s, ProcId(0), ProcId(1)).is_empty());
         assert_eq!(s.reissues, 0);
     }
 
@@ -345,12 +356,13 @@ mod tests {
         // rather than being recorded — a recorded dead placement satisfies
         // the ack timeout and wedges the launch forever.
         let mut s = sr();
-        s.launch(ProcId(0));
+        launch(&mut s, ProcId(0));
         assert!(
-            s.on_failure(ProcId(0), ProcId(1)).is_empty(),
+            fail(&mut s, ProcId(0), ProcId(1)).is_empty(),
             "nothing acked yet, notice alone reissues nothing"
         );
-        let actions = s.on_message(ack(&s, ProcId(0), 0), ProcId(1));
+        let m = ack(&s, ProcId(0), 0);
+        let actions = deliver(&mut s, m, ProcId(1));
         assert!(
             actions.iter().any(|a| matches!(
                 a,
@@ -365,27 +377,25 @@ mod tests {
     #[test]
     fn ack_timeout_reissues_unplaced_root() {
         let mut s = sr();
-        s.launch(ProcId(0));
-        let t = Timer::AckTimeout {
-            owner: TaskKey(0),
-            stamp: s.root_stamp().clone(),
-            incarnation: 0,
-        };
-        let actions = s.on_timer(t.clone(), ProcId(2));
+        launch(&mut s, ProcId(0));
+        let t = Timer::ack_timeout(TaskKey(0), s.root_stamp().clone(), 0);
+        let actions = fire(&mut s, t.clone(), ProcId(2));
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::Send { to: ProcId(2), .. })));
         // Stale timer after the ack: no-op.
-        s.on_message(ack(&s, ProcId(2), 1), ProcId(2));
-        assert!(s.on_timer(t, ProcId(2)).is_empty());
+        let m = ack(&s, ProcId(2), 1);
+        deliver(&mut s, m, ProcId(2));
+        assert!(fire(&mut s, t, ProcId(2)).is_empty());
     }
 
     #[test]
     fn salvage_buffers_until_twin_ack_then_flushes() {
         let mut s = sr();
-        s.launch(ProcId(0));
-        s.on_message(ack(&s, ProcId(0), 0), ProcId(1));
-        s.on_failure(ProcId(0), ProcId(1)); // reissue to P1, not yet acked
+        launch(&mut s, ProcId(0));
+        let m = ack(&s, ProcId(0), 0);
+        deliver(&mut s, m, ProcId(1));
+        fail(&mut s, ProcId(0), ProcId(1)); // reissue to P1, not yet acked
         let sp = SalvagePacket {
             to: TaskAddr::super_root(),
             dead_stamp: s.root_stamp().clone(),
@@ -394,9 +404,10 @@ mod tests {
             value: Value::Int(34),
             from_stamp: s.root_stamp().child(1),
         };
-        let actions = s.on_message(Msg::salvage(sp), ProcId(1));
+        let actions = deliver(&mut s, Msg::salvage(sp), ProcId(1));
         assert!(actions.is_empty(), "buffered until the twin root is placed");
-        let actions = s.on_message(ack(&s, ProcId(1), 1), ProcId(1));
+        let m = ack(&s, ProcId(1), 1);
+        let actions = deliver(&mut s, m, ProcId(1));
         assert!(
             actions.iter().any(|a| matches!(
                 a,

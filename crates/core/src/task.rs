@@ -11,7 +11,7 @@ use crate::packet::{ReplicaInfo, SalvagePacket, TaskLink, TaskPacket};
 use crate::replicate::Vote;
 use crate::stamp::LevelStamp;
 use splice_applicative::wave::{Demand, TaskEval};
-use std::collections::HashMap;
+use splice_applicative::FxHashMap;
 
 /// State of one replicated child group (§5.3).
 #[derive(Clone, Debug)]
@@ -78,9 +78,9 @@ pub struct Task {
     /// Incarnation of the packet that created this instance.
     pub incarnation: u32,
     /// Children by stamp.
-    pub children: HashMap<LevelStamp, ChildInfo>,
+    pub children: FxHashMap<LevelStamp, ChildInfo>,
     /// Demand → child stamp (demands are deduplicated per task).
-    pub by_demand: HashMap<Demand, LevelStamp>,
+    pub by_demand: FxHashMap<Demand, LevelStamp>,
     /// Next child digit to assign (digits start at 1).
     pub next_digit: u32,
     /// Salvaged results for descendants this (twin) task has not spawned
@@ -102,12 +102,44 @@ impl Task {
             replica: p.replica.clone(),
             under_replica: p.under_replica || p.replica.is_some(),
             incarnation: p.incarnation,
-            children: HashMap::new(),
-            by_demand: HashMap::new(),
+            children: FxHashMap::default(),
+            by_demand: FxHashMap::default(),
             next_digit: 0,
             future_salvages: Vec::new(),
             queued: false,
         }
+    }
+
+    /// Reinitializes a recycled frame from a packet — the allocation-free
+    /// twin of [`Task::from_packet`]. The frame's maps, buffers and call
+    /// cache keep their capacity across task generations.
+    pub fn reset_from_packet(&mut self, key: TaskKey, p: &TaskPacket) {
+        debug_assert!(
+            self.children.is_empty()
+                && self.by_demand.is_empty()
+                && self.future_salvages.is_empty(),
+            "recycled frame was not cleared"
+        );
+        self.key = key;
+        self.stamp = p.stamp.clone();
+        self.eval.reset(p.demand.fun, &p.demand.args);
+        self.parent = p.parent.clone();
+        self.ancestors.clear();
+        self.ancestors.extend_from_slice(&p.ancestors);
+        self.replica = p.replica.clone();
+        self.under_replica = p.under_replica || p.replica.is_some();
+        self.incarnation = p.incarnation;
+        self.next_digit = 0;
+        self.queued = false;
+    }
+
+    /// Drops a retired frame's per-task state, keeping the allocations for
+    /// [`Task::reset_from_packet`].
+    pub fn clear_for_reuse(&mut self) {
+        self.children.clear();
+        self.by_demand.clear();
+        self.future_salvages.clear();
+        self.ancestors.clear();
     }
 
     /// Allocates the stamp for the next child. Demand order is

@@ -9,10 +9,10 @@
 //! exactly the property §3.3 of the recovery paper relies on: recovery
 //! reissues are placed like any other task, with no linkage bookkeeping.
 
+use splice_applicative::{FxHashMap, FxHashSet};
 use splice_core::ids::ProcId;
 use splice_core::packet::TaskPacket;
 use splice_core::place::Placer;
-use std::collections::{HashMap, HashSet};
 
 /// Proximity advertised when no demanding node is known anywhere.
 pub const UNKNOWN_PROXIMITY: u32 = u32::MAX / 2;
@@ -52,10 +52,10 @@ pub struct GradientPlacer {
     /// Neighbours reached through the inter-shard router (empty on flat
     /// topologies): their advertised proximity is inflated by
     /// `config.cross_shard_penalty`.
-    cross_shard: HashSet<ProcId>,
+    cross_shard: FxHashSet<ProcId>,
     config: GradientConfig,
     local_pressure: u32,
-    neighbor_proximity: HashMap<ProcId, u32>,
+    neighbor_proximity: FxHashMap<ProcId, u32>,
     tie_rotor: usize,
 }
 
@@ -63,7 +63,7 @@ impl GradientPlacer {
     /// Creates a placer for `here` with its direct `neighbors`, all
     /// intra-shard.
     pub fn new(here: ProcId, neighbors: Vec<ProcId>, config: GradientConfig) -> GradientPlacer {
-        GradientPlacer::sharded(here, neighbors, HashSet::new(), config)
+        GradientPlacer::sharded(here, neighbors, FxHashSet::default(), config)
     }
 
     /// Creates a placer for `here` whose neighbours in `cross_shard` sit on
@@ -71,7 +71,7 @@ impl GradientPlacer {
     pub fn sharded(
         here: ProcId,
         neighbors: Vec<ProcId>,
-        cross_shard: HashSet<ProcId>,
+        cross_shard: FxHashSet<ProcId>,
         config: GradientConfig,
     ) -> GradientPlacer {
         GradientPlacer {
@@ -80,7 +80,7 @@ impl GradientPlacer {
             cross_shard,
             config,
             local_pressure: 0,
-            neighbor_proximity: HashMap::new(),
+            neighbor_proximity: FxHashMap::default(),
             tie_rotor: 0,
         }
     }
@@ -113,7 +113,7 @@ impl GradientPlacer {
     /// The live neighbour with the smallest penalty-adjusted proximity;
     /// ties are rotated so repeated exports spread across equally good
     /// directions.
-    fn best_neighbor(&mut self, avoid: &HashSet<ProcId>) -> Option<ProcId> {
+    fn best_neighbor(&mut self, avoid: &FxHashSet<ProcId>) -> Option<ProcId> {
         let best = self
             .neighbors
             .iter()
@@ -134,14 +134,14 @@ impl GradientPlacer {
 }
 
 impl Placer for GradientPlacer {
-    fn place(&mut self, _packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+    fn place(&mut self, _packet: &TaskPacket, avoid: &FxHashSet<ProcId>) -> ProcId {
         if self.local_pressure <= self.config.keep_threshold {
             return self.here;
         }
         self.best_neighbor(avoid).unwrap_or(self.here)
     }
 
-    fn route(&mut self, packet: &TaskPacket, avoid: &HashSet<ProcId>) -> Option<ProcId> {
+    fn route(&mut self, packet: &TaskPacket, avoid: &FxHashSet<ProcId>) -> Option<ProcId> {
         // Keep arriving work when demanding; otherwise push it further down
         // the gradient — but only if some neighbour actually looks closer to
         // demand than we are.
@@ -228,8 +228,8 @@ mod tests {
     fn low_pressure_keeps_tasks_local() {
         let mut p = placer();
         p.set_local_pressure(1);
-        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(0));
-        assert_eq!(p.route(&pkt(3), &HashSet::new()), None);
+        assert_eq!(p.place(&pkt(0), &FxHashSet::default()), ProcId(0));
+        assert_eq!(p.route(&pkt(3), &FxHashSet::default()), None);
     }
 
     #[test]
@@ -238,10 +238,10 @@ mod tests {
         p.set_local_pressure(10);
         p.on_load(ProcId(1), 4);
         p.on_load(ProcId(2), 0);
-        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(2));
+        assert_eq!(p.place(&pkt(0), &FxHashSet::default()), ProcId(2));
         // Routing forwards too, because neighbour 2 is strictly closer to
         // demand than we are.
-        assert_eq!(p.route(&pkt(1), &HashSet::new()), Some(ProcId(2)));
+        assert_eq!(p.route(&pkt(1), &FxHashSet::default()), Some(ProcId(2)));
     }
 
     #[test]
@@ -250,7 +250,7 @@ mod tests {
         p.set_local_pressure(10);
         p.on_load(ProcId(1), 4);
         p.on_load(ProcId(2), 0);
-        let dead: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        let dead: FxHashSet<ProcId> = [ProcId(2)].into_iter().collect();
         assert_eq!(p.place(&pkt(0), &dead), ProcId(1));
     }
 
@@ -260,14 +260,14 @@ mod tests {
         p.set_local_pressure(10);
         p.on_load(ProcId(1), 2);
         p.on_load(ProcId(2), 2);
-        let a = p.place(&pkt(0), &HashSet::new());
-        let b = p.place(&pkt(0), &HashSet::new());
+        let a = p.place(&pkt(0), &FxHashSet::default());
+        let b = p.place(&pkt(0), &FxHashSet::default());
         assert_ne!(a, b, "equal-proximity neighbours share the surplus");
     }
 
     #[test]
     fn cross_shard_neighbors_lose_ties_to_local_ones() {
-        let cross: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        let cross: FxHashSet<ProcId> = [ProcId(2)].into_iter().collect();
         let mut p = GradientPlacer::sharded(
             ProcId(0),
             vec![ProcId(1), ProcId(2)],
@@ -279,13 +279,13 @@ mod tests {
         p.on_load(ProcId(2), 2);
         // Equal advertisements, but 2 sits behind the router: the penalty
         // breaks the tie toward the intra-shard neighbour, repeatedly.
-        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(1));
-        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(1));
+        assert_eq!(p.place(&pkt(0), &FxHashSet::default()), ProcId(1));
+        assert_eq!(p.place(&pkt(0), &FxHashSet::default()), ProcId(1));
     }
 
     #[test]
     fn strong_cross_shard_demand_still_wins() {
-        let cross: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        let cross: FxHashSet<ProcId> = [ProcId(2)].into_iter().collect();
         let mut p = GradientPlacer::sharded(
             ProcId(0),
             vec![ProcId(1), ProcId(2)],
@@ -296,14 +296,14 @@ mod tests {
         p.on_load(ProcId(1), 4);
         p.on_load(ProcId(2), 0);
         // 0 + penalty(1) still beats 4: real imbalance crosses the router.
-        assert_eq!(p.place(&pkt(0), &HashSet::new()), ProcId(2));
+        assert_eq!(p.place(&pkt(0), &FxHashSet::default()), ProcId(2));
         // And the penalty feeds the advertised proximity: 1 + (0+1).
         assert_eq!(p.proximity(), 2);
     }
 
     #[test]
     fn penalty_redirects_routing_into_the_local_shard() {
-        let cross: HashSet<ProcId> = [ProcId(2)].into_iter().collect();
+        let cross: FxHashSet<ProcId> = [ProcId(2)].into_iter().collect();
         let mut p = GradientPlacer::sharded(
             ProcId(0),
             vec![ProcId(1), ProcId(2)],
@@ -318,7 +318,7 @@ mod tests {
         p.on_load(ProcId(2), 1);
         // Raw demand is across the router (1 < 3), but 1+3 ≥ 3: the
         // surplus stays in the shard.
-        assert_eq!(p.route(&pkt(1), &HashSet::new()), Some(ProcId(1)));
+        assert_eq!(p.route(&pkt(1), &FxHashSet::default()), Some(ProcId(1)));
     }
 
     #[test]
@@ -327,7 +327,7 @@ mod tests {
         let mut p = placer();
         p.set_local_pressure(50);
         p.on_load(ProcId(1), 0);
-        assert_eq!(p.route(&pkt(0), &HashSet::new()), None);
+        assert_eq!(p.route(&pkt(0), &FxHashSet::default()), None);
     }
 
     #[test]

@@ -144,7 +144,10 @@ mod tests {
         };
         // Equal advertisements: the cross-shard gateway neighbour loses.
         for _ in 0..3 {
-            assert_eq!(p.place(&pkt, &std::collections::HashSet::new()), ProcId(1));
+            assert_eq!(
+                p.place(&pkt, &splice_applicative::FxHashSet::default()),
+                ProcId(1)
+            );
         }
     }
 }

@@ -3,10 +3,10 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use splice_applicative::FxHashSet;
 use splice_core::ids::ProcId;
 use splice_core::packet::TaskPacket;
 use splice_core::place::Placer;
-use std::collections::HashSet;
 
 /// Uniform-random placement over a fixed processor set.
 pub struct RandomPlacer {
@@ -26,7 +26,7 @@ impl RandomPlacer {
 }
 
 impl Placer for RandomPlacer {
-    fn place(&mut self, _packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+    fn place(&mut self, _packet: &TaskPacket, avoid: &FxHashSet<ProcId>) -> ProcId {
         let live: Vec<ProcId> = self
             .procs
             .iter()
@@ -64,7 +64,7 @@ impl LeastLoadedPlacer {
 }
 
 impl Placer for LeastLoadedPlacer {
-    fn place(&mut self, _packet: &TaskPacket, avoid: &HashSet<ProcId>) -> ProcId {
+    fn place(&mut self, _packet: &TaskPacket, avoid: &FxHashSet<ProcId>) -> ProcId {
         let mut best: Option<(u32, ProcId)> = None;
         for (i, p) in self.procs.iter().enumerate() {
             if avoid.contains(p) {
@@ -138,7 +138,7 @@ mod tests {
         let procs: Vec<ProcId> = (0..8).map(ProcId).collect();
         let mut a = RandomPlacer::new(procs.clone(), 42);
         let mut b = RandomPlacer::new(procs.clone(), 42);
-        let dead: HashSet<ProcId> = [ProcId(3)].into_iter().collect();
+        let dead: FxHashSet<ProcId> = [ProcId(3)].into_iter().collect();
         for _ in 0..100 {
             let pa = a.place(&pkt(), &dead);
             assert_eq!(pa, b.place(&pkt(), &dead));
@@ -150,9 +150,9 @@ mod tests {
     fn random_covers_the_whole_set() {
         let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
         let mut p = RandomPlacer::new(procs.clone(), 1);
-        let mut seen = HashSet::new();
+        let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
-            seen.insert(p.place(&pkt(), &HashSet::new()));
+            seen.insert(p.place(&pkt(), &FxHashSet::default()));
         }
         assert_eq!(seen.len(), 4);
     }
@@ -164,10 +164,10 @@ mod tests {
         p.set_local_pressure(5);
         p.on_load(ProcId(1), 2);
         p.on_load(ProcId(2), 7);
-        assert_eq!(p.place(&pkt(), &HashSet::new()), ProcId(1));
+        assert_eq!(p.place(&pkt(), &FxHashSet::default()), ProcId(1));
         p.on_load(ProcId(1), 9);
-        assert_eq!(p.place(&pkt(), &HashSet::new()), ProcId(0));
-        let dead: HashSet<ProcId> = [ProcId(0), ProcId(1)].into_iter().collect();
+        assert_eq!(p.place(&pkt(), &FxHashSet::default()), ProcId(0));
+        let dead: FxHashSet<ProcId> = [ProcId(0), ProcId(1)].into_iter().collect();
         assert_eq!(p.place(&pkt(), &dead), ProcId(2));
     }
 

@@ -1,0 +1,324 @@
+//! Batched delivery: the coalescing-bus substrate decorator.
+//!
+//! Real interconnects amortize per-message overhead by coalescing traffic
+//! to the same destination into one envelope, at the price of holding
+//! messages back for a flush window. [`BatchingSubstrate`] models exactly
+//! that trade for the recovery protocol: `send`s made during one driver
+//! pump are buffered; [`BatchingSubstrate::flush`] (called by the machine
+//! once per pump, or implicitly when the decorator is dropped) groups them
+//! by `(from, to)` link, counts one *envelope* per group, and forwards
+//! every message with `flush_window` extra delivery delay through
+//! [`Substrate::send_delayed`] — so latency-modelling backends (the DES,
+//! the threaded runtime's delayed-delivery queue) charge the batching
+//! delay, while per-destination FIFO order is preserved verbatim.
+//!
+//! With `flush_window == 0` the decorator is a transparent pass-through
+//! (nothing is buffered, delivery order is bit-identical to the undecorated
+//! substrate), so a machine can be built around it unconditionally — the
+//! same construction pattern as [`crate::shard::ShardRouter`]. Experiment
+//! E15 sweeps the window to measure what delivery batching does to
+//! completion and recovery latency.
+
+use crate::substrate::Substrate;
+use splice_core::engine::Timer;
+use splice_core::ids::ProcId;
+use splice_core::packet::Msg;
+use splice_core::sink::ActionSink;
+
+/// Per-run batching accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Flushes that delivered at least one message.
+    pub flushes: u64,
+    /// Envelopes (distinct `(from, to)` links per flush) delivered.
+    pub envelopes: u64,
+    /// Messages delivered through the batching buffer.
+    pub messages: u64,
+}
+
+impl BatchStats {
+    /// Mean messages per envelope (1.0 when batching never coalesced).
+    pub fn mean_batch(&self) -> f64 {
+        if self.envelopes == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.envelopes as f64
+        }
+    }
+}
+
+/// A [`Substrate`] decorator that coalesces same-destination sends within
+/// a pump into one envelope, delivered after a configurable flush window.
+pub struct BatchingSubstrate<S: Substrate> {
+    inner: S,
+    flush_window: u64,
+    /// Buffered sends in arrival order: `(from, to, msg, extra)`.
+    pending: Vec<(ProcId, ProcId, Msg, u64)>,
+    stats: BatchStats,
+}
+
+impl<S: Substrate> BatchingSubstrate<S> {
+    /// Wraps `inner`; messages buffered during a pump are delivered with
+    /// `flush_window` extra delay units. A window of 0 disables buffering
+    /// entirely (transparent pass-through).
+    pub fn new(inner: S, flush_window: u64) -> BatchingSubstrate<S> {
+        BatchingSubstrate {
+            inner,
+            flush_window,
+            pending: Vec::new(),
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// The configured flush window.
+    pub fn flush_window(&self) -> u64 {
+        self.flush_window
+    }
+
+    /// Batching accounting so far.
+    pub fn batch_stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// The wrapped substrate.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped substrate, mutably.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Messages currently held in the batching buffer.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Delivers everything buffered since the last flush. Messages go out
+    /// in arrival order (per-destination FIFO is preserved; backends break
+    /// same-instant ties by send order), each carrying the flush window as
+    /// extra delivery delay. Envelope accounting groups by `(from, to)`.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.stats.flushes += 1;
+        self.stats.messages += self.pending.len() as u64;
+        // Count distinct links in this flush — one envelope per link. The
+        // per-pump buffer is small, so a quadratic scan beats hashing.
+        for i in 0..self.pending.len() {
+            let (f, t) = (self.pending[i].0, self.pending[i].1);
+            if !self.pending[..i]
+                .iter()
+                .any(|(pf, pt, ..)| (*pf, *pt) == (f, t))
+            {
+                self.stats.envelopes += 1;
+            }
+        }
+        let window = self.flush_window;
+        for (from, to, msg, extra) in self.pending.drain(..) {
+            self.inner.send_delayed(from, to, msg, extra + window);
+        }
+    }
+}
+
+/// Un-flushed messages must never be lost: pumps that build a transient
+/// decorator (the threaded runtime wraps its substrate per pump) flush on
+/// scope exit.
+impl<S: Substrate> Drop for BatchingSubstrate<S> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl<S: Substrate> std::ops::Deref for BatchingSubstrate<S> {
+    type Target = S;
+    fn deref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Substrate> std::ops::DerefMut for BatchingSubstrate<S> {
+    fn deref_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+}
+
+impl<S: Substrate> Substrate for BatchingSubstrate<S> {
+    fn n_procs(&self) -> u32 {
+        self.inner.n_procs()
+    }
+
+    fn is_live(&self, p: ProcId) -> bool {
+        self.inner.is_live(p)
+    }
+
+    fn now_units(&self) -> u64 {
+        self.inner.now_units()
+    }
+
+    fn send(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+        self.send_delayed(from, to, msg, 0);
+    }
+
+    fn send_delayed(&mut self, from: ProcId, to: ProcId, msg: Msg, extra: u64) {
+        // Pass-through mode, and the reliable driver link, bypass the
+        // buffer (delaying the final result to batch it with nothing wins
+        // nothing and skews completion times).
+        if self.flush_window == 0 || from.is_super_root() || to.is_super_root() {
+            return self.inner.send_delayed(from, to, msg, extra);
+        }
+        self.pending.push((from, to, msg, extra));
+    }
+
+    fn arm_timer(&mut self, owner: ProcId, timer: Timer, delay: u64) {
+        self.inner.arm_timer(owner, timer, delay);
+    }
+
+    fn report_death(&mut self, dead: ProcId) {
+        self.inner.report_death(dead);
+    }
+
+    fn complete_wave(&mut self, proc: ProcId, sink: &mut ActionSink, work: u64) {
+        self.inner.complete_wave(proc, sink, work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use splice_core::ids::{TaskAddr, TaskKey};
+    use splice_core::stamp::LevelStamp;
+
+    fn msg(tag: u32) -> Msg {
+        Msg::ack(
+            LevelStamp::from_digits(&[1]),
+            TaskAddr::new(ProcId(tag), TaskKey(u64::from(tag))),
+            TaskAddr::super_root(),
+            tag,
+        )
+    }
+
+    fn msg_tag(m: &Msg) -> u32 {
+        match m {
+            Msg::Ack(a) => a.incarnation,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Records delivered sends with their extra delay.
+    #[derive(Default)]
+    struct Probe {
+        sent: Vec<(ProcId, ProcId, u32, u64)>,
+    }
+
+    impl Substrate for Probe {
+        fn n_procs(&self) -> u32 {
+            8
+        }
+        fn is_live(&self, _p: ProcId) -> bool {
+            true
+        }
+        fn now_units(&self) -> u64 {
+            0
+        }
+        fn send(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+            self.sent.push((from, to, msg_tag(&msg), 0));
+        }
+        fn send_delayed(&mut self, from: ProcId, to: ProcId, msg: Msg, extra: u64) {
+            self.sent.push((from, to, msg_tag(&msg), extra));
+        }
+        fn arm_timer(&mut self, _owner: ProcId, _timer: Timer, _delay: u64) {}
+        fn report_death(&mut self, _dead: ProcId) {}
+    }
+
+    #[test]
+    fn zero_window_is_transparent() {
+        let mut b = BatchingSubstrate::new(Probe::default(), 0);
+        b.send(ProcId(0), ProcId(1), msg(7));
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(b.inner().sent, vec![(ProcId(0), ProcId(1), 7, 0)]);
+        b.flush();
+        assert_eq!(b.batch_stats().flushes, 0);
+    }
+
+    #[test]
+    fn buffered_until_flush_with_window_surcharge() {
+        let mut b = BatchingSubstrate::new(Probe::default(), 50);
+        b.send(ProcId(0), ProcId(1), msg(1));
+        b.send(ProcId(0), ProcId(1), msg(2));
+        b.send_delayed(ProcId(0), ProcId(2), msg(3), 200);
+        assert!(b.inner().sent.is_empty(), "held until the flush");
+        assert_eq!(b.pending_len(), 3);
+        b.flush();
+        assert_eq!(
+            b.inner().sent,
+            vec![
+                (ProcId(0), ProcId(1), 1, 50),
+                (ProcId(0), ProcId(1), 2, 50),
+                (ProcId(0), ProcId(2), 3, 250),
+            ],
+            "send order kept; window composes with upstream surcharges"
+        );
+        let stats = *b.batch_stats();
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.envelopes, 2, "two distinct links in the flush");
+        assert_eq!(stats.messages, 3);
+        assert!((stats.mean_batch() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn driver_link_bypasses_the_buffer() {
+        let mut b = BatchingSubstrate::new(Probe::default(), 50);
+        b.send(ProcId(3), ProcId::SUPER_ROOT, msg(1));
+        b.send(ProcId::SUPER_ROOT, ProcId(3), msg(2));
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(b.inner().sent.len(), 2);
+        assert!(b.inner().sent.iter().all(|(_, _, _, extra)| *extra == 0));
+    }
+
+    /// splitmix64 — a tiny deterministic stream for the property test.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Per-destination FIFO order is preserved through arbitrary
+        /// interleavings of sends and flushes.
+        #[test]
+        fn per_link_fifo_is_preserved(seed in any::<u64>(), n in 1usize..80) {
+            let mut state = seed;
+            let mut b = BatchingSubstrate::new(Probe::default(), 25);
+            for i in 0..n {
+                let f = (mix(&mut state) % 3) as u32;
+                let t = 3 + (mix(&mut state) % 3) as u32;
+                b.send(ProcId(f), ProcId(t), msg(i as u32));
+                if mix(&mut state).is_multiple_of(4) {
+                    b.flush();
+                }
+            }
+            b.flush();
+            prop_assert_eq!(b.inner().sent.len(), n);
+            // Within each (from, to) link, tags must appear in send order.
+            for f in 0..3u32 {
+                for t in 3..6u32 {
+                    let delivered: Vec<u32> = b.inner().sent.iter()
+                        .filter(|(pf, pt, ..)| (*pf, *pt) == (ProcId(f), ProcId(t)))
+                        .map(|(_, _, tag, _)| *tag)
+                        .collect();
+                    let mut sorted = delivered.clone();
+                    sorted.sort_unstable();
+                    prop_assert_eq!(delivered, sorted);
+                }
+            }
+        }
+    }
+}

@@ -10,14 +10,18 @@ use splice_core::engine::{Engine, Timer};
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
 use splice_core::place::Placer;
+use splice_core::sink::ActionSink;
 use splice_core::superroot::SuperRoot;
 use std::sync::Arc;
 
-/// The per-processor driver loop: owns one protocol [`Engine`] and feeds
-/// every stimulus (messages, timers, send failures, ready waves) through
-/// it, dispatching the resulting actions onto the substrate.
+/// The per-processor driver loop: owns one protocol [`Engine`] plus the
+/// engine's reusable [`ActionSink`], and feeds every stimulus (messages,
+/// timers, send failures, ready waves) through it, draining the sink onto
+/// the substrate. One buffer per engine pump: the steady-state loop
+/// allocates nothing.
 pub struct DriverLoop {
     engine: Engine,
+    sink: ActionSink,
 }
 
 impl DriverLoop {
@@ -30,6 +34,7 @@ impl DriverLoop {
     ) -> DriverLoop {
         DriverLoop {
             engine: Engine::new(id, program, config, placer),
+            sink: ActionSink::new(),
         }
     }
 
@@ -46,36 +51,43 @@ impl DriverLoop {
 
     /// Starts the engine (arms load beacons).
     pub fn start<S: Substrate + ?Sized>(&mut self, sub: &mut S) {
-        let actions = self.engine.on_start();
-        dispatch(sub, self.engine.id(), actions);
+        self.engine.on_start(&mut self.sink);
+        dispatch(sub, self.engine.id(), &mut self.sink);
     }
 
     /// Delivers `msg` to the engine.
     pub fn on_message<S: Substrate + ?Sized>(&mut self, msg: Msg, sub: &mut S) {
-        let actions = self.engine.on_message(msg);
-        dispatch(sub, self.engine.id(), actions);
+        self.engine.on_message(msg, &mut self.sink);
+        dispatch(sub, self.engine.id(), &mut self.sink);
     }
 
     /// Fires `timer` on the engine.
     pub fn on_timer<S: Substrate + ?Sized>(&mut self, timer: Timer, sub: &mut S) {
-        let actions = self.engine.on_timer(timer);
-        dispatch(sub, self.engine.id(), actions);
+        self.engine.on_timer(timer, &mut self.sink);
+        dispatch(sub, self.engine.id(), &mut self.sink);
     }
 
     /// Reports that a best-effort send to `dead` bounced.
     pub fn on_send_failed<S: Substrate + ?Sized>(&mut self, dead: ProcId, msg: Msg, sub: &mut S) {
-        let actions = self.engine.on_send_failed(dead, msg);
-        dispatch(sub, self.engine.id(), actions);
+        self.engine.on_send_failed(dead, msg, &mut self.sink);
+        dispatch(sub, self.engine.id(), &mut self.sink);
     }
 
     /// Runs one ready wave, if any, releasing its effects through
-    /// [`Substrate::complete_wave`]. Returns false when nothing was ready.
+    /// [`Substrate::complete_wave`]. A deferring backend (the simulator)
+    /// consumes the sink there; otherwise the effects dispatch immediately
+    /// — against the *top* of the substrate stack, so routers and batching
+    /// buses see wave-produced sends exactly like handler-produced ones.
+    /// Returns false when nothing was ready.
     pub fn run_ready_wave<S: Substrate + ?Sized>(&mut self, sub: &mut S) -> bool {
         let Some(key) = self.engine.pop_ready() else {
             return false;
         };
-        let (actions, work) = self.engine.run_wave(key);
-        sub.complete_wave(self.engine.id(), actions, work);
+        let work = self.engine.run_wave(key, &mut self.sink);
+        sub.complete_wave(self.engine.id(), &mut self.sink, work);
+        if !self.sink.is_empty() {
+            dispatch(sub, self.engine.id(), &mut self.sink);
+        }
         true
     }
 
@@ -91,6 +103,7 @@ impl DriverLoop {
 /// the runtime's coordinator thread).
 pub struct SuperRootDriver {
     superroot: SuperRoot,
+    sink: ActionSink,
     rotor: u32,
 }
 
@@ -104,6 +117,7 @@ impl SuperRootDriver {
                 config.ancestor_depth,
                 config.ack_timeout,
             ),
+            sink: ActionSink::new(),
             rotor: 0,
         }
     }
@@ -136,36 +150,35 @@ impl SuperRootDriver {
     /// Launches the program on the next live processor.
     pub fn launch<S: Substrate + ?Sized>(&mut self, sub: &mut S) {
         let dest = self.pick_live(sub);
-        let actions = self.superroot.launch(dest);
-        dispatch(sub, ProcId::SUPER_ROOT, actions);
+        self.superroot.launch(dest, &mut self.sink);
+        dispatch(sub, ProcId::SUPER_ROOT, &mut self.sink);
     }
 
     /// Delivers a message addressed to the super-root.
     pub fn on_message<S: Substrate + ?Sized>(&mut self, msg: Msg, sub: &mut S) {
         let fallback = self.pick_live(sub);
-        let actions = self.superroot.on_message(msg, fallback);
-        dispatch(sub, ProcId::SUPER_ROOT, actions);
+        self.superroot.on_message(msg, fallback, &mut self.sink);
+        dispatch(sub, ProcId::SUPER_ROOT, &mut self.sink);
     }
 
     /// Handles a failure notice (reissues the root if it lived on `dead`).
     pub fn on_failure<S: Substrate + ?Sized>(&mut self, dead: ProcId, sub: &mut S) {
         let fallback = self.pick_live(sub);
-        let actions = self.superroot.on_failure(dead, fallback);
-        dispatch(sub, ProcId::SUPER_ROOT, actions);
+        self.superroot.on_failure(dead, fallback, &mut self.sink);
+        dispatch(sub, ProcId::SUPER_ROOT, &mut self.sink);
     }
 
     /// Fires a super-root timer (the root spawn's ack timeout).
     pub fn on_timer<S: Substrate + ?Sized>(&mut self, timer: Timer, sub: &mut S) {
         let fallback = self.pick_live(sub);
-        let actions = self.superroot.on_timer(timer, fallback);
-        dispatch(sub, ProcId::SUPER_ROOT, actions);
+        self.superroot.on_timer(timer, fallback, &mut self.sink);
+        dispatch(sub, ProcId::SUPER_ROOT, &mut self.sink);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use splice_core::engine::Action;
 
     /// A loopback substrate: messages land in a queue, timers in a list.
     #[derive(Default)]
@@ -193,9 +206,8 @@ mod tests {
             self.timers.push((owner, delay));
         }
         fn report_death(&mut self, _dead: ProcId) {}
-        fn complete_wave(&mut self, proc: ProcId, actions: Vec<Action>, _work: u64) {
-            dispatch(self, proc, actions);
-        }
+        // No `complete_wave` override: the driver loop's post-call
+        // dispatch releases wave effects (the non-deferring default).
     }
 
     #[test]
@@ -232,6 +244,67 @@ mod tests {
         assert!(matches!(msg, Msg::Spawn(_)));
         assert!(sr.result().is_none());
         assert_eq!(sr.reissues(), 0);
+    }
+
+    #[test]
+    fn wave_effects_pass_through_the_decorator_stack() {
+        // Regression: wave-produced sends must be released against the
+        // *top* of the substrate stack. The old `complete_wave` default
+        // dispatched against the innermost substrate, so child spawns and
+        // results — the bulk of all traffic — bypassed every decorator
+        // (no batching, no router surcharge) on non-deferring backends.
+        let inner = Loopback {
+            n: 1,
+            ..Loopback::default()
+        };
+        let mut sub = crate::batch::BatchingSubstrate::new(inner, 10);
+        let w = Workload::fib(2);
+        let cfg = Config {
+            load_beacon_period: 0,
+            ..Config::default()
+        };
+        let mut node = DriverLoop::new(
+            ProcId(0),
+            Arc::new(w.program.clone()),
+            cfg,
+            Box::new(splice_core::place::RoundRobinPlacer::new(vec![ProcId(0)])),
+        );
+        // Deliver the root task directly; its placement ack targets the
+        // super-root and legitimately bypasses the bus.
+        node.on_message(
+            Msg::spawn(splice_core::packet::TaskPacket {
+                stamp: splice_core::stamp::LevelStamp::root().child(1),
+                demand: splice_applicative::wave::Demand::new(w.entry, w.args.clone()),
+                parent: splice_core::packet::TaskLink::super_root(),
+                ancestors: vec![splice_core::packet::TaskLink::super_root()],
+                incarnation: 0,
+                hops: 0,
+                replica: None,
+                under_replica: false,
+            }),
+            &mut sub,
+        );
+        assert!(node.run_ready_wave(&mut sub), "root wave must run");
+        assert!(
+            sub.pending_len() > 0,
+            "wave-spawned children must land in the batching buffer"
+        );
+        // Only the ack on the (unbatched) driver link may have gone out.
+        assert!(
+            sub.inner()
+                .inbox
+                .iter()
+                .all(|(_, to, _)| to.is_super_root()),
+            "a worker-bound wave effect bypassed the bus"
+        );
+        sub.flush();
+        assert!(
+            sub.inner()
+                .inbox
+                .iter()
+                .any(|(_, to, _)| !to.is_super_root()),
+            "flush delivers the spawns"
+        );
     }
 
     #[test]

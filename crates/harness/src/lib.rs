@@ -20,6 +20,9 @@
 //! * [`shard`] — [`ShardRouter`], the inter-shard router decorator: wraps
 //!   any substrate, charges cross-shard sends a router surcharge and
 //!   accounts intra- vs inter-shard traffic separately;
+//! * [`batch`] — [`BatchingSubstrate`], the coalescing-bus decorator:
+//!   buffers same-pump sends and delivers them per `(from, to)` envelope
+//!   after a configurable flush window (experiment E15);
 //! * [`timer`] — [`TimerWheel`], the earliest-deadline timer store used by
 //!   substrates whose clock is not an event queue;
 //! * [`report`] — [`EngineSnapshot`] / [`EngineTotals`], the per-engine
@@ -31,14 +34,16 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod driver;
 pub mod report;
 pub mod shard;
 pub mod substrate;
 pub mod timer;
 
+pub use batch::{BatchStats, BatchingSubstrate};
 pub use driver::{DriverLoop, SuperRootDriver};
 pub use report::{EngineSnapshot, EngineTotals};
 pub use shard::{ShardMap, ShardRouter, ShardStats};
-pub use substrate::{corrupt_value, death_notice_targets, dispatch, Substrate};
+pub use substrate::{corrupt_value, death_notice_targets, dispatch, dispatch_iter, Substrate};
 pub use timer::TimerWheel;

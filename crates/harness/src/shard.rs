@@ -11,9 +11,10 @@
 //! transports) becomes shard-aware by wrapping, not by reimplementation.
 
 use crate::substrate::Substrate;
-use splice_core::engine::{Action, Timer};
+use splice_core::engine::Timer;
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
+use splice_core::ActionSink;
 
 /// The processor-to-shard partition: `shards` shards of `per_shard`
 /// processors, processor `p` in shard `p / per_shard`.
@@ -82,7 +83,15 @@ impl ShardStats {
     fn for_map(map: &ShardMap) -> ShardStats {
         ShardStats {
             shards: map.shards,
-            per_link: vec![0; (map.shards as usize).pow(2)],
+            // A single-shard router never crosses a boundary, so the link
+            // matrix stays unallocated — the threaded runtime builds a
+            // transient router per pump and must not pay a heap allocation
+            // for the flat-topology common case.
+            per_link: if map.shards > 1 {
+                vec![0; (map.shards as usize).pow(2)]
+            } else {
+                Vec::new()
+            },
             ..ShardStats::default()
         }
     }
@@ -109,11 +118,11 @@ impl ShardStats {
 /// untouched. With [`ShardMap::single`] the router is a transparent
 /// pass-through, so a machine can be built around it unconditionally.
 ///
-/// `complete_wave` forwards to the wrapped substrate: backends that defer
-/// wave effects (the simulator) re-enter `dispatch` through whatever
-/// substrate their event loop pumps — which must be this router for the
-/// effects' sends to be routed. Backends using the default immediate
-/// `complete_wave` should call [`crate::dispatch`] on the router instead.
+/// `complete_wave` forwards to the wrapped substrate so a deferring core
+/// (the simulator) can consume the wave's effects at the bottom of the
+/// stack; a non-deferring core leaves the sink untouched and the driver
+/// loop dispatches it against the stack *top*, so wave-produced sends are
+/// routed exactly like handler-produced ones.
 pub struct ShardRouter<S> {
     inner: S,
     map: ShardMap,
@@ -222,8 +231,8 @@ impl<S: Substrate> Substrate for ShardRouter<S> {
         self.inner.report_death(dead);
     }
 
-    fn complete_wave(&mut self, proc: ProcId, actions: Vec<Action>, work: u64) {
-        self.inner.complete_wave(proc, actions, work);
+    fn complete_wave(&mut self, proc: ProcId, sink: &mut ActionSink, work: u64) {
+        self.inner.complete_wave(proc, sink, work);
     }
 }
 

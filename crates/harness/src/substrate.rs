@@ -5,6 +5,7 @@ use splice_applicative::Value;
 use splice_core::engine::{Action, Timer};
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
+use splice_core::sink::ActionSink;
 
 /// A transport-and-clock backend under the shared driver loop.
 ///
@@ -54,20 +55,35 @@ pub trait Substrate {
     /// timing (see [`death_notice_targets`] for the canonical recipients).
     fn report_death(&mut self, dead: ProcId);
 
-    /// Completes a wave that performed `work` units, releasing its effects.
-    /// The default releases them immediately; the simulator overrides this
-    /// to charge the cost model and defer the effects to the wave's
-    /// completion instant (where they die with a mid-wave crash).
-    fn complete_wave(&mut self, proc: ProcId, actions: Vec<Action>, work: u64) {
-        let _ = work;
-        dispatch(self, proc, actions);
+    /// Completes a wave that performed `work` units. A backend that
+    /// *defers* wave effects (the simulator: effects materialize at the
+    /// wave's completion instant and die with a mid-wave crash) consumes
+    /// the sink here; decorators forward the call inward so the deferral
+    /// happens at the core. Anything left in the sink is dispatched by the
+    /// driver loop **through the whole decorator stack** — which is why
+    /// the default does nothing: if it dispatched against `self`, an
+    /// undecorated inner substrate would bypass the routers and buses
+    /// wrapped around it.
+    fn complete_wave(&mut self, proc: ProcId, sink: &mut ActionSink, work: u64) {
+        let _ = (proc, sink, work);
     }
 }
 
-/// Performs a batch of engine [`Action`]s against a substrate — the fan-out
-/// both machines used to hand-roll. `from` is the acting processor (or
-/// `ProcId::SUPER_ROOT`).
-pub fn dispatch<S: Substrate + ?Sized>(sub: &mut S, from: ProcId, actions: Vec<Action>) {
+/// Drains a sink of engine [`Action`]s into a substrate — the fan-out both
+/// machines used to hand-roll. `from` is the acting processor (or
+/// `ProcId::SUPER_ROOT`). The sink is empty afterwards and ready for the
+/// next pump; nothing is allocated.
+pub fn dispatch<S: Substrate + ?Sized>(sub: &mut S, from: ProcId, sink: &mut ActionSink) {
+    dispatch_iter(sub, from, sink.drain());
+}
+
+/// Performs an owned sequence of engine [`Action`]s against a substrate
+/// (deferred wave effects, scripted scenarios).
+pub fn dispatch_iter<S: Substrate + ?Sized>(
+    sub: &mut S,
+    from: ProcId,
+    actions: impl IntoIterator<Item = Action>,
+) {
     for action in actions {
         match action {
             Action::Send { to, msg } => sub.send(from, to, msg),
@@ -142,29 +158,26 @@ mod tests {
         fn report_death(&mut self, dead: ProcId) {
             self.deaths.push(dead);
         }
-        fn complete_wave(&mut self, proc: ProcId, actions: Vec<Action>, work: u64) {
+        fn complete_wave(&mut self, proc: ProcId, sink: &mut ActionSink, work: u64) {
             self.waves.push((proc, work));
-            dispatch(self, proc, actions);
+            dispatch(self, proc, sink);
         }
     }
 
     #[test]
     fn dispatch_routes_sends_and_timers() {
         let mut probe = Probe::default();
-        dispatch(
-            &mut probe,
-            ProcId(1),
-            vec![
-                Action::SetTimer {
-                    timer: Timer::LoadBeacon,
-                    delay: 9,
-                },
-                Action::Send {
-                    to: ProcId(3),
-                    msg: Msg::FailureNotice { dead: ProcId(0) },
-                },
-            ],
-        );
+        let mut sink = ActionSink::new();
+        sink.push(Action::SetTimer {
+            timer: Timer::LoadBeacon,
+            delay: 9,
+        });
+        sink.push(Action::Send {
+            to: ProcId(3),
+            msg: Msg::FailureNotice { dead: ProcId(0) },
+        });
+        dispatch(&mut probe, ProcId(1), &mut sink);
+        assert!(sink.is_empty(), "dispatch drains the sink");
         assert_eq!(probe.timers, vec![(ProcId(1), 9)]);
         assert_eq!(probe.sent, vec![(ProcId(1), ProcId(3))]);
     }

@@ -100,11 +100,11 @@ mod tests {
         w.arm(30u64, Timer::LoadBeacon);
         w.arm(
             10,
-            Timer::AckTimeout {
-                owner: splice_core::ids::TaskKey(1),
-                stamp: splice_core::stamp::LevelStamp::root(),
-                incarnation: 0,
-            },
+            Timer::ack_timeout(
+                splice_core::ids::TaskKey(1),
+                splice_core::stamp::LevelStamp::root(),
+                0,
+            ),
         );
         w.arm(10, Timer::LoadBeacon);
         assert_eq!(w.len(), 3);

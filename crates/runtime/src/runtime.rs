@@ -31,11 +31,13 @@ use splice_core::packet::Msg;
 use splice_core::stats::ProcStats;
 use splice_gradient::Policy;
 use splice_harness::{
-    corrupt_value, death_notice_targets, DriverLoop, EngineSnapshot, EngineTotals, Substrate,
-    SuperRootDriver, TimerWheel,
+    corrupt_value, death_notice_targets, BatchingSubstrate, DriverLoop, EngineSnapshot,
+    EngineTotals, ShardMap, ShardRouter, Substrate, SuperRootDriver, TimerWheel,
 };
 use splice_simnet::fault::{FaultKind, FaultPlan};
 use splice_simnet::topology::Topology;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -61,6 +63,15 @@ pub struct RuntimeConfig {
     pub heartbeat_timeout: Duration,
     /// Overall run timeout.
     pub run_timeout: Duration,
+    /// Extra delivery delay (abstract units) per message crossing a shard
+    /// boundary of a `Topology::Sharded` — the threaded counterpart of the
+    /// simulator's inter-shard router, served by the delayed-delivery
+    /// queue. Inert on flat topologies or at 0.
+    pub router_latency: u64,
+    /// Flush window (abstract units) of the batched-delivery bus: worker
+    /// messages buffered within one pump are delivered together, a window
+    /// late. 0 disables batching.
+    pub batch_window: u64,
     /// Seed for stochastic placers.
     pub seed: u64,
 }
@@ -77,6 +88,8 @@ impl RuntimeConfig {
             heartbeat_period: Duration::from_millis(5),
             heartbeat_timeout: Duration::from_millis(40),
             run_timeout: Duration::from_secs(30),
+            router_latency: 0,
+            batch_window: 0,
             seed: 1,
         }
     }
@@ -106,6 +119,9 @@ pub struct RuntimeReport {
     pub ckpt_stored: u64,
     /// Failure notices broadcast by the heartbeat monitor.
     pub detections: u64,
+    /// Messages that travelled through the delayed-delivery queue (router
+    /// surcharges and batching windows).
+    pub delayed_msgs: u64,
     /// Times the super-root reissued the root.
     pub root_reissues: u64,
 }
@@ -114,6 +130,38 @@ enum Envelope {
     Net { msg: Msg },
     Notice { dead: ProcId },
     Shutdown,
+}
+
+/// A message parked in the delayed-delivery queue ([`Substrate::send_delayed`]
+/// on real threads: router surcharges, batching windows).
+struct Delayed {
+    due: Instant,
+    seq: u64,
+    to: ProcId,
+    msg: Msg,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Delayed) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl Eq for Delayed {}
+
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Delayed) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Delayed {
+    fn cmp(&self, other: &Delayed) -> std::cmp::Ordering {
+        // (due, seq): deadline order with send-order ties, so per-link
+        // FIFO survives the heap (same-link messages carry the same extra
+        // and therefore non-decreasing deadlines).
+        self.due.cmp(&other.due).then(self.seq.cmp(&other.seq))
+    }
 }
 
 /// One scheduled fault on the wall clock (internal normalized form of both
@@ -134,6 +182,12 @@ const NEVER_BEAT: u64 = u64::MAX;
 struct Shared {
     senders: Vec<Sender<Envelope>>,
     to_superroot: Sender<Envelope>,
+    /// Inlet of the delayed-delivery thread.
+    to_router: Sender<Delayed>,
+    /// Sequence stamp for delayed messages (heap tie-break = send order).
+    delay_seq: AtomicU64,
+    /// Messages that took the delayed path (reporting).
+    delayed_sent: AtomicU64,
     killed: Vec<AtomicBool>,
     corrupting: Vec<AtomicBool>,
     /// Millis since `epoch` of each worker's last heartbeat
@@ -167,6 +221,26 @@ struct ThreadSubstrate<'a> {
 }
 
 impl<'a> ThreadSubstrate<'a> {
+    /// Applies the sender-side fault model: a killed worker emits nothing
+    /// (fail-silent even mid-batch: "it will no longer transmit any valid
+    /// messages"), a corrupting worker emits detectably wrong replica
+    /// results — the same send-side rule as the simulator's substrate.
+    fn outbound(&self, mut msg: Msg) -> Option<Msg> {
+        if let Some(me) = self.me {
+            if self.shared.killed[me as usize].load(Ordering::SeqCst) {
+                return None;
+            }
+            if self.shared.corrupting[me as usize].load(Ordering::Relaxed) {
+                if let Msg::Result(rp) = &mut msg {
+                    if rp.replica.is_some() {
+                        rp.value = corrupt_value(&rp.value);
+                    }
+                }
+            }
+        }
+        Some(msg)
+    }
+
     fn new(
         shared: &'a Shared,
         me: Option<u32>,
@@ -186,6 +260,57 @@ fn units_to_wall(time_unit: Duration, units: u64) -> Duration {
     Duration::from_nanos((time_unit.as_nanos() as u64).saturating_mul(units))
 }
 
+/// Builds one pump's substrate stack: the shard router (charging
+/// `router_latency` per boundary crossing of a sharded topology) over the
+/// batching bus (flushed when the stack drops at the end of the pump) over
+/// the raw channel substrate. On flat topologies with batching off both
+/// decorators are transparent and the transient stack allocates nothing
+/// (a single-shard router keeps no link matrix). The per-pump
+/// `ShardStats`/`BatchStats` are dropped with the stack — the runtime
+/// reports only the `delayed_msgs` aggregate; per-link accounting is a
+/// simulator-report feature.
+fn pump_sub<'a>(
+    shared: &'a Shared,
+    me: Option<u32>,
+    cfg: &RuntimeConfig,
+    wheel: &'a mut TimerWheel<Instant>,
+) -> ShardRouter<BatchingSubstrate<ThreadSubstrate<'a>>> {
+    let inner = ThreadSubstrate::new(shared, me, cfg.time_unit, wheel);
+    ShardRouter::new(
+        BatchingSubstrate::new(inner, cfg.batch_window),
+        ShardMap::new(cfg.topology.shard_count(), cfg.topology.per_shard()),
+        cfg.router_latency,
+    )
+}
+
+/// The delayed-delivery thread: parks [`Delayed`] messages in a deadline
+/// heap and releases each to its destination channel when due. Exits when
+/// the run is torn down.
+fn delay_router(rx: Receiver<Delayed>, shared: Arc<Shared>) {
+    let mut heap: BinaryHeap<Reverse<Delayed>> = BinaryHeap::new();
+    loop {
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(d)| d.due <= now) {
+            let Reverse(d) = heap.pop().expect("peeked");
+            shared.send(d.to, Envelope::Net { msg: d.msg });
+        }
+        if shared.done.load(Ordering::SeqCst) {
+            // Run over: undelivered delayed traffic is moot.
+            return;
+        }
+        let wait = heap
+            .peek()
+            .map(|Reverse(d)| d.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(5))
+            .min(Duration::from_millis(5));
+        match rx.recv_timeout(wait.max(Duration::from_micros(100))) {
+            Ok(d) => heap.push(Reverse(d)),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
 impl Substrate for ThreadSubstrate<'_> {
     fn n_procs(&self) -> u32 {
         self.shared.senders.len() as u32
@@ -202,25 +327,27 @@ impl Substrate for ThreadSubstrate<'_> {
         (self.shared.epoch.elapsed().as_nanos() / self.time_unit.as_nanos().max(1)) as u64
     }
 
-    fn send(&mut self, _from: ProcId, to: ProcId, mut msg: Msg) {
-        if let Some(me) = self.me {
-            // Fail-silent even mid-batch: a worker whose kill flag was set
-            // while it was still pumping must not emit another message ("it
-            // will no longer transmit any valid messages").
-            if self.shared.killed[me as usize].load(Ordering::SeqCst) {
-                return;
-            }
-            // A corrupting worker emits detectably wrong replica results —
-            // same send-side rule as the simulator's substrate.
-            if self.shared.corrupting[me as usize].load(Ordering::Relaxed) {
-                if let Msg::Result(rp) = &mut msg {
-                    if rp.replica.is_some() {
-                        rp.value = corrupt_value(&rp.value);
-                    }
-                }
-            }
+    fn send(&mut self, _from: ProcId, to: ProcId, msg: Msg) {
+        if let Some(msg) = self.outbound(msg) {
+            self.shared.send(to, Envelope::Net { msg });
         }
-        self.shared.send(to, Envelope::Net { msg });
+    }
+
+    fn send_delayed(&mut self, from: ProcId, to: ProcId, msg: Msg, extra: u64) {
+        if extra == 0 {
+            return self.send(from, to, msg);
+        }
+        // A real override at last (the ROADMAP's sharded-runtime-parity
+        // gap): the message parks in the delayed-delivery queue and the
+        // router thread releases it `extra` abstract units later, so shard
+        // surcharges and batching windows cost real wall-clock here too.
+        let Some(msg) = self.outbound(msg) else {
+            return;
+        };
+        let due = Instant::now() + units_to_wall(self.time_unit, extra);
+        let seq = self.shared.delay_seq.fetch_add(1, Ordering::Relaxed);
+        self.shared.delayed_sent.fetch_add(1, Ordering::Relaxed);
+        let _ = self.shared.to_router.send(Delayed { due, seq, to, msg });
     }
 
     fn arm_timer(&mut self, _owner: ProcId, timer: Timer, delay: u64) {
@@ -271,6 +398,7 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
     assert!(n >= 1);
     let program = Arc::new(workload.program.clone());
     let (sr_tx, sr_rx) = unbounded::<Envelope>();
+    let (router_tx, router_rx) = unbounded::<Delayed>();
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
@@ -281,6 +409,9 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
     let shared = Arc::new(Shared {
         senders,
         to_superroot: sr_tx,
+        to_router: router_tx,
+        delay_seq: AtomicU64::new(0),
+        delayed_sent: AtomicU64::new(0),
         killed: (0..n).map(|_| AtomicBool::new(false)).collect(),
         corrupting: (0..n).map(|_| AtomicBool::new(false)).collect(),
         beats: (0..n).map(|_| AtomicU64::new(NEVER_BEAT)).collect(),
@@ -307,6 +438,12 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
         let shared = shared.clone();
         let cfg = cfg.clone();
         std::thread::spawn(move || heartbeat_monitor(shared, cfg))
+    };
+
+    // Delayed-delivery router (shard surcharges, batching windows).
+    let router = {
+        let shared = shared.clone();
+        std::thread::spawn(move || delay_router(router_rx, shared))
     };
 
     // Fault injector.
@@ -360,7 +497,7 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
     let mut wheel: TimerWheel<Instant> = TimerWheel::new();
     let mut detections = 0u64;
     {
-        let mut sub = ThreadSubstrate::new(&shared, None, cfg.time_unit, &mut wheel);
+        let mut sub = pump_sub(&shared, None, &cfg, &mut wheel);
         superroot.launch(&mut sub);
     }
 
@@ -370,17 +507,17 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
         }
         // Fire due super-root timers.
         while let Some(timer) = wheel.pop_due(&Instant::now()) {
-            let mut sub = ThreadSubstrate::new(&shared, None, cfg.time_unit, &mut wheel);
+            let mut sub = pump_sub(&shared, None, &cfg, &mut wheel);
             superroot.on_timer(timer, &mut sub);
         }
         match sr_rx.recv_timeout(Duration::from_millis(1)) {
             Ok(Envelope::Net { msg }) => {
-                let mut sub = ThreadSubstrate::new(&shared, None, cfg.time_unit, &mut wheel);
+                let mut sub = pump_sub(&shared, None, &cfg, &mut wheel);
                 superroot.on_message(msg, &mut sub);
             }
             Ok(Envelope::Notice { dead }) => {
                 detections += 1;
-                let mut sub = ThreadSubstrate::new(&shared, None, cfg.time_unit, &mut wheel);
+                let mut sub = pump_sub(&shared, None, &cfg, &mut wheel);
                 superroot.on_failure(dead, &mut sub);
             }
             Ok(Envelope::Shutdown) => break None,
@@ -402,6 +539,7 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
     }
     let _ = monitor.join();
     let _ = injector.join();
+    let _ = router.join();
 
     let totals = EngineTotals::collect(shared.snapshots.iter().map(|s| s.lock().clone()));
     RuntimeReport {
@@ -411,6 +549,7 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
         per_proc: totals.per_proc,
         ckpt_stored: totals.ckpt_stored,
         detections,
+        delayed_msgs: shared.delayed_sent.load(Ordering::Relaxed),
         root_reissues: superroot.reissues(),
     }
 }
@@ -426,7 +565,7 @@ fn worker(
     let mut node = DriverLoop::new(ProcId(id), program, cfg.recovery.clone(), placer);
     let mut wheel: TimerWheel<Instant> = TimerWheel::new();
     {
-        let mut sub = ThreadSubstrate::new(&shared, Some(id), cfg.time_unit, &mut wheel);
+        let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel);
         node.start(&mut sub);
     }
 
@@ -448,7 +587,7 @@ fn worker(
             .store(shared.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
         // Fire due timers.
         while let Some(timer) = wheel.pop_due(&Instant::now()) {
-            let mut sub = ThreadSubstrate::new(&shared, Some(id), cfg.time_unit, &mut wheel);
+            let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel);
             node.on_timer(timer, &mut sub);
         }
         // Drain a batch of messages.
@@ -472,7 +611,7 @@ fn worker(
         // Run ready waves (effects release immediately: real time already
         // passed while the wave ran).
         for _ in 0..16 {
-            let mut sub = ThreadSubstrate::new(&shared, Some(id), cfg.time_unit, &mut wheel);
+            let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel);
             if !node.run_ready_wave(&mut sub) {
                 break;
             }
@@ -507,7 +646,7 @@ fn pump_envelope(
     id: u32,
     cfg: &RuntimeConfig,
 ) -> bool {
-    let mut sub = ThreadSubstrate::new(shared, Some(id), cfg.time_unit, wheel);
+    let mut sub = pump_sub(shared, Some(id), cfg, wheel);
     match env {
         Envelope::Net { msg } => node.on_message(msg, &mut sub),
         Envelope::Notice { dead } => node.on_message(Msg::FailureNotice { dead }, &mut sub),
@@ -672,6 +811,60 @@ mod tests {
         let r = run(cfg, &w, &crashes);
         assert_eq!(r.result, Some(w.reference_result().unwrap()));
         assert!(r.detections >= 1, "early crash went undetected");
+    }
+
+    #[test]
+    fn sharded_topology_charges_router_latency_on_real_threads() {
+        // The E14 scenario on the threaded runtime: a sharded topology
+        // whose cross-shard messages take the delayed-delivery queue. The
+        // run must stay correct and the delayed path must demonstrably
+        // carry traffic (the ROADMAP's sharded-runtime-parity gap).
+        let w = Workload::fib(13);
+        let mut cfg = quick_cfg(4);
+        cfg.topology = Topology::Sharded {
+            shards: 2,
+            inner: Box::new(Topology::Complete { n: 2 }),
+        };
+        cfg.policy = Policy::RoundRobin;
+        cfg.router_latency = 40; // 40 × 25µs = 1ms per crossing
+        cfg.recovery.ack_timeout += 4 * cfg.router_latency;
+        let r = run(cfg, &w, &[]);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+        assert!(r.delayed_msgs > 0, "no message crossed the router");
+    }
+
+    #[test]
+    fn sharded_runtime_survives_a_crash_through_the_router() {
+        let w = Workload::fib(15);
+        let mut cfg = quick_cfg(4);
+        cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        cfg.topology = Topology::Sharded {
+            shards: 2,
+            inner: Box::new(Topology::Complete { n: 2 }),
+        };
+        cfg.policy = Policy::RoundRobin;
+        cfg.router_latency = 40;
+        cfg.recovery.ack_timeout += 4 * cfg.router_latency;
+        let crashes = [CrashAt {
+            victim: 3,
+            after: Duration::from_millis(8),
+        }];
+        let r = run(cfg, &w, &crashes);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+        assert!(r.delayed_msgs > 0);
+    }
+
+    #[test]
+    fn batched_delivery_runs_on_real_threads() {
+        // The E15 scenario on the threaded runtime: per-pump batching with
+        // a real flush window served by the delayed-delivery queue.
+        let w = Workload::fib(13);
+        let mut cfg = quick_cfg(4);
+        cfg.batch_window = 20; // 0.5ms flush window
+        cfg.recovery.ack_timeout += 4 * cfg.batch_window;
+        let r = run(cfg, &w, &[]);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+        assert!(r.delayed_msgs > 0, "no message took the batching window");
     }
 
     #[test]

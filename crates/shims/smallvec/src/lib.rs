@@ -1,0 +1,357 @@
+//! Offline stand-in for `smallvec`.
+//!
+//! A vector with inline storage for the first `N` elements that spills to
+//! an ordinary `Vec` when it grows past them. The API is the subset this
+//! workspace uses (`push`/`pop`/`clear`/`drain`/`iter`/indexing); the
+//! generic parameter is a const capacity (`SmallVec<T, 8>`) rather than
+//! real smallvec's array type (`SmallVec<[T; 8]>`).
+//!
+//! Unlike the crates.io implementation the inline slots are `Option<T>`,
+//! trading a little space for a fully safe implementation (this workspace
+//! denies `unsafe_code`). Once spilled, a vector stays on the heap so a
+//! long-lived, reused buffer keeps its capacity and stops allocating.
+
+/// A vector storing up to `N` elements inline before spilling to the heap.
+#[derive(Clone)]
+pub struct SmallVec<T, const N: usize> {
+    inline: [Option<T>; N],
+    inline_len: usize,
+    heap: Vec<T>,
+    spilled: bool,
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> SmallVec<T, N> {
+        SmallVec {
+            inline: std::array::from_fn(|_| None),
+            inline_len: 0,
+            heap: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.heap.len()
+        } else {
+            self.inline_len
+        }
+    }
+
+    /// True when no elements are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the vector has moved to heap storage. It never moves
+    /// back (a reusable buffer keeps its capacity).
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// The inline capacity `N`.
+    pub fn inline_capacity(&self) -> usize {
+        N
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: T) {
+        if self.spilled {
+            self.heap.push(value);
+            return;
+        }
+        if self.inline_len < N {
+            self.inline[self.inline_len] = Some(value);
+            self.inline_len += 1;
+            return;
+        }
+        self.spill();
+        self.heap.push(value);
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.spilled {
+            return self.heap.pop();
+        }
+        if self.inline_len == 0 {
+            return None;
+        }
+        self.inline_len -= 1;
+        self.inline[self.inline_len].take()
+    }
+
+    /// Drops every element, keeping heap capacity if spilled.
+    pub fn clear(&mut self) {
+        if self.spilled {
+            self.heap.clear();
+        } else {
+            for slot in &mut self.inline[..self.inline_len] {
+                *slot = None;
+            }
+            self.inline_len = 0;
+        }
+    }
+
+    /// The element at `index`, if live.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if self.spilled {
+            self.heap.get(index)
+        } else if index < self.inline_len {
+            self.inline[index].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// The element at `index`, mutably.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        if self.spilled {
+            self.heap.get_mut(index)
+        } else if index < self.inline_len {
+            self.inline[index].as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// The last element, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.len().checked_sub(1).and_then(|i| self.get(i))
+    }
+
+    /// Iterates the live elements in order.
+    pub fn iter(&self) -> Iter<'_, T, N> {
+        Iter { vec: self, next: 0 }
+    }
+
+    /// Removes every element, yielding them front to back. Elements not
+    /// consumed by the iterator are dropped when it is.
+    pub fn drain(&mut self) -> Drain<'_, T, N> {
+        if self.spilled {
+            Drain::Heap(self.heap.drain(..))
+        } else {
+            let len = self.inline_len;
+            self.inline_len = 0;
+            Drain::Inline {
+                slots: &mut self.inline,
+                len,
+                next: 0,
+            }
+        }
+    }
+
+    /// Copies the elements into a plain `Vec` without draining.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter().cloned().collect()
+    }
+
+    fn spill(&mut self) {
+        debug_assert!(!self.spilled);
+        self.heap.reserve(N + 1);
+        for slot in &mut self.inline[..self.inline_len] {
+            self.heap.push(slot.take().expect("live inline slot"));
+        }
+        self.inline_len = 0;
+        self.spilled = true;
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> SmallVec<T, N> {
+        SmallVec::new()
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T, const N: usize> std::ops::Index<usize> for SmallVec<T, N> {
+    type Output = T;
+    fn index(&self, index: usize) -> &T {
+        self.get(index).expect("index out of bounds")
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> SmallVec<T, N> {
+        let mut v = SmallVec::new();
+        v.extend(iter);
+        v
+    }
+}
+
+/// Borrowing iterator over a [`SmallVec`].
+pub struct Iter<'a, T, const N: usize> {
+    vec: &'a SmallVec<T, N>,
+    next: usize,
+}
+
+impl<'a, T, const N: usize> Iterator for Iter<'a, T, N> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        let item = self.vec.get(self.next)?;
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.vec.len().saturating_sub(self.next);
+        (left, Some(left))
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T, N>;
+    fn into_iter(self) -> Iter<'a, T, N> {
+        self.iter()
+    }
+}
+
+/// Draining iterator over a [`SmallVec`]: yields elements by value, front
+/// to back, and leaves the vector empty (dropping anything unconsumed).
+pub enum Drain<'a, T, const N: usize> {
+    /// Draining the inline slots; the vector's length was already reset.
+    Inline {
+        /// The inline storage being emptied.
+        slots: &'a mut [Option<T>; N],
+        /// Live slots at drain start.
+        len: usize,
+        /// Next slot to take.
+        next: usize,
+    },
+    /// Draining spilled heap storage (capacity is kept).
+    Heap(std::vec::Drain<'a, T>),
+}
+
+impl<T, const N: usize> Iterator for Drain<'_, T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        match self {
+            Drain::Inline { slots, len, next } => {
+                if *next < *len {
+                    let item = slots[*next].take();
+                    *next += 1;
+                    item
+                } else {
+                    None
+                }
+            }
+            Drain::Heap(d) => d.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = match self {
+            Drain::Inline { len, next, .. } => len.saturating_sub(*next),
+            Drain::Heap(d) => d.size_hint().0,
+        };
+        (left, Some(left))
+    }
+}
+
+impl<T, const N: usize> Drop for Drain<'_, T, N> {
+    fn drop(&mut self) {
+        if let Drain::Inline { slots, len, next } = self {
+            for slot in &mut slots[*next..*len] {
+                *slot = None;
+            }
+        }
+        // The heap variant's inner `vec::Drain` clears the remainder itself.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_below_capacity() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[2], 2);
+        assert_eq!(v.last(), Some(&3));
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_stays_spilled() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        v.clear();
+        assert!(v.is_empty());
+        assert!(v.spilled(), "capacity kept after clear");
+        v.push(9);
+        assert_eq!(v.to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn drain_yields_in_order_and_empties() {
+        for n in [2usize, 7] {
+            let mut v: SmallVec<String, 4> = SmallVec::new();
+            for i in 0..n {
+                v.push(format!("x{i}"));
+            }
+            let drained: Vec<String> = v.drain().collect();
+            assert_eq!(drained, (0..n).map(|i| format!("x{i}")).collect::<Vec<_>>());
+            assert!(v.is_empty());
+            v.push("again".to_string());
+            assert_eq!(v.len(), 1);
+        }
+    }
+
+    #[test]
+    fn partially_consumed_drain_drops_the_rest() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        v.extend([1, 2, 3]);
+        {
+            let mut d = v.drain();
+            assert_eq!(d.next(), Some(1));
+        }
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_and_eq() {
+        let a: SmallVec<u32, 4> = (0..3).collect();
+        let b: SmallVec<u32, 4> = (0..3).collect();
+        let c: SmallVec<u32, 4> = (0..6).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a:?}"), "[0, 1, 2]");
+    }
+}

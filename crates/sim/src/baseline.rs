@@ -145,6 +145,8 @@ mod tests {
             shards: 1,
             shard_msgs_intra: 0,
             shard_msgs_inter: 0,
+            batch_envelopes: 0,
+            batch_msgs: 0,
             faults: 0,
         }
     }

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E14) — the data recorded in
+//! Prints every experiment table (E1–E15) — the data recorded in
 //! EXPERIMENTS.md.
 //!
 //! Usage:
@@ -106,6 +106,15 @@ fn main() {
             &[0, 200, 1_000, 5_000, 20_000]
         };
         println!("{}", ex::e14_router_latency(&w, lats));
+    }
+    if want("e15") {
+        let w = Workload::fib(if quick { 12 } else { 14 });
+        let windows: &[u64] = if quick {
+            &[0, 200, 2_000]
+        } else {
+            &[0, 50, 200, 1_000, 5_000]
+        };
+        println!("{}", ex::e15_batching(&w, windows));
     }
     if want("e12") {
         println!(

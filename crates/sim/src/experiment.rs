@@ -847,6 +847,69 @@ pub fn e14_router_latency(w: &Workload, latencies: &[u64]) -> Table {
     t
 }
 
+// ---------------------------------------------------------------------------
+// E15 — batched delivery (extension)
+// ---------------------------------------------------------------------------
+
+/// E15 (extension): protocol sensitivity to delivery batching.
+///
+/// A batching bus coalesces the worker messages of one pump into
+/// per-destination envelopes delivered `window` ticks late (HEAL-style
+/// delivery batching). Batching amortizes per-message overhead on a real
+/// interconnect, but the recovery protocol's spawn/ack round trips and
+/// splice relays sit directly on the delayed path — this sweep quantifies
+/// how completion (fault-free) and recovery (one mid-run crash) latency
+/// degrade as the flush window widens, and how much coalescing the bus
+/// actually achieves on this traffic (mean messages per envelope). The ack
+/// timeout is held uniform across rows (sized for the largest window) so
+/// the window is the only variable.
+pub fn e15_batching(w: &Workload, windows: &[u64]) -> Table {
+    let max_window = windows.iter().copied().max().unwrap_or(0);
+    let mut t = Table::new(
+        format!(
+            "E15 (extension): completion and recovery vs batch flush window, 8 procs [{}]",
+            w.name
+        ),
+        &[
+            "flush window",
+            "ff finish",
+            "mean batch",
+            "crash finish",
+            "slowdown",
+            "correct",
+            "reissues",
+            "salvaged",
+        ],
+    );
+    for &window in windows {
+        let mut cfg = MachineConfig::batched(8, window);
+        cfg.recovery.mode = RecoveryMode::Splice;
+        // Uniform timeout across rows (batched() scales it with the row's
+        // own window, which would confound the sweep's single axis).
+        cfg.recovery.ack_timeout = MachineConfig::batched(8, max_window).recovery.ack_timeout;
+        let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+        let crash = VirtualTime(fault_free.finish.ticks() / 2);
+        let r = run_workload(cfg, w, &FaultPlan::crash_at(2, crash));
+        let correct = r.result == Some(w.reference_result().unwrap());
+        let mean_batch = if fault_free.batch_envelopes == 0 {
+            0.0
+        } else {
+            fault_free.batch_msgs as f64 / fault_free.batch_envelopes as f64
+        };
+        t.row(vec![
+            window.to_string(),
+            fault_free.finish.ticks().to_string(),
+            fmt_f(mean_batch),
+            r.finish.ticks().to_string(),
+            fmt_f(r.slowdown_vs(&fault_free)),
+            correct.to_string(),
+            r.stats.reissues.to_string(),
+            r.stats.salvaged_results.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -949,6 +1012,24 @@ mod tests {
             far > near,
             "a further router must slow the recovered run: {near} vs {far}"
         );
+    }
+
+    #[test]
+    fn e15_batching_stays_correct_and_coalesces() {
+        let w = Workload::fib(11);
+        let t = e15_batching(&w, &[0, 500]);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            assert_eq!(row[5], "true", "window={} must stay correct", row[0]);
+        }
+        // Window 0 is a pass-through (no envelopes at all); a real window
+        // must coalesce at least one multi-message envelope on this tree.
+        assert_eq!(t.rows[0][2], "0.00");
+        let mean: f64 = t.rows[1][2].parse().unwrap();
+        assert!(mean >= 1.0, "window 500 saw no envelopes: {mean}");
+        let near: u64 = t.rows[0][1].parse().unwrap();
+        let far: u64 = t.rows[1][1].parse().unwrap();
+        assert!(far > near, "flush window must slow completion");
     }
 
     #[test]

@@ -22,11 +22,12 @@ use splice_core::engine::{Action, Timer};
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
 use splice_core::place::Placer;
+use splice_core::sink::ActionSink;
 use splice_core::stamp::LevelStamp;
 use splice_gradient::Policy;
 use splice_harness::{
-    corrupt_value, death_notice_targets, dispatch, DriverLoop, EngineSnapshot, EngineTotals,
-    ShardMap, ShardRouter, Substrate, SuperRootDriver,
+    corrupt_value, death_notice_targets, dispatch_iter, BatchingSubstrate, DriverLoop,
+    EngineSnapshot, EngineTotals, ShardMap, ShardRouter, Substrate, SuperRootDriver,
 };
 use splice_simnet::detect::DetectorConfig;
 use splice_simnet::fault::{FaultKind, FaultPlan};
@@ -55,6 +56,11 @@ pub struct MachineConfig {
     /// Extra delivery latency per message crossing a shard boundary (the
     /// inter-shard router's fixed cost; inert on flat topologies).
     pub router_latency: u64,
+    /// Flush window of the batched-delivery bus: worker messages buffered
+    /// within one pump are delivered together, `batch_window` ticks late
+    /// (0 disables batching entirely — bit-identical to no bus). Swept by
+    /// experiment E15.
+    pub batch_window: u64,
     /// Seed for stochastic placers and jitter.
     pub seed: u64,
     /// Hard event budget (guards against divergence).
@@ -77,6 +83,7 @@ impl MachineConfig {
             recovery: RecoveryConfig::default(),
             cost: CostModel::default(),
             router_latency: 0,
+            batch_window: 0,
             seed: 1,
             max_events: 200_000_000,
             max_time: VirtualTime(u64::MAX / 4),
@@ -106,6 +113,19 @@ impl MachineConfig {
         // ack lands, duplicating subtrees faster than they retire). Keep
         // the timeout clear of the router.
         cfg.recovery.ack_timeout += 4 * router_latency;
+        cfg
+    }
+
+    /// A flat machine with the batched-delivery bus enabled: worker
+    /// messages coalesce per pump and flush `window` ticks late. The ack
+    /// timeout widens by four windows for the same reason the sharded
+    /// constructor widens it by four router latencies: a flat-tuned
+    /// timeout sitting on top of the spawn/ack round trip (now paying the
+    /// window up to twice per hop) degenerates into a reissue storm.
+    pub fn batched(n: u32, window: u64) -> MachineConfig {
+        let mut cfg = MachineConfig::new(n);
+        cfg.batch_window = window;
+        cfg.recovery.ack_timeout += 4 * window;
         cfg
     }
 }
@@ -174,6 +194,8 @@ struct SimSubstrate {
     /// (time, live tasks across live processors) samples.
     state_samples: Vec<(u64, u64)>,
     sample_period: u64,
+    /// Recycled `Ev::Effects` action buffers (one round-trips per wave).
+    effects_pool: Vec<Vec<Action>>,
     trace: Trace,
 }
 
@@ -282,11 +304,15 @@ impl Substrate for SimSubstrate {
         }
     }
 
-    fn complete_wave(&mut self, proc: ProcId, actions: Vec<Action>, work: u64) {
+    fn complete_wave(&mut self, proc: ProcId, sink: &mut ActionSink, work: u64) {
         // Charge the cost model; the effects only escape the processor if
-        // it is still alive when the wave completes.
+        // it is still alive when the wave completes. The sink drains into
+        // a recycled buffer so deferring a wave allocates nothing in the
+        // steady state.
         let done = self.now + self.cfg.cost.wave_cost(work);
         self.busy_until[proc.0 as usize] = done;
+        let mut actions = self.effects_pool.pop().unwrap_or_default();
+        actions.extend(sink.drain());
         self.sched(done, Ev::Effects { proc, actions });
     }
 }
@@ -296,11 +322,13 @@ pub struct Machine {
     program: Arc<Program>,
     nodes: Vec<DriverLoop>,
     superroot: SuperRootDriver,
-    /// The substrate behind the inter-shard router. On flat topologies the
-    /// router is a single-shard pass-through, so every machine is built the
-    /// same way; on `Topology::Sharded` it charges `cfg.router_latency` per
-    /// boundary crossing and counts cross-shard traffic.
-    sub: ShardRouter<SimSubstrate>,
+    /// The substrate stack: the inter-shard router over the batching bus
+    /// over the DES core. On flat topologies the router is a single-shard
+    /// pass-through and with `batch_window == 0` the bus is transparent,
+    /// so every machine is built the same way; sharded configs charge
+    /// `cfg.router_latency` per boundary crossing and batched configs
+    /// coalesce per-pump traffic.
+    sub: ShardRouter<BatchingSubstrate<SimSubstrate>>,
     /// When enabled, records `(time, stamp, proc)` at every task creation.
     log_spawns: bool,
     spawn_log: Vec<(u64, LevelStamp, ProcId)>,
@@ -340,6 +368,7 @@ impl Machine {
         let trace = Trace::new(cfg.trace);
         let map = ShardMap::new(cfg.topology.shard_count(), cfg.topology.per_shard());
         let router_latency = cfg.router_latency;
+        let batch_window = cfg.batch_window;
         let sub = SimSubstrate {
             queue: EventQueue::new(),
             now: VirtualTime::ZERO,
@@ -356,10 +385,15 @@ impl Machine {
             step_pending: vec![false; n as usize],
             state_samples: Vec::new(),
             sample_period: 2_000,
+            effects_pool: Vec::new(),
             trace,
             cfg,
         };
-        let sub = ShardRouter::new(sub, map, router_latency);
+        let sub = ShardRouter::new(
+            BatchingSubstrate::new(sub, batch_window),
+            map,
+            router_latency,
+        );
         Machine {
             program,
             nodes,
@@ -374,6 +408,9 @@ impl Machine {
     /// instants).
     pub fn enable_spawn_log(&mut self) {
         self.log_spawns = true;
+        for node in &mut self.nodes {
+            node.engine_mut().enable_created_log();
+        }
     }
 
     /// The placement log collected so far.
@@ -424,6 +461,7 @@ impl Machine {
         }
         // Launch the program.
         self.superroot.launch(&mut self.sub);
+        self.sub.inner_mut().flush();
         let first_sample = self.sub.now + self.sub.sample_period;
         self.sub.sched(first_sample, Ev::Sample);
 
@@ -440,6 +478,9 @@ impl Machine {
                 break;
             }
             self.handle(ev);
+            // One pump, one batch: everything the event's handlers sent
+            // through the bus goes out now, `batch_window` ticks late.
+            self.sub.inner_mut().flush();
             if self.superroot.result().is_some() {
                 finish = Some(self.sub.now);
                 break;
@@ -510,10 +551,12 @@ impl Machine {
                     self.sub.sched(next, Ev::Sample);
                 }
             }
-            Ev::Effects { proc, actions } => {
+            Ev::Effects { proc, mut actions } => {
                 if self.sub.live(proc) {
-                    dispatch(&mut self.sub, proc, actions);
+                    dispatch_iter(&mut self.sub, proc, actions.drain(..));
                 }
+                actions.clear();
+                self.sub.effects_pool.push(actions);
             }
         }
     }
@@ -610,6 +653,7 @@ impl Machine {
             EngineTotals::collect(self.nodes.iter().map(|n| EngineSnapshot::of(n.engine())));
         let shard_stats = self.sub.stats();
         let (shard_msgs_intra, shard_msgs_inter) = (shard_stats.intra_msgs, shard_stats.inter_msgs);
+        let batch_stats = *self.sub.inner().batch_stats();
         RunReport {
             result: self.superroot.result().cloned(),
             completed: finish.is_some(),
@@ -631,6 +675,8 @@ impl Machine {
             shards: self.sub.map().shards,
             shard_msgs_intra,
             shard_msgs_inter,
+            batch_envelopes: batch_stats.envelopes,
+            batch_msgs: batch_stats.messages,
             faults: faults.events.len(),
         }
     }
@@ -885,6 +931,67 @@ mod tests {
             a.finish,
             b.finish
         );
+    }
+
+    #[test]
+    fn batched_delivery_completes_and_counts_envelopes() {
+        let w = Workload::fib(12);
+        let mut c = MachineConfig::batched(4, 200);
+        c.recovery.load_beacon_period = 200;
+        let r = run_workload(c, &w, &FaultPlan::none());
+        assert!(r.completed, "batched run stalled");
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+        assert!(r.batch_msgs > 0, "no traffic went through the bus");
+        assert!(
+            r.batch_envelopes <= r.batch_msgs,
+            "envelopes cannot exceed messages"
+        );
+    }
+
+    #[test]
+    fn batch_window_delays_completion() {
+        let w = Workload::fib(11);
+        let mut near = MachineConfig::batched(4, 0);
+        near.recovery.load_beacon_period = 200;
+        let mut far = near.clone();
+        far.batch_window = 1_000;
+        let a = run_workload(near, &w, &FaultPlan::none());
+        let b = run_workload(far, &w, &FaultPlan::none());
+        assert!(a.completed && b.completed);
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.batch_msgs, 0, "window 0 is a transparent pass-through");
+        assert!(
+            b.finish > a.finish,
+            "the flush window must be visible: {} vs {}",
+            a.finish,
+            b.finish
+        );
+    }
+
+    #[test]
+    fn batched_machine_survives_a_crash() {
+        let w = Workload::fib(12);
+        let mut c = MachineConfig::batched(4, 300);
+        c.recovery.mode = RecoveryMode::Splice;
+        c.recovery.load_beacon_period = 200;
+        let faults = FaultPlan::crash_at(2, VirtualTime(3_000));
+        let r = run_workload(c, &w, &faults);
+        assert!(r.completed, "batched crash run stalled");
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+    }
+
+    #[test]
+    fn batching_composes_with_sharding() {
+        let w = Workload::fib(12);
+        let mut c = MachineConfig::sharded(2, 2, 200);
+        c.batch_window = 150;
+        c.recovery.ack_timeout += 4 * c.batch_window;
+        c.recovery.load_beacon_period = 200;
+        let r = run_workload(c, &w, &FaultPlan::none());
+        assert!(r.completed);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+        assert!(r.shard_msgs_inter > 0);
+        assert!(r.batch_msgs > 0);
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct RunReport {
     pub shard_msgs_intra: u64,
     /// Worker messages that crossed the inter-shard router.
     pub shard_msgs_inter: u64,
+    /// Envelopes the batching bus delivered (0 with batching off).
+    pub batch_envelopes: u64,
+    /// Worker messages that travelled through the batching bus.
+    pub batch_msgs: u64,
     /// Number of injected faults.
     pub faults: usize,
 }
@@ -163,6 +167,8 @@ mod tests {
             shards: 1,
             shard_msgs_intra: 0,
             shard_msgs_inter: 0,
+            batch_envelopes: 0,
+            batch_msgs: 0,
             faults: 0,
         }
     }

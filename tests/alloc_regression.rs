@@ -1,0 +1,114 @@
+//! Allocation regression guard for the engine hot loop.
+//!
+//! PR 4 made the `Engine` → dispatch → substrate pipeline allocation-free
+//! on the steady-state path: handlers fill a caller-owned [`ActionSink`]
+//! instead of returning fresh `Vec<Action>`s, task frames are recycled
+//! from a per-engine pool, and wave evaluation runs on pooled scratch.
+//! What remains is genuinely new data (spawn packets, checkpoint copies,
+//! values). This test pins that property with a counting global allocator:
+//! a full fault-free fib(12) simulation must stay under a fixed allocation
+//! budget. Measured on this container: the pre-PR4 pipeline performed
+//! ~15,000 allocations on this run, the sink/arena pipeline ~8,100. The
+//! ceiling sits between the two with headroom over the measured count, so
+//! the guard trips on systematic regressions (a reintroduced per-handler
+//! `Vec`, a lost pool), not on noise — and the old pipeline would fail it.
+
+// A counting GlobalAlloc cannot be written without `unsafe`; the workspace
+// denies it by default, so this test opts out locally.
+#![allow(unsafe_code)]
+
+use splice::lang::Workload;
+use splice::sim::machine::{run_workload, MachineConfig};
+use splice::simnet::fault::FaultPlan;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+struct Counting;
+
+// SAFETY: every method delegates to `System` with the caller's layout
+// unchanged; the only extra behaviour is a relaxed counter increment.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: same layout contract as our caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` with this layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: `ptr` was allocated by `System` with `layout`.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+/// The steady-state pump of a fault-free fib(12) run (4 processors,
+/// deterministic DES) must allocate below a pinned ceiling.
+///
+/// This file must hold exactly one `#[test]` (libtest runs tests on
+/// concurrent threads, and the counting allocator is process-global —
+/// a sibling test's allocations would land in the measured window), so
+/// the `size_of::<Action>` companion pin lives at the end of this test.
+#[test]
+fn steady_state_pump_stays_under_allocation_ceiling() {
+    const CEILING: u64 = 12_000;
+
+    let w = Workload::fib(12);
+    let mut cfg = MachineConfig::new(4);
+    cfg.recovery.load_beacon_period = 200;
+    // Machine construction (engines, queues, placers) is outside the
+    // steady-state claim; count only the run itself.
+    let machine = splice::sim::machine::Machine::new(cfg, &w);
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let report = machine.run(&FaultPlan::none());
+    COUNTING.store(false, Ordering::Relaxed);
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+
+    assert!(report.completed, "run must complete");
+    assert_eq!(report.result, Some(w.reference_result().unwrap()));
+    assert!(
+        allocs < CEILING,
+        "steady-state pump allocated {allocs} times (ceiling {CEILING}); \
+         a hot-path allocation crept back in"
+    );
+    // A second run on a fresh machine must not allocate more than the
+    // first (the DES is deterministic, so drift here means a leak of
+    // determinism, not load).
+    let mut cfg = MachineConfig::new(4);
+    cfg.recovery.load_beacon_period = 200;
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let again = run_workload(cfg, &w, &FaultPlan::none());
+    COUNTING.store(false, Ordering::Relaxed);
+    let allocs_again = ALLOCS.load(Ordering::Relaxed);
+    assert!(again.completed);
+    // The second measurement includes machine construction; allow it a
+    // small constant on top of the run ceiling.
+    assert!(
+        allocs_again < CEILING + 4_000,
+        "second run allocated {allocs_again} times"
+    );
+
+    // `Action` must stay small enough to move by value through sinks,
+    // queues and channels (the companion pin to the `Msg` size test).
+    assert!(
+        std::mem::size_of::<splice::core::engine::Action>() <= 32,
+        "Action grew past 32 bytes: {}",
+        std::mem::size_of::<splice::core::engine::Action>()
+    );
+}

@@ -21,6 +21,7 @@ use splice::core::engine::{Action, Engine};
 use splice::core::ids::ProcId;
 use splice::core::packet::{Msg, TaskLink, TaskPacket};
 use splice::core::place::ScriptedPlacer;
+use splice::core::sink::ActionSink;
 use splice::core::{Config, LevelStamp, RecoveryMode};
 use splice::lang::parser::parse;
 use splice::lang::wave::Demand;
@@ -88,8 +89,8 @@ impl Cluster {
         }
     }
 
-    fn absorb(&mut self, from: ProcId, actions: Vec<Action>) {
-        for a in actions {
+    fn absorb(&mut self, from: ProcId, sink: &mut ActionSink) {
+        for a in sink.drain() {
             match a {
                 Action::Send { to, msg } => self.pool.push_back((from, to, msg)),
                 Action::SetTimer { .. } => {
@@ -113,8 +114,9 @@ impl Cluster {
             replica: None,
             under_replica: false,
         };
-        let actions = self.engines[0].on_message(Msg::spawn(packet));
-        self.absorb(ProcId(0), actions);
+        let mut sink = ActionSink::new();
+        self.engines[0].on_message(Msg::spawn(packet), &mut sink);
+        self.absorb(ProcId(0), &mut sink);
         // Discard the ack to the super-root.
         self.pool.retain(|(_, to, _)| !to.is_super_root());
     }
@@ -141,15 +143,17 @@ impl Cluster {
                 if self.dead[from.0 as usize] {
                     continue; // both gone; message vanishes
                 }
-                let actions = self.engines[from.0 as usize].on_send_failed(to, msg);
-                self.absorb(from, actions);
+                let mut sink = ActionSink::new();
+                self.engines[from.0 as usize].on_send_failed(to, msg, &mut sink);
+                self.absorb(from, &mut sink);
                 continue;
             }
             if self.dead[from.0 as usize] {
                 continue; // fail-silent sender: message never left
             }
-            let actions = self.engines[to.0 as usize].on_message(msg);
-            self.absorb(to, actions);
+            let mut sink = ActionSink::new();
+            self.engines[to.0 as usize].on_message(msg, &mut sink);
+            self.absorb(to, &mut sink);
         }
         self.pool = remaining;
         delivered
@@ -174,8 +178,9 @@ impl Cluster {
             if self.dead[proc as usize] {
                 break;
             }
-            let (actions, _) = self.engines[proc as usize].run_wave(key);
-            self.absorb(ProcId(proc), actions);
+            let mut sink = ActionSink::new();
+            self.engines[proc as usize].run_wave(key, &mut sink);
+            self.absorb(ProcId(proc), &mut sink);
             ran += 1;
         }
         ran
@@ -197,9 +202,9 @@ impl Cluster {
 
     /// Notifies `to` that `dead` failed.
     fn notice(&mut self, to: u32, dead: u32) {
-        let actions =
-            self.engines[to as usize].on_message(Msg::FailureNotice { dead: ProcId(dead) });
-        self.absorb(ProcId(to), actions);
+        let mut sink = ActionSink::new();
+        self.engines[to as usize].on_message(Msg::FailureNotice { dead: ProcId(dead) }, &mut sink);
+        self.absorb(ProcId(to), &mut sink);
     }
 
     fn stats(&self, proc: u32) -> &splice::core::ProcStats {
