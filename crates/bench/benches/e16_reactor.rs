@@ -1,0 +1,50 @@
+//! E16 — the cooperative reactor at scale: completion and recovery
+//! latency versus engine count, 64 → 4096 engines on one thread.
+//!
+//! Each engine count runs a fault-free case and a mid-run single-crash
+//! case (splice recovery). The scenario (config, workload, sweep) is
+//! shared with `splice_bench::{e16_config, e16_workload, E16_ENGINES}` so
+//! the experiments bin and this bench always measure the same thing.
+//! Machine construction is part of the measured body — at 4096 engines
+//! the build cost is itself a scaling property worth tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_bench::{assert_correct, criterion as tuned, e16_config, e16_workload, E16_ENGINES};
+use splice_sim::reactor::run_reactor;
+use splice_simnet::fault::FaultPlan;
+use splice_simnet::time::VirtualTime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_reactor");
+    let w = e16_workload();
+
+    for engines in E16_ENGINES {
+        let base = run_reactor(e16_config(engines), &w, &FaultPlan::none());
+        assert_correct(&w, &base);
+        let crash = VirtualTime((base.finish.ticks() / 2).max(1));
+
+        g.bench_function(format!("n{engines}_fault_free"), |b| {
+            b.iter(|| {
+                let r = run_reactor(e16_config(engines), &w, &FaultPlan::none());
+                assert_correct(&w, &r);
+                r.finish
+            })
+        });
+        g.bench_function(format!("n{engines}_crash"), |b| {
+            b.iter(|| {
+                let plan = FaultPlan::crash_at(engines / 2, crash);
+                let r = run_reactor(e16_config(engines), &w, &plan);
+                assert_correct(&w, &r);
+                r.finish
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

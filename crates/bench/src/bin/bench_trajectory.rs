@@ -1,6 +1,6 @@
 //! Emits `BENCH_substrate.json`: a machine-readable perf trajectory for
-//! the substrate micro-benches plus the E11 scalability and E14 sharding
-//! experiment benches.
+//! the substrate micro-benches plus the E11 scalability, E14 sharding and
+//! E16 reactor experiment benches.
 //!
 //! Each invocation measures medians on the current build and *appends* one
 //! labelled run to the file, so successive PRs accumulate a before/after
@@ -21,10 +21,12 @@
 use splice_applicative::eval::eval_call;
 use splice_applicative::wave::run_local;
 use splice_bench::{
-    assert_correct, config, e11_workload, e14_cases, e14_config, e14_workload,
-    event_queue_push_pop_10k, substrate_workload, torus_distance_64x64, E11_SWEEP,
+    assert_correct, config, e11_workload, e14_cases, e14_config, e14_workload, e16_config,
+    e16_workload, event_queue_push_pop_10k, substrate_workload, torus_distance_64x64, E11_SWEEP,
+    E16_ENGINES,
 };
 use splice_sim::machine::run_workload;
+use splice_sim::reactor::run_reactor;
 use splice_simnet::fault::FaultPlan;
 use splice_simnet::time::VirtualTime;
 use std::time::Instant;
@@ -111,6 +113,26 @@ fn e14_metrics(samples: usize) -> Vec<(&'static str, u64)> {
     out
 }
 
+fn e16_metrics(samples: usize) -> Vec<(String, u64)> {
+    // Identical scenario to benches/e16_reactor.rs: the reactor backend's
+    // fault-free completion wall-clock per engine count (construction
+    // included — at 4096 engines the build cost is a scaling property).
+    let w = e16_workload();
+    let mut out = Vec::new();
+    for engines in E16_ENGINES {
+        let ns = median_ns(samples, || {
+            let r = run_reactor(
+                e16_config(engines),
+                &w,
+                &splice_simnet::fault::FaultPlan::none(),
+            );
+            assert_correct(&w, &r);
+        });
+        out.push((format!("n{engines}_fault_free"), ns));
+    }
+    out
+}
+
 fn json_object<K: AsRef<str>>(metrics: &[(K, u64)]) -> String {
     let fields: Vec<String> = metrics
         .iter()
@@ -189,12 +211,15 @@ fn main() {
     let e11 = e11_metrics(run_samples);
     eprintln!("measuring e14 sharding ({run_samples} samples)…");
     let e14 = e14_metrics(run_samples);
+    eprintln!("measuring e16 reactor ({run_samples} samples)…");
+    let e16 = e16_metrics(run_samples);
 
     let run_line = format!(
-        "{{\"label\": \"{label}\", \"method\": \"bench_trajectory\", \"samples\": {{\"substrate\": {micro_samples}, \"experiments\": {run_samples}}}, \"substrate\": {}, \"e11_scalability\": {}, \"e14_sharding\": {}}}",
+        "{{\"label\": \"{label}\", \"method\": \"bench_trajectory\", \"samples\": {{\"substrate\": {micro_samples}, \"experiments\": {run_samples}}}, \"substrate\": {}, \"e11_scalability\": {}, \"e14_sharding\": {}, \"e16_reactor\": {}}}",
         json_object(&substrate),
         json_object(&e11),
         json_object(&e14),
+        json_object(&e16),
     );
     append_run(&out_path, run_line).expect("write trajectory file");
     for (k, v) in &substrate {
@@ -205,6 +230,9 @@ fn main() {
     }
     for (k, v) in &e14 {
         println!("e14/{k:<34} {v:>12} ns");
+    }
+    for (k, v) in &e16 {
+        println!("e16/{k:<34} {v:>12} ns");
     }
     println!("appended run \"{label}\" to {out_path}");
 }

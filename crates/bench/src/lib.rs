@@ -155,6 +155,29 @@ pub fn e15_workload() -> Workload {
 /// The E15 flush-window sweep.
 pub const E15_WINDOWS: [u64; 3] = [0, 200, 2_000];
 
+/// The E16 reactor machine: `engines` cooperative engines pumped on one
+/// thread, splice recovery, round-robin placement (cheap to build at
+/// thousands of engines and spreads the tree across all of them), load
+/// beacons off (4096 idle beacon timers would swamp the ready loop
+/// without informing round-robin placement at all).
+pub fn e16_config(engines: u32) -> MachineConfig {
+    let mut cfg = MachineConfig::new(engines);
+    cfg.recovery.mode = RecoveryMode::Splice;
+    cfg.policy = splice_gradient::Policy::RoundRobin;
+    cfg.recovery.load_beacon_period = 0;
+    cfg
+}
+
+/// The E16 workload — big enough that every engine count below a few
+/// thousand sees real work per engine.
+pub fn e16_workload() -> Workload {
+    Workload::fib(16)
+}
+
+/// The E16 engine-count sweep: OS-thread scale up to "millions of
+/// users"-shaped counts no thread-per-processor backend can host.
+pub const E16_ENGINES: [u32; 4] = [64, 256, 1024, 4096];
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,8 +23,13 @@
 //! * [`batch`] — [`BatchingSubstrate`], the coalescing-bus decorator:
 //!   buffers same-pump sends and delivers them per `(from, to)` envelope
 //!   after a configurable flush window (experiment E15);
-//! * [`timer`] — [`TimerWheel`], the earliest-deadline timer store used by
-//!   substrates whose clock is not an event queue;
+//! * [`reactor`] — [`ReactorSubstrate`], the cooperative-reactor backend:
+//!   per-engine mailboxes, a ready queue with waker flags, timer and
+//!   delayed-send wheels, and a virtual-or-wall [`ReactorClock`] — so one
+//!   thread pumps thousands of engines with no thread-per-processor limit;
+//! * [`timer`] — [`TimerWheel`], the earliest-deadline store (engine
+//!   timers by default, any payload — the reactor parks delayed sends on
+//!   it too) used by substrates whose clock is not an event queue;
 //! * [`report`] — [`EngineSnapshot`] / [`EngineTotals`], the per-engine
 //!   measurement capture both machines aggregate into their run reports.
 //!
@@ -36,6 +41,7 @@
 
 pub mod batch;
 pub mod driver;
+pub mod reactor;
 pub mod report;
 pub mod shard;
 pub mod substrate;
@@ -43,6 +49,7 @@ pub mod timer;
 
 pub use batch::{BatchStats, BatchingSubstrate};
 pub use driver::{DriverLoop, SuperRootDriver};
+pub use reactor::{Inbound, ReactorClock, ReactorSubstrate};
 pub use report::{EngineSnapshot, EngineTotals};
 pub use shard::{ShardMap, ShardRouter, ShardStats};
 pub use substrate::{corrupt_value, death_notice_targets, dispatch, dispatch_iter, Substrate};

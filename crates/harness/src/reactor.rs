@@ -1,0 +1,662 @@
+//! The cooperative reactor: thousands of engines on one thread.
+//!
+//! [`ReactorSubstrate`] is the third machine backend, between the
+//! simulator and the threaded runtime: like the runtime it delivers
+//! messages promptly (no latency model), like the simulator it runs on a
+//! single thread and can be driven deterministically — but its scheduler
+//! is neither a globally time-ordered event queue nor the OS: it is a
+//! hand-rolled, dependency-free reactor. Each engine owns a mailbox; a
+//! ready queue with waker flags decides who is pumped next; deadlines
+//! (engine timers *and* delayed sends: router surcharges, batching
+//! windows) ride two [`TimerWheel`]s; the clock is pluggable between
+//! virtual units (advanced by the front-end as waves execute — the E16
+//! experiments) and the wall clock (a real single-threaded server loop).
+//!
+//! Because there is no thread per processor, the engine count is bounded
+//! by memory, not by the OS — the first backend shaped like "one machine,
+//! thousands of users". And because the scheduling discipline is genuinely
+//! different from both other backends, it is the third independent
+//! scheduler the differential fault-plan fuzz suite runs plans through:
+//! the recovery protocol claims its outcome is scheduler-independent, and
+//! three schedulers disagreeing is how that claim gets tested.
+//!
+//! This file is sans-simulation: it knows nothing about fault plans, cost
+//! models or run reports. A front-end (`splice-sim`'s `ReactorMachine`)
+//! applies faults through [`ReactorSubstrate::kill`] /
+//! [`ReactorSubstrate::set_corrupting`], pumps the drained stimuli into
+//! its `DriverLoop`s, and charges wave work to the virtual clock.
+
+use crate::substrate::{corrupt_value, death_notice_targets, Substrate};
+use crate::timer::TimerWheel;
+use splice_core::engine::Timer;
+use splice_core::ids::ProcId;
+use splice_core::packet::Msg;
+use splice_core::sink::ActionSink;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// The reactor's notion of time: virtual units advanced by the front-end,
+/// or the wall clock mapped through a time unit.
+#[derive(Clone, Copy, Debug)]
+pub enum ReactorClock {
+    /// Deterministic units; [`ReactorClock::advance_to`] moves the clock
+    /// forward explicitly (wave costs, idle skips to the next deadline).
+    Virtual {
+        /// Current time in units.
+        now: u64,
+    },
+    /// Real time: `now` is the wall-clock duration since `epoch` divided
+    /// by `time_unit`; advancing sleeps until the target instant.
+    Wall {
+        /// When the run started.
+        epoch: Instant,
+        /// Wall-clock length of one unit.
+        time_unit: Duration,
+    },
+}
+
+impl ReactorClock {
+    /// A virtual clock starting at 0.
+    pub fn virtual_units() -> ReactorClock {
+        ReactorClock::Virtual { now: 0 }
+    }
+
+    /// A wall clock whose unit is `time_unit`, starting now.
+    pub fn wall(time_unit: Duration) -> ReactorClock {
+        ReactorClock::Wall {
+            epoch: Instant::now(),
+            time_unit,
+        }
+    }
+
+    /// Current time in units.
+    pub fn now_units(&self) -> u64 {
+        match self {
+            ReactorClock::Virtual { now } => *now,
+            ReactorClock::Wall { epoch, time_unit } => {
+                (epoch.elapsed().as_nanos() / time_unit.as_nanos().max(1)) as u64
+            }
+        }
+    }
+
+    /// Moves the clock to at least `t` units: instantly on the virtual
+    /// clock, by sleeping on the wall clock. Never moves backwards.
+    pub fn advance_to(&mut self, t: u64) {
+        match self {
+            ReactorClock::Virtual { now } => *now = (*now).max(t),
+            ReactorClock::Wall { epoch, time_unit } => {
+                let target = *epoch + Duration::from_nanos(time_unit.as_nanos() as u64 * t);
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+            }
+        }
+    }
+
+    /// Advances by `delta` units from the current reading.
+    pub fn advance_by(&mut self, delta: u64) {
+        let t = self.now_units().saturating_add(delta);
+        self.advance_to(t);
+    }
+}
+
+/// One stimulus waiting in an engine's mailbox.
+#[derive(Debug)]
+pub enum Inbound {
+    /// A delivered message.
+    Msg(Msg),
+    /// A best-effort send that failed: the transport knew `dead` was
+    /// unreachable and returned the message to its sender (the simulator's
+    /// bounce, without the bounce delay).
+    Bounce {
+        /// The unreachable destination.
+        dead: ProcId,
+        /// The undeliverable message.
+        msg: Msg,
+    },
+}
+
+/// A send parked for later release (router surcharges, batching windows).
+struct DelayedSend {
+    from: ProcId,
+    to: ProcId,
+    msg: Msg,
+}
+
+/// The cooperative-reactor [`Substrate`]: per-engine mailboxes, a ready
+/// queue with waker flags, [`TimerWheel`]s for engine timers and delayed
+/// sends, and a pluggable [`ReactorClock`].
+pub struct ReactorSubstrate {
+    clock: ReactorClock,
+    alive: Vec<bool>,
+    live_count: u32,
+    corrupting: Vec<bool>,
+    /// Per-engine stimulus queues.
+    mail: Vec<VecDeque<Inbound>>,
+    /// The reliable driver link: messages addressed to the super-root.
+    sr_mail: VecDeque<Msg>,
+    /// Failure notices addressed to the super-root driver.
+    sr_notices: VecDeque<ProcId>,
+    /// Engines with pending work, in wake order.
+    ready: VecDeque<u32>,
+    /// Waker flags: true while the engine sits in `ready` (dedup).
+    queued: Vec<bool>,
+    /// Armed engine timers, tagged with their owner.
+    timers: TimerWheel<u64, (ProcId, Timer)>,
+    /// Parked delayed sends. Same-deadline entries release in send order,
+    /// so per-link FIFO survives (same-link messages carry the same extra
+    /// and therefore non-decreasing deadlines).
+    delayed: TimerWheel<u64, DelayedSend>,
+    /// Parked delayed sends addressed to the super-root: even with every
+    /// worker dead these must land before the run may be declared stalled
+    /// — one of them can be the result.
+    pending_sr_delayed: u64,
+    /// When false, deaths produce no failure notices at all (the
+    /// detector-disabled regime of `DetectorConfig::broadcast = false`):
+    /// failures are discovered exclusively through bounces, salvage
+    /// arrivals and ack timeouts.
+    broadcast: bool,
+    /// Work units completed since the last [`ReactorSubstrate::take_work`]
+    /// (the front-end charges them to the virtual clock).
+    work_pending: u64,
+    delivered: u64,
+    dropped_to_dead: u64,
+    bounces: u64,
+}
+
+impl ReactorSubstrate {
+    /// A reactor of `n` live engines on `clock`, broadcast detection on.
+    pub fn new(n: u32, clock: ReactorClock) -> ReactorSubstrate {
+        ReactorSubstrate {
+            clock,
+            alive: vec![true; n as usize],
+            live_count: n,
+            corrupting: vec![false; n as usize],
+            mail: (0..n).map(|_| VecDeque::new()).collect(),
+            sr_mail: VecDeque::new(),
+            sr_notices: VecDeque::new(),
+            ready: VecDeque::new(),
+            queued: vec![false; n as usize],
+            timers: TimerWheel::new(),
+            delayed: TimerWheel::new(),
+            pending_sr_delayed: 0,
+            broadcast: true,
+            work_pending: 0,
+            delivered: 0,
+            dropped_to_dead: 0,
+            bounces: 0,
+        }
+    }
+
+    /// Enables or disables broadcast failure notices (mirrors
+    /// `DetectorConfig::broadcast`).
+    pub fn set_broadcast(&mut self, on: bool) {
+        self.broadcast = on;
+    }
+
+    /// The clock, for front-ends that advance it.
+    pub fn clock_mut(&mut self) -> &mut ReactorClock {
+        &mut self.clock
+    }
+
+    /// Engines still live.
+    pub fn live_count(&self) -> u32 {
+        self.live_count
+    }
+
+    /// Messages consumed from mailboxes (worker and super-root).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped at (or en route to) dead destinations.
+    pub fn dropped_to_dead(&self) -> u64 {
+        self.dropped_to_dead
+    }
+
+    /// Sends returned to their senders because the destination was dead.
+    pub fn bounces(&self) -> u64 {
+        self.bounces
+    }
+
+    /// Marks `victim` fail-silent dead: its mailbox is dropped (fail
+    /// silent cuts both ways — a dead processor consumes nothing) and it
+    /// leaves the ready queue. Returns false when it was already dead.
+    /// The caller decides whether the death is announced
+    /// ([`Substrate::report_death`]).
+    pub fn kill(&mut self, victim: ProcId) -> bool {
+        let i = victim.0 as usize;
+        if !self.alive.get(i).copied().unwrap_or(false) {
+            return false;
+        }
+        self.alive[i] = false;
+        self.live_count -= 1;
+        self.queued[i] = false;
+        let dropped = self.mail[i]
+            .drain(..)
+            .filter(|ib| matches!(ib, Inbound::Msg(_)))
+            .count();
+        self.dropped_to_dead += dropped as u64;
+        true
+    }
+
+    /// Marks `victim` as emitting corrupted replica results (no-op when it
+    /// is already dead — fail-silent processors emit nothing at all).
+    pub fn set_corrupting(&mut self, victim: ProcId) {
+        let i = victim.0 as usize;
+        if self.alive.get(i).copied().unwrap_or(false) {
+            self.corrupting[i] = true;
+        }
+    }
+
+    /// Queues `p` for pumping if it is live and not already queued.
+    pub fn wake(&mut self, p: ProcId) {
+        let i = p.0 as usize;
+        if self.alive[i] && !self.queued[i] {
+            self.queued[i] = true;
+            self.ready.push_back(p.0);
+        }
+    }
+
+    /// The next engine to pump, in wake order. Entries whose engine died
+    /// *after* it was woken are discarded here — a fail-silent processor
+    /// must not get a post-mortem turn (its queued waves would execute
+    /// and their sends escape).
+    pub fn pop_ready(&mut self) -> Option<ProcId> {
+        while let Some(p) = self.ready.pop_front() {
+            self.queued[p as usize] = false;
+            if self.alive[p as usize] {
+                return Some(ProcId(p));
+            }
+        }
+        None
+    }
+
+    /// The next stimulus waiting for engine `p`.
+    pub fn pop_inbound(&mut self, p: ProcId) -> Option<Inbound> {
+        let ib = self.mail[p.0 as usize].pop_front()?;
+        if matches!(ib, Inbound::Msg(_)) {
+            self.delivered += 1;
+        }
+        Some(ib)
+    }
+
+    /// True while engine `p` has stimuli waiting.
+    pub fn has_inbound(&self, p: ProcId) -> bool {
+        !self.mail[p.0 as usize].is_empty()
+    }
+
+    /// Stimuli currently waiting for engine `p`. Pumps drain at most this
+    /// many per turn: stimuli produced *during* the turn (self-sends,
+    /// bounces of this turn's own sends) wait for the next turn, so a
+    /// send/bounce cycle cannot starve the rest of the reactor.
+    pub fn mail_len(&self, p: ProcId) -> usize {
+        self.mail[p.0 as usize].len()
+    }
+
+    /// The next message addressed to the super-root.
+    pub fn pop_sr_mail(&mut self) -> Option<Msg> {
+        let msg = self.sr_mail.pop_front()?;
+        self.delivered += 1;
+        Some(msg)
+    }
+
+    /// The next failure notice addressed to the super-root driver.
+    pub fn pop_sr_notice(&mut self) -> Option<ProcId> {
+        self.sr_notices.pop_front()
+    }
+
+    /// True while nothing is queued for the super-root (mail, notices, or
+    /// delayed sends still parked on the wheel). With every engine dead,
+    /// this draining is the only thing that can still finish the run.
+    pub fn sr_quiet(&self) -> bool {
+        self.sr_mail.is_empty() && self.sr_notices.is_empty() && self.pending_sr_delayed == 0
+    }
+
+    /// Pops the next engine timer due at or before the current clock.
+    pub fn pop_due_timer(&mut self) -> Option<(ProcId, Timer)> {
+        let now = self.clock.now_units();
+        self.timers.pop_due(&now)
+    }
+
+    /// Releases every delayed send whose deadline has passed, routing each
+    /// with the liveness known *now* (a destination that died while the
+    /// message was parked bounces it back to its sender, matching the
+    /// in-flight semantics of the other backends).
+    pub fn release_delayed_due(&mut self) {
+        let now = self.clock.now_units();
+        while let Some(d) = self.delayed.pop_due(&now) {
+            if d.to.is_super_root() {
+                self.pending_sr_delayed -= 1;
+            }
+            self.route_now(d.from, d.to, d.msg);
+        }
+    }
+
+    /// The earliest pending deadline: an engine timer or a parked delayed
+    /// send. `None` means nothing in the reactor will ever fire again.
+    pub fn next_deadline(&self) -> Option<u64> {
+        match (
+            self.timers.next_deadline().copied(),
+            self.delayed.next_deadline().copied(),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Work units completed since the last call (the front-end charges
+    /// them to the virtual clock through its cost model).
+    pub fn take_work(&mut self) -> u64 {
+        std::mem::take(&mut self.work_pending)
+    }
+
+    /// Routes `msg` with the liveness known now.
+    fn route_now(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+        if to.is_super_root() {
+            // The driver link is reliable.
+            self.sr_mail.push_back(msg);
+            return;
+        }
+        let dest = to.0 as usize;
+        if !self.alive.get(dest).copied().unwrap_or(false) {
+            // Dead destination known to the transport: a live worker
+            // sender gets the message bounced back (and learns the
+            // destination is unreachable); super-root sends and sends
+            // whose sender died meanwhile vanish.
+            let sender_live =
+                !from.is_super_root() && self.alive.get(from.0 as usize).copied().unwrap_or(false);
+            if sender_live {
+                self.bounces += 1;
+                self.mail[from.0 as usize].push_back(Inbound::Bounce { dead: to, msg });
+                self.wake(from);
+            } else {
+                self.dropped_to_dead += 1;
+            }
+            return;
+        }
+        self.mail[dest].push_back(Inbound::Msg(msg));
+        self.wake(to);
+    }
+}
+
+impl Substrate for ReactorSubstrate {
+    fn n_procs(&self) -> u32 {
+        self.alive.len() as u32
+    }
+
+    fn is_live(&self, p: ProcId) -> bool {
+        self.alive.get(p.0 as usize).copied().unwrap_or(false)
+    }
+
+    fn now_units(&self) -> u64 {
+        self.clock.now_units()
+    }
+
+    fn send(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+        self.send_delayed(from, to, msg, 0);
+    }
+
+    fn send_delayed(&mut self, from: ProcId, to: ProcId, mut msg: Msg, extra: u64) {
+        // Send-side corruption, identical to the other substrates so
+        // replicated-voting runs agree across backends.
+        if !from.is_super_root() && self.corrupting[from.0 as usize] {
+            if let Msg::Result(rp) = &mut msg {
+                if rp.replica.is_some() {
+                    rp.value = corrupt_value(&rp.value);
+                }
+            }
+        }
+        if extra == 0 {
+            return self.route_now(from, to, msg);
+        }
+        if to.is_super_root() {
+            self.pending_sr_delayed += 1;
+        }
+        let due = self.clock.now_units() + extra;
+        self.delayed.arm(due, DelayedSend { from, to, msg });
+    }
+
+    fn arm_timer(&mut self, owner: ProcId, timer: Timer, delay: u64) {
+        let at = self.clock.now_units() + delay;
+        self.timers.arm(at, (owner, timer));
+    }
+
+    fn report_death(&mut self, dead: ProcId) {
+        if !self.broadcast {
+            return;
+        }
+        for to in death_notice_targets(self.n_procs(), |p| self.is_live(p), dead) {
+            if to.is_super_root() {
+                self.sr_notices.push_back(dead);
+            } else {
+                self.mail[to.0 as usize].push_back(Inbound::Msg(Msg::FailureNotice { dead }));
+                self.wake(to);
+            }
+        }
+    }
+
+    fn complete_wave(&mut self, _proc: ProcId, _sink: &mut ActionSink, work: u64) {
+        // Non-deferring: the driver loop dispatches the sink against the
+        // top of the decorator stack. The reactor only records the work so
+        // its front-end can charge the virtual clock.
+        self.work_pending += work;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_core::ids::{TaskAddr, TaskKey};
+    use splice_core::stamp::LevelStamp;
+
+    fn msg(tag: u32) -> Msg {
+        Msg::ack(
+            LevelStamp::from_digits(&[1]),
+            TaskAddr::new(ProcId(tag), TaskKey(u64::from(tag))),
+            TaskAddr::super_root(),
+            tag,
+        )
+    }
+
+    fn tag(ib: &Inbound) -> u32 {
+        match ib {
+            Inbound::Msg(Msg::Ack(a)) => a.incarnation,
+            _ => panic!("expected an ack"),
+        }
+    }
+
+    #[test]
+    fn wake_deduplicates_and_skips_the_dead() {
+        let mut r = ReactorSubstrate::new(3, ReactorClock::virtual_units());
+        r.wake(ProcId(1));
+        r.wake(ProcId(1));
+        r.wake(ProcId(2));
+        assert!(r.kill(ProcId(0)));
+        assert!(!r.kill(ProcId(0)), "second kill is a no-op");
+        r.wake(ProcId(0));
+        assert_eq!(r.pop_ready(), Some(ProcId(1)));
+        assert_eq!(r.pop_ready(), Some(ProcId(2)));
+        assert_eq!(r.pop_ready(), None, "dead engines never queue");
+        assert_eq!(r.live_count(), 2);
+    }
+
+    #[test]
+    fn engine_killed_after_wake_gets_no_post_mortem_turn() {
+        // Fail-silence: a crash landing between an engine's wake and its
+        // scheduling turn must cancel the turn — otherwise its queued
+        // waves would run and their sends escape a dead processor.
+        let mut r = ReactorSubstrate::new(2, ReactorClock::virtual_units());
+        r.wake(ProcId(1));
+        r.wake(ProcId(0));
+        assert!(r.kill(ProcId(1)));
+        assert_eq!(r.pop_ready(), Some(ProcId(0)), "stale dead entry skipped");
+        assert_eq!(r.pop_ready(), None);
+    }
+
+    #[test]
+    fn sends_land_in_mailboxes_and_wake_the_destination() {
+        let mut r = ReactorSubstrate::new(2, ReactorClock::virtual_units());
+        r.send(ProcId(0), ProcId(1), msg(7));
+        assert_eq!(r.pop_ready(), Some(ProcId(1)));
+        let ib = r.pop_inbound(ProcId(1)).unwrap();
+        assert_eq!(tag(&ib), 7);
+        assert_eq!(r.delivered(), 1);
+        assert!(r.pop_inbound(ProcId(1)).is_none());
+    }
+
+    #[test]
+    fn dead_destination_bounces_to_a_live_sender() {
+        let mut r = ReactorSubstrate::new(2, ReactorClock::virtual_units());
+        r.kill(ProcId(1));
+        r.send(ProcId(0), ProcId(1), msg(3));
+        assert_eq!(r.bounces(), 1);
+        assert_eq!(
+            r.pop_ready(),
+            Some(ProcId(0)),
+            "sender woken for the bounce"
+        );
+        assert!(matches!(
+            r.pop_inbound(ProcId(0)),
+            Some(Inbound::Bounce {
+                dead: ProcId(1),
+                ..
+            })
+        ));
+        // Super-root sends to the dead vanish instead.
+        r.send(ProcId::SUPER_ROOT, ProcId(1), msg(4));
+        assert_eq!(r.dropped_to_dead(), 1);
+    }
+
+    #[test]
+    fn kill_drops_the_mailbox() {
+        let mut r = ReactorSubstrate::new(2, ReactorClock::virtual_units());
+        r.send(ProcId(0), ProcId(1), msg(1));
+        r.send(ProcId(0), ProcId(1), msg(2));
+        r.kill(ProcId(1));
+        assert_eq!(r.dropped_to_dead(), 2);
+        assert!(r.pop_inbound(ProcId(1)).is_none());
+    }
+
+    #[test]
+    fn delayed_sends_release_at_their_deadline_in_fifo_order() {
+        let mut r = ReactorSubstrate::new(2, ReactorClock::virtual_units());
+        r.send_delayed(ProcId(0), ProcId(1), msg(1), 50);
+        r.send_delayed(ProcId(0), ProcId(1), msg(2), 50);
+        r.release_delayed_due();
+        assert!(!r.has_inbound(ProcId(1)), "not due yet");
+        assert_eq!(r.next_deadline(), Some(50));
+        r.clock_mut().advance_to(50);
+        r.release_delayed_due();
+        let a = r.pop_inbound(ProcId(1)).unwrap();
+        let b = r.pop_inbound(ProcId(1)).unwrap();
+        assert_eq!((tag(&a), tag(&b)), (1, 2), "per-link FIFO");
+    }
+
+    #[test]
+    fn delayed_send_to_a_meanwhile_dead_destination_bounces() {
+        let mut r = ReactorSubstrate::new(2, ReactorClock::virtual_units());
+        r.send_delayed(ProcId(0), ProcId(1), msg(9), 10);
+        r.kill(ProcId(1));
+        r.clock_mut().advance_to(10);
+        r.release_delayed_due();
+        assert_eq!(r.bounces(), 1);
+        assert!(matches!(
+            r.pop_inbound(ProcId(0)),
+            Some(Inbound::Bounce {
+                dead: ProcId(1),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn super_root_link_is_reliable_and_tracked_while_delayed() {
+        let mut r = ReactorSubstrate::new(2, ReactorClock::virtual_units());
+        assert!(r.sr_quiet());
+        r.send_delayed(ProcId(0), ProcId::SUPER_ROOT, msg(5), 30);
+        assert!(!r.sr_quiet(), "a parked result must block quiescence");
+        r.clock_mut().advance_to(30);
+        r.release_delayed_due();
+        assert!(!r.sr_quiet());
+        assert!(r.pop_sr_mail().is_some());
+        assert!(r.sr_quiet());
+    }
+
+    #[test]
+    fn report_death_notifies_live_peers_then_super_root_unless_disabled() {
+        let mut r = ReactorSubstrate::new(3, ReactorClock::virtual_units());
+        r.kill(ProcId(1));
+        r.report_death(ProcId(1));
+        assert!(matches!(
+            r.pop_inbound(ProcId(0)),
+            Some(Inbound::Msg(Msg::FailureNotice { dead: ProcId(1) }))
+        ));
+        assert!(matches!(
+            r.pop_inbound(ProcId(2)),
+            Some(Inbound::Msg(Msg::FailureNotice { dead: ProcId(1) }))
+        ));
+        assert_eq!(r.pop_sr_notice(), Some(ProcId(1)));
+        // Broadcast disabled: deaths are silent.
+        let mut q = ReactorSubstrate::new(3, ReactorClock::virtual_units());
+        q.set_broadcast(false);
+        q.kill(ProcId(1));
+        q.report_death(ProcId(1));
+        assert!(q.pop_inbound(ProcId(0)).is_none());
+        assert!(q.pop_sr_notice().is_none());
+    }
+
+    #[test]
+    fn timers_fire_per_owner_in_deadline_order() {
+        let mut r = ReactorSubstrate::new(2, ReactorClock::virtual_units());
+        r.arm_timer(ProcId(1), Timer::LoadBeacon, 20);
+        r.arm_timer(ProcId::SUPER_ROOT, Timer::LoadBeacon, 10);
+        assert!(r.pop_due_timer().is_none());
+        r.clock_mut().advance_to(25);
+        assert_eq!(r.pop_due_timer().map(|(p, _)| p), Some(ProcId::SUPER_ROOT));
+        assert_eq!(r.pop_due_timer().map(|(p, _)| p), Some(ProcId(1)));
+        assert!(r.pop_due_timer().is_none());
+    }
+
+    #[test]
+    fn wall_clock_advances_with_real_time() {
+        let mut c = ReactorClock::wall(Duration::from_micros(100));
+        let t0 = c.now_units();
+        c.advance_by(20); // 2ms
+        assert!(c.now_units() >= t0 + 20, "sleep must cover the target");
+    }
+
+    #[test]
+    fn corrupting_engines_flip_replica_results_only() {
+        use splice_applicative::wave::Demand;
+        use splice_applicative::{FnId, Value};
+        use splice_core::packet::{ReplicaInfo, ResultPacket};
+        let mut r = ReactorSubstrate::new(2, ReactorClock::virtual_units());
+        r.set_corrupting(ProcId(0));
+        let rp = ResultPacket {
+            from_stamp: LevelStamp::from_digits(&[1]),
+            demand: Demand::new(FnId(0), vec![Value::Int(1)]),
+            value: Value::Int(7),
+            to: TaskAddr::new(ProcId(1), TaskKey(0)),
+            to_stamp: LevelStamp::root(),
+            relay_chain: vec![],
+            replica: Some(ReplicaInfo { index: 0, total: 3 }),
+        };
+        r.send(ProcId(0), ProcId(1), Msg::result(rp.clone()));
+        let Some(Inbound::Msg(Msg::Result(got))) = r.pop_inbound(ProcId(1)) else {
+            panic!("result expected");
+        };
+        assert_ne!(got.value, Value::Int(7), "replica result corrupted");
+        // Non-replica results pass untouched.
+        let plain = ResultPacket {
+            replica: None,
+            ..rp
+        };
+        r.send(ProcId(0), ProcId(1), Msg::result(plain));
+        let Some(Inbound::Msg(Msg::Result(got))) = r.pop_inbound(ProcId(1)) else {
+            panic!("result expected");
+        };
+        assert_eq!(got.value, Value::Int(7));
+    }
+}

@@ -34,7 +34,8 @@ use splice_harness::{
     corrupt_value, death_notice_targets, BatchingSubstrate, DriverLoop, EngineSnapshot,
     EngineTotals, ShardMap, ShardRouter, Substrate, SuperRootDriver, TimerWheel,
 };
-use splice_simnet::fault::{FaultKind, FaultPlan};
+use splice_simnet::fault::{FaultKind, FaultOutcome, FaultPlan, PlanRun};
+use splice_simnet::time::VirtualTime;
 use splice_simnet::topology::Topology;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -72,6 +73,12 @@ pub struct RuntimeConfig {
     /// messages buffered within one pump are delivered together, a window
     /// late. 0 disables batching.
     pub batch_window: u64,
+    /// When false, the heartbeat monitor never runs and no broadcast
+    /// failure notices are generated (the threaded counterpart of the
+    /// simulator's `DetectorConfig::broadcast = false`): failures are
+    /// discovered exclusively through bounced sends, salvage arrivals and
+    /// ack timeouts — the most pessimistic detection regime.
+    pub detector_broadcast: bool,
     /// Seed for stochastic placers.
     pub seed: u64,
 }
@@ -90,6 +97,7 @@ impl RuntimeConfig {
             run_timeout: Duration::from_secs(30),
             router_latency: 0,
             batch_window: 0,
+            detector_broadcast: true,
             seed: 1,
         }
     }
@@ -122,13 +130,27 @@ pub struct RuntimeReport {
     /// Messages that travelled through the delayed-delivery queue (router
     /// surcharges and batching windows).
     pub delayed_msgs: u64,
+    /// Sends returned to their (live) senders because the destination was
+    /// already marked dead — the transport-level unreachability signal the
+    /// simulator calls a bounce.
+    pub bounces: u64,
     /// Times the super-root reissued the root.
     pub root_reissues: u64,
 }
 
 enum Envelope {
-    Net { msg: Msg },
-    Notice { dead: ProcId },
+    Net {
+        msg: Msg,
+    },
+    Notice {
+        dead: ProcId,
+    },
+    /// A best-effort send that failed: the transport knew `dead` was
+    /// unreachable and returned the message to its sender.
+    Bounce {
+        dead: ProcId,
+        msg: Msg,
+    },
     Shutdown,
 }
 
@@ -137,6 +159,9 @@ enum Envelope {
 struct Delayed {
     due: Instant,
     seq: u64,
+    /// The sending worker (`None` for the super-root driver) — a release
+    /// whose destination died meanwhile bounces back to it.
+    from: Option<u32>,
     to: ProcId,
     msg: Msg,
 }
@@ -164,15 +189,6 @@ impl Ord for Delayed {
     }
 }
 
-/// One scheduled fault on the wall clock (internal normalized form of both
-/// [`CrashAt`] lists and simulator [`FaultPlan`]s).
-#[derive(Clone, Copy, Debug)]
-struct FaultAt {
-    after: Duration,
-    victim: u32,
-    kind: FaultKind,
-}
-
 /// Sentinel in `Shared::beats`: the worker thread has not beaten yet. The
 /// monitor must not compare silence against it — a worker that is merely
 /// slow to get scheduled (a loaded CI box) would be declared dead before
@@ -188,6 +204,8 @@ struct Shared {
     delay_seq: AtomicU64,
     /// Messages that took the delayed path (reporting).
     delayed_sent: AtomicU64,
+    /// Sends bounced back to their senders (reporting).
+    bounced: AtomicU64,
     killed: Vec<AtomicBool>,
     corrupting: Vec<AtomicBool>,
     /// Millis since `epoch` of each worker's last heartbeat
@@ -205,6 +223,31 @@ impl Shared {
         } else if let Some(s) = self.senders.get(to.0 as usize) {
             let _ = s.send(env);
         }
+    }
+
+    fn is_killed(&self, p: ProcId) -> bool {
+        self.killed
+            .get(p.0 as usize)
+            .is_some_and(|k| k.load(Ordering::SeqCst))
+    }
+
+    /// Best-effort delivery with the transport-level bounce the simulator
+    /// models: a send to a worker already marked dead returns to a live
+    /// worker sender as [`Envelope::Bounce`] (the sender learns the
+    /// destination is unreachable — the paper's "the unreachable node is
+    /// considered faulty"), and vanishes otherwise. The driver link is
+    /// reliable and always delivers.
+    fn deliver(&self, from: Option<u32>, to: ProcId, msg: Msg) {
+        if !to.is_super_root() && self.is_killed(to) {
+            if let Some(me) = from {
+                if !self.is_killed(ProcId(me)) {
+                    self.bounced.fetch_add(1, Ordering::Relaxed);
+                    self.send(ProcId(me), Envelope::Bounce { dead: to, msg });
+                }
+            }
+            return;
+        }
+        self.send(to, Envelope::Net { msg });
     }
 }
 
@@ -292,7 +335,10 @@ fn delay_router(rx: Receiver<Delayed>, shared: Arc<Shared>) {
         let now = Instant::now();
         while heap.peek().is_some_and(|Reverse(d)| d.due <= now) {
             let Reverse(d) = heap.pop().expect("peeked");
-            shared.send(d.to, Envelope::Net { msg: d.msg });
+            // Release with the liveness known *now*: a destination that
+            // died while the message was parked bounces it back to its
+            // sender, exactly like an immediate send would.
+            shared.deliver(d.from, d.to, d.msg);
         }
         if shared.done.load(Ordering::SeqCst) {
             // Run over: undelivered delayed traffic is moot.
@@ -329,7 +375,7 @@ impl Substrate for ThreadSubstrate<'_> {
 
     fn send(&mut self, _from: ProcId, to: ProcId, msg: Msg) {
         if let Some(msg) = self.outbound(msg) {
-            self.shared.send(to, Envelope::Net { msg });
+            self.shared.deliver(self.me, to, msg);
         }
     }
 
@@ -347,7 +393,13 @@ impl Substrate for ThreadSubstrate<'_> {
         let due = Instant::now() + units_to_wall(self.time_unit, extra);
         let seq = self.shared.delay_seq.fetch_add(1, Ordering::Relaxed);
         self.shared.delayed_sent.fetch_add(1, Ordering::Relaxed);
-        let _ = self.shared.to_router.send(Delayed { due, seq, to, msg });
+        let _ = self.shared.to_router.send(Delayed {
+            due,
+            seq,
+            from: self.me,
+            to,
+            msg,
+        });
     }
 
     fn arm_timer(&mut self, _owner: ProcId, timer: Timer, delay: u64) {
@@ -363,37 +415,27 @@ impl Substrate for ThreadSubstrate<'_> {
 }
 
 /// Runs `workload` on real threads, injecting `crashes`, and reports.
+/// Internally the crash list becomes a [`FaultPlan`] (crash instants
+/// divided by `cfg.time_unit`), so both entry points share one plan path.
 pub fn run(cfg: RuntimeConfig, workload: &Workload, crashes: &[CrashAt]) -> RuntimeReport {
-    let faults: Vec<FaultAt> = crashes
-        .iter()
-        .map(|c| FaultAt {
-            after: c.after,
-            victim: c.victim,
-            kind: FaultKind::Crash,
-        })
-        .collect();
-    run_faults(cfg, workload, faults)
+    let time_unit = cfg.time_unit;
+    let mut plan = FaultPlan::none();
+    for c in crashes {
+        let at = VirtualTime((c.after.as_nanos() / time_unit.as_nanos().max(1)) as u64);
+        plan = plan.and(c.victim, at, FaultKind::Crash);
+    }
+    run_plan(cfg, workload, &plan)
 }
 
 /// Runs `workload` under a simulator [`FaultPlan`], mapping virtual fault
 /// times onto the wall clock through `cfg.time_unit`. This lets one fault
-/// plan drive both machines — the driver-parity tests feed the same plan
-/// here and to `splice_sim::run_workload`.
+/// plan drive every backend — the driver-parity tests feed the same plan
+/// here, to `splice_sim::run_workload` and to `splice_sim::run_reactor`.
+/// Multi-fault plans (including `FaultPlan::random_crashes` with protected
+/// processors, whole-shard plans and corrupt-after-crash mixes) apply
+/// through the same shared [`PlanRun`] transition rules as the other
+/// backends.
 pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> RuntimeReport {
-    let time_unit = cfg.time_unit;
-    let faults: Vec<FaultAt> = plan
-        .sorted()
-        .into_iter()
-        .map(|f| FaultAt {
-            after: units_to_wall(time_unit, f.at.ticks()),
-            victim: f.victim,
-            kind: f.kind,
-        })
-        .collect();
-    run_faults(cfg, workload, faults)
-}
-
-fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> RuntimeReport {
     let n = cfg.n_procs as usize;
     assert!(n >= 1);
     let program = Arc::new(workload.program.clone());
@@ -412,6 +454,7 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
         to_router: router_tx,
         delay_seq: AtomicU64::new(0),
         delayed_sent: AtomicU64::new(0),
+        bounced: AtomicU64::new(0),
         killed: (0..n).map(|_| AtomicBool::new(false)).collect(),
         corrupting: (0..n).map(|_| AtomicBool::new(false)).collect(),
         beats: (0..n).map(|_| AtomicU64::new(NEVER_BEAT)).collect(),
@@ -433,12 +476,13 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
         }));
     }
 
-    // Heartbeat monitor.
-    let monitor = {
+    // Heartbeat monitor — not spawned at all in the detector-disabled
+    // (bounce-only) regime.
+    let monitor = cfg.detector_broadcast.then(|| {
         let shared = shared.clone();
         let cfg = cfg.clone();
         std::thread::spawn(move || heartbeat_monitor(shared, cfg))
-    };
+    });
 
     // Delayed-delivery router (shard surcharges, batching windows).
     let router = {
@@ -446,46 +490,47 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
         std::thread::spawn(move || delay_router(router_rx, shared))
     };
 
-    // Fault injector.
+    // Fault injector: polls the shared `PlanRun` against wall-clock-derived
+    // units, so plan ordering and the crash/corrupt transition rules are
+    // the same code the simulator and the reactor execute. The injector is
+    // the only writer of the kill/corrupt flags; the atomics publish what
+    // the state machine decided.
     let injector = {
         let shared = shared.clone();
-        let mut faults = faults;
-        faults.sort_by_key(|f| f.after);
+        let plan = plan.clone();
+        let time_unit = cfg.time_unit;
+        let n_procs = cfg.n_procs;
         std::thread::spawn(move || {
+            let mut run = PlanRun::new(&plan, n_procs);
             let start = Instant::now();
-            for f in faults {
+            while !run.exhausted() {
                 // Sleep in short slices: a fault scheduled past program
                 // completion must not hold up teardown (run() joins this
                 // thread).
-                loop {
-                    if shared.done.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    let now = start.elapsed();
-                    if f.after <= now {
-                        break;
-                    }
-                    std::thread::sleep((f.after - now).min(Duration::from_millis(5)));
+                if shared.done.load(Ordering::SeqCst) {
+                    return;
                 }
-                let flags = match f.kind {
-                    FaultKind::Crash => &shared.killed,
-                    FaultKind::Corrupt => {
-                        // A crashed worker is fail-silent — corrupting it is
-                        // a no-op, matching the simulator, so mixed fault
-                        // plans stay comparable across substrates.
-                        let already_dead = shared
-                            .killed
-                            .get(f.victim as usize)
-                            .is_some_and(|k| k.load(Ordering::SeqCst));
-                        if already_dead {
-                            continue;
-                        }
-                        &shared.corrupting
+                let now_units = (start.elapsed().as_nanos() / time_unit.as_nanos().max(1)) as u64;
+                let mut applied = false;
+                while let Some((ev, outcome)) = run.pop_due(VirtualTime(now_units)) {
+                    applied = true;
+                    let flags = match outcome {
+                        FaultOutcome::Crashed => &shared.killed,
+                        FaultOutcome::Corrupted => &shared.corrupting,
+                        FaultOutcome::Ignored => continue,
+                    };
+                    if let Some(flag) = flags.get(ev.victim as usize) {
+                        flag.store(true, Ordering::SeqCst);
                     }
-                };
-                if let Some(flag) = flags.get(f.victim as usize) {
-                    flag.store(true, Ordering::SeqCst);
                 }
+                if applied || run.exhausted() {
+                    continue;
+                }
+                let due = units_to_wall(time_unit, run.next_at().expect("not exhausted").ticks());
+                let wait = due
+                    .saturating_sub(start.elapsed())
+                    .min(Duration::from_millis(5));
+                std::thread::sleep(wait.max(Duration::from_micros(50)));
             }
         })
     };
@@ -520,6 +565,8 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
                 let mut sub = pump_sub(&shared, None, &cfg, &mut wheel);
                 superroot.on_failure(dead, &mut sub);
             }
+            // The driver link is reliable; nothing bounces to it.
+            Ok(Envelope::Bounce { .. }) => {}
             Ok(Envelope::Shutdown) => break None,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break None,
@@ -537,7 +584,9 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
     for h in handles {
         let _ = h.join();
     }
-    let _ = monitor.join();
+    if let Some(m) = monitor {
+        let _ = m.join();
+    }
     let _ = injector.join();
     let _ = router.join();
 
@@ -550,6 +599,7 @@ fn run_faults(cfg: RuntimeConfig, workload: &Workload, faults: Vec<FaultAt>) -> 
         ckpt_stored: totals.ckpt_stored,
         detections,
         delayed_msgs: shared.delayed_sent.load(Ordering::Relaxed),
+        bounces: shared.bounced.load(Ordering::Relaxed),
         root_reissues: superroot.reissues(),
     }
 }
@@ -650,6 +700,7 @@ fn pump_envelope(
     match env {
         Envelope::Net { msg } => node.on_message(msg, &mut sub),
         Envelope::Notice { dead } => node.on_message(Msg::FailureNotice { dead }, &mut sub),
+        Envelope::Bounce { dead, msg } => node.on_send_failed(dead, msg, &mut sub),
         Envelope::Shutdown => return false,
     }
     true
@@ -755,10 +806,14 @@ mod tests {
     fn crash_is_detected_and_survived_splice() {
         // fib(16) runs ~40ms+ on 4 workers; crashing 8ms in guarantees the
         // victim still holds live tasks when the heartbeat expires (the
-        // seed version crashed at 30ms, racing run completion).
+        // seed version crashed at 30ms, racing run completion). The
+        // timeout is shortened because bounce-driven discovery now
+        // recovers — and finishes — runs faster than the default 40ms
+        // first scan.
         let w = Workload::fib(16);
         let mut cfg = quick_cfg(4);
         cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        cfg.heartbeat_timeout = Duration::from_millis(8);
         let crashes = [CrashAt {
             victim: 2,
             after: Duration::from_millis(8),
@@ -799,11 +854,14 @@ mod tests {
     fn crash_before_first_beat_is_still_detected() {
         // Killed at t=0 the victim (usually) never beats; the monitor must
         // still declare it — never-beaten is only a grace state for *live*
-        // workers. fib(16) keeps the run alive well past the heartbeat
-        // timeout so the declaration demonstrably happens.
+        // workers. A short heartbeat timeout puts the monitor's first scan
+        // well inside the run: since the bounce path landed, engine-side
+        // discovery no longer waits on the monitor, so the run finishes
+        // too fast for the default 40ms first scan to happen at all.
         let w = Workload::fib(16);
         let mut cfg = quick_cfg(4);
         cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        cfg.heartbeat_timeout = Duration::from_millis(8);
         let crashes = [CrashAt {
             victim: 2,
             after: Duration::from_millis(0),
@@ -865,6 +923,45 @@ mod tests {
         let r = run(cfg, &w, &[]);
         assert_eq!(r.result, Some(w.reference_result().unwrap()));
         assert!(r.delayed_msgs > 0, "no message took the batching window");
+    }
+
+    #[test]
+    fn bounce_only_discovery_recovers_without_the_monitor() {
+        // `detector_broadcast = false`: the heartbeat monitor never runs
+        // and no failure notice is ever broadcast. Recovery must complete
+        // through bounced sends (plus salvage arrivals and ack timeouts)
+        // alone — the threaded mirror of `DetectorConfig::broadcast =
+        // false`.
+        let w = Workload::fib(16);
+        let mut cfg = quick_cfg(4);
+        cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        cfg.detector_broadcast = false;
+        let crashes = [CrashAt {
+            victim: 2,
+            after: Duration::from_millis(8),
+        }];
+        let r = run(cfg, &w, &crashes);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
+        assert_eq!(r.detections, 0, "no monitor, no detections");
+        assert!(r.bounces > 0, "discovery must have come from bounced sends");
+    }
+
+    #[test]
+    fn multi_fault_plan_with_protected_processors_recovers() {
+        // The simulator's multi-fault generator drives the threaded
+        // machine through the same `run_plan` path: two random victims
+        // (never the protected processor 0, which hosts the root at
+        // launch) crash mid-run and splice recovery still completes.
+        let w = Workload::fib(16);
+        let mut cfg = quick_cfg(4);
+        cfg.recovery.mode = splice_core::config::RecoveryMode::Splice;
+        // 400–1200 units × 25µs = crashes between 10ms and 30ms.
+        let plan =
+            FaultPlan::random_crashes(2, 4, (VirtualTime(400), VirtualTime(1_200)), &[0], 11);
+        assert_eq!(plan.crashes(), 2);
+        assert!(plan.events.iter().all(|e| e.victim != 0), "0 is protected");
+        let r = run_plan(cfg, &w, &plan);
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E15) — the data recorded in
+//! Prints every experiment table (E1–E16) — the data recorded in
 //! EXPERIMENTS.md.
 //!
 //! Usage:
@@ -115,6 +115,15 @@ fn main() {
             &[0, 50, 200, 1_000, 5_000]
         };
         println!("{}", ex::e15_batching(&w, windows));
+    }
+    if want("e16") {
+        let w = Workload::fib(if quick { 13 } else { 16 });
+        let counts: &[u32] = if quick {
+            &[64, 512]
+        } else {
+            &[64, 256, 1024, 4096]
+        };
+        println!("{}", ex::e16_reactor(&w, counts));
     }
     if want("e12") {
         println!(

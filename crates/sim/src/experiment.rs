@@ -910,6 +910,58 @@ pub fn e15_batching(w: &Workload, windows: &[u64]) -> Table {
     t
 }
 
+// ---------------------------------------------------------------------------
+// E16 — the cooperative reactor at scale
+// ---------------------------------------------------------------------------
+
+/// E16 (extension): completion and recovery latency versus engine count on
+/// the cooperative reactor — one thread, no thread-per-processor limit.
+/// Each row runs fault-free and with a mid-run crash of one engine (splice
+/// recovery); virtual finish times come from the reactor's parallel-charge
+/// clock, wall milliseconds are the real single-thread pump cost.
+pub fn e16_reactor(w: &Workload, engine_counts: &[u32]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E16 (extension): reactor completion and recovery vs engine count [{}]",
+            w.name
+        ),
+        &[
+            "engines",
+            "ff finish",
+            "ff wall ms",
+            "crash finish",
+            "slowdown",
+            "correct",
+            "tasks",
+            "delivered",
+        ],
+    );
+    for &engines in engine_counts {
+        let mut cfg = MachineConfig::new(engines);
+        cfg.recovery.mode = RecoveryMode::Splice;
+        cfg.policy = Policy::RoundRobin;
+        cfg.recovery.load_beacon_period = 0;
+        let t0 = std::time::Instant::now();
+        let fault_free = crate::reactor::run_reactor(cfg.clone(), w, &FaultPlan::none());
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let crash = VirtualTime((fault_free.finish.ticks() / 2).max(1));
+        let r = crate::reactor::run_reactor(cfg, w, &FaultPlan::crash_at(engines / 2, crash));
+        let correct = fault_free.result == Some(w.reference_result().unwrap())
+            && r.result == Some(w.reference_result().unwrap());
+        t.row(vec![
+            engines.to_string(),
+            fault_free.finish.ticks().to_string(),
+            fmt_f(wall_ms),
+            r.finish.ticks().to_string(),
+            fmt_f(r.slowdown_vs(&fault_free)),
+            correct.to_string(),
+            r.stats.tasks_completed.to_string(),
+            r.delivered.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1040,6 +1092,22 @@ mod tests {
         // ...while every replicated configuration masks it.
         for row in &t.rows[1..] {
             assert_eq!(row[1], "true", "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e16_reactor_scales_and_stays_correct() {
+        let w = Workload::fib(12);
+        let t = e16_reactor(&w, &[8, 128]);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            assert_eq!(row[5], "true", "{} engines must stay correct", row[0]);
+            let slowdown: f64 = row[4].parse().unwrap();
+            assert!(
+                slowdown >= 1.0,
+                "{} engines: a crash cannot speed the run up",
+                row[0]
+            );
         }
     }
 }

@@ -3,6 +3,10 @@
 //!
 //! * [`machine`] — N protocol engines over the DES substrate, with fault
 //!   injection, failure detection and a reliable super-root;
+//! * [`reactor`] — the same engines over the cooperative reactor
+//!   substrate: thousands of `DriverLoop`s pumped from a ready queue on
+//!   one thread (same `MachineConfig`/`FaultPlan` in, same `RunReport`
+//!   out);
 //! * [`cost`] — the execution cost model;
 //! * [`report`] — per-run measurements;
 //! * [`figure1`] — the paper's Figure 1 scenario, scripted;
@@ -18,8 +22,10 @@ pub mod cost;
 pub mod experiment;
 pub mod figure1;
 pub mod machine;
+pub mod reactor;
 pub mod report;
 
 pub use cost::CostModel;
 pub use machine::{run_workload, Machine, MachineConfig};
+pub use reactor::{run_reactor, ReactorMachine};
 pub use report::RunReport;

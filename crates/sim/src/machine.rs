@@ -30,7 +30,7 @@ use splice_harness::{
     EngineSnapshot, EngineTotals, ShardMap, ShardRouter, Substrate, SuperRootDriver,
 };
 use splice_simnet::detect::DetectorConfig;
-use splice_simnet::fault::{FaultKind, FaultPlan};
+use splice_simnet::fault::{FaultKind, FaultOutcome, FaultPlan, FaultState};
 use splice_simnet::link::LinkModel;
 use splice_simnet::queue::EventQueue;
 use splice_simnet::time::VirtualTime;
@@ -177,9 +177,10 @@ struct SimSubstrate {
     delivered: u64,
     dropped_to_dead: u64,
     bounces: u64,
-    alive: Vec<bool>,
-    /// Processors still alive (`alive` popcount, kept incrementally).
-    live_count: u32,
+    /// Per-processor liveness and corruption — the shared fault state
+    /// machine (`splice_simnet::FaultState`), so the crash/corrupt
+    /// transition rules are literally the same code on every backend.
+    faults: FaultState,
     /// Pending queue entries that are *not* `Ev::Sample`. The sampler
     /// reschedules itself unconditionally, so the queue alone never
     /// drains; this counter is what quiescence detection watches.
@@ -188,7 +189,6 @@ struct SimSubstrate {
     /// reliable, so even with every processor dead these must land before
     /// the run may be declared stalled — one of them can be the result.
     pending_sr_deliver: u64,
-    corrupting: Vec<bool>,
     busy_until: Vec<VirtualTime>,
     step_pending: Vec<bool>,
     /// (time, live tasks across live processors) samples.
@@ -201,7 +201,7 @@ struct SimSubstrate {
 
 impl SimSubstrate {
     fn live(&self, p: ProcId) -> bool {
-        self.alive.get(p.0 as usize).copied().unwrap_or(false)
+        self.faults.is_live(p.0)
     }
 
     /// Schedules `ev`, keeping the non-Sample and super-root-delivery
@@ -231,7 +231,7 @@ impl SimSubstrate {
 
 impl Substrate for SimSubstrate {
     fn n_procs(&self) -> u32 {
-        self.alive.len() as u32
+        self.faults.n()
     }
 
     fn is_live(&self, p: ProcId) -> bool {
@@ -252,7 +252,7 @@ impl Substrate for SimSubstrate {
         // A corrupting processor emits detectably wrong replica results
         // (§5.3 experiment) — the same send-side rule as the threaded
         // substrate, so replicated-voting runs agree across backends.
-        if !from.is_super_root() && self.corrupting[from.0 as usize] {
+        if !from.is_super_root() && self.faults.is_corrupting(from.0) {
             if let Msg::Result(rp) = &mut msg {
                 if rp.replica.is_some() {
                     rp.value = corrupt_value(&rp.value);
@@ -376,11 +376,9 @@ impl Machine {
             delivered: 0,
             dropped_to_dead: 0,
             bounces: 0,
-            alive: vec![true; n as usize],
-            live_count: n,
+            faults: FaultState::new(n),
             pending_real: 0,
             pending_sr_deliver: 0,
-            corrupting: vec![false; n as usize],
             busy_until: vec![VirtualTime::ZERO; n as usize],
             step_pending: vec![false; n as usize],
             state_samples: Vec::new(),
@@ -436,9 +434,9 @@ impl Machine {
     fn live_tasks(&self) -> u64 {
         self.nodes
             .iter()
-            .zip(&self.sub.alive)
-            .filter(|(_, alive)| **alive)
-            .map(|(n, _)| n.engine().task_count() as u64)
+            .enumerate()
+            .filter(|(i, _)| self.sub.faults.is_live(*i as u32))
+            .map(|(_, n)| n.engine().task_count() as u64)
             .sum()
     }
 
@@ -492,7 +490,7 @@ impl Machine {
             // `max_events`). Quiesce as stalled instead. Pending super-root
             // deliveries must drain first: one of them can be the result a
             // worker emitted just before the massacre.
-            if self.sub.live_count == 0 && self.sub.pending_sr_deliver == 0 {
+            if self.sub.faults.live_count() == 0 && self.sub.pending_sr_deliver == 0 {
                 break;
             }
         }
@@ -544,8 +542,8 @@ impl Machine {
                 let ready_somewhere = self
                     .nodes
                     .iter()
-                    .zip(&self.sub.alive)
-                    .any(|(n, alive)| *alive && n.has_ready());
+                    .enumerate()
+                    .any(|(i, n)| self.sub.faults.is_live(i as u32) && n.has_ready());
                 if self.sub.pending_real > 0 || ready_somewhere {
                     let next = self.sub.now + self.sub.sample_period;
                     self.sub.sched(next, Ev::Sample);
@@ -603,7 +601,8 @@ impl Machine {
     /// Ensures a Step event is pending when the processor has runnable work.
     fn poke(&mut self, proc: ProcId) {
         let i = proc.0 as usize;
-        if self.sub.alive[i] && !self.sub.step_pending[i] && self.nodes[i].has_ready() {
+        if self.sub.faults.is_live(proc.0) && !self.sub.step_pending[i] && self.nodes[i].has_ready()
+        {
             self.sub.step_pending[i] = true;
             let at = self.sub.busy_until[i].max(self.sub.now);
             self.sub.sched(at, Ev::Step { proc });
@@ -611,31 +610,20 @@ impl Machine {
     }
 
     fn fault(&mut self, victim: ProcId, kind: FaultKind) {
-        let Some(alive) = self.sub.alive.get_mut(victim.0 as usize) else {
-            return;
-        };
-        match kind {
-            FaultKind::Corrupt => {
-                // A crashed processor is fail-silent — it cannot start
-                // emitting corrupted messages. Keeping this a no-op (no
-                // flag, no trace event) makes corrupt-after-crash plans
-                // behave identically to crash-only plans on every backend.
-                if !*alive {
-                    return;
-                }
-                self.sub.corrupting[victim.0 as usize] = true;
-                let now = self.sub.now;
+        // The transition rules (incl. the corrupt-after-crash no-op: a
+        // crashed processor is fail-silent and cannot start emitting
+        // corrupted messages) live in the shared `FaultState`, so every
+        // backend applies plans identically; this handler only times them
+        // and drives the detector.
+        let now = self.sub.now;
+        match self.sub.faults.apply(victim.0, kind) {
+            FaultOutcome::Ignored => {}
+            FaultOutcome::Corrupted => {
                 self.sub
                     .trace
                     .record(now, "corrupt", || format!("{victim}"));
             }
-            FaultKind::Crash => {
-                if !*alive {
-                    return;
-                }
-                *alive = false;
-                self.sub.live_count -= 1;
-                let now = self.sub.now;
+            FaultOutcome::Crashed => {
                 self.sub.trace.record(now, "crash", || format!("{victim}"));
                 self.sub.report_death(victim);
             }

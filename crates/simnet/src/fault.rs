@@ -120,6 +120,139 @@ impl FaultPlan {
     }
 }
 
+/// What applying one [`FaultEvent`] actually did to the victim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The victim went from live to fail-silent dead.
+    Crashed,
+    /// The victim started emitting corrupted replica results.
+    Corrupted,
+    /// The fault was a no-op: the victim was already dead (a crashed
+    /// processor is fail-silent, so neither a second crash nor a later
+    /// corruption can change its behaviour).
+    Ignored,
+}
+
+/// The liveness/corruption state machine every backend drives while a
+/// plan's faults are applied. Keeping the transition rules here — in one
+/// place — is what guarantees that corrupt-after-crash plans behave
+/// identically on the simulator, the threaded runtime and the reactor:
+/// each backend owns *when* a fault lands, never *what* it does.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    alive: Vec<bool>,
+    corrupting: Vec<bool>,
+    live: u32,
+}
+
+impl FaultState {
+    /// All `n` processors live and honest.
+    pub fn new(n: u32) -> FaultState {
+        FaultState {
+            alive: vec![true; n as usize],
+            corrupting: vec![false; n as usize],
+            live: n,
+        }
+    }
+
+    /// Processor count.
+    pub fn n(&self) -> u32 {
+        self.alive.len() as u32
+    }
+
+    /// True while `victim` has not crashed (out-of-range reads false).
+    pub fn is_live(&self, victim: u32) -> bool {
+        self.alive.get(victim as usize).copied().unwrap_or(false)
+    }
+
+    /// True when `victim` emits corrupted replica results.
+    pub fn is_corrupting(&self, victim: u32) -> bool {
+        self.corrupting
+            .get(victim as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Processors still live.
+    pub fn live_count(&self) -> u32 {
+        self.live
+    }
+
+    /// Applies `kind` to `victim` and reports what happened. Faults on an
+    /// already-dead victim are [`FaultOutcome::Ignored`]; out-of-range
+    /// victims are ignored too.
+    pub fn apply(&mut self, victim: u32, kind: FaultKind) -> FaultOutcome {
+        let Some(alive) = self.alive.get_mut(victim as usize) else {
+            return FaultOutcome::Ignored;
+        };
+        if !*alive {
+            return FaultOutcome::Ignored;
+        }
+        match kind {
+            FaultKind::Crash => {
+                *alive = false;
+                self.live -= 1;
+                FaultOutcome::Crashed
+            }
+            FaultKind::Corrupt => {
+                self.corrupting[victim as usize] = true;
+                FaultOutcome::Corrupted
+            }
+        }
+    }
+}
+
+/// A [`FaultPlan`] normalized for execution: events in canonical time
+/// order behind a cursor, plus the [`FaultState`] transition rules. All
+/// three backends consume their plans through this one path — the
+/// simulator and the reactor poll it against virtual time, the threaded
+/// runtime's injector thread polls it against wall-clock-derived units —
+/// so plan semantics (ordering, dedup, the corrupt-after-crash no-op)
+/// cannot drift between schedulers.
+#[derive(Clone, Debug)]
+pub struct PlanRun {
+    events: Vec<FaultEvent>,
+    next: usize,
+    state: FaultState,
+}
+
+impl PlanRun {
+    /// Normalizes `plan` for a machine of `n` processors.
+    pub fn new(plan: &FaultPlan, n: u32) -> PlanRun {
+        PlanRun {
+            events: plan.sorted(),
+            next: 0,
+            state: FaultState::new(n),
+        }
+    }
+
+    /// The liveness/corruption state as applied so far.
+    pub fn state(&self) -> &FaultState {
+        &self.state
+    }
+
+    /// When the next unapplied fault lands, if any remain.
+    pub fn next_at(&self) -> Option<VirtualTime> {
+        self.events.get(self.next).map(|e| e.at)
+    }
+
+    /// True once every scheduled fault has been applied.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Applies and yields the next fault due at or before `now`, if any.
+    /// Call in a loop to drain everything due.
+    pub fn pop_due(&mut self, now: VirtualTime) -> Option<(FaultEvent, FaultOutcome)> {
+        let ev = *self.events.get(self.next)?;
+        if ev.at > now {
+            return None;
+        }
+        self.next += 1;
+        Some((ev, self.state.apply(ev.victim, ev.kind)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +300,43 @@ mod tests {
     fn random_crashes_cap_at_available_victims() {
         let p = FaultPlan::random_crashes(10, 4, (VirtualTime(0), VirtualTime(10)), &[0], 1);
         assert_eq!(p.events.len(), 3);
+    }
+
+    #[test]
+    fn plan_run_applies_in_order_with_the_no_op_rule() {
+        let plan = FaultPlan::crash_at(1, VirtualTime(100))
+            .and(1, VirtualTime(200), FaultKind::Corrupt)
+            .and(2, VirtualTime(150), FaultKind::Corrupt)
+            .and(1, VirtualTime(300), FaultKind::Crash);
+        let mut run = PlanRun::new(&plan, 4);
+        assert_eq!(run.next_at(), Some(VirtualTime(100)));
+        assert!(run.pop_due(VirtualTime(50)).is_none(), "nothing due yet");
+        let (ev, out) = run.pop_due(VirtualTime(150)).unwrap();
+        assert_eq!((ev.victim, out), (1, FaultOutcome::Crashed));
+        let (ev, out) = run.pop_due(VirtualTime(150)).unwrap();
+        assert_eq!((ev.victim, out), (2, FaultOutcome::Corrupted));
+        assert!(run.pop_due(VirtualTime(150)).is_none());
+        // Corrupting, then re-crashing, the dead victim is a no-op.
+        let (_, out) = run.pop_due(VirtualTime(1_000)).unwrap();
+        assert_eq!(out, FaultOutcome::Ignored);
+        let (_, out) = run.pop_due(VirtualTime(1_000)).unwrap();
+        assert_eq!(out, FaultOutcome::Ignored);
+        assert!(run.exhausted());
+        assert_eq!(run.next_at(), None);
+        assert_eq!(run.state().live_count(), 3);
+        assert!(!run.state().is_live(1));
+        assert!(run.state().is_corrupting(2));
+        assert!(!run.state().is_corrupting(1), "corrupt-after-crash ignored");
+    }
+
+    #[test]
+    fn fault_state_bounds_checks() {
+        let mut s = FaultState::new(2);
+        assert_eq!(s.n(), 2);
+        assert!(!s.is_live(7));
+        assert_eq!(s.apply(7, FaultKind::Crash), FaultOutcome::Ignored);
+        assert_eq!(s.apply(0, FaultKind::Corrupt), FaultOutcome::Corrupted);
+        assert!(s.is_live(0), "corruption does not kill");
+        assert_eq!(s.live_count(), 2);
     }
 }

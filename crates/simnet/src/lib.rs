@@ -28,7 +28,7 @@ pub mod topology;
 pub mod trace;
 
 pub use detect::DetectorConfig;
-pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use fault::{FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultState, PlanRun};
 pub use link::LinkModel;
 pub use queue::EventQueue;
 pub use time::VirtualTime;

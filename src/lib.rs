@@ -18,7 +18,9 @@
 //!   both machines pump;
 //! * [`simnet`] (= `splice-simnet`) — the discrete-event substrate;
 //! * [`gradient`] (= `splice-gradient`) — dynamic task allocation;
-//! * [`sim`] (= `splice-sim`) — the simulated machine and experiments;
+//! * [`sim`] (= `splice-sim`) — the simulated machine, the cooperative
+//!   reactor machine (thousands of engines on one thread), and the
+//!   experiments;
 //! * [`runtime`] (= `splice-runtime`) — the threaded machine.
 //!
 //! # Quickstart
@@ -51,7 +53,9 @@ pub mod prelude {
         VoteMode,
     };
     pub use splice_gradient::Policy;
-    pub use splice_sim::{run_workload, CostModel, Machine, MachineConfig, RunReport};
+    pub use splice_sim::{
+        run_reactor, run_workload, CostModel, Machine, MachineConfig, ReactorMachine, RunReport,
+    };
     pub use splice_simnet::{
         DetectorConfig, FaultKind, FaultPlan, LinkModel, Topology, VirtualTime,
     };

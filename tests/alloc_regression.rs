@@ -111,4 +111,27 @@ fn steady_state_pump_stays_under_allocation_ceiling() {
         "Action grew past 32 bytes: {}",
         std::mem::size_of::<splice::core::engine::Action>()
     );
+
+    // The reactor pump must inherit the allocation-free hot loop: one
+    // reusable `ActionSink` per `DriverLoop`, recycled task frames and
+    // evaluator pools, mailbox/ready/wheel storage that reaches steady
+    // state. Same workload, same claim, own ceiling (the reactor has no
+    // DES event queue and delivers without latency, so it allocates less
+    // than the simulator run above).
+    const REACTOR_CEILING: u64 = 9_000;
+    let mut cfg = MachineConfig::new(4);
+    cfg.recovery.load_beacon_period = 200;
+    let machine = splice::sim::reactor::ReactorMachine::new(cfg, &w);
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let report = machine.run(&FaultPlan::none());
+    COUNTING.store(false, Ordering::Relaxed);
+    let reactor_allocs = ALLOCS.load(Ordering::Relaxed);
+    assert!(report.completed, "reactor run must complete");
+    assert_eq!(report.result, Some(w.reference_result().unwrap()));
+    assert!(
+        reactor_allocs < REACTOR_CEILING,
+        "reactor steady-state pump allocated {reactor_allocs} times \
+         (ceiling {REACTOR_CEILING}); a hot-path allocation crept in"
+    );
 }

@@ -1,0 +1,225 @@
+//! Differential fault-plan fuzzing: the DES simulator and the cooperative
+//! reactor are two *independent* schedulers for the same protocol engine
+//! (globally time-ordered event queue vs wake-ordered cooperative turns).
+//! The paper argues the recovery protocol's outcome does not depend on how
+//! processors are scheduled — so for any fault plan the two backends must
+//! agree on the verdict (completed / stalled) and, when a run completes,
+//! on the final wave value (which must equal the reference evaluator's).
+//!
+//! Every proptest case derives a random plan — multi-fault crashes with
+//! optionally protected processors, corrupt-after-crash mixes, whole-shard
+//! massacres, whole-system death — and drives both backends with the same
+//! seed and configuration. Fault instants are drawn from the middle of the
+//! *shorter* backend's fault-free timeline, so each fault demonstrably
+//! lands mid-run on both machines (faults can only push completion later,
+//! never earlier). This is exactly the regime where the slow-ack /
+//! fast-notice class of bugs (PRs 2 and 4) was hiding: a scheduler
+//! ordering one backend can produce and the other cannot.
+
+use proptest::prelude::*;
+use splice::core::config::RecoveryMode;
+use splice::gradient::Policy;
+use splice::prelude::*;
+use splice::sim::reactor::run_reactor;
+use splice::sim::report::RunReport;
+use splice::simnet::fault::FaultKind;
+
+/// splitmix64 — the deterministic stream all plan shapes are derived from.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Small, fast workloads — each fuzz case runs four full machine
+/// executions (two baselines, two faulted runs).
+fn workload(idx: u64) -> Workload {
+    match idx % 3 {
+        0 => Workload::fib(9),
+        1 => Workload::dcsum(0, 24),
+        _ => Workload::quicksort(12, 5),
+    }
+}
+
+fn flat_cfg(n: u32, mode: RecoveryMode) -> MachineConfig {
+    let mut c = MachineConfig::new(n);
+    c.policy = Policy::RoundRobin;
+    c.recovery.mode = mode;
+    // Beacons rearm forever and keep a genuinely wedged run "busy";
+    // disabling them keeps quiescence detection crisp on both backends.
+    c.recovery.load_beacon_period = 0;
+    // A wedge bug should fail fast, not grind through 200M events.
+    c.max_events = 2_000_000;
+    c
+}
+
+fn sharded_cfg(shards: u32, per_shard: u32, mode: RecoveryMode) -> MachineConfig {
+    let mut c = MachineConfig::sharded(shards, per_shard, 200);
+    c.policy = Policy::RoundRobin;
+    c.recovery.mode = mode;
+    c.recovery.load_beacon_period = 0;
+    c.max_events = 2_000_000;
+    c
+}
+
+/// The fault window: instants inside the middle of the shorter fault-free
+/// timeline, so every fault lands while both machines are still running.
+fn fault_window(cfg: &MachineConfig, w: &Workload) -> (u64, u64) {
+    let sim = run_workload(cfg.clone(), w, &FaultPlan::none());
+    assert!(sim.completed, "sim fault-free baseline stalled: {}", w.name);
+    let rea = run_reactor(cfg.clone(), w, &FaultPlan::none());
+    assert!(
+        rea.completed,
+        "reactor fault-free baseline stalled: {}",
+        w.name
+    );
+    let horizon = sim.finish.ticks().min(rea.finish.ticks());
+    (horizon / 6 + 1, 2 * horizon / 3 + 2)
+}
+
+fn verdict(r: &RunReport) -> (bool, bool) {
+    (r.completed, r.stalled)
+}
+
+/// Drives `plan` through both backends and asserts scheduler-independent
+/// outcomes: same verdict, same value, and any completed value equals the
+/// reference evaluator's.
+fn assert_backend_parity(cfg: &MachineConfig, w: &Workload, plan: &FaultPlan) {
+    let sim = run_workload(cfg.clone(), w, plan);
+    let rea = run_reactor(cfg.clone(), w, plan);
+    assert!(
+        sim.completed || sim.stalled,
+        "sim tripped its event budget on {} under {plan:?}",
+        w.name
+    );
+    assert!(
+        rea.completed || rea.stalled,
+        "reactor tripped its pump budget on {} under {plan:?}",
+        w.name
+    );
+    assert_eq!(
+        verdict(&sim),
+        verdict(&rea),
+        "verdict split on {} under {plan:?}: sim {:?} vs reactor {:?}",
+        w.name,
+        verdict(&sim),
+        verdict(&rea)
+    );
+    assert_eq!(
+        sim.result, rea.result,
+        "value split on {} under {plan:?}",
+        w.name
+    );
+    if sim.completed {
+        assert_eq!(
+            sim.result,
+            Some(w.reference_result().unwrap()),
+            "both backends agreed on a wrong answer for {} under {plan:?}",
+            w.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Flat machines: multi-fault crash plans (with and without protected
+    /// processors, up to and including whole-system death) mixed with
+    /// corrupt faults, including corrupt-after-crash on the same victim.
+    #[test]
+    fn sim_and_reactor_agree_on_flat_plans(seed in any::<u64>(), shape in 0u8..3) {
+        let mut s = seed;
+        let n = 3 + (mix(&mut s) % 5) as u32; // 3..=7 processors
+        let mode = if mix(&mut s).is_multiple_of(4) {
+            RecoveryMode::Rollback
+        } else {
+            RecoveryMode::Splice
+        };
+        let w = workload(mix(&mut s));
+        let cfg = flat_cfg(n, mode);
+        let (lo, hi) = fault_window(&cfg, &w);
+        let plan = match shape {
+            0 => {
+                // k distinct random victims; sometimes processor 0 (the
+                // launch rotor's first pick) is protected. k can reach n:
+                // whole-system death, which must stall identically.
+                let protect: &[u32] = if mix(&mut s).is_multiple_of(2) { &[0] } else { &[] };
+                let k = (mix(&mut s) % u64::from(n + 1)) as usize;
+                FaultPlan::random_crashes(
+                    k,
+                    n,
+                    (VirtualTime(lo), VirtualTime(hi)),
+                    protect,
+                    mix(&mut s),
+                )
+            }
+            1 => {
+                // Every processor dies at one instant: verdict parity on
+                // the stall side.
+                let t = VirtualTime(lo + mix(&mut s) % (hi - lo).max(1));
+                let mut p = FaultPlan::none();
+                for v in 0..n {
+                    p = p.and(v, t, FaultKind::Crash);
+                }
+                p
+            }
+            _ => {
+                // Crash + corruption mix: one victim crashes then is
+                // "corrupted" (must be a no-op on both backends), a second
+                // live processor corrupts mid-run (inert without
+                // replication), and maybe one more crash.
+                let victim = (mix(&mut s) % u64::from(n)) as u32;
+                let other = (victim + 1 + (mix(&mut s) % u64::from(n - 1)) as u32) % n;
+                let t = lo + mix(&mut s) % (hi - lo).max(1);
+                let mut p = FaultPlan::crash_at(victim, VirtualTime(t))
+                    .and(victim, VirtualTime(t + 1), FaultKind::Corrupt)
+                    .and(other, VirtualTime(lo), FaultKind::Corrupt);
+                if mix(&mut s).is_multiple_of(2) && n > 2 {
+                    let third = (other + 1) % n;
+                    if third != victim {
+                        p = p.and(third, VirtualTime(hi), FaultKind::Crash);
+                    }
+                }
+                p
+            }
+        };
+        assert_backend_parity(&cfg, &w, &plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharded machines behind the inter-shard router: whole-shard
+    /// massacres and cross-shard multi-fault plans — the decorator stack
+    /// (`ShardRouter` over `BatchingSubstrate`) composes identically over
+    /// the DES and the reactor, router surcharges included.
+    #[test]
+    fn sim_and_reactor_agree_on_sharded_plans(seed in any::<u64>(), whole_shard in any::<bool>()) {
+        let mut s = seed;
+        let shards = 2 + (mix(&mut s) % 2) as u32; // 2..=3
+        let per_shard = 2 + (mix(&mut s) % 2) as u32; // 2..=3
+        let n = shards * per_shard;
+        let w = workload(mix(&mut s));
+        let cfg = sharded_cfg(shards, per_shard, RecoveryMode::Splice);
+        let (lo, hi) = fault_window(&cfg, &w);
+        let t = VirtualTime(lo + mix(&mut s) % (hi - lo).max(1));
+        let plan = if whole_shard {
+            // One whole shard dies — possibly shard 0, which hosts the
+            // root at launch.
+            let shard = (mix(&mut s) % u64::from(shards)) as u32;
+            FaultPlan::crash_shard(shard, per_shard, t)
+        } else {
+            FaultPlan::random_crashes(
+                1 + (mix(&mut s) % u64::from(n - 1)) as usize,
+                n,
+                (VirtualTime(lo), VirtualTime(hi)),
+                &[],
+                mix(&mut s),
+            )
+        };
+        assert_backend_parity(&cfg, &w, &plan);
+    }
+}

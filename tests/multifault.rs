@@ -113,6 +113,66 @@ fn great_grandparent_chain_rescues_the_same_scenario() {
 }
 
 #[test]
+fn different_branch_faults_recover_on_the_reactor_with_bounded_gossip() {
+    // The E9 different-branches scenario ported to the cooperative
+    // reactor: two far-apart crashes, independent recovery, and the same
+    // `known_dead` gossip bound the DES test pins — each of the 12 engines
+    // broadcasts each of the 2 deaths at most once to its ≤ 11 peers.
+    let w = Workload::mapreduce(0, 32, 8);
+    let mut cfg = MachineConfig::new(12);
+    cfg.recovery.mode = RecoveryMode::Splice;
+    let fault_free = splice::sim::run_reactor(cfg.clone(), &w, &FaultPlan::none());
+    assert!(fault_free.completed, "reactor baseline stalled");
+    assert_eq!(
+        fault_free.stats.sent_of(MsgKind::FailureNotice),
+        0,
+        "no deaths, no gossip"
+    );
+    let t = fault_free.finish.ticks();
+    let faults = FaultPlan::crash_at(2, VirtualTime((t / 3).max(1))).and(
+        9,
+        VirtualTime((t / 3).max(1)),
+        FaultKind::Crash,
+    );
+    let r = splice::sim::run_reactor(cfg, &w, &faults);
+    assert!(r.completed, "reactor multi-fault run stalled");
+    assert_eq!(r.result, Some(w.reference_result().unwrap()));
+    let notices = r.stats.sent_of(MsgKind::FailureNotice);
+    assert!(notices > 0, "deaths must be gossiped");
+    assert!(
+        notices <= 2 * 12 * 11,
+        "redundant failure-notice broadcasts on the reactor: {notices}"
+    );
+}
+
+#[test]
+fn multi_fault_protected_plan_recovers_on_the_threaded_runtime_with_bounded_gossip() {
+    // The simulator's multi-fault generator (protected processors
+    // included) driving the threaded machine through the shared
+    // `run_plan` path, with the same bounded-notice assertion: deaths ×
+    // engines × peers is the gossip ceiling `known_dead` dedup enforces.
+    use splice::runtime::{run_plan, RuntimeConfig};
+    let w = Workload::fib(16);
+    let mut cfg = RuntimeConfig::new(4);
+    cfg.recovery.mode = RecoveryMode::Splice;
+    cfg.recovery.load_beacon_period = 0;
+    // Gradient placement gives every engine a beacon neighbourhood to
+    // gossip to (round-robin placers have none, so notices would be 0).
+    cfg.policy = splice::gradient::Policy::Gradient;
+    // 400–1200 units × 25µs = crashes between 10ms and 30ms of fib(16)'s
+    // 40ms+ runtime; processor 0 (the launch host) is protected.
+    let plan = FaultPlan::random_crashes(2, 4, (VirtualTime(400), VirtualTime(1_200)), &[0], 7);
+    assert_eq!(plan.crashes(), 2);
+    let r = run_plan(cfg, &w, &plan);
+    assert_eq!(r.result, Some(w.reference_result().unwrap()));
+    let notices = r.stats.sent_of(MsgKind::FailureNotice);
+    assert!(
+        notices <= 2 * 4 * 3,
+        "redundant failure-notice broadcasts on the runtime: {notices}"
+    );
+}
+
+#[test]
 fn deeper_chains_never_hurt_correctness() {
     let w = Workload::dcsum(0, 96);
     for depth in [2usize, 3, 4, 5] {

@@ -1,12 +1,13 @@
-//! Driver parity: the simulator and the threaded runtime run the *same*
-//! engine under the *same* shared driver loop (`splice-harness`), so for
-//! the same workload and the same fault plan they must produce the same
-//! answers — fault-free, under crashes with splice recovery, and under
-//! corruption with replicated voting.
+//! Driver parity: the simulator, the threaded runtime and the cooperative
+//! reactor run the *same* engine under the *same* shared driver loop
+//! (`splice-harness`), so for the same workload and the same fault plan
+//! they must produce the same answers — fault-free, under crashes with
+//! splice recovery, and under corruption with replicated voting.
 //!
 //! `splice::runtime::run_plan` maps a simulator [`FaultPlan`]'s virtual
-//! fault times onto the wall clock, so one plan literally drives both
-//! [`Substrate`](splice::harness::Substrate) implementations.
+//! fault times onto the wall clock, so one plan literally drives all three
+//! [`Substrate`](splice::harness::Substrate) implementations. (Exhaustive
+//! sim-vs-reactor plan coverage lives in `tests/backend_fuzz.rs`.)
 
 use splice::prelude::*;
 use splice::runtime::{run as run_threads, run_plan, CrashAt, RuntimeConfig};
@@ -25,15 +26,24 @@ fn rt_cfg(mode: RecoveryMode) -> RuntimeConfig {
     cfg
 }
 
-/// Feeds the identical workload + fault plan through both substrates and
-/// checks both `result`s against the reference evaluator (and therefore
-/// against each other).
+/// Feeds the identical workload + fault plan through all three substrates
+/// and checks every `result` against the reference evaluator (and
+/// therefore against the others).
 fn both_agree_on_plan(w: &Workload, mode: RecoveryMode, plan: &FaultPlan) {
     let expected = w.reference_result().unwrap();
 
     let sim_report = run_workload(sim_cfg(mode), w, plan);
     assert!(sim_report.completed, "sim stalled: {}", w.name);
     assert_eq!(sim_report.result, Some(expected.clone()), "sim: {}", w.name);
+
+    let re_report = run_reactor(sim_cfg(mode), w, plan);
+    assert!(re_report.completed, "reactor stalled: {}", w.name);
+    assert_eq!(
+        re_report.result,
+        Some(expected.clone()),
+        "reactor: {}",
+        w.name
+    );
 
     let rt_report = run_plan(rt_cfg(mode), w, plan);
     assert_eq!(rt_report.result, Some(expected), "threads: {}", w.name);
@@ -134,6 +144,45 @@ fn rollback_parity_under_crash() {
     let w = Workload::fib(13);
     let plan = FaultPlan::crash_at(1, VirtualTime(400));
     both_agree_on_plan(&w, RecoveryMode::Rollback, &plan);
+}
+
+#[test]
+fn bounce_only_discovery_parity_across_all_three_backends() {
+    // Detector disabled everywhere: no simulator notice broadcasts
+    // (`DetectorConfig::broadcast = false`), no reactor notices, no
+    // heartbeat monitor on the threads (`detector_broadcast = false`).
+    // Failures are discovered exclusively through bounced sends, salvage
+    // arrivals and ack timeouts — and recovery must still complete with
+    // the reference answer on every backend.
+    let w = Workload::fib(14);
+    let expected = w.reference_result().unwrap();
+
+    let mut sim = sim_cfg(RecoveryMode::Splice);
+    sim.detector.broadcast = false;
+    let sim_ff = run_workload(sim.clone(), &w, &FaultPlan::none());
+    assert!(sim_ff.completed);
+    let plan = FaultPlan::crash_at(2, VirtualTime(sim_ff.finish.ticks() / 3));
+    let sim_report = run_workload(sim, &w, &plan);
+    assert!(sim_report.completed, "bounce-only sim stalled");
+    assert_eq!(sim_report.result, Some(expected.clone()), "sim");
+    assert!(sim_report.bounces > 0, "sim never bounced a send");
+
+    let mut rea = sim_cfg(RecoveryMode::Splice);
+    rea.detector.broadcast = false;
+    let rea_ff = run_reactor(rea.clone(), &w, &FaultPlan::none());
+    assert!(rea_ff.completed);
+    let rea_plan = FaultPlan::crash_at(2, VirtualTime(rea_ff.finish.ticks() / 3));
+    let rea_report = run_reactor(rea, &w, &rea_plan);
+    assert!(rea_report.completed, "bounce-only reactor stalled");
+    assert_eq!(rea_report.result, Some(expected.clone()), "reactor");
+    assert!(rea_report.bounces > 0, "reactor never bounced a send");
+
+    let mut rt = rt_cfg(RecoveryMode::Splice);
+    rt.detector_broadcast = false;
+    // Tick 400 = 10ms: early enough that the victim holds live tasks.
+    let rt_report = run_plan(rt, &w, &FaultPlan::crash_at(2, VirtualTime(400)));
+    assert_eq!(rt_report.result, Some(expected), "threads");
+    assert_eq!(rt_report.detections, 0, "no monitor, no detections");
 }
 
 #[test]
