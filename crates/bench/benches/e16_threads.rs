@@ -1,0 +1,71 @@
+//! E16 (threads) — the multi-core parallel reactor: completion wall-clock
+//! across a pumps × engines sweep, with a mid-run massacre case at the
+//! largest count.
+//!
+//! The scenario (config, workload, sweep) is shared with
+//! `splice_bench::{e16_threads_config, E16_THREADS, E16_THREAD_ENGINES}`
+//! so the experiments bin and the `bench_trajectory` trajectory file
+//! always measure the same thing. Machine construction is part of the
+//! measured body — partitioning tens of thousands of engines across pumps
+//! is itself a scaling property. Speedup over the single-thread rows is a
+//! property of the host: on a single-core container the extra pumps only
+//! buy barrier overhead, and the numbers say so honestly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_bench::{
+    assert_correct, criterion as tuned, e16_threads_config, e16_workload, E16_THREADS,
+    E16_THREAD_ENGINES,
+};
+use splice_sim::parallel::run_parallel_reactor;
+use splice_simnet::fault::{FaultKind, FaultPlan};
+use splice_simnet::time::VirtualTime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_threads");
+    let w = e16_workload();
+
+    for engines in E16_THREAD_ENGINES {
+        for threads in E16_THREADS {
+            g.bench_function(format!("t{threads}_n{engines}_fault_free"), |b| {
+                b.iter(|| {
+                    let r = run_parallel_reactor(
+                        e16_threads_config(engines, threads),
+                        &w,
+                        &FaultPlan::none(),
+                    );
+                    assert_correct(&w, &r);
+                    r.finish
+                })
+            });
+        }
+    }
+
+    // One recovery case: an entire pump's partition dies mid-run and the
+    // survivors splice the orphaned work back together across pump
+    // boundaries (stealing rebalances what the dead pump left behind).
+    let engines = E16_THREAD_ENGINES[0];
+    let threads = *E16_THREADS.last().unwrap();
+    let base = run_parallel_reactor(e16_threads_config(engines, threads), &w, &FaultPlan::none());
+    assert_correct(&w, &base);
+    let crash = VirtualTime((base.finish.ticks() / 2).max(1));
+    let victims = engines - engines / threads..engines;
+    g.bench_function(format!("t{threads}_n{engines}_pump_massacre"), |b| {
+        b.iter(|| {
+            let mut plan = FaultPlan::none();
+            for v in victims.clone() {
+                plan = plan.and(v, crash, FaultKind::Crash);
+            }
+            let r = run_parallel_reactor(e16_threads_config(engines, threads), &w, &plan);
+            assert_correct(&w, &r);
+            r.finish
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

@@ -101,6 +101,17 @@ pub struct Config {
     /// death bounded at one broadcast per engine instead of echoing every
     /// redundant notice back into the network.
     pub gossip_notices: bool,
+    /// When true, an ack-timeout on a child that *was* placed (the ack
+    /// arrived; the result has not) re-arms the timer and sends a
+    /// payload-free [`Msg::Probe`](crate::packet::Msg::Probe) to the
+    /// child's host. A live host ignores the probe; a dead one bounces
+    /// it, and the bounce feeds the normal failure-discovery path. This
+    /// is what keeps a machine with no broadcasting failure detector
+    /// live: bounces and ack timeouts only cover *unacked* spawns, so
+    /// without probing a parent waits forever on an acked child whose
+    /// host died silently. Machines force-enable it whenever the
+    /// detector broadcast is off.
+    pub probe_acked: bool,
 }
 
 impl Default for Config {
@@ -114,6 +125,7 @@ impl Default for Config {
             load_beacon_period: 500,
             splice_grace: 0,
             gossip_notices: true,
+            probe_acked: false,
         }
     }
 }

@@ -303,6 +303,9 @@ impl Engine {
                 self.placer.on_load(from, pressure);
             }
             Msg::FailureNotice { dead } => self.on_proc_dead(dead, sink),
+            // A delivered probe answers itself: the sender only learns
+            // anything when the transport bounces one.
+            Msg::Probe => {}
         }
     }
 
@@ -330,8 +333,14 @@ impl Engine {
                     self.relay_salvage_upward(sp);
                 }
             }
-            // Lost acks/aborts/loads/notices carry no recoverable intent.
-            Msg::Ack { .. } | Msg::Abort { .. } | Msg::Load { .. } | Msg::FailureNotice { .. } => {}
+            // Lost acks/aborts/loads/notices/probes carry no recoverable
+            // intent beyond the death itself (handled above). A bounced
+            // probe in particular has done its whole job by bouncing.
+            Msg::Ack { .. }
+            | Msg::Abort { .. }
+            | Msg::Load { .. }
+            | Msg::FailureNotice { .. }
+            | Msg::Probe => {}
         }
     }
 
@@ -344,16 +353,39 @@ impl Engine {
                     stamp,
                     incarnation,
                 } = *t;
+                // An unacked child is reissued outright. An acked child
+                // with an overdue result is (optionally) probed instead:
+                // its host may have died silently, and with the detector
+                // broadcast off nothing else would ever tell us.
+                let mut probe = None;
                 let needs_reissue =
                     match self.tasks.get(&owner).and_then(|t| t.children.get(&stamp)) {
                         Some(ci) if !ci.done && ci.incarnation == incarnation => {
-                            ci.current_addr().is_none()
+                            match ci.current_addr() {
+                                None => true,
+                                Some(addr) => {
+                                    if self.config.probe_acked && addr.proc != self.id {
+                                        probe = Some(addr.proc);
+                                    }
+                                    false
+                                }
+                            }
                         }
                         _ => false,
                     };
                 if needs_reissue {
                     self.stats.ack_timeouts += 1;
                     self.reissue_child(owner, &stamp, sink);
+                } else if let Some(host) = probe {
+                    // Live host: no-op. Dead host: the bounce runs the
+                    // full discovery path (`on_send_failed`). Either way
+                    // the re-armed timer keeps polling until the child
+                    // retires or is reissued under a new incarnation.
+                    self.send(sink, host, Msg::Probe);
+                    sink.push(Action::SetTimer {
+                        timer: Timer::ack_timeout(owner, stamp, incarnation),
+                        delay: self.config.ack_timeout,
+                    });
                 }
             }
             Timer::GraceReissue(t) => {
@@ -1439,5 +1471,113 @@ mod tests {
         assert_eq!(e.task_count(), 0);
         assert!(e.stats().tasks_created > created_first);
         assert!(e.checkpoints().is_empty());
+    }
+
+    /// Sends every child to one fixed peer (the probe tests need a child
+    /// that is placed — and acked — remotely).
+    struct PeerPlacer(ProcId);
+
+    impl Placer for PeerPlacer {
+        fn place(&mut self, _packet: &TaskPacket, _avoid: &FxHashSet<ProcId>) -> ProcId {
+            self.0
+        }
+    }
+
+    /// Spawns the root on an engine that places children on `ProcId(1)` and
+    /// runs waves until the first child spawn leaves, returning the engine,
+    /// the outgoing packet and the ack timer guarding it.
+    fn engine_with_remote_child(cfg: Config, w: &Workload) -> (Engine, Box<TaskPacket>, Timer) {
+        let mut e = Engine::new(
+            ProcId(0),
+            Arc::new(w.program.clone()),
+            cfg,
+            Box::new(PeerPlacer(ProcId(1))),
+        );
+        let mut sink = ActionSink::new();
+        e.on_message(Msg::spawn(root_packet(w)), &mut sink);
+        let mut spawn: Option<Box<TaskPacket>> = None;
+        let mut timer: Option<Timer> = None;
+        for _ in 0..100 {
+            if spawn.is_some() && timer.is_some() {
+                break;
+            }
+            let key = e.pop_ready().expect("root must spawn children");
+            e.run_wave(key, &mut sink);
+            for a in sink.drain() {
+                match a {
+                    Action::Send {
+                        to,
+                        msg: Msg::Spawn(p),
+                    } if to == ProcId(1) && spawn.is_none() => spawn = Some(p),
+                    Action::SetTimer {
+                        timer: t @ Timer::AckTimeout(_),
+                        ..
+                    } if timer.is_none() => timer = Some(t),
+                    _ => {}
+                }
+            }
+        }
+        let spawn = spawn.expect("child spawn emitted");
+        let timer = timer.expect("ack timer armed");
+        if let Timer::AckTimeout(at) = &timer {
+            assert_eq!(at.stamp, spawn.stamp, "timer guards the captured spawn");
+        }
+        (e, spawn, timer)
+    }
+
+    #[test]
+    fn ack_timeout_probes_acked_children_when_enabled() {
+        let w = Workload::fib(6);
+        let mut cfg = Config::with_mode(RecoveryMode::Splice);
+        cfg.load_beacon_period = 0;
+        cfg.probe_acked = true;
+        let (mut e, spawn, timer) = engine_with_remote_child(cfg, &w);
+        let child_addr = TaskAddr::new(ProcId(1), TaskKey(7));
+        pump(
+            &mut e,
+            Msg::ack(spawn.stamp.clone(), child_addr, spawn.parent.addr, 0),
+        );
+        let mut sink = ActionSink::new();
+        e.on_timer(timer, &mut sink);
+        let acts = sink.drain_to_vec();
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, Action::Send { to, msg: Msg::Probe } if *to == ProcId(1))),
+            "placed child with an overdue result is probed: {acts:?}"
+        );
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::SetTimer {
+                    timer: Timer::AckTimeout(_),
+                    ..
+                }
+            )),
+            "the probe re-arms the poll: {acts:?}"
+        );
+        assert_eq!(
+            e.stats().reissues,
+            0,
+            "acked children are never reissued blind"
+        );
+    }
+
+    #[test]
+    fn ack_timeout_on_acked_child_is_silent_without_probing() {
+        let w = Workload::fib(6);
+        let mut cfg = Config::with_mode(RecoveryMode::Splice);
+        cfg.load_beacon_period = 0;
+        let (mut e, spawn, timer) = engine_with_remote_child(cfg, &w);
+        let child_addr = TaskAddr::new(ProcId(1), TaskKey(7));
+        pump(
+            &mut e,
+            Msg::ack(spawn.stamp.clone(), child_addr, spawn.parent.addr, 0),
+        );
+        let mut sink = ActionSink::new();
+        e.on_timer(timer, &mut sink);
+        assert!(
+            sink.drain_to_vec().is_empty(),
+            "paper default: an acked child is trusted until a notice or bounce"
+        );
     }
 }

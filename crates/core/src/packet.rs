@@ -209,6 +209,11 @@ pub enum Msg {
         /// The failed processor.
         dead: ProcId,
     },
+    /// Liveness probe: a parent polling the host of an acked child whose
+    /// result is overdue (`Config::probe_acked`). Carries no payload — a
+    /// live recipient ignores it; a dead one bounces it, and the bounce
+    /// is the detection.
+    Probe,
 }
 
 impl Msg {
@@ -252,6 +257,7 @@ impl Msg {
             Msg::Abort { .. } => MsgKind::Abort,
             Msg::Load { .. } => MsgKind::Load,
             Msg::FailureNotice { .. } => MsgKind::FailureNotice,
+            Msg::Probe => MsgKind::Probe,
         }
     }
 
@@ -275,6 +281,7 @@ impl Msg {
             Msg::Abort { .. } => 1,
             Msg::Load { .. } => 1,
             Msg::FailureNotice { .. } => 1,
+            Msg::Probe => 1,
         }
     }
 }
@@ -290,11 +297,12 @@ pub enum MsgKind {
     Abort,
     Load,
     FailureNotice,
+    Probe,
 }
 
 impl MsgKind {
     /// All message kinds, for iteration in reports.
-    pub const ALL: [MsgKind; 7] = [
+    pub const ALL: [MsgKind; 8] = [
         MsgKind::Spawn,
         MsgKind::Ack,
         MsgKind::Result,
@@ -302,6 +310,7 @@ impl MsgKind {
         MsgKind::Abort,
         MsgKind::Load,
         MsgKind::FailureNotice,
+        MsgKind::Probe,
     ];
 }
 
@@ -315,6 +324,7 @@ impl fmt::Display for MsgKind {
             MsgKind::Abort => "abort",
             MsgKind::Load => "load",
             MsgKind::FailureNotice => "failure-notice",
+            MsgKind::Probe => "probe",
         };
         f.write_str(s)
     }
@@ -420,6 +430,7 @@ mod tests {
                 pressure: 3,
             },
             Msg::FailureNotice { dead: ProcId(1) },
+            Msg::Probe,
         ];
         let kinds: Vec<MsgKind> = msgs.iter().map(Msg::kind).collect();
         assert_eq!(kinds, MsgKind::ALL.to_vec());

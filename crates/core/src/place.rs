@@ -13,6 +13,7 @@
 use crate::ids::ProcId;
 use crate::packet::TaskPacket;
 use splice_applicative::{FxHashMap, FxHashSet};
+use std::sync::Arc;
 
 /// A dynamic task-allocation policy, one instance per processor.
 pub trait Placer: Send {
@@ -126,15 +127,20 @@ impl Placer for ScriptedPlacer {
 
 /// Deterministic round-robin over a fixed processor set, skipping dead
 /// processors. The simplest "real" distributed placer; used as a baseline.
+///
+/// The roster is a shared `Arc<[ProcId]>`: a machine builds one placer per
+/// engine, and at tens of thousands of engines a per-placer roster copy
+/// would be O(n²) memory.
 #[derive(Debug)]
 pub struct RoundRobinPlacer {
-    procs: Vec<ProcId>,
+    procs: Arc<[ProcId]>,
     next: usize,
 }
 
 impl RoundRobinPlacer {
     /// Round-robin over `procs` (must be non-empty).
-    pub fn new(procs: Vec<ProcId>) -> RoundRobinPlacer {
+    pub fn new(procs: impl Into<Arc<[ProcId]>>) -> RoundRobinPlacer {
+        let procs = procs.into();
         assert!(!procs.is_empty());
         RoundRobinPlacer { procs, next: 0 }
     }

@@ -21,9 +21,9 @@ pub struct ProcStats {
     /// Abstract work units (AST nodes walked).
     pub work_units: u64,
     /// Messages sent, by kind.
-    pub msgs_sent: [u64; 7],
+    pub msgs_sent: [u64; MsgKind::ALL.len()],
     /// Messages received, by kind.
-    pub msgs_recv: [u64; 7],
+    pub msgs_recv: [u64; MsgKind::ALL.len()],
     /// Abstract bytes sent.
     pub bytes_sent: u64,
     /// Child spawns emitted (original placements only).
@@ -107,7 +107,7 @@ impl AddAssign<&ProcStats> for ProcStats {
         self.tasks_completed += rhs.tasks_completed;
         self.waves_run += rhs.waves_run;
         self.work_units += rhs.work_units;
-        for i in 0..7 {
+        for i in 0..MsgKind::ALL.len() {
             self.msgs_sent[i] += rhs.msgs_sent[i];
             self.msgs_recv[i] += rhs.msgs_recv[i];
         }

@@ -7,16 +7,20 @@ use splice_applicative::FxHashSet;
 use splice_core::ids::ProcId;
 use splice_core::packet::TaskPacket;
 use splice_core::place::Placer;
+use std::sync::Arc;
 
-/// Uniform-random placement over a fixed processor set.
+/// Uniform-random placement over a fixed processor set. The roster is a
+/// shared `Arc<[ProcId]>` — one placer per engine must not mean one roster
+/// copy per engine.
 pub struct RandomPlacer {
-    procs: Vec<ProcId>,
+    procs: Arc<[ProcId]>,
     rng: StdRng,
 }
 
 impl RandomPlacer {
     /// Random placement over `procs`, deterministic per `seed`.
-    pub fn new(procs: Vec<ProcId>, seed: u64) -> RandomPlacer {
+    pub fn new(procs: impl Into<Arc<[ProcId]>>, seed: u64) -> RandomPlacer {
+        let procs = procs.into();
         assert!(!procs.is_empty());
         RandomPlacer {
             procs,
@@ -45,14 +49,17 @@ impl Placer for RandomPlacer {
 /// a useful upper-bound baseline for load-balance quality.
 pub struct LeastLoadedPlacer {
     here: ProcId,
-    procs: Vec<ProcId>,
+    procs: Arc<[ProcId]>,
     loads: Vec<u32>,
     local: u32,
 }
 
 impl LeastLoadedPlacer {
-    /// Least-loaded placement over `procs`.
-    pub fn new(here: ProcId, procs: Vec<ProcId>) -> LeastLoadedPlacer {
+    /// Least-loaded placement over `procs`. (The beacon-load table stays
+    /// per-placer — it is this processor's view — so this placer is still
+    /// O(n) memory per engine; it is only realistic on small machines.)
+    pub fn new(here: ProcId, procs: impl Into<Arc<[ProcId]>>) -> LeastLoadedPlacer {
+        let procs = procs.into();
         let n = procs.len();
         LeastLoadedPlacer {
             here,

@@ -27,6 +27,10 @@
 //!   per-engine mailboxes, a ready queue with waker flags, timer and
 //!   delayed-send wheels, and a virtual-or-wall [`ReactorClock`] — so one
 //!   thread pumps thousands of engines with no thread-per-processor limit;
+//! * [`parallel`] — [`ReactorCluster`], the multi-core reactor: one
+//!   [`Pump`] per core, cross-reactor sends over per-pair bounded links,
+//!   barrier-granular work stealing, driven in virtual-clock rounds by a
+//!   coordinating front-end;
 //! * [`timer`] — [`TimerWheel`], the earliest-deadline store (engine
 //!   timers by default, any payload — the reactor parks delayed sends on
 //!   it too) used by substrates whose clock is not an event queue;
@@ -41,6 +45,7 @@
 
 pub mod batch;
 pub mod driver;
+pub mod parallel;
 pub mod reactor;
 pub mod report;
 pub mod shard;
@@ -49,6 +54,10 @@ pub mod timer;
 
 pub use batch::{BatchStats, BatchingSubstrate};
 pub use driver::{DriverLoop, SuperRootDriver};
+pub use parallel::{
+    ClusterMap, Migration, Pump, PumpHarvest, PumpSubstrate, ReactorCluster, RoundInput,
+    RoundOutput, Transfer,
+};
 pub use reactor::{Inbound, ReactorClock, ReactorSubstrate};
 pub use report::{EngineSnapshot, EngineTotals};
 pub use shard::{ShardMap, ShardRouter, ShardStats};

@@ -612,7 +612,12 @@ fn worker(
     cfg: RuntimeConfig,
 ) {
     let placer = cfg.policy.build(ProcId(id), &cfg.topology, cfg.seed);
-    let mut node = DriverLoop::new(ProcId(id), program, cfg.recovery.clone(), placer);
+    // Same rule as the simulated machines: with the heartbeat monitor off,
+    // acked-child probing is the only way a parent ever learns its child's
+    // host died silently.
+    let mut recovery = cfg.recovery.clone();
+    recovery.probe_acked |= !cfg.detector_broadcast;
+    let mut node = DriverLoop::new(ProcId(id), program, recovery, placer);
     let mut wheel: TimerWheel<Instant> = TimerWheel::new();
     {
         let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel);

@@ -5,31 +5,58 @@
 //! runtime needs from crossbeam). See `crates/shims/README.md`.
 
 /// Multi-producer channels with the `crossbeam-channel` API surface used
-/// by this workspace: `unbounded`, `send`, `recv`, `try_recv`,
-/// `recv_timeout`.
+/// by this workspace: `unbounded`, `bounded`, `send`, `try_send`, `recv`,
+/// `try_recv`, `recv_timeout`.
 pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
-    /// The sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    /// The two std flavours behind the one crossbeam `Sender` type
+    /// (crossbeam uses a single sender for bounded and unbounded channels;
+    /// std splits them into `Sender`/`SyncSender`).
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Tx<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            })
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends `value`, failing only if all receivers dropped.
+        /// Sends `value`; on a bounded channel this blocks while the
+        /// buffer is full. Fails only if all receivers dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            match &self.0 {
+                Tx::Unbounded(tx) => tx.send(value),
+                Tx::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Non-blocking send: on a full bounded channel this returns
+        /// [`TrySendError::Full`] instead of blocking; an unbounded
+        /// channel is never full.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+                Tx::Bounded(tx) => tx.try_send(value),
+            }
         }
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
     impl<T> Receiver<T> {
@@ -52,7 +79,15 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight values;
+    /// `send` blocks while the buffer is full (the parallel reactor's
+    /// inter-reactor links rely on this backpressure bound).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
     }
 
     #[cfg(test)]
@@ -70,6 +105,44 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(1)),
                 Err(RecvTimeoutError::Disconnected)
             ));
+        }
+
+        #[test]
+        fn bounded_preserves_fifo_and_reports_full() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            tx.send(3).unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_a_slot_frees() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2).unwrap());
+            std::thread::sleep(Duration::from_millis(5));
+            assert_eq!(rx.recv().unwrap(), 1, "first value still queued");
+            assert_eq!(rx.recv().unwrap(), 2, "blocked send completed");
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn bounded_clone_shares_the_buffer() {
+            let (tx, rx) = bounded::<u32>(2);
+            let tx2 = tx.clone();
+            tx.try_send(1).unwrap();
+            tx2.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(9), Err(TrySendError::Full(9))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            drop(tx);
+            drop(tx2);
+            assert!(matches!(rx.recv(), Err(RecvError)));
         }
     }
 }

@@ -148,6 +148,9 @@ mod tests {
             batch_envelopes: 0,
             batch_msgs: 0,
             faults: 0,
+            threads: 1,
+            msgs_cross_reactor: 0,
+            steals: 0,
         }
     }
 

@@ -7,6 +7,9 @@
 //!   substrate: thousands of `DriverLoop`s pumped from a ready queue on
 //!   one thread (same `MachineConfig`/`FaultPlan` in, same `RunReport`
 //!   out);
+//! * [`parallel`] — the multi-core reactor: one pump per core, BSP
+//!   virtual-clock rounds, work stealing across pumps — deterministic for
+//!   a fixed thread count, verdict/value-par with every other backend;
 //! * [`cost`] — the execution cost model;
 //! * [`report`] — per-run measurements;
 //! * [`figure1`] — the paper's Figure 1 scenario, scripted;
@@ -22,10 +25,12 @@ pub mod cost;
 pub mod experiment;
 pub mod figure1;
 pub mod machine;
+pub mod parallel;
 pub mod reactor;
 pub mod report;
 
 pub use cost::CostModel;
 pub use machine::{run_workload, Machine, MachineConfig};
+pub use parallel::{run_parallel_reactor, ParallelReactorMachine};
 pub use reactor::{run_reactor, ReactorMachine};
 pub use report::RunReport;

@@ -63,6 +63,10 @@ pub struct MachineConfig {
     pub batch_window: u64,
     /// Seed for stochastic placers and jitter.
     pub seed: u64,
+    /// OS threads (reactor pumps) the parallel-reactor backend spreads
+    /// the engines over; every other backend ignores it. Clamped to
+    /// `[1, n_procs]` at machine build time.
+    pub threads: u32,
     /// Hard event budget (guards against divergence).
     pub max_events: u64,
     /// Hard virtual-time budget.
@@ -85,6 +89,7 @@ impl MachineConfig {
             router_latency: 0,
             batch_window: 0,
             seed: 1,
+            threads: 1,
             max_events: 200_000_000,
             max_time: VirtualTime(u64::MAX / 4),
             trace: 0,
@@ -127,6 +132,18 @@ impl MachineConfig {
         cfg.batch_window = window;
         cfg.recovery.ack_timeout += 4 * window;
         cfg
+    }
+
+    /// The recovery config the engines actually run: [`Self::recovery`],
+    /// except that a machine whose failure detector never broadcasts
+    /// (`detector.broadcast == false`) force-enables acked-child probing.
+    /// Bounces and ack timeouts only cover unacked spawns; without either
+    /// notices or probes, a parent would wait forever on an acked child
+    /// whose host died silently.
+    pub fn engine_recovery(&self) -> RecoveryConfig {
+        let mut rec = self.recovery.clone();
+        rec.probe_acked |= !self.detector.broadcast;
+        rec
     }
 }
 
@@ -341,7 +358,11 @@ impl Machine {
         let topo = cfg.topology.clone();
         let policy = cfg.policy;
         let seed = cfg.seed;
-        Machine::with_placer_factory(cfg, workload, |p| policy.build(p, &topo, seed))
+        // One shared roster for every per-engine placer: per-placer roster
+        // copies would make an n-engine build O(n^2) memory.
+        let all: std::sync::Arc<[splice_core::ids::ProcId]> =
+            (0..topo.len()).map(splice_core::ids::ProcId).collect();
+        Machine::with_placer_factory(cfg, workload, |p| policy.build_shared(p, &topo, seed, &all))
     }
 
     /// Builds a machine with custom placers (used by scripted scenarios such
@@ -354,13 +375,14 @@ impl Machine {
         let n = cfg.topology.len();
         assert!(n >= 1, "need at least one processor");
         let program = Arc::new(workload.program.clone());
+        let recovery = cfg.engine_recovery();
         let mut nodes = Vec::with_capacity(n as usize);
         for i in 0..n {
             let id = ProcId(i);
             nodes.push(DriverLoop::new(
                 id,
                 program.clone(),
-                cfg.recovery.clone(),
+                recovery.clone(),
                 factory(id),
             ));
         }
@@ -666,6 +688,9 @@ impl Machine {
             batch_envelopes: batch_stats.envelopes,
             batch_msgs: batch_stats.messages,
             faults: faults.events.len(),
+            threads: 1,
+            msgs_cross_reactor: 0,
+            steals: 0,
         }
     }
 }

@@ -75,7 +75,13 @@ impl ReactorMachine {
         let topo = cfg.topology.clone();
         let policy = cfg.policy;
         let seed = cfg.seed;
-        ReactorMachine::with_placer_factory(cfg, workload, |p| policy.build(p, &topo, seed))
+        // One shared roster for every per-engine placer: per-placer roster
+        // copies would make an n-engine build O(n^2) memory.
+        let all: std::sync::Arc<[splice_core::ids::ProcId]> =
+            (0..topo.len()).map(splice_core::ids::ProcId).collect();
+        ReactorMachine::with_placer_factory(cfg, workload, |p| {
+            policy.build_shared(p, &topo, seed, &all)
+        })
     }
 
     /// Builds a reactor machine with custom placers.
@@ -87,13 +93,14 @@ impl ReactorMachine {
         let n = cfg.topology.len();
         assert!(n >= 1, "need at least one processor");
         let program = Arc::new(workload.program.clone());
+        let recovery = cfg.engine_recovery();
         let mut nodes = Vec::with_capacity(n as usize);
         for i in 0..n {
             let id = ProcId(i);
             nodes.push(DriverLoop::new(
                 id,
                 program.clone(),
-                cfg.recovery.clone(),
+                recovery.clone(),
                 factory(id),
             ));
         }
@@ -315,6 +322,9 @@ impl ReactorMachine {
             batch_envelopes: batch_stats.envelopes,
             batch_msgs: batch_stats.messages,
             faults: faults.events.len(),
+            threads: 1,
+            msgs_cross_reactor: 0,
+            steals: 0,
         }
     }
 }
@@ -501,6 +511,27 @@ mod tests {
         assert!(r.completed, "bounce-only reactor recovery stalled");
         assert_eq!(r.result, Some(w.reference_result().unwrap()));
         assert!(r.bounces > 0, "discovery must have come from bounces");
+    }
+
+    #[test]
+    fn silent_massacre_of_acked_hosts_is_discovered_by_probes() {
+        // Round-robin has no beacon neighbourhood, so gossip has nowhere
+        // to go, and the coarse reactor clock lands the crash after most
+        // placements are acked: without acked-child probing the parents
+        // of children on the dead hosts would wait forever (nothing ever
+        // bounces — the sends all completed before the crash).
+        let w = Workload::fib(12);
+        let mut c = cfg(256);
+        c.recovery.mode = RecoveryMode::Splice;
+        c.detector.broadcast = false;
+        let crash = ff_finish(&c, &w) / 2;
+        let mut faults = FaultPlan::none();
+        for v in (1..128u32).step_by(2) {
+            faults = faults.and(v, VirtualTime(crash.max(1)), FaultKind::Crash);
+        }
+        let r = run_reactor(c, &w, &faults);
+        assert!(r.completed, "silent-massacre reactor recovery stalled");
+        assert_eq!(r.result, Some(w.reference_result().unwrap()));
     }
 
     #[test]

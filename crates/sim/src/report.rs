@@ -63,6 +63,15 @@ pub struct RunReport {
     pub batch_msgs: u64,
     /// Number of injected faults.
     pub faults: usize,
+    /// OS threads the backend executed on (1 for the DES, the simulator
+    /// and the single-thread reactor; the pump count on the parallel
+    /// reactor).
+    pub threads: u32,
+    /// Worker messages that crossed a reactor-pump boundary (every
+    /// forwarding hop counts; 0 on single-pump backends).
+    pub msgs_cross_reactor: u64,
+    /// Engines migrated between reactor pumps by work stealing.
+    pub steals: u64,
 }
 
 impl RunReport {
@@ -170,6 +179,9 @@ mod tests {
             batch_envelopes: 0,
             batch_msgs: 0,
             faults: 0,
+            threads: 1,
+            msgs_cross_reactor: 0,
+            steals: 0,
         }
     }
 

@@ -54,7 +54,8 @@ pub mod prelude {
     };
     pub use splice_gradient::Policy;
     pub use splice_sim::{
-        run_reactor, run_workload, CostModel, Machine, MachineConfig, ReactorMachine, RunReport,
+        run_parallel_reactor, run_reactor, run_workload, CostModel, Machine, MachineConfig,
+        ParallelReactorMachine, ReactorMachine, RunReport,
     };
     pub use splice_simnet::{
         DetectorConfig, FaultKind, FaultPlan, LinkModel, Topology, VirtualTime,

@@ -134,4 +134,34 @@ fn steady_state_pump_stays_under_allocation_ceiling() {
         "reactor steady-state pump allocated {reactor_allocs} times \
          (ceiling {REACTOR_CEILING}); a hot-path allocation crept in"
     );
+
+    // The parallel reactor adds per-round coordination on top of the pump
+    // loop: barrier commands, one envelope per peer link per round, and
+    // coordinator-side fan-in. The envelope buffers circulate through a
+    // pool (a drained peer envelope becomes the next outbound buffer) and
+    // the round-trip structures ping-pong between coordinator and pumps,
+    // so what remains per round is the channel traffic itself — a handful
+    // of queue nodes — never per-message or per-engine allocation. Own
+    // ceiling, measured with the same workload at two pumps (~7,800 on
+    // this container; headroom over that, and well under the ~15,000 a
+    // per-send envelope allocation would cost).
+    const PARALLEL_CEILING: u64 = 10_000;
+    let mut cfg = MachineConfig::new(4);
+    cfg.recovery.load_beacon_period = 200;
+    cfg.threads = 2;
+    let machine = splice::sim::parallel::ParallelReactorMachine::new(cfg, &w);
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let report = machine.run(&FaultPlan::none());
+    COUNTING.store(false, Ordering::Relaxed);
+    let parallel_allocs = ALLOCS.load(Ordering::Relaxed);
+    assert!(report.completed, "parallel reactor run must complete");
+    assert_eq!(report.result, Some(w.reference_result().unwrap()));
+    assert_eq!(report.threads, 2);
+    assert!(
+        parallel_allocs < PARALLEL_CEILING,
+        "parallel-reactor steady-state pump allocated {parallel_allocs} \
+         times (ceiling {PARALLEL_CEILING}); a per-send or per-engine \
+         allocation crept into the round loop"
+    );
 }

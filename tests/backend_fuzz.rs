@@ -1,10 +1,13 @@
-//! Differential fault-plan fuzzing: the DES simulator and the cooperative
-//! reactor are two *independent* schedulers for the same protocol engine
-//! (globally time-ordered event queue vs wake-ordered cooperative turns).
-//! The paper argues the recovery protocol's outcome does not depend on how
-//! processors are scheduled — so for any fault plan the two backends must
-//! agree on the verdict (completed / stalled) and, when a run completes,
-//! on the final wave value (which must equal the reference evaluator's).
+//! Differential fault-plan fuzzing: the DES simulator, the cooperative
+//! reactor and the multi-core parallel reactor are *independent*
+//! schedulers for the same protocol engine (globally time-ordered event
+//! queue vs wake-ordered cooperative turns vs BSP rounds over real OS
+//! threads). The paper argues the recovery protocol's outcome does not
+//! depend on how processors are scheduled — so for any fault plan the
+//! backends must agree on the verdict (completed / stalled) and, when a
+//! run completes, on the final wave value (which must equal the reference
+//! evaluator's). The parallel leg additionally pins thread-count
+//! independence: the same plan at 1, 2 and 4 pumps.
 //!
 //! Every proptest case derives a random plan — multi-fault crashes with
 //! optionally protected processors, corrupt-after-crash mixes, whole-shard
@@ -20,6 +23,7 @@ use proptest::prelude::*;
 use splice::core::config::RecoveryMode;
 use splice::gradient::Policy;
 use splice::prelude::*;
+use splice::sim::parallel::run_parallel_reactor;
 use splice::sim::reactor::run_reactor;
 use splice::sim::report::RunReport;
 use splice::simnet::fault::FaultKind;
@@ -122,6 +126,74 @@ fn assert_backend_parity(cfg: &MachineConfig, w: &Workload, plan: &FaultPlan) {
     }
 }
 
+/// Thread counts every parallel-leg case runs at: the inline single pump,
+/// the smallest genuinely-parallel fleet, and a fleet wider than most of
+/// the fuzzed machines (some pumps host a single engine).
+const THREAD_COUNTS: [u32; 3] = [1, 2, 4];
+
+/// The parallel leg's fault window: the minimum over the DES baseline and
+/// the parallel baselines at every fuzzed thread count, so each fault
+/// demonstrably lands mid-run on every machine shape.
+fn parallel_fault_window(cfg: &MachineConfig, w: &Workload) -> (u64, u64) {
+    let sim = run_workload(cfg.clone(), w, &FaultPlan::none());
+    assert!(sim.completed, "sim fault-free baseline stalled: {}", w.name);
+    let mut horizon = sim.finish.ticks();
+    for threads in THREAD_COUNTS {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let par = run_parallel_reactor(c, w, &FaultPlan::none());
+        assert!(
+            par.completed,
+            "{threads}-thread fault-free baseline stalled: {}",
+            w.name
+        );
+        horizon = horizon.min(par.finish.ticks());
+    }
+    (horizon / 6 + 1, 2 * horizon / 3 + 2)
+}
+
+/// Drives `plan` through the DES and the parallel reactor at every thread
+/// count and asserts scheduler- *and* thread-count-independent outcomes.
+fn assert_parallel_parity(cfg: &MachineConfig, w: &Workload, plan: &FaultPlan) {
+    let sim = run_workload(cfg.clone(), w, plan);
+    assert!(
+        sim.completed || sim.stalled,
+        "sim tripped its event budget on {} under {plan:?}",
+        w.name
+    );
+    for threads in THREAD_COUNTS {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let par = run_parallel_reactor(c, w, plan);
+        assert!(
+            par.completed || par.stalled,
+            "{threads}-thread parallel reactor tripped its budget on {} under {plan:?}",
+            w.name
+        );
+        assert_eq!(
+            verdict(&sim),
+            verdict(&par),
+            "verdict split on {} under {plan:?}: sim {:?} vs {threads}-thread parallel {:?}",
+            w.name,
+            verdict(&sim),
+            verdict(&par)
+        );
+        assert_eq!(
+            sim.result, par.result,
+            "value split on {} at {threads} threads under {plan:?}",
+            w.name
+        );
+    }
+    if sim.completed {
+        assert_eq!(
+            sim.result,
+            Some(w.reference_result().unwrap()),
+            "all backends agreed on a wrong answer for {} under {plan:?}",
+            w.name
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -186,6 +258,96 @@ proptest! {
             }
         };
         assert_backend_parity(&cfg, &w, &plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Flat machines on the parallel reactor: the same multi-fault crash
+    /// and corrupt-after-crash shapes as the sim/reactor leg, each plan
+    /// run at 1, 2 and 4 pumps — every run must match the DES verdict and
+    /// value, whatever partition the engines land in. (Fewer cases than
+    /// the single-thread legs: each case is eight full machine runs.)
+    #[test]
+    fn sim_and_parallel_reactor_agree_on_flat_plans(seed in any::<u64>(), shape in 0u8..3) {
+        let mut s = seed;
+        let n = 3 + (mix(&mut s) % 5) as u32; // 3..=7 processors
+        let mode = if mix(&mut s).is_multiple_of(4) {
+            RecoveryMode::Rollback
+        } else {
+            RecoveryMode::Splice
+        };
+        let w = workload(mix(&mut s));
+        let cfg = flat_cfg(n, mode);
+        let (lo, hi) = parallel_fault_window(&cfg, &w);
+        let plan = match shape {
+            0 => {
+                let protect: &[u32] = if mix(&mut s).is_multiple_of(2) { &[0] } else { &[] };
+                let k = (mix(&mut s) % u64::from(n + 1)) as usize;
+                FaultPlan::random_crashes(
+                    k,
+                    n,
+                    (VirtualTime(lo), VirtualTime(hi)),
+                    protect,
+                    mix(&mut s),
+                )
+            }
+            1 => {
+                // Whole-system death: the all-dead stall must be detected
+                // on every pump count.
+                let t = VirtualTime(lo + mix(&mut s) % (hi - lo).max(1));
+                let mut p = FaultPlan::none();
+                for v in 0..n {
+                    p = p.and(v, t, FaultKind::Crash);
+                }
+                p
+            }
+            _ => {
+                // Crash + corruption mix, corrupt-after-crash included.
+                let victim = (mix(&mut s) % u64::from(n)) as u32;
+                let other = (victim + 1 + (mix(&mut s) % u64::from(n - 1)) as u32) % n;
+                let t = lo + mix(&mut s) % (hi - lo).max(1);
+                FaultPlan::crash_at(victim, VirtualTime(t))
+                    .and(victim, VirtualTime(t + 1), FaultKind::Corrupt)
+                    .and(other, VirtualTime(lo), FaultKind::Corrupt)
+            }
+        };
+        assert_parallel_parity(&cfg, &w, &plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded machines on the parallel reactor: whole-shard massacres and
+    /// cross-shard multi-fault plans with the full decorator stack
+    /// (`ShardRouter` over `BatchingSubstrate` over the pump substrate),
+    /// each at 1, 2 and 4 pumps. Shard boundaries and pump boundaries
+    /// deliberately do not coincide.
+    #[test]
+    fn sim_and_parallel_reactor_agree_on_sharded_plans(seed in any::<u64>(), whole_shard in any::<bool>()) {
+        let mut s = seed;
+        let shards = 2 + (mix(&mut s) % 2) as u32; // 2..=3
+        let per_shard = 2 + (mix(&mut s) % 2) as u32; // 2..=3
+        let n = shards * per_shard;
+        let w = workload(mix(&mut s));
+        let cfg = sharded_cfg(shards, per_shard, RecoveryMode::Splice);
+        let (lo, hi) = parallel_fault_window(&cfg, &w);
+        let t = VirtualTime(lo + mix(&mut s) % (hi - lo).max(1));
+        let plan = if whole_shard {
+            let shard = (mix(&mut s) % u64::from(shards)) as u32;
+            FaultPlan::crash_shard(shard, per_shard, t)
+        } else {
+            FaultPlan::random_crashes(
+                1 + (mix(&mut s) % u64::from(n - 1)) as usize,
+                n,
+                (VirtualTime(lo), VirtualTime(hi)),
+                &[],
+                mix(&mut s),
+            )
+        };
+        assert_parallel_parity(&cfg, &w, &plan);
     }
 }
 
