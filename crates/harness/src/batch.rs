@@ -24,6 +24,7 @@ use splice_core::engine::Timer;
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
 use splice_core::sink::ActionSink;
+use splice_simnet::trace::TraceKind;
 
 /// Per-run batching accounting.
 #[derive(Clone, Copy, Debug, Default)]
@@ -182,6 +183,14 @@ impl<S: Substrate> Substrate for BatchingSubstrate<S> {
 
     fn complete_wave(&mut self, proc: ProcId, sink: &mut ActionSink, work: u64) {
         self.inner.complete_wave(proc, sink, work);
+    }
+
+    fn trace(&mut self, kind: TraceKind) {
+        self.inner.trace(kind);
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.inner.trace_enabled()
     }
 }
 

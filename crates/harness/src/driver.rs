@@ -4,6 +4,7 @@
 //! backend carries protocol plumbing of its own.
 
 use crate::substrate::{dispatch, Substrate};
+use crate::trace::{kind_tag, msg_digest, timer_digest};
 use splice_applicative::{Program, Value, Workload};
 use splice_core::config::Config;
 use splice_core::engine::{Engine, Timer};
@@ -57,18 +58,38 @@ impl DriverLoop {
 
     /// Delivers `msg` to the engine.
     pub fn on_message<S: Substrate + ?Sized>(&mut self, msg: Msg, sub: &mut S) {
+        if sub.trace_enabled() {
+            sub.trace(splice_simnet::trace::TraceKind::Deliver {
+                to: self.engine.id().0,
+                kind: kind_tag(msg.kind()),
+                digest: msg_digest(&msg),
+            });
+        }
         self.engine.on_message(msg, &mut self.sink);
         dispatch(sub, self.engine.id(), &mut self.sink);
     }
 
     /// Fires `timer` on the engine.
     pub fn on_timer<S: Substrate + ?Sized>(&mut self, timer: Timer, sub: &mut S) {
+        if sub.trace_enabled() {
+            sub.trace(splice_simnet::trace::TraceKind::TimerFire {
+                owner: self.engine.id().0,
+                digest: timer_digest(&timer),
+            });
+        }
         self.engine.on_timer(timer, &mut self.sink);
         dispatch(sub, self.engine.id(), &mut self.sink);
     }
 
     /// Reports that a best-effort send to `dead` bounced.
     pub fn on_send_failed<S: Substrate + ?Sized>(&mut self, dead: ProcId, msg: Msg, sub: &mut S) {
+        if sub.trace_enabled() {
+            sub.trace(splice_simnet::trace::TraceKind::Bounce {
+                sender: self.engine.id().0,
+                dead: dead.0,
+                kind: kind_tag(msg.kind()),
+            });
+        }
         self.engine.on_send_failed(dead, msg, &mut self.sink);
         dispatch(sub, self.engine.id(), &mut self.sink);
     }
@@ -84,6 +105,12 @@ impl DriverLoop {
             return false;
         };
         let work = self.engine.run_wave(key, &mut self.sink);
+        if sub.trace_enabled() {
+            sub.trace(splice_simnet::trace::TraceKind::Wave {
+                owner: self.engine.id().0,
+                work,
+            });
+        }
         sub.complete_wave(self.engine.id(), &mut self.sink, work);
         if !self.sink.is_empty() {
             dispatch(sub, self.engine.id(), &mut self.sink);

@@ -35,7 +35,12 @@
 //!   timers by default, any payload — the reactor parks delayed sends on
 //!   it too) used by substrates whose clock is not an event queue;
 //! * [`report`] — [`EngineSnapshot`] / [`EngineTotals`], the per-engine
-//!   measurement capture both machines aggregate into their run reports.
+//!   measurement capture both machines aggregate into their run reports;
+//! * [`trace`] — [`TracingSubstrate`], the canonical-trace decorator: sits
+//!   innermost in any stack and records the typed
+//!   [`TraceEvent`](splice_simnet::trace::TraceEvent) stream (deliveries,
+//!   timer fires, bounces, waves, completions) the driver loop narrates
+//!   through [`Substrate::trace`], with stable payload digests.
 //!
 //! Adding a backend (an async reactor, a sharded multi-process transport, a
 //! batched-delivery bus) means implementing [`Substrate`] and pumping
@@ -51,6 +56,7 @@ pub mod report;
 pub mod shard;
 pub mod substrate;
 pub mod timer;
+pub mod trace;
 
 pub use batch::{BatchStats, BatchingSubstrate};
 pub use driver::{DriverLoop, SuperRootDriver};
@@ -63,3 +69,4 @@ pub use report::{EngineSnapshot, EngineTotals};
 pub use shard::{ShardMap, ShardRouter, ShardStats};
 pub use substrate::{corrupt_value, death_notice_targets, dispatch, dispatch_iter, Substrate};
 pub use timer::TimerWheel;
+pub use trace::{complete_digest, kind_tag, msg_digest, timer_digest, TracingSubstrate};

@@ -36,11 +36,13 @@ use crate::reactor::Inbound;
 use crate::shard::{ShardMap, ShardRouter, ShardStats};
 use crate::substrate::{corrupt_value, Substrate};
 use crate::timer::TimerWheel;
+use crate::trace::TracingSubstrate;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use splice_core::engine::Timer;
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
 use splice_core::sink::ActionSink;
+use splice_simnet::trace::{TraceMode, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -456,8 +458,9 @@ impl Substrate for PumpSubstrate {
     }
 }
 
-/// The per-pump decorator stack — the same shape as every other backend.
-pub type PumpStack = ShardRouter<BatchingSubstrate<PumpSubstrate>>;
+/// The per-pump decorator stack — the same shape as every other backend,
+/// canonical tracer innermost so events carry the barrier clock.
+pub type PumpStack = ShardRouter<BatchingSubstrate<TracingSubstrate<PumpSubstrate>>>;
 
 /// What the coordinator hands a pump at the top of a round.
 pub struct RoundInput {
@@ -524,6 +527,9 @@ pub struct PumpHarvest {
     pub shard_stats: ShardStats,
     /// This pump's batching-bus accounting.
     pub batch_stats: BatchStats,
+    /// This pump's canonical-trace head (events, checksums), for the
+    /// coordinator to fold in pump order.
+    pub tracer: Tracer,
 }
 
 /// One reactor pump: a partition of the engines, their substrate stack,
@@ -550,6 +556,7 @@ impl Pump {
     /// Builds pump `id` of `n_pumps` hosting `engines`, with the standard
     /// decorator stack (`map`/`router_latency` for the shard router,
     /// `batch_window` for the bus) over the pump substrate.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: u32,
         n_pumps: u32,
@@ -558,6 +565,7 @@ impl Pump {
         map: ShardMap,
         router_latency: u64,
         batch_window: u64,
+        trace: TraceMode,
     ) -> Pump {
         let n = cluster.n() as usize;
         let mut core = PumpSubstrate::new(cluster, n_pumps);
@@ -570,7 +578,10 @@ impl Pump {
             id,
             cells,
             sub: ShardRouter::new(
-                BatchingSubstrate::new(core, batch_window),
+                BatchingSubstrate::new(
+                    TracingSubstrate::new(core, Tracer::new(trace)),
+                    batch_window,
+                ),
                 map,
                 router_latency,
             ),
@@ -783,9 +794,10 @@ impl Pump {
 
     /// Dismantles the pump into its harvest.
     pub fn harvest(self) -> PumpHarvest {
-        let Pump { cells, sub, .. } = self;
+        let Pump { cells, mut sub, .. } = self;
         let shard_stats = sub.stats().clone();
         let batch_stats = *sub.inner().batch_stats();
+        let tracer = std::mem::take(sub.inner_mut().inner_mut().tracer_mut());
         // Dropping the stack flushes the (empty) bus into the core.
         let core: &PumpSubstrate = &sub;
         let (delivered, dropped_to_dead, bounces, msgs_cross) = (
@@ -806,6 +818,7 @@ impl Pump {
             msgs_cross,
             shard_stats,
             batch_stats,
+            tracer,
         }
     }
 }

@@ -15,6 +15,7 @@ use splice_core::engine::Timer;
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
 use splice_core::ActionSink;
+use splice_simnet::trace::TraceKind;
 
 /// The processor-to-shard partition: `shards` shards of `per_shard`
 /// processors, processor `p` in shard `p / per_shard`.
@@ -251,6 +252,14 @@ impl<S: Substrate> Substrate for ShardRouter<S> {
 
     fn complete_wave(&mut self, proc: ProcId, sink: &mut ActionSink, work: u64) {
         self.inner.complete_wave(proc, sink, work);
+    }
+
+    fn trace(&mut self, kind: TraceKind) {
+        self.inner.trace(kind);
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.inner.trace_enabled()
     }
 }
 

@@ -6,6 +6,7 @@ use splice_core::engine::{Action, Timer};
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
 use splice_core::sink::ActionSink;
+use splice_simnet::trace::TraceKind;
 
 /// A transport-and-clock backend under the shared driver loop.
 ///
@@ -66,6 +67,22 @@ pub trait Substrate {
     /// wrapped around it.
     fn complete_wave(&mut self, proc: ProcId, sink: &mut ActionSink, work: u64) {
         let _ = (proc, sink, work);
+    }
+
+    /// Records one canonical trace event. The driver loop narrates
+    /// deliveries, timer fires and waves through this hook; decorators
+    /// forward it inward so it reaches the
+    /// [`TracingSubstrate`](crate::trace::TracingSubstrate) (which
+    /// timestamps it with the core clock), and untraced stacks keep this
+    /// no-op default.
+    fn trace(&mut self, kind: TraceKind) {
+        let _ = kind;
+    }
+
+    /// True when [`Substrate::trace`] events will actually be retained —
+    /// callers use this to skip payload digest work on untraced runs.
+    fn trace_enabled(&self) -> bool {
+        false
     }
 }
 

@@ -32,11 +32,12 @@ use splice_core::stats::ProcStats;
 use splice_gradient::Policy;
 use splice_harness::{
     corrupt_value, death_notice_targets, BatchingSubstrate, DriverLoop, EngineSnapshot,
-    EngineTotals, ShardMap, ShardRouter, Substrate, SuperRootDriver, TimerWheel,
+    EngineTotals, ShardMap, ShardRouter, Substrate, SuperRootDriver, TimerWheel, TracingSubstrate,
 };
 use splice_simnet::fault::{FaultKind, FaultOutcome, FaultPlan, PlanRun};
 use splice_simnet::time::VirtualTime;
 use splice_simnet::topology::Topology;
+use splice_simnet::trace::{TraceMode, TraceSummary, Tracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -81,6 +82,13 @@ pub struct RuntimeConfig {
     pub detector_broadcast: bool,
     /// Seed for stochastic placers.
     pub seed: u64,
+    /// Canonical-trace mode. Each worker owns a tracer; the per-worker
+    /// summaries merge into [`RuntimeReport::trace`] in processor order.
+    /// Event timestamps derive from the wall clock, so the order-sensitive
+    /// stream checksum is *not* reproducible across runs here — only the
+    /// commutative semantic checksum is comparable to the deterministic
+    /// backends.
+    pub trace: TraceMode,
 }
 
 impl RuntimeConfig {
@@ -99,6 +107,7 @@ impl RuntimeConfig {
             batch_window: 0,
             detector_broadcast: true,
             seed: 1,
+            trace: TraceMode::Off,
         }
     }
 }
@@ -136,6 +145,10 @@ pub struct RuntimeReport {
     pub bounces: u64,
     /// Times the super-root reissued the root.
     pub root_reissues: u64,
+    /// Merged per-worker canonical-trace fingerprint (processor order).
+    /// The semantic checksum is cross-backend comparable; the stream
+    /// checksum is wall-clock-ordered and varies run to run.
+    pub trace: TraceSummary,
 }
 
 enum Envelope {
@@ -214,6 +227,8 @@ struct Shared {
     epoch: Instant,
     done: AtomicBool,
     snapshots: Vec<Mutex<EngineSnapshot>>,
+    /// Per-worker trace fingerprints, published at worker exit.
+    trace_sums: Vec<Mutex<TraceSummary>>,
 }
 
 impl Shared {
@@ -317,10 +332,11 @@ fn pump_sub<'a>(
     me: Option<u32>,
     cfg: &RuntimeConfig,
     wheel: &'a mut TimerWheel<Instant>,
-) -> ShardRouter<BatchingSubstrate<ThreadSubstrate<'a>>> {
+    tracer: &'a mut Tracer,
+) -> ShardRouter<BatchingSubstrate<TracingSubstrate<ThreadSubstrate<'a>, &'a mut Tracer>>> {
     let inner = ThreadSubstrate::new(shared, me, cfg.time_unit, wheel);
     ShardRouter::new(
-        BatchingSubstrate::new(inner, cfg.batch_window),
+        BatchingSubstrate::new(TracingSubstrate::new(inner, tracer), cfg.batch_window),
         ShardMap::new(cfg.topology.shard_count(), cfg.topology.per_shard()),
         cfg.router_latency,
     )
@@ -463,6 +479,9 @@ pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> Ru
         snapshots: (0..n)
             .map(|_| Mutex::new(EngineSnapshot::default()))
             .collect(),
+        trace_sums: (0..n)
+            .map(|_| Mutex::new(TraceSummary::default()))
+            .collect(),
     });
 
     // Workers.
@@ -540,9 +559,12 @@ pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> Ru
     let start = Instant::now();
     let mut superroot = SuperRootDriver::new(workload, &cfg.recovery);
     let mut wheel: TimerWheel<Instant> = TimerWheel::new();
+    // The super-root's pumps are deliberately untraced, like on every
+    // other backend (the driver link is out-of-band).
+    let mut sr_tracer = Tracer::new(TraceMode::Off);
     let mut detections = 0u64;
     {
-        let mut sub = pump_sub(&shared, None, &cfg, &mut wheel);
+        let mut sub = pump_sub(&shared, None, &cfg, &mut wheel, &mut sr_tracer);
         superroot.launch(&mut sub);
     }
 
@@ -552,17 +574,17 @@ pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> Ru
         }
         // Fire due super-root timers.
         while let Some(timer) = wheel.pop_due(&Instant::now()) {
-            let mut sub = pump_sub(&shared, None, &cfg, &mut wheel);
+            let mut sub = pump_sub(&shared, None, &cfg, &mut wheel, &mut sr_tracer);
             superroot.on_timer(timer, &mut sub);
         }
         match sr_rx.recv_timeout(Duration::from_millis(1)) {
             Ok(Envelope::Net { msg }) => {
-                let mut sub = pump_sub(&shared, None, &cfg, &mut wheel);
+                let mut sub = pump_sub(&shared, None, &cfg, &mut wheel, &mut sr_tracer);
                 superroot.on_message(msg, &mut sub);
             }
             Ok(Envelope::Notice { dead }) => {
                 detections += 1;
-                let mut sub = pump_sub(&shared, None, &cfg, &mut wheel);
+                let mut sub = pump_sub(&shared, None, &cfg, &mut wheel, &mut sr_tracer);
                 superroot.on_failure(dead, &mut sub);
             }
             // The driver link is reliable; nothing bounces to it.
@@ -591,6 +613,10 @@ pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> Ru
     let _ = router.join();
 
     let totals = EngineTotals::collect(shared.snapshots.iter().map(|s| s.lock().clone()));
+    let mut trace = TraceSummary::default();
+    for s in &shared.trace_sums {
+        trace.absorb(*s.lock());
+    }
     RuntimeReport {
         result,
         elapsed: start.elapsed(),
@@ -601,6 +627,7 @@ pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> Ru
         delayed_msgs: shared.delayed_sent.load(Ordering::Relaxed),
         bounces: shared.bounced.load(Ordering::Relaxed),
         root_reissues: superroot.reissues(),
+        trace,
     }
 }
 
@@ -619,8 +646,9 @@ fn worker(
     recovery.probe_acked |= !cfg.detector_broadcast;
     let mut node = DriverLoop::new(ProcId(id), program, recovery, placer);
     let mut wheel: TimerWheel<Instant> = TimerWheel::new();
+    let mut tracer = Tracer::new(cfg.trace);
     {
-        let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel);
+        let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel, &mut tracer);
         node.start(&mut sub);
     }
 
@@ -642,7 +670,7 @@ fn worker(
             .store(shared.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
         // Fire due timers.
         while let Some(timer) = wheel.pop_due(&Instant::now()) {
-            let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel);
+            let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel, &mut tracer);
             node.on_timer(timer, &mut sub);
         }
         // Drain a batch of messages.
@@ -652,7 +680,7 @@ fn worker(
             match rx.try_recv() {
                 Ok(env) => {
                     worked = true;
-                    if !pump_envelope(env, &mut node, &mut wheel, &shared, id, &cfg) {
+                    if !pump_envelope(env, &mut node, &mut wheel, &mut tracer, &shared, id, &cfg) {
                         shutdown = true;
                         break;
                     }
@@ -666,7 +694,7 @@ fn worker(
         // Run ready waves (effects release immediately: real time already
         // passed while the wave ran).
         for _ in 0..16 {
-            let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel);
+            let mut sub = pump_sub(&shared, Some(id), &cfg, &mut wheel, &mut tracer);
             if !node.run_ready_wave(&mut sub) {
                 break;
             }
@@ -681,13 +709,14 @@ fn worker(
                 None => idle,
             };
             if let Ok(env) = rx.recv_timeout(wait) {
-                if !pump_envelope(env, &mut node, &mut wheel, &shared, id, &cfg) {
+                if !pump_envelope(env, &mut node, &mut wheel, &mut tracer, &shared, id, &cfg) {
                     break;
                 }
             }
         }
     }
     *shared.snapshots[id as usize].lock() = EngineSnapshot::of(node.engine());
+    *shared.trace_sums[id as usize].lock() = tracer.summary();
 }
 
 /// Feeds one envelope through the worker's driver loop. Returns false on
@@ -697,11 +726,12 @@ fn pump_envelope(
     env: Envelope,
     node: &mut DriverLoop,
     wheel: &mut TimerWheel<Instant>,
+    tracer: &mut Tracer,
     shared: &Shared,
     id: u32,
     cfg: &RuntimeConfig,
 ) -> bool {
-    let mut sub = pump_sub(shared, Some(id), cfg, wheel);
+    let mut sub = pump_sub(shared, Some(id), cfg, wheel, tracer);
     match env {
         Envelope::Net { msg } => node.on_message(msg, &mut sub),
         Envelope::Notice { dead } => node.on_message(Msg::FailureNotice { dead }, &mut sub),

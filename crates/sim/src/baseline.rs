@@ -151,6 +151,7 @@ mod tests {
             threads: 1,
             msgs_cross_reactor: 0,
             steals: 0,
+            trace: splice_simnet::trace::TraceSummary::default(),
         }
     }
 

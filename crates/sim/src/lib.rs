@@ -27,10 +27,12 @@ pub mod figure1;
 pub mod machine;
 pub mod parallel;
 pub mod reactor;
+pub mod replay;
 pub mod report;
 
 pub use cost::CostModel;
 pub use machine::{run_workload, Machine, MachineConfig};
 pub use parallel::{run_parallel_reactor, ParallelReactorMachine};
 pub use reactor::{run_reactor, ReactorMachine};
+pub use replay::{archived_plan, execute, record, replay, Backend, Recording, Replay};
 pub use report::RunReport;

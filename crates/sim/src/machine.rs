@@ -28,6 +28,7 @@ use splice_gradient::Policy;
 use splice_harness::{
     corrupt_value, death_notice_targets, dispatch_iter, BatchingSubstrate, DriverLoop,
     EngineSnapshot, EngineTotals, ShardMap, ShardRouter, Substrate, SuperRootDriver,
+    TracingSubstrate,
 };
 use splice_simnet::detect::DetectorConfig;
 use splice_simnet::fault::{FaultKind, FaultOutcome, FaultPlan, FaultState};
@@ -35,7 +36,7 @@ use splice_simnet::link::LinkModel;
 use splice_simnet::queue::EventQueue;
 use splice_simnet::time::VirtualTime;
 use splice_simnet::topology::Topology;
-use splice_simnet::trace::Trace;
+use splice_simnet::trace::{TraceEvent, TraceKind, TraceMode, TraceSummary, Tracer};
 use std::sync::Arc;
 
 /// Full machine configuration.
@@ -71,8 +72,9 @@ pub struct MachineConfig {
     pub max_events: u64,
     /// Hard virtual-time budget.
     pub max_time: VirtualTime,
-    /// Trace capacity (0 disables tracing).
-    pub trace: usize,
+    /// Canonical-trace mode: off, ring of N, full recording, or
+    /// checksum-only (see [`TraceMode`]).
+    pub trace: TraceMode,
 }
 
 impl MachineConfig {
@@ -92,7 +94,7 @@ impl MachineConfig {
             threads: 1,
             max_events: 200_000_000,
             max_time: VirtualTime(u64::MAX / 4),
-            trace: 0,
+            trace: TraceMode::Off,
         }
     }
 
@@ -213,8 +215,13 @@ struct SimSubstrate {
     sample_period: u64,
     /// Recycled `Ev::Effects` action buffers (one round-trips per wave).
     effects_pool: Vec<Vec<Action>>,
-    trace: Trace,
 }
+
+/// The full DES substrate stack: the inter-shard router over the batching
+/// bus over the tracing decorator over the DES core. The tracer sits
+/// innermost so events carry the core clock at the instant traffic reaches
+/// it; with [`TraceMode::Off`] it is a transparent pass-through.
+type SimStack = ShardRouter<BatchingSubstrate<TracingSubstrate<SimSubstrate>>>;
 
 impl SimSubstrate {
     fn live(&self, p: ProcId) -> bool {
@@ -340,12 +347,14 @@ pub struct Machine {
     nodes: Vec<DriverLoop>,
     superroot: SuperRootDriver,
     /// The substrate stack: the inter-shard router over the batching bus
-    /// over the DES core. On flat topologies the router is a single-shard
-    /// pass-through and with `batch_window == 0` the bus is transparent,
-    /// so every machine is built the same way; sharded configs charge
-    /// `cfg.router_latency` per boundary crossing and batched configs
-    /// coalesce per-pump traffic.
-    sub: ShardRouter<BatchingSubstrate<SimSubstrate>>,
+    /// over the tracing decorator over the DES core. On flat topologies
+    /// the router is a single-shard pass-through, with `batch_window == 0`
+    /// the bus is transparent, and with `TraceMode::Off` the tracer is
+    /// inert — so every machine is built the same way; sharded configs
+    /// charge `cfg.router_latency` per boundary crossing, batched configs
+    /// coalesce per-pump traffic, and traced configs record the canonical
+    /// event stream.
+    sub: SimStack,
     /// When enabled, records `(time, stamp, proc)` at every task creation.
     log_spawns: bool,
     spawn_log: Vec<(u64, LevelStamp, ProcId)>,
@@ -387,7 +396,7 @@ impl Machine {
             ));
         }
         let superroot = SuperRootDriver::new(workload, &cfg.recovery);
-        let trace = Trace::new(cfg.trace);
+        let tracer = Tracer::new(cfg.trace);
         let map = ShardMap::new(cfg.topology.shard_count(), cfg.topology.per_shard());
         let router_latency = cfg.router_latency;
         let batch_window = cfg.batch_window;
@@ -406,11 +415,10 @@ impl Machine {
             state_samples: Vec::new(),
             sample_period: 2_000,
             effects_pool: Vec::new(),
-            trace,
             cfg,
         };
         let sub = ShardRouter::new(
-            BatchingSubstrate::new(sub, batch_window),
+            BatchingSubstrate::new(TracingSubstrate::new(sub, tracer), batch_window),
             map,
             router_latency,
         );
@@ -448,9 +456,9 @@ impl Machine {
         self.sub.now
     }
 
-    /// The trace buffer.
-    pub fn trace(&self) -> &Trace {
-        &self.sub.trace
+    /// Fixed-size fingerprint of the canonical trace so far.
+    pub fn trace_summary(&self) -> TraceSummary {
+        self.sub.inner().inner().tracer().summary()
     }
 
     fn live_tasks(&self) -> u64 {
@@ -464,7 +472,13 @@ impl Machine {
 
     /// Runs the workload under `faults` to completion (or until it
     /// quiesces without a result, or a budget trips) and reports.
-    pub fn run(mut self, faults: &FaultPlan) -> RunReport {
+    pub fn run(self, faults: &FaultPlan) -> RunReport {
+        self.run_traced(faults).0
+    }
+
+    /// Like [`Machine::run`], additionally returning the events the
+    /// configured trace mode retained (empty for off/checksum modes).
+    pub fn run_traced(mut self, faults: &FaultPlan) -> (RunReport, Vec<TraceEvent>) {
         // Schedule faults.
         for f in faults.sorted() {
             self.sub.sched(
@@ -521,7 +535,11 @@ impl Machine {
         // quiescence: nothing left in the system could have produced the
         // answer.
         let stalled = finish.is_none() && !budget_tripped;
-        self.build_report(events, finish, stalled, faults)
+        let trace_events = self.sub.inner_mut().inner_mut().tracer_mut().take_events();
+        (
+            self.build_report(events, finish, stalled, faults),
+            trace_events,
+        )
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -581,7 +599,7 @@ impl Machine {
         }
     }
 
-    fn deliver(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+    fn deliver(&mut self, _from: ProcId, to: ProcId, msg: Msg) {
         if to.is_super_root() {
             self.sub.delivered += 1;
             self.superroot.on_message(msg, &mut self.sub);
@@ -595,9 +613,8 @@ impl Machine {
         }
         self.sub.delivered += 1;
         let now = self.sub.now;
-        self.sub.trace.record(now, "deliver", || {
-            format!("{from} -> {to}: {:?}", msg.kind())
-        });
+        // Delivery is narrated by the driver loop's canonical-trace hook
+        // inside `on_message`.
         self.nodes[to.0 as usize].on_message(msg, &mut self.sub);
         if self.log_spawns {
             let created = self.nodes[to.0 as usize].engine_mut().drain_created();
@@ -637,18 +654,19 @@ impl Machine {
         // corrupted messages) live in the shared `FaultState`, so every
         // backend applies plans identically; this handler only times them
         // and drives the detector.
-        let now = self.sub.now;
-        match self.sub.faults.apply(victim.0, kind) {
-            FaultOutcome::Ignored => {}
-            FaultOutcome::Corrupted => {
-                self.sub
-                    .trace
-                    .record(now, "corrupt", || format!("{victim}"));
-            }
-            FaultOutcome::Crashed => {
-                self.sub.trace.record(now, "crash", || format!("{victim}"));
-                self.sub.report_death(victim);
-            }
+        let outcome = self.sub.faults.apply(victim.0, kind);
+        if self.sub.trace_enabled() {
+            self.sub.trace(TraceKind::Fault {
+                victim: victim.0,
+                kind: match kind {
+                    FaultKind::Crash => 0,
+                    FaultKind::Corrupt => 1,
+                },
+                applied: outcome != FaultOutcome::Ignored,
+            });
+        }
+        if outcome == FaultOutcome::Crashed {
+            self.sub.report_death(victim);
         }
     }
 
@@ -691,6 +709,7 @@ impl Machine {
             threads: 1,
             msgs_cross_reactor: 0,
             steals: 0,
+            trace: self.sub.inner().inner().tracer().summary(),
         }
     }
 }

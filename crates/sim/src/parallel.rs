@@ -44,8 +44,9 @@ use splice_harness::{
     ClusterMap, DriverLoop, EngineSnapshot, EngineTotals, Pump, PumpHarvest, ReactorCluster,
     RoundInput, RoundOutput, ShardMap, Substrate, SuperRootDriver, TimerWheel, Transfer,
 };
-use splice_simnet::fault::{FaultOutcome, FaultPlan, PlanRun};
+use splice_simnet::fault::{FaultKind, FaultOutcome, FaultPlan, PlanRun};
 use splice_simnet::time::VirtualTime;
+use splice_simnet::trace::{TraceEvent, TraceKind, Tracer};
 use std::sync::Arc;
 
 /// A pump must be this many ready engines ahead of the laziest pump (and
@@ -165,6 +166,7 @@ impl ParallelReactorMachine {
                 map,
                 cfg.router_latency,
                 cfg.batch_window,
+                cfg.trace,
             ));
         }
         let fleet = ReactorCluster::new(pumps, cluster.clone());
@@ -192,7 +194,18 @@ impl ParallelReactorMachine {
 
     /// Runs the workload under `faults` to completion (or until it
     /// quiesces without a result, or a budget trips) and reports.
-    pub fn run(mut self, faults: &FaultPlan) -> RunReport {
+    pub fn run(self, faults: &FaultPlan) -> RunReport {
+        self.run_traced(faults).0
+    }
+
+    /// Like [`ParallelReactorMachine::run`], but also returns the recorded
+    /// trace events: the coordinator's fault events first, then each
+    /// pump's stream in pump order (empty unless `cfg.trace` records).
+    pub fn run_traced(mut self, faults: &FaultPlan) -> (RunReport, Vec<TraceEvent>) {
+        // The coordinator's own trace head: barrier faults are applied
+        // here, not on any pump, so they are narrated here; pump tracers
+        // are folded in at harvest, in pump order.
+        let mut tracer = Tracer::new(self.cfg.trace);
         let t = self.fleet.threads() as usize;
         let mut plan = PlanRun::new(faults, self.cluster.n());
         self.superroot.launch(&mut self.csub);
@@ -225,6 +238,17 @@ impl ParallelReactorMachine {
             kills.clear();
             while let Some((ev, outcome)) = plan.pop_due(VirtualTime(self.csub.now)) {
                 let victim = ProcId(ev.victim);
+                tracer.emit(
+                    VirtualTime(self.csub.now),
+                    TraceKind::Fault {
+                        victim: ev.victim,
+                        kind: match ev.kind {
+                            FaultKind::Crash => 0,
+                            FaultKind::Corrupt => 1,
+                        },
+                        applied: outcome != FaultOutcome::Ignored,
+                    },
+                );
                 match outcome {
                     FaultOutcome::Crashed => {
                         self.cluster.set_dead(victim);
@@ -368,9 +392,18 @@ impl ParallelReactorMachine {
         }
 
         let stalled = finish.is_none() && !budget_tripped;
-        self.build_report(events, finish, stalled, faults, sr_delivered, steals)
+        self.build_report(
+            events,
+            finish,
+            stalled,
+            faults,
+            sr_delivered,
+            steals,
+            tracer,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_report(
         self,
         events: u64,
@@ -379,7 +412,8 @@ impl ParallelReactorMachine {
         faults: &FaultPlan,
         sr_delivered: u64,
         steals: u64,
-    ) -> RunReport {
+        mut tracer: Tracer,
+    ) -> (RunReport, Vec<TraceEvent>) {
         let ParallelReactorMachine {
             fleet,
             superroot,
@@ -398,6 +432,9 @@ impl ParallelReactorMachine {
         let mut shard_stats = splice_harness::ShardStats::default();
         let mut batch_envelopes = 0;
         let mut batch_msgs = 0;
+        // Coordinator events first (barrier faults), then each pump's
+        // stream in pump order — the parallel backend's canonical order.
+        let mut trace_events = tracer.take_events();
         for h in harvests {
             engines.extend(h.engines);
             delivered += h.delivered;
@@ -407,13 +444,14 @@ impl ParallelReactorMachine {
             shard_stats.absorb(&h.shard_stats);
             batch_envelopes += h.batch_stats.envelopes;
             batch_msgs += h.batch_stats.messages;
+            trace_events.extend(tracer.absorb(h.tracer));
         }
         // Migrated engines live in their stealer's harvest; global engine
         // order is restored here so per-proc stats index by ProcId.
         engines.sort_by_key(|(p, _)| *p);
         let totals =
             EngineTotals::collect(engines.iter().map(|(_, n)| EngineSnapshot::of(n.engine())));
-        RunReport {
+        let report = RunReport {
             result: superroot.result().cloned(),
             completed: finish.is_some(),
             stalled,
@@ -440,7 +478,9 @@ impl ParallelReactorMachine {
             threads,
             msgs_cross_reactor: msgs_cross,
             steals,
-        }
+            trace: tracer.summary(),
+        };
+        (report, trace_events)
     }
 }
 

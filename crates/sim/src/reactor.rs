@@ -45,10 +45,11 @@ use splice_core::ids::ProcId;
 use splice_core::place::Placer;
 use splice_harness::{
     BatchingSubstrate, DriverLoop, EngineSnapshot, EngineTotals, Inbound, ReactorClock,
-    ReactorSubstrate, ShardMap, ShardRouter, Substrate, SuperRootDriver,
+    ReactorSubstrate, ShardMap, ShardRouter, Substrate, SuperRootDriver, TracingSubstrate,
 };
-use splice_simnet::fault::{FaultOutcome, FaultPlan, PlanRun};
+use splice_simnet::fault::{FaultKind, FaultOutcome, FaultPlan, PlanRun};
 use splice_simnet::time::VirtualTime;
+use splice_simnet::trace::{TraceEvent, TraceKind, TraceSummary, Tracer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -57,14 +58,17 @@ use std::time::Duration;
 /// enough that no engine starves the reactor.
 const WAVE_BURST: usize = 4;
 
+/// The reactor's substrate stack: the same decorator shape as the
+/// simulator — inter-shard router over batching bus over the canonical
+/// tracer over the reactor core.
+type ReactorStack = ShardRouter<BatchingSubstrate<TracingSubstrate<ReactorSubstrate>>>;
+
 /// The cooperative-reactor machine.
 pub struct ReactorMachine {
     program: Arc<Program>,
     nodes: Vec<DriverLoop>,
     superroot: SuperRootDriver,
-    /// The same substrate stack shape as the simulator: inter-shard
-    /// router over batching bus over the reactor core.
-    sub: ShardRouter<BatchingSubstrate<ReactorSubstrate>>,
+    sub: ReactorStack,
     cfg: MachineConfig,
 }
 
@@ -107,9 +111,10 @@ impl ReactorMachine {
         let superroot = SuperRootDriver::new(workload, &cfg.recovery);
         let mut core = ReactorSubstrate::new(n, ReactorClock::virtual_units());
         core.set_broadcast(cfg.detector.broadcast);
+        let tracer = Tracer::new(cfg.trace);
         let map = ShardMap::new(cfg.topology.shard_count(), cfg.topology.per_shard());
         let sub = ShardRouter::new(
-            BatchingSubstrate::new(core, cfg.batch_window),
+            BatchingSubstrate::new(TracingSubstrate::new(core, tracer), cfg.batch_window),
             map,
             cfg.router_latency,
         );
@@ -154,6 +159,16 @@ impl ReactorMachine {
         let now = VirtualTime(self.sub.now_units());
         while let Some((ev, outcome)) = plan.pop_due(now) {
             let victim = ProcId(ev.victim);
+            if self.sub.trace_enabled() {
+                self.sub.trace(TraceKind::Fault {
+                    victim: ev.victim,
+                    kind: match ev.kind {
+                        FaultKind::Crash => 0,
+                        FaultKind::Corrupt => 1,
+                    },
+                    applied: outcome != FaultOutcome::Ignored,
+                });
+            }
             match outcome {
                 FaultOutcome::Crashed => {
                     self.sub.kill(victim);
@@ -167,7 +182,13 @@ impl ReactorMachine {
 
     /// Runs the workload under `faults` to completion (or until it
     /// quiesces without a result, or a budget trips) and reports.
-    pub fn run(mut self, faults: &FaultPlan) -> RunReport {
+    pub fn run(self, faults: &FaultPlan) -> RunReport {
+        self.run_traced(faults).0
+    }
+
+    /// Like [`ReactorMachine::run`], but also returns the recorded trace
+    /// events (empty unless `cfg.trace` is a recording mode).
+    pub fn run_traced(mut self, faults: &FaultPlan) -> (RunReport, Vec<TraceEvent>) {
         let mut plan = PlanRun::new(faults, self.nodes.len() as u32);
         for node in &mut self.nodes {
             node.start(&mut self.sub);
@@ -283,7 +304,16 @@ impl ReactorMachine {
         }
 
         let stalled = finish.is_none() && !budget_tripped;
-        self.build_report(pumps, finish, stalled, faults)
+        let trace_events = self.sub.inner_mut().inner_mut().tracer_mut().take_events();
+        (
+            self.build_report(pumps, finish, stalled, faults),
+            trace_events,
+        )
+    }
+
+    /// Canonical-trace fingerprint accumulated so far.
+    pub fn trace_summary(&self) -> TraceSummary {
+        self.sub.inner().inner().tracer().summary()
     }
 
     fn build_report(
@@ -325,6 +355,7 @@ impl ReactorMachine {
             threads: 1,
             msgs_cross_reactor: 0,
             steals: 0,
+            trace: self.sub.inner().inner().tracer().summary(),
         }
     }
 }

@@ -3,10 +3,14 @@
 use splice_applicative::Value;
 use splice_core::stats::ProcStats;
 use splice_simnet::time::VirtualTime;
+use splice_simnet::trace::TraceSummary;
 use std::fmt;
 
 /// The outcome and measurements of one simulated run.
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq` so record→replay verification can assert the whole
+/// report reproduced bit-identically, field for field.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// The program's answer, if the run completed.
     pub result: Option<Value>,
@@ -72,6 +76,10 @@ pub struct RunReport {
     pub msgs_cross_reactor: u64,
     /// Engines migrated between reactor pumps by work stealing.
     pub steals: u64,
+    /// Canonical-trace fingerprint: event/drop counts plus the stream and
+    /// semantic checksums (all zero with tracing off). The `dropped` field
+    /// surfaces ring-buffer evictions that were previously lost silently.
+    pub trace: TraceSummary,
 }
 
 impl RunReport {
@@ -182,6 +190,7 @@ mod tests {
             threads: 1,
             msgs_cross_reactor: 0,
             steals: 0,
+            trace: TraceSummary::default(),
         }
     }
 

@@ -15,7 +15,11 @@
 //!   jitter);
 //! * [`fault`] — crash/corrupt fault plans, scripted or seeded-random;
 //! * [`detect`] — failure-notice and send-bounce timing;
-//! * [`trace`] — bounded event tracing for post-mortems.
+//! * [`trace`] — canonical typed event tracing: every backend narrates a
+//!   run as one diffable [`TraceEvent`] stream with stream/semantic
+//!   checksums;
+//! * [`shrink`] — delta-debugging [`FaultPlan`] reduction to minimal
+//!   reproducers.
 
 #![warn(missing_docs)]
 
@@ -23,6 +27,7 @@ pub mod detect;
 pub mod fault;
 pub mod link;
 pub mod queue;
+pub mod shrink;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -31,6 +36,9 @@ pub use detect::DetectorConfig;
 pub use fault::{FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultState, PlanRun};
 pub use link::LinkModel;
 pub use queue::EventQueue;
+pub use shrink::{plan_literal, regression_test_literal, shrink, ShrinkReport};
 pub use time::VirtualTime;
 pub use topology::Topology;
-pub use trace::Trace;
+pub use trace::{
+    first_divergence, Divergence, TraceEvent, TraceKind, TraceMode, TraceSink, TraceSummary, Tracer,
+};

@@ -1,0 +1,239 @@
+//! Delta-debugging [`FaultPlan`] shrinker.
+//!
+//! Given a plan that makes some oracle fail, [`shrink`] reduces it to a
+//! locally-minimal failing plan: first delta-debugging the fault set
+//! (dropping whole chunks, then single faults), then narrowing each
+//! survivor's time toward 1 and victim toward 0. [`plan_literal`] renders
+//! any plan as a ready-to-paste Rust expression, and
+//! [`regression_test_literal`] wraps it in a full `#[test]` skeleton — the
+//! fuzzer prints these when a differential run diverges, so a
+//! shrunk reproducer lands in the suite as copy-paste.
+
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::time::VirtualTime;
+use std::fmt::Write as _;
+
+/// How the oracle judged plans during a shrink, plus the result.
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The locally-minimal failing plan.
+    pub plan: FaultPlan,
+    /// Oracle invocations spent.
+    pub probes: u64,
+    /// Faults in the original plan.
+    pub from_faults: usize,
+}
+
+/// Reduces `plan` to a locally-minimal plan that still fails.
+///
+/// `oracle` returns `true` when a candidate plan still exhibits the
+/// failure (e.g. "backends diverge on this plan"). The input `plan` must
+/// itself fail; if the oracle rejects even the full plan the input is
+/// returned unchanged. The oracle is called on candidates only — never
+/// gratuitously on the empty plan unless a removal produces it.
+pub fn shrink(plan: &FaultPlan, oracle: &mut dyn FnMut(&FaultPlan) -> bool) -> ShrinkReport {
+    let mut probes: u64 = 0;
+    let mut check = |events: &[FaultEvent]| -> Option<FaultPlan> {
+        let candidate = FaultPlan {
+            events: events.to_vec(),
+        };
+        probes += 1;
+        oracle(&candidate).then_some(candidate)
+    };
+
+    // Phase 1: ddmin over the fault set.
+    let mut events = plan.sorted();
+    let mut granularity = 2usize;
+    while events.len() >= 2 {
+        let chunk = events.len().div_ceil(granularity);
+        let mut reduced = None;
+        // Try each chunk alone, then each complement.
+        for keep_complement in [false, true] {
+            for start in (0..events.len()).step_by(chunk) {
+                let end = (start + chunk).min(events.len());
+                let candidate: Vec<FaultEvent> = if keep_complement {
+                    events[..start]
+                        .iter()
+                        .chain(&events[end..])
+                        .copied()
+                        .collect()
+                } else {
+                    events[start..end].to_vec()
+                };
+                if candidate.len() == events.len() || candidate.is_empty() {
+                    continue;
+                }
+                if check(&candidate).is_some() {
+                    reduced = Some(candidate);
+                    break;
+                }
+            }
+            if reduced.is_some() {
+                break;
+            }
+        }
+        match reduced {
+            Some(r) => {
+                events = r;
+                granularity = 2;
+            }
+            None if granularity >= events.len() => break,
+            None => granularity = (granularity * 2).min(events.len()),
+        }
+    }
+
+    // Phase 2: narrow each surviving fault's time toward 1, then its
+    // victim toward 0 (smaller reproducers read better and run faster).
+    for i in 0..events.len() {
+        loop {
+            let t = events[i].at.0;
+            if t <= 1 {
+                break;
+            }
+            let mut next = None;
+            for cand in [t / 2, t - 1] {
+                if cand < 1 || cand >= t {
+                    continue;
+                }
+                let mut trial = events.clone();
+                trial[i].at = VirtualTime(cand);
+                if check(&trial).is_some() {
+                    next = Some(trial);
+                    break;
+                }
+            }
+            match next {
+                Some(tr) => events = tr,
+                None => break,
+            }
+        }
+        loop {
+            let v = events[i].victim;
+            let mut next = None;
+            for cand in [v / 2, v.wrapping_sub(1)] {
+                if v == 0 || cand >= v {
+                    continue;
+                }
+                let mut trial = events.clone();
+                trial[i].victim = cand;
+                if check(&trial).is_some() {
+                    next = Some(trial);
+                    break;
+                }
+            }
+            match next {
+                Some(tr) => events = tr,
+                None => break,
+            }
+        }
+    }
+
+    let reduced = FaultPlan { events };
+    probes += 1;
+    let minimal = if oracle(&reduced) {
+        reduced
+    } else {
+        // Narrowing interactions regressed the plan (oracle is stateful or
+        // flaky); fall back to the input, which is known-failing.
+        plan.clone()
+    };
+    ShrinkReport {
+        plan: minimal,
+        probes,
+        from_faults: plan.events.len(),
+    }
+}
+
+/// Renders `plan` as a ready-to-paste Rust expression building it.
+pub fn plan_literal(plan: &FaultPlan) -> String {
+    if plan.events.is_empty() {
+        return "FaultPlan::none()".to_string();
+    }
+    let mut s = String::from("FaultPlan::none()");
+    for e in plan.sorted() {
+        let kind = match e.kind {
+            FaultKind::Crash => "FaultKind::Crash",
+            FaultKind::Corrupt => "FaultKind::Corrupt",
+        };
+        let _ = write!(
+            s,
+            "\n    .and({}, VirtualTime({}), {})",
+            e.victim, e.at.0, kind
+        );
+    }
+    s
+}
+
+/// Renders a full `#[test]` skeleton reproducing a failure of `plan`.
+/// `name` becomes the test fn name; `context` is a one-line comment
+/// describing the failing configuration (seed, topology, backend pair).
+pub fn regression_test_literal(name: &str, context: &str, plan: &FaultPlan) -> String {
+    format!(
+        "#[test]\nfn {name}() {{\n    // {context}\n    let plan = {};\n    \
+         // Assert the original failure on `plan` here.\n}}\n",
+        plan_literal(plan).replace('\n', "\n    ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_of(victims: &[(u32, u64)]) -> FaultPlan {
+        let mut p = FaultPlan::none();
+        for (v, t) in victims {
+            p = p.and(*v, VirtualTime(*t), FaultKind::Crash);
+        }
+        p
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // Failure = "victim 7 crashes at any time".
+        let big = plan_of(&[(1, 10), (2, 20), (7, 500), (3, 40), (4, 50), (5, 60)]);
+        let mut oracle = |p: &FaultPlan| p.events.iter().any(|e| e.victim == 7 && e.at.0 >= 100);
+        let r = shrink(&big, &mut oracle);
+        assert_eq!(r.plan.events.len(), 1);
+        assert_eq!(r.plan.events[0].victim, 7);
+        assert_eq!(r.plan.events[0].at, VirtualTime(100), "time narrowed");
+        assert!(r.probes > 0);
+    }
+
+    #[test]
+    fn keeps_interacting_pairs() {
+        // Failure needs both victim 2 and victim 5 to crash.
+        let big = plan_of(&[(1, 10), (2, 20), (3, 30), (5, 50), (6, 60)]);
+        let mut oracle = |p: &FaultPlan| {
+            let has = |v: u32| p.events.iter().any(|e| e.victim == v);
+            has(2) && has(5)
+        };
+        let r = shrink(&big, &mut oracle);
+        assert_eq!(r.plan.events.len(), 2);
+        let mut victims: Vec<u32> = r.plan.events.iter().map(|e| e.victim).collect();
+        victims.sort_unstable();
+        assert_eq!(victims, vec![2, 5]);
+    }
+
+    #[test]
+    fn narrows_victims_toward_zero() {
+        let big = plan_of(&[(9, 100)]);
+        // Any single crash fails: shrinker should drive victim to 0, time to 1.
+        let mut oracle = |p: &FaultPlan| !p.events.is_empty();
+        let r = shrink(&big, &mut oracle);
+        assert_eq!(r.plan.events.len(), 1);
+        assert_eq!(r.plan.events[0].victim, 0);
+        assert_eq!(r.plan.events[0].at, VirtualTime(1));
+    }
+
+    #[test]
+    fn literal_round_trips_by_eye() {
+        let p = plan_of(&[(3, 40)]).and(1, VirtualTime(9), FaultKind::Corrupt);
+        let lit = plan_literal(&p);
+        assert!(lit.contains(".and(1, VirtualTime(9), FaultKind::Corrupt)"));
+        assert!(lit.contains(".and(3, VirtualTime(40), FaultKind::Crash)"));
+        assert_eq!(plan_literal(&FaultPlan::none()), "FaultPlan::none()");
+        let test = regression_test_literal("repro_x", "seed=1 flat/16", &p);
+        assert!(test.starts_with("#[test]\nfn repro_x()"));
+        assert!(test.contains("seed=1 flat/16"));
+    }
+}

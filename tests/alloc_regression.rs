@@ -86,6 +86,28 @@ fn steady_state_pump_stays_under_allocation_ceiling() {
         "steady-state pump allocated {allocs} times (ceiling {CEILING}); \
          a hot-path allocation crept back in"
     );
+    // Checksum-only tracing must ride the hot loop for free: the
+    // `ChecksumSink` folds every canonical event into two u64 digests
+    // with no retained storage, and the digest helpers hash by field.
+    // The same run with tracing on must therefore add ZERO heap
+    // allocations over the untraced run just measured.
+    let mut cfg = MachineConfig::new(4);
+    cfg.recovery.load_beacon_period = 200;
+    cfg.trace = splice::simnet::trace::TraceMode::Checksum;
+    let machine = splice::sim::machine::Machine::new(cfg, &w);
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let traced_report = machine.run(&FaultPlan::none());
+    COUNTING.store(false, Ordering::Relaxed);
+    let traced_allocs = ALLOCS.load(Ordering::Relaxed);
+    assert!(traced_report.completed, "traced run must complete");
+    assert!(traced_report.trace.events > 0, "checksum mode must trace");
+    assert!(
+        traced_allocs <= allocs,
+        "checksum tracing allocated: {traced_allocs} with tracing vs \
+         {allocs} without — the trace path must not touch the heap"
+    );
+
     // A second run on a fresh machine must not allocate more than the
     // first (the DES is deterministic, so drift here means a leak of
     // determinism, not load).

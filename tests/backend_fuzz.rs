@@ -26,7 +26,10 @@ use splice::prelude::*;
 use splice::sim::parallel::run_parallel_reactor;
 use splice::sim::reactor::run_reactor;
 use splice::sim::report::RunReport;
+use splice::sim::{execute, Backend};
 use splice::simnet::fault::FaultKind;
+use splice::simnet::shrink::{plan_literal, shrink};
+use splice::simnet::trace::{first_divergence, TraceMode};
 
 /// splitmix64 — the deterministic stream all plan shapes are derived from.
 fn mix(state: &mut u64) -> u64 {
@@ -87,6 +90,47 @@ fn verdict(r: &RunReport) -> (bool, bool) {
     (r.completed, r.stalled)
 }
 
+fn traced(cfg: &MachineConfig) -> MachineConfig {
+    let mut c = cfg.clone();
+    c.trace = TraceMode::Full;
+    c
+}
+
+/// Parity failed: delta-debug the plan against the same disagreement
+/// oracle, re-run both backends with full tracing on the minimal plan,
+/// and panic with a paste-ready reproducer plus the first canonical trace
+/// event on which the minimal runs disagree.
+fn explain_divergence(
+    cfg: &MachineConfig,
+    w: &Workload,
+    plan: &FaultPlan,
+    left: Backend,
+    right: Backend,
+    detail: String,
+) -> ! {
+    let mut oracle = |p: &FaultPlan| {
+        let l = execute(left, cfg.clone(), w, p).0;
+        let r = execute(right, cfg.clone(), w, p).0;
+        (l.completed, l.stalled, l.result) != (r.completed, r.stalled, r.result)
+    };
+    let report = shrink(plan, &mut oracle);
+    let (_, le) = execute(left, traced(cfg), w, &report.plan);
+    let (_, re) = execute(right, traced(cfg), w, &report.plan);
+    let div = match first_divergence(&le, &re) {
+        Some(d) => d.to_string(),
+        None => "traces identical (outcome-only divergence)".to_string(),
+    };
+    panic!(
+        "`{left}` vs `{right}` diverged on {}: {detail}\n\
+         plan shrunk {} -> {} faults in {} probes; minimal reproducer:\n{}\n{div}",
+        w.name,
+        report.from_faults,
+        report.plan.events.len(),
+        report.probes,
+        plan_literal(&report.plan),
+    );
+}
+
 /// Drives `plan` through both backends and asserts scheduler-independent
 /// outcomes: same verdict, same value, and any completed value equals the
 /// reference evaluator's.
@@ -103,19 +147,22 @@ fn assert_backend_parity(cfg: &MachineConfig, w: &Workload, plan: &FaultPlan) {
         "reactor tripped its pump budget on {} under {plan:?}",
         w.name
     );
-    assert_eq!(
-        verdict(&sim),
-        verdict(&rea),
-        "verdict split on {} under {plan:?}: sim {:?} vs reactor {:?}",
-        w.name,
-        verdict(&sim),
-        verdict(&rea)
-    );
-    assert_eq!(
-        sim.result, rea.result,
-        "value split on {} under {plan:?}",
-        w.name
-    );
+    if verdict(&sim) != verdict(&rea) || sim.result != rea.result {
+        explain_divergence(
+            cfg,
+            w,
+            plan,
+            Backend::Des,
+            Backend::Reactor,
+            format!(
+                "sim {:?}/{:?} vs reactor {:?}/{:?}",
+                verdict(&sim),
+                sim.result,
+                verdict(&rea),
+                rea.result
+            ),
+        );
+    }
     if sim.completed {
         assert_eq!(
             sim.result,
@@ -164,25 +211,28 @@ fn assert_parallel_parity(cfg: &MachineConfig, w: &Workload, plan: &FaultPlan) {
     for threads in THREAD_COUNTS {
         let mut c = cfg.clone();
         c.threads = threads;
-        let par = run_parallel_reactor(c, w, plan);
+        let par = run_parallel_reactor(c.clone(), w, plan);
         assert!(
             par.completed || par.stalled,
             "{threads}-thread parallel reactor tripped its budget on {} under {plan:?}",
             w.name
         );
-        assert_eq!(
-            verdict(&sim),
-            verdict(&par),
-            "verdict split on {} under {plan:?}: sim {:?} vs {threads}-thread parallel {:?}",
-            w.name,
-            verdict(&sim),
-            verdict(&par)
-        );
-        assert_eq!(
-            sim.result, par.result,
-            "value split on {} at {threads} threads under {plan:?}",
-            w.name
-        );
+        if verdict(&sim) != verdict(&par) || sim.result != par.result {
+            explain_divergence(
+                &c,
+                w,
+                plan,
+                Backend::Des,
+                Backend::ParallelReactor,
+                format!(
+                    "sim {:?}/{:?} vs {threads}-thread parallel {:?}/{:?}",
+                    verdict(&sim),
+                    sim.result,
+                    verdict(&par),
+                    par.result
+                ),
+            );
+        }
     }
     if sim.completed {
         assert_eq!(
