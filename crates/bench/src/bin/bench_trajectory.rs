@@ -1,6 +1,7 @@
 //! Emits `BENCH_substrate.json`: a machine-readable perf trajectory for
 //! the substrate micro-benches plus the E11 scalability, E14 sharding and
-//! E16 reactor experiment benches.
+//! E16 reactor experiment benches, and (on unix, when the worker binary
+//! is built) the multi-process backend on the E14 topology.
 //!
 //! Each invocation measures medians on the current build and *appends* one
 //! labelled run to the file, so successive PRs accumulate a before/after
@@ -158,6 +159,60 @@ fn e16_threads_metrics(samples: usize) -> Vec<(String, u64)> {
     out
 }
 
+/// The E14 scenario again — same 4×4 topology, same workload, same
+/// round-robin placement and splice recovery — but with every shard in
+/// its own OS process behind real Unix sockets instead of the in-process
+/// `ShardRouter`, so the delta against `e14_sharding` is the cost of the
+/// wire codec and socket transport. The kill case SIGKILLs shard 3's
+/// worker for real. Wall-clock driven and scheduled by the host, so on a
+/// single-CPU recording container these medians measure socket/codec
+/// overhead, not parallel speedup.
+#[cfg(unix)]
+fn proc_metrics(samples: usize) -> Vec<(String, u64)> {
+    use splice_core::config::RecoveryMode;
+    use splice_sim::proc::{run_process, ProcConfig};
+    use splice_simnet::fault::ProcessFaultPlan;
+
+    let mk = || {
+        let mut cfg = ProcConfig::new(4, 4);
+        cfg.policy = splice_gradient::Policy::RoundRobin;
+        cfg.recovery.mode = RecoveryMode::Splice;
+        cfg
+    };
+    if mk().worker_bin_path().is_none() {
+        eprintln!(
+            "  (skipped: splice-proc-worker not built — `cargo build --release` \
+             puts it next to this binary)"
+        );
+        return Vec::new();
+    }
+    let w = e14_workload();
+    let cases = [
+        ("fault_free", ProcessFaultPlan::none()),
+        // Fault-free fib(13) takes ~850 time units wall-clock here, so
+        // t=300 lands the SIGKILL mid-run rather than after the finish.
+        (
+            "whole_shard_kill",
+            ProcessFaultPlan::none().kill_shard(3, VirtualTime(300)),
+        ),
+    ];
+    cases
+        .iter()
+        .map(|(name, plan)| {
+            let ns = median_ns(samples, || {
+                let r = run_process(&mk(), &w, plan).expect("process run failed to launch");
+                assert_correct(&w, &r);
+            });
+            (format!("s4x4_{name}"), ns)
+        })
+        .collect()
+}
+
+#[cfg(not(unix))]
+fn proc_metrics(_samples: usize) -> Vec<(String, u64)> {
+    Vec::new()
+}
+
 fn json_object<K: AsRef<str>>(metrics: &[(K, u64)]) -> String {
     let fields: Vec<String> = metrics
         .iter()
@@ -240,14 +295,17 @@ fn main() {
     let e16 = e16_metrics(run_samples);
     eprintln!("measuring e16 threads ({run_samples} samples)…");
     let e16t = e16_threads_metrics(run_samples);
+    eprintln!("measuring process backend ({run_samples} samples)…");
+    let procs = proc_metrics(run_samples);
 
     let run_line = format!(
-        "{{\"label\": \"{label}\", \"method\": \"bench_trajectory\", \"samples\": {{\"substrate\": {micro_samples}, \"experiments\": {run_samples}}}, \"substrate\": {}, \"e11_scalability\": {}, \"e14_sharding\": {}, \"e16_reactor\": {}, \"e16_threads\": {}}}",
+        "{{\"label\": \"{label}\", \"method\": \"bench_trajectory\", \"samples\": {{\"substrate\": {micro_samples}, \"experiments\": {run_samples}}}, \"substrate\": {}, \"e11_scalability\": {}, \"e14_sharding\": {}, \"e16_reactor\": {}, \"e16_threads\": {}, \"process\": {}}}",
         json_object(&substrate),
         json_object(&e11),
         json_object(&e14),
         json_object(&e16),
         json_object(&e16t),
+        json_object(&procs),
     );
     append_run(&out_path, run_line).expect("write trajectory file");
     for (k, v) in &substrate {
@@ -264,6 +322,9 @@ fn main() {
     }
     for (k, v) in &e16t {
         println!("e16_threads/{k:<26} {v:>12} ns");
+    }
+    for (k, v) in &procs {
+        println!("process/{k:<30} {v:>12} ns");
     }
     println!("appended run \"{label}\" to {out_path}");
 }

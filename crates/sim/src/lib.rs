@@ -10,6 +10,10 @@
 //! * [`parallel`] — the multi-core reactor: one pump per core, BSP
 //!   virtual-clock rounds, work stealing across pumps — deterministic for
 //!   a fixed thread count, verdict/value-par with every other backend;
+//! * [`proc`] (unix) — the multi-process shard substrate: shards run as
+//!   separate OS processes over Unix domain sockets speaking the
+//!   `splice-simnet` wire codec, with reconnect/backoff transport and
+//!   *real* fault injection (SIGKILL, partition, delay, garble);
 //! * [`cost`] — the execution cost model;
 //! * [`report`] — per-run measurements;
 //! * [`figure1`] — the paper's Figure 1 scenario, scripted;
@@ -26,6 +30,8 @@ pub mod experiment;
 pub mod figure1;
 pub mod machine;
 pub mod parallel;
+#[cfg(unix)]
+pub mod proc;
 pub mod reactor;
 pub mod replay;
 pub mod report;
@@ -33,6 +39,8 @@ pub mod report;
 pub use cost::CostModel;
 pub use machine::{run_workload, Machine, MachineConfig};
 pub use parallel::{run_parallel_reactor, ParallelReactorMachine};
+#[cfg(unix)]
+pub use proc::{parse_workload, run_process, worker_main, ProcConfig};
 pub use reactor::{run_reactor, ReactorMachine};
 pub use replay::{archived_plan, execute, record, replay, Backend, Recording, Replay};
 pub use report::RunReport;

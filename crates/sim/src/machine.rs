@@ -709,6 +709,10 @@ impl Machine {
             threads: 1,
             msgs_cross_reactor: 0,
             steals: 0,
+            frames_sent: 0,
+            frames_resent: 0,
+            reconnects: 0,
+            decode_errors: 0,
             trace: self.sub.inner().inner().tracer().summary(),
         }
     }

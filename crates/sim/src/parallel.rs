@@ -478,6 +478,10 @@ impl ParallelReactorMachine {
             threads,
             msgs_cross_reactor: msgs_cross,
             steals,
+            frames_sent: 0,
+            frames_resent: 0,
+            reconnects: 0,
+            decode_errors: 0,
             trace: tracer.summary(),
         };
         (report, trace_events)

@@ -1,0 +1,2344 @@
+//! The multi-process shard substrate: every shard of the machine runs as
+//! a separate OS process (a forked worker binary), exchanging protocol
+//! messages over Unix domain sockets in the compact
+//! [`splice_simnet::codec`] wire format. The coordinator process hosts the
+//! reliable super-root, launches and reaps the workers, executes a
+//! [`ProcessFaultPlan`] *for real* — SIGKILL, socket partition, frame
+//! delay, frame corruption — and assembles the same [`RunReport`] the
+//! in-process backends produce.
+//!
+//! # Transport
+//!
+//! Links are per-peer connection state machines. The splice protocol
+//! tolerates duplicate delivery (stale-incarnation and duplicate-result
+//! drops are part of the paper's scheme) but *not* silent loss: a lost
+//! `Result` wedges its parent forever. So the transport is a small ARQ:
+//! every data frame a worker writes to a peer is retained for the run's
+//! lifetime, a reconnect replays the whole retained sequence, and the
+//! receiver deduplicates by per-source sequence number. Connection
+//! attempts back off exponentially (with deterministic jitter) up to a
+//! reconnect budget, after which the peer is declared dead and everything
+//! pending bounces into the engines' `on_send_failed` recovery path —
+//! exactly how the DES models a bounced send off a crashed processor.
+//!
+//! A one-directional partition is implemented as *flush gating*: outbound
+//! frames are withheld until the window heals. Under an ARQ transport
+//! that is observationally identical to dropping them (a drop would be
+//! resent on reconnect anyway) while keeping the injector lossless.
+
+use crate::report::RunReport;
+use splice_applicative::{FnId, Workload};
+use splice_core::config::{
+    CheckpointFilter, Config as RecoveryConfig, RecoveryMode, ReplicaSpec, VoteMode,
+};
+use splice_core::engine::Timer;
+use splice_core::ids::ProcId;
+use splice_core::packet::Msg;
+use splice_gradient::Policy;
+use splice_harness::{
+    death_notice_targets, DriverLoop, EngineSnapshot, EngineTotals, ShardMap, ShardRouter,
+    Substrate, SuperRootDriver, TimerWheel, TracingSubstrate,
+};
+use splice_simnet::codec::{
+    decode_msg_at, encode_frame, encode_msg, CodecError, Dec, Enc, FrameBuf,
+};
+use splice_simnet::fault::{ProcFaultKind, ProcessFaultPlan};
+use splice_simnet::time::VirtualTime;
+use splice_simnet::topology::Topology;
+use splice_simnet::trace::{TraceMode, TraceSummary, Tracer};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Configuration of a multi-process run: the machine shape plus the
+/// transport's timing knobs.
+#[derive(Clone, Debug)]
+pub struct ProcConfig {
+    /// Worker processes (one per shard).
+    pub shards: u32,
+    /// Protocol engines hosted inside each worker.
+    pub per_shard: u32,
+    /// Placement policy every engine runs.
+    pub policy: Policy,
+    /// Recovery configuration shared by all engines.
+    pub recovery: RecoveryConfig,
+    /// When true, the coordinator broadcasts failure notices the moment a
+    /// worker dies (the DES detector's broadcast mode). When false,
+    /// workers discover deaths through the transport alone — reconnect
+    /// budgets exhaust, pendings bounce — and acked-child probing is
+    /// force-enabled, mirroring [`crate::machine::MachineConfig`].
+    pub detector_broadcast: bool,
+    /// Extra delivery-delay units charged by the in-worker shard router
+    /// for cross-shard sends (accounting only; sockets add real latency).
+    pub router_latency: u64,
+    /// Seed for placers and transport jitter.
+    pub seed: u64,
+    /// Wall-clock length of one driver time unit.
+    pub time_unit: Duration,
+    /// Hard wall-clock budget for the whole run.
+    pub run_timeout: Duration,
+    /// Canonical-trace mode each worker runs.
+    pub trace: TraceMode,
+    /// Socket write timeout (a peer that blocks writes this long counts
+    /// as a failed attempt).
+    pub write_timeout: Duration,
+    /// First reconnect backoff step (doubles per attempt).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Consecutive failed connection attempts after which a peer is
+    /// declared dead and its pending traffic bounces.
+    pub reconnect_budget: u32,
+    /// Explicit worker binary path. When `None`, the
+    /// `SPLICE_PROC_WORKER` environment variable is consulted, then a
+    /// `splice-proc-worker` binary next to the current executable.
+    pub worker_bin: Option<PathBuf>,
+}
+
+impl ProcConfig {
+    /// A sensible default multi-process machine.
+    pub fn new(shards: u32, per_shard: u32) -> ProcConfig {
+        ProcConfig {
+            shards,
+            per_shard,
+            policy: Policy::Gradient,
+            recovery: RecoveryConfig::default(),
+            detector_broadcast: true,
+            router_latency: 0,
+            seed: 1,
+            time_unit: Duration::from_micros(25),
+            run_timeout: Duration::from_secs(30),
+            trace: TraceMode::Off,
+            write_timeout: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+            reconnect_budget: 8,
+            worker_bin: None,
+        }
+    }
+
+    /// Total processor count.
+    pub fn n_procs(&self) -> u32 {
+        self.shards * self.per_shard
+    }
+
+    /// Resolves the worker binary (see [`ProcConfig::worker_bin`]).
+    pub fn worker_bin_path(&self) -> Option<PathBuf> {
+        if let Some(p) = &self.worker_bin {
+            return Some(p.clone());
+        }
+        if let Some(p) = std::env::var_os("SPLICE_PROC_WORKER") {
+            return Some(PathBuf::from(p));
+        }
+        let exe = std::env::current_exe().ok()?;
+        // Test binaries live in target/<profile>/deps/; the worker bin is
+        // one level up, so probe the exe's directory and its parent.
+        for dir in [exe.parent(), exe.parent().and_then(Path::parent)]
+            .into_iter()
+            .flatten()
+        {
+            let cand = dir.join("splice-proc-worker");
+            if cand.is_file() {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    fn engine_recovery(&self) -> RecoveryConfig {
+        let mut rec = self.recovery.clone();
+        rec.probe_acked |= !self.detector_broadcast;
+        rec
+    }
+}
+
+/// Parses the workload specs the worker understands — exactly the `name`
+/// strings of [`Workload`]'s stock constructors: `fib(N)`, `dcsum(LO,HI)`,
+/// `binomial(N,K)`, `quicksort(n=LEN,seed=SEED)`.
+pub fn parse_workload(spec: &str) -> Option<Workload> {
+    let body = spec.strip_suffix(')')?;
+    let (name, args) = body.split_once('(')?;
+    match name {
+        "fib" => Some(Workload::fib(args.trim().parse().ok()?)),
+        "dcsum" => {
+            let (a, b) = args.split_once(',')?;
+            Some(Workload::dcsum(
+                a.trim().parse().ok()?,
+                b.trim().parse().ok()?,
+            ))
+        }
+        "binomial" => {
+            let (a, b) = args.split_once(',')?;
+            Some(Workload::binomial(
+                a.trim().parse().ok()?,
+                b.trim().parse().ok()?,
+            ))
+        }
+        "quicksort" => {
+            let (a, b) = args.split_once(',')?;
+            let n = a.trim().strip_prefix("n=")?;
+            let s = b.trim().strip_prefix("seed=")?;
+            Some(Workload::quicksort(n.parse().ok()?, s.parse().ok()?))
+        }
+        _ => None,
+    }
+}
+
+fn units_to_wall(nanos_per_unit: u64, units: u64) -> Duration {
+    Duration::from_nanos(nanos_per_unit.saturating_mul(units))
+}
+
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_run_dir() -> PathBuf {
+    let n = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("splice-proc-{}-{}", std::process::id(), n))
+}
+
+fn sock_path(dir: &Path, shard: u32) -> PathBuf {
+    dir.join(format!("shard-{shard}.sock"))
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane wire frames
+// ---------------------------------------------------------------------------
+
+const T_DATA: u8 = 0;
+const T_LINK_HELLO: u8 = 1;
+const T_HELLO: u8 = 2;
+const T_INIT: u8 = 3;
+const T_READY: u8 = 4;
+const T_COORDNET: u8 = 5;
+const T_NOTICE: u8 = 6;
+const T_SHUTDOWN: u8 = 7;
+const T_EXIT: u8 = 8;
+const T_GARBLE: u8 = 9;
+const T_PARTITION: u8 = 10;
+const T_DELAY: u8 = 11;
+
+/// Everything that crosses a socket, data plane and control plane alike.
+/// Each variant travels inside the standard codec frame envelope.
+enum Wire {
+    /// Worker → worker protocol message, sequenced per link direction.
+    Data {
+        seq: u64,
+        from: ProcId,
+        to: ProcId,
+        msg: Msg,
+    },
+    /// First frame on a worker → worker connection: who is calling.
+    LinkHello { from_shard: u32 },
+    /// First frame a worker sends the coordinator.
+    Hello { shard: u32 },
+    /// Coordinator → worker machine configuration.
+    Init(Box<Init>),
+    /// Worker → coordinator: engines built, listener live.
+    Ready { shard: u32 },
+    /// Driver-link traffic (super-root ↔ worker), both directions.
+    CoordNet { from: ProcId, to: ProcId, msg: Msg },
+    /// Coordinator-broadcast failure notice.
+    Notice { dead: ProcId },
+    /// Graceful drain request.
+    Shutdown,
+    /// Worker's final counters and engine snapshots.
+    Exit(Box<ExitReport>),
+    /// Fault injection: corrupt the next data frame toward `peer`.
+    Garble { peer: u32 },
+    /// Fault injection: gate outbound flushing toward `peer`.
+    Partition { peer: u32, for_units: u64 },
+    /// Fault injection: delay outbound messages toward `peer`.
+    Delay {
+        peer: u32,
+        extra_units: u64,
+        for_units: u64,
+    },
+}
+
+/// The machine half a worker cannot derive on its own.
+struct Init {
+    shards: u32,
+    per_shard: u32,
+    seed: u64,
+    time_unit_nanos: u64,
+    router_latency: u64,
+    detector_broadcast: bool,
+    policy: Policy,
+    trace: TraceMode,
+    recovery: RecoveryConfig,
+    spec: String,
+    write_timeout_ms: u64,
+    backoff_base_us: u64,
+    backoff_cap_us: u64,
+    reconnect_budget: u32,
+}
+
+/// A worker's parting measurement dump.
+#[derive(Clone, Default)]
+struct ExitReport {
+    shard: u32,
+    events: u64,
+    delivered: u64,
+    dropped_to_dead: u64,
+    bounces: u64,
+    intra: u64,
+    inter: u64,
+    frames_sent: u64,
+    frames_resent: u64,
+    reconnects: u64,
+    decode_errors: u64,
+    snaps: Vec<EngineSnapshot>,
+    trace: TraceSummary,
+}
+
+fn encode_policy(e: &mut Enc<'_>, p: Policy) {
+    e.u8(match p {
+        Policy::Gradient => 0,
+        Policy::Random => 1,
+        Policy::RoundRobin => 2,
+        Policy::LeastLoaded => 3,
+    });
+}
+
+fn decode_policy(d: &mut Dec<'_>) -> Result<Policy, CodecError> {
+    Ok(match d.u8()? {
+        0 => Policy::Gradient,
+        1 => Policy::Random,
+        2 => Policy::RoundRobin,
+        3 => Policy::LeastLoaded,
+        t => return Err(CodecError::Tag(t)),
+    })
+}
+
+fn encode_trace_mode(e: &mut Enc<'_>, m: TraceMode) {
+    match m {
+        TraceMode::Off => {
+            e.u8(0);
+            e.u64v(0);
+        }
+        TraceMode::Ring(n) => {
+            e.u8(1);
+            e.u64v(n as u64);
+        }
+        TraceMode::Full => {
+            e.u8(2);
+            e.u64v(0);
+        }
+        TraceMode::Checksum => {
+            e.u8(3);
+            e.u64v(0);
+        }
+    }
+}
+
+fn decode_trace_mode(d: &mut Dec<'_>) -> Result<TraceMode, CodecError> {
+    let tag = d.u8()?;
+    let param = d.u64v()?;
+    Ok(match tag {
+        0 => TraceMode::Off,
+        1 => TraceMode::Ring(param as usize),
+        2 => TraceMode::Full,
+        3 => TraceMode::Checksum,
+        t => return Err(CodecError::Tag(t)),
+    })
+}
+
+fn encode_recovery(e: &mut Enc<'_>, r: &RecoveryConfig) {
+    e.u8(match r.mode {
+        RecoveryMode::None => 0,
+        RecoveryMode::Rollback => 1,
+        RecoveryMode::Splice => 2,
+    });
+    e.u64v(r.ancestor_depth as u64);
+    e.u8(match r.ckpt_filter {
+        CheckpointFilter::Topmost => 0,
+        CheckpointFilter::All => 1,
+    });
+    e.u64v(r.ack_timeout);
+    e.u64v(r.load_beacon_period);
+    e.u64v(r.splice_grace);
+    e.u8(u8::from(r.gossip_notices));
+    e.u8(u8::from(r.probe_acked));
+    let mut reps: Vec<(u32, &ReplicaSpec)> = r.replicate.iter().map(|(f, s)| (f.0, s)).collect();
+    reps.sort_by_key(|(f, _)| *f);
+    e.u64v(reps.len() as u64);
+    for (fnid, spec) in reps {
+        e.u32v(fnid);
+        e.u32v(spec.n);
+        e.u8(match spec.vote {
+            VoteMode::Majority => 0,
+            VoteMode::WaitAll => 1,
+        });
+    }
+}
+
+fn decode_recovery(d: &mut Dec<'_>) -> Result<RecoveryConfig, CodecError> {
+    let mode = match d.u8()? {
+        0 => RecoveryMode::None,
+        1 => RecoveryMode::Rollback,
+        2 => RecoveryMode::Splice,
+        t => return Err(CodecError::Tag(t)),
+    };
+    let ancestor_depth = d.u64v()? as usize;
+    let ckpt_filter = match d.u8()? {
+        0 => CheckpointFilter::Topmost,
+        1 => CheckpointFilter::All,
+        t => return Err(CodecError::Tag(t)),
+    };
+    let ack_timeout = d.u64v()?;
+    let load_beacon_period = d.u64v()?;
+    let splice_grace = d.u64v()?;
+    let gossip_notices = d.u8()? != 0;
+    let probe_acked = d.u8()? != 0;
+    let n = d.u64v()?;
+    let mut replicate = std::collections::HashMap::new();
+    for _ in 0..n {
+        let fnid = FnId(d.u32v()?);
+        let reps = d.u32v()?;
+        let vote = match d.u8()? {
+            0 => VoteMode::Majority,
+            1 => VoteMode::WaitAll,
+            t => return Err(CodecError::Tag(t)),
+        };
+        replicate.insert(fnid, ReplicaSpec { n: reps, vote });
+    }
+    Ok(RecoveryConfig {
+        mode,
+        ancestor_depth,
+        ckpt_filter,
+        replicate,
+        ack_timeout,
+        load_beacon_period,
+        splice_grace,
+        gossip_notices,
+        probe_acked,
+    })
+}
+
+fn encode_snapshot(e: &mut Enc<'_>, s: &EngineSnapshot) {
+    let st = &s.stats;
+    e.u64v(st.tasks_created);
+    e.u64v(st.tasks_completed);
+    e.u64v(st.waves_run);
+    e.u64v(st.work_units);
+    for v in st.msgs_sent {
+        e.u64v(v);
+    }
+    for v in st.msgs_recv {
+        e.u64v(v);
+    }
+    e.u64v(st.bytes_sent);
+    e.u64v(st.spawns_emitted);
+    e.u64v(st.reissues);
+    e.u64v(st.ack_timeouts);
+    e.u64v(st.step_parents_created);
+    e.u64v(st.salvaged_results);
+    e.u64v(st.salvage_before_spawn);
+    e.u64v(st.salvage_after_spawn);
+    e.u64v(st.salvage_forwarded);
+    e.u64v(st.salvage_dropped);
+    e.u64v(st.stranded_orphans);
+    e.u64v(st.aborts_sent);
+    e.u64v(st.tasks_aborted);
+    e.u64v(st.orphans_suicided);
+    e.u64v(st.duplicate_results_ignored);
+    e.u64v(st.stale_messages_ignored);
+    e.u64v(st.votes_decided);
+    e.u64v(st.votes_conflicted);
+    e.u64v(st.votes_dissenting);
+    e.u64v(st.replica_results);
+    e.u64v(st.eval_errors);
+    e.u64v(s.ckpt_peak_entries as u64);
+    e.u64v(s.ckpt_peak_bytes as u64);
+    e.u64v(s.ckpt_stored);
+}
+
+fn decode_snapshot(d: &mut Dec<'_>) -> Result<EngineSnapshot, CodecError> {
+    let mut s = EngineSnapshot::default();
+    let st = &mut s.stats;
+    st.tasks_created = d.u64v()?;
+    st.tasks_completed = d.u64v()?;
+    st.waves_run = d.u64v()?;
+    st.work_units = d.u64v()?;
+    for v in st.msgs_sent.iter_mut() {
+        *v = d.u64v()?;
+    }
+    for v in st.msgs_recv.iter_mut() {
+        *v = d.u64v()?;
+    }
+    st.bytes_sent = d.u64v()?;
+    st.spawns_emitted = d.u64v()?;
+    st.reissues = d.u64v()?;
+    st.ack_timeouts = d.u64v()?;
+    st.step_parents_created = d.u64v()?;
+    st.salvaged_results = d.u64v()?;
+    st.salvage_before_spawn = d.u64v()?;
+    st.salvage_after_spawn = d.u64v()?;
+    st.salvage_forwarded = d.u64v()?;
+    st.salvage_dropped = d.u64v()?;
+    st.stranded_orphans = d.u64v()?;
+    st.aborts_sent = d.u64v()?;
+    st.tasks_aborted = d.u64v()?;
+    st.orphans_suicided = d.u64v()?;
+    st.duplicate_results_ignored = d.u64v()?;
+    st.stale_messages_ignored = d.u64v()?;
+    st.votes_decided = d.u64v()?;
+    st.votes_conflicted = d.u64v()?;
+    st.votes_dissenting = d.u64v()?;
+    st.replica_results = d.u64v()?;
+    st.eval_errors = d.u64v()?;
+    s.ckpt_peak_entries = d.u64v()? as usize;
+    s.ckpt_peak_bytes = d.u64v()? as usize;
+    s.ckpt_stored = d.u64v()?;
+    Ok(s)
+}
+
+fn encode_wire(w: &Wire, out: &mut Vec<u8>) {
+    let mut e = Enc::new(out);
+    match w {
+        Wire::Data { seq, from, to, msg } => {
+            e.u8(T_DATA);
+            e.u64v(*seq);
+            e.proc(*from);
+            e.proc(*to);
+            encode_msg(msg, out);
+        }
+        Wire::LinkHello { from_shard } => {
+            e.u8(T_LINK_HELLO);
+            e.u32v(*from_shard);
+        }
+        Wire::Hello { shard } => {
+            e.u8(T_HELLO);
+            e.u32v(*shard);
+        }
+        Wire::Init(i) => {
+            e.u8(T_INIT);
+            e.u32v(i.shards);
+            e.u32v(i.per_shard);
+            e.u64v(i.seed);
+            e.u64v(i.time_unit_nanos);
+            e.u64v(i.router_latency);
+            e.u8(u8::from(i.detector_broadcast));
+            encode_policy(&mut e, i.policy);
+            encode_trace_mode(&mut e, i.trace);
+            encode_recovery(&mut e, &i.recovery);
+            e.str(&i.spec);
+            e.u64v(i.write_timeout_ms);
+            e.u64v(i.backoff_base_us);
+            e.u64v(i.backoff_cap_us);
+            e.u32v(i.reconnect_budget);
+        }
+        Wire::Ready { shard } => {
+            e.u8(T_READY);
+            e.u32v(*shard);
+        }
+        Wire::CoordNet { from, to, msg } => {
+            e.u8(T_COORDNET);
+            e.proc(*from);
+            e.proc(*to);
+            encode_msg(msg, out);
+        }
+        Wire::Notice { dead } => {
+            e.u8(T_NOTICE);
+            e.proc(*dead);
+        }
+        Wire::Shutdown => e.u8(T_SHUTDOWN),
+        Wire::Exit(r) => {
+            e.u8(T_EXIT);
+            e.u32v(r.shard);
+            e.u64v(r.events);
+            e.u64v(r.delivered);
+            e.u64v(r.dropped_to_dead);
+            e.u64v(r.bounces);
+            e.u64v(r.intra);
+            e.u64v(r.inter);
+            e.u64v(r.frames_sent);
+            e.u64v(r.frames_resent);
+            e.u64v(r.reconnects);
+            e.u64v(r.decode_errors);
+            e.u64v(r.snaps.len() as u64);
+            for s in &r.snaps {
+                encode_snapshot(&mut e, s);
+            }
+            e.u64v(r.trace.events);
+            e.u64v(r.trace.dropped);
+            e.u64v(r.trace.stream);
+            e.u64v(r.trace.semantic);
+        }
+        Wire::Garble { peer } => {
+            e.u8(T_GARBLE);
+            e.u32v(*peer);
+        }
+        Wire::Partition { peer, for_units } => {
+            e.u8(T_PARTITION);
+            e.u32v(*peer);
+            e.u64v(*for_units);
+        }
+        Wire::Delay {
+            peer,
+            extra_units,
+            for_units,
+        } => {
+            e.u8(T_DELAY);
+            e.u32v(*peer);
+            e.u64v(*extra_units);
+            e.u64v(*for_units);
+        }
+    }
+}
+
+fn decode_wire(body: &[u8]) -> Result<Wire, CodecError> {
+    let mut d = Dec::new(body);
+    let w = match d.u8()? {
+        T_DATA => {
+            let seq = d.u64v()?;
+            let from = d.proc()?;
+            let to = d.proc()?;
+            let msg = decode_msg_at(&mut d)?;
+            Wire::Data { seq, from, to, msg }
+        }
+        T_LINK_HELLO => Wire::LinkHello {
+            from_shard: d.u32v()?,
+        },
+        T_HELLO => Wire::Hello { shard: d.u32v()? },
+        T_INIT => {
+            let shards = d.u32v()?;
+            let per_shard = d.u32v()?;
+            let seed = d.u64v()?;
+            let time_unit_nanos = d.u64v()?;
+            let router_latency = d.u64v()?;
+            let detector_broadcast = d.u8()? != 0;
+            let policy = decode_policy(&mut d)?;
+            let trace = decode_trace_mode(&mut d)?;
+            let recovery = decode_recovery(&mut d)?;
+            let spec = d.str()?;
+            let write_timeout_ms = d.u64v()?;
+            let backoff_base_us = d.u64v()?;
+            let backoff_cap_us = d.u64v()?;
+            let reconnect_budget = d.u32v()?;
+            Wire::Init(Box::new(Init {
+                shards,
+                per_shard,
+                seed,
+                time_unit_nanos,
+                router_latency,
+                detector_broadcast,
+                policy,
+                trace,
+                recovery,
+                spec,
+                write_timeout_ms,
+                backoff_base_us,
+                backoff_cap_us,
+                reconnect_budget,
+            }))
+        }
+        T_READY => Wire::Ready { shard: d.u32v()? },
+        T_COORDNET => {
+            let from = d.proc()?;
+            let to = d.proc()?;
+            let msg = decode_msg_at(&mut d)?;
+            Wire::CoordNet { from, to, msg }
+        }
+        T_NOTICE => Wire::Notice { dead: d.proc()? },
+        T_SHUTDOWN => Wire::Shutdown,
+        T_EXIT => {
+            let shard = d.u32v()?;
+            let events = d.u64v()?;
+            let delivered = d.u64v()?;
+            let dropped_to_dead = d.u64v()?;
+            let bounces = d.u64v()?;
+            let intra = d.u64v()?;
+            let inter = d.u64v()?;
+            let frames_sent = d.u64v()?;
+            let frames_resent = d.u64v()?;
+            let reconnects = d.u64v()?;
+            let decode_errors = d.u64v()?;
+            let n = d.u64v()?;
+            let mut snaps = Vec::new();
+            for _ in 0..n {
+                snaps.push(decode_snapshot(&mut d)?);
+            }
+            let trace = TraceSummary {
+                events: d.u64v()?,
+                dropped: d.u64v()?,
+                stream: d.u64v()?,
+                semantic: d.u64v()?,
+            };
+            Wire::Exit(Box::new(ExitReport {
+                shard,
+                events,
+                delivered,
+                dropped_to_dead,
+                bounces,
+                intra,
+                inter,
+                frames_sent,
+                frames_resent,
+                reconnects,
+                decode_errors,
+                snaps,
+                trace,
+            }))
+        }
+        T_GARBLE => Wire::Garble { peer: d.u32v()? },
+        T_PARTITION => {
+            let peer = d.u32v()?;
+            let for_units = d.u64v()?;
+            Wire::Partition { peer, for_units }
+        }
+        T_DELAY => {
+            let peer = d.u32v()?;
+            let extra_units = d.u64v()?;
+            let for_units = d.u64v()?;
+            Wire::Delay {
+                peer,
+                extra_units,
+                for_units,
+            }
+        }
+        t => return Err(CodecError::Tag(t)),
+    };
+    if d.remaining() != 0 {
+        return Err(CodecError::Trailing);
+    }
+    Ok(w)
+}
+
+/// Frames `w` and writes it in one blocking `write_all`.
+fn write_wire(
+    stream: &mut UnixStream,
+    w: &Wire,
+    scratch: &mut (Vec<u8>, Vec<u8>),
+) -> io::Result<()> {
+    scratch.0.clear();
+    encode_wire(w, &mut scratch.0);
+    scratch.1.clear();
+    encode_frame(&scratch.0, &mut scratch.1);
+    stream.write_all(&scratch.1)
+}
+
+/// Drains everything currently readable from a nonblocking stream into a
+/// reassembly buffer. `Ok(true)` means the peer closed the stream.
+fn pump_read(stream: &mut UnixStream, fb: &mut FrameBuf) -> io::Result<bool> {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(true),
+            Ok(n) => fb.extend(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport (worker side)
+// ---------------------------------------------------------------------------
+
+/// One protocol message queued for a remote shard.
+struct OutMsg {
+    from: ProcId,
+    to: ProcId,
+    msg: Msg,
+    /// Delay-fault gate: hold the message until this instant.
+    not_before: Option<Instant>,
+}
+
+/// Per-peer connection state machine.
+struct Peer {
+    shard: u32,
+    path: PathBuf,
+    stream: Option<UnixStream>,
+    pending: VecDeque<OutMsg>,
+    /// Every data frame ever written on this link, clean-encoded, indexed
+    /// by sequence number. Replayed wholesale on reconnect; the receiver
+    /// deduplicates. Retained for the run's lifetime — runs are short and
+    /// the frames are the protocol's own traffic, so this is the simplest
+    /// correct ARQ.
+    sent: Vec<Vec<u8>>,
+    attempts: u32,
+    next_attempt: Instant,
+    /// True once any connection attempt has been made; later attempts
+    /// count as reconnects.
+    tried: bool,
+    dead: bool,
+    garble_next: bool,
+    block_until: Option<Instant>,
+    /// `(window_end, extra_units)` of an active delay fault.
+    delay: Option<(Instant, u64)>,
+}
+
+/// All of a worker's outbound links plus the shared counters.
+struct Transport {
+    peers: Vec<Option<Peer>>,
+    me: u32,
+    nanos: u64,
+    write_timeout: Duration,
+    backoff_base_us: u64,
+    backoff_cap_us: u64,
+    budget: u32,
+    rng: u64,
+    frames_sent: u64,
+    frames_resent: u64,
+    reconnects: u64,
+    scratch: Vec<u8>,
+    frame: Vec<u8>,
+}
+
+impl Transport {
+    fn new(dir: &Path, me: u32, shards: u32, nanos: u64, init: &Init, seed: u64) -> Transport {
+        let now = Instant::now();
+        let peers = (0..shards)
+            .map(|k| {
+                (k != me).then(|| Peer {
+                    shard: k,
+                    path: sock_path(dir, k),
+                    stream: None,
+                    pending: VecDeque::new(),
+                    sent: Vec::new(),
+                    attempts: 0,
+                    next_attempt: now,
+                    tried: false,
+                    dead: false,
+                    garble_next: false,
+                    block_until: None,
+                    delay: None,
+                })
+            })
+            .collect();
+        Transport {
+            peers,
+            me,
+            nanos,
+            write_timeout: Duration::from_millis(init.write_timeout_ms.max(1)),
+            backoff_base_us: init.backoff_base_us.max(1),
+            backoff_cap_us: init.backoff_cap_us.max(1),
+            budget: init.reconnect_budget.max(1),
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15 ^ u64::from(me) << 32 | 1,
+            frames_sent: 0,
+            frames_resent: 0,
+            reconnects: 0,
+            scratch: Vec::new(),
+            frame: Vec::new(),
+        }
+    }
+
+    fn next_jitter(&mut self, bound_us: u64) -> u64 {
+        // xorshift64: deterministic per (seed, shard) jitter.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        if bound_us == 0 {
+            0
+        } else {
+            x % bound_us
+        }
+    }
+
+    fn backoff(&mut self, attempts: u32) -> Duration {
+        let us = self
+            .backoff_base_us
+            .saturating_mul(1u64 << attempts.min(16))
+            .min(self.backoff_cap_us);
+        let jitter = self.next_jitter(us / 4 + 1);
+        Duration::from_micros(us + jitter)
+    }
+
+    /// Queues a message for `shard`. Returns the message back when the
+    /// peer is already declared dead (the caller bounces it).
+    fn enqueue(
+        &mut self,
+        shard: u32,
+        from: ProcId,
+        to: ProcId,
+        msg: Msg,
+        now: Instant,
+    ) -> Option<(ProcId, ProcId, Msg)> {
+        let nanos = self.nanos;
+        let Some(peer) = self.peers[shard as usize].as_mut() else {
+            return Some((from, to, msg));
+        };
+        if peer.dead {
+            return Some((from, to, msg));
+        }
+        let not_before = peer
+            .delay
+            .and_then(|(end, extra)| (now < end).then(|| now + units_to_wall(nanos, extra)));
+        peer.pending.push_back(OutMsg {
+            from,
+            to,
+            msg,
+            not_before,
+        });
+        None
+    }
+
+    /// Declares `shard` dead from the outside (coordinator notice),
+    /// returning the pending traffic for bouncing.
+    fn kill_peer(&mut self, shard: u32) -> Vec<OutMsg> {
+        match self.peers[shard as usize].as_mut() {
+            Some(peer) if !peer.dead => {
+                peer.dead = true;
+                peer.stream = None;
+                peer.sent.clear();
+                peer.pending.drain(..).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn peer_flag(&mut self, shard: u32) -> Option<&mut Peer> {
+        self.peers.get_mut(shard as usize)?.as_mut()
+    }
+
+    /// Pushes queued traffic onto sockets, reconnecting as needed.
+    /// Returns peers that exhausted their reconnect budget this call,
+    /// with the traffic that must now bounce.
+    fn flush(&mut self, now: Instant) -> Vec<(u32, Vec<OutMsg>)> {
+        let mut died = Vec::new();
+        for i in 0..self.peers.len() {
+            let Some(mut peer) = self.peers[i].take() else {
+                continue;
+            };
+            self.flush_peer(&mut peer, now, &mut died);
+            self.peers[i] = Some(peer);
+        }
+        died
+    }
+
+    fn flush_peer(&mut self, peer: &mut Peer, now: Instant, died: &mut Vec<(u32, Vec<OutMsg>)>) {
+        if peer.dead {
+            return;
+        }
+        if peer.block_until.is_some_and(|t| now < t) {
+            return;
+        }
+        if let Some(s) = peer.stream.as_mut() {
+            // Links are one-directional — the receiver never writes — so
+            // the only readable state this socket can reach is EOF/reset:
+            // the receiver rejected a frame and dropped the connection.
+            // Probe for that even when idle; without this, a corrupted
+            // *final* frame on a link that then goes quiet is lost forever
+            // (the retained clean copy only replays on reconnect, and the
+            // sender would otherwise only notice on its next write).
+            let mut probe = [0u8; 16];
+            let gone = s.set_nonblocking(true).is_err()
+                || match s.read(&mut probe) {
+                    // EOF, or bytes the protocol never sends: resync via
+                    // reconnect either way (the receiver dedups the replay).
+                    Ok(_) => true,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => false,
+                    Err(_) => true,
+                };
+            if !gone {
+                let _ = s.set_nonblocking(false);
+            }
+            if gone {
+                peer.stream = None;
+                peer.next_attempt = now;
+            }
+        }
+        let wants = !peer.pending.is_empty() || (peer.stream.is_none() && !peer.sent.is_empty());
+        if !wants {
+            return;
+        }
+        if peer.stream.is_none() {
+            if now < peer.next_attempt {
+                return;
+            }
+            if peer.tried {
+                self.reconnects += 1;
+            }
+            peer.tried = true;
+            match UnixStream::connect(&peer.path) {
+                Ok(s) => {
+                    let _ = s.set_write_timeout(Some(self.write_timeout));
+                    let mut s = s;
+                    let me = self.me;
+                    let hello_ok = {
+                        self.scratch.clear();
+                        encode_wire(&Wire::LinkHello { from_shard: me }, &mut self.scratch);
+                        self.frame.clear();
+                        encode_frame(&self.scratch, &mut self.frame);
+                        s.write_all(&self.frame).is_ok()
+                    };
+                    if !hello_ok {
+                        peer.next_attempt = now;
+                        return;
+                    }
+                    self.frames_sent += 1;
+                    // Replay the whole retained sequence; the receiver's
+                    // per-source sequence dedup skips what it already has.
+                    let mut replay_ok = true;
+                    for f in &peer.sent {
+                        if s.write_all(f).is_ok() {
+                            self.frames_sent += 1;
+                            self.frames_resent += 1;
+                        } else {
+                            replay_ok = false;
+                            break;
+                        }
+                    }
+                    if !replay_ok {
+                        peer.next_attempt = now;
+                        return;
+                    }
+                    peer.attempts = 0;
+                    peer.stream = Some(s);
+                }
+                Err(_) => {
+                    peer.attempts += 1;
+                    if peer.attempts >= self.budget {
+                        peer.dead = true;
+                        peer.sent.clear();
+                        let drained: Vec<OutMsg> = peer.pending.drain(..).collect();
+                        died.push((peer.shard, drained));
+                        return;
+                    }
+                    peer.next_attempt = now + self.backoff(peer.attempts);
+                    return;
+                }
+            }
+        }
+        loop {
+            let due = match peer.pending.front() {
+                None => break,
+                Some(m) => m.not_before.is_none_or(|t| now >= t),
+            };
+            if !due {
+                break;
+            }
+            let head = peer.pending.front().expect("checked nonempty");
+            let seq = peer.sent.len() as u64;
+            self.scratch.clear();
+            {
+                let mut e = Enc::new(&mut self.scratch);
+                e.u8(T_DATA);
+                e.u64v(seq);
+                e.proc(head.from);
+                e.proc(head.to);
+            }
+            encode_msg(&head.msg, &mut self.scratch);
+            self.frame.clear();
+            encode_frame(&self.scratch, &mut self.frame);
+            let wire_bytes = if peer.garble_next {
+                peer.garble_next = false;
+                // Flip one body byte after the checksum was computed: the
+                // length word survives (stream framing stays parseable) but
+                // the receiver's checksum rejects the frame.
+                let mut g = self.frame.clone();
+                g[5] ^= 0x5a;
+                g
+            } else {
+                self.frame.clone()
+            };
+            let stream = peer.stream.as_mut().expect("connected above");
+            match stream.write_all(&wire_bytes) {
+                Ok(()) => {
+                    self.frames_sent += 1;
+                    peer.sent.push(std::mem::take(&mut self.frame));
+                    peer.pending.pop_front();
+                }
+                Err(_) => {
+                    // Broken mid-write: reconnect-and-replay recovers the
+                    // (possibly partial) frame; the head stays queued only
+                    // if it was never retained.
+                    peer.stream = None;
+                    peer.next_attempt = now;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// Everything the worker substrate needs mutable access to.
+struct WorkerCore {
+    me: u32,
+    shards: u32,
+    per_shard: u32,
+    nanos: u64,
+    epoch: Instant,
+    dead: Vec<bool>,
+    inbox: VecDeque<(ProcId, Msg)>,
+    bounces: VecDeque<(ProcId, ProcId, Msg)>,
+    timers: TimerWheel<Instant, (ProcId, Timer)>,
+    transport: Transport,
+    coord: UnixStream,
+    coord_down: bool,
+    scratch: (Vec<u8>, Vec<u8>),
+    /// Next expected data sequence number per source shard. Survives
+    /// connection drops — that is the whole point of the dedup.
+    expected_seq: Vec<u64>,
+    dropped_to_dead: u64,
+    decode_errors: u64,
+}
+
+impl WorkerCore {
+    fn now_units(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / u128::from(self.nanos.max(1))) as u64
+    }
+
+    fn send_coord(&mut self, w: &Wire) {
+        if self.coord_down {
+            return;
+        }
+        if write_wire(&mut self.coord, w, &mut self.scratch).is_err() {
+            self.coord_down = true;
+        }
+    }
+
+    fn shard_of(&self, p: ProcId) -> u32 {
+        p.0 / self.per_shard.max(1)
+    }
+
+    fn route(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+        if to.is_super_root() {
+            self.send_coord(&Wire::CoordNet { from, to, msg });
+            return;
+        }
+        if self.dead[to.0 as usize] {
+            // Mirror the DES bounce rule: live senders get their message
+            // back through on_send_failed; super-root sends are silently
+            // dropped.
+            if from.is_super_root() {
+                self.dropped_to_dead += 1;
+            } else {
+                self.bounces.push_back((from, to, msg));
+            }
+            return;
+        }
+        let shard = self.shard_of(to);
+        if shard == self.me {
+            self.inbox.push_back((to, msg));
+            return;
+        }
+        if let Some((f, t, m)) = self.transport.enqueue(shard, from, to, msg, Instant::now()) {
+            if f.is_super_root() {
+                self.dropped_to_dead += 1;
+            } else {
+                self.bounces.push_back((f, t, m));
+            }
+        }
+    }
+
+    /// Fans a death observation out to the canonical notice targets:
+    /// local engines via the inbox, remote shards via the transport, the
+    /// super-root via the driver link.
+    fn announce_death(&mut self, dead: ProcId) {
+        let n = self.shards * self.per_shard;
+        let targets = death_notice_targets(n, |p| !self.dead[p.0 as usize], dead);
+        for t in targets {
+            if t.is_super_root() {
+                self.send_coord(&Wire::CoordNet {
+                    from: dead,
+                    to: ProcId::SUPER_ROOT,
+                    msg: Msg::FailureNotice { dead },
+                });
+            } else if self.shard_of(t) == self.me {
+                self.inbox.push_back((t, Msg::FailureNotice { dead }));
+            } else {
+                let _ = self.transport.enqueue(
+                    self.shard_of(t),
+                    dead,
+                    t,
+                    Msg::FailureNotice { dead },
+                    Instant::now(),
+                );
+            }
+        }
+    }
+
+    /// Marks every processor of `shard` dead; returns the procs newly
+    /// marked.
+    fn mark_shard_dead(&mut self, shard: u32) -> Vec<ProcId> {
+        let mut newly = Vec::new();
+        for j in 0..self.per_shard {
+            let p = ProcId(shard * self.per_shard + j);
+            if !self.dead[p.0 as usize] {
+                self.dead[p.0 as usize] = true;
+                newly.push(p);
+            }
+        }
+        newly
+    }
+}
+
+/// The innermost worker substrate: real sockets, real clocks.
+struct WireSub<'a> {
+    core: &'a mut WorkerCore,
+}
+
+impl Substrate for WireSub<'_> {
+    fn n_procs(&self) -> u32 {
+        self.core.shards * self.core.per_shard
+    }
+
+    fn is_live(&self, p: ProcId) -> bool {
+        !self.core.dead[p.0 as usize]
+    }
+
+    fn now_units(&self) -> u64 {
+        self.core.now_units()
+    }
+
+    fn send(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+        self.core.route(from, to, msg);
+    }
+
+    // send_delayed keeps the trait default: real time already passes on
+    // the socket, like the threaded runtime.
+
+    fn arm_timer(&mut self, owner: ProcId, timer: Timer, delay: u64) {
+        let at = Instant::now() + units_to_wall(self.core.nanos, delay);
+        self.core.timers.arm(at, (owner, timer));
+    }
+
+    fn report_death(&mut self, dead: ProcId) {
+        self.core.announce_death(dead);
+    }
+}
+
+/// One accepted inbound connection (a peer worker or the coordinator).
+struct InConn {
+    stream: UnixStream,
+    fb: FrameBuf,
+    src: Option<u32>,
+    is_coord: bool,
+}
+
+/// The worker process body: binds its shard socket, handshakes with the
+/// coordinator, hosts `per_shard` protocol engines, and pumps messages,
+/// timers, waves and the transport until told to shut down. Returns the
+/// process exit code (`0` = clean).
+pub fn worker_main(dir: &Path, shard: u32) -> i32 {
+    let start = Instant::now();
+    let listener = match UnixListener::bind(sock_path(dir, shard)) {
+        Ok(l) => l,
+        Err(_) => return 2,
+    };
+    if listener.set_nonblocking(true).is_err() {
+        return 2;
+    }
+    // Connect the driver link. The coordinator binds its socket before
+    // spawning workers, so a short retry loop is cosmetic.
+    let mut coord = loop {
+        match UnixStream::connect(dir.join("coord.sock")) {
+            Ok(s) => break s,
+            Err(_) if start.elapsed() < Duration::from_secs(10) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return 2,
+        }
+    };
+    let _ = coord.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut scratch = (Vec::new(), Vec::new());
+    if write_wire(&mut coord, &Wire::Hello { shard }, &mut scratch).is_err() {
+        return 2;
+    }
+
+    // Handshake: wait for Init, buffering any early peer data frames.
+    let mut conns: Vec<InConn> = Vec::new();
+    let mut pre_data: Vec<(u32, u64, ProcId, Msg)> = Vec::new();
+    let mut init: Option<Box<Init>> = None;
+    while init.is_none() {
+        if start.elapsed() > Duration::from_secs(10) {
+            return 2;
+        }
+        accept_conns(&listener, &mut conns);
+        let mut any = false;
+        let mut drop_idx: Vec<usize> = Vec::new();
+        for (ci, conn) in conns.iter_mut().enumerate() {
+            loop {
+                match conn.fb.next_frame() {
+                    Ok(Some(body)) => {
+                        any = true;
+                        match decode_wire(&body) {
+                            Ok(Wire::Init(i)) => {
+                                conn.is_coord = true;
+                                init = Some(i);
+                            }
+                            Ok(Wire::LinkHello { from_shard }) => conn.src = Some(from_shard),
+                            Ok(Wire::Data { seq, to, msg, .. }) => {
+                                if let Some(s) = conn.src {
+                                    pre_data.push((s, seq, to, msg));
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        drop_idx.push(ci);
+                        break;
+                    }
+                }
+            }
+            match pump_read(&mut conn.stream, &mut conn.fb) {
+                Ok(false) => {}
+                Ok(true) | Err(_) => {
+                    if !conn.is_coord && conn.fb.pending() == 0 {
+                        drop_idx.push(ci);
+                    }
+                }
+            }
+        }
+        for ci in drop_idx.into_iter().rev() {
+            conns.remove(ci);
+        }
+        if !any {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let init = init.expect("loop exits with init");
+    let Some(workload) = parse_workload(&init.spec) else {
+        return 2;
+    };
+
+    // Build the machine half.
+    let shards = init.shards;
+    let per_shard = init.per_shard;
+    let nanos = init.time_unit_nanos.max(1);
+    let n = shards * per_shard;
+    let topology = Topology::Sharded {
+        shards,
+        inner: Box::new(Topology::Complete { n: per_shard }),
+    };
+    let program = Arc::new(workload.program.clone());
+    let mut nodes: Vec<DriverLoop> = (0..per_shard)
+        .map(|j| {
+            let id = ProcId(shard * per_shard + j);
+            DriverLoop::new(
+                id,
+                program.clone(),
+                init.recovery.clone(),
+                init.policy.build(id, &topology, init.seed),
+            )
+        })
+        .collect();
+    let mut tracer = Tracer::new(init.trace);
+    let mut core = WorkerCore {
+        me: shard,
+        shards,
+        per_shard,
+        nanos,
+        epoch: Instant::now(),
+        dead: vec![false; n as usize],
+        inbox: VecDeque::new(),
+        bounces: VecDeque::new(),
+        timers: TimerWheel::new(),
+        transport: Transport::new(dir, shard, shards, nanos, &init, init.seed),
+        coord,
+        coord_down: false,
+        scratch,
+        expected_seq: vec![0; shards as usize],
+        dropped_to_dead: 0,
+        decode_errors: 0,
+    };
+    // Replay pre-init data frames through the ordinary dedup path.
+    for (src, seq, to, msg) in pre_data {
+        let exp = &mut core.expected_seq[src as usize];
+        if seq < *exp {
+            continue;
+        }
+        if seq > *exp {
+            core.decode_errors += 1;
+            continue;
+        }
+        *exp += 1;
+        if core.shard_of(to) == shard {
+            core.inbox.push_back((to, msg));
+        }
+    }
+    let mut events: u64 = 0;
+    let mut delivered: u64 = 0;
+    let mut bounce_count: u64 = 0;
+    let mut intra: u64 = 0;
+    let mut inter: u64 = 0;
+    {
+        let mut sub = worker_stack(&mut core, &mut tracer, init.router_latency);
+        for node in nodes.iter_mut() {
+            node.start(&mut sub);
+        }
+        let s = sub.stats();
+        intra += s.intra_msgs;
+        inter += s.inter_msgs;
+    }
+    core.send_coord(&Wire::Ready { shard });
+
+    // Main loop.
+    let mut shutdown = false;
+    loop {
+        if start.elapsed() > Duration::from_secs(600) {
+            return 3;
+        }
+        accept_conns(&listener, &mut conns);
+        let mut progressed = false;
+        let mut coord_eof = false;
+        let mut drop_idx: Vec<usize> = Vec::new();
+        for (ci, conn) in conns.iter_mut().enumerate() {
+            let eof = pump_read(&mut conn.stream, &mut conn.fb).unwrap_or(true);
+            loop {
+                match conn.fb.next_frame() {
+                    Ok(Some(body)) => {
+                        progressed = true;
+                        match decode_wire(&body) {
+                            Ok(w) => {
+                                if handle_worker_frame(&mut core, conn, w, &mut shutdown) {
+                                    drop_idx.push(ci);
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                core.decode_errors += 1;
+                                drop_idx.push(ci);
+                                break;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        core.decode_errors += 1;
+                        drop_idx.push(ci);
+                        break;
+                    }
+                }
+            }
+            if eof && conn.fb.pending() == 0 {
+                if conn.is_coord {
+                    coord_eof = true;
+                } else {
+                    drop_idx.push(ci);
+                }
+            }
+        }
+        drop_idx.sort_unstable();
+        drop_idx.dedup();
+        for ci in drop_idx.into_iter().rev() {
+            conns.remove(ci);
+        }
+        if coord_eof || core.coord_down {
+            // The coordinator vanished: nothing to report to, just stop.
+            return 0;
+        }
+        if shutdown {
+            break;
+        }
+
+        // Timers, deliveries, bounces, waves — all through one transient
+        // decorator stack per iteration.
+        let now = Instant::now();
+        let mut due: Vec<(ProcId, Timer)> = Vec::new();
+        while let Some(t) = core.timers.pop_due(&now) {
+            due.push(t);
+        }
+        let mut msgs: Vec<(ProcId, Msg)> = Vec::new();
+        for _ in 0..64 {
+            match core.inbox.pop_front() {
+                Some(m) => msgs.push(m),
+                None => break,
+            }
+        }
+        let bns: Vec<(ProcId, ProcId, Msg)> = core.bounces.drain(..).collect();
+        {
+            let mut sub = worker_stack(&mut core, &mut tracer, init.router_latency);
+            for (owner, timer) in due {
+                let idx = (owner.0 % per_shard) as usize;
+                nodes[idx].on_timer(timer, &mut sub);
+                events += 1;
+                progressed = true;
+            }
+            for (to, msg) in msgs {
+                let idx = (to.0 % per_shard) as usize;
+                nodes[idx].on_message(msg, &mut sub);
+                events += 1;
+                delivered += 1;
+                progressed = true;
+            }
+            for (sender, dead_to, msg) in bns {
+                let idx = (sender.0 % per_shard) as usize;
+                nodes[idx].on_send_failed(dead_to, msg, &mut sub);
+                events += 1;
+                bounce_count += 1;
+                progressed = true;
+            }
+            for _ in 0..16 {
+                let mut any = false;
+                for node in nodes.iter_mut() {
+                    if node.run_ready_wave(&mut sub) {
+                        any = true;
+                        events += 1;
+                    }
+                }
+                if !any {
+                    break;
+                }
+                progressed = true;
+            }
+            let s = sub.stats();
+            intra += s.intra_msgs;
+            inter += s.inter_msgs;
+        }
+
+        // Push outbound traffic; handle transport-discovered deaths.
+        for (dead_shard, pendings) in core.transport.flush(Instant::now()) {
+            let newly = core.mark_shard_dead(dead_shard);
+            for m in pendings {
+                if m.from.is_super_root() {
+                    core.dropped_to_dead += 1;
+                } else {
+                    core.bounces.push_back((m.from, m.to, m.msg));
+                }
+            }
+            for p in newly {
+                core.announce_death(p);
+            }
+            progressed = true;
+        }
+
+        if !progressed && core.inbox.is_empty() && core.bounces.is_empty() {
+            let mut nap = Duration::from_micros(200);
+            if let Some(at) = core.timers.next_deadline() {
+                let until = at.saturating_duration_since(Instant::now());
+                nap = nap.min(until.max(Duration::from_micros(10)));
+            }
+            std::thread::sleep(nap);
+        }
+    }
+
+    // Graceful drain: snapshot the engines and report out.
+    let snaps: Vec<EngineSnapshot> = nodes
+        .iter()
+        .map(|d| EngineSnapshot::of(d.engine()))
+        .collect();
+    let rep = ExitReport {
+        shard,
+        events,
+        delivered,
+        dropped_to_dead: core.dropped_to_dead,
+        bounces: bounce_count,
+        intra,
+        inter,
+        frames_sent: core.transport.frames_sent,
+        frames_resent: core.transport.frames_resent,
+        reconnects: core.transport.reconnects,
+        decode_errors: core.decode_errors,
+        snaps,
+        trace: tracer.summary(),
+    };
+    core.send_coord(&Wire::Exit(Box::new(rep)));
+    0
+}
+
+type WorkerStack<'a> = ShardRouter<TracingSubstrate<WireSub<'a>, &'a mut Tracer>>;
+
+fn worker_stack<'a>(
+    core: &'a mut WorkerCore,
+    tracer: &'a mut Tracer,
+    router_latency: u64,
+) -> WorkerStack<'a> {
+    let map = ShardMap::new(core.shards, core.per_shard);
+    ShardRouter::new(
+        TracingSubstrate::new(WireSub { core }, tracer),
+        map,
+        router_latency,
+    )
+}
+
+fn accept_conns(listener: &UnixListener, conns: &mut Vec<InConn>) {
+    while let Ok((stream, _)) = listener.accept() {
+        let _ = stream.set_nonblocking(true);
+        conns.push(InConn {
+            stream,
+            fb: FrameBuf::new(),
+            src: None,
+            is_coord: false,
+        });
+    }
+}
+
+/// Applies one decoded frame to the worker. Returns true when the
+/// connection it arrived on must be dropped.
+fn handle_worker_frame(
+    core: &mut WorkerCore,
+    conn: &mut InConn,
+    w: Wire,
+    shutdown: &mut bool,
+) -> bool {
+    match w {
+        Wire::Data { seq, to, msg, .. } => {
+            let Some(src) = conn.src else {
+                // Data before LinkHello: protocol violation.
+                core.decode_errors += 1;
+                return true;
+            };
+            let exp = &mut core.expected_seq[src as usize];
+            if seq < *exp {
+                return false; // replayed duplicate
+            }
+            if seq > *exp {
+                // A sequence gap means the retained-replay invariant broke.
+                core.decode_errors += 1;
+                return true;
+            }
+            *exp += 1;
+            if core.shard_of(to) == core.me {
+                core.inbox.push_back((to, msg));
+            }
+            false
+        }
+        Wire::LinkHello { from_shard } => {
+            conn.src = Some(from_shard);
+            false
+        }
+        Wire::CoordNet { to, msg, .. } => {
+            conn.is_coord = true;
+            if core.shard_of(to) == core.me && !to.is_super_root() {
+                core.inbox.push_back((to, msg));
+            }
+            false
+        }
+        Wire::Notice { dead } => {
+            conn.is_coord = true;
+            if !core.dead[dead.0 as usize] {
+                core.dead[dead.0 as usize] = true;
+                for j in 0..core.per_shard {
+                    let p = ProcId(core.me * core.per_shard + j);
+                    core.inbox.push_back((p, Msg::FailureNotice { dead }));
+                }
+                let dead_shard = core.shard_of(dead);
+                if dead_shard != core.me {
+                    let whole = (0..core.per_shard)
+                        .all(|j| core.dead[(dead_shard * core.per_shard + j) as usize]);
+                    if whole {
+                        for m in core.transport.kill_peer(dead_shard) {
+                            if m.from.is_super_root() {
+                                core.dropped_to_dead += 1;
+                            } else {
+                                core.bounces.push_back((m.from, m.to, m.msg));
+                            }
+                        }
+                    }
+                }
+            }
+            false
+        }
+        Wire::Shutdown => {
+            conn.is_coord = true;
+            *shutdown = true;
+            false
+        }
+        Wire::Garble { peer } => {
+            conn.is_coord = true;
+            if let Some(p) = core.transport.peer_flag(peer) {
+                p.garble_next = true;
+            }
+            false
+        }
+        Wire::Partition { peer, for_units } => {
+            conn.is_coord = true;
+            let wall = units_to_wall(core.nanos, for_units);
+            if let Some(p) = core.transport.peer_flag(peer) {
+                p.block_until = Some(Instant::now() + wall);
+            }
+            false
+        }
+        Wire::Delay {
+            peer,
+            extra_units,
+            for_units,
+        } => {
+            conn.is_coord = true;
+            let wall = units_to_wall(core.nanos, for_units);
+            if let Some(p) = core.transport.peer_flag(peer) {
+                p.delay = Some((Instant::now() + wall, extra_units));
+            }
+            false
+        }
+        // Init is consumed during the handshake; the rest are
+        // coordinator-bound frames a worker never receives.
+        Wire::Init(_) | Wire::Hello { .. } | Wire::Ready { .. } | Wire::Exit(_) => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+struct CoordState {
+    ctrl: Vec<Option<UnixStream>>,
+    shard_dead: Vec<bool>,
+    shards: u32,
+    per_shard: u32,
+    nanos: u64,
+    epoch: Instant,
+    timers: TimerWheel<Instant, Timer>,
+    failed: Vec<u32>,
+    dropped_to_dead: u64,
+    scratch: (Vec<u8>, Vec<u8>),
+}
+
+impl CoordState {
+    fn notify(&mut self, k: u32, w: &Wire) {
+        if self.shard_dead[k as usize] {
+            return;
+        }
+        let mut broke = false;
+        if let Some(s) = self.ctrl[k as usize].as_mut() {
+            if write_wire(s, w, &mut self.scratch).is_err() {
+                broke = true;
+            }
+        }
+        if broke {
+            self.failed.push(k);
+        }
+    }
+}
+
+/// The super-root's substrate: the reliable driver link, carried over the
+/// coordinator's control connections.
+struct CoordSub<'a> {
+    st: &'a mut CoordState,
+}
+
+impl Substrate for CoordSub<'_> {
+    fn n_procs(&self) -> u32 {
+        self.st.shards * self.st.per_shard
+    }
+
+    fn is_live(&self, p: ProcId) -> bool {
+        !self.st.shard_dead[(p.0 / self.st.per_shard.max(1)) as usize]
+    }
+
+    fn now_units(&self) -> u64 {
+        (self.st.epoch.elapsed().as_nanos() / u128::from(self.st.nanos.max(1))) as u64
+    }
+
+    fn send(&mut self, from: ProcId, to: ProcId, msg: Msg) {
+        let k = to.0 / self.st.per_shard.max(1);
+        if self.st.shard_dead[k as usize] || self.st.ctrl[k as usize].is_none() {
+            self.st.dropped_to_dead += 1;
+            return;
+        }
+        self.st.notify(k, &Wire::CoordNet { from, to, msg });
+    }
+
+    fn arm_timer(&mut self, _owner: ProcId, timer: Timer, delay: u64) {
+        let at = Instant::now() + units_to_wall(self.st.nanos, delay);
+        self.st.timers.arm(at, timer);
+    }
+
+    fn report_death(&mut self, _dead: ProcId) {
+        // The coordinator is the detector; nothing to tell itself.
+    }
+}
+
+fn on_shard_death(
+    st: &mut CoordState,
+    children: &mut [Option<Child>],
+    sr: &mut SuperRootDriver,
+    k: u32,
+    broadcast: bool,
+) {
+    if st.shard_dead[k as usize] {
+        return;
+    }
+    st.shard_dead[k as usize] = true;
+    st.ctrl[k as usize] = None;
+    if let Some(mut ch) = children[k as usize].take() {
+        let _ = ch.kill();
+        let _ = ch.wait();
+    }
+    if broadcast {
+        for j in 0..st.per_shard {
+            let p = ProcId(k * st.per_shard + j);
+            {
+                let mut sub = CoordSub { st };
+                sr.on_failure(p, &mut sub);
+            }
+            for other in 0..st.shards {
+                if other != k {
+                    st.notify(other, &Wire::Notice { dead: p });
+                }
+            }
+        }
+    }
+    // With broadcast off the death stays silent: workers discover it
+    // through exhausted reconnect budgets, and the super-root through the
+    // FailureNotices those discoveries gossip up the driver link.
+}
+
+/// Runs `workload` on a machine of `cfg.shards` worker processes,
+/// executing `plan` against them for real. Returns the assembled
+/// [`RunReport`] (fields the process backend cannot measure — batching,
+/// reactor hops — are zero).
+pub fn run_process(
+    cfg: &ProcConfig,
+    workload: &Workload,
+    plan: &ProcessFaultPlan,
+) -> io::Result<RunReport> {
+    if parse_workload(&workload.name).is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "workload spec {:?} is not parseable by workers",
+                workload.name
+            ),
+        ));
+    }
+    let bin = cfg.worker_bin_path().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            "worker binary not found (set ProcConfig::worker_bin or SPLICE_PROC_WORKER)",
+        )
+    })?;
+    let dir = fresh_run_dir();
+    std::fs::create_dir_all(&dir)?;
+    let result = run_process_in(cfg, workload, plan, &bin, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_process_in(
+    cfg: &ProcConfig,
+    workload: &Workload,
+    plan: &ProcessFaultPlan,
+    bin: &Path,
+    dir: &Path,
+) -> io::Result<RunReport> {
+    let shards = cfg.shards.max(1);
+    let per_shard = cfg.per_shard.max(1);
+    let nanos = cfg.time_unit.as_nanos().max(1) as u64;
+    let listener = UnixListener::bind(dir.join("coord.sock"))?;
+    listener.set_nonblocking(true)?;
+    let mut children: Vec<Option<Child>> = Vec::new();
+    for k in 0..shards {
+        let child = Command::new(bin)
+            .arg(dir)
+            .arg(k.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn();
+        match child {
+            Ok(c) => children.push(Some(c)),
+            Err(e) => {
+                for c in children.iter_mut().flatten() {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+    let recovery = cfg.engine_recovery();
+    let mut sr = SuperRootDriver::new(workload, &recovery);
+    let mut st = CoordState {
+        ctrl: (0..shards).map(|_| None).collect(),
+        shard_dead: vec![false; shards as usize],
+        shards,
+        per_shard,
+        nanos,
+        epoch: Instant::now(),
+        timers: TimerWheel::new(),
+        failed: Vec::new(),
+        dropped_to_dead: 0,
+        scratch: (Vec::new(), Vec::new()),
+    };
+    let init_template = Init {
+        shards,
+        per_shard,
+        seed: cfg.seed,
+        time_unit_nanos: nanos,
+        router_latency: cfg.router_latency,
+        detector_broadcast: cfg.detector_broadcast,
+        policy: cfg.policy,
+        trace: cfg.trace,
+        recovery: recovery.clone(),
+        spec: workload.name.clone(),
+        write_timeout_ms: cfg.write_timeout.as_millis().max(1) as u64,
+        backoff_base_us: cfg.backoff_base.as_micros().max(1) as u64,
+        backoff_cap_us: cfg.backoff_cap.as_micros().max(1) as u64,
+        reconnect_budget: cfg.reconnect_budget,
+    };
+    let mut w2c: Vec<InConn> = Vec::new();
+    let mut ready = vec![false; shards as usize];
+    let mut launched = false;
+    let mut launch_at = Instant::now();
+    let mut exits: Vec<Option<ExitReport>> = vec![None; shards as usize];
+    let plan_events = plan.sorted();
+    let mut cursor = 0usize;
+    let mut finish_units: Option<u64> = None;
+    let mut stalled = false;
+    let mut all_dead_since: Option<Instant> = None;
+    let deadline = st.epoch + cfg.run_timeout;
+
+    loop {
+        accept_conns(&listener, &mut w2c);
+        let mut progressed = false;
+        let mut drop_idx: Vec<usize> = Vec::new();
+        for (ci, conn) in w2c.iter_mut().enumerate() {
+            let eof = matches!(pump_read(&mut conn.stream, &mut conn.fb), Ok(true) | Err(_));
+            loop {
+                match conn.fb.next_frame() {
+                    Ok(Some(body)) => {
+                        progressed = true;
+                        match decode_wire(&body) {
+                            Ok(Wire::Hello { shard }) if shard < shards => {
+                                conn.src = Some(shard);
+                                // The worker binds its listener before
+                                // saying hello; connect the control link
+                                // and configure it.
+                                let mut ctrl = None;
+                                for _ in 0..200 {
+                                    match UnixStream::connect(sock_path(dir, shard)) {
+                                        Ok(s) => {
+                                            ctrl = Some(s);
+                                            break;
+                                        }
+                                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                                    }
+                                }
+                                if let Some(mut s) = ctrl {
+                                    let _ = s.set_write_timeout(Some(cfg.write_timeout));
+                                    let init = Init {
+                                        spec: init_template.spec.clone(),
+                                        recovery: init_template.recovery.clone(),
+                                        ..init_template
+                                    };
+                                    if write_wire(
+                                        &mut s,
+                                        &Wire::Init(Box::new(init)),
+                                        &mut st.scratch,
+                                    )
+                                    .is_ok()
+                                    {
+                                        st.ctrl[shard as usize] = Some(s);
+                                    } else {
+                                        st.failed.push(shard);
+                                    }
+                                } else {
+                                    st.failed.push(shard);
+                                }
+                            }
+                            Ok(Wire::Ready { shard }) if shard < shards => {
+                                ready[shard as usize] = true;
+                            }
+                            Ok(Wire::CoordNet { to, msg, .. }) if to.is_super_root() => {
+                                let mut sub = CoordSub { st: &mut st };
+                                match msg {
+                                    Msg::FailureNotice { dead } => sr.on_failure(dead, &mut sub),
+                                    m => sr.on_message(m, &mut sub),
+                                }
+                            }
+                            Ok(Wire::Exit(rep)) => {
+                                let k = rep.shard as usize;
+                                if k < exits.len() {
+                                    exits[k] = Some(*rep);
+                                }
+                            }
+                            Ok(_) => {}
+                            Err(_) => {
+                                drop_idx.push(ci);
+                                break;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        drop_idx.push(ci);
+                        break;
+                    }
+                }
+            }
+            if eof && conn.fb.pending() == 0 {
+                drop_idx.push(ci);
+            }
+        }
+        drop_idx.sort_unstable();
+        drop_idx.dedup();
+        for ci in drop_idx.into_iter().rev() {
+            w2c.remove(ci);
+        }
+
+        if !launched && ready.iter().all(|r| *r) {
+            let mut sub = CoordSub { st: &mut st };
+            sr.launch(&mut sub);
+            launched = true;
+            launch_at = Instant::now();
+        }
+
+        // Super-root timers.
+        let now = Instant::now();
+        let mut due: Vec<Timer> = Vec::new();
+        while let Some(t) = st.timers.pop_due(&now) {
+            due.push(t);
+        }
+        for t in due {
+            let mut sub = CoordSub { st: &mut st };
+            sr.on_timer(t, &mut sub);
+            progressed = true;
+        }
+
+        // Unexpected worker exits are crashes.
+        for k in 0..shards {
+            let crashed = match children[k as usize].as_mut() {
+                Some(ch) => matches!(ch.try_wait(), Ok(Some(_))),
+                None => false,
+            };
+            if crashed && !st.shard_dead[k as usize] {
+                on_shard_death(&mut st, &mut children, &mut sr, k, cfg.detector_broadcast);
+                progressed = true;
+            }
+        }
+
+        // Scheduled plan events, measured from launch.
+        while launched && cursor < plan_events.len() {
+            let ev = plan_events[cursor];
+            if now < launch_at + units_to_wall(nanos, ev.at.ticks()) {
+                break;
+            }
+            cursor += 1;
+            progressed = true;
+            match ev.kind {
+                ProcFaultKind::Kill => {
+                    on_shard_death(
+                        &mut st,
+                        &mut children,
+                        &mut sr,
+                        ev.shard,
+                        cfg.detector_broadcast,
+                    );
+                }
+                ProcFaultKind::PartitionOut { peer, for_units } => {
+                    st.notify(ev.shard, &Wire::Partition { peer, for_units });
+                }
+                ProcFaultKind::DelayOut {
+                    peer,
+                    extra_units,
+                    for_units,
+                } => {
+                    st.notify(
+                        ev.shard,
+                        &Wire::Delay {
+                            peer,
+                            extra_units,
+                            for_units,
+                        },
+                    );
+                }
+                ProcFaultKind::GarbleNext { peer } => {
+                    st.notify(ev.shard, &Wire::Garble { peer });
+                }
+            }
+        }
+
+        // Control links that broke mid-write mean the worker died.
+        while let Some(k) = st.failed.pop() {
+            on_shard_death(&mut st, &mut children, &mut sr, k, cfg.detector_broadcast);
+            progressed = true;
+        }
+
+        if sr.result().is_some() {
+            finish_units = Some((st.epoch.elapsed().as_nanos() / u128::from(nanos)) as u64);
+            break;
+        }
+        if launched && st.shard_dead.iter().all(|d| *d) {
+            let since = *all_dead_since.get_or_insert(now);
+            if now.duration_since(since) > Duration::from_millis(300) {
+                stalled = true;
+                break;
+            }
+        } else {
+            all_dead_since = None;
+        }
+        if Instant::now() > deadline {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    // Teardown: drain live workers gracefully, then reap everything.
+    let completed = sr.result().is_some();
+    for k in 0..shards {
+        st.notify(k, &Wire::Shutdown);
+    }
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < drain_deadline
+        && exits
+            .iter()
+            .zip(&st.shard_dead)
+            .any(|(e, d)| e.is_none() && !d)
+    {
+        accept_conns(&listener, &mut w2c);
+        let mut drop_idx: Vec<usize> = Vec::new();
+        for (ci, conn) in w2c.iter_mut().enumerate() {
+            let eof = matches!(pump_read(&mut conn.stream, &mut conn.fb), Ok(true) | Err(_));
+            loop {
+                match conn.fb.next_frame() {
+                    Ok(Some(body)) => {
+                        if let Ok(Wire::Exit(rep)) = decode_wire(&body) {
+                            let k = rep.shard as usize;
+                            if k < exits.len() {
+                                exits[k] = Some(*rep);
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        drop_idx.push(ci);
+                        break;
+                    }
+                }
+            }
+            if eof && conn.fb.pending() == 0 {
+                drop_idx.push(ci);
+            }
+        }
+        drop_idx.sort_unstable();
+        drop_idx.dedup();
+        for ci in drop_idx.into_iter().rev() {
+            w2c.remove(ci);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for c in children.iter_mut().flatten() {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+
+    // Assemble the report.
+    let end_units = (st.epoch.elapsed().as_nanos() / u128::from(nanos)) as u64;
+    let mut snaps: Vec<EngineSnapshot> = Vec::with_capacity((shards * per_shard) as usize);
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut dropped = st.dropped_to_dead;
+    let mut bounces = 0u64;
+    let mut intra = 0u64;
+    let mut inter = 0u64;
+    let mut frames_sent = 0u64;
+    let mut frames_resent = 0u64;
+    let mut reconnects = 0u64;
+    let mut decode_errors = 0u64;
+    let mut trace = TraceSummary::default();
+    for exit in exits.iter().take(shards as usize) {
+        match exit {
+            Some(r) => {
+                events += r.events;
+                delivered += r.delivered;
+                dropped += r.dropped_to_dead;
+                bounces += r.bounces;
+                intra += r.intra;
+                inter += r.inter;
+                frames_sent += r.frames_sent;
+                frames_resent += r.frames_resent;
+                reconnects += r.reconnects;
+                decode_errors += r.decode_errors;
+                trace.absorb(r.trace);
+                if r.snaps.len() == per_shard as usize {
+                    snaps.extend(r.snaps.iter().cloned());
+                } else {
+                    snaps.extend((0..per_shard).map(|_| EngineSnapshot::default()));
+                }
+            }
+            // A killed worker reports nothing: its measurements died with
+            // it, exactly like a crashed processor's would.
+            None => snaps.extend((0..per_shard).map(|_| EngineSnapshot::default())),
+        }
+    }
+    let totals = EngineTotals::collect(snaps);
+    Ok(RunReport {
+        result: sr.result().cloned(),
+        completed,
+        stalled,
+        finish: VirtualTime(finish_units.unwrap_or(end_units)),
+        events,
+        delivered,
+        dropped_to_dead: dropped,
+        bounces,
+        stats: totals.stats,
+        per_proc: totals.per_proc,
+        ckpt_peak_entries: totals.ckpt_peak_entries,
+        ckpt_peak_bytes: totals.ckpt_peak_bytes,
+        ckpt_stored: totals.ckpt_stored,
+        root_reissues: sr.reissues(),
+        state_samples: Vec::new(),
+        spawn_log: Vec::new(),
+        n_procs: shards * per_shard,
+        shards,
+        shard_msgs_intra: intra,
+        shard_msgs_inter: inter,
+        batch_envelopes: 0,
+        batch_msgs: 0,
+        faults: plan.events.len(),
+        threads: shards,
+        msgs_cross_reactor: 0,
+        steals: 0,
+        frames_sent,
+        frames_resent,
+        reconnects,
+        decode_errors,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splice_core::stats::ProcStats;
+
+    #[test]
+    fn proc_stats_layout_tripwire() {
+        // The exit-report codec spells out every ProcStats field by name;
+        // a new field would silently vanish from worker reports without
+        // this size pin (41 u64-equivalent fields).
+        assert_eq!(std::mem::size_of::<ProcStats>(), 41 * 8);
+    }
+
+    #[test]
+    fn exit_report_round_trips() {
+        let mut snap = EngineSnapshot::default();
+        snap.stats.tasks_completed = 7;
+        snap.stats.msgs_sent[2] = 11;
+        snap.stats.msgs_recv[6] = 3;
+        snap.stats.eval_errors = 1;
+        snap.ckpt_peak_entries = 9;
+        snap.ckpt_peak_bytes = 1024;
+        snap.ckpt_stored = 40;
+        let rep = ExitReport {
+            shard: 3,
+            events: 100,
+            delivered: 50,
+            dropped_to_dead: 2,
+            bounces: 4,
+            intra: 30,
+            inter: 20,
+            frames_sent: 25,
+            frames_resent: 5,
+            reconnects: 2,
+            decode_errors: 1,
+            snaps: vec![snap.clone(), EngineSnapshot::default()],
+            trace: TraceSummary {
+                events: 12,
+                dropped: 1,
+                stream: 0xdead,
+                semantic: 0xbeef,
+            },
+        };
+        let mut body = Vec::new();
+        encode_wire(&Wire::Exit(Box::new(rep)), &mut body);
+        let Wire::Exit(back) = decode_wire(&body).expect("decodes") else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back.shard, 3);
+        assert_eq!(back.frames_resent, 5);
+        assert_eq!(back.snaps.len(), 2);
+        assert_eq!(back.snaps[0].stats.tasks_completed, 7);
+        assert_eq!(back.snaps[0].stats.msgs_sent[2], 11);
+        assert_eq!(back.snaps[0].stats.msgs_recv[6], 3);
+        assert_eq!(back.snaps[0].ckpt_peak_bytes, 1024);
+        assert_eq!(back.trace.semantic, 0xbeef);
+    }
+
+    #[test]
+    fn init_round_trips_with_replication() {
+        let mut recovery = RecoveryConfig::default();
+        recovery.replicate.insert(
+            FnId(4),
+            ReplicaSpec {
+                n: 3,
+                vote: VoteMode::Majority,
+            },
+        );
+        recovery.replicate.insert(
+            FnId(1),
+            ReplicaSpec {
+                n: 5,
+                vote: VoteMode::WaitAll,
+            },
+        );
+        let init = Init {
+            shards: 4,
+            per_shard: 2,
+            seed: 42,
+            time_unit_nanos: 25_000,
+            router_latency: 7,
+            detector_broadcast: false,
+            policy: Policy::LeastLoaded,
+            trace: TraceMode::Ring(128),
+            recovery,
+            spec: "fib(16)".into(),
+            write_timeout_ms: 2_000,
+            backoff_base_us: 1_000,
+            backoff_cap_us: 100_000,
+            reconnect_budget: 8,
+        };
+        let mut body = Vec::new();
+        encode_wire(&Wire::Init(Box::new(init)), &mut body);
+        let Wire::Init(back) = decode_wire(&body).expect("decodes") else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back.shards, 4);
+        assert_eq!(back.policy, Policy::LeastLoaded);
+        assert_eq!(back.trace, TraceMode::Ring(128));
+        assert!(!back.detector_broadcast);
+        assert_eq!(back.recovery.replicate.len(), 2);
+        assert_eq!(back.recovery.replicate[&FnId(1)].n, 5);
+        assert_eq!(back.spec, "fib(16)");
+    }
+
+    #[test]
+    fn parse_workload_accepts_stock_specs() {
+        for w in [
+            Workload::fib(9),
+            Workload::dcsum(0, 500),
+            Workload::binomial(10, 3),
+            Workload::quicksort(32, 7),
+        ] {
+            let parsed = parse_workload(&w.name).expect(&w.name);
+            assert_eq!(parsed.name, w.name);
+            assert_eq!(parsed.reference_result(), w.reference_result());
+        }
+        assert!(parse_workload("mystery(3)").is_none());
+        assert!(parse_workload("fib").is_none());
+    }
+
+    #[test]
+    fn data_frames_round_trip_and_reject_trailing() {
+        let msg = Msg::FailureNotice { dead: ProcId(3) };
+        let w = Wire::Data {
+            seq: 9,
+            from: ProcId(1),
+            to: ProcId(5),
+            msg,
+        };
+        let mut body = Vec::new();
+        encode_wire(&w, &mut body);
+        let Wire::Data { seq, from, to, msg } = decode_wire(&body).expect("decodes") else {
+            panic!("wrong variant");
+        };
+        assert_eq!((seq, from, to), (9, ProcId(1), ProcId(5)));
+        assert!(matches!(msg, Msg::FailureNotice { dead: ProcId(3) }));
+        body.push(0);
+        assert!(matches!(decode_wire(&body), Err(CodecError::Trailing)));
+    }
+}

@@ -37,10 +37,17 @@ pub enum Backend {
     Reactor,
     /// The multi-pump reactor (`ParallelReactorMachine`).
     ParallelReactor,
+    /// The multi-process machine (`proc::run_process`): one OS process
+    /// per shard over Unix domain sockets. Wall-clock driven, so it is
+    /// *not* in [`Backend::ALL`] and cannot be recorded or replayed —
+    /// only its verdict, value and commutative semantic checksum are
+    /// comparable across runs.
+    Process,
 }
 
 impl Backend {
-    /// Every deterministic backend, in canonical order.
+    /// Every deterministic backend, in canonical order. The process
+    /// backend is deliberately absent: no stream to replay.
     pub const ALL: [Backend; 3] = [Backend::Des, Backend::Reactor, Backend::ParallelReactor];
 
     /// Stable command-line name.
@@ -49,6 +56,7 @@ impl Backend {
             Backend::Des => "des",
             Backend::Reactor => "reactor",
             Backend::ParallelReactor => "parallel",
+            Backend::Process => "process",
         }
     }
 
@@ -83,6 +91,14 @@ pub struct Recording {
 
 /// Executes `(backend, cfg, workload, plan)` and returns the report plus
 /// whatever trace events the configured mode retained.
+///
+/// [`Backend::Process`] launches real worker processes: the plan must map
+/// onto whole shards ([`ProcessFaultPlan::from_plan`] is the arbiter —
+/// partial-shard crashes and corrupt events panic here), the returned
+/// event list is always empty (only the report's semantic checksum is
+/// comparable), and the workload name must be one of the stock specs.
+///
+/// [`ProcessFaultPlan::from_plan`]: splice_simnet::fault::ProcessFaultPlan::from_plan
 pub fn execute(
     backend: Backend,
     cfg: MachineConfig,
@@ -93,6 +109,26 @@ pub fn execute(
         Backend::Des => Machine::new(cfg, workload).run_traced(plan),
         Backend::Reactor => ReactorMachine::new(cfg, workload).run_traced(plan),
         Backend::ParallelReactor => ParallelReactorMachine::new(cfg, workload).run_traced(plan),
+        #[cfg(unix)]
+        Backend::Process => {
+            let shards = cfg.topology.shard_count().max(1);
+            let per_shard = cfg.topology.per_shard().max(1);
+            let proc_plan =
+                splice_simnet::fault::ProcessFaultPlan::from_plan(plan, shards, per_shard)
+                    .expect("fault plan does not map onto whole shards");
+            let mut pc = crate::proc::ProcConfig::new(shards, per_shard);
+            pc.policy = cfg.policy;
+            pc.recovery = cfg.recovery.clone();
+            pc.detector_broadcast = cfg.detector.broadcast;
+            pc.router_latency = cfg.router_latency;
+            pc.seed = cfg.seed;
+            pc.trace = cfg.trace;
+            let report = crate::proc::run_process(&pc, workload, &proc_plan)
+                .expect("process backend failed to launch");
+            (report, Vec::new())
+        }
+        #[cfg(not(unix))]
+        Backend::Process => panic!("the process backend requires a unix host"),
     }
 }
 

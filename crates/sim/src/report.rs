@@ -76,6 +76,17 @@ pub struct RunReport {
     pub msgs_cross_reactor: u64,
     /// Engines migrated between reactor pumps by work stealing.
     pub steals: u64,
+    /// Wire frames the multi-process backend wrote to sockets (0 on
+    /// in-process backends).
+    pub frames_sent: u64,
+    /// Wire frames written again after a connection broke mid-flush.
+    pub frames_resent: u64,
+    /// Connection attempts made after a previously working (or tried)
+    /// link broke — every retry counts, whether or not it succeeded.
+    pub reconnects: u64,
+    /// Inbound frames rejected by the wire codec (bad length, checksum,
+    /// version or structure); each one also drops its connection.
+    pub decode_errors: u64,
     /// Canonical-trace fingerprint: event/drop counts plus the stream and
     /// semantic checksums (all zero with tracing off). The `dropped` field
     /// surfaces ring-buffer evictions that were previously lost silently.
@@ -190,6 +201,10 @@ mod tests {
             threads: 1,
             msgs_cross_reactor: 0,
             steals: 0,
+            frames_sent: 0,
+            frames_resent: 0,
+            reconnects: 0,
+            decode_errors: 0,
             trace: TraceSummary::default(),
         }
     }

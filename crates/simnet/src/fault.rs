@@ -10,6 +10,7 @@
 use crate::time::VirtualTime;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::fmt;
 
 /// What happens to the victim.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -253,6 +254,211 @@ impl PlanRun {
     }
 }
 
+/// What the multi-process backend's *real* injector does to a shard's
+/// worker process or its sockets — the environment-level analogue of
+/// [`FaultKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcFaultKind {
+    /// SIGKILL the shard's worker process: the literal version of the
+    /// paper's fail-silent crash. No drain, no goodbye — the OS reaps it.
+    Kill,
+    /// Black-hole the victim's *outbound* socket to `peer` for
+    /// `for_units` time units: one direction of one link partitions
+    /// (frames are silently dropped), the reverse direction keeps
+    /// flowing. Heals on its own.
+    PartitionOut {
+        /// The shard whose inbound frames from the victim vanish.
+        peer: u32,
+        /// Partition duration in driver time units.
+        for_units: u64,
+    },
+    /// Delay every outbound frame from the victim to `peer` by
+    /// `extra_units` for `for_units` time units — a congested or
+    /// flapping link rather than a dead one.
+    DelayOut {
+        /// The shard whose frames arrive late.
+        peer: u32,
+        /// Added latency per frame, in driver time units.
+        extra_units: u64,
+        /// How long the slowdown lasts, in driver time units.
+        for_units: u64,
+    },
+    /// Corrupt the next outbound frame from the victim to `peer` (one
+    /// byte is flipped after the checksum is computed). The receiver's
+    /// decode rejects the frame and drops the connection — this is the
+    /// scripted way to exercise the `decode_errors` + reconnect + resend
+    /// path.
+    GarbleNext {
+        /// The shard that receives the corrupted frame.
+        peer: u32,
+    },
+}
+
+/// One scheduled process-level fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcFaultEvent {
+    /// When the fault is injected (driver time units since launch).
+    pub at: VirtualTime,
+    /// The victim *shard* (worker process index, not processor id).
+    pub shard: u32,
+    /// What happens to it.
+    pub kind: ProcFaultKind,
+}
+
+/// A fault plan executed for real by the multi-process coordinator:
+/// SIGKILLs, socket partitions, frame delays and frame corruption,
+/// scheduled in driver time units against worker *processes*.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcessFaultPlan {
+    /// Scheduled faults, in any order (the coordinator sorts by time).
+    pub events: Vec<ProcFaultEvent>,
+}
+
+/// Why a simulated [`FaultPlan`] cannot be lowered to a process-level
+/// plan (see [`ProcessFaultPlan::from_plan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcPlanError {
+    /// A crash event covers only part of a shard. The process backend's
+    /// crash unit is the OS process — one whole shard — so partial-shard
+    /// crashes have no real-world counterpart here.
+    PartialShard {
+        /// The shard that was only partially covered.
+        shard: u32,
+    },
+    /// `Corrupt` faults flip replica results inside a live engine; there
+    /// is no environment-level equivalent to inject from outside.
+    Corrupt,
+}
+
+impl fmt::Display for ProcPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcPlanError::PartialShard { shard } => {
+                write!(f, "crash covers only part of shard {shard}")
+            }
+            ProcPlanError::Corrupt => write!(f, "corrupt faults have no process-level analogue"),
+        }
+    }
+}
+
+impl std::error::Error for ProcPlanError {}
+
+impl ProcessFaultPlan {
+    /// No faults.
+    pub fn none() -> ProcessFaultPlan {
+        ProcessFaultPlan::default()
+    }
+
+    /// Adds a SIGKILL of `shard`'s worker at `at`.
+    pub fn kill_shard(mut self, shard: u32, at: VirtualTime) -> ProcessFaultPlan {
+        self.events.push(ProcFaultEvent {
+            at,
+            shard,
+            kind: ProcFaultKind::Kill,
+        });
+        self
+    }
+
+    /// Adds a one-directional partition: `shard` → `peer` frames vanish
+    /// from `at` for `for_units`.
+    pub fn partition_out(
+        mut self,
+        shard: u32,
+        peer: u32,
+        at: VirtualTime,
+        for_units: u64,
+    ) -> ProcessFaultPlan {
+        self.events.push(ProcFaultEvent {
+            at,
+            shard,
+            kind: ProcFaultKind::PartitionOut { peer, for_units },
+        });
+        self
+    }
+
+    /// Adds a frame-delay window on the `shard` → `peer` direction.
+    pub fn delay_out(
+        mut self,
+        shard: u32,
+        peer: u32,
+        at: VirtualTime,
+        extra_units: u64,
+        for_units: u64,
+    ) -> ProcessFaultPlan {
+        self.events.push(ProcFaultEvent {
+            at,
+            shard,
+            kind: ProcFaultKind::DelayOut {
+                peer,
+                extra_units,
+                for_units,
+            },
+        });
+        self
+    }
+
+    /// Adds a one-frame corruption on the `shard` → `peer` direction.
+    pub fn garble_next(mut self, shard: u32, peer: u32, at: VirtualTime) -> ProcessFaultPlan {
+        self.events.push(ProcFaultEvent {
+            at,
+            shard,
+            kind: ProcFaultKind::GarbleNext { peer },
+        });
+        self
+    }
+
+    /// Events in time order.
+    pub fn sorted(&self) -> Vec<ProcFaultEvent> {
+        let mut v = self.events.clone();
+        v.sort_by_key(|e| (e.at, e.shard));
+        v
+    }
+
+    /// Number of kill faults.
+    pub fn kills(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == ProcFaultKind::Kill)
+            .count()
+    }
+
+    /// Lowers a simulated [`FaultPlan`] onto process-level faults for a
+    /// machine of `shards × per_shard` processors: a crash of *every*
+    /// processor in a shard becomes one SIGKILL at the group's earliest
+    /// time. Partial-shard crashes and `Corrupt` events have no real
+    /// counterpart and are rejected — this is what keeps the differential
+    /// fuzzer honest about which plans both worlds can execute.
+    pub fn from_plan(
+        plan: &FaultPlan,
+        shards: u32,
+        per_shard: u32,
+    ) -> Result<ProcessFaultPlan, ProcPlanError> {
+        let mut out = ProcessFaultPlan::none();
+        for shard in 0..shards {
+            let procs = shard * per_shard..(shard + 1) * per_shard;
+            let hits: Vec<&FaultEvent> = plan
+                .events
+                .iter()
+                .filter(|e| procs.contains(&e.victim))
+                .collect();
+            if hits.iter().any(|e| e.kind == FaultKind::Corrupt) {
+                return Err(ProcPlanError::Corrupt);
+            }
+            let crashed: Vec<u32> = hits.iter().map(|e| e.victim).collect();
+            if crashed.is_empty() {
+                continue;
+            }
+            let all = procs.clone().all(|p| crashed.contains(&p));
+            if !all {
+                return Err(ProcPlanError::PartialShard { shard });
+            }
+            let at = hits.iter().map(|e| e.at).min().unwrap_or(VirtualTime(0));
+            out = out.kill_shard(shard, at);
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,5 +544,48 @@ mod tests {
         assert_eq!(s.apply(0, FaultKind::Corrupt), FaultOutcome::Corrupted);
         assert!(s.is_live(0), "corruption does not kill");
         assert_eq!(s.live_count(), 2);
+    }
+
+    #[test]
+    fn process_plan_lowers_whole_shard_crashes() {
+        // Shards of 2: crashing procs {2,3} is all of shard 1.
+        let plan =
+            FaultPlan::crash_at(2, VirtualTime(700)).and(3, VirtualTime(500), FaultKind::Crash);
+        let lowered = ProcessFaultPlan::from_plan(&plan, 3, 2).unwrap();
+        assert_eq!(lowered.kills(), 1);
+        assert_eq!(
+            lowered.events,
+            vec![ProcFaultEvent {
+                at: VirtualTime(500),
+                shard: 1,
+                kind: ProcFaultKind::Kill,
+            }]
+        );
+    }
+
+    #[test]
+    fn process_plan_rejects_partial_shards_and_corruption() {
+        let partial = FaultPlan::crash_at(2, VirtualTime(700));
+        assert_eq!(
+            ProcessFaultPlan::from_plan(&partial, 3, 2),
+            Err(ProcPlanError::PartialShard { shard: 1 })
+        );
+        let corrupt = FaultPlan::none().and(0, VirtualTime(10), FaultKind::Corrupt);
+        assert_eq!(
+            ProcessFaultPlan::from_plan(&corrupt, 1, 1),
+            Err(ProcPlanError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn process_plan_builders_sort_and_count() {
+        let p = ProcessFaultPlan::none()
+            .garble_next(1, 0, VirtualTime(50))
+            .kill_shard(2, VirtualTime(25))
+            .partition_out(0, 1, VirtualTime(10), 100)
+            .delay_out(1, 2, VirtualTime(10), 40, 200);
+        assert_eq!(p.kills(), 1);
+        let at: Vec<u64> = p.sorted().iter().map(|e| e.at.ticks()).collect();
+        assert_eq!(at, vec![10, 10, 25, 50]);
     }
 }

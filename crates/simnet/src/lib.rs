@@ -13,7 +13,13 @@
 //!   hypercube, with closed-form hop distances validated against BFS;
 //! * [`link`] — latency model (base + per-hop + per-unit, deterministic
 //!   jitter);
-//! * [`fault`] — crash/corrupt fault plans, scripted or seeded-random;
+//! * [`fault`] — crash/corrupt fault plans, scripted or seeded-random,
+//!   plus the process-level plan the multi-process backend executes for
+//!   real (SIGKILL, socket partition, frame delay/garble);
+//! * [`codec`] — the compact binary wire format for
+//!   [`Msg`](splice_core::packet::Msg) frames that
+//!   the multi-process backend speaks over Unix domain sockets
+//!   (length-prefixed, varint stamps, version byte, per-frame checksum);
 //! * [`detect`] — failure-notice and send-bounce timing;
 //! * [`trace`] — canonical typed event tracing: every backend narrates a
 //!   run as one diffable [`TraceEvent`] stream with stream/semantic
@@ -23,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod detect;
 pub mod fault;
 pub mod link;
@@ -32,8 +39,12 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use codec::{decode_msg, encode_msg, encode_msg_frame, CodecError, FrameBuf};
 pub use detect::DetectorConfig;
-pub use fault::{FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultState, PlanRun};
+pub use fault::{
+    FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultState, PlanRun, ProcFaultEvent,
+    ProcFaultKind, ProcPlanError, ProcessFaultPlan,
+};
 pub use link::LinkModel;
 pub use queue::EventQueue;
 pub use shrink::{plan_literal, regression_test_literal, shrink, ShrinkReport};

@@ -1,0 +1,230 @@
+//! `splice-proc` — run a workload on the multi-process machine.
+//!
+//! Launches one OS process per shard (the `splice-proc-worker` binary),
+//! wires them together over Unix domain sockets, optionally executes a
+//! process-level fault plan *for real* — SIGKILL, one-directional socket
+//! partition, frame delay, frame corruption — and prints the assembled
+//! run report, including the transport counters
+//! (frames sent/resent, reconnects, decode errors).
+//!
+//! ```text
+//! splice-proc --shards 4 --per-shard 2 --workload fib:16 \
+//!             --plan 'kill:1@40000' --recovery splice
+//! ```
+//!
+//! Plan events are comma-separated:
+//!
+//! * `kill:SHARD@AT`                        — SIGKILL the shard's worker;
+//! * `partition:SHARD>PEER@AT+FOR`          — gate SHARD→PEER frames;
+//! * `delay:SHARD>PEER@AT+FOR:EXTRA`        — add EXTRA units to them;
+//! * `garble:SHARD>PEER@AT`                 — corrupt the next frame.
+//!
+//! Times are in driver units (`--unit-us` wall-clock microseconds each),
+//! measured from workload launch.
+
+use splice_core::config::RecoveryMode;
+use splice_sim::proc::{parse_workload, run_process, ProcConfig};
+use splice_simnet::fault::ProcessFaultPlan;
+use splice_simnet::time::VirtualTime;
+use splice_simnet::trace::TraceMode;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  splice-proc [--shards N] [--per-shard M] [--workload W] [--plan P]
+              [--recovery none|rollback|splice] [--seed S] [--unit-us U]
+              [--timeout-secs T] [--no-broadcast] [--trace]
+
+  W = fib:N | dcsum:LO:HI | binomial:N:K | quicksort:LEN:SEED
+  P = none | kill:SHARD@AT | partition:SHARD>PEER@AT+FOR
+           | delay:SHARD>PEER@AT+FOR:EXTRA | garble:SHARD>PEER@AT  [,...]"
+    );
+    ExitCode::from(2)
+}
+
+/// `fib:16` → the canonical `fib(16)` spec the workers parse.
+fn workload_spec(w: &str) -> Option<String> {
+    if w.contains('(') {
+        return Some(w.to_string());
+    }
+    let mut parts = w.split(':');
+    let name = parts.next()?;
+    let args: Vec<&str> = parts.collect();
+    match (name, args.as_slice()) {
+        ("fib", [n]) => Some(format!("fib({n})")),
+        ("dcsum", [lo, hi]) => Some(format!("dcsum({lo},{hi})")),
+        ("binomial", [n, k]) => Some(format!("binomial({n},{k})")),
+        ("quicksort", [len, seed]) => Some(format!("quicksort(n={len},seed={seed})")),
+        _ => None,
+    }
+}
+
+/// `SHARD>PEER@AT[+FOR]` → (shard, peer, at, for_units).
+fn parse_link_event(s: &str) -> Option<(u32, u32, u64, u64)> {
+    let (link, when) = s.split_once('@')?;
+    let (shard, peer) = link.split_once('>')?;
+    let (at, for_units) = match when.split_once('+') {
+        Some((a, f)) => (a.parse().ok()?, f.parse().ok()?),
+        None => (when.parse().ok()?, 0),
+    };
+    Some((
+        shard.trim().parse().ok()?,
+        peer.trim().parse().ok()?,
+        at,
+        for_units,
+    ))
+}
+
+fn parse_plan(p: &str) -> Option<ProcessFaultPlan> {
+    let mut plan = ProcessFaultPlan::none();
+    if p == "none" || p.is_empty() {
+        return Some(plan);
+    }
+    for ev in p.split(',') {
+        let (kind, rest) = ev.trim().split_once(':')?;
+        match kind {
+            "kill" => {
+                let (shard, at) = rest.split_once('@')?;
+                plan = plan.kill_shard(shard.trim().parse().ok()?, VirtualTime(at.parse().ok()?));
+            }
+            "partition" => {
+                let (shard, peer, at, for_units) = parse_link_event(rest)?;
+                plan = plan.partition_out(shard, peer, VirtualTime(at), for_units);
+            }
+            "delay" => {
+                let (spec, extra) = rest.rsplit_once(':')?;
+                let (shard, peer, at, for_units) = parse_link_event(spec)?;
+                plan = plan.delay_out(shard, peer, VirtualTime(at), extra.parse().ok()?, for_units);
+            }
+            "garble" => {
+                let (shard, peer, at, _) = parse_link_event(rest)?;
+                plan = plan.garble_next(shard, peer, VirtualTime(at));
+            }
+            _ => return None,
+        }
+    }
+    Some(plan)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut shards: u32 = 4;
+    let mut per_shard: u32 = 2;
+    let mut workload_arg = "fib:16".to_string();
+    let mut plan_arg = "none".to_string();
+    let mut recovery = RecoveryMode::Splice;
+    let mut seed: u64 = 1;
+    let mut unit_us: u64 = 25;
+    let mut timeout_secs: u64 = 30;
+    let mut broadcast = true;
+    let mut trace = TraceMode::Off;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--no-broadcast" => broadcast = false,
+            "--trace" => trace = TraceMode::Checksum,
+            _ => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                let ok = match flag.as_str() {
+                    "--shards" => v.parse().map(|x| shards = x).is_ok(),
+                    "--per-shard" => v.parse().map(|x| per_shard = x).is_ok(),
+                    "--workload" => {
+                        workload_arg = v.clone();
+                        true
+                    }
+                    "--plan" => {
+                        plan_arg = v.clone();
+                        true
+                    }
+                    "--recovery" => match v.as_str() {
+                        "none" => {
+                            recovery = RecoveryMode::None;
+                            true
+                        }
+                        "rollback" => {
+                            recovery = RecoveryMode::Rollback;
+                            true
+                        }
+                        "splice" => {
+                            recovery = RecoveryMode::Splice;
+                            true
+                        }
+                        _ => false,
+                    },
+                    "--seed" => v.parse().map(|x| seed = x).is_ok(),
+                    "--unit-us" => v.parse().map(|x| unit_us = x).is_ok(),
+                    "--timeout-secs" => v.parse().map(|x| timeout_secs = x).is_ok(),
+                    _ => false,
+                };
+                if !ok {
+                    return usage();
+                }
+            }
+        }
+    }
+    let Some(spec) = workload_spec(&workload_arg) else {
+        return usage();
+    };
+    let Some(workload) = parse_workload(&spec) else {
+        return usage();
+    };
+    let Some(plan) = parse_plan(&plan_arg) else {
+        return usage();
+    };
+    let mut cfg = ProcConfig::new(shards.max(1), per_shard.max(1));
+    cfg.recovery.mode = recovery;
+    cfg.detector_broadcast = broadcast;
+    cfg.seed = seed;
+    cfg.time_unit = Duration::from_micros(unit_us.max(1));
+    cfg.run_timeout = Duration::from_secs(timeout_secs.max(1));
+    cfg.trace = trace;
+    eprintln!(
+        "splice-proc: {} on {} shards x {} procs, plan {} ({} events)",
+        spec,
+        cfg.shards,
+        cfg.per_shard,
+        plan_arg,
+        plan.events.len()
+    );
+    match run_process(&cfg, &workload, &plan) {
+        Ok(report) => {
+            println!("{report}");
+            println!(
+                "frames_sent={} frames_resent={} reconnects={} decode_errors={}",
+                report.frames_sent, report.frames_resent, report.reconnects, report.decode_errors
+            );
+            if report.trace.events > 0 || report.trace.semantic != 0 {
+                println!(
+                    "trace: events={} semantic={:#018x}",
+                    report.trace.events, report.trace.semantic
+                );
+            }
+            match (&report.result, workload.reference_result()) {
+                (Some(got), Ok(want)) if *got == want => {
+                    println!("result OK: {got:?}");
+                    ExitCode::SUCCESS
+                }
+                (Some(got), Ok(want)) => {
+                    println!("result MISMATCH: got {got:?}, want {want:?}");
+                    ExitCode::FAILURE
+                }
+                (Some(got), Err(_)) => {
+                    println!("result: {got:?}");
+                    ExitCode::SUCCESS
+                }
+                (None, _) => {
+                    println!("no result (stalled={})", report.stalled);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("splice-proc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

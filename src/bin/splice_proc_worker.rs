@@ -1,0 +1,22 @@
+//! `splice-proc-worker` — one shard of the multi-process machine.
+//!
+//! Not meant to be launched by hand: the coordinator (the `splice-proc`
+//! binary or [`splice_sim::proc::run_process`]) spawns one worker per
+//! shard with the run directory and shard index as arguments, then
+//! configures it over the control socket. See `splice_sim::proc` for the
+//! wire protocol.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (dir, shard) = match (args.get(1), args.get(2).and_then(|s| s.parse::<u32>().ok())) {
+        (Some(dir), Some(shard)) => (dir.clone(), shard),
+        _ => {
+            eprintln!("usage: splice-proc-worker <run-dir> <shard-index>");
+            return ExitCode::from(2);
+        }
+    };
+    ExitCode::from(splice_sim::proc::worker_main(Path::new(&dir), shard) as u8)
+}

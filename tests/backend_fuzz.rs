@@ -401,6 +401,81 @@ proptest! {
     }
 }
 
+/// A sharded configuration the multi-process backend can faithfully
+/// mirror: round-robin placement (cross-shard traffic without load
+/// beacons), beacons off, and an ack timeout generous enough that
+/// wall-clock scheduling noise on the process side cannot trigger
+/// spurious reissues (which would add duplicate Complete events to the
+/// semantic checksum).
+#[cfg(unix)]
+fn process_cfg(shards: u32, per_shard: u32) -> MachineConfig {
+    let mut c = sharded_cfg(shards, per_shard, RecoveryMode::Splice);
+    c.recovery.ack_timeout = 40_000;
+    c.trace = TraceMode::Checksum;
+    c
+}
+
+#[cfg(unix)]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// DES vs the *multi-process* machine, fault-free: the same engines
+    /// over a deterministic event queue and over real OS processes racing
+    /// on Unix sockets must agree on the verdict, the value, and the
+    /// commutative semantic trace checksum — the multiset of completed
+    /// (stamp, value) pairs is schedule-invariant. (Few cases: each one
+    /// forks a fleet of worker processes.)
+    #[test]
+    fn sim_and_process_agree_fault_free(seed in any::<u64>()) {
+        let mut s = seed;
+        let shards = 2 + (mix(&mut s) % 2) as u32; // 2..=3
+        let per_shard = 1 + (mix(&mut s) % 2) as u32; // 1..=2
+        let w = workload(mix(&mut s));
+        let cfg = process_cfg(shards, per_shard);
+        let (sim, _) = execute(Backend::Des, cfg.clone(), &w, &FaultPlan::none());
+        let (proc_rep, events) = execute(Backend::Process, cfg, &w, &FaultPlan::none());
+        prop_assert!(events.is_empty(), "the process backend has no replayable stream");
+        prop_assert!(sim.completed, "DES baseline stalled on {}", w.name);
+        prop_assert!(proc_rep.completed, "process run stalled on {}", w.name);
+        prop_assert_eq!(&proc_rep.result, &sim.result);
+        prop_assert_eq!(proc_rep.result, Some(w.reference_result().unwrap()));
+        prop_assert!(proc_rep.trace.events > 0, "process run traced nothing");
+        prop_assert_eq!(
+            proc_rep.trace.semantic, sim.trace.semantic,
+            "semantic checksum diverged on {}", w.name
+        );
+    }
+}
+
+#[cfg(unix)]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// DES vs the multi-process machine under whole-shard crash plans: the
+    /// DES models the crash, the process backend SIGKILLs a live worker.
+    /// One shard always survives, so both must complete with the reference
+    /// value whether the (wall-clock-mapped) kill lands mid-run or after
+    /// the answer; the DES crash demonstrably lands mid-run.
+    #[test]
+    fn sim_and_process_agree_on_shard_kills(seed in any::<u64>()) {
+        let mut s = seed;
+        let shards = 2 + (mix(&mut s) % 2) as u32; // 2..=3
+        let per_shard = 1 + (mix(&mut s) % 2) as u32; // 1..=2
+        let w = workload(mix(&mut s));
+        let cfg = process_cfg(shards, per_shard);
+        let (lo, hi) = fault_window(&cfg, &w);
+        let t = VirtualTime(lo + mix(&mut s) % (hi - lo).max(1));
+        let victim = (mix(&mut s) % u64::from(shards)) as u32;
+        let plan = FaultPlan::crash_shard(victim, per_shard, t);
+        let (sim, _) = execute(Backend::Des, cfg.clone(), &w, &plan);
+        let (proc_rep, _) = execute(Backend::Process, cfg, &w, &plan);
+        prop_assert!(sim.completed, "DES did not recover from a shard crash on {}", w.name);
+        prop_assert!(proc_rep.completed, "process machine did not recover from SIGKILL on {}", w.name);
+        prop_assert_eq!(&proc_rep.result, &sim.result);
+        prop_assert_eq!(proc_rep.result, Some(w.reference_result().unwrap()));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
