@@ -23,6 +23,7 @@ fn bench(c: &mut Criterion) {
             victim: 0,
             kind: FaultKind::Corrupt,
         }],
+        root_events: Vec::new(),
     };
     for (name, n, vote) in [
         ("n1_unprotected", 1u32, VoteMode::Majority),

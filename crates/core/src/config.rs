@@ -112,6 +112,13 @@ pub struct Config {
     /// host died silently. Machines force-enable it whenever the
     /// detector broadcast is off.
     pub probe_acked: bool,
+    /// Number of super-root replicas
+    /// ([`RootQuorum`](crate::superroot::RootQuorum)): the lowest-ranked
+    /// live replica is the acting primary; successors take over from the
+    /// replicated checkpoint when it crashes. `1` degenerates to the old
+    /// reliable singleton bit-for-bit; fault plans can crash replicas via
+    /// `crash_root_replica`.
+    pub root_replicas: u32,
 }
 
 impl Default for Config {
@@ -126,6 +133,7 @@ impl Default for Config {
             splice_grace: 0,
             gossip_notices: true,
             probe_acked: false,
+            root_replicas: 3,
         }
     }
 }

@@ -21,6 +21,45 @@ use crate::stamp::LevelStamp;
 use splice_applicative::wave::Demand;
 use splice_applicative::{FnId, FxHashSet, Value};
 
+/// One replicable input to the super-root state machine.
+///
+/// The super-root is deterministic: feeding the same input sequence to
+/// any number of [`SuperRoot`] instances leaves them in identical states.
+/// [`RootQuorum`] exploits exactly that — conceptually every replica
+/// applies the same log; since the log is shared, one state machine
+/// stands in for all N and only the *liveness* of each replica is
+/// tracked separately.
+#[derive(Debug)]
+pub enum RootInput {
+    /// Initial program launch: spawn the root task at `dest`.
+    Launch {
+        /// Placement for the root spawn.
+        dest: ProcId,
+    },
+    /// A message addressed to the super-root (ack / result / salvage /
+    /// failure notice).
+    Message {
+        /// The message.
+        msg: Msg,
+        /// Placement for any reissue this message triggers.
+        fallback: ProcId,
+    },
+    /// A processor death notice from the failure detector.
+    Failure {
+        /// The dead processor.
+        dead: ProcId,
+        /// Placement for any reissue this notice triggers.
+        fallback: ProcId,
+    },
+    /// A timer owned by the super-root fired.
+    Timer {
+        /// The timer.
+        timer: Timer,
+        /// Placement for any reissue this timer triggers.
+        fallback: ProcId,
+    },
+}
+
 /// The reliable parent of the root task.
 #[derive(Debug)]
 pub struct SuperRoot {
@@ -82,6 +121,37 @@ impl SuperRoot {
         self.acked
             .filter(|(_, inc)| *inc == self.incarnation)
             .map(|(a, _)| a)
+    }
+
+    /// Applies one replicable input to the state machine. This is the
+    /// single entry point [`RootQuorum`] drives; the named handlers
+    /// ([`SuperRoot::launch`] etc.) remain as direct wrappers.
+    pub fn apply(&mut self, input: RootInput, sink: &mut ActionSink) {
+        match input {
+            RootInput::Launch { dest } => self.launch(dest, sink),
+            RootInput::Message { msg, fallback } => self.on_message(msg, fallback, sink),
+            RootInput::Failure { dead, fallback } => self.on_failure(dead, fallback, sink),
+            RootInput::Timer { timer, fallback } => self.on_timer(timer, fallback, sink),
+        }
+    }
+
+    /// A successor replica takes over after the acting primary died.
+    ///
+    /// The replicated checkpoint (the root packet, the incarnation
+    /// counter, the captured result, the known-dead set) survives; what
+    /// dies with the primary is its *volatile* session state — the
+    /// in-flight placement ack and any salvages buffered awaiting a twin
+    /// ack. The successor therefore clears both and, unless the answer is
+    /// already in, reissues the root wave exactly like any parent
+    /// reissues a lost child: the bumped incarnation makes every stale
+    /// ack and timer from the previous primary's tenure filter out, and
+    /// duplicate results are deduped by stamp as always.
+    pub fn take_over(&mut self, fallback: ProcId, sink: &mut ActionSink) {
+        self.acked = None;
+        self.pending_salvages.clear();
+        if self.result.is_none() {
+            self.reissue(fallback, sink);
+        }
     }
 
     /// Launches the program: spawn the root task at `dest`.
@@ -237,6 +307,111 @@ impl SuperRoot {
             }
             Timer::LoadBeacon | Timer::GraceReissue { .. } => {}
         }
+    }
+}
+
+/// N replicated super-root instances behind one deterministic
+/// rank-and-lease rule.
+///
+/// Every replica holds the root checkpoint and observes the same input
+/// log (the inputs of [`RootInput`] are replicable by construction), so
+/// all live replicas agree on the state at every step; the quorum keeps
+/// one state machine and a per-rank liveness vector. The *lowest-ranked
+/// live replica* is the acting primary — its lease is implicit in the
+/// liveness rule, renewed by every clock tick on which it is still live.
+/// When the primary dies, the next-lowest live rank takes over from the
+/// replicated checkpoint ([`SuperRoot::take_over`]): it reissues the
+/// root wave like any parent reissues a lost child, and duplicate
+/// results from the old tenure are deduped by stamp. With a single
+/// replica the quorum degenerates to exactly the old reliable singleton:
+/// no extra messages, no extra state transitions, bit-identical runs.
+#[derive(Debug)]
+pub struct RootQuorum {
+    sr: SuperRoot,
+    live: Vec<bool>,
+    failovers: u64,
+}
+
+impl RootQuorum {
+    /// Wraps `sr` in a quorum of `replicas` ranks (clamped to ≥ 1), all
+    /// initially live; rank 0 is the first primary.
+    pub fn new(sr: SuperRoot, replicas: u32) -> RootQuorum {
+        RootQuorum {
+            sr,
+            live: vec![true; replicas.max(1) as usize],
+            failovers: 0,
+        }
+    }
+
+    /// The configured replica count.
+    pub fn replicas(&self) -> u32 {
+        self.live.len() as u32
+    }
+
+    /// The acting primary's rank: the lowest live rank, or `None` once
+    /// every replica has crashed.
+    pub fn primary(&self) -> Option<u32> {
+        self.live.iter().position(|&l| l).map(|r| r as u32)
+    }
+
+    /// True while at least one replica survives.
+    pub fn has_live_replica(&self) -> bool {
+        self.live.iter().any(|&l| l)
+    }
+
+    /// True when `rank` exists and has not crashed.
+    pub fn replica_live(&self, rank: u32) -> bool {
+        self.live.get(rank as usize).copied().unwrap_or(false)
+    }
+
+    /// How many primaries died and were succeeded.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// How many times the root task was reissued.
+    pub fn reissues(&self) -> u64 {
+        self.sr.reissues
+    }
+
+    /// The replicated state machine (read-only).
+    pub fn state(&self) -> &SuperRoot {
+        &self.sr
+    }
+
+    /// The program's answer, once the root task reported it to a live
+    /// primary.
+    pub fn result(&self) -> Option<&Value> {
+        self.sr.result()
+    }
+
+    /// Applies one input through the acting primary. With every replica
+    /// dead there is no primary to process it: the input is discarded —
+    /// the run can only stall, which is the honest outcome.
+    pub fn apply(&mut self, input: RootInput, sink: &mut ActionSink) {
+        if !self.has_live_replica() {
+            return;
+        }
+        self.sr.apply(input, sink);
+    }
+
+    /// Crashes replica `rank`. Returns `true` when the crash deposed the
+    /// acting primary and a successor took over (reissuing the root wave
+    /// from the replicated checkpoint); `false` for crashes of idle
+    /// successors, already-dead ranks, out-of-range ranks, and the death
+    /// of the *last* replica (nobody is left to take over).
+    pub fn crash_replica(&mut self, rank: u32, fallback: ProcId, sink: &mut ActionSink) -> bool {
+        if !self.replica_live(rank) {
+            return false;
+        }
+        let was_primary = self.primary() == Some(rank);
+        self.live[rank as usize] = false;
+        if was_primary && self.has_live_replica() {
+            self.failovers += 1;
+            self.sr.take_over(fallback, sink);
+            return true;
+        }
+        false
     }
 }
 
@@ -418,5 +593,178 @@ mod tests {
             )),
             "{actions:?}"
         );
+    }
+
+    fn quorum(n: u32) -> RootQuorum {
+        RootQuorum::new(sr(), n)
+    }
+
+    fn q_apply(q: &mut RootQuorum, input: RootInput) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        q.apply(input, &mut sink);
+        sink.drain_to_vec()
+    }
+
+    fn q_crash(q: &mut RootQuorum, rank: u32, fallback: ProcId) -> (bool, Vec<Action>) {
+        let mut sink = ActionSink::new();
+        let failed_over = q.crash_replica(rank, fallback, &mut sink);
+        (failed_over, sink.drain_to_vec())
+    }
+
+    #[test]
+    fn primary_is_lowest_live_rank() {
+        let mut q = quorum(3);
+        assert_eq!(q.primary(), Some(0));
+        q_crash(&mut q, 0, ProcId(1));
+        assert_eq!(q.primary(), Some(1));
+        q_crash(&mut q, 2, ProcId(1));
+        assert_eq!(q.primary(), Some(1));
+        q_crash(&mut q, 1, ProcId(1));
+        assert_eq!(q.primary(), None);
+        assert!(!q.has_live_replica());
+    }
+
+    #[test]
+    fn primary_crash_takes_over_and_reissues() {
+        let mut q = quorum(3);
+        q_apply(&mut q, RootInput::Launch { dest: ProcId(0) });
+        let m = Msg::ack(
+            q.state().root_stamp().clone(),
+            TaskAddr::new(ProcId(0), TaskKey(0)),
+            TaskAddr::super_root(),
+            0,
+        );
+        q_apply(
+            &mut q,
+            RootInput::Message {
+                msg: m,
+                fallback: ProcId(0),
+            },
+        );
+        let (failed_over, actions) = q_crash(&mut q, 0, ProcId(2));
+        assert!(failed_over);
+        assert_eq!(q.failovers(), 1);
+        assert_eq!(q.reissues(), 1);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                Action::Send { to: ProcId(2), msg: Msg::Spawn(p) } if p.incarnation == 1
+            )),
+            "takeover must reissue the root wave: {actions:?}"
+        );
+        assert_eq!(
+            q.state().root_addr(),
+            None,
+            "the dead primary's volatile ack must not survive the takeover"
+        );
+    }
+
+    #[test]
+    fn successor_crash_is_not_a_failover() {
+        let mut q = quorum(3);
+        q_apply(&mut q, RootInput::Launch { dest: ProcId(0) });
+        let (failed_over, actions) = q_crash(&mut q, 2, ProcId(1));
+        assert!(!failed_over, "an idle successor's death deposes nobody");
+        assert!(actions.is_empty());
+        assert_eq!(q.failovers(), 0);
+        // Double-crash of the same rank is inert.
+        assert!(!q_crash(&mut q, 2, ProcId(1)).0);
+        // Out-of-range rank is inert.
+        assert!(!q_crash(&mut q, 9, ProcId(1)).0);
+    }
+
+    #[test]
+    fn last_replica_death_leaves_inputs_undeliverable() {
+        let mut q = quorum(2);
+        q_apply(&mut q, RootInput::Launch { dest: ProcId(0) });
+        q_crash(&mut q, 0, ProcId(1));
+        let (failed_over, _) = q_crash(&mut q, 1, ProcId(1));
+        assert!(!failed_over, "nobody left to take over");
+        assert_eq!(q.failovers(), 1, "only the first crash deposed a primary");
+        // A result arriving after the last replica died is discarded: the
+        // super-root role itself is gone.
+        let m = Msg::result(ResultPacket {
+            from_stamp: q.state().root_stamp().clone(),
+            demand: Demand::new(FnId(0), vec![Value::Int(9)]),
+            value: Value::Int(55),
+            to: TaskAddr::super_root(),
+            to_stamp: LevelStamp::root(),
+            relay_chain: vec![],
+            replica: None,
+        });
+        q_apply(
+            &mut q,
+            RootInput::Message {
+                msg: m,
+                fallback: ProcId(1),
+            },
+        );
+        assert_eq!(q.result(), None);
+    }
+
+    #[test]
+    fn duplicate_result_from_deposed_tenure_is_deduped_by_stamp() {
+        let mut q = quorum(2);
+        q_apply(&mut q, RootInput::Launch { dest: ProcId(0) });
+        q_crash(&mut q, 0, ProcId(1)); // reissue: incarnation 1 to P1
+        let mk_result = |v: i64| {
+            Msg::result(ResultPacket {
+                from_stamp: q.state().root_stamp().clone(),
+                demand: Demand::new(FnId(0), vec![Value::Int(9)]),
+                value: Value::Int(v),
+                to: TaskAddr::super_root(),
+                to_stamp: LevelStamp::root(),
+                relay_chain: vec![],
+                replica: None,
+            })
+        };
+        // The zombie incarnation-0 root and the reissued twin both report:
+        // same stamp, first result wins, the duplicate is dropped.
+        let (a, b) = (mk_result(55), mk_result(55));
+        q_apply(
+            &mut q,
+            RootInput::Message {
+                msg: a,
+                fallback: ProcId(1),
+            },
+        );
+        q_apply(
+            &mut q,
+            RootInput::Message {
+                msg: b,
+                fallback: ProcId(1),
+            },
+        );
+        assert_eq!(q.result(), Some(&Value::Int(55)));
+    }
+
+    #[test]
+    fn take_over_after_result_does_not_reissue() {
+        let mut q = quorum(2);
+        q_apply(&mut q, RootInput::Launch { dest: ProcId(0) });
+        let m = Msg::result(ResultPacket {
+            from_stamp: q.state().root_stamp().clone(),
+            demand: Demand::new(FnId(0), vec![Value::Int(9)]),
+            value: Value::Int(55),
+            to: TaskAddr::super_root(),
+            to_stamp: LevelStamp::root(),
+            relay_chain: vec![],
+            replica: None,
+        });
+        q_apply(
+            &mut q,
+            RootInput::Message {
+                msg: m,
+                fallback: ProcId(0),
+            },
+        );
+        let (failed_over, actions) = q_crash(&mut q, 0, ProcId(1));
+        assert!(failed_over, "the successor still takes the role over");
+        assert!(
+            actions.is_empty(),
+            "the answer is in — no reissue: {actions:?}"
+        );
+        assert_eq!(q.reissues(), 0);
+        assert_eq!(q.result(), Some(&Value::Int(55)));
     }
 }

@@ -12,7 +12,7 @@ use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
 use splice_core::place::Placer;
 use splice_core::sink::ActionSink;
-use splice_core::superroot::SuperRoot;
+use splice_core::superroot::{RootInput, RootQuorum, SuperRoot};
 use std::sync::Arc;
 
 /// The per-processor driver loop: owns one protocol [`Engine`] plus the
@@ -124,25 +124,37 @@ impl DriverLoop {
     }
 }
 
-/// The reliable super-root and its live-placement rotor: launches the
-/// program, survives root-processor failures, and collects the answer.
-/// Lives on the driver side of every backend (the simulator's event loop,
-/// the runtime's coordinator thread).
+/// The replicated super-root role and its live-placement rotor: launches
+/// the program, survives root-processor failures *and root-replica
+/// crashes*, and collects the answer. Lives on the driver side of every
+/// backend (the simulator's event loop, the runtime's coordinator
+/// thread, the process coordinator).
+///
+/// Internally a [`RootQuorum`] of `config.root_replicas` ranks: dispatch
+/// routes `TaskAddr::super_root()` traffic to the acting primary (the
+/// lowest live rank), and when a fault plan crashes the primary the next
+/// rank takes over from the replicated checkpoint, reissuing the root
+/// wave. With one replica this is bit-identical to the old reliable
+/// singleton.
 pub struct SuperRootDriver {
-    superroot: SuperRoot,
+    quorum: RootQuorum,
     sink: ActionSink,
     rotor: u32,
 }
 
 impl SuperRootDriver {
-    /// A super-root for `workload` under `config`'s timing.
+    /// A super-root quorum for `workload` under `config`'s timing and
+    /// replica count.
     pub fn new(workload: &Workload, config: &Config) -> SuperRootDriver {
         SuperRootDriver {
-            superroot: SuperRoot::new(
-                workload.entry,
-                workload.args.clone(),
-                config.ancestor_depth,
-                config.ack_timeout,
+            quorum: RootQuorum::new(
+                SuperRoot::new(
+                    workload.entry,
+                    workload.args.clone(),
+                    config.ancestor_depth,
+                    config.ack_timeout,
+                ),
+                config.root_replicas,
             ),
             sink: ActionSink::new(),
             rotor: 0,
@@ -151,12 +163,50 @@ impl SuperRootDriver {
 
     /// The program's answer, once the root reported it.
     pub fn result(&self) -> Option<&Value> {
-        self.superroot.result()
+        self.quorum.result()
     }
 
     /// Times the root was reissued.
     pub fn reissues(&self) -> u64 {
-        self.superroot.reissues
+        self.quorum.reissues()
+    }
+
+    /// The configured root-replica count.
+    pub fn replicas(&self) -> u32 {
+        self.quorum.replicas()
+    }
+
+    /// How many acting primaries died and were succeeded.
+    pub fn failovers(&self) -> u64 {
+        self.quorum.failovers()
+    }
+
+    /// True while replica `rank` is live (false for out-of-range ranks).
+    pub fn replica_live(&self, rank: u32) -> bool {
+        self.quorum.replica_live(rank)
+    }
+
+    /// Rank of the acting primary, if any replica survives.
+    pub fn primary(&self) -> Option<u32> {
+        self.quorum.primary()
+    }
+
+    /// True while at least one root replica survives. Once this is
+    /// false the super-root role is gone: no input can be processed, so
+    /// a result can never arrive and the run must be reported stalled.
+    pub fn has_live_replica(&self) -> bool {
+        self.quorum.has_live_replica()
+    }
+
+    /// Crashes root replica `rank` (fault-plan injection). Returns true
+    /// when the crash deposed the acting primary and a successor took
+    /// over — the takeover's reissue dispatches like any other
+    /// super-root output.
+    pub fn crash_replica<S: Substrate + ?Sized>(&mut self, rank: u32, sub: &mut S) -> bool {
+        let fallback = self.pick_live(sub);
+        let failed_over = self.quorum.crash_replica(rank, fallback, &mut self.sink);
+        dispatch(sub, ProcId::SUPER_ROOT, &mut self.sink);
+        failed_over
     }
 
     /// The next live processor under the launch rotor (falls back to
@@ -177,28 +227,33 @@ impl SuperRootDriver {
     /// Launches the program on the next live processor.
     pub fn launch<S: Substrate + ?Sized>(&mut self, sub: &mut S) {
         let dest = self.pick_live(sub);
-        self.superroot.launch(dest, &mut self.sink);
+        self.quorum
+            .apply(RootInput::Launch { dest }, &mut self.sink);
         dispatch(sub, ProcId::SUPER_ROOT, &mut self.sink);
     }
 
-    /// Delivers a message addressed to the super-root.
+    /// Delivers a message addressed to the super-root — routed to the
+    /// acting primary; discarded once every replica is dead.
     pub fn on_message<S: Substrate + ?Sized>(&mut self, msg: Msg, sub: &mut S) {
         let fallback = self.pick_live(sub);
-        self.superroot.on_message(msg, fallback, &mut self.sink);
+        self.quorum
+            .apply(RootInput::Message { msg, fallback }, &mut self.sink);
         dispatch(sub, ProcId::SUPER_ROOT, &mut self.sink);
     }
 
     /// Handles a failure notice (reissues the root if it lived on `dead`).
     pub fn on_failure<S: Substrate + ?Sized>(&mut self, dead: ProcId, sub: &mut S) {
         let fallback = self.pick_live(sub);
-        self.superroot.on_failure(dead, fallback, &mut self.sink);
+        self.quorum
+            .apply(RootInput::Failure { dead, fallback }, &mut self.sink);
         dispatch(sub, ProcId::SUPER_ROOT, &mut self.sink);
     }
 
     /// Fires a super-root timer (the root spawn's ack timeout).
     pub fn on_timer<S: Substrate + ?Sized>(&mut self, timer: Timer, sub: &mut S) {
         let fallback = self.pick_live(sub);
-        self.superroot.on_timer(timer, fallback, &mut self.sink);
+        self.quorum
+            .apply(RootInput::Timer { timer, fallback }, &mut self.sink);
         dispatch(sub, ProcId::SUPER_ROOT, &mut self.sink);
     }
 }
@@ -271,6 +326,41 @@ mod tests {
         assert!(matches!(msg, Msg::Spawn(_)));
         assert!(sr.result().is_none());
         assert_eq!(sr.reissues(), 0);
+    }
+
+    #[test]
+    fn crash_primary_replica_reissues_through_dispatch() {
+        let mut sub = Loopback {
+            n: 2,
+            ..Loopback::default()
+        };
+        let w = Workload::fib(1);
+        let mut sr = SuperRootDriver::new(&w, &Config::default());
+        assert_eq!(sr.replicas(), 3, "paper-default quorum");
+        sr.launch(&mut sub);
+        sub.inbox.clear();
+        // An idle successor dying changes nothing.
+        assert!(!sr.crash_replica(2, &mut sub));
+        assert!(sub.inbox.is_empty());
+        assert_eq!(sr.failovers(), 0);
+        // The acting primary dying promotes rank 1, which reissues the
+        // root wave through the same dispatch path as every other output.
+        assert!(sr.crash_replica(0, &mut sub));
+        assert_eq!(sr.failovers(), 1);
+        assert_eq!(sr.reissues(), 1);
+        assert!(
+            sub.inbox
+                .iter()
+                .any(|(from, _, msg)| *from == ProcId::SUPER_ROOT
+                    && matches!(msg, Msg::Spawn(p) if p.incarnation == 1)),
+            "takeover must respawn the root: {:?}",
+            sub.inbox
+        );
+        assert!(sr.has_live_replica());
+        // Kill the rest: the role is gone.
+        sr.crash_replica(1, &mut sub);
+        sr.crash_replica(2, &mut sub);
+        assert!(!sr.has_live_replica());
     }
 
     #[test]

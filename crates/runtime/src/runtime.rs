@@ -145,6 +145,11 @@ pub struct RuntimeReport {
     pub bounces: u64,
     /// Times the super-root reissued the root.
     pub root_reissues: u64,
+    /// Times a super-root successor took over from a crashed acting
+    /// primary (0 unless the plan crashed root replicas).
+    pub root_failovers: u64,
+    /// Super-root replica count the run was configured with.
+    pub root_replicas: u32,
     /// Merged per-worker canonical-trace fingerprint (processor order).
     /// The semantic checksum is cross-backend comparable; the stream
     /// checksum is wall-clock-ordered and varies run to run.
@@ -516,7 +521,12 @@ pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> Ru
     // the state machine decided.
     let injector = {
         let shared = shared.clone();
-        let plan = plan.clone();
+        // Root-replica crashes apply on the driver thread (the only owner
+        // of the super-root); the injector gets the processor faults.
+        let plan = FaultPlan {
+            events: plan.events.clone(),
+            root_events: Vec::new(),
+        };
         let time_unit = cfg.time_unit;
         let n_procs = cfg.n_procs;
         std::thread::spawn(move || {
@@ -568,8 +578,28 @@ pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> Ru
         superroot.launch(&mut sub);
     }
 
+    // Root-replica crash cursor: applied here, between super-root pumps,
+    // against the same wall-clock-derived units the injector uses for
+    // processor faults.
+    let root_events = plan.sorted_root();
+    let mut next_root = 0usize;
+
     let result = loop {
         if start.elapsed() > cfg.run_timeout {
+            break None;
+        }
+        // Apply due root-replica crashes; a deposed primary's successor
+        // takes over (reissuing the root wave) inside `crash_replica`.
+        let now_units = (start.elapsed().as_nanos() / cfg.time_unit.as_nanos().max(1)) as u64;
+        while next_root < root_events.len() && root_events[next_root].at.ticks() <= now_units {
+            let rank = root_events[next_root].rank;
+            next_root += 1;
+            let mut sub = pump_sub(&shared, None, &cfg, &mut wheel, &mut sr_tracer);
+            superroot.crash_replica(rank, &mut sub);
+        }
+        // With every root replica dead the super-root role is gone: no
+        // input can be processed, so the result can never arrive.
+        if !superroot.has_live_replica() {
             break None;
         }
         // Fire due super-root timers.
@@ -627,6 +657,8 @@ pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> Ru
         delayed_msgs: shared.delayed_sent.load(Ordering::Relaxed),
         bounces: shared.bounced.load(Ordering::Relaxed),
         root_reissues: superroot.reissues(),
+        root_failovers: superroot.failovers(),
+        root_replicas: superroot.replicas(),
         trace,
     }
 }

@@ -139,6 +139,8 @@ mod tests {
             ckpt_peak_bytes: 0,
             ckpt_stored: 0,
             root_reissues: 0,
+            root_failovers: 0,
+            root_replicas: 1,
             state_samples: samples,
             spawn_log: vec![],
             n_procs: 4,

@@ -106,6 +106,8 @@ fn main() {
             &[0, 200, 1_000, 5_000, 20_000]
         };
         println!("{}", ex::e14_router_latency(&w, lats));
+        let replicas: &[u32] = if quick { &[1, 3] } else { &[1, 2, 3, 5] };
+        println!("{}", ex::e14_root_replicas(&w, replicas));
     }
     if want("e15") {
         let w = Workload::fib(if quick { 12 } else { 14 });

@@ -591,6 +591,7 @@ pub fn e10_replication() -> Table {
                 victim: 0,
                 kind: FaultKind::Corrupt,
             }],
+            root_events: Vec::new(),
         };
         let r = run_workload(cfg, &w, &faults);
         let correct = r.result == Some(expected.clone());
@@ -842,6 +843,68 @@ pub fn e14_router_latency(w: &Workload, latencies: &[u64]) -> Table {
             fmt_f(r.slowdown_vs(&fault_free)),
             correct.to_string(),
             r.shard_msgs_inter.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E14c (extension): recovery vs super-root replica count. Each row
+/// crashes the acting primary, then each successor in turn, until one
+/// replica remains (`n = 1` has no successor: its lone primary is
+/// crashed and the machine must stall as a verdict). Fault-free finish
+/// is invariant in the replica count — the quorum layer adds zero events
+/// until a root fault fires — while each faulted run pays one reissued
+/// root wave per takeover, so recovery latency grows with the length of
+/// the succession chain the plan forces.
+pub fn e14_root_replicas(w: &Workload, replica_counts: &[u32]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E14c (extension): primary crashes vs root-replica count [{}]",
+            w.name
+        ),
+        &[
+            "replicas",
+            "ff finish",
+            "primary crashes",
+            "verdict",
+            "crash finish",
+            "slowdown",
+            "failovers",
+            "root reissues",
+            "correct",
+        ],
+    );
+    for &n in replica_counts {
+        let mut cfg = default_config(8, RecoveryMode::Splice);
+        cfg.policy = Policy::RoundRobin;
+        cfg.recovery.root_replicas = n;
+        let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+        let t0 = fault_free.finish.ticks() / 2;
+        let step = (fault_free.finish.ticks() / 8).max(1);
+        let crashes = if n == 1 { 1 } else { n - 1 };
+        let mut plan = FaultPlan::none();
+        for r in 0..crashes {
+            plan = plan.crash_root_replica(r, VirtualTime(t0 + u64::from(r) * step));
+        }
+        let r = run_workload(cfg, w, &plan);
+        let verdict = if r.completed {
+            "completed"
+        } else if r.stalled {
+            "stalled"
+        } else {
+            "budget"
+        };
+        let correct = r.result == Some(w.reference_result().unwrap());
+        t.row(vec![
+            n.to_string(),
+            fault_free.finish.ticks().to_string(),
+            crashes.to_string(),
+            verdict.into(),
+            r.finish.ticks().to_string(),
+            fmt_f(r.slowdown_vs(&fault_free)),
+            r.root_failovers.to_string(),
+            r.root_reissues.to_string(),
+            correct.to_string(),
         ]);
     }
     t

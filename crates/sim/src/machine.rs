@@ -171,6 +171,14 @@ enum Ev {
         victim: ProcId,
         kind: FaultKind,
     },
+    /// Fault-plan crash of super-root replica `rank` ([`RootQuorum`]
+    /// liveness; distinct from processor faults — the victim domain is
+    /// replica ranks, not processor ids).
+    ///
+    /// [`RootQuorum`]: splice_core::superroot::RootQuorum
+    RootFault {
+        rank: u32,
+    },
     Notice {
         to: ProcId,
         dead: ProcId,
@@ -489,6 +497,9 @@ impl Machine {
                 },
             );
         }
+        for f in faults.sorted_root() {
+            self.sub.sched(f.at, Ev::RootFault { rank: f.rank });
+        }
         // Start engines (arms load beacons).
         for node in &mut self.nodes {
             node.start(&mut self.sub);
@@ -529,6 +540,12 @@ impl Machine {
             if self.sub.faults.live_count() == 0 && self.sub.pending_sr_deliver == 0 {
                 break;
             }
+            // With every root replica dead the super-root role itself is
+            // gone: inputs are discarded, so no delivery can ever set the
+            // result. Quiesce as stalled immediately.
+            if !self.superroot.has_live_replica() {
+                break;
+            }
         }
 
         // Any exit without a result that is not a budget trip is
@@ -562,6 +579,7 @@ impl Machine {
             }
             Ev::Step { proc } => self.step(proc),
             Ev::Fault { victim, kind } => self.fault(victim, kind),
+            Ev::RootFault { rank } => self.root_fault(rank),
             Ev::Notice { to, dead } => {
                 if to.is_super_root() {
                     self.superroot.on_failure(dead, &mut self.sub);
@@ -670,6 +688,27 @@ impl Machine {
         }
     }
 
+    /// Crashes super-root replica `rank`. A deposed acting primary's
+    /// successor takes over from the replicated checkpoint inside
+    /// `crash_replica` (reissuing the root wave if no result has landed);
+    /// this handler only times the event and narrates it.
+    fn root_fault(&mut self, rank: u32) {
+        let applied = self.superroot.replica_live(rank);
+        if self.sub.trace_enabled() {
+            self.sub.trace(TraceKind::Fault {
+                victim: rank,
+                kind: 2,
+                applied,
+            });
+        }
+        let failed_over = self.superroot.crash_replica(rank, &mut self.sub);
+        if failed_over && self.sub.trace_enabled() {
+            let new_primary = self.superroot.primary().unwrap_or(u32::MAX);
+            self.sub
+                .trace(TraceKind::RootFailover { rank: new_primary });
+        }
+    }
+
     fn build_report(
         &mut self,
         events: u64,
@@ -697,6 +736,8 @@ impl Machine {
             ckpt_peak_bytes: totals.ckpt_peak_bytes,
             ckpt_stored: totals.ckpt_stored,
             root_reissues: self.superroot.reissues(),
+            root_failovers: self.superroot.failovers(),
+            root_replicas: self.superroot.replicas(),
             state_samples: std::mem::take(&mut self.sub.state_samples),
             spawn_log: std::mem::take(&mut self.spawn_log),
             n_procs: self.nodes.len() as u32,
@@ -705,7 +746,7 @@ impl Machine {
             shard_msgs_inter,
             batch_envelopes: batch_stats.envelopes,
             batch_msgs: batch_stats.messages,
-            faults: faults.events.len(),
+            faults: faults.events.len() + faults.root_events.len(),
             threads: 1,
             msgs_cross_reactor: 0,
             steals: 0,

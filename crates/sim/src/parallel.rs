@@ -265,6 +265,30 @@ impl ParallelReactorMachine {
                     self.superroot.on_failure(v, &mut self.csub);
                 }
             }
+            // Root-replica crashes ride their own cursor: the victim
+            // domain is replica ranks, not processor ids. A deposed
+            // primary's successor takes over (reissuing the root wave)
+            // inside `crash_replica`; the reissue injects through the
+            // coordinator substrate like any other super-root output.
+            while let Some(ev) = plan.pop_due_root(VirtualTime(self.csub.now)) {
+                let applied = self.superroot.replica_live(ev.rank);
+                tracer.emit(
+                    VirtualTime(self.csub.now),
+                    TraceKind::Fault {
+                        victim: ev.rank,
+                        kind: 2,
+                        applied,
+                    },
+                );
+                let failed_over = self.superroot.crash_replica(ev.rank, &mut self.csub);
+                if failed_over {
+                    let new_primary = self.superroot.primary().unwrap_or(u32::MAX);
+                    tracer.emit(
+                        VirtualTime(self.csub.now),
+                        TraceKind::RootFailover { rank: new_primary },
+                    );
+                }
+            }
             // Super-root timers due under the barrier clock.
             while let Some(timer) = self.csub.timers.pop_due(&self.csub.now) {
                 self.superroot.on_timer(timer, &mut self.csub);
@@ -341,6 +365,12 @@ impl ParallelReactorMachine {
             }
             if self.superroot.result().is_some() {
                 finish = Some(VirtualTime(self.csub.now));
+                break;
+            }
+            // With every root replica dead the super-root role itself is
+            // gone: inputs are discarded, so no delivery can ever set the
+            // result. Quiesce as stalled immediately.
+            if !self.superroot.has_live_replica() {
                 break;
             }
             if waves > 0 || turns > 0 {
@@ -466,6 +496,8 @@ impl ParallelReactorMachine {
             ckpt_peak_bytes: totals.ckpt_peak_bytes,
             ckpt_stored: totals.ckpt_stored,
             root_reissues: superroot.reissues(),
+            root_failovers: superroot.failovers(),
+            root_replicas: superroot.replicas(),
             state_samples: Vec::new(),
             spawn_log: Vec::new(),
             n_procs: cluster.n(),
@@ -474,7 +506,7 @@ impl ParallelReactorMachine {
             shard_msgs_inter: shard_stats.inter_msgs,
             batch_envelopes,
             batch_msgs,
-            faults: faults.events.len(),
+            faults: faults.events.len() + faults.root_events.len(),
             threads,
             msgs_cross_reactor: msgs_cross,
             steals,

@@ -224,6 +224,8 @@ const T_EXIT: u8 = 8;
 const T_GARBLE: u8 = 9;
 const T_PARTITION: u8 = 10;
 const T_DELAY: u8 = 11;
+const T_PARTITION_IN: u8 = 12;
+const T_NOISE: u8 = 13;
 
 /// Everything that crosses a socket, data plane and control plane alike.
 /// Each variant travels inside the standard codec frame envelope.
@@ -261,6 +263,14 @@ enum Wire {
         extra_units: u64,
         for_units: u64,
     },
+    /// Fault injection: whole-host inbound blackout — the receiving
+    /// worker closes its listener and drops established peer
+    /// connections for the window (asymmetric: its outbound links and
+    /// the control plane stay up).
+    PartitionIn { for_units: u64 },
+    /// Fault injection: byte-level socket noise — outbound data frames
+    /// toward `peer` are randomly corrupted for the window.
+    Noise { peer: u32, for_units: u64 },
 }
 
 /// The machine half a worker cannot derive on its own.
@@ -367,6 +377,7 @@ fn encode_recovery(e: &mut Enc<'_>, r: &RecoveryConfig) {
     e.u64v(r.splice_grace);
     e.u8(u8::from(r.gossip_notices));
     e.u8(u8::from(r.probe_acked));
+    e.u32v(r.root_replicas);
     let mut reps: Vec<(u32, &ReplicaSpec)> = r.replicate.iter().map(|(f, s)| (f.0, s)).collect();
     reps.sort_by_key(|(f, _)| *f);
     e.u64v(reps.len() as u64);
@@ -398,6 +409,7 @@ fn decode_recovery(d: &mut Dec<'_>) -> Result<RecoveryConfig, CodecError> {
     let splice_grace = d.u64v()?;
     let gossip_notices = d.u8()? != 0;
     let probe_acked = d.u8()? != 0;
+    let root_replicas = d.u32v()?;
     let n = d.u64v()?;
     let mut replicate = std::collections::HashMap::new();
     for _ in 0..n {
@@ -420,6 +432,7 @@ fn decode_recovery(d: &mut Dec<'_>) -> Result<RecoveryConfig, CodecError> {
         splice_grace,
         gossip_notices,
         probe_acked,
+        root_replicas,
     })
 }
 
@@ -592,6 +605,15 @@ fn encode_wire(w: &Wire, out: &mut Vec<u8>) {
             e.u64v(*extra_units);
             e.u64v(*for_units);
         }
+        Wire::PartitionIn { for_units } => {
+            e.u8(T_PARTITION_IN);
+            e.u64v(*for_units);
+        }
+        Wire::Noise { peer, for_units } => {
+            e.u8(T_NOISE);
+            e.u32v(*peer);
+            e.u64v(*for_units);
+        }
     }
 }
 
@@ -705,6 +727,14 @@ fn decode_wire(body: &[u8]) -> Result<Wire, CodecError> {
                 for_units,
             }
         }
+        T_PARTITION_IN => Wire::PartitionIn {
+            for_units: d.u64v()?,
+        },
+        T_NOISE => {
+            let peer = d.u32v()?;
+            let for_units = d.u64v()?;
+            Wire::Noise { peer, for_units }
+        }
         t => return Err(CodecError::Tag(t)),
     };
     if d.remaining() != 0 {
@@ -776,6 +806,10 @@ struct Peer {
     block_until: Option<Instant>,
     /// `(window_end, extra_units)` of an active delay fault.
     delay: Option<(Instant, u64)>,
+    /// Byte-level noise fault: until this instant, outbound data frames
+    /// are randomly corrupted (the clean copy is still retained for
+    /// replay, so the link recovers losslessly).
+    noise_until: Option<Instant>,
 }
 
 /// All of a worker's outbound links plus the shared counters.
@@ -813,6 +847,7 @@ impl Transport {
                     garble_next: false,
                     block_until: None,
                     delay: None,
+                    noise_until: None,
                 })
             })
             .collect();
@@ -1034,6 +1069,7 @@ impl Transport {
             encode_msg(&head.msg, &mut self.scratch);
             self.frame.clear();
             encode_frame(&self.scratch, &mut self.frame);
+            let noisy = peer.noise_until.is_some_and(|t| now < t);
             let wire_bytes = if peer.garble_next {
                 peer.garble_next = false;
                 // Flip one body byte after the checksum was computed: the
@@ -1041,6 +1077,16 @@ impl Transport {
                 // the receiver's checksum rejects the frame.
                 let mut g = self.frame.clone();
                 g[5] ^= 0x5a;
+                g
+            } else if noisy && self.next_jitter(2) == 0 {
+                // Active noise window: corrupt roughly every other frame at
+                // a random body position past the length word. Same recovery
+                // path as garble — checksum reject, connection drop, clean
+                // replay from `sent`.
+                let mut g = self.frame.clone();
+                let span = (g.len() as u64).saturating_sub(5).max(1);
+                let idx = (5 + self.next_jitter(span) as usize).min(g.len() - 1);
+                g[idx] ^= 0xa5;
                 g
             } else {
                 self.frame.clone()
@@ -1089,6 +1135,9 @@ struct WorkerCore {
     expected_seq: Vec<u64>,
     dropped_to_dead: u64,
     decode_errors: u64,
+    /// End of an active inbound-partition window: while set, the worker
+    /// refuses inbound peer traffic (listener down, peer links severed).
+    partition_in_until: Option<Instant>,
 }
 
 impl WorkerCore {
@@ -1351,6 +1400,7 @@ pub fn worker_main(dir: &Path, shard: u32) -> i32 {
         expected_seq: vec![0; shards as usize],
         dropped_to_dead: 0,
         decode_errors: 0,
+        partition_in_until: None,
     };
     // Replay pre-init data frames through the ordinary dedup path.
     for (src, seq, to, msg) in pre_data {
@@ -1384,16 +1434,43 @@ pub fn worker_main(dir: &Path, shard: u32) -> i32 {
     core.send_coord(&Wire::Ready { shard });
 
     // Main loop.
+    let mut listener = Some(listener);
     let mut shutdown = false;
     loop {
         if start.elapsed() > Duration::from_secs(600) {
             return 3;
         }
-        accept_conns(&listener, &mut conns);
+        // Asymmetric inbound blackout (PartitionIn): while the window is
+        // open this shard refuses new connections — the socket file is
+        // gone, so peers burn reconnect budget — and severs established
+        // peer links below. The coordinator link and every outbound link
+        // stay up: the shard turns into a zombie that still computes and
+        // sends but hears nothing from its peers.
+        match core.partition_in_until {
+            Some(until) if Instant::now() < until => {
+                listener = None;
+                let _ = std::fs::remove_file(sock_path(dir, shard));
+            }
+            Some(_) => {
+                core.partition_in_until = None;
+                listener = UnixListener::bind(sock_path(dir, shard))
+                    .ok()
+                    .filter(|l| l.set_nonblocking(true).is_ok());
+            }
+            None => {}
+        }
+        let dark = core.partition_in_until.is_some();
+        if let Some(l) = &listener {
+            accept_conns(l, &mut conns);
+        }
         let mut progressed = false;
         let mut coord_eof = false;
         let mut drop_idx: Vec<usize> = Vec::new();
         for (ci, conn) in conns.iter_mut().enumerate() {
+            if dark && !conn.is_coord {
+                drop_idx.push(ci);
+                continue;
+            }
             let eof = pump_read(&mut conn.stream, &mut conn.fb).unwrap_or(true);
             loop {
                 match conn.fb.next_frame() {
@@ -1672,6 +1749,20 @@ fn handle_worker_frame(
             }
             false
         }
+        Wire::PartitionIn { for_units } => {
+            conn.is_coord = true;
+            let wall = units_to_wall(core.nanos, for_units);
+            core.partition_in_until = Some(Instant::now() + wall);
+            false
+        }
+        Wire::Noise { peer, for_units } => {
+            conn.is_coord = true;
+            let wall = units_to_wall(core.nanos, for_units);
+            if let Some(p) = core.transport.peer_flag(peer) {
+                p.noise_until = Some(Instant::now() + wall);
+            }
+            false
+        }
         // Init is consumed during the handshake; the rest are
         // coordinator-bound frames a worker never receives.
         Wire::Init(_) | Wire::Hello { .. } | Wire::Ready { .. } | Wire::Exit(_) => false,
@@ -1685,6 +1776,13 @@ fn handle_worker_frame(
 struct CoordState {
     ctrl: Vec<Option<UnixStream>>,
     shard_dead: Vec<bool>,
+    /// Per-processor deaths the coordinator has learned of — either by
+    /// observing a worker exit, or by gossip (FailureNotices from peers
+    /// that exhausted their reconnect budget against a partitioned host).
+    /// Once every processor of a shard is believed dead, the root
+    /// replicas hosted there are deposed even if the worker process
+    /// itself is still running (a partitioned zombie).
+    proc_dead: Vec<bool>,
     shards: u32,
     per_shard: u32,
     nanos: u64,
@@ -1725,6 +1823,7 @@ impl Substrate for CoordSub<'_> {
 
     fn is_live(&self, p: ProcId) -> bool {
         !self.st.shard_dead[(p.0 / self.st.per_shard.max(1)) as usize]
+            && !self.st.proc_dead[p.0 as usize]
     }
 
     fn now_units(&self) -> u64 {
@@ -1762,6 +1861,10 @@ fn on_shard_death(
     }
     st.shard_dead[k as usize] = true;
     st.ctrl[k as usize] = None;
+    for j in 0..st.per_shard {
+        st.proc_dead[(k * st.per_shard + j) as usize] = true;
+    }
+    crash_root_replicas_of(st, sr, k);
     if let Some(mut ch) = children[k as usize].take() {
         let _ = ch.kill();
         let _ = ch.wait();
@@ -1783,6 +1886,35 @@ fn on_shard_death(
     // With broadcast off the death stays silent: workers discover it
     // through exhausted reconnect budgets, and the super-root through the
     // FailureNotices those discoveries gossip up the driver link.
+}
+
+/// Deposes every root replica hosted by shard `k` — replica rank `r`
+/// lives on shard `r % shards` — letting the quorum's next-ranked live
+/// replica take over and reissue the root wave.
+fn crash_root_replicas_of(st: &mut CoordState, sr: &mut SuperRootDriver, k: u32) {
+    for r in 0..sr.replicas() {
+        if r % st.shards.max(1) == k && sr.replica_live(r) {
+            let mut sub = CoordSub { st };
+            sr.crash_replica(r, &mut sub);
+        }
+    }
+}
+
+/// Records a gossiped processor death. When that completes a whole
+/// shard, the shard's root replicas are deposed even though its worker
+/// process may still be alive (an inbound-partitioned zombie: the
+/// cluster has durably excommunicated it, so the root role must move).
+fn note_proc_death(st: &mut CoordState, sr: &mut SuperRootDriver, dead: ProcId) {
+    let i = dead.0 as usize;
+    if i >= st.proc_dead.len() || st.proc_dead[i] {
+        return;
+    }
+    st.proc_dead[i] = true;
+    let k = dead.0 / st.per_shard.max(1);
+    let whole = (0..st.per_shard).all(|j| st.proc_dead[(k * st.per_shard + j) as usize]);
+    if whole {
+        crash_root_replicas_of(st, sr, k);
+    }
 }
 
 /// Runs `workload` on a machine of `cfg.shards` worker processes,
@@ -1853,6 +1985,7 @@ fn run_process_in(
     let mut st = CoordState {
         ctrl: (0..shards).map(|_| None).collect(),
         shard_dead: vec![false; shards as usize],
+        proc_dead: vec![false; (shards * per_shard) as usize],
         shards,
         per_shard,
         nanos,
@@ -1941,13 +2074,19 @@ fn run_process_in(
                             Ok(Wire::Ready { shard }) if shard < shards => {
                                 ready[shard as usize] = true;
                             }
-                            Ok(Wire::CoordNet { to, msg, .. }) if to.is_super_root() => {
-                                let mut sub = CoordSub { st: &mut st };
-                                match msg {
-                                    Msg::FailureNotice { dead } => sr.on_failure(dead, &mut sub),
-                                    m => sr.on_message(m, &mut sub),
+                            Ok(Wire::CoordNet { to, msg, .. }) if to.is_super_root() => match msg {
+                                Msg::FailureNotice { dead } => {
+                                    {
+                                        let mut sub = CoordSub { st: &mut st };
+                                        sr.on_failure(dead, &mut sub);
+                                    }
+                                    note_proc_death(&mut st, &mut sr, dead);
                                 }
-                            }
+                                m => {
+                                    let mut sub = CoordSub { st: &mut st };
+                                    sr.on_message(m, &mut sub);
+                                }
+                            },
                             Ok(Wire::Exit(rep)) => {
                                 let k = rep.shard as usize;
                                 if k < exits.len() {
@@ -2047,6 +2186,12 @@ fn run_process_in(
                 ProcFaultKind::GarbleNext { peer } => {
                     st.notify(ev.shard, &Wire::Garble { peer });
                 }
+                ProcFaultKind::PartitionIn { for_units } => {
+                    st.notify(ev.shard, &Wire::PartitionIn { for_units });
+                }
+                ProcFaultKind::NoiseOut { peer, for_units } => {
+                    st.notify(ev.shard, &Wire::Noise { peer, for_units });
+                }
             }
         }
 
@@ -2058,6 +2203,12 @@ fn run_process_in(
 
         if sr.result().is_some() {
             finish_units = Some((st.epoch.elapsed().as_nanos() / u128::from(nanos)) as u64);
+            break;
+        }
+        // Every root replica deposed: the quorum is gone and no successor
+        // can reissue — the run stalls by construction, so stop now.
+        if launched && !sr.has_live_replica() {
+            stalled = true;
             break;
         }
         if launched && st.shard_dead.iter().all(|d| *d) {
@@ -2181,6 +2332,8 @@ fn run_process_in(
         ckpt_peak_bytes: totals.ckpt_peak_bytes,
         ckpt_stored: totals.ckpt_stored,
         root_reissues: sr.reissues(),
+        root_failovers: sr.failovers(),
+        root_replicas: sr.replicas(),
         state_samples: Vec::new(),
         spawn_log: Vec::new(),
         n_procs: shards * per_shard,

@@ -178,6 +178,26 @@ impl ReactorMachine {
                 FaultOutcome::Ignored => {}
             }
         }
+        // Root-replica crashes ride their own cursor: the victim domain is
+        // replica ranks, not processor ids, and a deposed primary's
+        // successor takes over (reissuing the root wave) inside
+        // `crash_replica`.
+        while let Some(ev) = plan.pop_due_root(now) {
+            let applied = self.superroot.replica_live(ev.rank);
+            if self.sub.trace_enabled() {
+                self.sub.trace(TraceKind::Fault {
+                    victim: ev.rank,
+                    kind: 2,
+                    applied,
+                });
+            }
+            let failed_over = self.superroot.crash_replica(ev.rank, &mut self.sub);
+            if failed_over && self.sub.trace_enabled() {
+                let new_primary = self.superroot.primary().unwrap_or(u32::MAX);
+                self.sub
+                    .trace(TraceKind::RootFailover { rank: new_primary });
+            }
+        }
     }
 
     /// Runs the workload under `faults` to completion (or until it
@@ -232,6 +252,12 @@ impl ReactorMachine {
             }
             if self.superroot.result().is_some() {
                 finish = Some(VirtualTime(self.sub.now_units()));
+                break;
+            }
+            // With every root replica dead the super-root role itself is
+            // gone: inputs are discarded, so no delivery can ever set the
+            // result. Quiesce as stalled immediately.
+            if !self.superroot.has_live_replica() {
                 break;
             }
             if let Some(p) = self.sub.pop_ready() {
@@ -343,6 +369,8 @@ impl ReactorMachine {
             ckpt_peak_bytes: totals.ckpt_peak_bytes,
             ckpt_stored: totals.ckpt_stored,
             root_reissues: self.superroot.reissues(),
+            root_failovers: self.superroot.failovers(),
+            root_replicas: self.superroot.replicas(),
             state_samples: Vec::new(),
             spawn_log: Vec::new(),
             n_procs: self.nodes.len() as u32,
@@ -351,7 +379,7 @@ impl ReactorMachine {
             shard_msgs_inter,
             batch_envelopes: batch_stats.envelopes,
             batch_msgs: batch_stats.messages,
-            faults: faults.events.len(),
+            faults: faults.events.len() + faults.root_events.len(),
             threads: 1,
             msgs_cross_reactor: 0,
             steals: 0,

@@ -214,6 +214,23 @@ pub fn archived_plan(name: &str) -> Option<(FaultPlan, u32)> {
             }
             Some((plan, 2))
         }
+        // A fuzzer-shaped root-quorum failover: the two leading replicas
+        // of the default 3-replica super-root quorum die mid-run — two
+        // successive takeovers, after which the run must still complete —
+        // buried under processor corrupts, a processor crash, and a root
+        // crash aimed at an already-dead rank. The minimal reproducer is
+        // the two live root-replica crashes alone.
+        "root-failover" => {
+            let plan = FaultPlan::none()
+                .and(0, VirtualTime(900), FaultKind::Corrupt)
+                .crash_root_replica(0, VirtualTime(1_000))
+                .and(1, VirtualTime(1_100), FaultKind::Corrupt)
+                .crash_root_replica(1, VirtualTime(1_400))
+                .crash_root_replica(0, VirtualTime(1_500))
+                .and(2, VirtualTime(1_600), FaultKind::Crash)
+                .and(0, VirtualTime(2_000), FaultKind::Corrupt);
+            Some((plan, 3))
+        }
         _ => None,
     }
 }
@@ -275,6 +292,9 @@ mod tests {
         let (plan, n) = archived_plan("noisy-double-crash").expect("archived");
         assert_eq!(n, 2);
         assert_eq!(plan.events.len(), 10);
+        let (plan, n) = archived_plan("root-failover").expect("archived");
+        assert_eq!(n, 3);
+        assert_eq!((plan.events.len(), plan.root_events.len()), (4, 3));
         assert!(archived_plan("unknown").is_none());
     }
 }

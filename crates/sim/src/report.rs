@@ -44,6 +44,11 @@ pub struct RunReport {
     pub ckpt_stored: u64,
     /// Times the super-root reissued the root program.
     pub root_reissues: u64,
+    /// Times a super-root successor took over from a crashed acting
+    /// primary (0 unless the fault plan crashed root replicas).
+    pub root_failovers: u64,
+    /// Super-root replica count the run was configured with.
+    pub root_replicas: u32,
     /// `(time, live task count)` samples for baseline modelling.
     pub state_samples: Vec<(u64, u64)>,
     /// Placement log `(time, stamp, proc)`, when enabled.
@@ -189,6 +194,8 @@ mod tests {
             ckpt_peak_bytes: 0,
             ckpt_stored: 0,
             root_reissues: 0,
+            root_failovers: 0,
+            root_replicas: 1,
             state_samples: vec![],
             spawn_log: vec![],
             n_procs: work.len() as u32,

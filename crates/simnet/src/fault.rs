@@ -34,11 +34,27 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// One scheduled crash of a super-root replica. Root replicas are a
+/// different victim domain than processors — the `rank` indexes the
+/// [`RootQuorum`](https://docs.rs/splice-core) liveness vector, not the
+/// topology — so these ride in their own list beside
+/// [`FaultPlan::events`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RootFaultEvent {
+    /// When the replica crashes.
+    pub at: VirtualTime,
+    /// The replica rank (0 = initial primary).
+    pub rank: u32,
+}
+
 /// A complete fault plan for one run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
-    /// Scheduled faults, in any order (the simulator sorts by time).
+    /// Scheduled processor faults, in any order (the simulator sorts by
+    /// time).
     pub events: Vec<FaultEvent>,
+    /// Scheduled super-root replica crashes, in any order.
+    pub root_events: Vec<RootFaultEvent>,
 }
 
 impl FaultPlan {
@@ -55,12 +71,22 @@ impl FaultPlan {
                 victim,
                 kind: FaultKind::Crash,
             }],
+            root_events: Vec::new(),
         }
     }
 
     /// Adds another fault.
     pub fn and(mut self, victim: u32, at: VirtualTime, kind: FaultKind) -> FaultPlan {
         self.events.push(FaultEvent { at, victim, kind });
+        self
+    }
+
+    /// Adds a crash of super-root replica `rank` at `at`. Crashing the
+    /// acting primary forces a failover to the next live rank; crashing
+    /// every replica kills the super-root role and the run can only
+    /// stall.
+    pub fn crash_root_replica(mut self, rank: u32, at: VirtualTime) -> FaultPlan {
+        self.root_events.push(RootFaultEvent { at, rank });
         self
     }
 
@@ -76,6 +102,7 @@ impl FaultPlan {
                     kind: FaultKind::Crash,
                 })
                 .collect(),
+            root_events: Vec::new(),
         }
     }
 
@@ -102,7 +129,10 @@ impl FaultPlan {
                 kind: FaultKind::Crash,
             })
             .collect();
-        FaultPlan { events }
+        FaultPlan {
+            events,
+            root_events: Vec::new(),
+        }
     }
 
     /// Victims in time order.
@@ -110,6 +140,18 @@ impl FaultPlan {
         let mut v = self.events.clone();
         v.sort_by_key(|e| (e.at, e.victim));
         v
+    }
+
+    /// Root-replica crashes in time order.
+    pub fn sorted_root(&self) -> Vec<RootFaultEvent> {
+        let mut v = self.root_events.clone();
+        v.sort_by_key(|e| (e.at, e.rank));
+        v
+    }
+
+    /// True when the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.root_events.is_empty()
     }
 
     /// Number of crash faults.
@@ -214,6 +256,8 @@ impl FaultState {
 pub struct PlanRun {
     events: Vec<FaultEvent>,
     next: usize,
+    root_events: Vec<RootFaultEvent>,
+    next_root: usize,
     state: FaultState,
 }
 
@@ -223,6 +267,8 @@ impl PlanRun {
         PlanRun {
             events: plan.sorted(),
             next: 0,
+            root_events: plan.sorted_root(),
+            next_root: 0,
             state: FaultState::new(n),
         }
     }
@@ -232,18 +278,25 @@ impl PlanRun {
         &self.state
     }
 
-    /// When the next unapplied fault lands, if any remain.
+    /// When the next unapplied fault lands — processor or root-replica —
+    /// if any remain. An idle backend skipping its clock forward must
+    /// consider both lists, or a scheduled root crash could never land.
     pub fn next_at(&self) -> Option<VirtualTime> {
-        self.events.get(self.next).map(|e| e.at)
+        let proc_at = self.events.get(self.next).map(|e| e.at);
+        let root_at = self.root_events.get(self.next_root).map(|e| e.at);
+        match (proc_at, root_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// True once every scheduled fault has been applied.
     pub fn exhausted(&self) -> bool {
-        self.next >= self.events.len()
+        self.next >= self.events.len() && self.next_root >= self.root_events.len()
     }
 
-    /// Applies and yields the next fault due at or before `now`, if any.
-    /// Call in a loop to drain everything due.
+    /// Applies and yields the next processor fault due at or before
+    /// `now`, if any. Call in a loop to drain everything due.
     pub fn pop_due(&mut self, now: VirtualTime) -> Option<(FaultEvent, FaultOutcome)> {
         let ev = *self.events.get(self.next)?;
         if ev.at > now {
@@ -251,6 +304,19 @@ impl PlanRun {
         }
         self.next += 1;
         Some((ev, self.state.apply(ev.victim, ev.kind)))
+    }
+
+    /// Yields the next root-replica crash due at or before `now`, if
+    /// any. The backend applies it to its `SuperRootDriver` (the quorum
+    /// owns the liveness transition — whether the crash deposed the
+    /// acting primary is its verdict, not the plan's).
+    pub fn pop_due_root(&mut self, now: VirtualTime) -> Option<RootFaultEvent> {
+        let ev = *self.root_events.get(self.next_root)?;
+        if ev.at > now {
+            return None;
+        }
+        self.next_root += 1;
+        Some(ev)
     }
 }
 
@@ -292,6 +358,30 @@ pub enum ProcFaultKind {
         /// The shard that receives the corrupted frame.
         peer: u32,
     },
+    /// Black-hole the victim's *inbound* side entirely for `for_units`
+    /// time units: every established connection into the victim is
+    /// dropped and new inbound data is rejected, while the victim's own
+    /// outbound frames keep flowing — the asymmetric half of a real
+    /// network partition. Peers with pending traffic exhaust their
+    /// reconnect budgets against the blackout, declare the victim's
+    /// processors dead and bounce into recovery; the victim only learns
+    /// it was partitioned when its stale results are deduped.
+    PartitionIn {
+        /// Blackout duration in driver time units.
+        for_units: u64,
+    },
+    /// Byte-level noise on the victim → `peer` direction for
+    /// `for_units` time units: outbound frames are randomly corrupted in
+    /// flight (bit flips, truncations) by a deterministic per-transport
+    /// RNG. Unlike [`ProcFaultKind::GarbleNext`]'s single scripted
+    /// frame, this models a sustained dirty link; the CRC reject +
+    /// reconnect + retained-replay machinery must absorb all of it.
+    NoiseOut {
+        /// The shard whose inbound frames from the victim arrive dirty.
+        peer: u32,
+        /// Noise-window duration in driver time units.
+        for_units: u64,
+    },
 }
 
 /// One scheduled process-level fault.
@@ -328,6 +418,12 @@ pub enum ProcPlanError {
     /// `Corrupt` faults flip replica results inside a live engine; there
     /// is no environment-level equivalent to inject from outside.
     Corrupt,
+    /// The plan crashes super-root replicas by rank. On the process
+    /// backend a root replica's fate is bound to its host worker
+    /// (SIGKILL the host to crash it) — a rank-addressed crash has no
+    /// standalone lowering, so plans carrying them are rejected here and
+    /// expressed directly with [`ProcessFaultPlan::kill_shard`] instead.
+    RootFault,
 }
 
 impl fmt::Display for ProcPlanError {
@@ -337,6 +433,10 @@ impl fmt::Display for ProcPlanError {
                 write!(f, "crash covers only part of shard {shard}")
             }
             ProcPlanError::Corrupt => write!(f, "corrupt faults have no process-level analogue"),
+            ProcPlanError::RootFault => write!(
+                f,
+                "root-replica crashes lower to host kills; use kill_shard directly"
+            ),
         }
     }
 }
@@ -407,6 +507,35 @@ impl ProcessFaultPlan {
         self
     }
 
+    /// Adds a whole-host inbound blackout: everything arriving at
+    /// `shard` vanishes from `at` for `for_units`, outbound untouched.
+    pub fn partition_in(mut self, shard: u32, at: VirtualTime, for_units: u64) -> ProcessFaultPlan {
+        self.events.push(ProcFaultEvent {
+            at,
+            shard,
+            kind: ProcFaultKind::PartitionIn { for_units },
+        });
+        self
+    }
+
+    /// Adds a byte-noise window on the `shard` → `peer` direction:
+    /// outbound frames are randomly bit-flipped or truncated in flight
+    /// from `at` for `for_units`.
+    pub fn noise_out(
+        mut self,
+        shard: u32,
+        peer: u32,
+        at: VirtualTime,
+        for_units: u64,
+    ) -> ProcessFaultPlan {
+        self.events.push(ProcFaultEvent {
+            at,
+            shard,
+            kind: ProcFaultKind::NoiseOut { peer, for_units },
+        });
+        self
+    }
+
     /// Events in time order.
     pub fn sorted(&self) -> Vec<ProcFaultEvent> {
         let mut v = self.events.clone();
@@ -433,6 +562,9 @@ impl ProcessFaultPlan {
         shards: u32,
         per_shard: u32,
     ) -> Result<ProcessFaultPlan, ProcPlanError> {
+        if !plan.root_events.is_empty() {
+            return Err(ProcPlanError::RootFault);
+        }
         let mut out = ProcessFaultPlan::none();
         for shard in 0..shards {
             let procs = shard * per_shard..(shard + 1) * per_shard;
@@ -583,9 +715,43 @@ mod tests {
             .garble_next(1, 0, VirtualTime(50))
             .kill_shard(2, VirtualTime(25))
             .partition_out(0, 1, VirtualTime(10), 100)
-            .delay_out(1, 2, VirtualTime(10), 40, 200);
+            .delay_out(1, 2, VirtualTime(10), 40, 200)
+            .partition_in(1, VirtualTime(5), 300)
+            .noise_out(0, 1, VirtualTime(60), 400);
         assert_eq!(p.kills(), 1);
         let at: Vec<u64> = p.sorted().iter().map(|e| e.at.ticks()).collect();
-        assert_eq!(at, vec![10, 10, 25, 50]);
+        assert_eq!(at, vec![5, 10, 10, 25, 50, 60]);
+    }
+
+    #[test]
+    fn root_events_ride_their_own_cursor() {
+        let plan = FaultPlan::crash_at(1, VirtualTime(200))
+            .crash_root_replica(0, VirtualTime(100))
+            .crash_root_replica(1, VirtualTime(300));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.crashes(), 1, "root crashes are not processor faults");
+        let mut run = PlanRun::new(&plan, 4);
+        assert_eq!(run.next_at(), Some(VirtualTime(100)), "root event first");
+        assert!(run.pop_due(VirtualTime(150)).is_none(), "no proc fault due");
+        let r = run.pop_due_root(VirtualTime(150)).unwrap();
+        assert_eq!(r.rank, 0);
+        assert_eq!(run.next_at(), Some(VirtualTime(200)));
+        assert!(!run.exhausted());
+        let (ev, _) = run.pop_due(VirtualTime(250)).unwrap();
+        assert_eq!(ev.victim, 1);
+        assert!(run.pop_due_root(VirtualTime(250)).is_none());
+        let r = run.pop_due_root(VirtualTime(300)).unwrap();
+        assert_eq!(r.rank, 1);
+        assert!(run.exhausted());
+        assert_eq!(run.next_at(), None);
+    }
+
+    #[test]
+    fn root_events_have_no_process_lowering() {
+        let plan = FaultPlan::none().crash_root_replica(0, VirtualTime(10));
+        assert_eq!(
+            ProcessFaultPlan::from_plan(&plan, 2, 1),
+            Err(ProcPlanError::RootFault)
+        );
     }
 }

@@ -9,9 +9,70 @@
 //! fuzzer prints these when a differential run diverges, so a
 //! shrunk reproducer lands in the suite as copy-paste.
 
-use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, RootFaultEvent};
 use crate::time::VirtualTime;
 use std::fmt::Write as _;
+
+/// One shrinkable unit: either a processor fault or a root-replica crash.
+/// The ddmin pass treats both uniformly so a reproducer keeps only the
+/// events (of either kind) that the failure actually needs.
+#[derive(Clone, Copy, Debug)]
+enum Atom {
+    Proc(FaultEvent),
+    Root(RootFaultEvent),
+}
+
+impl Atom {
+    fn at(&self) -> u64 {
+        match self {
+            Atom::Proc(e) => e.at.0,
+            Atom::Root(e) => e.at.0,
+        }
+    }
+
+    fn set_at(&mut self, t: u64) {
+        match self {
+            Atom::Proc(e) => e.at = VirtualTime(t),
+            Atom::Root(e) => e.at = VirtualTime(t),
+        }
+    }
+
+    /// The victim index (processor id, or replica rank for root crashes).
+    fn victim(&self) -> u32 {
+        match self {
+            Atom::Proc(e) => e.victim,
+            Atom::Root(e) => e.rank,
+        }
+    }
+
+    fn set_victim(&mut self, v: u32) {
+        match self {
+            Atom::Proc(e) => e.victim = v,
+            Atom::Root(e) => e.rank = v,
+        }
+    }
+}
+
+fn atoms_of(plan: &FaultPlan) -> Vec<Atom> {
+    let mut atoms: Vec<Atom> = plan.sorted().into_iter().map(Atom::Proc).collect();
+    atoms.extend(plan.sorted_root().into_iter().map(Atom::Root));
+    atoms
+}
+
+fn plan_of_atoms(atoms: &[Atom]) -> FaultPlan {
+    let mut events = Vec::new();
+    let mut root_events = Vec::new();
+    for a in atoms {
+        match a {
+            Atom::Proc(e) => events.push(*e),
+            Atom::Root(e) => root_events.push(*e),
+        }
+    }
+    FaultPlan {
+        events,
+        root_events,
+    }
+}
 
 /// How the oracle judged plans during a shrink, plus the result.
 #[derive(Clone, Debug)]
@@ -20,7 +81,7 @@ pub struct ShrinkReport {
     pub plan: FaultPlan,
     /// Oracle invocations spent.
     pub probes: u64,
-    /// Faults in the original plan.
+    /// Faults in the original plan (processor faults + root-replica crashes).
     pub from_faults: usize,
 }
 
@@ -33,34 +94,32 @@ pub struct ShrinkReport {
 /// gratuitously on the empty plan unless a removal produces it.
 pub fn shrink(plan: &FaultPlan, oracle: &mut dyn FnMut(&FaultPlan) -> bool) -> ShrinkReport {
     let mut probes: u64 = 0;
-    let mut check = |events: &[FaultEvent]| -> Option<FaultPlan> {
-        let candidate = FaultPlan {
-            events: events.to_vec(),
-        };
+    let mut check = |atoms: &[Atom]| -> Option<FaultPlan> {
+        let candidate = plan_of_atoms(atoms);
         probes += 1;
         oracle(&candidate).then_some(candidate)
     };
 
-    // Phase 1: ddmin over the fault set.
-    let mut events = plan.sorted();
+    // Phase 1: ddmin over the fault set (processor and root faults alike).
+    let mut atoms = atoms_of(plan);
     let mut granularity = 2usize;
-    while events.len() >= 2 {
-        let chunk = events.len().div_ceil(granularity);
+    while atoms.len() >= 2 {
+        let chunk = atoms.len().div_ceil(granularity);
         let mut reduced = None;
         // Try each chunk alone, then each complement.
         for keep_complement in [false, true] {
-            for start in (0..events.len()).step_by(chunk) {
-                let end = (start + chunk).min(events.len());
-                let candidate: Vec<FaultEvent> = if keep_complement {
-                    events[..start]
+            for start in (0..atoms.len()).step_by(chunk) {
+                let end = (start + chunk).min(atoms.len());
+                let candidate: Vec<Atom> = if keep_complement {
+                    atoms[..start]
                         .iter()
-                        .chain(&events[end..])
+                        .chain(&atoms[end..])
                         .copied()
                         .collect()
                 } else {
-                    events[start..end].to_vec()
+                    atoms[start..end].to_vec()
                 };
-                if candidate.len() == events.len() || candidate.is_empty() {
+                if candidate.len() == atoms.len() || candidate.is_empty() {
                     continue;
                 }
                 if check(&candidate).is_some() {
@@ -74,19 +133,19 @@ pub fn shrink(plan: &FaultPlan, oracle: &mut dyn FnMut(&FaultPlan) -> bool) -> S
         }
         match reduced {
             Some(r) => {
-                events = r;
+                atoms = r;
                 granularity = 2;
             }
-            None if granularity >= events.len() => break,
-            None => granularity = (granularity * 2).min(events.len()),
+            None if granularity >= atoms.len() => break,
+            None => granularity = (granularity * 2).min(atoms.len()),
         }
     }
 
     // Phase 2: narrow each surviving fault's time toward 1, then its
     // victim toward 0 (smaller reproducers read better and run faster).
-    for i in 0..events.len() {
+    for i in 0..atoms.len() {
         loop {
-            let t = events[i].at.0;
+            let t = atoms[i].at();
             if t <= 1 {
                 break;
             }
@@ -95,40 +154,40 @@ pub fn shrink(plan: &FaultPlan, oracle: &mut dyn FnMut(&FaultPlan) -> bool) -> S
                 if cand < 1 || cand >= t {
                     continue;
                 }
-                let mut trial = events.clone();
-                trial[i].at = VirtualTime(cand);
+                let mut trial = atoms.clone();
+                trial[i].set_at(cand);
                 if check(&trial).is_some() {
                     next = Some(trial);
                     break;
                 }
             }
             match next {
-                Some(tr) => events = tr,
+                Some(tr) => atoms = tr,
                 None => break,
             }
         }
         loop {
-            let v = events[i].victim;
+            let v = atoms[i].victim();
             let mut next = None;
             for cand in [v / 2, v.wrapping_sub(1)] {
                 if v == 0 || cand >= v {
                     continue;
                 }
-                let mut trial = events.clone();
-                trial[i].victim = cand;
+                let mut trial = atoms.clone();
+                trial[i].set_victim(cand);
                 if check(&trial).is_some() {
                     next = Some(trial);
                     break;
                 }
             }
             match next {
-                Some(tr) => events = tr,
+                Some(tr) => atoms = tr,
                 None => break,
             }
         }
     }
 
-    let reduced = FaultPlan { events };
+    let reduced = plan_of_atoms(&atoms);
     probes += 1;
     let minimal = if oracle(&reduced) {
         reduced
@@ -140,13 +199,13 @@ pub fn shrink(plan: &FaultPlan, oracle: &mut dyn FnMut(&FaultPlan) -> bool) -> S
     ShrinkReport {
         plan: minimal,
         probes,
-        from_faults: plan.events.len(),
+        from_faults: plan.events.len() + plan.root_events.len(),
     }
 }
 
 /// Renders `plan` as a ready-to-paste Rust expression building it.
 pub fn plan_literal(plan: &FaultPlan) -> String {
-    if plan.events.is_empty() {
+    if plan.is_empty() {
         return "FaultPlan::none()".to_string();
     }
     let mut s = String::from("FaultPlan::none()");
@@ -159,6 +218,13 @@ pub fn plan_literal(plan: &FaultPlan) -> String {
             s,
             "\n    .and({}, VirtualTime({}), {})",
             e.victim, e.at.0, kind
+        );
+    }
+    for e in plan.sorted_root() {
+        let _ = write!(
+            s,
+            "\n    .crash_root_replica({}, VirtualTime({}))",
+            e.rank, e.at.0
         );
     }
     s
@@ -226,6 +292,21 @@ mod tests {
     }
 
     #[test]
+    fn shrinks_root_faults_alongside_processor_faults() {
+        // Failure = "some root replica crashes"; processor faults are noise.
+        let big = plan_of(&[(1, 10), (2, 20), (3, 30)])
+            .crash_root_replica(0, VirtualTime(400))
+            .crash_root_replica(2, VirtualTime(800));
+        let mut oracle = |p: &FaultPlan| !p.root_events.is_empty();
+        let r = shrink(&big, &mut oracle);
+        assert!(r.plan.events.is_empty(), "processor noise dropped");
+        assert_eq!(r.plan.root_events.len(), 1);
+        assert_eq!(r.plan.root_events[0].rank, 0, "rank narrowed");
+        assert_eq!(r.plan.root_events[0].at, VirtualTime(1), "time narrowed");
+        assert_eq!(r.from_faults, 5);
+    }
+
+    #[test]
     fn literal_round_trips_by_eye() {
         let p = plan_of(&[(3, 40)]).and(1, VirtualTime(9), FaultKind::Corrupt);
         let lit = plan_literal(&p);
@@ -235,5 +316,8 @@ mod tests {
         let test = regression_test_literal("repro_x", "seed=1 flat/16", &p);
         assert!(test.starts_with("#[test]\nfn repro_x()"));
         assert!(test.contains("seed=1 flat/16"));
+
+        let rp = FaultPlan::none().crash_root_replica(1, VirtualTime(77));
+        assert!(plan_literal(&rp).contains(".crash_root_replica(1, VirtualTime(77))"));
     }
 }

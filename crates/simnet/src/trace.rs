@@ -70,9 +70,11 @@ pub enum TraceKind {
     },
     /// A fault-plan event landed.
     Fault {
-        /// The victim processor.
+        /// The victim: a processor for kinds 0/1, a super-root replica
+        /// *rank* for kind 2.
         victim: u32,
-        /// 0 = crash, 1 = corrupt (mirrors [`crate::fault::FaultKind`]).
+        /// 0 = crash, 1 = corrupt (mirrors [`crate::fault::FaultKind`]);
+        /// 2 = root-replica crash ([`crate::fault::RootFaultEvent`]).
         kind: u8,
         /// False when the fault was a no-op (victim already dead).
         applied: bool,
@@ -92,6 +94,14 @@ pub enum TraceKind {
         owner: u32,
         /// Stable digest of (stamp, value) of the completed task.
         digest: u64,
+    },
+    /// The acting super-root primary died and a successor replica took
+    /// the role over (reissuing the root wave unless the answer was
+    /// already in). Replica crashes that depose nobody — idle
+    /// successors, the last replica — emit only their `Fault` event.
+    RootFailover {
+        /// The successor rank that now leads.
+        rank: u32,
     },
 }
 
@@ -123,6 +133,7 @@ impl TraceKind {
             TraceKind::Complete { owner, digest } => {
                 fnv_mix(fnv_mix(fnv_mix(h, 6), u64::from(owner)), digest)
             }
+            TraceKind::RootFailover { rank } => fnv_mix(fnv_mix(h, 7), u64::from(rank)),
         }
     }
 }
@@ -143,13 +154,17 @@ impl fmt::Display for TraceKind {
                 victim,
                 kind,
                 applied,
-            } => {
-                let name = if *kind == 0 { "crash" } else { "corrupt" };
-                write!(f, "fault victim=p{victim} kind={name} applied={applied}")
-            }
+            } => match kind {
+                0 => write!(f, "fault victim=p{victim} kind=crash applied={applied}"),
+                1 => write!(f, "fault victim=p{victim} kind=corrupt applied={applied}"),
+                _ => write!(f, "fault victim=root#{victim} kind=crash applied={applied}"),
+            },
             TraceKind::Wave { owner, work } => write!(f, "wave owner=p{owner} work={work}"),
             TraceKind::Complete { owner, digest } => {
                 write!(f, "complete owner=p{owner} digest={digest:#018x}")
+            }
+            TraceKind::RootFailover { rank } => {
+                write!(f, "root-failover new-primary=root#{rank}")
             }
         }
     }

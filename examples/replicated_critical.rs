@@ -27,6 +27,7 @@ fn main() {
             victim: 0,
             kind: FaultKind::Corrupt,
         }],
+        root_events: Vec::new(),
     };
 
     for (label, n, vote) in [

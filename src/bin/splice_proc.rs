@@ -16,8 +16,12 @@
 //!
 //! * `kill:SHARD@AT`                        — SIGKILL the shard's worker;
 //! * `partition:SHARD>PEER@AT+FOR`          — gate SHARD→PEER frames;
+//! * `partin:SHARD@AT+FOR`                  — SHARD goes deaf: drops its
+//!   listener and every inbound connection (outbound links keep working);
 //! * `delay:SHARD>PEER@AT+FOR:EXTRA`        — add EXTRA units to them;
-//! * `garble:SHARD>PEER@AT`                 — corrupt the next frame.
+//! * `garble:SHARD>PEER@AT`                 — corrupt the next frame;
+//! * `noise:SHARD>PEER@AT+FOR`              — flip bytes in ~half of
+//!   SHARD→PEER frames for the window (checksums catch and recover).
 //!
 //! Times are in driver units (`--unit-us` wall-clock microseconds each),
 //! measured from workload launch.
@@ -38,8 +42,9 @@ fn usage() -> ExitCode {
               [--timeout-secs T] [--no-broadcast] [--trace]
 
   W = fib:N | dcsum:LO:HI | binomial:N:K | quicksort:LEN:SEED
-  P = none | kill:SHARD@AT | partition:SHARD>PEER@AT+FOR
-           | delay:SHARD>PEER@AT+FOR:EXTRA | garble:SHARD>PEER@AT  [,...]"
+  P = none | kill:SHARD@AT | partition:SHARD>PEER@AT+FOR | partin:SHARD@AT+FOR
+           | delay:SHARD>PEER@AT+FOR:EXTRA | garble:SHARD>PEER@AT
+           | noise:SHARD>PEER@AT+FOR  [,...]"
     );
     ExitCode::from(2)
 }
@@ -98,9 +103,22 @@ fn parse_plan(p: &str) -> Option<ProcessFaultPlan> {
                 let (shard, peer, at, for_units) = parse_link_event(spec)?;
                 plan = plan.delay_out(shard, peer, VirtualTime(at), extra.parse().ok()?, for_units);
             }
+            "partin" => {
+                let (shard, when) = rest.split_once('@')?;
+                let (at, for_units) = when.split_once('+')?;
+                plan = plan.partition_in(
+                    shard.trim().parse().ok()?,
+                    VirtualTime(at.parse().ok()?),
+                    for_units.parse().ok()?,
+                );
+            }
             "garble" => {
                 let (shard, peer, at, _) = parse_link_event(rest)?;
                 plan = plan.garble_next(shard, peer, VirtualTime(at));
+            }
+            "noise" => {
+                let (shard, peer, at, for_units) = parse_link_event(rest)?;
+                plan = plan.noise_out(shard, peer, VirtualTime(at), for_units);
             }
             _ => return None,
         }

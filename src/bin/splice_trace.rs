@@ -168,6 +168,7 @@ fn encode_event(ev: &TraceEvent) -> String {
         ),
         TraceKind::Wave { owner, work } => ("w", vec![u64::from(owner), work]),
         TraceKind::Complete { owner, digest } => ("c", vec![u64::from(owner), digest]),
+        TraceKind::RootFailover { rank } => ("r", vec![u64::from(rank)]),
     };
     let mut line = format!("{} {} {tag}", ev.at.ticks(), ev.seq);
     for f in fields {
@@ -211,6 +212,7 @@ fn parse_event(line: &str) -> Option<TraceEvent> {
             owner: *owner as u32,
             digest: *digest,
         },
+        ("r", [rank]) => TraceKind::RootFailover { rank: *rank as u32 },
         _ => return None,
     };
     Some(TraceEvent { at, seq, kind })

@@ -477,6 +477,123 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Root-replica crash plans: the super-root itself is a crash-able
+    /// quorum role. Rank 0 leads at launch; crashing ranks `0..k` (k <
+    /// N) deposes the acting primary at least once, and a successor must
+    /// take over from the replicated checkpoint and reissue the root
+    /// wave — so the run still completes with the reference value, on
+    /// both backends, optionally with an ordinary processor crash
+    /// landing alongside.
+    #[test]
+    fn sim_and_reactor_agree_on_root_replica_crashes(seed in any::<u64>()) {
+        let mut s = seed;
+        let n = 3 + (mix(&mut s) % 4) as u32; // 3..=6 processors
+        let replicas = 2 + (mix(&mut s) % 3) as u32; // 2..=4 root replicas
+        let w = workload(mix(&mut s));
+        let mut cfg = flat_cfg(n, RecoveryMode::Splice);
+        cfg.recovery.root_replicas = replicas;
+        let (lo, hi) = fault_window(&cfg, &w);
+        let k = 1 + (mix(&mut s) % u64::from(replicas - 1)) as u32; // 1..=N-1 deaths
+        let mut plan = FaultPlan::none();
+        for r in 0..k {
+            let t = lo + mix(&mut s) % (hi - lo).max(1);
+            plan = plan.crash_root_replica(r, VirtualTime(t));
+        }
+        if mix(&mut s).is_multiple_of(2) {
+            let v = (mix(&mut s) % u64::from(n)) as u32;
+            let t = lo + mix(&mut s) % (hi - lo).max(1);
+            plan = plan.and(v, VirtualTime(t), FaultKind::Crash);
+        }
+        let sim = run_workload(cfg.clone(), &w, &plan);
+        prop_assert!(
+            sim.completed,
+            "DES stalled under root-replica crashes on {}: {plan:?}",
+            w.name
+        );
+        prop_assert!(
+            sim.root_failovers >= 1,
+            "no failover recorded on {} under {plan:?}",
+            w.name
+        );
+        assert_backend_parity(&cfg, &w, &plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The root-replica crash leg on the parallel reactor: the same plans
+    /// at 1, 2 and 4 pumps must match the DES verdict and value — the
+    /// failover replays identically whatever partition the engines (and
+    /// the coordinator's barrier rounds) land in.
+    #[test]
+    fn sim_and_parallel_reactor_agree_on_root_replica_crashes(seed in any::<u64>()) {
+        let mut s = seed;
+        let n = 3 + (mix(&mut s) % 4) as u32;
+        let replicas = 2 + (mix(&mut s) % 3) as u32;
+        let w = workload(mix(&mut s));
+        let mut cfg = flat_cfg(n, RecoveryMode::Splice);
+        cfg.recovery.root_replicas = replicas;
+        let (lo, hi) = parallel_fault_window(&cfg, &w);
+        let k = 1 + (mix(&mut s) % u64::from(replicas - 1)) as u32;
+        let mut plan = FaultPlan::none();
+        for r in 0..k {
+            let t = lo + mix(&mut s) % (hi - lo).max(1);
+            plan = plan.crash_root_replica(r, VirtualTime(t));
+        }
+        assert_parallel_parity(&cfg, &w, &plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Killing *every* root replica leaves no successor: inputs to the
+    /// super-root role are discarded, the result can never be assembled,
+    /// and each backend must quiesce as stalled — a verdict, not a hang
+    /// (nor a grind to the event budget).
+    #[test]
+    fn all_root_replicas_dead_stalls_every_backend(seed in any::<u64>()) {
+        let mut s = seed;
+        let n = 3 + (mix(&mut s) % 3) as u32;
+        let replicas = 1 + (mix(&mut s) % 3) as u32; // 1..=3
+        let w = workload(mix(&mut s));
+        let mut cfg = flat_cfg(n, RecoveryMode::Splice);
+        cfg.recovery.root_replicas = replicas;
+        let (lo, hi) = fault_window(&cfg, &w);
+        let mut plan = FaultPlan::none();
+        for r in 0..replicas {
+            let t = lo + mix(&mut s) % (hi - lo).max(1);
+            plan = plan.crash_root_replica(r, VirtualTime(t));
+        }
+        let sim = run_workload(cfg.clone(), &w, &plan);
+        prop_assert!(
+            !sim.completed && sim.stalled,
+            "DES: quorum death must stall, got completed={} stalled={} on {}",
+            sim.completed, sim.stalled, w.name
+        );
+        let rea = run_reactor(cfg.clone(), &w, &plan);
+        prop_assert!(
+            !rea.completed && rea.stalled,
+            "reactor: quorum death must stall, got completed={} stalled={} on {}",
+            rea.completed, rea.stalled, w.name
+        );
+        for threads in THREAD_COUNTS {
+            let mut c = cfg.clone();
+            c.threads = threads;
+            let par = run_parallel_reactor(c, &w, &plan);
+            prop_assert!(
+                !par.completed && par.stalled,
+                "{threads}-thread parallel: quorum death must stall, got completed={} stalled={} on {}",
+                par.completed, par.stalled, w.name
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Sharded machines behind the inter-shard router: whole-shard

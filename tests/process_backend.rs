@@ -193,6 +193,109 @@ fn killing_every_shard_stalls() {
     panic!("every kill landed after completion, even at t=100");
 }
 
+/// The replicated super-root on real processes: `kill -9` the shard
+/// hosting the acting primary (rank 0 lives on shard `0 % shards`) in
+/// the middle of fib(16). The coordinator deposes the dead host's
+/// replicas, the next-ranked live replica takes over from the replicated
+/// checkpoint and reissues the root wave, and the run completes with the
+/// right answer and `root_failovers >= 1`.
+///
+/// The kill instant is wall-clock relative; a fast host can finish
+/// before it lands (`root_failovers == 0`), so the test retries earlier.
+#[test]
+fn sigkill_of_acting_primary_host_fails_over() {
+    let w = Workload::fib(16);
+    for at in [3_000u64, 1_000, 300] {
+        let mut cfg = proc_cfg(4, 1);
+        cfg.policy = Policy::RoundRobin;
+        let plan = ProcessFaultPlan::none().kill_shard(0, VirtualTime(at));
+        let report = run_process(&cfg, &w, &plan).expect("launch");
+        assert!(
+            report.completed,
+            "primary-host kill at t={at} stalled the run: {report}"
+        );
+        assert_eq!(
+            report.result,
+            Some(w.reference_result().unwrap()),
+            "primary-host kill at t={at} corrupted the answer"
+        );
+        assert_eq!(report.root_replicas, 3);
+        if report.root_failovers >= 1 {
+            return;
+        }
+        // The run beat the kill; retry earlier.
+    }
+    panic!("the kill never deposed the acting primary, even at t=300");
+}
+
+/// Asymmetric *inbound* partition of the acting primary's host: the
+/// victim goes inbound-dark (listener down, peer links severed) while
+/// its own outbound links and the control plane stay up — a zombie that
+/// still computes and sends but hears nothing. With the coordinator's
+/// failure broadcast disabled, the peers must exhaust their reconnect
+/// budgets against the missing socket, gossip the death up the driver
+/// link, and the coordinator must depose the excommunicated host's root
+/// replicas: the run fails over and completes with the right answer.
+#[test]
+fn inbound_partition_of_primary_host_fails_over() {
+    let w = Workload::fib(16);
+    for at in [2_000u64, 600, 150] {
+        let mut cfg = proc_cfg(2, 1);
+        cfg.policy = Policy::RoundRobin;
+        cfg.detector_broadcast = false;
+        // The window (in 25µs units) comfortably outlasts the peers'
+        // full reconnect-backoff ladder, so the blackout is terminal
+        // from their point of view.
+        let plan = ProcessFaultPlan::none().partition_in(0, VirtualTime(at), 40_000);
+        let report = run_process(&cfg, &w, &plan).expect("launch");
+        assert!(
+            report.completed,
+            "inbound partition at t={at} stalled the run: {report}"
+        );
+        assert_eq!(
+            report.result,
+            Some(w.reference_result().unwrap()),
+            "inbound partition at t={at} corrupted the answer"
+        );
+        if report.root_failovers >= 1 {
+            assert!(
+                report.reconnects >= 1,
+                "failover without any reconnect attempts: {report}"
+            );
+            return;
+        }
+        // The run beat the blackout; retry earlier.
+    }
+    panic!("the blackout never excommunicated the primary host, even at t=150");
+}
+
+/// Byte-level socket noise: roughly every other data frame from shard 0
+/// toward shard 1 has one random body byte flipped for the window. Every
+/// corruption must be detected (checksum → `decode_errors`), survived
+/// (connection drop → reconnect → clean retained replay), and must never
+/// corrupt the answer.
+#[test]
+fn socket_noise_is_detected_and_survived() {
+    let w = Workload::fib(14);
+    for at in [500u64, 150, 40] {
+        let mut cfg = proc_cfg(2, 2);
+        cfg.policy = Policy::RoundRobin;
+        let plan = ProcessFaultPlan::none().noise_out(0, 1, VirtualTime(at), 4_000);
+        let report = run_process(&cfg, &w, &plan).expect("launch");
+        assert!(report.completed, "noisy run stalled (t={at}): {report}");
+        assert_eq!(report.result, Some(w.reference_result().unwrap()));
+        if report.decode_errors >= 1 {
+            assert!(
+                report.frames_resent >= 1,
+                "rejected frames were never replayed: {report}"
+            );
+            return;
+        }
+        // The window saw no cross-shard frames; retry earlier.
+    }
+    panic!("noise never hit a frame, even at t=40");
+}
+
 /// `Backend::Process` in the replay layer maps a DES-shaped
 /// `(MachineConfig, FaultPlan)` onto the process machine: whole-shard
 /// crash plans translate, and the verdict and value match the DES.

@@ -90,6 +90,7 @@ fn parity_replicated_voting_same_plan() {
             victim: 0,
             kind: FaultKind::Corrupt,
         }],
+        root_events: Vec::new(),
     };
     let spec = ReplicaSpec {
         n: 3,

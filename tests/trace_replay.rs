@@ -13,7 +13,7 @@ use splice::prelude::*;
 use splice::sim::{archived_plan, execute, record, replay, Backend};
 use splice::simnet::fault::FaultKind;
 use splice::simnet::shrink::{plan_literal, shrink};
-use splice::simnet::trace::{first_divergence, TraceMode};
+use splice::simnet::trace::{first_divergence, TraceKind, TraceMode};
 
 fn flat_cfg(n: u32, threads: u32) -> MachineConfig {
     let mut c = MachineConfig::new(n);
@@ -103,6 +103,63 @@ fn shrinker_reduces_archived_noisy_double_crash() {
         !d.to_string().is_empty(),
         "divergence must render a first event"
     );
+}
+
+/// Acceptance gate: the shrinker reduces the archived fuzzer-shaped
+/// root-failover plan — 7 faults across the processor *and* root-replica
+/// axes — to its essential core, the two live root-replica crashes alone
+/// (≤ 3 faults, no processor faults). The minimal run's canonical trace
+/// names both takeovers as `RootFailover` events, and the minimal plan
+/// replays bit-identically on every deterministic backend.
+#[test]
+fn shrinker_reduces_archived_root_failover() {
+    let (plan, procs) = archived_plan("root-failover").expect("archived plan");
+    let w = Workload::fib(10);
+    let cfg = flat_cfg(procs, 2);
+    let baseline = execute(Backend::Des, cfg.clone(), &w, &plan).0;
+    assert!(
+        baseline.completed && baseline.root_failovers >= 2,
+        "archived plan must still fail over twice and complete: {baseline}"
+    );
+
+    let mut oracle = |p: &FaultPlan| {
+        let r = execute(Backend::Des, cfg.clone(), &w, p).0;
+        r.completed && r.root_failovers >= 2
+    };
+    let report = shrink(&plan, &mut oracle);
+    let kept = report.plan.events.len() + report.plan.root_events.len();
+    assert!(
+        kept <= 3,
+        "minimal plan still has {kept} faults:\n{}",
+        plan_literal(&report.plan)
+    );
+    assert!(
+        report.plan.events.is_empty(),
+        "the essential core is root-replica crashes only:\n{}",
+        plan_literal(&report.plan)
+    );
+
+    // The minimal run's trace records each takeover.
+    let mut tcfg = cfg.clone();
+    tcfg.trace = TraceMode::Full;
+    let (_, events) = execute(Backend::Des, tcfg, &w, &report.plan);
+    let failovers = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::RootFailover { .. }))
+        .count();
+    assert!(failovers >= 2, "trace recorded only {failovers} takeovers");
+
+    // And the reproducer is archival-grade: bit-identical replay on
+    // every deterministic backend.
+    for backend in Backend::ALL {
+        let rec = record(backend, cfg.clone(), &w, &report.plan);
+        let rp = replay(&rec);
+        assert!(
+            rp.bit_identical(),
+            "{backend}: minimal plan replay diverged: {:?}",
+            rp.divergence
+        );
+    }
 }
 
 /// Golden determinism: on a fault-free plan the commutative semantic
