@@ -1,0 +1,44 @@
+//! E18 — the recovery-policy zoo: eager reissue vs lazy rebuild-on-demand
+//! vs incremental multi-checkpointing, each timed fault-free and through a
+//! mid-run crash on the same 8-processor splice machine.
+//!
+//! The policies trade recovery cost, never the answer, so every iteration
+//! asserts the reference result. The scenario (config, workload, victim)
+//! is shared with the `bench_trajectory` bin via
+//! `splice_bench::{e18_config, e18_workload}` so the trajectory file stays
+//! comparable to this bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splice_bench::{assert_correct, criterion as tuned, e18_config, e18_workload};
+use splice_core::policy::PolicyKind;
+use splice_sim::machine::run_workload;
+use splice_simnet::fault::FaultPlan;
+use splice_simnet::time::VirtualTime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e18_policies");
+    let w = e18_workload();
+
+    for kind in PolicyKind::ALL {
+        let base = run_workload(e18_config(kind), &w, &FaultPlan::none());
+        assert_correct(&w, &base);
+        let crash = FaultPlan::crash_at(7, VirtualTime(base.finish.ticks() / 2));
+        for (case, plan) in [("fault_free", FaultPlan::none()), ("mid_crash", crash)] {
+            g.bench_function(format!("{}_{case}", kind.label()), |b| {
+                b.iter(|| {
+                    let r = run_workload(e18_config(kind), &w, &plan);
+                    assert_correct(&w, &r);
+                    (r.finish, r.stats.reissues, r.stats.recheckpoints)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Emits `BENCH_substrate.json`: a machine-readable perf trajectory for
-//! the substrate micro-benches plus the E11 scalability, E14 sharding and
-//! E16 reactor experiment benches, and (on unix, when the worker binary
-//! is built) the multi-process backend on the E14 topology.
+//! the substrate micro-benches plus the E11 scalability, E14 sharding,
+//! E16 reactor and E18 recovery-policy experiment benches, and (on unix,
+//! when the worker binary is built) the multi-process backend on the E14
+//! topology.
 //!
 //! Each invocation measures medians on the current build and *appends* one
 //! labelled run to the file, so successive PRs accumulate a before/after
@@ -23,8 +24,9 @@ use splice_applicative::eval::eval_call;
 use splice_applicative::wave::run_local;
 use splice_bench::{
     assert_correct, config, e11_workload, e14_cases, e14_config, e14_workload, e16_config,
-    e16_threads_config, e16_workload, event_queue_push_pop_10k, substrate_workload,
-    torus_distance_64x64, E11_SWEEP, E16_ENGINES, E16_THREADS, E16_THREAD_ENGINES,
+    e16_threads_config, e16_workload, e18_config, e18_workload, event_queue_push_pop_10k,
+    substrate_workload, torus_distance_64x64, E11_SWEEP, E16_ENGINES, E16_THREADS,
+    E16_THREAD_ENGINES,
 };
 use splice_sim::machine::run_workload;
 use splice_sim::parallel::run_parallel_reactor;
@@ -154,6 +156,27 @@ fn e16_threads_metrics(samples: usize) -> Vec<(String, u64)> {
                 assert_correct(&w, &r);
             });
             out.push((format!("t{threads}_n{engines}_fault_free"), ns));
+        }
+    }
+    out
+}
+
+fn e18_metrics(samples: usize) -> Vec<(String, u64)> {
+    // Identical scenario to benches/e18_policies.rs: each recovery policy
+    // timed fault-free and through a mid-run crash of processor 7 on the
+    // shared 8-processor splice machine.
+    let w = e18_workload();
+    let mut out = Vec::new();
+    for kind in splice_core::policy::PolicyKind::ALL {
+        let base = run_workload(e18_config(kind), &w, &FaultPlan::none());
+        assert_correct(&w, &base);
+        let crash = FaultPlan::crash_at(7, VirtualTime(base.finish.ticks() / 2));
+        for (case, plan) in [("fault_free", FaultPlan::none()), ("mid_crash", crash)] {
+            let ns = median_ns(samples, || {
+                let r = run_workload(e18_config(kind), &w, &plan);
+                assert_correct(&w, &r);
+            });
+            out.push((format!("{}_{case}", kind.label()), ns));
         }
     }
     out
@@ -295,16 +318,19 @@ fn main() {
     let e16 = e16_metrics(run_samples);
     eprintln!("measuring e16 threads ({run_samples} samples)…");
     let e16t = e16_threads_metrics(run_samples);
+    eprintln!("measuring e18 recovery policies ({run_samples} samples)…");
+    let e18 = e18_metrics(run_samples);
     eprintln!("measuring process backend ({run_samples} samples)…");
     let procs = proc_metrics(run_samples);
 
     let run_line = format!(
-        "{{\"label\": \"{label}\", \"method\": \"bench_trajectory\", \"samples\": {{\"substrate\": {micro_samples}, \"experiments\": {run_samples}}}, \"substrate\": {}, \"e11_scalability\": {}, \"e14_sharding\": {}, \"e16_reactor\": {}, \"e16_threads\": {}, \"process\": {}}}",
+        "{{\"label\": \"{label}\", \"method\": \"bench_trajectory\", \"samples\": {{\"substrate\": {micro_samples}, \"experiments\": {run_samples}}}, \"substrate\": {}, \"e11_scalability\": {}, \"e14_sharding\": {}, \"e16_reactor\": {}, \"e16_threads\": {}, \"e18_policies\": {}, \"process\": {}}}",
         json_object(&substrate),
         json_object(&e11),
         json_object(&e14),
         json_object(&e16),
         json_object(&e16t),
+        json_object(&e18),
         json_object(&procs),
     );
     append_run(&out_path, run_line).expect("write trajectory file");
@@ -322,6 +348,9 @@ fn main() {
     }
     for (k, v) in &e16t {
         println!("e16_threads/{k:<26} {v:>12} ns");
+    }
+    for (k, v) in &e18 {
+        println!("e18/{k:<34} {v:>12} ns");
     }
     for (k, v) in &procs {
         println!("process/{k:<30} {v:>12} ns");

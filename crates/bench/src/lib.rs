@@ -195,6 +195,20 @@ pub const E16_THREADS: [u32; 3] = [1, 2, 4];
 /// plus a tier no per-engine-thread backend could host.
 pub const E16_THREAD_ENGINES: [u32; 2] = [4_096, 16_384];
 
+/// The E18 machine: 8 processors, splice recovery, the given recovery
+/// policy. Shared by `benches/e18_policies.rs` and the `bench_trajectory`
+/// bin so both time the same policy zoo.
+pub fn e18_config(kind: splice_core::policy::PolicyKind) -> MachineConfig {
+    let mut cfg = config(8, RecoveryMode::Splice);
+    cfg.recovery.policy = splice_core::policy::PolicySpec::of(kind);
+    cfg
+}
+
+/// The E18 workload.
+pub fn e18_workload() -> Workload {
+    Workload::fib(14)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,7 +20,8 @@ use crate::config::CheckpointFilter;
 use crate::ids::{ProcId, TaskKey};
 use crate::packet::TaskPacket;
 use crate::stamp::LevelStamp;
-use splice_applicative::{FxHashMap, FxHashSet};
+use splice_applicative::wave::Demand;
+use splice_applicative::{FxHashMap, FxHashSet, Value};
 use std::collections::HashSet;
 
 /// Key of a stored checkpoint: owning (parent) task plus child stamp. Two
@@ -31,12 +32,35 @@ pub type CheckpointKey = (TaskKey, LevelStamp);
 /// A retained task packet plus bookkeeping.
 #[derive(Clone, Debug)]
 pub struct StoredCheckpoint {
+    /// The checkpointed child's stamp (always retained — it is the entry's
+    /// key and recovery's routing handle, whatever the persistence tier).
+    pub stamp: LevelStamp,
     /// The retained packet — everything needed to regenerate the child.
-    pub packet: TaskPacket,
+    /// `None` under `PersistenceTier::Placement`, where only the placement
+    /// record survives and the reissue packet is rebuilt from the live
+    /// owner task.
+    pub packet: Option<TaskPacket>,
+    /// Incremental re-checkpoint entries (`MultiCheckpoint` policy):
+    /// completed grandchild results the checkpointed child reported back.
+    /// A reissued twin is handed these as preloads so it replays fewer
+    /// waves. Empty unless re-checkpointing is on.
+    pub preloads: Vec<(Demand, Value)>,
     /// The local task that spawned (and can re-spawn) the child.
     pub owner: TaskKey,
     /// Destination processor, once the placement ACK named it.
     pub dest: Option<ProcId>,
+}
+
+impl StoredCheckpoint {
+    /// Abstract retained bytes: the packet (or the bare placement record)
+    /// plus any preloaded result values.
+    fn size(&self) -> usize {
+        let base = match &self.packet {
+            Some(p) => p.size(),
+            None => 2 + self.stamp.level(),
+        };
+        base + self.preloads.iter().map(|(_, v)| v.size()).sum::<usize>()
+    }
 }
 
 /// The per-processor checkpoint table.
@@ -63,21 +87,38 @@ impl CheckpointTable {
         CheckpointTable::default()
     }
 
-    /// Stores the retained packet for a freshly spawned child. The entry is
+    /// Stores the retained packet for a freshly spawned child (the
+    /// `PersistenceTier::Full` functional checkpoint). The entry is
     /// "pending" (no destination) until [`CheckpointTable::on_ack`].
     pub fn store(&mut self, owner: TaskKey, packet: TaskPacket) {
-        self.bytes += packet.size();
         let stamp = packet.stamp.clone();
-        if let Some(old) = self.entries.entry(owner).or_default().insert(
-            stamp.clone(),
-            StoredCheckpoint {
-                packet,
-                owner,
-                dest: None,
-            },
-        ) {
+        self.store_entry(owner, stamp, Some(packet));
+    }
+
+    /// Stores a bare placement record (the `PersistenceTier::Placement`
+    /// checkpoint): the stamp survives a crash but the reissue packet must
+    /// be rebuilt from the live owner task.
+    pub fn store_placement(&mut self, owner: TaskKey, stamp: LevelStamp) {
+        self.store_entry(owner, stamp, None);
+    }
+
+    fn store_entry(&mut self, owner: TaskKey, stamp: LevelStamp, packet: Option<TaskPacket>) {
+        let cp = StoredCheckpoint {
+            stamp: stamp.clone(),
+            packet,
+            preloads: Vec::new(),
+            owner,
+            dest: None,
+        };
+        self.bytes += cp.size();
+        if let Some(old) = self
+            .entries
+            .entry(owner)
+            .or_default()
+            .insert(stamp.clone(), cp)
+        {
             // Re-store of the same child (shouldn't happen in practice).
-            self.bytes -= old.packet.size();
+            self.bytes -= old.size();
             if let Some(d) = old.dest {
                 self.by_dest.get_mut(&d).map(|s| s.remove(&(owner, stamp)));
             }
@@ -87,6 +128,31 @@ impl CheckpointTable {
         self.stored_total += 1;
         self.peak_entries = self.peak_entries.max(self.count);
         self.peak_bytes = self.peak_bytes.max(self.bytes);
+    }
+
+    /// Appends incremental re-checkpoint entries to a live checkpoint
+    /// (`MultiCheckpoint` policy), deduplicating by demand. Returns `true`
+    /// when the checkpoint exists (stale reports are the caller's counter).
+    pub fn add_preloads(
+        &mut self,
+        owner: TaskKey,
+        stamp: &LevelStamp,
+        entries: Vec<(Demand, Value)>,
+    ) -> bool {
+        let Some(cp) = self.entries.get_mut(&owner).and_then(|m| m.get_mut(stamp)) else {
+            return false;
+        };
+        let mut added = 0usize;
+        for (d, v) in entries {
+            if cp.preloads.iter().any(|(pd, _)| *pd == d) {
+                continue;
+            }
+            added += v.size();
+            cp.preloads.push((d, v));
+        }
+        self.bytes += added;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        true
     }
 
     fn entry_mut(&mut self, owner: TaskKey, stamp: &LevelStamp) -> Option<&mut StoredCheckpoint> {
@@ -118,7 +184,9 @@ impl CheckpointTable {
         let Some(cp) = self.entry_mut(owner, stamp) else {
             return;
         };
-        cp.packet.incarnation += 1;
+        if let Some(p) = cp.packet.as_mut() {
+            p.incarnation += 1;
+        }
         if let Some(old) = cp.dest.take() {
             self.by_dest
                 .get_mut(&old)
@@ -140,7 +208,7 @@ impl CheckpointTable {
             self.entries.remove(&owner);
         }
         self.count -= 1;
-        self.bytes -= cp.packet.size();
+        self.bytes -= cp.size();
         if let Some(d) = cp.dest {
             self.by_dest
                 .get_mut(&d)
@@ -158,7 +226,7 @@ impl CheckpointTable {
         };
         let n = inner.len();
         for (stamp, cp) in inner {
-            self.bytes -= cp.packet.size();
+            self.bytes -= cp.size();
             if let Some(d) = cp.dest {
                 self.by_dest
                     .get_mut(&d)
@@ -193,19 +261,14 @@ impl CheckpointTable {
             .filter_map(|(owner, stamp)| self.entries.get(owner)?.get(stamp))
             .collect();
         // Deterministic order regardless of hash iteration.
-        cps.sort_by(|a, b| {
-            a.packet
-                .stamp
-                .cmp(&b.packet.stamp)
-                .then(a.owner.cmp(&b.owner))
-        });
+        cps.sort_by(|a, b| a.stamp.cmp(&b.stamp).then(a.owner.cmp(&b.owner)));
         match filter {
             CheckpointFilter::All => cps.into_iter().cloned().collect(),
             CheckpointFilter::Topmost => {
-                let top = LevelStamp::topmost(cps.iter().map(|c| c.packet.stamp.clone()));
+                let top = LevelStamp::topmost(cps.iter().map(|c| c.stamp.clone()));
                 let top: HashSet<LevelStamp> = top.into_iter().collect();
                 cps.into_iter()
-                    .filter(|c| top.contains(&c.packet.stamp))
+                    .filter(|c| top.contains(&c.stamp))
                     .cloned()
                     .collect()
             }
@@ -313,7 +376,7 @@ mod tests {
         t.on_ack(c2, &b3, B);
         t.on_ack(c4, &b5, B);
         let top = t.recover_candidates(B, CheckpointFilter::Topmost);
-        let stamps: Vec<&LevelStamp> = top.iter().map(|c| &c.packet.stamp).collect();
+        let stamps: Vec<&LevelStamp> = top.iter().map(|c| &c.stamp).collect();
         assert_eq!(stamps, vec![&b2, &b3]);
         // The ablation reissues all three (B5 fruitlessly).
         assert_eq!(t.recover_candidates(B, CheckpointFilter::All).len(), 3);
@@ -334,7 +397,7 @@ mod tests {
         t.retire(TaskKey(1), &b2);
         let top = t.recover_candidates(B, CheckpointFilter::Topmost);
         assert_eq!(top.len(), 1);
-        assert_eq!(top[0].packet.stamp, b5);
+        assert_eq!(top[0].stamp, b5);
     }
 
     #[test]
@@ -346,7 +409,15 @@ mod tests {
         // Reissue: pending again.
         t.on_reissue(TaskKey(0), &s);
         assert!(t.recover_candidates(B, CheckpointFilter::All).is_empty());
-        assert_eq!(t.get(TaskKey(0), &s).unwrap().packet.incarnation, 1);
+        assert_eq!(
+            t.get(TaskKey(0), &s)
+                .unwrap()
+                .packet
+                .as_ref()
+                .unwrap()
+                .incarnation,
+            1
+        );
         // Re-acked at a different processor.
         t.on_ack(TaskKey(0), &s, ProcId(3));
         assert!(t.recover_candidates(B, CheckpointFilter::All).is_empty());
@@ -380,6 +451,51 @@ mod tests {
         assert_eq!(t.recover_candidates(B, CheckpointFilter::All).len(), 2);
         assert!(t.retire(TaskKey(1), &s));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn placement_records_recover_without_a_packet() {
+        // The Placement tier keeps the stamp (routing handle) but not the
+        // frame; it costs fewer bytes and still surfaces as a candidate.
+        let mut t = CheckpointTable::new();
+        let s = LevelStamp::from_digits(&[1, 4]);
+        t.store_placement(TaskKey(3), s.clone());
+        let placement_bytes = t.bytes();
+        t.on_ack(TaskKey(3), &s, B);
+        let cands = t.recover_candidates(B, CheckpointFilter::All);
+        assert_eq!(cands.len(), 1);
+        assert!(cands[0].packet.is_none());
+        assert_eq!(cands[0].stamp, s);
+        // on_reissue on a packet-less entry must not panic.
+        t.on_reissue(TaskKey(3), &s);
+        assert!(t.retire(TaskKey(3), &s));
+        assert_eq!(t.bytes(), 0);
+        let mut full = CheckpointTable::new();
+        full.store(TaskKey(3), pkt(&s.digits()));
+        assert!(placement_bytes < full.bytes(), "placement must be cheaper");
+    }
+
+    #[test]
+    fn preloads_accumulate_and_dedup_by_demand() {
+        let mut t = CheckpointTable::new();
+        let s = LevelStamp::from_digits(&[1, 1]);
+        t.store(TaskKey(1), pkt(&s.digits()));
+        let base = t.bytes();
+        let d1 = Demand::new(FnId(1), vec![Value::Int(1)]);
+        let d2 = Demand::new(FnId(1), vec![Value::Int(2)]);
+        assert!(t.add_preloads(TaskKey(1), &s, vec![(d1.clone(), Value::Int(10))]));
+        assert!(t.add_preloads(
+            TaskKey(1),
+            &s,
+            vec![(d1.clone(), Value::Int(10)), (d2, Value::Int(20))]
+        ));
+        let cp = t.get(TaskKey(1), &s).unwrap();
+        assert_eq!(cp.preloads.len(), 2, "duplicate demand must not re-enter");
+        assert!(t.bytes() > base);
+        // Unknown checkpoints report stale.
+        assert!(!t.add_preloads(TaskKey(9), &s, vec![(d1, Value::Int(0))]));
+        t.retire(TaskKey(1), &s);
+        assert_eq!(t.bytes(), 0, "retire must release preload bytes too");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Engine configuration: recovery mode, checkpoint policy, replication and
 //! protocol timing.
 
+use crate::policy::PolicySpec;
 use splice_applicative::FnId;
 use std::collections::HashMap;
 
@@ -119,6 +120,12 @@ pub struct Config {
     /// reliable singleton bit-for-bit; fault plans can crash replicas via
     /// `crash_root_replica`.
     pub root_replicas: u32,
+    /// Recovery policy ([`PolicySpec`]): what is persisted at spawn time,
+    /// whether death discovery reissues eagerly or marks subtrees lost to
+    /// rebuild on demand, and whether long-lived tasks re-checkpoint
+    /// incrementally. The default, [`PolicySpec::eager`], is the paper's
+    /// scheme and is bit-identical to the pre-policy engine.
+    pub policy: PolicySpec,
 }
 
 impl Default for Config {
@@ -134,6 +141,7 @@ impl Default for Config {
             gossip_notices: true,
             probe_acked: false,
             root_replicas: 3,
+            policy: PolicySpec::eager(),
         }
     }
 }

@@ -33,8 +33,11 @@
 use crate::checkpoint::CheckpointTable;
 use crate::config::{Config, RecoveryMode};
 use crate::ids::{ProcId, TaskAddr, TaskKey};
-use crate::packet::{AckInfo, Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
+use crate::packet::{
+    AckInfo, CkptPacket, Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket,
+};
 use crate::place::Placer;
+use crate::policy::{PersistenceTier, PolicyKind, RecoveryPolicy};
 use crate::replicate::{Vote, VoteOutcome};
 use crate::sink::ActionSink;
 use crate::stamp::LevelStamp;
@@ -139,6 +142,10 @@ pub struct Engine {
     next_key: u64,
     known_dead: FxHashSet<ProcId>,
     ckpt: CheckpointTable,
+    /// The recovery-policy seam: what to persist at spawn, whether death
+    /// discovery reissues eagerly or marks subtrees lost, re-checkpoint
+    /// cadence. Built from `config.policy`.
+    policy: Box<dyn RecoveryPolicy>,
     stats: ProcStats,
     /// Wave-evaluation scratch shared by every resident task.
     pool: FramePool,
@@ -160,11 +167,13 @@ impl Engine {
         config: Config,
         placer: Box<dyn Placer>,
     ) -> Engine {
+        let policy = config.policy.build();
         Engine {
             id,
             program,
             config,
             placer,
+            policy,
             tasks: FxHashMap::default(),
             by_stamp: FxHashMap::default(),
             ready: VecDeque::new(),
@@ -216,6 +225,11 @@ impl Engine {
     /// The checkpoint table (for inspection by tests and reports).
     pub fn checkpoints(&self) -> &CheckpointTable {
         &self.ckpt
+    }
+
+    /// Which named recovery policy this engine runs.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
     }
 
     /// Number of resident tasks.
@@ -306,6 +320,7 @@ impl Engine {
             // A delivered probe answers itself: the sender only learns
             // anything when the transport bounces one.
             Msg::Probe => {}
+            Msg::Ckpt(cp) => self.on_ckpt(*cp),
         }
     }
 
@@ -335,12 +350,14 @@ impl Engine {
             }
             // Lost acks/aborts/loads/notices/probes carry no recoverable
             // intent beyond the death itself (handled above). A bounced
-            // probe in particular has done its whole job by bouncing.
+            // probe in particular has done its whole job by bouncing, and
+            // a lost re-checkpoint only costs the twin some replayed waves.
             Msg::Ack { .. }
             | Msg::Abort { .. }
             | Msg::Load { .. }
             | Msg::FailureNotice { .. }
-            | Msg::Probe => {}
+            | Msg::Probe
+            | Msg::Ckpt(_) => {}
         }
     }
 
@@ -358,13 +375,25 @@ impl Engine {
                 // its host may have died silently, and with the detector
                 // broadcast off nothing else would ever tell us.
                 let mut probe = None;
+                let mut lazy_lost = false;
                 let needs_reissue =
                     match self.tasks.get(&owner).and_then(|t| t.children.get(&stamp)) {
                         Some(ci) if !ci.done && ci.incarnation == incarnation => {
                             match ci.current_addr() {
-                                None => true,
+                                // A child marked lost belongs to the lazy
+                                // rebuild path, not the retransmit path.
+                                None => !ci.lost,
                                 Some(addr) => {
-                                    if self.config.probe_acked && addr.proc != self.id {
+                                    if !self.policy.eager_on_death()
+                                        && self.known_dead.contains(&addr.proc)
+                                    {
+                                        // Lazy: the acked host died and no
+                                        // reissue bumped the incarnation, so
+                                        // this timer would probe a corpse
+                                        // forever. Hand the child to the
+                                        // rebuild path and let it drop.
+                                        lazy_lost = true;
+                                    } else if self.config.probe_acked && addr.proc != self.id {
                                         probe = Some(addr.proc);
                                     }
                                     false
@@ -376,6 +405,10 @@ impl Engine {
                 if needs_reissue {
                     self.stats.ack_timeouts += 1;
                     self.reissue_child(owner, &stamp, sink);
+                } else if lazy_lost {
+                    if self.mark_lost(owner, &stamp) {
+                        self.lazy_rebuild_check(owner, sink);
+                    }
                 } else if let Some(host) = probe {
                     // Live host: no-op. Dead host: the bounce runs the
                     // full discovery path (`on_send_failed`). Either way
@@ -513,7 +546,15 @@ impl Engine {
         // (e.g. across a high-latency inter-shard router). Reissue now.
         if self.known_dead.contains(&child_addr.proc) {
             if !ci.done && incarnation == ci.incarnation && ci.current_addr().is_none() {
-                return self.reissue_child(parent.key, &child_stamp, sink);
+                if self.policy.eager_on_death() {
+                    return self.reissue_child(parent.key, &child_stamp, sink);
+                }
+                // Lazy: the placement died with its host; defer the
+                // rebuild until the owner's progress demands it.
+                if self.mark_lost(parent.key, &child_stamp) {
+                    self.lazy_rebuild_check(parent.key, sink);
+                }
+                return;
             }
             self.stats.stale_messages_ignored += 1;
             return;
@@ -578,6 +619,10 @@ impl Engine {
                 if let Some(t) = self.tasks.get(&key) {
                     if t.eval.ready() {
                         self.enqueue(key);
+                    } else if !self.policy.eager_on_death() {
+                        // Lazy: the wave re-blocked; if everything it still
+                        // waits on is lost, the results are now demanded.
+                        self.lazy_rebuild_check(key, sink);
                     }
                 }
             }
@@ -652,11 +697,18 @@ impl Engine {
                         placed,
                     }),
                     twin_pending: false,
+                    lost: false,
                 });
             }
             None => {
                 if self.config.mode.checkpoints() {
-                    self.ckpt.store(owner, packet.clone());
+                    match self.policy.tier() {
+                        PersistenceTier::Full => self.ckpt.store(owner, packet.clone()),
+                        PersistenceTier::Placement => {
+                            self.ckpt.store_placement(owner, packet.stamp.clone())
+                        }
+                        PersistenceTier::Nothing => {}
+                    }
                 }
                 let dest = self.placer.place(&packet, &self.known_dead);
                 let task = self.tasks.get_mut(&owner).expect("owner exists");
@@ -669,6 +721,7 @@ impl Engine {
                     pending_salvages: salvages,
                     vote: None,
                     twin_pending: false,
+                    lost: false,
                 });
                 sink.push(Action::SetTimer {
                     timer: Timer::ack_timeout(owner, packet.stamp.clone(), 0),
@@ -725,10 +778,10 @@ impl Engine {
     // Results (forward-result case of the §4.2 loop)
     // -----------------------------------------------------------------
 
-    fn on_result(&mut self, rp: ResultPacket, _sink: &mut ActionSink) {
+    fn on_result(&mut self, rp: ResultPacket, sink: &mut ActionSink) {
         if let Some(replica) = rp.replica.clone() {
             self.stats.replica_results += 1;
-            self.on_replica_result(rp, replica);
+            self.on_replica_result(rp, replica, sink);
             return;
         }
         let Some(task) = self.tasks.get_mut(&rp.to.key) else {
@@ -751,12 +804,12 @@ impl Engine {
                 self.stats.duplicate_results_ignored += 1;
             }
             Some(_) => {
-                self.supply_child(rp.to.key, &rp.from_stamp, rp.value);
+                self.supply_child(rp.to.key, &rp.from_stamp, rp.value, sink);
             }
         }
     }
 
-    fn on_replica_result(&mut self, rp: ResultPacket, replica: ReplicaInfo) {
+    fn on_replica_result(&mut self, rp: ResultPacket, replica: ReplicaInfo, sink: &mut ActionSink) {
         let Some(task) = self.tasks.get_mut(&rp.to.key) else {
             self.stats.stale_messages_ignored += 1;
             return;
@@ -783,29 +836,89 @@ impl Engine {
                     self.stats.votes_conflicted += 1;
                 }
                 self.stats.votes_dissenting += dissent;
-                self.supply_child(rp.to.key, &rp.from_stamp, value);
+                self.supply_child(rp.to.key, &rp.from_stamp, value, sink);
             }
         }
     }
 
     /// Marks a child demand satisfied and resumes the parent when its wave
-    /// barrier is met.
-    fn supply_child(&mut self, owner: TaskKey, stamp: &LevelStamp, value: Value) {
-        let Some(task) = self.tasks.get_mut(&owner) else {
-            return;
-        };
-        let Some(ci) = task.children.get_mut(stamp) else {
-            return;
-        };
-        ci.done = true;
-        self.ckpt.retire(owner, stamp);
-        // `ci` borrows `task.children`; the eval is a disjoint field, so
-        // the demand is passed by reference instead of cloned per result.
-        if !task.eval.supply(&ci.demand, value) {
+    /// barrier is met. Under the MultiCheckpoint policy the completed
+    /// result is also buffered and periodically streamed back to the
+    /// owner's own checkpoint holder ([`Msg::Ckpt`]); under Lazy a supply
+    /// that does not unblock the owner re-checks whether everything it
+    /// still waits on is lost.
+    fn supply_child(
+        &mut self,
+        owner: TaskKey,
+        stamp: &LevelStamp,
+        value: Value,
+        sink: &mut ActionSink,
+    ) {
+        let every = self.policy.recheckpoint_every();
+        let mut ckpt_msg: Option<(ProcId, CkptPacket)> = None;
+        let mut duplicate = false;
+        let ready;
+        {
+            let Some(task) = self.tasks.get_mut(&owner) else {
+                return;
+            };
+            let Some(ci) = task.children.get_mut(stamp) else {
+                return;
+            };
+            ci.done = true;
+            // Clone the entry before the eval consumes the value. Only the
+            // MultiCheckpoint policy pays this; the root task reports to
+            // the super-root, which keeps the whole program anyway.
+            let entry = (every > 0 && !task.parent.addr.proc.is_super_root())
+                .then(|| (ci.demand.clone(), value.clone()));
+            self.ckpt.retire(owner, stamp);
+            // `ci` borrows `task.children`; the eval is a disjoint field, so
+            // the demand is passed by reference instead of cloned per result.
+            if !task.eval.supply(&ci.demand, value) {
+                duplicate = true;
+            }
+            if let Some(en) = entry {
+                task.ckpt_pending.push(en);
+                if task.ckpt_pending.len() >= every as usize {
+                    ckpt_msg = Some((
+                        task.parent.addr.proc,
+                        CkptPacket {
+                            owner: task.parent.addr,
+                            from_stamp: task.stamp.clone(),
+                            entries: std::mem::take(&mut task.ckpt_pending),
+                        },
+                    ));
+                }
+            }
+            ready = task.eval.ready();
+        }
+        if duplicate {
             self.stats.duplicate_results_ignored += 1;
         }
-        if task.eval.ready() {
+        if let Some((to, cp)) = ckpt_msg {
+            if !self.known_dead.contains(&to) {
+                self.stats.recheckpoints += 1;
+                self.send(sink, to, Msg::ckpt(cp));
+            }
+        }
+        if ready {
             self.enqueue(owner);
+        } else if !self.policy.eager_on_death() {
+            self.lazy_rebuild_check(owner, sink);
+        }
+    }
+
+    /// Handles an incremental re-checkpoint report: append the entries to
+    /// the live checkpoint the reporting task's frame is stored under.
+    fn on_ckpt(&mut self, cp: CkptPacket) {
+        if cp.owner.proc != self.id
+            || !self
+                .ckpt
+                .add_preloads(cp.owner.key, &cp.from_stamp, cp.entries)
+        {
+            // The owner moved on (twin elsewhere, checkpoint retired):
+            // applicative determinism makes the loss benign.
+            self.stats.stale_messages_ignored += 1;
         }
     }
 
@@ -849,10 +962,20 @@ impl Engine {
                     self.stats.orphans_suicided += 1;
                     self.abort_cascade(k, sink);
                 }
+                let eager = self.policy.eager_on_death();
+                let mut lazy_owners: Vec<TaskKey> = Vec::new();
                 for cp in self.ckpt.recover_candidates(dead, self.config.ckpt_filter) {
-                    if self.tasks.contains_key(&cp.owner) {
-                        self.reissue_child(cp.owner, &cp.packet.stamp, sink);
+                    if !self.tasks.contains_key(&cp.owner) {
+                        continue;
                     }
+                    if eager {
+                        self.reissue_child(cp.owner, &cp.stamp, sink);
+                    } else if self.mark_lost(cp.owner, &cp.stamp) {
+                        lazy_owners.push(cp.owner);
+                    }
+                }
+                for owner in lazy_owners {
+                    self.lazy_rebuild_check(owner, sink);
                 }
             }
             RecoveryMode::Splice => {
@@ -862,6 +985,8 @@ impl Engine {
                 // period configured, the proactive regeneration is
                 // deferred so in-flight orphan results can land first.
                 let grace = self.config.splice_grace;
+                let eager = self.policy.eager_on_death();
+                let mut lazy_owners: Vec<TaskKey> = Vec::new();
                 for cp in self
                     .ckpt
                     .recover_candidates(dead, crate::config::CheckpointFilter::All)
@@ -869,22 +994,33 @@ impl Engine {
                     if !self.tasks.contains_key(&cp.owner) {
                         continue;
                     }
-                    if grace == 0 {
+                    if !eager {
+                        // Lazy: no proactive twin — the subtree is rebuilt
+                        // only when the owner's progress demands it. Orphan
+                        // fragments keep computing; their salvages land in
+                        // `pending_salvages` and flow to an eventual twin.
+                        if self.mark_lost(cp.owner, &cp.stamp) {
+                            lazy_owners.push(cp.owner);
+                        }
+                    } else if grace == 0 {
                         self.stats.step_parents_created += 1;
-                        self.reissue_child(cp.owner, &cp.packet.stamp, sink);
+                        self.reissue_child(cp.owner, &cp.stamp, sink);
                     } else {
                         if let Some(ci) = self
                             .tasks
                             .get_mut(&cp.owner)
-                            .and_then(|t| t.children.get_mut(&cp.packet.stamp))
+                            .and_then(|t| t.children.get_mut(&cp.stamp))
                         {
                             ci.twin_pending = true;
                         }
                         sink.push(Action::SetTimer {
-                            timer: Timer::grace_reissue(cp.owner, cp.packet.stamp.clone()),
+                            timer: Timer::grace_reissue(cp.owner, cp.stamp.clone()),
                             delay: grace,
                         });
                     }
+                }
+                for owner in lazy_owners {
+                    self.lazy_rebuild_check(owner, sink);
                 }
             }
         }
@@ -929,7 +1065,7 @@ impl Engine {
                     self.stats.votes_conflicted += 1;
                 }
                 self.stats.votes_dissenting += dissent;
-                self.supply_child(key, &stamp, v);
+                self.supply_child(key, &stamp, v, sink);
             }
         }
         for (key, stamp) in respawns {
@@ -974,6 +1110,64 @@ impl Engine {
         }
     }
 
+    /// Lazy policy: record a dead child as lost instead of reissuing it.
+    /// Returns `true` when a live, undecided, non-replicated child was
+    /// marked (replica groups keep their own eager loss handling).
+    fn mark_lost(&mut self, owner: TaskKey, stamp: &LevelStamp) -> bool {
+        match self
+            .tasks
+            .get_mut(&owner)
+            .and_then(|t| t.children.get_mut(stamp))
+        {
+            Some(ci) if !ci.done && ci.vote.is_none() => {
+                ci.lost = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Lazy policy: rebuild an owner's lost children once its progress
+    /// actually demands them — i.e. the task is blocked and *everything*
+    /// it still waits on is lost. While any live child remains, its
+    /// arrival re-runs this check, so rebuilds start exactly when the
+    /// subtree's results become the critical path.
+    fn lazy_rebuild_check(&mut self, owner: TaskKey, sink: &mut ActionSink) {
+        let mut stamps: Vec<LevelStamp> = {
+            let Some(task) = self.tasks.get(&owner) else {
+                return;
+            };
+            if task.queued || task.eval.ready() {
+                return;
+            }
+            let mut lost = Vec::new();
+            for (stamp, ci) in task.children.iter() {
+                if ci.done {
+                    continue;
+                }
+                if !ci.lost {
+                    // A live child may still unblock the owner; its result
+                    // (or its own loss) re-triggers this check.
+                    return;
+                }
+                lost.push(stamp.clone());
+            }
+            lost
+        };
+        stamps.sort();
+        for stamp in stamps {
+            if let Some(ci) = self
+                .tasks
+                .get_mut(&owner)
+                .and_then(|t| t.children.get_mut(&stamp))
+            {
+                ci.lost = false;
+            }
+            self.stats.lazy_rebuilds += 1;
+            self.reissue_child(owner, &stamp, sink);
+        }
+    }
+
     /// Re-issues a (non-replicated) child from its functional checkpoint.
     /// In splice mode this is exactly step-parent/twin creation.
     fn reissue_child(&mut self, owner: TaskKey, stamp: &LevelStamp, sink: &mut ActionSink) {
@@ -992,8 +1186,43 @@ impl Engine {
         let Some(cp) = self.ckpt.get(owner, stamp) else {
             return;
         };
-        let mut packet = cp.packet.clone();
+        let mut packet = match &cp.packet {
+            Some(p) => p.clone(),
+            // Placement tier: only the placement record survived; rebuild
+            // the frame from the live owner (same recipe as `spawn_child`).
+            None => TaskPacket {
+                stamp: stamp.clone(),
+                demand: ci.demand.clone(),
+                parent: TaskLink::new(TaskAddr::new(self.id, owner), task.stamp.clone()),
+                ancestors: std::iter::once(task.parent.clone())
+                    .chain(task.ancestors.iter().cloned())
+                    .take(self.config.links_beyond_parent())
+                    .collect(),
+                incarnation: 0,
+                hops: 0,
+                replica: None,
+                under_replica: task.under_replica,
+            },
+        };
         packet.incarnation = incarnation;
+        // Hand incremental re-checkpoint entries (MultiCheckpoint) to the
+        // twin as parked salvages: they flow out on the twin's placement
+        // ACK like any salvage. The stored preloads are cloned, NOT
+        // drained — a second crash during the rebuild must still find the
+        // recovery anchor intact.
+        for (d, v) in cp.preloads.iter() {
+            if ci.pending_salvages.iter().any(|s| s.demand == *d) {
+                continue;
+            }
+            ci.pending_salvages.push(SalvagePacket {
+                to: TaskAddr::new(self.id, owner), // rewritten at the ACK flush
+                dead_stamp: stamp.clone(),
+                dead_addr: TaskAddr::new(self.id, owner),
+                demand: d.clone(),
+                value: v.clone(),
+                from_stamp: stamp.clone(),
+            });
+        }
         let dest = self.placer.place(&packet, &self.known_dead);
         self.stats.reissues += 1;
         sink.push(Action::SetTimer {
@@ -1014,6 +1243,13 @@ impl Engine {
             if p.replica.is_some() {
                 // Replica spawn lost; treat as a lost replica — the vote
                 // already accounts for its processor via on_proc_dead.
+                return;
+            }
+            if !self.policy.eager_on_death() {
+                // Lazy: the spawn died in flight; rebuild only on demand.
+                if self.mark_lost(p.parent.addr.key, &p.stamp) {
+                    self.lazy_rebuild_check(p.parent.addr.key, sink);
+                }
                 return;
             }
             return self.reissue_child(p.parent.addr.key, &p.stamp, sink);
@@ -1116,7 +1352,7 @@ impl Engine {
     fn route_salvage(&mut self, sp: SalvagePacket, sink: &mut ActionSink) -> Option<SalvagePacket> {
         // Twin (or still-live original) of the dead task here?
         if let Some(&key) = self.by_stamp.get(&sp.dead_stamp) {
-            self.preload_salvage(key, sp);
+            self.preload_salvage(key, sp, sink);
             return None;
         }
         // Deepest live local ancestor of the dead stamp.
@@ -1212,7 +1448,7 @@ impl Engine {
         }
     }
 
-    fn preload_salvage(&mut self, key: TaskKey, sp: SalvagePacket) {
+    fn preload_salvage(&mut self, key: TaskKey, sp: SalvagePacket, sink: &mut ActionSink) {
         let Some(task) = self.tasks.get_mut(&key) else {
             return;
         };
@@ -1224,7 +1460,7 @@ impl Engine {
             self.stats.salvage_after_spawn += 1;
             let done = task.children.get(&stamp).map(|c| c.done).unwrap_or(false);
             if !done {
-                self.supply_child(key, &stamp, sp.value);
+                self.supply_child(key, &stamp, sp.value, sink);
             } else {
                 self.stats.duplicate_results_ignored += 1;
             }

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod ids;
 pub mod packet;
 pub mod place;
+pub mod policy;
 pub mod replicate;
 pub mod sink;
 pub mod stamp;
@@ -42,8 +43,9 @@ pub mod task;
 pub use config::{CheckpointFilter, Config, RecoveryMode, ReplicaSpec, VoteMode};
 pub use engine::{Action, Engine, Timer};
 pub use ids::{ProcId, TaskAddr, TaskKey};
-pub use packet::{Msg, MsgKind, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
+pub use packet::{CkptPacket, Msg, MsgKind, ResultPacket, SalvagePacket, TaskLink, TaskPacket};
 pub use place::Placer;
+pub use policy::{PersistenceTier, PolicyKind, PolicySpec, RecoveryPolicy};
 pub use sink::ActionSink;
 pub use stamp::LevelStamp;
 pub use stats::ProcStats;

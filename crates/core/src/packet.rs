@@ -153,6 +153,34 @@ pub struct SalvagePacket {
     pub from_stamp: LevelStamp,
 }
 
+/// An incremental re-checkpoint (the `MultiCheckpoint` recovery policy):
+/// a long-lived task streams its completed children's results back to its
+/// own checkpoint owner, which appends them to the stored checkpoint as
+/// preload entries. A reissued twin is handed those entries up front and
+/// replays strictly fewer waves. Never sent when
+/// `Config::policy.recheckpoint_every == 0` (the default), so the paper's
+/// eager scheme stays bit-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CkptPacket {
+    /// The task that *owns* the sender's checkpoint — the sender's parent.
+    pub owner: TaskAddr,
+    /// Stamp of the reporting task (the checkpoint entry's key under its
+    /// owner).
+    pub from_stamp: LevelStamp,
+    /// Completed child results accumulated since the last re-checkpoint:
+    /// the demand each satisfied and the value computed.
+    pub entries: Vec<(Demand, Value)>,
+}
+
+impl CkptPacket {
+    /// Abstract wire size: stamp digits plus header plus each entry's
+    /// value payload.
+    pub fn size(&self) -> usize {
+        let vals: usize = self.entries.iter().map(|(_, v)| v.size()).sum();
+        2 + self.from_stamp.level() + vals
+    }
+}
+
 /// Placement acknowledgement payload (Figure 6, state c: "task G receives
 /// an acknowledge from P and establishes a parent-to-child pointer").
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -214,6 +242,10 @@ pub enum Msg {
     /// live recipient ignores it; a dead one bounces it, and the bounce
     /// is the detection.
     Probe,
+    /// Incremental re-checkpoint entries (`MultiCheckpoint` policy): a
+    /// task streaming completed child results back to its checkpoint
+    /// owner.
+    Ckpt(Box<CkptPacket>),
 }
 
 impl Msg {
@@ -247,6 +279,11 @@ impl Msg {
         Msg::Salvage(Box::new(s))
     }
 
+    /// Wraps a re-checkpoint packet (boxing the payload).
+    pub fn ckpt(c: CkptPacket) -> Msg {
+        Msg::Ckpt(Box::new(c))
+    }
+
     /// Coarse message class for statistics.
     pub fn kind(&self) -> MsgKind {
         match self {
@@ -258,6 +295,7 @@ impl Msg {
             Msg::Load { .. } => MsgKind::Load,
             Msg::FailureNotice { .. } => MsgKind::FailureNotice,
             Msg::Probe => MsgKind::Probe,
+            Msg::Ckpt(_) => MsgKind::Ckpt,
         }
     }
 
@@ -282,6 +320,7 @@ impl Msg {
             Msg::Load { .. } => 1,
             Msg::FailureNotice { .. } => 1,
             Msg::Probe => 1,
+            Msg::Ckpt(c) => c.size(),
         }
     }
 }
@@ -298,11 +337,12 @@ pub enum MsgKind {
     Load,
     FailureNotice,
     Probe,
+    Ckpt,
 }
 
 impl MsgKind {
     /// All message kinds, for iteration in reports.
-    pub const ALL: [MsgKind; 8] = [
+    pub const ALL: [MsgKind; 9] = [
         MsgKind::Spawn,
         MsgKind::Ack,
         MsgKind::Result,
@@ -311,6 +351,7 @@ impl MsgKind {
         MsgKind::Load,
         MsgKind::FailureNotice,
         MsgKind::Probe,
+        MsgKind::Ckpt,
     ];
 }
 
@@ -325,6 +366,7 @@ impl fmt::Display for MsgKind {
             MsgKind::Load => "load",
             MsgKind::FailureNotice => "failure-notice",
             MsgKind::Probe => "probe",
+            MsgKind::Ckpt => "ckpt",
         };
         f.write_str(s)
     }
@@ -431,6 +473,11 @@ mod tests {
             },
             Msg::FailureNotice { dead: ProcId(1) },
             Msg::Probe,
+            Msg::ckpt(CkptPacket {
+                owner: p.parent.addr,
+                from_stamp: p.stamp.clone(),
+                entries: vec![(p.demand.clone(), Value::Int(1))],
+            }),
         ];
         let kinds: Vec<MsgKind> = msgs.iter().map(Msg::kind).collect();
         assert_eq!(kinds, MsgKind::ALL.to_vec());

@@ -71,6 +71,11 @@ pub struct ProcStats {
     pub replica_results: u64,
     /// Evaluation errors surfaced (should stay 0 on shipped workloads).
     pub eval_errors: u64,
+    /// Lazy policy: lost children reissued because their owner's progress
+    /// actually demanded them (each rebuild also counts in `reissues`).
+    pub lazy_rebuilds: u64,
+    /// MultiCheckpoint policy: incremental re-checkpoint messages emitted.
+    pub recheckpoints: u64,
 }
 
 impl ProcStats {
@@ -132,6 +137,8 @@ impl AddAssign<&ProcStats> for ProcStats {
         self.votes_dissenting += rhs.votes_dissenting;
         self.replica_results += rhs.replica_results;
         self.eval_errors += rhs.eval_errors;
+        self.lazy_rebuilds += rhs.lazy_rebuilds;
+        self.recheckpoints += rhs.recheckpoints;
     }
 }
 

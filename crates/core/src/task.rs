@@ -47,6 +47,10 @@ pub struct ChildInfo {
     /// Set when a failure notice deferred this child's twin creation by the
     /// splice grace period (E13); cleared when the twin is actually issued.
     pub twin_pending: bool,
+    /// Lazy policy: the child's host died and the reissue was deferred
+    /// until the owner's progress actually demands the result. Cleared on
+    /// rebuild.
+    pub lost: bool,
 }
 
 impl ChildInfo {
@@ -88,6 +92,10 @@ pub struct Task {
     pub future_salvages: Vec<SalvagePacket>,
     /// True while the task sits in the ready queue (guards double-queueing).
     pub queued: bool,
+    /// MultiCheckpoint policy: completed child results accumulated since
+    /// the last incremental re-checkpoint was shipped to this task's own
+    /// checkpoint owner. Unused (stays empty) when re-checkpointing is off.
+    pub ckpt_pending: Vec<(Demand, splice_applicative::Value)>,
 }
 
 impl Task {
@@ -107,6 +115,7 @@ impl Task {
             next_digit: 0,
             future_salvages: Vec::new(),
             queued: false,
+            ckpt_pending: Vec::new(),
         }
     }
 
@@ -117,7 +126,8 @@ impl Task {
         debug_assert!(
             self.children.is_empty()
                 && self.by_demand.is_empty()
-                && self.future_salvages.is_empty(),
+                && self.future_salvages.is_empty()
+                && self.ckpt_pending.is_empty(),
             "recycled frame was not cleared"
         );
         self.key = key;
@@ -140,6 +150,7 @@ impl Task {
         self.by_demand.clear();
         self.future_salvages.clear();
         self.ancestors.clear();
+        self.ckpt_pending.clear();
     }
 
     /// Allocates the stamp for the next child. Demand order is
@@ -237,6 +248,7 @@ mod tests {
             pending_salvages: vec![],
             vote: None,
             twin_pending: false,
+            lost: false,
         };
         assert_eq!(ci.current_addr(), Some(addr));
         ci.incarnation = 1; // reissued; the old ack is stale
@@ -278,6 +290,7 @@ mod tests {
             pending_salvages: vec![],
             vote: None,
             twin_pending: false,
+            lost: false,
         });
         assert_eq!(t.child_stamp_of(&d), Some(&stamp));
         assert!(!t.all_children_done());

@@ -11,6 +11,7 @@ use splice_core::engine::{Engine, Timer};
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
 use splice_core::place::Placer;
+use splice_core::policy::PolicySpec;
 use splice_core::sink::ActionSink;
 use splice_core::superroot::{RootInput, RootQuorum, SuperRoot};
 use std::sync::Arc;
@@ -140,6 +141,7 @@ pub struct SuperRootDriver {
     quorum: RootQuorum,
     sink: ActionSink,
     rotor: u32,
+    policy: PolicySpec,
 }
 
 impl SuperRootDriver {
@@ -158,6 +160,7 @@ impl SuperRootDriver {
             ),
             sink: ActionSink::new(),
             rotor: 0,
+            policy: config.policy,
         }
     }
 
@@ -224,8 +227,17 @@ impl SuperRootDriver {
         ProcId(0)
     }
 
-    /// Launches the program on the next live processor.
+    /// Launches the program on the next live processor. A non-default
+    /// recovery policy stamps the trace stream first — Eager launches emit
+    /// nothing, keeping their streams bit-identical to pre-policy runs.
     pub fn launch<S: Substrate + ?Sized>(&mut self, sub: &mut S) {
+        if self.policy != PolicySpec::eager() && sub.trace_enabled() {
+            sub.trace(splice_simnet::trace::TraceKind::Policy {
+                kind: self.policy.kind.tag(),
+                tier: self.policy.tier.tag(),
+                every: self.policy.recheckpoint_every,
+            });
+        }
         let dest = self.pick_live(sub);
         self.quorum
             .apply(RootInput::Launch { dest }, &mut self.sink);

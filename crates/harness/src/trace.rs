@@ -37,6 +37,7 @@ pub fn kind_tag(kind: MsgKind) -> u8 {
         MsgKind::Load => 5,
         MsgKind::FailureNotice => 6,
         MsgKind::Probe => 7,
+        MsgKind::Ckpt => 8,
     }
 }
 
@@ -142,6 +143,14 @@ pub fn msg_digest(msg: &Msg) -> u64 {
         }
         Msg::FailureNotice { dead } => fnv_mix(h, u64::from(dead.0)),
         Msg::Probe => h,
+        Msg::Ckpt(c) => {
+            let mut h = fold_stamp(fold_addr(h, &c.owner), &c.from_stamp);
+            h = fnv_mix(h, c.entries.len() as u64);
+            for (d, v) in &c.entries {
+                h = fold_value(fold_demand(h, d), v);
+            }
+            h
+        }
     }
 }
 

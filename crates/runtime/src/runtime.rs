@@ -28,6 +28,7 @@ use splice_core::config::Config as RecoveryConfig;
 use splice_core::engine::Timer;
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
+use splice_core::policy::PolicyKind;
 use splice_core::stats::ProcStats;
 use splice_gradient::Policy;
 use splice_harness::{
@@ -154,6 +155,8 @@ pub struct RuntimeReport {
     /// The semantic checksum is cross-backend comparable; the stream
     /// checksum is wall-clock-ordered and varies run to run.
     pub trace: TraceSummary,
+    /// Recovery policy the run's engines were configured with.
+    pub policy: PolicyKind,
 }
 
 enum Envelope {
@@ -660,6 +663,7 @@ pub fn run_plan(cfg: RuntimeConfig, workload: &Workload, plan: &FaultPlan) -> Ru
         root_failovers: superroot.failovers(),
         root_replicas: superroot.replicas(),
         trace,
+        policy: cfg.recovery.policy.kind,
     }
 }
 

@@ -158,6 +158,7 @@ mod tests {
             reconnects: 0,
             decode_errors: 0,
             trace: splice_simnet::trace::TraceSummary::default(),
+            policy: splice_core::policy::PolicyKind::Eager,
         }
     }
 

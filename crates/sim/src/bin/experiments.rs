@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E16) — the data recorded in
+//! Prints every experiment table (E1–E18) — the data recorded in
 //! EXPERIMENTS.md.
 //!
 //! Usage:
@@ -147,6 +147,23 @@ fn main() {
             ex::e12_policies(
                 &Workload::fib(if quick { 13 } else { 15 }),
                 Topology::Hypercube { dim: 3 }
+            )
+        );
+    }
+    if want("e18") {
+        let w = Workload::fib(if quick { 12 } else { 14 });
+        println!(
+            "{}",
+            ex::e18_recovery_policies(
+                &w,
+                &[
+                    Topology::Complete { n: 8 },
+                    Topology::Mesh {
+                        w: 4,
+                        h: 2,
+                        wrap: false
+                    },
+                ]
             )
         );
     }

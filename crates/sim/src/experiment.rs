@@ -1085,6 +1085,78 @@ pub fn e16_threads(w: &Workload, thread_counts: &[u32], engine_counts: &[u32]) -
     t
 }
 
+// ---------------------------------------------------------------------------
+// E18 — recovery-policy zoo (extension)
+// ---------------------------------------------------------------------------
+
+/// E18 (extension): the pluggable recovery policies head to head, swept
+/// across fault rate and topology. Eager is the paper's scheme (reissue
+/// lost children at the failure notice); Lazy marks them lost and rebuilds
+/// only when the owner's own progress demands the value; MultiCheckpoint
+/// re-checkpoints incrementally so a reissued twin replays fewer waves.
+/// Every cell must stay correct — the policies trade recovery *cost*
+/// (finish, redone work, reissues), never the answer.
+pub fn e18_recovery_policies(w: &Workload, topologies: &[Topology]) -> Table {
+    use splice_core::policy::{PolicyKind, PolicySpec};
+    let mut t = Table::new(
+        format!(
+            "E18 (extension): recovery policies x fault rate x topology [{}]",
+            w.name
+        ),
+        &[
+            "topology",
+            "crashes",
+            "policy",
+            "correct",
+            "finish",
+            "slowdown",
+            "redo-work",
+            "reissues",
+            "lazy-rebuilds",
+            "reckpts",
+        ],
+    );
+    for topology in topologies {
+        let n = topology.len();
+        for kind in PolicyKind::ALL {
+            let mut cfg = default_config(n, RecoveryMode::Splice);
+            cfg.topology = topology.clone();
+            cfg.recovery.policy = PolicySpec::of(kind);
+            // Per-policy fault-free baseline: MultiCheckpoint pays its
+            // checkpoint traffic even without faults, and that overhead is
+            // part of what the sweep measures.
+            let fault_free = run_workload(cfg.clone(), w, &FaultPlan::none());
+            let mid = VirtualTime(fault_free.finish.ticks() / 2);
+            let late = VirtualTime(fault_free.finish.ticks() * 3 / 4);
+            let plans = [
+                (0u32, FaultPlan::none()),
+                (1, FaultPlan::crash_at(n - 1, mid)),
+                (
+                    2,
+                    FaultPlan::crash_at(n - 1, mid).and(n - 2, late, FaultKind::Crash),
+                ),
+            ];
+            for (crashes, plan) in plans {
+                let r = run_workload(cfg.clone(), w, &plan);
+                let correct = r.result == Some(w.reference_result().unwrap());
+                t.row(vec![
+                    format!("{topology:?}"),
+                    crashes.to_string(),
+                    kind.label().into(),
+                    correct.to_string(),
+                    r.finish.ticks().to_string(),
+                    fmt_f(r.slowdown_vs(&fault_free)),
+                    fmt_f(r.redundant_work_vs(&fault_free)),
+                    r.stats.reissues.to_string(),
+                    r.stats.lazy_rebuilds.to_string(),
+                    r.stats.recheckpoints.to_string(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1232,6 +1304,45 @@ mod tests {
                 row[0]
             );
         }
+    }
+
+    #[test]
+    fn e18_every_policy_cell_is_correct_and_the_policies_differ() {
+        let w = Workload::fib(12);
+        let t = e18_recovery_policies(&w, &[Topology::Complete { n: 6 }]);
+        // 3 policies × 3 fault rates on one topology.
+        assert_eq!(t.rows.len(), 9);
+        for row in &t.rows {
+            assert_eq!(
+                row[3], "true",
+                "policy={} crashes={} must stay correct",
+                row[2], row[1]
+            );
+        }
+        let cell = |policy: &str, crashes: &str, col: usize| -> u64 {
+            t.rows
+                .iter()
+                .find(|r| r[2] == policy && r[1] == crashes)
+                .unwrap()[col]
+                .parse()
+                .unwrap()
+        };
+        // Fault-free, no policy reissues or rebuilds anything…
+        for p in ["eager", "lazy", "multickpt"] {
+            assert_eq!(cell(p, "0", 7), 0, "{p}: fault-free reissues");
+            assert_eq!(cell(p, "0", 8), 0, "{p}: fault-free lazy rebuilds");
+        }
+        // …but MultiCheckpoint pays checkpoint traffic even fault-free,
+        // while the others never re-checkpoint.
+        assert!(cell("multickpt", "0", 9) > 0);
+        assert_eq!(cell("eager", "2", 9), 0);
+        assert_eq!(cell("lazy", "2", 9), 0);
+        // Under faults Eager reissues at the notice and never via the lazy
+        // path; Lazy's recovery reissues are demand-driven rebuilds.
+        assert!(cell("eager", "1", 7) > 0);
+        assert!(cell("lazy", "1", 8) > 0);
+        assert!(cell("lazy", "1", 8) <= cell("lazy", "1", 7));
+        assert_eq!(cell("eager", "1", 8), 0);
     }
 
     #[test]

@@ -755,6 +755,11 @@ impl Machine {
             reconnects: 0,
             decode_errors: 0,
             trace: self.sub.inner().inner().tracer().summary(),
+            policy: self
+                .nodes
+                .first()
+                .map(|n| n.engine().policy_kind())
+                .unwrap_or_default(),
         }
     }
 }

@@ -515,6 +515,7 @@ impl ParallelReactorMachine {
             reconnects: 0,
             decode_errors: 0,
             trace: tracer.summary(),
+            policy: cfg.recovery.policy.kind,
         };
         (report, trace_events)
     }

@@ -34,6 +34,7 @@ use splice_core::config::{
 use splice_core::engine::Timer;
 use splice_core::ids::ProcId;
 use splice_core::packet::Msg;
+use splice_core::policy::{PersistenceTier, PolicyKind, PolicySpec};
 use splice_gradient::Policy;
 use splice_harness::{
     death_notice_targets, DriverLoop, EngineSnapshot, EngineTotals, ShardMap, ShardRouter,
@@ -378,6 +379,9 @@ fn encode_recovery(e: &mut Enc<'_>, r: &RecoveryConfig) {
     e.u8(u8::from(r.gossip_notices));
     e.u8(u8::from(r.probe_acked));
     e.u32v(r.root_replicas);
+    e.u8(r.policy.kind.tag());
+    e.u8(r.policy.tier.tag());
+    e.u32v(r.policy.recheckpoint_every);
     let mut reps: Vec<(u32, &ReplicaSpec)> = r.replicate.iter().map(|(f, s)| (f.0, s)).collect();
     reps.sort_by_key(|(f, _)| *f);
     e.u64v(reps.len() as u64);
@@ -410,6 +414,11 @@ fn decode_recovery(d: &mut Dec<'_>) -> Result<RecoveryConfig, CodecError> {
     let gossip_notices = d.u8()? != 0;
     let probe_acked = d.u8()? != 0;
     let root_replicas = d.u32v()?;
+    let kind_tag = d.u8()?;
+    let kind = PolicyKind::from_tag(kind_tag).ok_or(CodecError::Tag(kind_tag))?;
+    let tier_tag = d.u8()?;
+    let tier = PersistenceTier::from_tag(tier_tag).ok_or(CodecError::Tag(tier_tag))?;
+    let recheckpoint_every = d.u32v()?;
     let n = d.u64v()?;
     let mut replicate = std::collections::HashMap::new();
     for _ in 0..n {
@@ -433,6 +442,11 @@ fn decode_recovery(d: &mut Dec<'_>) -> Result<RecoveryConfig, CodecError> {
         gossip_notices,
         probe_acked,
         root_replicas,
+        policy: PolicySpec {
+            kind,
+            tier,
+            recheckpoint_every,
+        },
     })
 }
 
@@ -469,6 +483,8 @@ fn encode_snapshot(e: &mut Enc<'_>, s: &EngineSnapshot) {
     e.u64v(st.votes_dissenting);
     e.u64v(st.replica_results);
     e.u64v(st.eval_errors);
+    e.u64v(st.lazy_rebuilds);
+    e.u64v(st.recheckpoints);
     e.u64v(s.ckpt_peak_entries as u64);
     e.u64v(s.ckpt_peak_bytes as u64);
     e.u64v(s.ckpt_stored);
@@ -508,6 +524,8 @@ fn decode_snapshot(d: &mut Dec<'_>) -> Result<EngineSnapshot, CodecError> {
     st.votes_dissenting = d.u64v()?;
     st.replica_results = d.u64v()?;
     st.eval_errors = d.u64v()?;
+    st.lazy_rebuilds = d.u64v()?;
+    st.recheckpoints = d.u64v()?;
     s.ckpt_peak_entries = d.u64v()? as usize;
     s.ckpt_peak_bytes = d.u64v()? as usize;
     s.ckpt_stored = d.u64v()?;
@@ -2351,6 +2369,7 @@ fn run_process_in(
         reconnects,
         decode_errors,
         trace,
+        policy: cfg.recovery.policy.kind,
     })
 }
 
@@ -2363,8 +2382,8 @@ mod tests {
     fn proc_stats_layout_tripwire() {
         // The exit-report codec spells out every ProcStats field by name;
         // a new field would silently vanish from worker reports without
-        // this size pin (41 u64-equivalent fields).
-        assert_eq!(std::mem::size_of::<ProcStats>(), 41 * 8);
+        // this size pin (45 u64-equivalent fields).
+        assert_eq!(std::mem::size_of::<ProcStats>(), 45 * 8);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Run reports: everything a single simulation tells the experiments.
 
 use splice_applicative::Value;
+use splice_core::policy::PolicyKind;
 use splice_core::stats::ProcStats;
 use splice_simnet::time::VirtualTime;
 use splice_simnet::trace::TraceSummary;
@@ -96,6 +97,8 @@ pub struct RunReport {
     /// semantic checksums (all zero with tracing off). The `dropped` field
     /// surfaces ring-buffer evictions that were previously lost silently.
     pub trace: TraceSummary,
+    /// Recovery policy the run's engines were configured with.
+    pub policy: PolicyKind,
 }
 
 impl RunReport {
@@ -213,6 +216,7 @@ mod tests {
             reconnects: 0,
             decode_errors: 0,
             trace: TraceSummary::default(),
+            policy: PolicyKind::Eager,
         }
     }
 

@@ -26,7 +26,7 @@
 use splice_applicative::{Demand, FnId, Value};
 use splice_core::ids::{ProcId, TaskAddr, TaskKey};
 use splice_core::packet::{
-    AckInfo, Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket,
+    AckInfo, CkptPacket, Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket,
 };
 use splice_core::stamp::LevelStamp;
 use std::fmt;
@@ -449,6 +449,16 @@ pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
             e.proc(*dead);
         }
         Msg::Probe => e.u8(7),
+        Msg::Ckpt(c) => {
+            e.u8(8);
+            e.addr(&c.owner);
+            e.stamp(&c.from_stamp);
+            e.u64v(c.entries.len() as u64);
+            for (d, v) in &c.entries {
+                e.demand(d);
+                e.value(v);
+            }
+        }
     }
 }
 
@@ -549,6 +559,22 @@ pub fn decode_msg_at(d: &mut Dec<'_>) -> Result<Msg, CodecError> {
         }
         6 => Ok(Msg::FailureNotice { dead: d.proc()? }),
         7 => Ok(Msg::Probe),
+        8 => {
+            let owner = d.addr()?;
+            let from_stamp = d.stamp()?;
+            let n = d.len_guard(1)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let demand = d.demand()?;
+                let value = d.value()?;
+                entries.push((demand, value));
+            }
+            Ok(Msg::Ckpt(Box::new(CkptPacket {
+                owner,
+                from_stamp,
+                entries,
+            })))
+        }
         t => Err(CodecError::Tag(t)),
     }
 }
@@ -709,6 +735,17 @@ mod tests {
                 dead: ProcId::SUPER_ROOT,
             },
             Msg::Probe,
+            Msg::ckpt(CkptPacket {
+                owner: TaskAddr::new(ProcId(3), TaskKey(7)),
+                from_stamp: stamp(&[1, 4]),
+                entries: vec![
+                    (Demand::new(FnId(2), vec![Value::Int(5)]), Value::Int(8)),
+                    (
+                        Demand::new(FnId(2), vec![Value::Int(4)]),
+                        Value::List(vec![Value::Unit].into()),
+                    ),
+                ],
+            }),
         ]
     }
 

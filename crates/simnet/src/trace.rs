@@ -103,6 +103,18 @@ pub enum TraceKind {
         /// The successor rank that now leads.
         rank: u32,
     },
+    /// The run launched under a non-default recovery policy. Emitted once
+    /// at launch, and only when the policy differs from the Eager
+    /// default — so Eager streams stay bit-identical to pre-policy
+    /// recordings.
+    Policy {
+        /// The policy's stable tag (`PolicyKind::tag`).
+        kind: u8,
+        /// The persistence tier's stable tag (`PersistenceTier::tag`).
+        tier: u8,
+        /// Incremental re-checkpoint period (0 = off).
+        every: u32,
+    },
 }
 
 impl TraceKind {
@@ -134,6 +146,10 @@ impl TraceKind {
                 fnv_mix(fnv_mix(fnv_mix(h, 6), u64::from(owner)), digest)
             }
             TraceKind::RootFailover { rank } => fnv_mix(fnv_mix(h, 7), u64::from(rank)),
+            TraceKind::Policy { kind, tier, every } => fnv_mix(
+                fnv_mix(fnv_mix(fnv_mix(h, 8), u64::from(kind)), u64::from(tier)),
+                u64::from(every),
+            ),
         }
     }
 }
@@ -165,6 +181,9 @@ impl fmt::Display for TraceKind {
             }
             TraceKind::RootFailover { rank } => {
                 write!(f, "root-failover new-primary=root#{rank}")
+            }
+            TraceKind::Policy { kind, tier, every } => {
+                write!(f, "policy kind={kind} tier={tier} every={every}")
             }
         }
     }

@@ -169,6 +169,10 @@ fn encode_event(ev: &TraceEvent) -> String {
         TraceKind::Wave { owner, work } => ("w", vec![u64::from(owner), work]),
         TraceKind::Complete { owner, digest } => ("c", vec![u64::from(owner), digest]),
         TraceKind::RootFailover { rank } => ("r", vec![u64::from(rank)]),
+        TraceKind::Policy { kind, tier, every } => (
+            "p",
+            vec![u64::from(kind), u64::from(tier), u64::from(every)],
+        ),
     };
     let mut line = format!("{} {} {tag}", ev.at.ticks(), ev.seq);
     for f in fields {
@@ -213,6 +217,11 @@ fn parse_event(line: &str) -> Option<TraceEvent> {
             digest: *digest,
         },
         ("r", [rank]) => TraceKind::RootFailover { rank: *rank as u32 },
+        ("p", [kind, tier, every]) => TraceKind::Policy {
+            kind: *kind as u8,
+            tier: *tier as u8,
+            every: *every as u32,
+        },
         _ => return None,
     };
     Some(TraceEvent { at, seq, kind })

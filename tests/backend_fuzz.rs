@@ -121,9 +121,10 @@ fn explain_divergence(
         None => "traces identical (outcome-only divergence)".to_string(),
     };
     panic!(
-        "`{left}` vs `{right}` diverged on {}: {detail}\n\
+        "`{left}` vs `{right}` diverged on {} (policy={}): {detail}\n\
          plan shrunk {} -> {} faults in {} probes; minimal reproducer:\n{}\n{div}",
         w.name,
+        cfg.recovery.policy.kind.label(),
         report.from_faults,
         report.plan.events.len(),
         report.probes,
@@ -588,6 +589,58 @@ proptest! {
                 !par.completed && par.stalled,
                 "{threads}-thread parallel: quorum death must stall, got completed={} stalled={} on {}",
                 par.completed, par.stalled, w.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The recovery-policy axis: one random multi-fault plan (multi-crash
+    /// shapes up to whole-system death, optionally protected processor 0,
+    /// rollback and splice modes), run under all *three* recovery
+    /// policies on both the DES and the reactor. Two properties at once:
+    /// within each policy the backends must agree (scheduler
+    /// independence, policy included in any shrunk reproducer), and
+    /// *across* policies the verdict and value must be identical — the
+    /// policies trade recovery cost and timing, never the outcome.
+    #[test]
+    fn every_policy_agrees_on_verdict_and_value(seed in any::<u64>()) {
+        use splice::core::policy::{PolicyKind, PolicySpec};
+        let mut s = seed;
+        let n = 3 + (mix(&mut s) % 4) as u32; // 3..=6 processors
+        let mode = if mix(&mut s).is_multiple_of(4) {
+            RecoveryMode::Rollback
+        } else {
+            RecoveryMode::Splice
+        };
+        let w = workload(mix(&mut s));
+        let base = flat_cfg(n, mode);
+        let (lo, hi) = fault_window(&base, &w);
+        let protect: &[u32] = if mix(&mut s).is_multiple_of(2) { &[0] } else { &[] };
+        let k = (mix(&mut s) % u64::from(n + 1)) as usize;
+        let plan = FaultPlan::random_crashes(
+            k,
+            n,
+            (VirtualTime(lo), VirtualTime(hi)),
+            protect,
+            mix(&mut s),
+        );
+        let mut outcomes: Vec<(PolicyKind, (bool, bool), Option<Value>)> = Vec::new();
+        for kind in PolicyKind::ALL {
+            let mut cfg = base.clone();
+            cfg.recovery.policy = PolicySpec::of(kind);
+            assert_backend_parity(&cfg, &w, &plan);
+            let r = run_workload(cfg, &w, &plan);
+            outcomes.push((kind, verdict(&r), r.result));
+        }
+        let (k0, v0, r0) = outcomes[0].clone();
+        for (kind, v, res) in &outcomes[1..] {
+            prop_assert_eq!(
+                (v, res), (&v0, &r0),
+                "policy {} disagrees with {} on {} under {:?}",
+                kind, k0, &w.name, &plan
             );
         }
     }

@@ -6,7 +6,7 @@
 
 use splice::core::ids::{ProcId, TaskAddr, TaskKey};
 use splice::core::packet::{
-    AckInfo, Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket,
+    AckInfo, CkptPacket, Msg, ReplicaInfo, ResultPacket, SalvagePacket, TaskLink, TaskPacket,
 };
 use splice::core::stamp::LevelStamp;
 use splice::lang::wave::Demand;
@@ -91,7 +91,7 @@ fn random_replica(s: &mut u64) -> Option<ReplicaInfo> {
 }
 
 fn random_msg(s: &mut u64) -> Msg {
-    match mix(s) % 8 {
+    match mix(s) % 9 {
         0 => Msg::spawn(TaskPacket {
             stamp: random_stamp(s),
             demand: random_demand(s),
@@ -137,6 +137,13 @@ fn random_msg(s: &mut u64) -> Msg {
                 ProcId((mix(s) % 64) as u32)
             },
         },
+        7 => Msg::ckpt(CkptPacket {
+            owner: random_addr(s),
+            from_stamp: random_stamp(s),
+            entries: (0..(mix(s) % 4) as usize)
+                .map(|_| (random_demand(s), random_value(s, 3)))
+                .collect(),
+        }),
         _ => Msg::Probe,
     }
 }

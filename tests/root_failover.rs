@@ -100,6 +100,97 @@ fn runtime_completes_fib16_through_primary_crash() {
     panic!("the crash never landed mid-run, even at t=50");
 }
 
+/// The failover path is policy-independent: under the Lazy recovery
+/// policy (mark-lost, rebuild-on-demand) a primary-root crash must still
+/// fail over to a successor and complete with the reference answer, on
+/// every deterministic backend. The super-root quorum's own recovery is
+/// not subject to the engine-level policy — only worker subtrees are.
+#[test]
+fn lazy_policy_fails_over_on_every_sim_backend() {
+    use splice::core::policy::{PolicyKind, PolicySpec};
+    let w = Workload::fib(16);
+    let expected = w.reference_result().unwrap();
+    for backend in Backend::ALL {
+        let mut c = cfg(4);
+        if backend == Backend::ParallelReactor {
+            c.threads = 2;
+        }
+        c.recovery.policy = PolicySpec::lazy();
+        let plan = mid_primary_crash(&c, &w);
+        let (r, _) = execute(backend, c, &w, &plan);
+        assert!(r.completed, "lazy failover stalled on {backend}: {r}");
+        assert_eq!(
+            r.result,
+            Some(expected.clone()),
+            "lazy failover got the wrong answer on {backend}"
+        );
+        assert!(r.root_failovers >= 1, "no failover on {backend}: {r}");
+        assert_eq!(r.policy, PolicyKind::Lazy);
+    }
+}
+
+/// The Lazy failover leg on the threaded runtime. Wall-clock mapped fault
+/// instants: retry earlier until the takeover demonstrably landed.
+#[test]
+fn lazy_policy_fails_over_on_runtime() {
+    use splice::core::policy::PolicySpec;
+    let w = Workload::fib(16);
+    let expected = w.reference_result().unwrap();
+    for at in [2_000u64, 400, 50] {
+        let mut c = RuntimeConfig::new(4);
+        c.recovery.mode = RecoveryMode::Splice;
+        c.recovery.policy = PolicySpec::lazy();
+        let plan = FaultPlan::none().crash_root_replica(0, VirtualTime(at));
+        let r = run_plan(c, &w, &plan);
+        assert_eq!(
+            r.result,
+            Some(expected.clone()),
+            "lazy failover run failed (crash at t={at})"
+        );
+        if r.root_failovers >= 1 {
+            return;
+        }
+    }
+    panic!("the crash never landed mid-run, even at t=50");
+}
+
+/// The Lazy failover leg on the multi-process machine: `kill -9` the
+/// shard hosting the acting primary while every worker runs the Lazy
+/// policy (shipped through the Init handshake). Retry earlier instants
+/// until the takeover demonstrably landed.
+#[cfg(unix)]
+#[test]
+fn lazy_policy_fails_over_on_process_backend() {
+    use splice::core::policy::{PolicyKind, PolicySpec};
+    use splice::sim::proc::{run_process, ProcConfig};
+    use splice::simnet::fault::ProcessFaultPlan;
+    use std::path::PathBuf;
+
+    let w = Workload::fib(16);
+    let expected = w.reference_result().unwrap();
+    for at in [3_000u64, 1_000, 300] {
+        let mut c = ProcConfig::new(4, 1);
+        c.worker_bin = Some(PathBuf::from(env!("CARGO_BIN_EXE_splice-proc-worker")));
+        c.policy = Policy::RoundRobin;
+        c.recovery.mode = RecoveryMode::Splice;
+        c.recovery.ack_timeout = 12_000;
+        c.recovery.policy = PolicySpec::lazy();
+        let plan = ProcessFaultPlan::none().kill_shard(0, VirtualTime(at));
+        let r = run_process(&c, &w, &plan).expect("launch");
+        assert!(r.completed, "lazy primary-host kill at t={at} stalled: {r}");
+        assert_eq!(
+            r.result,
+            Some(expected.clone()),
+            "lazy primary-host kill at t={at} corrupted the answer"
+        );
+        assert_eq!(r.policy, PolicyKind::Lazy);
+        if r.root_failovers >= 1 {
+            return;
+        }
+    }
+    panic!("the kill never deposed the acting primary, even at t=300");
+}
+
 /// Fault-free, the quorum layer must add zero events: a machine with one
 /// replica and a machine with three produce the *identical* full trace,
 /// finish instant and event count. This is the bit-for-bit regression
